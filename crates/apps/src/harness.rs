@@ -1,0 +1,375 @@
+//! Seeded experiment driver shared by the benches, tests, and examples.
+//!
+//! One *experiment* is: build an app on a fresh MCU, run it under a runtime
+//! and a seeded failure schedule, and collect the ledger. [`run_many`]
+//! repeats this over `runs` seeds (the paper executes each application 1000
+//! times with pseudo-random seeds, §5.3) and aggregates a [`Summary`] with
+//! the paper's metrics: total time split into app/overhead/wasted, energy,
+//! power failures, redundant re-executions, and correctness counts.
+
+use easeio_core::EaseIoRuntime;
+use kernel::footprint::{footprint, Footprint};
+use kernel::{alpaca::AlpacaRuntime, ink::InkRuntime, naive::NaiveRuntime};
+use kernel::{run_app, App, ExecConfig, Outcome, RunResult, Runtime, Verdict};
+use mcu_emu::{Mcu, Supply, TimerResetConfig};
+use periph::Peripherals;
+
+/// Which runtime an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// No privatization at all (didactic lower bound).
+    Naive,
+    /// Alpaca baseline.
+    Alpaca,
+    /// InK baseline.
+    Ink,
+    /// EaseIO.
+    EaseIo,
+    /// EaseIO with `Exclude`-annotated constant DMAs ("EaseIO/Op"). The
+    /// runtime is the same; callers must pair this with an app built with
+    /// `exclude_const_dma = true`.
+    EaseIoOp,
+}
+
+impl RuntimeKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Naive => "Naive",
+            RuntimeKind::Alpaca => "Alpaca",
+            RuntimeKind::Ink => "InK",
+            RuntimeKind::EaseIo => "EaseIO",
+            RuntimeKind::EaseIoOp => "EaseIO/Op",
+        }
+    }
+
+    /// Instantiates the runtime.
+    pub fn make(self) -> Box<dyn Runtime> {
+        match self {
+            RuntimeKind::Naive => Box::new(NaiveRuntime::new()),
+            RuntimeKind::Alpaca => Box::new(AlpacaRuntime::new()),
+            RuntimeKind::Ink => Box::new(InkRuntime::new()),
+            RuntimeKind::EaseIo | RuntimeKind::EaseIoOp => Box::new(EaseIoRuntime::default()),
+        }
+    }
+
+    /// Whether apps should be built with `exclude_const_dma`.
+    pub fn excludes_const_dma(self) -> bool {
+        self == RuntimeKind::EaseIoOp
+    }
+
+    /// The three runtimes the paper's figures compare.
+    pub const PAPER_SET: [RuntimeKind; 3] =
+        [RuntimeKind::Alpaca, RuntimeKind::Ink, RuntimeKind::EaseIo];
+}
+
+/// Repetition configuration for an experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentCfg {
+    /// Number of seeded repetitions.
+    pub runs: u64,
+    /// Base seed; run `i` uses seed `base_seed + i` for both the failure
+    /// schedule and the environment.
+    pub base_seed: u64,
+    /// Failure-schedule parameters (§5.1: on-period uniform [5, 20] ms).
+    pub reset: TimerResetConfig,
+}
+
+impl Default for ExperimentCfg {
+    fn default() -> Self {
+        Self {
+            runs: 1000,
+            base_seed: 0xEA5E10,
+            reset: TimerResetConfig::default(),
+        }
+    }
+}
+
+/// Aggregated results of `runs` seeded executions.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Runtime display name.
+    pub runtime: &'static str,
+    /// Application name.
+    pub app: &'static str,
+    /// Repetitions attempted.
+    pub runs: u64,
+    /// Runs that completed.
+    pub completed: u64,
+    /// Runs that hit the non-termination guard.
+    pub non_terminated: u64,
+    /// Completed runs whose final state matched the golden run.
+    pub correct: u64,
+    /// Completed runs with corrupted state.
+    pub incorrect: u64,
+    /// Total on-time over all completed runs (µs).
+    pub total_on_us: u64,
+    /// App-classified time (µs).
+    pub app_us: u64,
+    /// Overhead-classified time (µs).
+    pub overhead_us: u64,
+    /// Golden (continuous-power) app time per run (µs).
+    pub golden_app_us: u64,
+    /// Golden app energy per run (nJ).
+    pub golden_app_energy_nj: u64,
+    /// Total energy over completed runs (nJ).
+    pub energy_nj: u64,
+    /// Power failures over completed runs.
+    pub power_failures: u64,
+    /// I/O operations physically executed.
+    pub io_executed: u64,
+    /// I/O operations skipped with restored outputs.
+    pub io_skipped: u64,
+    /// Redundant I/O re-executions (peripheral).
+    pub io_reexecutions: u64,
+    /// Redundant DMA re-executions.
+    pub dma_reexecutions: u64,
+    /// DMA transfers skipped.
+    pub dma_skipped: u64,
+    /// Per-run total on-times (µs), for percentile reporting.
+    pub run_totals_us: Vec<u64>,
+}
+
+impl Summary {
+    /// Wasted app time over all runs (µs): measured minus golden.
+    pub fn wasted_us(&self) -> u64 {
+        self.app_us
+            .saturating_sub(self.golden_app_us * self.completed)
+    }
+
+    /// Useful app time over all runs (µs).
+    pub fn useful_us(&self) -> u64 {
+        self.golden_app_us * self.completed
+    }
+
+    /// Mean total execution time per run (µs).
+    pub fn mean_total_us(&self) -> u64 {
+        if self.completed == 0 {
+            return 0;
+        }
+        self.total_on_us / self.completed
+    }
+
+    /// Mean energy per run (µJ ×100 fixed point for pretty printing).
+    pub fn mean_energy_uj_x100(&self) -> u64 {
+        if self.completed == 0 {
+            return 0;
+        }
+        self.energy_nj / self.completed / 10
+    }
+
+    /// Total redundant re-executions (I/O + DMA).
+    pub fn reexecutions(&self) -> u64 {
+        self.io_reexecutions + self.dma_reexecutions
+    }
+
+    /// The q-th percentile of per-run total time (µs); q in 0..=100.
+    pub fn percentile_us(&self, q: u32) -> u64 {
+        if self.run_totals_us.is_empty() {
+            return 0;
+        }
+        let mut v = self.run_totals_us.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as u64 * q as u64 / 100) as usize;
+        v[idx]
+    }
+}
+
+/// Runs the app once. `builder` allocates the app on the provided MCU.
+pub fn run_once(
+    builder: &dyn Fn(&mut Mcu) -> App,
+    kind: RuntimeKind,
+    supply: Supply,
+    env_seed: u64,
+) -> RunResult {
+    let mut mcu = Mcu::new(supply);
+    let mut periph = Peripherals::new(env_seed);
+    let app = builder(&mut mcu);
+    let mut rt = kind.make();
+    run_app(
+        &app,
+        rt.as_mut(),
+        &mut mcu,
+        &mut periph,
+        &ExecConfig::default(),
+    )
+}
+
+/// Golden run on continuous power: returns (app time, app energy) per run.
+/// On continuous power nothing re-executes, so the app-classified ledger is
+/// pure useful work.
+pub fn golden(builder: &dyn Fn(&mut Mcu) -> App, kind: RuntimeKind, env_seed: u64) -> (u64, u64) {
+    let r = run_once(builder, kind, Supply::continuous(), env_seed);
+    assert_eq!(
+        r.outcome,
+        Outcome::Completed,
+        "golden run must complete on continuous power"
+    );
+    (r.stats.app_time_us, r.stats.app_energy_nj)
+}
+
+/// Runs the experiment `cfg.runs` times and aggregates.
+pub fn run_many(
+    app_name: &'static str,
+    builder: &dyn Fn(&mut Mcu) -> App,
+    kind: RuntimeKind,
+    cfg: &ExperimentCfg,
+) -> Summary {
+    let (golden_app_us, golden_app_energy_nj) = golden(builder, kind, cfg.base_seed);
+    let mut s = Summary {
+        runtime: kind.name(),
+        app: app_name,
+        runs: cfg.runs,
+        completed: 0,
+        non_terminated: 0,
+        correct: 0,
+        incorrect: 0,
+        total_on_us: 0,
+        app_us: 0,
+        overhead_us: 0,
+        golden_app_us,
+        golden_app_energy_nj,
+        energy_nj: 0,
+        power_failures: 0,
+        io_executed: 0,
+        io_skipped: 0,
+        io_reexecutions: 0,
+        dma_reexecutions: 0,
+        dma_skipped: 0,
+        run_totals_us: Vec::new(),
+    };
+    for i in 0..cfg.runs {
+        let seed = cfg.base_seed + i;
+        let supply = Supply::timer(cfg.reset.clone(), seed);
+        let r = run_once(builder, kind, supply, seed);
+        match r.outcome {
+            Outcome::NonTermination => {
+                s.non_terminated += 1;
+                continue;
+            }
+            Outcome::Completed => s.completed += 1,
+        }
+        match &r.verdict {
+            Some(Verdict::Correct) => s.correct += 1,
+            Some(Verdict::Incorrect(_)) => s.incorrect += 1,
+            None => {}
+        }
+        s.total_on_us += r.stats.total_time_us();
+        s.run_totals_us.push(r.stats.total_time_us());
+        s.app_us += r.stats.app_time_us;
+        s.overhead_us += r.stats.overhead_time_us;
+        s.energy_nj += r.stats.total_energy_nj();
+        s.power_failures += r.stats.power_failures;
+        s.io_executed += r.stats.io_executed;
+        s.io_skipped += r.stats.io_skipped;
+        s.io_reexecutions += r.stats.io_reexecutions;
+        s.dma_reexecutions += r.stats.dma_reexecutions;
+        s.dma_skipped += r.stats.dma_skipped;
+    }
+    s
+}
+
+/// Measures an app's memory/code footprint under a runtime (Table 6): one
+/// continuous run so every runtime structure is allocated, then read the
+/// allocator and evaluate the code model.
+pub fn measure_footprint(
+    builder: &dyn Fn(&mut Mcu) -> App,
+    kind: RuntimeKind,
+    env_seed: u64,
+) -> Footprint {
+    let mut mcu = Mcu::new(Supply::continuous());
+    let mut periph = Peripherals::new(env_seed);
+    let app = builder(&mut mcu);
+    let mut rt = kind.make();
+    let r = run_app(
+        &app,
+        rt.as_mut(),
+        &mut mcu,
+        &mut periph,
+        &ExecConfig::default(),
+    );
+    assert_eq!(r.outcome, Outcome::Completed);
+    footprint(kind.name(), &app.inventory, &mcu.mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dma_app::{self, DmaAppCfg};
+    use crate::temp_app::{self, TempAppCfg};
+
+    #[test]
+    fn run_many_aggregates_and_is_deterministic() {
+        let cfg = ExperimentCfg {
+            runs: 20,
+            ..Default::default()
+        };
+        let build = |mcu: &mut Mcu| dma_app::build(mcu, &DmaAppCfg::default());
+        let a = run_many("dma", &build, RuntimeKind::Alpaca, &cfg);
+        let b = run_many("dma", &build, RuntimeKind::Alpaca, &cfg);
+        assert_eq!(a.total_on_us, b.total_on_us);
+        assert_eq!(a.power_failures, b.power_failures);
+        assert_eq!(a.completed, 20);
+        assert_eq!(a.correct, 20, "the DMA app is WAR-free: always correct");
+    }
+
+    #[test]
+    fn easeio_beats_alpaca_on_single_dma_workload() {
+        let cfg = ExperimentCfg {
+            runs: 30,
+            ..Default::default()
+        };
+        let build = |mcu: &mut Mcu| dma_app::build(mcu, &DmaAppCfg::default());
+        let alpaca = run_many("dma", &build, RuntimeKind::Alpaca, &cfg);
+        let easeio = run_many("dma", &build, RuntimeKind::EaseIo, &cfg);
+        assert!(
+            easeio.reexecutions() < alpaca.reexecutions(),
+            "EaseIO {} vs Alpaca {} re-executions",
+            easeio.reexecutions(),
+            alpaca.reexecutions()
+        );
+        assert!(
+            easeio.mean_total_us() < alpaca.mean_total_us(),
+            "EaseIO {} µs vs Alpaca {} µs",
+            easeio.mean_total_us(),
+            alpaca.mean_total_us()
+        );
+        assert!(easeio.wasted_us() < alpaca.wasted_us());
+    }
+
+    #[test]
+    fn footprints_are_ordered_like_table6() {
+        let build = |mcu: &mut Mcu| temp_app::build(mcu, &TempAppCfg::default());
+        let alpaca = measure_footprint(&build, RuntimeKind::Alpaca, 1);
+        let ink = measure_footprint(&build, RuntimeKind::Ink, 1);
+        let easeio = measure_footprint(&build, RuntimeKind::EaseIo, 1);
+        assert!(alpaca.text < ink.text);
+        assert!(alpaca.text < easeio.text);
+        assert!(alpaca.fram <= easeio.fram, "EaseIO adds flag slots in FRAM");
+    }
+}
+
+#[cfg(test)]
+mod percentile_tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let mut s = run_many(
+            "dma",
+            &|mcu: &mut Mcu| crate::dma_app::build(mcu, &crate::dma_app::DmaAppCfg::default()),
+            RuntimeKind::EaseIo,
+            &ExperimentCfg {
+                runs: 5,
+                ..Default::default()
+            },
+        );
+        // Replace measured values with a known ladder.
+        s.run_totals_us = vec![10, 20, 30, 40, 50];
+        assert_eq!(s.percentile_us(0), 10);
+        assert_eq!(s.percentile_us(50), 30);
+        assert_eq!(s.percentile_us(100), 50);
+        s.run_totals_us.clear();
+        assert_eq!(s.percentile_us(95), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The Figure 2c unsafe-execution scenario: I/O-dependent control flow.
+//!
+//! A task senses temperature and sets `stdy` when it is below 10 °C,
+//! `alarm` otherwise. Under blind re-execution the sensor may return a
+//! different value after the reboot and the task takes the *other* branch —
+//! leaving both actuation flags set, a state continuous execution can never
+//! produce. EaseIO restores the first successful reading (`Single`) so the
+//! branch is stable across failures.
+
+use kernel::{
+    App, Inventory, IoOp, ReexecSemantics, TaskCtx, TaskDef, TaskId, TaskResult, Transition,
+    Verdict,
+};
+use mcu_emu::{Mcu, NvVar, Region};
+use periph::Sensor;
+use std::rc::Rc;
+
+/// Configuration of the branch-divergence app.
+#[derive(Debug, Clone)]
+pub struct BranchCfg {
+    /// Threshold in centi-degrees (the paper's example uses 10 °C).
+    pub threshold_centi_c: i32,
+    /// Semantics of the sense (EaseIO uses `Single`; `Always` reproduces the
+    /// bug even under EaseIO, for didactic tests).
+    pub sense_sem: ReexecSemantics,
+    /// CPU cycles between the branch and task commit (the vulnerability
+    /// window).
+    pub tail_compute: u64,
+}
+
+impl Default for BranchCfg {
+    fn default() -> Self {
+        Self {
+            threshold_centi_c: 1000,
+            sense_sem: ReexecSemantics::Single,
+            tail_compute: 2_500,
+        }
+    }
+}
+
+/// Builds the branch app; returns it with the two actuation flags.
+pub fn build(mcu: &mut Mcu, cfg: &BranchCfg) -> (App, NvVar<u8>, NvVar<u8>) {
+    let stdy: NvVar<u8> = NvVar::alloc(&mut mcu.mem, Region::Fram);
+    let alarm: NvVar<u8> = NvVar::alloc(&mut mcu.mem, Region::Fram);
+
+    let cfg2 = cfg.clone();
+    let sense = move |ctx: &mut TaskCtx<'_>| -> TaskResult {
+        let temp = ctx.call_io(IoOp::Sense(Sensor::Temp), cfg2.sense_sem)?;
+        ctx.compute(500)?;
+        if temp < cfg2.threshold_centi_c {
+            ctx.write(stdy, 1u8)?;
+        } else {
+            ctx.write(alarm, 1u8)?;
+        }
+        ctx.compute(cfg2.tail_compute)?;
+        Ok(Transition::To(TaskId(1)))
+    };
+    let actuate = move |ctx: &mut TaskCtx<'_>| -> TaskResult {
+        ctx.compute(300)?;
+        Ok(Transition::Done)
+    };
+
+    let verify = move |mcu: &Mcu, _p: &periph::Peripherals| -> Verdict {
+        let s = stdy.get(&mcu.mem);
+        let a = alarm.get(&mcu.mem);
+        match (s, a) {
+            (1, 0) | (0, 1) => Verdict::Correct,
+            (1, 1) => Verdict::Incorrect("both stdy and alarm set".into()),
+            _ => Verdict::Incorrect(format!("no actuation decided (stdy={s}, alarm={a})")),
+        }
+    };
+
+    let app = App {
+        name: "unsafe-branch",
+        tasks: vec![
+            TaskDef {
+                name: "sense",
+                body: Rc::new(sense),
+            },
+            TaskDef {
+                name: "actuate",
+                body: Rc::new(actuate),
+            },
+        ],
+        entry: TaskId(0),
+        inventory: Inventory {
+            tasks: 2,
+            io_funcs: 1,
+            io_sites: 1,
+            dma_sites: 0,
+            io_blocks: 0,
+            nv_vars: 2,
+        },
+        verify: Some(Rc::new(verify)),
+    };
+    (app, stdy, alarm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeio_core::EaseIoRuntime;
+    use kernel::{naive::NaiveRuntime, run_app, ExecConfig, Outcome};
+    use mcu_emu::{Supply, TimerResetConfig};
+    use periph::Peripherals;
+
+    fn failure_supply(seed: u64) -> Supply {
+        Supply::timer(
+            TimerResetConfig {
+                on_min_us: 2_000,
+                on_max_us: 6_000,
+                // Long outages: the environment drifts across the reboot.
+                off_min_us: 200_000,
+                off_max_us: 2_000_000,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn naive_runtime_eventually_sets_both_flags() {
+        let mut both = 0;
+        for seed in 0..200 {
+            let mut mcu = Mcu::new(failure_supply(seed));
+            let mut p = Peripherals::new(seed);
+            let (app, stdy, alarm) = build(&mut mcu, &BranchCfg::default());
+            let mut rt = NaiveRuntime::new();
+            let r = run_app(&app, &mut rt, &mut mcu, &mut p, &ExecConfig::default());
+            assert_eq!(r.outcome, Outcome::Completed);
+            if stdy.get(&mcu.mem) == 1 && alarm.get(&mcu.mem) == 1 {
+                both += 1;
+            }
+        }
+        assert!(
+            both > 0,
+            "blind re-execution never diverged across 200 seeds — the \
+             environment drift or failure window is miscalibrated"
+        );
+    }
+
+    #[test]
+    fn easeio_never_sets_both_flags() {
+        for seed in 0..200 {
+            let mut mcu = Mcu::new(failure_supply(seed));
+            let mut p = Peripherals::new(seed);
+            let (app, _, _) = build(&mut mcu, &BranchCfg::default());
+            let mut rt = EaseIoRuntime::default();
+            let r = run_app(&app, &mut rt, &mut mcu, &mut p, &ExecConfig::default());
+            assert_eq!(r.outcome, Outcome::Completed);
+            assert_eq!(r.verdict, Some(Verdict::Correct), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn easeio_with_always_semantics_stays_memory_safe_via_regional_privatization() {
+        // Even when the programmer annotates the sense `Always` (so the
+        // reading legitimately changes across reboots and the branch may
+        // flip), regional privatization rolls back the previous attempt's
+        // flag write on re-entry — so memory can never hold both flags
+        // (paper §4.4: regional privatization "overcomes unsafe program
+        // execution problems").
+        let cfg = BranchCfg {
+            sense_sem: ReexecSemantics::Always,
+            ..BranchCfg::default()
+        };
+        let mut reexecuted = 0;
+        for seed in 0..200 {
+            let mut mcu = Mcu::new(failure_supply(seed));
+            let mut p = Peripherals::new(seed);
+            let (app, stdy, alarm) = build(&mut mcu, &cfg);
+            let mut rt = EaseIoRuntime::default();
+            let r = run_app(&app, &mut rt, &mut mcu, &mut p, &ExecConfig::default());
+            assert_eq!(r.outcome, Outcome::Completed);
+            reexecuted += r.stats.io_reexecutions;
+            let both = stdy.get(&mcu.mem) == 1 && alarm.get(&mcu.mem) == 1;
+            assert!(!both, "seed {seed}: both flags set despite privatization");
+        }
+        assert!(
+            reexecuted > 0,
+            "the Always sense must actually have re-executed somewhere"
+        );
+    }
+}

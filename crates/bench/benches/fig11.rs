@@ -1,0 +1,36 @@
+//! Figure 11 — average energy consumption of the multi-task applications.
+
+use easeio_bench::experiments::multi_task_summaries;
+use easeio_bench::format::{print_table, uj};
+
+fn main() {
+    let runs = easeio_bench::runs();
+    println!("Figure 11 — mean energy per run (µJ), {runs} seeded runs");
+    let (fir, weather) = multi_task_summaries(runs);
+    let mut rows = Vec::new();
+    for s in fir.iter() {
+        rows.push(vec![
+            "FIR filter".to_string(),
+            s.runtime.to_string(),
+            uj(s.energy_nj / s.completed.max(1)),
+        ]);
+    }
+    for s in weather.iter() {
+        rows.push(vec![
+            "Weather App.".to_string(),
+            s.runtime.to_string(),
+            uj(s.energy_nj / s.completed.max(1)),
+        ]);
+    }
+    print_table(
+        "Figure 11 — average energy per run (µJ)",
+        &["app", "runtime", "energy µJ"],
+        &rows,
+    );
+    let we = weather[2].energy_nj / weather[2].completed.max(1);
+    let wa = weather[0].energy_nj / weather[0].completed.max(1);
+    println!(
+        "\nWeather: EaseIO/Alpaca energy = {:.3}  (paper: −17% for weather, −5% for FIR)",
+        we as f64 / wa as f64
+    );
+}

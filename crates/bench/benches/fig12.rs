@@ -1,0 +1,30 @@
+//! Figure 12 — correct vs incorrect executions of the FIR filter under
+//! intermittent power (the DMA write-after-read idempotence bug).
+
+use easeio_bench::experiments::multi_task_summaries;
+use easeio_bench::format::{pct, print_table};
+
+fn main() {
+    let runs = easeio_bench::runs();
+    println!("Figure 12 — FIR correctness over {runs} seeded runs");
+    let (fir, _) = multi_task_summaries(runs);
+    let rows: Vec<Vec<String>> = fir
+        .iter()
+        .map(|s| {
+            vec![
+                s.runtime.to_string(),
+                s.correct.to_string(),
+                s.incorrect.to_string(),
+                pct(s.incorrect, s.completed.max(1)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 12 — FIR executions: correct / incorrect",
+        &["runtime", "correct", "incorrect", "% incorrect"],
+        &rows,
+    );
+    println!("\nPaper: Alpaca ~16% and InK ~21% incorrect, EaseIO 0%. The shared");
+    println!("in/out buffer makes a failure after the write-back DMA re-filter the");
+    println!("already-filtered chunk unless the runtime understands DMA semantics.");
+}

@@ -1,0 +1,31 @@
+//! Figure 8 — average energy consumption per run for each re-execution
+//! semantic under controlled power failures.
+
+use easeio_bench::experiments::uni_task_summaries;
+use easeio_bench::format::{print_table, uj};
+
+fn main() {
+    let runs = easeio_bench::runs();
+    println!("Figure 8 — mean energy per run (µJ), {runs} seeded runs");
+    let data = uni_task_summaries(runs);
+    let mut rows = Vec::new();
+    for rt_idx in 0..3 {
+        let mut row = vec![data[0].1[rt_idx].runtime.to_string()];
+        for (_, sums) in &data {
+            let s = &sums[rt_idx];
+            row.push(uj(s.energy_nj / s.completed.max(1)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 8 — average energy per run (µJ)",
+        &["runtime", "Single (DMA)", "Timely (Temp.)", "Always (LEA)"],
+        &rows,
+    );
+    let a = data[0].1[0].energy_nj / data[0].1[0].completed.max(1);
+    let e = data[0].1[2].energy_nj / data[0].1[2].completed.max(1);
+    println!(
+        "\nSingle-semantic energy: EaseIO/Alpaca = {:.2}  (paper: ~0.5, a one-half reduction)",
+        e as f64 / a as f64
+    );
+}

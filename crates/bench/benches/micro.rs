@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks: host-side cost of the simulator and of the
+//! EaseIO runtime primitives (these measure the *reproduction's* speed, not
+//! the simulated MCU — the simulated costs are exact by construction).
+
+use apps::dma_app::{self, DmaAppCfg};
+use apps::harness::{run_once, RuntimeKind};
+use apps::weather::{self, WeatherCfg};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcu_emu::{Mcu, Supply, TimerResetConfig};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("dma_app_easeio_intermittent", |b| {
+        b.iter(|| {
+            let builder = |mcu: &mut Mcu| dma_app::build(mcu, &DmaAppCfg::default());
+            let r = run_once(
+                &builder,
+                RuntimeKind::EaseIo,
+                Supply::timer(TimerResetConfig::default(), black_box(42)),
+                42,
+            );
+            black_box(r.stats.power_failures)
+        })
+    });
+    g.bench_function("weather_alpaca_intermittent", |b| {
+        b.iter(|| {
+            let builder = |mcu: &mut Mcu| weather::build(mcu, &WeatherCfg::default());
+            let r = run_once(
+                &builder,
+                RuntimeKind::Alpaca,
+                Supply::timer(TimerResetConfig::default(), black_box(7)),
+                7,
+            );
+            black_box(r.stats.total_time_us())
+        })
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    use easeio_core::flags::IoSlotTable;
+    use kernel::TaskId;
+
+    let mut g = c.benchmark_group("primitives");
+    g.bench_function("flag_check_and_restore", |b| {
+        let mut mcu = Mcu::new(Supply::continuous());
+        let mut table = IoSlotTable::new();
+        let slot = table.ensure(&mut mcu, TaskId(0), 0);
+        table
+            .record_completion(&mut mcu, TaskId(0), 0, slot, 99, true, None)
+            .unwrap();
+        b.iter(|| {
+            let locked = table.lock_is_set(&mut mcu, slot).unwrap();
+            let v = table.restore_out(&mut mcu, slot).unwrap();
+            black_box((locked, v))
+        })
+    });
+    g.bench_function("regional_snapshot_first_touch", |b| {
+        use easeio_core::regional::Regional;
+        use mcu_emu::{NvVar, Region};
+        let mut mcu = Mcu::new(Supply::continuous());
+        let v: NvVar<i32> = NvVar::alloc(&mut mcu.mem, Region::Fram);
+        let mut regional = Regional::new();
+        b.iter(|| {
+            // Clearing after each snapshot forces the first-touch path while
+            // reusing the persistent slot (no allocator growth).
+            regional
+                .snap_before_access(&mut mcu, TaskId(0), 0, v.raw())
+                .unwrap();
+            regional.clear_task(TaskId(0));
+            black_box(regional.slot_count())
+        })
+    });
+    g.bench_function("memory_dma_copy_1kb", |b| {
+        use mcu_emu::{AllocTag, Region};
+        let mut mcu = Mcu::new(Supply::continuous());
+        let src = mcu.mem.alloc(Region::Fram, 1024, AllocTag::App);
+        let dst = mcu.mem.alloc(Region::Fram, 1024, AllocTag::App);
+        b.iter(|| {
+            periph::dma::transfer(&mut mcu.mem, src, dst, 1024);
+            black_box(mcu.mem.read_bytes(dst, 4)[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 4 — power failures and redundant I/O re-executions per semantic.
+
+use easeio_bench::experiments::uni_task_summaries;
+use easeio_bench::format::{pct, print_table};
+
+fn main() {
+    let runs = easeio_bench::runs();
+    println!("Table 4 — totals over {runs} seeded runs, resets U[5,20] ms");
+    let data = uni_task_summaries(runs);
+    let mut rows = Vec::new();
+    for rt_idx in 0..3 {
+        let mut row = vec![data[0].1[rt_idx].runtime.to_string()];
+        for (_, sums) in &data {
+            let s = &sums[rt_idx];
+            row.push(s.power_failures.to_string());
+            row.push(s.reexecutions().to_string());
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 4 — power failures (PF) and redundant re-executions (Re-exe.)",
+        &[
+            "runtime",
+            "PF(DMA)",
+            "Re-exe(DMA)",
+            "PF(Temp)",
+            "Re-exe(Temp)",
+            "PF(LEA)",
+            "Re-exe(LEA)",
+        ],
+        &rows,
+    );
+    // Reduction summary like the paper's parenthetical percentages.
+    let alpaca = &data;
+    let red = |app: usize| {
+        let a = alpaca[app].1[0].reexecutions();
+        let e = alpaca[app].1[2].reexecutions();
+        pct(a.saturating_sub(e), a.max(1))
+    };
+    println!("\nEaseIO redundant-I/O reduction vs Alpaca:");
+    println!("  Single (DMA):  -{}   (paper: -76%)", red(0));
+    println!("  Timely (Temp): -{}   (paper: -43%)", red(1));
+    println!("  Always (LEA):  -{}   (paper:   0%)", red(2));
+}

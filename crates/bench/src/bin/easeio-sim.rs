@@ -1,0 +1,288 @@
+//! easeio-sim — run any benchmark app under any runtime and supply.
+//!
+//! ```text
+//! Usage: easeio-sim [OPTIONS]
+//!   --app <dma|temp|lea|fir|weather|weather-single|branch|motion>   (default dma)
+//!   --runtime <naive|alpaca|ink|easeio|easeio-op>            (default easeio)
+//!   --supply <continuous|timer|rf>                           (default timer)
+//!   --seed <u64>                                             (default 42)
+//!   --runs <u64>                                             (default 1)
+//!   --distance <inches>      RF supply distance              (default 61)
+//!   --trace                  print the event timeline (single run only)
+//! ```
+
+use apps::harness::{run_once, RuntimeKind};
+use apps::{dma_app, fir, lea_app, motion, temp_app, unsafe_branch, weather};
+use easeio_bench::experiments::rf_supply;
+use kernel::{run_app, App, ExecConfig, Outcome, Verdict};
+use mcu_emu::{Mcu, Supply, TimerResetConfig, TraceEvent};
+use periph::Peripherals;
+
+struct Args {
+    app: String,
+    runtime: String,
+    supply: String,
+    seed: u64,
+    runs: u64,
+    distance: u64,
+    trace: bool,
+    source: Option<String>,
+    emit_transform: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        app: "dma".into(),
+        runtime: "easeio".into(),
+        supply: "timer".into(),
+        seed: 42,
+        runs: 1,
+        distance: 61,
+        trace: false,
+        source: None,
+        emit_transform: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--app" => args.app = val("--app")?,
+            "--runtime" => args.runtime = val("--runtime")?,
+            "--supply" => args.supply = val("--supply")?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--runs" => args.runs = val("--runs")?.parse().map_err(|e| format!("{e}"))?,
+            "--distance" => {
+                args.distance = val("--distance")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--trace" => args.trace = true,
+            "--source" => args.source = Some(val("--source")?),
+            "--emit-transform" => args.emit_transform = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_app(args: &Args, exclude: bool, mcu: &mut Mcu) -> Result<App, String> {
+    if let Some(path) = &args.source {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let compiled = easec::compile(&src, mcu).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(compiled.app);
+    }
+    let name = args.app.as_str();
+    Ok(match name {
+        "dma" => dma_app::build(mcu, &dma_app::DmaAppCfg::default()),
+        "temp" => temp_app::build(mcu, &temp_app::TempAppCfg::default()),
+        "lea" => lea_app::build(mcu, &lea_app::LeaAppCfg::default()),
+        "fir" => fir::build(
+            mcu,
+            &fir::FirCfg {
+                exclude_const_dma: exclude,
+                ..fir::FirCfg::default()
+            },
+        ),
+        "weather" => weather::build(
+            mcu,
+            &weather::WeatherCfg {
+                exclude_const_dma: exclude,
+                ..weather::WeatherCfg::default()
+            },
+        ),
+        "weather-single" => weather::build(
+            mcu,
+            &weather::WeatherCfg {
+                single_buffer: true,
+                exclude_const_dma: exclude,
+                ..weather::WeatherCfg::default()
+            },
+        ),
+        "branch" => unsafe_branch::build(mcu, &unsafe_branch::BranchCfg::default()).0,
+        "motion" => motion::build(mcu, &motion::MotionCfg::default()).0,
+        other => return Err(format!("unknown app {other}")),
+    })
+}
+
+fn runtime_kind(name: &str) -> Result<RuntimeKind, String> {
+    Ok(match name {
+        "naive" => RuntimeKind::Naive,
+        "alpaca" => RuntimeKind::Alpaca,
+        "ink" => RuntimeKind::Ink,
+        "easeio" => RuntimeKind::EaseIo,
+        "easeio-op" => RuntimeKind::EaseIoOp,
+        other => return Err(format!("unknown runtime {other}")),
+    })
+}
+
+fn make_supply(name: &str, seed: u64, distance: u64) -> Result<Supply, String> {
+    Ok(match name {
+        "continuous" => Supply::continuous(),
+        "timer" => Supply::timer(TimerResetConfig::default(), seed),
+        "rf" => rf_supply(distance),
+        other => return Err(format!("unknown supply {other}")),
+    })
+}
+
+fn print_trace(trace: &[(u64, TraceEvent)]) {
+    println!("\n-- event timeline --");
+    for (t, ev) in trace {
+        let ms = *t as f64 / 1000.0;
+        let line = match ev {
+            TraceEvent::Boot => "boot".to_string(),
+            TraceEvent::PowerFailure => "*** POWER FAILURE ***".to_string(),
+            TraceEvent::TaskEntry(id, false) => format!("task {id} enter"),
+            TraceEvent::TaskEntry(id, true) => format!("task {id} RE-EXECUTE"),
+            TraceEvent::TaskCommit(id) => format!("task {id} commit"),
+            TraceEvent::IoExecuted(k) => format!("  io {k}: executed"),
+            TraceEvent::IoSkipped(k) => format!("  io {k}: skipped (restored)"),
+            TraceEvent::DmaExecuted => "  dma: executed".to_string(),
+            TraceEvent::DmaSkipped => "  dma: skipped".to_string(),
+        };
+        println!("{ms:>10.3} ms  {line}");
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: easeio-sim [--app dma|temp|lea|fir|weather|weather-single|branch|motion]\n\
+                 \x20                 [--runtime naive|alpaca|ink|easeio|easeio-op]\n\
+                 \x20                 [--supply continuous|timer|rf] [--seed N] [--runs N]\n\
+                 \x20                 [--distance INCHES] [--trace]\n\
+                 \x20                 [--source prog.eio [--emit-transform]]"
+            );
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    };
+    let kind = runtime_kind(&args.runtime).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2)
+    });
+
+    if args.emit_transform {
+        let Some(path) = &args.source else {
+            eprintln!("error: --emit-transform needs --source");
+            std::process::exit(2);
+        };
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2)
+        });
+        match easec::transform_source(&src) {
+            Ok(out) => {
+                println!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if args.trace || args.runs == 1 {
+        // Single traced run.
+        let supply = make_supply(&args.supply, args.seed, args.distance).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2)
+        });
+        let mut mcu = Mcu::new(supply);
+        if args.trace {
+            mcu.stats.enable_trace();
+        }
+        let mut periph = Peripherals::new(args.seed);
+        let app = build_app(&args, kind.excludes_const_dma(), &mut mcu).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2)
+        });
+        let mut rt = kind.make();
+        let r = run_app(
+            &app,
+            rt.as_mut(),
+            &mut mcu,
+            &mut periph,
+            &ExecConfig::default(),
+        );
+        println!(
+            "{} under {} on {} supply (seed {})",
+            app.name,
+            kind.name(),
+            args.supply,
+            args.seed
+        );
+        println!("  outcome:        {:?}", r.outcome);
+        if let Some(v) = &r.verdict {
+            println!(
+                "  correctness:    {}",
+                match v {
+                    Verdict::Correct => "correct".to_string(),
+                    Verdict::Incorrect(why) => format!("INCORRECT — {why}"),
+                }
+            );
+        }
+        println!(
+            "  time:           {:.2} ms on, {:.2} ms wall",
+            r.on_us as f64 / 1000.0,
+            r.wall_us as f64 / 1000.0
+        );
+        println!(
+            "  energy:         {:.2} µJ ({:.2} app + {:.2} overhead)",
+            r.stats.total_energy_nj() as f64 / 1000.0,
+            r.stats.app_energy_nj as f64 / 1000.0,
+            r.stats.overhead_energy_nj as f64 / 1000.0
+        );
+        println!("  power failures: {}", r.stats.power_failures);
+        println!(
+            "  I/O:            {} executed, {} skipped, {} redundant",
+            r.stats.io_executed, r.stats.io_skipped, r.stats.io_reexecutions
+        );
+        println!(
+            "  DMA:            {} executed, {} skipped, {} redundant",
+            r.stats.dma_executed, r.stats.dma_skipped, r.stats.dma_reexecutions
+        );
+        if args.trace {
+            print_trace(&r.stats.trace);
+        }
+        if r.outcome != Outcome::Completed {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Aggregate mode.
+    let mut completed = 0u64;
+    let mut correct = 0u64;
+    let mut total_on = 0u64;
+    let mut failures = 0u64;
+    for i in 0..args.runs {
+        let seed = args.seed + i;
+        let supply = make_supply(&args.supply, seed, args.distance).unwrap();
+        let b = |m: &mut Mcu| build_app(&args, kind.excludes_const_dma(), m).unwrap();
+        let r = run_once(&b, kind, supply, seed);
+        if r.outcome == Outcome::Completed {
+            completed += 1;
+            total_on += r.stats.total_time_us();
+            failures += r.stats.power_failures;
+            if matches!(r.verdict, Some(Verdict::Correct) | None) {
+                correct += 1;
+            }
+        }
+    }
+    println!(
+        "{} × {} under {}: {}/{} completed, {}/{} correct, mean {:.2} ms, {:.2} failures/run",
+        args.runs,
+        args.app,
+        kind.name(),
+        completed,
+        args.runs,
+        correct,
+        completed,
+        total_on as f64 / completed.max(1) as f64 / 1000.0,
+        failures as f64 / completed.max(1) as f64,
+    );
+}

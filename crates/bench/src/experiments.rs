@@ -1,0 +1,401 @@
+//! The experiments behind every table and figure of the paper's evaluation.
+//!
+//! Each function maps to one or more paper artifacts (see DESIGN.md §6 for
+//! the full index) and returns structured rows; the bench targets in
+//! `benches/` print them. Everything is seeded and deterministic.
+
+use apps::dma_app::{self, DmaAppCfg};
+use apps::fir::{self, FirCfg};
+use apps::harness::{measure_footprint, run_many, run_once, ExperimentCfg, RuntimeKind, Summary};
+use apps::lea_app::{self, LeaAppCfg};
+use apps::temp_app::{self, TempAppCfg};
+use apps::weather::{self, WeatherCfg};
+use kernel::footprint::Footprint;
+use kernel::{App, Outcome};
+use mcu_emu::{Capacitor, Mcu, RfHarvestConfig, Supply, TimerResetConfig};
+
+/// A boxed application builder.
+pub type Builder = Box<dyn Fn(&mut Mcu) -> App>;
+
+/// The three uni-task benchmarks of §5.3, one per semantic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UniApp {
+    /// `Single` — NVM→NVM DMA.
+    Dma,
+    /// `Timely` — temperature sensing.
+    Temp,
+    /// `Always` — LEA FIR.
+    Lea,
+}
+
+impl UniApp {
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            UniApp::Dma => "Single (DMA)",
+            UniApp::Temp => "Timely (Temp.)",
+            UniApp::Lea => "Always (LEA)",
+        }
+    }
+
+    /// Builder for the app.
+    pub fn builder(self) -> Builder {
+        match self {
+            UniApp::Dma => Box::new(|mcu| dma_app::build(mcu, &DmaAppCfg::default())),
+            UniApp::Temp => Box::new(|mcu| temp_app::build(mcu, &TempAppCfg::default())),
+            UniApp::Lea => Box::new(|mcu| lea_app::build(mcu, &LeaAppCfg::default())),
+        }
+    }
+}
+
+/// Builder for the FIR app (optionally the `/Op` `Exclude` variant).
+pub fn fir_builder(exclude: bool) -> Builder {
+    Box::new(move |mcu| {
+        fir::build(
+            mcu,
+            &FirCfg {
+                exclude_const_dma: exclude,
+                ..FirCfg::default()
+            },
+        )
+    })
+}
+
+/// Builder for the weather app.
+pub fn weather_builder(single_buffer: bool, exclude: bool) -> Builder {
+    Box::new(move |mcu| {
+        weather::build(
+            mcu,
+            &WeatherCfg {
+                single_buffer,
+                exclude_const_dma: exclude,
+                ..WeatherCfg::default()
+            },
+        )
+    })
+}
+
+/// Experiment configuration with `runs` repetitions and the paper's
+/// controlled-failure schedule.
+pub fn paper_cfg(runs: u64) -> ExperimentCfg {
+    ExperimentCfg {
+        runs,
+        ..ExperimentCfg::default()
+    }
+}
+
+/// Figure 7 / Table 4 / Figure 8 data: each uni-task app under each runtime.
+pub fn uni_task_summaries(runs: u64) -> Vec<(UniApp, Vec<Summary>)> {
+    let cfg = paper_cfg(runs);
+    [UniApp::Dma, UniApp::Temp, UniApp::Lea]
+        .into_iter()
+        .map(|app| {
+            let b = app.builder();
+            let sums = RuntimeKind::PAPER_SET
+                .iter()
+                .map(|rt| run_many(app.label(), b.as_ref(), *rt, &cfg))
+                .collect();
+            (app, sums)
+        })
+        .collect()
+}
+
+/// Figure 10/11/12 data: the multi-task apps. Returns (FIR summaries
+/// including EaseIO/Op, weather summaries).
+pub fn multi_task_summaries(runs: u64) -> (Vec<Summary>, Vec<Summary>) {
+    let cfg = paper_cfg(runs);
+    let mut fir_rows = Vec::new();
+    for rt in RuntimeKind::PAPER_SET {
+        fir_rows.push(run_many("FIR", fir_builder(false).as_ref(), rt, &cfg));
+    }
+    fir_rows.push(run_many(
+        "FIR",
+        fir_builder(true).as_ref(),
+        RuntimeKind::EaseIoOp,
+        &cfg,
+    ));
+    let mut weather_rows = Vec::new();
+    for rt in RuntimeKind::PAPER_SET {
+        weather_rows.push(run_many(
+            "Weather",
+            weather_builder(false, false).as_ref(),
+            rt,
+            &cfg,
+        ));
+    }
+    (fir_rows, weather_rows)
+}
+
+/// One Table 5 row: a runtime × buffering-strategy measurement.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Runtime name.
+    pub runtime: &'static str,
+    /// Buffering strategy ("double" / "single").
+    pub buffering: &'static str,
+    /// Continuous-power execution time (µs).
+    pub continuous_us: u64,
+    /// Mean intermittent execution time (µs).
+    pub intermittent_us: u64,
+    /// Correct runs out of `runs`.
+    pub correct: u64,
+    /// Completed runs.
+    pub completed: u64,
+}
+
+/// Table 5: weather DNN with double vs single activation buffers.
+pub fn table5(runs: u64) -> Vec<Table5Row> {
+    let cfg = paper_cfg(runs);
+    let mut rows = Vec::new();
+    for (single, label) in [(false, "double"), (true, "single")] {
+        for rt in RuntimeKind::PAPER_SET {
+            let b = weather_builder(single, false);
+            let cont = run_once(b.as_ref(), rt, Supply::continuous(), cfg.base_seed);
+            assert_eq!(cont.outcome, Outcome::Completed);
+            let s = run_many("Weather", b.as_ref(), rt, &cfg);
+            rows.push(Table5Row {
+                runtime: rt.name(),
+                buffering: label,
+                continuous_us: cont.stats.total_time_us(),
+                intermittent_us: s.mean_total_us(),
+                correct: s.correct,
+                completed: s.completed,
+            });
+        }
+    }
+    rows
+}
+
+/// One Table 6 row: an app × runtime footprint.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Runtime name.
+    pub runtime: &'static str,
+    /// Footprint (modeled .text, measured RAM/FRAM).
+    pub footprint: Footprint,
+}
+
+/// Table 6: memory and code-size requirements.
+pub fn table6() -> Vec<Table6Row> {
+    let apps: Vec<(&'static str, Builder)> = vec![
+        ("LEA", UniApp::Lea.builder()),
+        ("DMA", UniApp::Dma.builder()),
+        ("Temp.", UniApp::Temp.builder()),
+        ("FIR Filter", fir_builder(false)),
+        ("Weather App.", weather_builder(false, false)),
+    ];
+    let mut rows = Vec::new();
+    for (name, b) in &apps {
+        for rt in RuntimeKind::PAPER_SET {
+            rows.push(Table6Row {
+                app: name,
+                runtime: rt.name(),
+                footprint: measure_footprint(b.as_ref(), rt, 1),
+            });
+        }
+    }
+    rows
+}
+
+/// The RF-harvesting supply of the real-world evaluation (§5.5): a 3 W
+/// transmitter at 915 MHz charging a small storage capacitor, with the
+/// combined antenna/rectifier gain calibrated so the no-failure /
+/// intermittent crossover falls inside the paper's 52–64 inch sweep.
+pub fn rf_supply(distance_inch: u64) -> Supply {
+    rf_supply_phased(distance_inch, 0)
+}
+
+/// [`rf_supply`] with an explicit fading-wave phase: different phases give
+/// independent-looking (but fully deterministic) harvesting trajectories.
+pub fn rf_supply_phased(distance_inch: u64, phase_us: u64) -> Supply {
+    Supply::harvester(RfHarvestConfig {
+        tx_power_mw: 3_000,
+        distance_centi_inch: distance_inch * 100,
+        efficiency_ppm: 1_500_000,
+        capacitor: Capacitor::with_usable_energy(4_500),
+        boot_us: 300,
+        fading_permille: 180,
+        fading_period_us: 23_000,
+        fading_phase_us: phase_us,
+    })
+}
+
+/// One Figure 13 row.
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    /// Distance in inches.
+    pub distance_inch: u64,
+    /// (runtime name, total execution time µs, power failures).
+    pub measurements: Vec<(&'static str, u64, u64)>,
+}
+
+/// Figure 13: wall-clock execution time (including recharge time, which is
+/// what a wall-clock measurement on real hardware sees) across transmitter
+/// distances, per runtime, reported relative to EaseIO.
+///
+/// Workload: the Single-semantics DMA benchmark, whose redundant
+/// re-execution dominates the energy budget — redundant energy directly
+/// lengthens the recharge periods, which is the compounding the paper's
+/// distance sweep exposes. This workload has no constant-data DMAs, so the
+/// `Exclude` variant coincides with plain EaseIO.
+///
+/// The harvester trajectory is deterministic; like the paper's repeated
+/// physical measurements, each cell averages several runs with perturbed
+/// fading-wave phases.
+pub fn fig13() -> Vec<Fig13Row> {
+    const PERTURBATIONS: u64 = 8;
+    let distances = [52u64, 55, 58, 61, 64];
+    let mut rows = Vec::new();
+    for d in distances {
+        let mut ms = Vec::new();
+        for rt in [RuntimeKind::EaseIo, RuntimeKind::Ink, RuntimeKind::Alpaca] {
+            let b: Builder = Box::new(move |mcu| {
+                dma_app::build(
+                    mcu,
+                    &DmaAppCfg {
+                        iterations: 3,
+                        ..DmaAppCfg::default()
+                    },
+                )
+            });
+            let mut total = 0u64;
+            let mut failures = 0u64;
+            for k in 0..PERTURBATIONS {
+                // Each perturbation shifts the fading-wave phase: one
+                // deterministic model, eight independent trajectories.
+                let supply = rf_supply_phased(d, k * 3_171);
+                let r = run_once(b.as_ref(), rt, supply, 77);
+                assert_eq!(
+                    r.outcome,
+                    Outcome::Completed,
+                    "{} at {d} inches never finished",
+                    rt.name()
+                );
+                total += r.wall_us;
+                failures += r.stats.power_failures;
+            }
+            ms.push((rt.name(), total / PERTURBATIONS, failures / PERTURBATIONS));
+        }
+        rows.push(Fig13Row {
+            distance_inch: d,
+            measurements: ms,
+        });
+    }
+    rows
+}
+
+/// Ablation: `Timely` window sweep on the temperature app (EaseIO only).
+/// Returns (window_ms, re-executions, skips, mean total µs).
+pub fn ablation_timely_window(runs: u64) -> Vec<(u64, u64, u64, u64)> {
+    let cfg = paper_cfg(runs);
+    [1u64, 5, 10, 20, 50, 100]
+        .into_iter()
+        .map(|w| {
+            let b: Builder = Box::new(move |mcu| {
+                temp_app::build(
+                    mcu,
+                    &TempAppCfg {
+                        window_ms: w,
+                        ..TempAppCfg::default()
+                    },
+                )
+            });
+            let s = run_many("temp", b.as_ref(), RuntimeKind::EaseIo, &cfg);
+            (w, s.reexecutions(), s.io_skipped, s.mean_total_us())
+        })
+        .collect()
+}
+
+/// One row of the failure-intensity ablation.
+#[derive(Debug, Clone)]
+pub struct ResetSweepRow {
+    /// Mean on-period (ms).
+    pub mean_on_ms: u64,
+    /// Alpaca mean total time (µs); `None` when every run livelocked (the
+    /// paper's non-termination bug — the task never fits an on-period).
+    pub alpaca_us: Option<u64>,
+    /// EaseIO mean total time (µs); `None` on livelock.
+    pub easeio_us: Option<u64>,
+}
+
+/// Ablation: failure-intensity sweep on the DMA app.
+pub fn ablation_reset_period(runs: u64) -> Vec<ResetSweepRow> {
+    [(4u64, 10u64), (5, 20), (10, 30), (20, 60), (40, 120)]
+        .into_iter()
+        .map(|(lo, hi)| {
+            let cfg = ExperimentCfg {
+                runs,
+                reset: TimerResetConfig {
+                    on_min_us: lo * 1000,
+                    on_max_us: hi * 1000,
+                    ..TimerResetConfig::default()
+                },
+                ..ExperimentCfg::default()
+            };
+            let b = UniApp::Dma.builder();
+            let a = run_many("dma", b.as_ref(), RuntimeKind::Alpaca, &cfg);
+            let e = run_many("dma", b.as_ref(), RuntimeKind::EaseIo, &cfg);
+            let mean = |s: &Summary| {
+                if s.completed == 0 {
+                    None
+                } else {
+                    Some(s.mean_total_us())
+                }
+            };
+            ResetSweepRow {
+                mean_on_ms: (lo + hi) / 2,
+                alpaca_us: mean(&a),
+                easeio_us: mean(&e),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uni_task_shapes_hold_at_small_n() {
+        let sums = uni_task_summaries(40);
+        for (app, rows) in &sums {
+            assert_eq!(rows.len(), 3);
+            for s in rows {
+                assert_eq!(s.completed, 40, "{} under {}", app.label(), s.runtime);
+                assert_eq!(s.incorrect, 0, "{} under {}", app.label(), s.runtime);
+            }
+        }
+        // Single: EaseIO re-executes far less than Alpaca.
+        let dma = &sums[0].1;
+        assert!(dma[2].reexecutions() * 2 < dma[0].reexecutions());
+        // Always: identical physical I/O executions.
+        let lea = &sums[2].1;
+        assert_eq!(lea[0].io_skipped, 0);
+        assert_eq!(lea[2].io_skipped, 0);
+    }
+
+    #[test]
+    fn fig13_intermittency_grows_with_distance() {
+        let rows = fig13();
+        let failures_at = |i: usize| -> u64 { rows[i].measurements.iter().map(|m| m.2).sum() };
+        assert_eq!(failures_at(0), 0, "no failures at the closest distance");
+        assert!(
+            failures_at(rows.len() - 1) > 0,
+            "failures must appear at the farthest distance"
+        );
+    }
+
+    #[test]
+    fn table6_orderings() {
+        let rows = table6();
+        // For every app: Alpaca .text < InK .text, and EaseIO ≥ Alpaca.
+        for chunk in rows.chunks(3) {
+            let (a, i, e) = (&chunk[0], &chunk[1], &chunk[2]);
+            assert!(a.footprint.text < i.footprint.text, "{}", a.app);
+            assert!(a.footprint.text < e.footprint.text, "{}", a.app);
+            assert!(a.footprint.fram <= e.footprint.fram, "{}", a.app);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Plain-text table rendering for experiment output.
+
+/// Prints a titled, column-aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!();
+    println!("== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(
+                "{:<w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
+        }
+        println!("  {}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Microseconds → milliseconds with two decimals.
+pub fn ms(us: u64) -> String {
+    format!("{:.2}", us as f64 / 1000.0)
+}
+
+/// Nanojoules → microjoules with two decimals.
+pub fn uj(nj: u64) -> String {
+    format!("{:.2}", nj as f64 / 1000.0)
+}
+
+/// A percentage with one decimal.
+pub fn pct(num: u64, den: u64) -> String {
+    if den == 0 {
+        return "-".into();
+    }
+    format!("{:.1}%", 100.0 * num as f64 / den as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(ms(1500), "1.50");
+        assert_eq!(uj(2500), "2.50");
+        assert_eq!(pct(1, 4), "25.0%");
+        assert_eq!(pct(1, 0), "-");
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `benches/*.rs` target (plain `harness = false` mains, so
+//! `cargo bench` reproduces the full evaluation) calls into
+//! [`experiments`] and prints paper-style rows via [`mod@format`]. The number
+//! of seeded repetitions defaults to the paper's 1000 and can be overridden
+//! with the `EASEIO_RUNS` environment variable for quick passes.
+
+pub mod experiments;
+pub mod format;
+
+/// Number of repetitions per experiment: `EASEIO_RUNS` or the paper's 1000.
+pub fn runs() -> u64 {
+    std::env::var("EASEIO_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}

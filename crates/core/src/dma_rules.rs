@@ -1,0 +1,668 @@
+//! Run-time DMA semantics resolution and memory-safe transfers (paper §4.3).
+//!
+//! `_DMA_copy` inspects its operands' memory types at run time:
+//!
+//! * destination in FRAM → **Single**: the copied data survives power
+//!   failures, so a completed transfer is never repeated;
+//! * FRAM source, volatile destination → **Private**: must repeat after
+//!   every reboot, but a later write to the source would corrupt the repeat
+//!   (WAR), so the transfer is split into two phases through a privatization
+//!   buffer — source→buffer once, buffer→destination on every attempt;
+//! * volatile→volatile → **Always**: repeating is harmless;
+//! * the `Exclude` annotation opts constant data out of privatization and
+//!   forces **Always** at compile time (evaluated as "EaseIO/Op").
+//!
+//! The privatization buffers come from a fixed pool whose size the
+//! programmer configures (the paper uses 4 KB); exhausting it is a hard
+//! error, mirroring the buffer-limit discussion in the paper's §6.
+
+use kernel::{DmaAnnotation, TaskId};
+use mcu_emu::{Addr, AllocTag, Mcu, PowerFailure, RawVar, Region, WorkKind};
+use periph::dma::{classify, DmaClass};
+use std::collections::HashMap;
+
+/// Re-execution policy resolved for one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedDma {
+    /// Completed transfer never repeats.
+    Single,
+    /// Two-phase transfer through a privatization buffer.
+    Private,
+    /// Plain transfer, repeated every attempt.
+    Always,
+}
+
+/// Resolves the policy from operands and annotation.
+pub fn resolve(src: Addr, dst: Addr, annotation: DmaAnnotation) -> ResolvedDma {
+    if annotation == DmaAnnotation::Exclude {
+        return ResolvedDma::Always;
+    }
+    match classify(src, dst) {
+        DmaClass::ToNonVolatile => ResolvedDma::Single,
+        DmaClass::NonVolatileToVolatile => ResolvedDma::Private,
+        DmaClass::VolatileToVolatile => ResolvedDma::Always,
+    }
+}
+
+/// FRAM control state of one `_DMA_copy` site.
+#[derive(Debug, Clone, Copy)]
+struct DmaSlot {
+    /// Completion flag for `Single` transfers.
+    done: RawVar,
+    /// Phase-1 flag for `Private` transfers (privatization buffer valid).
+    phase1: RawVar,
+    /// Privatization buffer, allocated on first `Private` use.
+    priv_buf: Option<Addr>,
+}
+
+/// How privatization buffers are assigned to `Private` DMA sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferMode {
+    /// One dedicated buffer per DMA site, sized to the site's transfer.
+    /// Simple and safe; total memory grows with the number of sites
+    /// (the paper's evaluated configuration).
+    Dedicated,
+    /// Buffers are shared across *tasks*: site `i` of every task maps to
+    /// shared slot `i`, each of `slot_bytes` bytes. Safe because only one
+    /// task is active at a time and commit clears the phase flags, so a
+    /// slot's contents are never needed after its task commits. A transfer
+    /// larger than `slot_bytes` is a hard error — the size check the
+    /// paper's §6 leaves to future compile-time analysis.
+    Shared {
+        /// Size of each shared slot in bytes.
+        slot_bytes: u32,
+    },
+}
+
+/// Table of DMA control slots plus the privatization-buffer pool.
+#[derive(Debug)]
+pub struct DmaTable {
+    slots: HashMap<(TaskId, u16), DmaSlot>,
+    pool_limit: u32,
+    pool_used: u32,
+    mode: BufferMode,
+    /// Shared slots (BufferMode::Shared): site index → buffer.
+    shared: HashMap<u16, Addr>,
+    dirty: Vec<(TaskId, u16)>,
+}
+
+impl DmaTable {
+    /// Creates a table with a privatization pool of `pool_limit` bytes and
+    /// dedicated per-site buffers.
+    pub fn new(pool_limit: u32) -> Self {
+        Self::with_mode(pool_limit, BufferMode::Dedicated)
+    }
+
+    /// Creates a table with an explicit buffer-assignment mode.
+    pub fn with_mode(pool_limit: u32, mode: BufferMode) -> Self {
+        Self {
+            slots: HashMap::new(),
+            pool_limit,
+            pool_used: 0,
+            mode,
+            shared: HashMap::new(),
+            dirty: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, mcu: &mut Mcu, task: TaskId, site: u16) -> DmaSlot {
+        *self.slots.entry((task, site)).or_insert_with(|| {
+            let alloc = |mcu: &mut Mcu, width: u32| RawVar {
+                addr: mcu.mem.alloc(Region::Fram, width, AllocTag::Runtime),
+                width,
+            };
+            DmaSlot {
+                done: alloc(mcu, 1),
+                phase1: alloc(mcu, 1),
+                priv_buf: None,
+            }
+        })
+    }
+
+    fn ensure_priv_buf(&mut self, mcu: &mut Mcu, task: TaskId, site: u16, bytes: u32) -> Addr {
+        if let BufferMode::Shared { slot_bytes } = self.mode {
+            assert!(
+                bytes <= slot_bytes,
+                "DMA copy of {bytes} B exceeds the shared privatization slot \
+                 of {slot_bytes} B (paper §6: the compile-time size check)"
+            );
+            if let Some(buf) = self.shared.get(&site) {
+                return *buf;
+            }
+            assert!(
+                self.pool_used + slot_bytes <= self.pool_limit,
+                "DMA privatization pool exhausted: {} + {slot_bytes} B exceeds \
+                 the configured {} B",
+                self.pool_used,
+                self.pool_limit
+            );
+            self.pool_used += slot_bytes;
+            let buf = mcu
+                .mem
+                .alloc(Region::Fram, slot_bytes, AllocTag::DmaPrivBuf);
+            self.shared.insert(site, buf);
+            return buf;
+        }
+        let slot = self.slots.get_mut(&(task, site)).expect("slot exists");
+        if let Some(buf) = slot.priv_buf {
+            return buf;
+        }
+        assert!(
+            self.pool_used + bytes <= self.pool_limit,
+            "DMA privatization pool exhausted: {} + {bytes} B exceeds the \
+             configured {} B (paper §6, 'DMA Privatization Buffer Limits')",
+            self.pool_used,
+            self.pool_limit
+        );
+        self.pool_used += bytes;
+        let buf = mcu.mem.alloc(Region::Fram, bytes, AllocTag::DmaPrivBuf);
+        slot.priv_buf = Some(buf);
+        buf
+    }
+
+    /// Executes `_DMA_copy` under the resolved policy. `dep_forced` is the
+    /// `RelatedConstFlag`: a related I/O operation re-executed this attempt,
+    /// so stale skip/phase state must be refreshed (paper §4.3.1).
+    ///
+    /// Returns whether the destination was written this call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy(
+        &mut self,
+        mcu: &mut Mcu,
+        task: TaskId,
+        site: u16,
+        src: Addr,
+        dst: Addr,
+        bytes: u32,
+        annotation: DmaAnnotation,
+        dep_forced: bool,
+    ) -> Result<bool, PowerFailure> {
+        match resolve(src, dst, annotation) {
+            ResolvedDma::Always => {
+                // `Exclude` (or volatile→volatile): no flags, no buffers.
+                kernel::io::perform_dma(mcu, src, dst, bytes, WorkKind::App)?;
+                mcu.stats.bump("easeio_dma_always");
+                Ok(true)
+            }
+            ResolvedDma::Single => {
+                let slot = self.ensure(mcu, task, site);
+                let c = mcu.cost.flag_check;
+                mcu.spend(WorkKind::Overhead, c)?;
+                if slot.done.load(&mcu.mem) != 0 && !dep_forced {
+                    mcu.stats.bump("easeio_dma_single_skipped");
+                    return Ok(false);
+                }
+                kernel::io::perform_dma(mcu, src, dst, bytes, WorkKind::App)?;
+                let c = mcu.cost.flag_write;
+                mcu.spend(WorkKind::Overhead, c)?;
+                slot.done.store(&mut mcu.mem, 1);
+                self.dirty.push((task, site));
+                mcu.stats.bump("easeio_dma_single_executed");
+                Ok(true)
+            }
+            ResolvedDma::Private => {
+                self.ensure(mcu, task, site);
+                let priv_buf = self.ensure_priv_buf(mcu, task, site, bytes);
+                let slot = self.slots[&(task, site)];
+                // Phase 1: source → privatization buffer, once per
+                // activation (or again if a related I/O refreshed the
+                // source). This is privatization work: overhead.
+                let c = mcu.cost.flag_check;
+                mcu.spend(WorkKind::Overhead, c)?;
+                let phase1_done = slot.phase1.load(&mcu.mem) != 0;
+                if !phase1_done || dep_forced {
+                    let cost = periph::dma::transfer_cost(&mcu.cost, bytes);
+                    mcu.spend(WorkKind::Overhead, cost)?;
+                    periph::dma::transfer(&mut mcu.mem, src, priv_buf, bytes);
+                    let c = mcu.cost.flag_write;
+                    mcu.spend(WorkKind::Overhead, c)?;
+                    slot.phase1.store(&mut mcu.mem, 1);
+                    self.dirty.push((task, site));
+                    mcu.stats.bump("easeio_dma_privatizations");
+                }
+                // Phase 2: buffer → destination, every attempt (the
+                // destination is volatile and was lost at the failure).
+                kernel::io::perform_dma(mcu, priv_buf, dst, bytes, WorkKind::App)?;
+                mcu.stats.bump("easeio_dma_private_executed");
+                Ok(true)
+            }
+        }
+    }
+
+    /// Dirty sites for `task` (commit pricing).
+    pub fn dirty_for(&self, task: TaskId) -> u64 {
+        self.dirty.iter().filter(|(t, _)| *t == task).count() as u64
+    }
+
+    /// Clears `task`'s DMA flags at commit (caller priced it).
+    pub fn clear_task(&mut self, mcu: &mut Mcu, task: TaskId) -> u64 {
+        let mut cleared = 0;
+        self.dirty.retain(|(t, s)| {
+            if *t == task {
+                if let Some(slot) = self.slots.get(&(*t, *s)) {
+                    slot.done.store(&mut mcu.mem, 0);
+                    slot.phase1.store(&mut mcu.mem, 0);
+                }
+                cleared += 1;
+                false
+            } else {
+                true
+            }
+        });
+        cleared
+    }
+
+    /// Bytes of privatization pool in use (footprint reporting).
+    pub fn pool_used(&self) -> u32 {
+        self.pool_used
+    }
+
+    /// Number of DMA slots allocated.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_emu::Supply;
+
+    fn mcu() -> Mcu {
+        Mcu::new(Supply::continuous())
+    }
+
+    fn fram(mcu: &mut Mcu, bytes: u32) -> Addr {
+        mcu.mem.alloc(Region::Fram, bytes, AllocTag::App)
+    }
+
+    fn sram(mcu: &mut Mcu, bytes: u32) -> Addr {
+        mcu.mem.alloc(Region::Sram, bytes, AllocTag::App)
+    }
+
+    #[test]
+    fn resolution_rules() {
+        let f = Addr::new(Region::Fram, 0);
+        let s = Addr::new(Region::Sram, 0);
+        assert_eq!(resolve(f, f, DmaAnnotation::Auto), ResolvedDma::Single);
+        assert_eq!(resolve(s, f, DmaAnnotation::Auto), ResolvedDma::Single);
+        assert_eq!(resolve(f, s, DmaAnnotation::Auto), ResolvedDma::Private);
+        assert_eq!(resolve(s, s, DmaAnnotation::Auto), ResolvedDma::Always);
+        assert_eq!(resolve(f, s, DmaAnnotation::Exclude), ResolvedDma::Always);
+    }
+
+    #[test]
+    fn single_executes_once_then_skips() {
+        let mut m = mcu();
+        let mut t = DmaTable::new(4096);
+        let src = fram(&mut m, 4);
+        let dst = fram(&mut m, 4);
+        m.mem.write_bytes(src, &[1, 2, 3, 4]);
+        let ran = t
+            .copy(
+                &mut m,
+                TaskId(0),
+                0,
+                src,
+                dst,
+                4,
+                DmaAnnotation::Auto,
+                false,
+            )
+            .unwrap();
+        assert!(ran);
+        assert_eq!(m.mem.read_bytes(dst, 4), &[1, 2, 3, 4]);
+        // Re-execution after a failure: skipped, destination persists.
+        let ran = t
+            .copy(
+                &mut m,
+                TaskId(0),
+                0,
+                src,
+                dst,
+                4,
+                DmaAnnotation::Auto,
+                false,
+            )
+            .unwrap();
+        assert!(!ran);
+        assert_eq!(m.stats.counter("easeio_dma_single_skipped"), 1);
+    }
+
+    #[test]
+    fn single_reexecutes_when_dep_forced() {
+        let mut m = mcu();
+        let mut t = DmaTable::new(4096);
+        let src = fram(&mut m, 4);
+        let dst = fram(&mut m, 4);
+        t.copy(
+            &mut m,
+            TaskId(0),
+            0,
+            src,
+            dst,
+            4,
+            DmaAnnotation::Auto,
+            false,
+        )
+        .unwrap();
+        // A related Always I/O re-executed: the DMA must repeat so the fresh
+        // output reaches non-volatile memory.
+        m.mem.write_bytes(src, &[9, 9, 9, 9]);
+        let ran = t
+            .copy(&mut m, TaskId(0), 0, src, dst, 4, DmaAnnotation::Auto, true)
+            .unwrap();
+        assert!(ran);
+        assert_eq!(m.mem.read_bytes(dst, 4), &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn private_is_war_safe() {
+        // The §4.3(ii) scenario: FRAM→SRAM copy whose source is later
+        // overwritten; the repeat must deliver the *original* data.
+        let mut m = mcu();
+        let mut t = DmaTable::new(4096);
+        let src = fram(&mut m, 4);
+        let dst = sram(&mut m, 4);
+        m.mem.write_bytes(src, &[5, 5, 5, 5]);
+        t.copy(
+            &mut m,
+            TaskId(0),
+            0,
+            src,
+            dst,
+            4,
+            DmaAnnotation::Auto,
+            false,
+        )
+        .unwrap();
+        assert_eq!(m.mem.read_bytes(dst, 4), &[5, 5, 5, 5]);
+        // Another DMA overwrites the source (WAR), then power fails.
+        m.mem.write_bytes(src, &[6, 6, 6, 6]);
+        m.mem.power_failure();
+        // Re-execution: phase 2 repeats from the privatization buffer and
+        // still delivers the original bytes.
+        t.copy(
+            &mut m,
+            TaskId(0),
+            0,
+            src,
+            dst,
+            4,
+            DmaAnnotation::Auto,
+            false,
+        )
+        .unwrap();
+        assert_eq!(m.mem.read_bytes(dst, 4), &[5, 5, 5, 5]);
+        assert_eq!(m.stats.counter("easeio_dma_privatizations"), 1);
+        assert_eq!(m.stats.counter("easeio_dma_private_executed"), 2);
+    }
+
+    #[test]
+    fn exclude_skips_privatization_entirely() {
+        let mut m = mcu();
+        let mut t = DmaTable::new(4096);
+        let src = fram(&mut m, 8);
+        let dst = sram(&mut m, 8);
+        t.copy(
+            &mut m,
+            TaskId(0),
+            0,
+            src,
+            dst,
+            8,
+            DmaAnnotation::Exclude,
+            false,
+        )
+        .unwrap();
+        assert_eq!(t.pool_used(), 0);
+        assert_eq!(m.stats.counter("easeio_dma_privatizations"), 0);
+        assert_eq!(m.stats.counter("easeio_dma_always"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "privatization pool exhausted")]
+    fn pool_limit_is_enforced() {
+        let mut m = mcu();
+        let mut t = DmaTable::new(16);
+        let src = fram(&mut m, 32);
+        let dst = sram(&mut m, 32);
+        t.copy(
+            &mut m,
+            TaskId(0),
+            0,
+            src,
+            dst,
+            32,
+            DmaAnnotation::Auto,
+            false,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn commit_resets_flags_for_next_activation() {
+        let mut m = mcu();
+        let mut t = DmaTable::new(4096);
+        let src = fram(&mut m, 4);
+        let dst = fram(&mut m, 4);
+        t.copy(
+            &mut m,
+            TaskId(0),
+            0,
+            src,
+            dst,
+            4,
+            DmaAnnotation::Auto,
+            false,
+        )
+        .unwrap();
+        assert_eq!(t.clear_task(&mut m, TaskId(0)), 1);
+        // Next activation of the same task executes the DMA again.
+        m.mem.write_bytes(src, &[7, 7, 7, 7]);
+        let ran = t
+            .copy(
+                &mut m,
+                TaskId(0),
+                0,
+                src,
+                dst,
+                4,
+                DmaAnnotation::Auto,
+                false,
+            )
+            .unwrap();
+        assert!(ran);
+        assert_eq!(m.mem.read_bytes(dst, 4), &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn private_buffer_reused_across_activations() {
+        let mut m = mcu();
+        let mut t = DmaTable::new(64);
+        let src = fram(&mut m, 32);
+        let dst = sram(&mut m, 32);
+        for _ in 0..4 {
+            t.copy(
+                &mut m,
+                TaskId(0),
+                0,
+                src,
+                dst,
+                32,
+                DmaAnnotation::Auto,
+                false,
+            )
+            .unwrap();
+            t.clear_task(&mut m, TaskId(0));
+        }
+        assert_eq!(t.pool_used(), 32, "one buffer, reused");
+    }
+}
+
+#[cfg(test)]
+mod shared_mode_tests {
+    use super::*;
+    use mcu_emu::Supply;
+
+    fn mcu() -> Mcu {
+        Mcu::new(Supply::continuous())
+    }
+
+    #[test]
+    fn shared_slots_are_reused_across_tasks() {
+        let mut m = mcu();
+        let mut t = DmaTable::with_mode(4096, BufferMode::Shared { slot_bytes: 64 });
+        let src = m.mem.alloc(Region::Fram, 64, AllocTag::App);
+        let dst = m.mem.alloc(Region::Sram, 64, AllocTag::App);
+        // Five tasks each run a Private transfer at site 0: one shared slot.
+        for task in 0..5u16 {
+            t.copy(
+                &mut m,
+                TaskId(task),
+                0,
+                src,
+                dst,
+                64,
+                DmaAnnotation::Auto,
+                false,
+            )
+            .unwrap();
+            t.clear_task(&mut m, TaskId(task));
+        }
+        assert_eq!(t.pool_used(), 64, "one shared slot, not five");
+        assert_eq!(m.mem.read_bytes(dst, 4), m.mem.read_bytes(src, 4));
+    }
+
+    #[test]
+    fn shared_mode_preserves_war_safety() {
+        // Same §4.3(ii) scenario as the dedicated-mode test: the repeat must
+        // deliver the original data even though the source was overwritten.
+        let mut m = mcu();
+        let mut t = DmaTable::with_mode(4096, BufferMode::Shared { slot_bytes: 64 });
+        let src = m.mem.alloc(Region::Fram, 8, AllocTag::App);
+        let dst = m.mem.alloc(Region::Sram, 8, AllocTag::App);
+        m.mem.write_bytes(src, &[1, 1, 1, 1, 1, 1, 1, 1]);
+        t.copy(
+            &mut m,
+            TaskId(0),
+            0,
+            src,
+            dst,
+            8,
+            DmaAnnotation::Auto,
+            false,
+        )
+        .unwrap();
+        m.mem.write_bytes(src, &[2; 8]);
+        m.mem.power_failure();
+        t.copy(
+            &mut m,
+            TaskId(0),
+            0,
+            src,
+            dst,
+            8,
+            DmaAnnotation::Auto,
+            false,
+        )
+        .unwrap();
+        assert_eq!(m.mem.read_bytes(dst, 8), &[1; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the shared privatization slot")]
+    fn oversized_transfer_is_a_hard_error() {
+        let mut m = mcu();
+        let mut t = DmaTable::with_mode(4096, BufferMode::Shared { slot_bytes: 16 });
+        let src = m.mem.alloc(Region::Fram, 32, AllocTag::App);
+        let dst = m.mem.alloc(Region::Sram, 32, AllocTag::App);
+        let _ = t.copy(
+            &mut m,
+            TaskId(0),
+            0,
+            src,
+            dst,
+            32,
+            DmaAnnotation::Auto,
+            false,
+        );
+    }
+
+    #[test]
+    fn weather_app_runs_with_shared_buffers_and_uses_less_fram() {
+        use crate::{EaseIoConfig, EaseIoRuntime};
+        use kernel::{run_app, ExecConfig, Outcome, Verdict};
+
+        let run = |mode: BufferMode| {
+            let mut m = mcu();
+            let mut p = periph::Peripherals::new(7);
+            let app = apps_build(&mut m);
+            let mut rt = EaseIoRuntime::new(EaseIoConfig {
+                dma_priv_pool_bytes: 4096,
+                dma_buffer_mode: mode,
+                ..EaseIoConfig::default()
+            });
+            let r = run_app(&app, &mut rt, &mut m, &mut p, &ExecConfig::default());
+            assert_eq!(r.outcome, Outcome::Completed);
+            assert_eq!(r.verdict, Some(Verdict::Correct));
+            rt.dma_pool_used()
+        };
+        let dedicated = run(BufferMode::Dedicated);
+        let shared = run(BufferMode::Shared { slot_bytes: 512 });
+        assert!(
+            shared < dedicated,
+            "shared slots ({shared} B) must undercut dedicated ({dedicated} B)"
+        );
+    }
+
+    // A tiny DMA-heavy multi-task app local to this test (avoids a circular
+    // dev-dependency on the `apps` crate).
+    fn apps_build(mcu: &mut Mcu) -> kernel::App {
+        use kernel::{App, Inventory, TaskCtx, TaskDef, TaskResult, Transition};
+        use mcu_emu::NvBuf;
+        use std::rc::Rc;
+
+        let srcs: Vec<NvBuf<i16>> = (0..3)
+            .map(|_| NvBuf::alloc(&mut mcu.mem, Region::Fram, 128))
+            .collect();
+        let stage: NvBuf<i16> = NvBuf::alloc(&mut mcu.mem, Region::LeaRam, 128);
+        let out: NvBuf<i16> = NvBuf::alloc(&mut mcu.mem, Region::Fram, 128);
+        for (i, s) in srcs.iter().enumerate() {
+            let data: Vec<i16> = (0..128).map(|j| (i as i16 + 1) * (j as i16 % 7)).collect();
+            s.fill_from(&mut mcu.mem, &data);
+        }
+        let mk = |i: usize, src: NvBuf<i16>, last: bool| {
+            move |ctx: &mut TaskCtx<'_>| -> TaskResult {
+                ctx.dma_copy(src.addr(), stage.addr(), 256)?; // Private
+                ctx.dma_copy(stage.addr(), out.addr(), 256)?; // Single
+                ctx.compute(300)?;
+                if last {
+                    Ok(Transition::Done)
+                } else {
+                    Ok(Transition::To(kernel::TaskId(i as u16 + 1)))
+                }
+            }
+        };
+        let expected: Vec<i16> = (0..128).map(|j| 3 * (j % 7)).collect();
+        let verify = move |m: &Mcu, _p: &periph::Peripherals| {
+            if out.to_vec(&m.mem) == expected {
+                kernel::Verdict::Correct
+            } else {
+                kernel::Verdict::Incorrect("stage pipeline mismatch".into())
+            }
+        };
+        App {
+            name: "dma-pipeline",
+            tasks: (0..3)
+                .map(|i| TaskDef {
+                    name: "stage",
+                    body: Rc::new(mk(i, srcs[i], i == 2)) as _,
+                })
+                .collect(),
+            entry: kernel::TaskId(0),
+            inventory: Inventory::default(),
+            verify: Some(Rc::new(verify)),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-call-site control blocks: lock flag, timestamp, private output.
+//!
+//! The compiler front-end emits, for every `_call_IO` site, a non-volatile
+//! lock flag named `lock_##fn##task##num`, a private copy of the returned
+//! value, and — for `Timely` — a timestamp of the last execution (paper
+//! §4.2, Fig. 5). This module is that generated state: one [`IoSlot`] per
+//! (task, call-site) pair, allocated in FRAM and reused across activations.
+//!
+//! Every access is charged to the MCU at the point it would happen in the
+//! generated code, so the overhead bars of the paper's figures emerge from
+//! the same flag traffic the real system pays.
+
+use kernel::TaskId;
+use mcu_emu::{AllocTag, Mcu, PowerFailure, RawVar, Region, WorkKind};
+use std::collections::{HashMap, HashSet};
+
+/// The FRAM control block of one `_call_IO` site.
+#[derive(Debug, Clone, Copy)]
+pub struct IoSlot {
+    /// Completion lock flag (`lock_##fn##task##num`).
+    pub lock: RawVar,
+    /// Private copy of the operation's returned value.
+    pub out: RawVar,
+    /// Timestamp of the last successful execution (allocated for every slot;
+    /// only `Timely` sites read it).
+    pub ts: RawVar,
+}
+
+/// Table of control blocks, lazily allocated like the compiler's statics.
+#[derive(Debug, Default)]
+pub struct IoSlotTable {
+    slots: HashMap<(TaskId, u16), IoSlot>,
+    /// Sites whose lock was set during the current activation of each task.
+    dirty: Vec<(TaskId, u16)>,
+    /// Sites whose private output holds a value from the current activation
+    /// (host mirror of an out-valid bit; used for divergence detection).
+    recorded: HashSet<(TaskId, u16)>,
+}
+
+impl IoSlotTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (allocating on first use) the slot for a call site.
+    pub fn ensure(&mut self, mcu: &mut Mcu, task: TaskId, site: u16) -> IoSlot {
+        *self.slots.entry((task, site)).or_insert_with(|| {
+            let alloc = |mcu: &mut Mcu, width: u32| RawVar {
+                addr: mcu.mem.alloc(Region::Fram, width, AllocTag::Runtime),
+                width,
+            };
+            IoSlot {
+                lock: alloc(mcu, 1),
+                out: alloc(mcu, 4),
+                ts: alloc(mcu, 8),
+            }
+        })
+    }
+
+    /// Reads the lock flag, charging one flag check.
+    pub fn lock_is_set(&self, mcu: &mut Mcu, slot: IoSlot) -> Result<bool, PowerFailure> {
+        let c = mcu.cost.flag_check;
+        mcu.spend(WorkKind::Overhead, c)?;
+        Ok(slot.lock.load(&mcu.mem) != 0)
+    }
+
+    /// Restores the private output copy, charging the FRAM read.
+    pub fn restore_out(&self, mcu: &mut Mcu, slot: IoSlot) -> Result<i32, PowerFailure> {
+        let raw = mcu.load_var(WorkKind::Overhead, slot.out)?;
+        mcu.stats.bump("easeio_outputs_restored");
+        Ok(raw as u32 as i32)
+    }
+
+    /// Records a successful execution: stores the private output, optionally
+    /// the timestamp, and sets the lock *last* (completion flag strictly
+    /// after the operation and its bookkeeping, paper §6).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_completion(
+        &mut self,
+        mcu: &mut Mcu,
+        task: TaskId,
+        site: u16,
+        slot: IoSlot,
+        value: i32,
+        store_out: bool,
+        timestamp: Option<u64>,
+    ) -> Result<(), PowerFailure> {
+        if store_out {
+            mcu.store_var(WorkKind::Overhead, slot.out, value as u32 as u64)?;
+        }
+        if let Some(ts) = timestamp {
+            mcu.store_var(WorkKind::Overhead, slot.ts, ts)?;
+        }
+        let c = mcu.cost.flag_write;
+        mcu.spend(WorkKind::Overhead, c)?;
+        slot.lock.store(&mut mcu.mem, 1);
+        self.dirty.push((task, site));
+        if store_out {
+            self.recorded.insert((task, site));
+        }
+        Ok(())
+    }
+
+    /// Reads the recorded timestamp (charging the FRAM read).
+    pub fn last_timestamp(&self, mcu: &mut Mcu, slot: IoSlot) -> Result<u64, PowerFailure> {
+        mcu.load_var(WorkKind::Overhead, slot.ts)
+    }
+
+    /// Whether the site's private output holds a value from this activation.
+    pub fn out_recorded(&self, task: TaskId, site: u16) -> bool {
+        self.recorded.contains(&(task, site))
+    }
+
+    /// Loads the previously stored output for divergence comparison
+    /// (charging the FRAM read).
+    pub fn load_out(&self, mcu: &mut Mcu, slot: IoSlot) -> Result<i32, PowerFailure> {
+        let raw = mcu.load_var(WorkKind::Overhead, slot.out)?;
+        Ok(raw as u32 as i32)
+    }
+
+    /// Stores the private output without lock semantics (for `Always` ops,
+    /// whose re-execution is governed by the task model, not a lock) and
+    /// marks it recorded.
+    pub fn store_out(
+        &mut self,
+        mcu: &mut Mcu,
+        task: TaskId,
+        site: u16,
+        slot: IoSlot,
+        value: i32,
+    ) -> Result<(), PowerFailure> {
+        mcu.store_var(WorkKind::Overhead, slot.out, value as u32 as u64)?;
+        self.recorded.insert((task, site));
+        Ok(())
+    }
+
+    /// Number of locks set in the current activations (commit pricing).
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Clears every lock set for `task`, without charging (the caller prices
+    /// the whole commit atomically first).
+    pub fn clear_task(&mut self, mcu: &mut Mcu, task: TaskId) -> u64 {
+        self.recorded.retain(|(t, _)| *t != task);
+        let mut cleared = 0;
+        self.dirty.retain(|(t, s)| {
+            if *t == task {
+                if let Some(slot) = self.slots.get(&(*t, *s)) {
+                    slot.lock.store(&mut mcu.mem, 0);
+                }
+                cleared += 1;
+                false
+            } else {
+                true
+            }
+        });
+        cleared
+    }
+
+    /// Dirty sites belonging to `task` (commit pricing).
+    pub fn dirty_for(&self, task: TaskId) -> u64 {
+        self.dirty.iter().filter(|(t, _)| *t == task).count() as u64
+    }
+
+    /// Total slots allocated (footprint reporting).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_emu::Supply;
+
+    fn mcu() -> Mcu {
+        Mcu::new(Supply::continuous())
+    }
+
+    #[test]
+    fn slot_allocated_once_per_site() {
+        let mut m = mcu();
+        let mut t = IoSlotTable::new();
+        let a = t.ensure(&mut m, TaskId(0), 0);
+        let b = t.ensure(&mut m, TaskId(0), 0);
+        let c = t.ensure(&mut m, TaskId(0), 1);
+        assert_eq!(a.lock.addr, b.lock.addr);
+        assert_ne!(a.lock.addr, c.lock.addr);
+        assert_eq!(t.slot_count(), 2);
+    }
+
+    #[test]
+    fn lock_lifecycle() {
+        let mut m = mcu();
+        let mut t = IoSlotTable::new();
+        let task = TaskId(3);
+        let slot = t.ensure(&mut m, task, 0);
+        assert!(!t.lock_is_set(&mut m, slot).unwrap());
+        t.record_completion(&mut m, task, 0, slot, -7, true, Some(123))
+            .unwrap();
+        assert!(t.lock_is_set(&mut m, slot).unwrap());
+        assert_eq!(t.restore_out(&mut m, slot).unwrap(), -7);
+        assert_eq!(t.last_timestamp(&mut m, slot).unwrap(), 123);
+        // Commit clears the lock but keeps the slot for reuse.
+        assert_eq!(t.clear_task(&mut m, task), 1);
+        assert!(!t.lock_is_set(&mut m, slot).unwrap());
+        assert_eq!(t.dirty_for(task), 0);
+    }
+
+    #[test]
+    fn clear_task_leaves_other_tasks_alone() {
+        let mut m = mcu();
+        let mut t = IoSlotTable::new();
+        let s0 = t.ensure(&mut m, TaskId(0), 0);
+        let s1 = t.ensure(&mut m, TaskId(1), 0);
+        t.record_completion(&mut m, TaskId(0), 0, s0, 1, true, None)
+            .unwrap();
+        t.record_completion(&mut m, TaskId(1), 0, s1, 2, true, None)
+            .unwrap();
+        t.clear_task(&mut m, TaskId(0));
+        assert!(!t.lock_is_set(&mut m, s0).unwrap());
+        assert!(t.lock_is_set(&mut m, s1).unwrap());
+    }
+
+    #[test]
+    fn negative_outputs_roundtrip() {
+        let mut m = mcu();
+        let mut t = IoSlotTable::new();
+        let slot = t.ensure(&mut m, TaskId(0), 0);
+        t.record_completion(&mut m, TaskId(0), 0, slot, i32::MIN, true, None)
+            .unwrap();
+        assert_eq!(t.restore_out(&mut m, slot).unwrap(), i32::MIN);
+    }
+
+    #[test]
+    fn flag_traffic_is_charged_as_overhead() {
+        let mut m = mcu();
+        let mut t = IoSlotTable::new();
+        let slot = t.ensure(&mut m, TaskId(0), 0);
+        let before = m.stats.overhead_energy_nj;
+        t.lock_is_set(&mut m, slot).unwrap();
+        t.record_completion(&mut m, TaskId(0), 0, slot, 0, true, Some(1))
+            .unwrap();
+        assert!(m.stats.overhead_energy_nj > before);
+        assert_eq!(m.stats.app_energy_nj, 0);
+    }
+}

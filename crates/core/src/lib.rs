@@ -1,0 +1,38 @@
+//! EaseIO — efficient and safe I/O operations for intermittent systems.
+//!
+//! This crate is the paper's primary contribution: an intermittent-computing
+//! runtime that attaches *re-execution semantics* to peripheral operations so
+//! a re-executed task skips I/O whose previous effect is still valid, while
+//! staying memory-consistent and control-flow-safe. It implements
+//! [`kernel::Runtime`] and plugs into the same executor as the baselines.
+//!
+//! The implementation mirrors the paper's architecture:
+//!
+//! * [`flags`] — the lock flag / timestamp / private-output control block
+//!   the compiler front-end emits per `_call_IO` site (paper Fig. 5);
+//! * [`blocks`] — `_IO_block_begin/_end` nesting and semantic precedence:
+//!   the outermost decisive block wins, and a violated block forces its
+//!   inner operations to re-execute (paper §3.3, §4.2.1);
+//! * [`deps`] — data-dependence tracking: an operation re-executes when an
+//!   operation it depends on re-executed (paper §3.3.2, §4.3.1);
+//! * [`dma_rules`] — run-time DMA semantics resolution from operand memory
+//!   types, including the two-phase `Private` copy through a privatization
+//!   buffer and the `Exclude` opt-out (paper §4.3);
+//! * [`regional`] — regional privatization: tasks are split into regions at
+//!   DMA sites and non-volatile variables are snapshotted per region and
+//!   restored on region re-entry (paper §4.4, Fig. 6);
+//! * [`runtime`] — [`runtime::EaseIoRuntime`], the glue implementing
+//!   [`kernel::Runtime`].
+//!
+//! The original system performs a Clang source-to-source transformation;
+//! here the runtime executes the same injected control logic directly (the
+//! substitution argument is in DESIGN.md §2).
+
+pub mod blocks;
+pub mod deps;
+pub mod dma_rules;
+pub mod flags;
+pub mod regional;
+pub mod runtime;
+
+pub use runtime::{EaseIoConfig, EaseIoRuntime};

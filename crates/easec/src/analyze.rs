@@ -1,0 +1,1020 @@
+//! Semantic analysis: name resolution, structural checks, call-site
+//! numbering, and data-dependence inference (paper §3.3.2, §4.3.1, §4.5).
+//!
+//! The dependence inference is a per-task forward taint analysis: every
+//! `_call_IO` result taints the values it flows into (through locals,
+//! `__nv` scalars, and — at whole-array granularity — `__nv` arrays);
+//! a later `_call_IO` *depends on* the taints of its arguments, and a
+//! `_DMA_copy` is *related to* the taints of its source array. At run time
+//! the lowered program passes these sets into the runtime so a dependent
+//! operation re-executes whenever a producer re-executed — the automation
+//! the paper's compiler front-end provides over the bare runtime API.
+
+use crate::ast::*;
+use crate::CompileError;
+use std::collections::{BTreeSet, HashMap};
+
+/// Result of semantic analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// For each `_call_IO` node id: the node ids its arguments derive from.
+    pub io_deps: HashMap<u32, Vec<u32>>,
+    /// For each `_DMA_copy` node id: the node ids its source data derives
+    /// from (the `RelatedConstFlag` wiring).
+    pub dma_related: HashMap<u32, Vec<u32>>,
+    /// For each `_call_IO` node id: the generated lock-flag name
+    /// (`lock_##fn##task##num`, §4.5).
+    pub lock_names: HashMap<u32, String>,
+    /// Per task: number of `_DMA_copy` sites (the task splits into N+1
+    /// regions, §4.4).
+    pub dma_sites_per_task: HashMap<String, u32>,
+    /// Total `_call_IO` sites.
+    pub io_sites: u32,
+    /// Total I/O blocks.
+    pub io_blocks: u32,
+}
+
+type Taint = BTreeSet<u32>;
+
+struct Cx<'p> {
+    program: &'p Program,
+    analysis: Analysis,
+    next_id: u32,
+    /// Per (fn name, task name): occurrence counter for lock naming.
+    lock_counts: HashMap<(String, String), u32>,
+}
+
+/// Per-task analysis environment.
+#[derive(Debug, Clone, Default)]
+struct Env {
+    /// Taint of locals and `__nv` scalars by name.
+    vars: HashMap<String, Taint>,
+    /// Taint of `__nv` arrays (whole-array granularity).
+    arrays: HashMap<String, Taint>,
+    /// Locals currently in scope.
+    locals: BTreeSet<String>,
+}
+
+impl Env {
+    fn merge(&mut self, other: &Env) {
+        for (k, v) in &other.vars {
+            self.vars.entry(k.clone()).or_default().extend(v);
+        }
+        for (k, v) in &other.arrays {
+            self.arrays.entry(k.clone()).or_default().extend(v);
+        }
+        // Locals bound in only one branch are not in scope afterwards, so
+        // keep the intersection.
+        self.locals = self.locals.intersection(&other.locals).cloned().collect();
+    }
+}
+
+/// Analyzes the program, assigning node ids in place.
+pub fn analyze(program: &mut Program) -> Result<Analysis, CompileError> {
+    // Structural checks first (on the immutable view).
+    check_structure(program)?;
+    let snapshot = program.clone();
+    let mut cx = Cx {
+        program: &snapshot,
+        analysis: Analysis::default(),
+        next_id: 1,
+        lock_counts: HashMap::new(),
+    };
+    for task in &mut program.tasks {
+        let mut env = Env::default();
+        let task_name = task.name.clone();
+        cx.stmts(&mut task.body, &mut env, &task_name, false)?;
+    }
+    Ok(cx.analysis)
+}
+
+fn check_structure(program: &Program) -> Result<(), CompileError> {
+    let mut names = BTreeSet::new();
+    for d in &program.decls {
+        if !names.insert(&d.name) {
+            return Err(CompileError {
+                line: d.line,
+                msg: format!("duplicate __nv declaration {:?}", d.name),
+            });
+        }
+        if d.len == Some(0) {
+            return Err(CompileError {
+                line: d.line,
+                msg: format!("zero-length array {:?}", d.name),
+            });
+        }
+    }
+    let mut task_names = BTreeSet::new();
+    for t in &program.tasks {
+        if !task_names.insert(&t.name) {
+            return Err(CompileError {
+                line: t.line,
+                msg: format!("duplicate task {:?}", t.name),
+            });
+        }
+    }
+    for t in &program.tasks {
+        if !terminates(&t.body) {
+            return Err(CompileError {
+                line: t.line,
+                msg: format!(
+                    "task {:?} has a control path that falls off the end \
+                     (every path must reach `next` or `done`)",
+                    t.name
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Whether every control path through `stmts` ends in `next`/`done`.
+fn terminates(stmts: &[Stmt]) -> bool {
+    match stmts.last() {
+        Some(Stmt::Next(..)) | Some(Stmt::Done(..)) => true,
+        Some(Stmt::If { then, els, .. }) => {
+            !then.is_empty() && !els.is_empty() && terminates(then) && terminates(els)
+        }
+        _ => false,
+    }
+}
+
+impl Cx<'_> {
+    fn err<T>(&self, line: u32, msg: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError {
+            line,
+            msg: msg.into(),
+        })
+    }
+
+    fn decl(&self, name: &str) -> Option<&NvDecl> {
+        self.program.decls.iter().find(|d| d.name == name)
+    }
+
+    fn is_task(&self, name: &str) -> bool {
+        self.program.tasks.iter().any(|t| t.name == name)
+    }
+
+    /// Taint of an expression; also assigns ids to embedded `_call_IO`s.
+    fn expr(
+        &mut self,
+        e: &mut Expr,
+        env: &mut Env,
+        task: &str,
+        in_block: bool,
+    ) -> Result<Taint, CompileError> {
+        match e {
+            Expr::Int(_) => Ok(Taint::new()),
+            Expr::Var(name) => {
+                if env.locals.contains(name) || self.decl_scalar(name) {
+                    Ok(env.vars.get(name).cloned().unwrap_or_default())
+                } else if self.decl(name).is_some() {
+                    self.err(0, format!("array {name:?} used as a scalar"))
+                } else {
+                    self.err(0, format!("unknown variable {name:?}"))
+                }
+            }
+            Expr::Index(name, idx) => {
+                let Some(d) = self.decl(name) else {
+                    return self.err(0, format!("unknown array {name:?}"));
+                };
+                if d.len.is_none() {
+                    return self.err(d.line, format!("scalar {name:?} indexed like an array"));
+                }
+                let mut t = self.expr(idx, env, task, in_block)?;
+                t.extend(env.arrays.get(name).cloned().unwrap_or_default());
+                Ok(t)
+            }
+            Expr::Bin(_, l, r) => {
+                let mut t = self.expr(l, env, task, in_block)?;
+                t.extend(self.expr(r, env, task, in_block)?);
+                Ok(t)
+            }
+            Expr::CallIo(call) => self.io_call(call, env, task, in_block),
+        }
+    }
+
+    fn decl_scalar(&self, name: &str) -> bool {
+        matches!(self.decl(name), Some(d) if d.len.is_none())
+    }
+
+    /// Processes a `_call_IO`: id assignment, lock naming, dependence set.
+    /// Returns the taint of its value ({its own id}).
+    fn io_call(
+        &mut self,
+        call: &mut IoCall,
+        env: &mut Env,
+        task: &str,
+        in_block: bool,
+    ) -> Result<Taint, CompileError> {
+        let mut deps = Taint::new();
+        // Per-function argument conventions.
+        let mut capture_target: Option<String> = None;
+        match call.func {
+            IoFunc::Send => {
+                if call.args.is_empty() {
+                    return self.err(call.line, "Send needs at least one payload value");
+                }
+                for a in &mut call.args {
+                    deps.extend(self.expr(a, env, task, in_block)?);
+                }
+            }
+            IoFunc::Capture => {
+                // Capture(img, w, h, seed): img is a __nv array reference.
+                let (name, w, h) = match call.args.as_slice() {
+                    [Expr::Var(n), Expr::Int(w), Expr::Int(h), Expr::Int(_seed)] => {
+                        (n.clone(), *w, *h)
+                    }
+                    _ => {
+                        return self.err(
+                            call.line,
+                            "Capture takes (array, width, height, seed) with constant dims",
+                        )
+                    }
+                };
+                match self.decl(&name) {
+                    Some(d) if d.len.is_some() && d.region == DeclRegion::Fram => {
+                        if (d.len.unwrap() as i64) < w * h {
+                            return self.err(
+                                call.line,
+                                format!(
+                                    "Capture target {name:?} holds {} elements, needs {}",
+                                    d.len.unwrap(),
+                                    w * h
+                                ),
+                            );
+                        }
+                    }
+                    _ => {
+                        return self.err(
+                            call.line,
+                            format!("Capture target {name:?} must be a __nv array"),
+                        )
+                    }
+                }
+                capture_target = Some(name);
+            }
+            IoFunc::Argmax => {
+                let (name, n) = match call.args.as_slice() {
+                    [Expr::Var(n), Expr::Int(c)] => (n.clone(), *c),
+                    _ => return self.err(call.line, "Argmax takes (__lea array, constant count)"),
+                };
+                match self.decl(&name) {
+                    Some(d) if d.region == DeclRegion::Lea => {
+                        if (d.len.unwrap_or(0) as i64) < n || n <= 0 {
+                            return self.err(
+                                call.line,
+                                format!("Argmax over {n} elements of {name:?} out of range"),
+                            );
+                        }
+                    }
+                    _ => {
+                        return self.err(
+                            call.line,
+                            format!("Argmax operand {name:?} must be a __lea array"),
+                        )
+                    }
+                }
+                deps.extend(env.arrays.get(&name).cloned().unwrap_or_default());
+            }
+            _ => {
+                if !call.args.is_empty() {
+                    return self.err(
+                        call.line,
+                        format!("{} takes no arguments", call.func.name()),
+                    );
+                }
+            }
+        }
+        if call.id == 0 {
+            call.id = self.next_id;
+            self.next_id += 1;
+            self.analysis.io_sites += 1;
+            let n = self
+                .lock_counts
+                .entry((call.func.name().to_string(), task.to_string()))
+                .or_insert(0);
+            self.analysis
+                .lock_names
+                .insert(call.id, format!("lock_{}_{}_{}", call.func.name(), task, n));
+            *n += 1;
+        }
+        // Union into any previous visit (loop fixpoint passes re-visit).
+        let entry = self.analysis.io_deps.entry(call.id).or_default();
+        let mut set: Taint = entry.iter().copied().collect();
+        set.extend(deps);
+        *entry = set.into_iter().collect();
+        // A capture taints its destination array.
+        if let Some(name) = capture_target {
+            env.arrays.entry(name).or_default().insert(call.id);
+        }
+        Ok([call.id].into_iter().collect())
+    }
+
+    fn stmts(
+        &mut self,
+        stmts: &mut [Stmt],
+        env: &mut Env,
+        task: &str,
+        in_block: bool,
+    ) -> Result<(), CompileError> {
+        for s in stmts.iter_mut() {
+            self.stmt(s, env, task, in_block)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(
+        &mut self,
+        s: &mut Stmt,
+        env: &mut Env,
+        task: &str,
+        in_block: bool,
+    ) -> Result<(), CompileError> {
+        match s {
+            Stmt::Let { name, expr, line } => {
+                if self.decl(name).is_some() {
+                    return self.err(*line, format!("`let {name}` shadows a __nv declaration"));
+                }
+                let t = self
+                    .expr(expr, env, task, in_block)
+                    .map_err(|e| self.reline(e, *line))?;
+                env.locals.insert(name.clone());
+                env.vars.insert(name.clone(), t);
+                Ok(())
+            }
+            Stmt::Assign { name, expr, line } => {
+                if in_block {
+                    return self.err(
+                        *line,
+                        "I/O blocks contain only I/O calls and `let` bindings (paper §3.2)",
+                    );
+                }
+                if !env.locals.contains(name) && !self.decl_scalar(name) {
+                    return self.err(
+                        *line,
+                        format!("assignment to undeclared name {name:?} (missing `let`?)"),
+                    );
+                }
+                let t = self
+                    .expr(expr, env, task, in_block)
+                    .map_err(|e| self.reline(e, *line))?;
+                env.vars.insert(name.clone(), t);
+                Ok(())
+            }
+            Stmt::AssignIndex {
+                name,
+                index,
+                expr,
+                line,
+            } => {
+                if in_block {
+                    return self.err(*line, "no array writes inside I/O blocks");
+                }
+                match self.decl(name) {
+                    Some(d) if d.len.is_some() => {}
+                    Some(d) => {
+                        return self.err(d.line, format!("scalar {name:?} indexed like an array"))
+                    }
+                    None => return self.err(*line, format!("unknown array {name:?}")),
+                }
+                let mut t = self
+                    .expr(index, env, task, in_block)
+                    .map_err(|e| self.reline(e, *line))?;
+                t.extend(
+                    self.expr(expr, env, task, in_block)
+                        .map_err(|e| self.reline(e, *line))?,
+                );
+                env.arrays.entry(name.clone()).or_default().extend(t);
+                Ok(())
+            }
+            Stmt::Compute(e, line) => {
+                if in_block {
+                    return self.err(*line, "no `compute` inside I/O blocks (paper §3.2)");
+                }
+                self.expr(e, env, task, in_block)
+                    .map_err(|e| self.reline(e, *line))?;
+                Ok(())
+            }
+            Stmt::CallIoStmt(call) => {
+                self.io_call(call, env, task, in_block)?;
+                Ok(())
+            }
+            Stmt::DmaCopy {
+                src,
+                dst,
+                elems,
+                line,
+                id,
+                ..
+            } => {
+                if in_block {
+                    return self.err(*line, "DMA copies sit outside I/O blocks");
+                }
+                for (what, r) in [("source", &mut *src), ("destination", &mut *dst)] {
+                    match self.decl(&r.name) {
+                        Some(d) if d.len.is_some() => {
+                            if let (Expr::Int(base), Some(len)) = (&r.index, d.len) {
+                                if *base as u64 + *elems as u64 > len as u64 {
+                                    return self.err(
+                                        *line,
+                                        format!(
+                                            "_DMA_copy {what} {}[{base}..+{elems}] overflows \
+                                             length {len}",
+                                            r.name
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                        _ => {
+                            return self.err(
+                                *line,
+                                format!("_DMA_copy {what} {:?} is not a __nv array", r.name),
+                            )
+                        }
+                    }
+                }
+                let mut related = env.arrays.get(&src.name).cloned().unwrap_or_default();
+                related.extend(
+                    self.expr(&mut src.index, env, task, in_block)
+                        .map_err(|e| self.reline(e, *line))?,
+                );
+                self.expr(&mut dst.index, env, task, in_block)
+                    .map_err(|e| self.reline(e, *line))?;
+                if *id == 0 {
+                    *id = self.next_id;
+                    self.next_id += 1;
+                    *self
+                        .analysis
+                        .dma_sites_per_task
+                        .entry(task.to_string())
+                        .or_insert(0) += 1;
+                }
+                let entry = self.analysis.dma_related.entry(*id).or_default();
+                let mut set: Taint = entry.iter().copied().collect();
+                set.extend(related.iter().copied());
+                *entry = set.into_iter().collect();
+                // The destination array now carries the source's taints.
+                let src_taint = env.arrays.get(&src.name).cloned().unwrap_or_default();
+                env.arrays
+                    .entry(dst.name.clone())
+                    .or_default()
+                    .extend(src_taint);
+                Ok(())
+            }
+            Stmt::IoBlock { body, .. } => {
+                self.analysis.io_blocks += 1;
+                self.stmts(body, env, task, true)
+            }
+            Stmt::If {
+                cond,
+                then,
+                els,
+                line,
+            } => {
+                if in_block {
+                    return self.err(*line, "no control flow inside I/O blocks");
+                }
+                self.expr(cond, env, task, in_block)
+                    .map_err(|e| self.reline(e, *line))?;
+                let mut then_env = env.clone();
+                self.stmts(then, &mut then_env, task, in_block)?;
+                let mut els_env = env.clone();
+                self.stmts(els, &mut els_env, task, in_block)?;
+                *env = then_env;
+                env.merge(&els_env);
+                Ok(())
+            }
+            Stmt::Repeat {
+                var, body, line, ..
+            } => {
+                if in_block {
+                    return self.err(*line, "no loops inside I/O blocks");
+                }
+                env.locals.insert(var.clone());
+                env.vars.insert(var.clone(), Taint::new());
+                // Two passes propagate loop-carried taints to a fixpoint:
+                // taint only grows and one round carries a value once. Node
+                // ids are assigned on the first visit and reused after.
+                self.stmts(body, env, task, in_block)?;
+                self.stmts(body, env, task, in_block)?;
+                Ok(())
+            }
+            Stmt::LeaConv2d {
+                input,
+                w,
+                h,
+                kernel,
+                kw,
+                kh,
+                out,
+                line,
+                id,
+            } => {
+                if in_block {
+                    return self.err(*line, "no LEA calls inside I/O blocks");
+                }
+                for (what, name, need) in [
+                    ("input", &*input, *w * *h),
+                    ("kernel", &*kernel, *kw * *kh),
+                    ("output", &*out, (*w - *kw + 1) * (*h - *kh + 1)),
+                ] {
+                    self.check_lea_array(*line, what, name, need)?;
+                }
+                let mut deps = env.arrays.get(input.as_str()).cloned().unwrap_or_default();
+                deps.extend(env.arrays.get(kernel.as_str()).cloned().unwrap_or_default());
+                self.lea_site(id, "Conv2d", task, deps.clone());
+                deps.insert(*id);
+                env.arrays.entry(out.clone()).or_default().extend(deps);
+                Ok(())
+            }
+            Stmt::LeaRelu { buf, n, line, id } => {
+                if in_block {
+                    return self.err(*line, "no LEA calls inside I/O blocks");
+                }
+                self.check_lea_array(*line, "buffer", buf, *n)?;
+                let deps = env.arrays.get(buf.as_str()).cloned().unwrap_or_default();
+                self.lea_site(id, "Relu", task, deps.clone());
+                env.arrays.entry(buf.clone()).or_default().insert(*id);
+                Ok(())
+            }
+            Stmt::LeaFc {
+                x,
+                n_in,
+                weights,
+                out,
+                n_out,
+                line,
+                id,
+            } => {
+                if in_block {
+                    return self.err(*line, "no LEA calls inside I/O blocks");
+                }
+                self.check_lea_array(*line, "input", x, *n_in)?;
+                self.check_lea_array(*line, "weights", weights, *n_in * *n_out)?;
+                self.check_lea_array(*line, "output", out, *n_out)?;
+                let mut deps = env.arrays.get(x.as_str()).cloned().unwrap_or_default();
+                deps.extend(
+                    env.arrays
+                        .get(weights.as_str())
+                        .cloned()
+                        .unwrap_or_default(),
+                );
+                self.lea_site(id, "Fc", task, deps.clone());
+                deps.insert(*id);
+                env.arrays.entry(out.clone()).or_default().extend(deps);
+                Ok(())
+            }
+            Stmt::LeaFir {
+                x,
+                h,
+                y,
+                n_out,
+                taps,
+                line,
+                id,
+            } => {
+                if in_block {
+                    return self.err(*line, "no LEA calls inside I/O blocks");
+                }
+                for (what, name, need) in [
+                    ("input", &*x, *n_out + *taps - 1),
+                    ("coefficients", &*h, *taps),
+                    ("output", &*y, *n_out),
+                ] {
+                    match self.decl(name) {
+                        Some(d) if d.region == DeclRegion::Lea => {
+                            if d.len.unwrap_or(0) < need {
+                                return self.err(
+                                    *line,
+                                    format!(
+                                        "lea_fir {what} {name:?} needs {need} elements, \
+                                         has {}",
+                                        d.len.unwrap_or(0)
+                                    ),
+                                );
+                            }
+                        }
+                        Some(_) => {
+                            return self.err(
+                                *line,
+                                format!(
+                                    "lea_fir {what} {name:?} must be a __lea array \
+                                     (the LEA only addresses LEA-RAM)"
+                                ),
+                            )
+                        }
+                        None => return self.err(*line, format!("unknown array {name:?}")),
+                    }
+                }
+                if *id == 0 {
+                    *id = self.next_id;
+                    self.next_id += 1;
+                    self.analysis.io_sites += 1;
+                    let n = self
+                        .lock_counts
+                        .entry(("Fir".to_string(), task.to_string()))
+                        .or_insert(0);
+                    self.analysis
+                        .lock_names
+                        .insert(*id, format!("lock_Fir_{task}_{n}"));
+                    *n += 1;
+                }
+                // The call depends on its operand arrays' taints; the output
+                // array carries them plus the call's own taint.
+                let mut deps = env.arrays.get(x.as_str()).cloned().unwrap_or_default();
+                deps.extend(env.arrays.get(h.as_str()).cloned().unwrap_or_default());
+                let entry = self.analysis.io_deps.entry(*id).or_default();
+                let mut set: Taint = entry.iter().copied().collect();
+                set.extend(deps.iter().copied());
+                *entry = set.into_iter().collect();
+                let mut out_taint = deps;
+                out_taint.insert(*id);
+                env.arrays.entry(y.clone()).or_default().extend(out_taint);
+                Ok(())
+            }
+            Stmt::Next(target, line) => {
+                if in_block {
+                    return self.err(*line, "no task transitions inside I/O blocks");
+                }
+                if !self.is_task(target) {
+                    return self.err(*line, format!("unknown task {target:?}"));
+                }
+                Ok(())
+            }
+            Stmt::Done(line) => {
+                if in_block {
+                    return self.err(*line, "no task transitions inside I/O blocks");
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_lea_array(
+        &self,
+        line: u32,
+        what: &str,
+        name: &str,
+        need: u32,
+    ) -> Result<(), CompileError> {
+        match self.decl(name) {
+            Some(d) if d.region == DeclRegion::Lea => {
+                if d.len.unwrap_or(0) < need {
+                    self.err(
+                        line,
+                        format!(
+                            "LEA {what} {name:?} needs {need} elements, has {}",
+                            d.len.unwrap_or(0)
+                        ),
+                    )
+                } else {
+                    Ok(())
+                }
+            }
+            _ => self.err(line, format!("LEA {what} {name:?} must be a __lea array")),
+        }
+    }
+
+    /// Registers a LEA statement as an I/O site with inferred deps.
+    fn lea_site(&mut self, id: &mut u32, fname: &str, task: &str, deps: Taint) {
+        if *id == 0 {
+            *id = self.next_id;
+            self.next_id += 1;
+            self.analysis.io_sites += 1;
+            let n = self
+                .lock_counts
+                .entry((fname.to_string(), task.to_string()))
+                .or_insert(0);
+            self.analysis
+                .lock_names
+                .insert(*id, format!("lock_{fname}_{task}_{n}"));
+            *n += 1;
+        }
+        let entry = self.analysis.io_deps.entry(*id).or_default();
+        let mut set: Taint = entry.iter().copied().collect();
+        set.extend(deps);
+        *entry = set.into_iter().collect();
+    }
+
+    fn reline(&self, mut e: CompileError, line: u32) -> CompileError {
+        if e.line == 0 {
+            e.line = line;
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyzed(src: &str) -> (Program, Analysis) {
+        let mut p = parse(src).unwrap();
+        let a = analyze(&mut p).unwrap();
+        (p, a)
+    }
+
+    fn analyze_err(src: &str) -> CompileError {
+        let mut p = parse(src).unwrap();
+        analyze(&mut p).unwrap_err()
+    }
+
+    #[test]
+    fn fig4_dependencies_are_inferred() {
+        // The paper's Figure 4: Send(temp, humd) must depend on both senses.
+        let src = r#"
+            task t1 {
+                let temp = _call_IO(Temp, Timely, 50);
+                let humd = _call_IO(Humd, Timely, 20);
+                _call_IO(Send, Single, temp, humd);
+                done;
+            }
+        "#;
+        let (p, a) = analyzed(src);
+        // Find the three call ids in order.
+        let ids: Vec<u32> = (1..=3).collect();
+        assert_eq!(a.io_deps[&ids[0]], Vec::<u32>::new());
+        assert_eq!(a.io_deps[&ids[1]], Vec::<u32>::new());
+        assert_eq!(a.io_deps[&ids[2]], vec![ids[0], ids[1]]);
+        assert_eq!(p.tasks.len(), 1);
+    }
+
+    #[test]
+    fn taint_flows_through_arithmetic_and_nv_scalars() {
+        let src = r#"
+            __nv int cache;
+            task t {
+                let raw = _call_IO(Temp, Always);
+                cache = raw * 2 + 1;
+                _call_IO(Send, Single, cache - 5);
+                done;
+            }
+        "#;
+        let (_, a) = analyzed(src);
+        assert_eq!(
+            a.io_deps[&2],
+            vec![1],
+            "Send depends on the sense via `cache`"
+        );
+    }
+
+    #[test]
+    fn dma_related_wires_io_producers_of_the_source_array() {
+        // §4.3.1: a DMA copying data derived from an I/O output carries the
+        // RelatedConstFlag of that I/O.
+        let src = r#"
+            __nv int buf[8];
+            __nv int out[8];
+            task t {
+                let v = _call_IO(Accel, Always);
+                buf[0] = v;
+                _DMA_copy(buf[0], out[0], 4);
+                done;
+            }
+        "#;
+        let (_, a) = analyzed(src);
+        let dma_id = 2; // sense = 1, dma = 2
+        assert_eq!(a.dma_related[&dma_id], vec![1]);
+    }
+
+    #[test]
+    fn dma_taint_propagates_through_copies() {
+        let src = r#"
+            __nv int a[8];
+            __nv int b[8];
+            __nv int c[8];
+            task t {
+                a[0] = _call_IO(Light, Always);
+                _DMA_copy(a[0], b[0], 4);
+                _DMA_copy(b[0], c[0], 4);
+                done;
+            }
+        "#;
+        let (_, a) = analyzed(src);
+        assert_eq!(
+            a.dma_related[&2],
+            vec![1],
+            "first copy related to the sense"
+        );
+        assert_eq!(
+            a.dma_related[&3],
+            vec![1],
+            "taint follows into the second copy"
+        );
+    }
+
+    #[test]
+    fn lock_names_follow_the_paper_scheme() {
+        let src = r#"
+            task sense {
+                let a = _call_IO(Temp, Single);
+                let b = _call_IO(Temp, Single);
+                done;
+            }
+        "#;
+        let (_, a) = analyzed(src);
+        assert_eq!(a.lock_names[&1], "lock_Temp_sense_0");
+        assert_eq!(a.lock_names[&2], "lock_Temp_sense_1");
+    }
+
+    #[test]
+    fn branch_taints_merge() {
+        let src = r#"
+            __nv int y;
+            task t {
+                let a = _call_IO(Temp, Always);
+                let b = _call_IO(Pres, Always);
+                if (a < 0) { y = a; } else { y = b; }
+                _call_IO(Send, Single, y);
+                done;
+            }
+        "#;
+        let (_, a) = analyzed(src);
+        assert_eq!(a.io_deps[&3], vec![1, 2], "deps from both branches");
+    }
+
+    #[test]
+    fn loop_carried_taint_reaches_fixpoint() {
+        let src = r#"
+            __nv int acc;
+            task t {
+                acc = 0;
+                repeat (i, 4) {
+                    let s = _call_IO(Light, Single);
+                    acc = acc + s;
+                }
+                _call_IO(Send, Single, acc);
+                done;
+            }
+        "#;
+        let (_, a) = analyzed(src);
+        // Send (last id) depends on the loop's sense node.
+        let send_id = *a.io_deps.keys().max().unwrap();
+        assert_eq!(a.io_deps[&send_id], vec![1]);
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(analyze_err("task t { let x = y; done; }")
+            .msg
+            .contains("unknown variable"));
+        assert!(analyze_err("task t { x = 3; done; }")
+            .msg
+            .contains("undeclared"));
+        assert!(analyze_err("task t { next missing; }")
+            .msg
+            .contains("unknown task"));
+        assert!(analyze_err("task t { compute(5); }")
+            .msg
+            .contains("falls off the end"));
+        assert!(analyze_err("__nv int a; __nv int a; task t { done; }")
+            .msg
+            .contains("duplicate"));
+        assert!(analyze_err(
+            "task t { _IO_block_begin(Single); compute(5); _IO_block_end; done; }"
+        )
+        .msg
+        .contains("I/O blocks"));
+        assert!(analyze_err(
+            "__nv int a[4]; __nv int b[4]; task t { _DMA_copy(a[2], b[0], 4); done; }"
+        )
+        .msg
+        .contains("overflows"));
+    }
+
+    #[test]
+    fn dma_site_counts_per_task() {
+        let src = r#"
+            __nv int a[8];
+            __nv int b[8];
+            task one { _DMA_copy(a[0], b[0], 2); _DMA_copy(a[2], b[2], 2); next two; }
+            task two { done; }
+        "#;
+        let (_, a) = analyzed(src);
+        assert_eq!(a.dma_sites_per_task["one"], 2);
+        assert_eq!(a.dma_sites_per_task.get("two"), None);
+    }
+}
+
+#[cfg(test)]
+mod lea_and_capture_tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_err(src: &str) -> CompileError {
+        let mut p = parse(src).unwrap();
+        analyze(&mut p).unwrap_err()
+    }
+
+    fn analyzed_ok(src: &str) -> Analysis {
+        let mut p = parse(src).unwrap();
+        analyze(&mut p).unwrap()
+    }
+
+    #[test]
+    fn capture_validates_target_shape() {
+        assert!(analyze_err(
+            "__nv int img[100]; task t { _call_IO(Capture, Single, img, 12, 12, 7); done; }"
+        )
+        .msg
+        .contains("holds 100 elements, needs 144"));
+        assert!(analyze_err(
+            "__lea int img[144]; task t { _call_IO(Capture, Single, img, 12, 12, 7); done; }"
+        )
+        .msg
+        .contains("must be a __nv array"));
+        assert!(
+            analyze_err("task t { _call_IO(Capture, Single, 3, 12, 12, 7); done; }")
+                .msg
+                .contains("Capture takes")
+        );
+    }
+
+    #[test]
+    fn argmax_requires_lea_operand_and_bounds() {
+        assert!(analyze_err(
+            "__nv int b[4]; task t { let c = _call_IO(Argmax, Always, b, 4); done; }"
+        )
+        .msg
+        .contains("__lea array"));
+        assert!(analyze_err(
+            "__lea int b[4]; task t { let c = _call_IO(Argmax, Always, b, 9); done; }"
+        )
+        .msg
+        .contains("out of range"));
+    }
+
+    #[test]
+    fn lea_ops_check_shapes() {
+        assert!(analyze_err(
+            "__lea int a[8]; __lea int k[16]; __lea int o[8]; \
+             task t { lea_conv2d(a, 12, 12, k, 4, 4, o); done; }"
+        )
+        .msg
+        .contains("needs 144 elements"));
+        assert!(analyze_err(
+            "__nv int a[200]; __lea int k[16]; __lea int o[81]; \
+             task t { lea_conv2d(a, 12, 12, k, 4, 4, o); done; }"
+        )
+        .msg
+        .contains("must be a __lea array"));
+        assert!(analyze_err(
+            "__lea int x[4]; __lea int w[4]; __lea int o[4]; \
+             task t { lea_fc(x, 4, w, o, 4); done; }"
+        )
+        .msg
+        .contains("weights"));
+    }
+
+    #[test]
+    fn capture_taints_flow_to_dependent_sends() {
+        // Capture → DMA → argmax → send: the send must depend on the chain.
+        let a = analyzed_ok(
+            r#"
+            __nv int img[16];
+            __lea int st[16];
+            task t {
+                _call_IO(Capture, Single, img, 4, 4, 7);
+                _DMA_copy(img[0], st[0], 16);
+                let c = _call_IO(Argmax, Always, st, 16);
+                _call_IO(Send, Single, c);
+                done;
+            }
+        "#,
+        );
+        // ids: capture=1, dma=2, argmax=3, send=4.
+        assert_eq!(a.dma_related[&2], vec![1], "DMA related to the capture");
+        assert_eq!(a.io_deps[&3], vec![1], "argmax depends on the capture");
+        assert_eq!(a.io_deps[&4], vec![3], "send depends on the inference");
+    }
+
+    #[test]
+    fn lea_statements_are_io_sites_with_lock_names() {
+        let a = analyzed_ok(
+            r#"
+            __lea int x[8];
+            __lea int k[4];
+            __lea int o[8];
+            task dnn {
+                lea_conv2d(x, 2, 4, k, 2, 2, o);
+                lea_relu(o, 3);
+                lea_fc(o, 2, k, x, 2);
+                done;
+            }
+        "#,
+        );
+        assert_eq!(a.io_sites, 3);
+        let names: Vec<&String> = {
+            let mut ids: Vec<&u32> = a.lock_names.keys().collect();
+            ids.sort();
+            ids.iter().map(|i| &a.lock_names[i]).collect()
+        };
+        assert_eq!(
+            names,
+            vec!["lock_Conv2d_dnn_0", "lock_Relu_dnn_0", "lock_Fc_dnn_0"]
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! Tokenizer for the EaseIO task language.
+
+use crate::CompileError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal contents (the paper quotes semantics: `"Single"`).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenizes `source`; `//` comments run to end of line.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Slash,
+                        line,
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(CompileError {
+                                line,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n * 10 + v as i64;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            _ => {
+                chars.next();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars>, next: char| {
+                    if chars.peek() == Some(&next) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let tok = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '%' => Tok::Percent,
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            Tok::Eq
+                        } else {
+                            Tok::Assign
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            Tok::Ne
+                        } else {
+                            return Err(CompileError {
+                                line,
+                                msg: "unexpected '!'".into(),
+                            });
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '=') {
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '=') {
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    other => {
+                        return Err(CompileError {
+                            line,
+                            msg: format!("unexpected character {other:?}"),
+                        })
+                    }
+                };
+                out.push(Spanned { tok, line });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("x = _call_IO(Temp, Timely, 10);"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("_call_IO".into()),
+                Tok::LParen,
+                Tok::Ident("Temp".into()),
+                Tok::Comma,
+                Tok::Ident("Timely".into()),
+                Tok::Comma,
+                Tok::Int(10),
+                Tok::RParen,
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comparisons() {
+        assert_eq!(
+            toks(r#"if (t < 10) { } // brr"#),
+            vec![
+                Tok::Ident("if".into()),
+                Tok::LParen,
+                Tok::Ident("t".into()),
+                Tok::Lt,
+                Tok::Int(10),
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+            ]
+        );
+        assert_eq!(toks(r#""Single""#), vec![Tok::Str("Single".into())]);
+        assert_eq!(
+            toks("a == b != c <= d >= e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::Ident("b".into()),
+                Tok::Ne,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Ge,
+                Tok::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let spanned = lex("a\nb\n  c").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 3);
+    }
+
+    #[test]
+    fn comment_to_eol() {
+        assert_eq!(
+            toks("a // b c d\ne"),
+            vec![Tok::Ident("a".into()), Tok::Ident("e".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn bare_bang_is_an_error() {
+        assert!(lex("!x").is_err());
+    }
+}

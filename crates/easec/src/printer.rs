@@ -1,0 +1,321 @@
+//! Pretty-printer for the task language: AST → canonical source.
+//!
+//! `parse(print(ast)) == ast` (modulo analysis ids), which gives the
+//! front-end a round-trip property test and tooling a way to emit
+//! machine-generated programs.
+
+use crate::ast::*;
+
+/// Prints a program as parseable source.
+pub fn print_source(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        let kw = match d.region {
+            DeclRegion::Fram => "__nv",
+            DeclRegion::Lea => "__lea",
+        };
+        match d.len {
+            Some(n) => out.push_str(&format!("{kw} int {}[{}];\n", d.name, n)),
+            None => out.push_str(&format!("{kw} int {};\n", d.name)),
+        }
+    }
+    for t in &p.tasks {
+        out.push_str(&format!("task {} {{\n", t.name));
+        print_stmts(&mut out, &t.body, 1);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn ind(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn sem_src(s: Sem) -> String {
+    match s {
+        Sem::Single => "Single".into(),
+        Sem::Always => "Always".into(),
+        Sem::Timely(ms) => format!("Timely, {ms}"),
+    }
+}
+
+fn call_src(c: &IoCall) -> String {
+    let mut s = format!("_call_IO({}, {}", c.func.name(), sem_src(c.sem));
+    for a in &c.args {
+        s.push_str(&format!(", {}", expr_src(a)));
+    }
+    s.push(')');
+    s
+}
+
+/// Prints an expression (parenthesized to be precedence-safe).
+pub fn expr_src(e: &Expr) -> String {
+    match e {
+        Expr::Int(n) => {
+            if *n < 0 {
+                format!("(0 - {})", -n)
+            } else {
+                n.to_string()
+            }
+        }
+        Expr::Var(v) => v.clone(),
+        Expr::Index(a, i) => format!("{a}[{}]", expr_src(i)),
+        Expr::Bin(op, l, r) => {
+            let o = match op {
+                Op::Add => "+",
+                Op::Sub => "-",
+                Op::Mul => "*",
+                Op::Div => "/",
+                Op::Rem => "%",
+                Op::Eq => "==",
+                Op::Ne => "!=",
+                Op::Lt => "<",
+                Op::Le => "<=",
+                Op::Gt => ">",
+                Op::Ge => ">=",
+            };
+            format!("({} {o} {})", expr_src(l), expr_src(r))
+        }
+        Expr::CallIo(c) => call_src(c),
+    }
+}
+
+fn print_stmts(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for s in stmts {
+        print_stmt(out, s, depth);
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    ind(out, depth);
+    match s {
+        Stmt::Let { name, expr, .. } => {
+            out.push_str(&format!("let {name} = {};\n", expr_src(expr)))
+        }
+        Stmt::Assign { name, expr, .. } => out.push_str(&format!("{name} = {};\n", expr_src(expr))),
+        Stmt::AssignIndex {
+            name, index, expr, ..
+        } => out.push_str(&format!(
+            "{name}[{}] = {};\n",
+            expr_src(index),
+            expr_src(expr)
+        )),
+        Stmt::Compute(e, _) => out.push_str(&format!("compute({});\n", expr_src(e))),
+        Stmt::CallIoStmt(c) => out.push_str(&format!("{};\n", call_src(c))),
+        Stmt::DmaCopy {
+            src,
+            dst,
+            elems,
+            exclude,
+            ..
+        } => {
+            let ex = if *exclude { ", Exclude" } else { "" };
+            out.push_str(&format!(
+                "_DMA_copy({}[{}], {}[{}], {elems}{ex});\n",
+                src.name,
+                expr_src(&src.index),
+                dst.name,
+                expr_src(&dst.index)
+            ));
+        }
+        Stmt::IoBlock { sem, body, .. } => {
+            out.push_str(&format!("_IO_block_begin({});\n", sem_src(*sem)));
+            print_stmts(out, body, depth + 1);
+            ind(out, depth);
+            out.push_str("_IO_block_end;\n");
+        }
+        Stmt::If {
+            cond, then, els, ..
+        } => {
+            out.push_str(&format!("if ({}) {{\n", expr_src(cond)));
+            print_stmts(out, then, depth + 1);
+            ind(out, depth);
+            if els.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                print_stmts(out, els, depth + 1);
+                ind(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::Repeat {
+            var, count, body, ..
+        } => {
+            out.push_str(&format!("repeat ({var}, {count}) {{\n"));
+            print_stmts(out, body, depth + 1);
+            ind(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::LeaFir {
+            x,
+            h,
+            y,
+            n_out,
+            taps,
+            ..
+        } => out.push_str(&format!("lea_fir({x}, {h}, {y}, {n_out}, {taps});\n")),
+        Stmt::LeaConv2d {
+            input,
+            w,
+            h,
+            kernel,
+            kw,
+            kh,
+            out: o,
+            ..
+        } => out.push_str(&format!(
+            "lea_conv2d({input}, {w}, {h}, {kernel}, {kw}, {kh}, {o});\n"
+        )),
+        Stmt::LeaRelu { buf, n, .. } => out.push_str(&format!("lea_relu({buf}, {n});\n")),
+        Stmt::LeaFc {
+            x,
+            n_in,
+            weights,
+            out: o,
+            n_out,
+            ..
+        } => out.push_str(&format!("lea_fc({x}, {n_in}, {weights}, {o}, {n_out});\n")),
+        Stmt::Next(t, _) => out.push_str(&format!("next {t};\n")),
+        Stmt::Done(_) => out.push_str("done;\n"),
+    }
+}
+
+/// Structural equality ignoring source lines and analysis ids.
+pub fn ast_eq(a: &Program, b: &Program) -> bool {
+    fn norm(p: &Program) -> Program {
+        let mut p = p.clone();
+        for d in &mut p.decls {
+            d.line = 0;
+        }
+        for t in &mut p.tasks {
+            t.line = 0;
+            norm_stmts(&mut t.body);
+        }
+        p
+    }
+    fn norm_expr(e: &mut Expr) {
+        match e {
+            Expr::Bin(_, l, r) => {
+                norm_expr(l);
+                norm_expr(r);
+            }
+            Expr::Index(_, i) => norm_expr(i),
+            Expr::CallIo(c) => {
+                c.line = 0;
+                c.id = 0;
+                for a in &mut c.args {
+                    norm_expr(a);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn norm_stmts(stmts: &mut [Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Let { expr, line, .. } | Stmt::Assign { expr, line, .. } => {
+                    *line = 0;
+                    norm_expr(expr);
+                }
+                Stmt::AssignIndex {
+                    index, expr, line, ..
+                } => {
+                    *line = 0;
+                    norm_expr(index);
+                    norm_expr(expr);
+                }
+                Stmt::Compute(e, line) => {
+                    *line = 0;
+                    norm_expr(e);
+                }
+                Stmt::CallIoStmt(c) => {
+                    c.line = 0;
+                    c.id = 0;
+                    for a in &mut c.args {
+                        norm_expr(a);
+                    }
+                }
+                Stmt::DmaCopy {
+                    src, dst, line, id, ..
+                } => {
+                    *line = 0;
+                    *id = 0;
+                    norm_expr(&mut src.index);
+                    norm_expr(&mut dst.index);
+                }
+                Stmt::IoBlock { body, line, .. } => {
+                    *line = 0;
+                    norm_stmts(body);
+                }
+                Stmt::If {
+                    cond,
+                    then,
+                    els,
+                    line,
+                } => {
+                    *line = 0;
+                    norm_expr(cond);
+                    norm_stmts(then);
+                    norm_stmts(els);
+                }
+                Stmt::Repeat { body, line, .. } => {
+                    *line = 0;
+                    norm_stmts(body);
+                }
+                Stmt::LeaFir { line, id, .. }
+                | Stmt::LeaConv2d { line, id, .. }
+                | Stmt::LeaRelu { line, id, .. }
+                | Stmt::LeaFc { line, id, .. } => {
+                    *line = 0;
+                    *id = 0;
+                }
+                Stmt::Next(_, line) | Stmt::Done(line) => *line = 0,
+            }
+        }
+    }
+    norm(a) == norm(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn simple_round_trip() {
+        let src = r#"
+            __nv int x;
+            __nv int arr[8];
+            task a {
+                let v = _call_IO(Temp, Timely, 10);
+                x = v * 2 + arr[3];
+                arr[0] = 0 - 5;
+                _DMA_copy(arr[0], arr[4], 2, Exclude);
+                _IO_block_begin(Single);
+                let h = _call_IO(Humd, Always);
+                _IO_block_end;
+                if (x < 0) { next b; } else { done; }
+            }
+            task b {
+                repeat (i, 3) { arr[i] = i; }
+                _call_IO(Send, Single, x, arr[0]);
+                done;
+            }
+        "#;
+        let p1 = parse(src).unwrap();
+        let printed = print_source(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert!(ast_eq(&p1, &p2), "round-trip mismatch:\n{printed}");
+    }
+
+    #[test]
+    fn negative_literals_survive() {
+        let src = "task t { let a = 0 - 42; done; }";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&print_source(&p1)).unwrap();
+        assert!(ast_eq(&p1, &p2));
+    }
+}

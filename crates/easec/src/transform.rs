@@ -1,0 +1,397 @@
+//! Source-to-source transformation printer (paper §4.5, Figure 5).
+//!
+//! Emits the C the original front-end would generate: one lock flag,
+//! private output copy, and (for `Timely`) timestamp per `_call_IO` site,
+//! with the `if` control structures of Figure 5; block flags with their
+//! time checks; and `depend_flg` tests wired from the inferred data
+//! dependencies. This is a documentation artifact — execution uses the same
+//! decisions through the runtime — and doubles as a readable record of what
+//! the analysis concluded.
+
+use crate::analyze::Analysis;
+use crate::ast::*;
+
+/// Pretty-prints the transformed program.
+pub fn transform(program: &Program, analysis: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str("// Transformed by easec (EaseIO front-end, paper Fig. 5).\n");
+    for d in &program.decls {
+        let kw = match d.region {
+            DeclRegion::Fram => "__nv",
+            DeclRegion::Lea => "__lea",
+        };
+        match d.len {
+            Some(n) => out.push_str(&format!("{kw} int {}[{}];\n", d.name, n)),
+            None => out.push_str(&format!("{kw} int {};\n", d.name)),
+        }
+    }
+    // Control-block declarations for every call site.
+    let mut ids: Vec<&u32> = analysis.lock_names.keys().collect();
+    ids.sort();
+    for id in ids {
+        let lock = &analysis.lock_names[id];
+        out.push_str(&format!("__nv bool {lock};\n"));
+        out.push_str(&format!("__nv int  priv_{};\n", &lock[5..]));
+    }
+    out.push('\n');
+    let mut block_counter = 0u32;
+    for task in &program.tasks {
+        out.push_str(&format!("task {}() {{\n", task.name));
+        emit_stmts(
+            &mut out,
+            &task.body,
+            analysis,
+            1,
+            &mut block_counter,
+            &task.name,
+        );
+        out.push_str("}\n\n");
+    }
+    out
+}
+
+fn ind(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn emit_stmts(
+    out: &mut String,
+    stmts: &[Stmt],
+    a: &Analysis,
+    depth: usize,
+    blocks: &mut u32,
+    task: &str,
+) {
+    for s in stmts {
+        emit_stmt(out, s, a, depth, blocks, task);
+    }
+}
+
+fn emit_call(out: &mut String, call: &IoCall, a: &Analysis, depth: usize, bind: Option<&str>) {
+    let lock = &a.lock_names[&call.id];
+    let slot = &lock[5..]; // strip "lock_"
+    let deps = &a.io_deps[&call.id];
+    let mut cond = match call.sem {
+        Sem::Single => format!("!{lock}"),
+        Sem::Timely(ms) => format!("!{lock} || (GetTime() - ts_{slot}) > {ms}"),
+        Sem::Always => "1 /* Always */".to_string(),
+    };
+    for d in deps {
+        // depend_flg wiring: re-execute when a producer re-executed (§3.3.2).
+        cond.push_str(&format!(" || depend_flg_{}", &a.lock_names[d][5..]));
+    }
+    ind(out, depth);
+    out.push_str(&format!("if ({cond}) {{\n"));
+    ind(out, depth + 1);
+    let args = call
+        .args
+        .iter()
+        .map(expr_src)
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!("priv_{slot} = {}({args});\n", call.func.name()));
+    if let Sem::Timely(_) = call.sem {
+        ind(out, depth + 1);
+        out.push_str(&format!("ts_{slot} = GetTime();\n"));
+    }
+    if call.sem != Sem::Always {
+        ind(out, depth + 1);
+        out.push_str(&format!("{lock} = SET;\n"));
+    }
+    ind(out, depth + 1);
+    out.push_str(&format!("depend_flg_{slot} = SET;\n"));
+    ind(out, depth);
+    out.push_str("}\n");
+    if let Some(name) = bind {
+        ind(out, depth);
+        out.push_str(&format!("{name} = priv_{slot};\n"));
+    }
+}
+
+fn emit_stmt(out: &mut String, s: &Stmt, a: &Analysis, depth: usize, blocks: &mut u32, task: &str) {
+    match s {
+        Stmt::Let { name, expr, .. } | Stmt::Assign { name, expr, .. } => {
+            if let Expr::CallIo(call) = expr {
+                emit_call(out, call, a, depth, Some(name));
+            } else {
+                ind(out, depth);
+                out.push_str(&format!("{name} = {};\n", expr_src(expr)));
+            }
+        }
+        Stmt::AssignIndex {
+            name, index, expr, ..
+        } => {
+            ind(out, depth);
+            out.push_str(&format!(
+                "{name}[{}] = {};\n",
+                expr_src(index),
+                expr_src(expr)
+            ));
+        }
+        Stmt::Compute(e, _) => {
+            ind(out, depth);
+            out.push_str(&format!("compute({});\n", expr_src(e)));
+        }
+        Stmt::CallIoStmt(call) => emit_call(out, call, a, depth, None),
+        Stmt::DmaCopy {
+            src,
+            dst,
+            elems,
+            exclude,
+            id,
+            ..
+        } => {
+            ind(out, depth);
+            let related = a.dma_related.get(id).map(|v| v.as_slice()).unwrap_or(&[]);
+            let note = if *exclude {
+                " /* Exclude: Always at compile time */".to_string()
+            } else if related.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " /* RelatedConstFlag <- {} */",
+                    related
+                        .iter()
+                        .map(|d| a.lock_names[d][5..].to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            out.push_str(&format!(
+                "_DMA_copy(&{}[{}], &{}[{}], {elems});{note}\n",
+                src.name,
+                expr_src(&src.index),
+                dst.name,
+                expr_src(&dst.index)
+            ));
+            ind(out, depth);
+            out.push_str("/* region boundary: regional privatization + recovery */\n");
+        }
+        Stmt::IoBlock { sem, body, .. } => {
+            let b = *blocks;
+            *blocks += 1;
+            let flag = format!("flag_block_{task}_{b}");
+            ind(out, depth);
+            let cond = match sem {
+                Sem::Single => format!("!{flag}"),
+                Sem::Timely(ms) => {
+                    format!("!{flag} || (GetTime() - time_blck_{task}_{b}) > {ms}")
+                }
+                Sem::Always => "1".into(),
+            };
+            out.push_str(&format!("if ({cond}) {{\n"));
+            emit_stmts(out, body, a, depth + 1, blocks, task);
+            if let Sem::Timely(_) = sem {
+                ind(out, depth + 1);
+                out.push_str(&format!("time_blck_{task}_{b} = GetTime();\n"));
+            }
+            ind(out, depth + 1);
+            out.push_str(&format!("{flag} = SET;\n"));
+            ind(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::If {
+            cond, then, els, ..
+        } => {
+            ind(out, depth);
+            out.push_str(&format!("if ({}) {{\n", expr_src(cond)));
+            emit_stmts(out, then, a, depth + 1, blocks, task);
+            if els.is_empty() {
+                ind(out, depth);
+                out.push_str("}\n");
+            } else {
+                ind(out, depth);
+                out.push_str("} else {\n");
+                emit_stmts(out, els, a, depth + 1, blocks, task);
+                ind(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::Repeat {
+            var, count, body, ..
+        } => {
+            ind(out, depth);
+            out.push_str(&format!(
+                "for (int {var} = 0; {var} < {count}; {var}++) {{ /* lock array (§6) */\n"
+            ));
+            emit_stmts(out, body, a, depth + 1, blocks, task);
+            ind(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::LeaFir {
+            x,
+            h,
+            y,
+            n_out,
+            taps,
+            ..
+        } => {
+            ind(out, depth);
+            out.push_str(&format!(
+                "LEA_FIR({x}, {h}, {y}, {n_out}, {taps}); /* Always: volatile operands */\n"
+            ));
+        }
+        Stmt::LeaConv2d {
+            input,
+            w,
+            h,
+            kernel,
+            kw,
+            kh,
+            out: o,
+            ..
+        } => {
+            ind(out, depth);
+            out.push_str(&format!(
+                "LEA_CONV2D({input}, {w}, {h}, {kernel}, {kw}, {kh}, {o}); /* Always */\n"
+            ));
+        }
+        Stmt::LeaRelu { buf, n, .. } => {
+            ind(out, depth);
+            out.push_str(&format!("LEA_RELU({buf}, {n}); /* Always */\n"));
+        }
+        Stmt::LeaFc {
+            x,
+            n_in,
+            weights,
+            out: o,
+            n_out,
+            ..
+        } => {
+            ind(out, depth);
+            out.push_str(&format!(
+                "LEA_FC({x}, {n_in}, {weights}, {o}, {n_out}); /* Always */\n"
+            ));
+        }
+        Stmt::Next(t, _) => {
+            ind(out, depth);
+            out.push_str(&format!("task_t(next_{t});\n"));
+        }
+        Stmt::Done(_) => {
+            ind(out, depth);
+            out.push_str("task_t(done);\n");
+        }
+    }
+}
+
+fn expr_src(e: &Expr) -> String {
+    match e {
+        Expr::Int(n) => n.to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Index(a, i) => format!("{a}[{}]", expr_src(i)),
+        Expr::Bin(op, l, r) => {
+            let o = match op {
+                Op::Add => "+",
+                Op::Sub => "-",
+                Op::Mul => "*",
+                Op::Div => "/",
+                Op::Rem => "%",
+                Op::Eq => "==",
+                Op::Ne => "!=",
+                Op::Lt => "<",
+                Op::Le => "<=",
+                Op::Gt => ">",
+                Op::Ge => ">=",
+            };
+            format!("({} {o} {})", expr_src(l), expr_src(r))
+        }
+        Expr::CallIo(c) => format!("{}(...)", c.func.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::parser::parse;
+
+    fn transformed(src: &str) -> String {
+        let mut p = parse(src).unwrap();
+        let a = analyze(&mut p).unwrap();
+        transform(&p, &a)
+    }
+
+    #[test]
+    fn fig5_structure_for_a_timely_call() {
+        // The paper's Figure 5 transformation of `temp = _call_IO(Temp,
+        // "Timely", 50)`: time check, private copy, timestamp, lock.
+        let out = transformed(
+            r#"
+            __nv int temp;
+            task T1 {
+                temp = _call_IO(Temp, Timely, 50);
+                done;
+            }
+        "#,
+        );
+        assert!(out.contains("if (!lock_Temp_T1_0 || (GetTime() - ts_Temp_T1_0) > 50)"));
+        assert!(out.contains("priv_Temp_T1_0 = Temp();"));
+        assert!(out.contains("ts_Temp_T1_0 = GetTime();"));
+        assert!(out.contains("lock_Temp_T1_0 = SET;"));
+        assert!(out.contains("temp = priv_Temp_T1_0;"));
+    }
+
+    #[test]
+    fn depend_flg_appears_for_dependent_sends() {
+        let out = transformed(
+            r#"
+            task T1 {
+                let t = _call_IO(Temp, Timely, 50);
+                _call_IO(Send, Single, t);
+                done;
+            }
+        "#,
+        );
+        assert!(
+            out.contains("if (!lock_Send_T1_0 || depend_flg_Temp_T1_0)"),
+            "missing depend_flg wiring:\n{out}"
+        );
+    }
+
+    #[test]
+    fn block_flag_and_time_check() {
+        let out = transformed(
+            r#"
+            task T1 {
+                _IO_block_begin(Timely, 10);
+                let p = _call_IO(Pres, Single);
+                _IO_block_end;
+                done;
+            }
+        "#,
+        );
+        assert!(out.contains("if (!flag_block_T1_0 || (GetTime() - time_blck_T1_0) > 10)"));
+        assert!(out.contains("flag_block_T1_0 = SET;"));
+    }
+
+    #[test]
+    fn dma_related_comment_names_the_producer() {
+        let out = transformed(
+            r#"
+            __nv int a[4];
+            __nv int b[4];
+            task T1 {
+                a[0] = _call_IO(Light, Always);
+                _DMA_copy(a[0], b[0], 2);
+                done;
+            }
+        "#,
+        );
+        assert!(out.contains("RelatedConstFlag <- Light_T1_0"), "{out}");
+        assert!(out.contains("region boundary"));
+    }
+
+    #[test]
+    fn exclude_is_noted() {
+        let out = transformed(
+            r#"
+            __nv int a[4];
+            __nv int b[4];
+            task T1 { _DMA_copy(a[0], b[0], 2, Exclude); done; }
+        "#,
+        );
+        assert!(out.contains("Exclude: Always at compile time"));
+    }
+}

@@ -1,0 +1,327 @@
+//! The task context: the API surface a task body programs against.
+//!
+//! `TaskCtx` corresponds to the EaseIO language constructs of the paper's
+//! Table 2 plus the ordinary task-model operations:
+//!
+//! | paper construct            | `TaskCtx` method        |
+//! |----------------------------|-------------------------|
+//! | `_call_IO(name, type,...)` | [`TaskCtx::call_io`] / [`TaskCtx::call_io_dep`] |
+//! | `_IO_block_begin/_end`     | [`TaskCtx::io_block`]   |
+//! | `_DMA_copy(src,dst,size)`  | [`TaskCtx::dma_copy`] / [`TaskCtx::dma_copy_annotated`] |
+//! | task-shared variable access| [`TaskCtx::read`] / [`TaskCtx::write`] |
+//! | plain computation          | [`TaskCtx::compute`]    |
+//!
+//! Call sites are numbered by order of execution within the task body, the
+//! dynamic analogue of the compiler's `lock_##fn##task##num` naming (§4.5).
+//! A loop over `call_io` therefore gets one lock slot per iteration — the
+//! loop-array extension of the paper's §6 falls out for free.
+
+use crate::io::IoOp;
+use crate::runtime::Runtime;
+use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
+use mcu_emu::{Addr, Mcu, NvBuf, NvVar, PowerFailure, Scalar, WorkKind};
+use periph::Peripherals;
+use std::collections::HashSet;
+
+/// Telemetry shared across attempts of an activation, used to count
+/// redundant re-executions (paper Table 4). Observer-only: it models the
+/// logic analyzer, not anything the MCU stores.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    io_done: HashSet<(TaskId, u16)>,
+    dma_done: HashSet<(TaskId, u16)>,
+}
+
+impl Telemetry {
+    /// Clears per-activation state for `task` after it commits.
+    pub fn commit(&mut self, task: TaskId) {
+        self.io_done.retain(|(t, _)| *t != task);
+        self.dma_done.retain(|(t, _)| *t != task);
+    }
+}
+
+/// The execution context passed to task bodies.
+pub struct TaskCtx<'a> {
+    /// The simulated MCU.
+    pub mcu: &'a mut Mcu,
+    /// The simulated peripherals.
+    pub periph: &'a mut Peripherals,
+    rt: &'a mut dyn Runtime,
+    telemetry: &'a mut Telemetry,
+    task: TaskId,
+    io_seq: u16,
+    dma_seq: u16,
+    block_seq: u16,
+    block_depth: u16,
+}
+
+impl<'a> TaskCtx<'a> {
+    /// Creates a context for one execution attempt of `task`.
+    pub fn new(
+        mcu: &'a mut Mcu,
+        periph: &'a mut Peripherals,
+        rt: &'a mut dyn Runtime,
+        telemetry: &'a mut Telemetry,
+        task: TaskId,
+    ) -> Self {
+        Self {
+            mcu,
+            periph,
+            rt,
+            telemetry,
+            task,
+            io_seq: 0,
+            dma_seq: 0,
+            block_seq: 0,
+            block_depth: 0,
+        }
+    }
+
+    /// The task being executed.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// Sequence index the *next* `call_io` will get; apps use this to name
+    /// dependency targets.
+    pub fn next_io_site(&self) -> u16 {
+        self.io_seq
+    }
+
+    /// Performs `cycles` cycles of application computation.
+    pub fn compute(&mut self, cycles: u64) -> Result<(), PowerFailure> {
+        debug_assert_eq!(
+            self.block_depth, 0,
+            "EaseIO I/O blocks contain only I/O operations (paper §3.2)"
+        );
+        let c = self.mcu.cost.cpu_cycle.times(cycles);
+        self.mcu.spend(WorkKind::App, c)
+    }
+
+    /// Reads a task-shared variable through the runtime.
+    pub fn read<T: Scalar>(&mut self, var: NvVar<T>) -> Result<T, PowerFailure> {
+        let raw = self.rt.read_var(self.mcu, self.task, var.raw())?;
+        Ok(T::from_raw(raw))
+    }
+
+    /// Writes a task-shared variable through the runtime.
+    pub fn write<T: Scalar>(&mut self, var: NvVar<T>, value: T) -> Result<(), PowerFailure> {
+        debug_assert_eq!(
+            self.block_depth, 0,
+            "EaseIO I/O blocks contain only I/O operations (paper §3.2)"
+        );
+        self.rt
+            .write_var(self.mcu, self.task, var.raw(), value.to_raw())
+    }
+
+    /// Reads one element of a task-shared buffer through the runtime.
+    pub fn buf_read<T: Scalar>(&mut self, buf: NvBuf<T>, i: u32) -> Result<T, PowerFailure> {
+        let raw = self.rt.read_var(self.mcu, self.task, buf.slot(i))?;
+        Ok(T::from_raw(raw))
+    }
+
+    /// Writes one element of a task-shared buffer through the runtime.
+    pub fn buf_write<T: Scalar>(
+        &mut self,
+        buf: NvBuf<T>,
+        i: u32,
+        value: T,
+    ) -> Result<(), PowerFailure> {
+        debug_assert_eq!(self.block_depth, 0, "no buffer writes inside I/O blocks");
+        self.rt
+            .write_var(self.mcu, self.task, buf.slot(i), value.to_raw())
+    }
+
+    /// Reads the persistent timekeeper (application-level `GetTime()`).
+    pub fn now(&mut self) -> Result<u64, PowerFailure> {
+        self.mcu.read_timestamp(WorkKind::App)
+    }
+
+    /// `_call_IO(op, sem)` — executes `op` under the given re-execution
+    /// semantics and returns its (possibly restored) value.
+    pub fn call_io(&mut self, op: IoOp, sem: ReexecSemantics) -> Result<i32, PowerFailure> {
+        self.call_io_dep(op, sem, &[])
+    }
+
+    /// `_call_IO` with explicit data dependencies: `deps` are the sequence
+    /// indices of earlier call sites whose outputs feed this operation. If a
+    /// dependency re-executed in this attempt, this operation re-executes
+    /// too (paper §3.3.2).
+    pub fn call_io_dep(
+        &mut self,
+        op: IoOp,
+        sem: ReexecSemantics,
+        deps: &[u16],
+    ) -> Result<i32, PowerFailure> {
+        let site = self.io_seq;
+        self.io_seq += 1;
+        let out = self
+            .rt
+            .io_call(self.mcu, self.periph, self.task, site, &op, sem, deps)?;
+        let now = self.mcu.now_us();
+        if out.executed {
+            self.mcu
+                .stats
+                .trace_event(now, mcu_emu::TraceEvent::IoExecuted(op.kind_name()));
+            let key = (self.task, site);
+            if !self.telemetry.io_done.insert(key) {
+                // The site had already completed in an earlier attempt of
+                // this activation: this execution is redundant.
+                self.mcu.stats.io_reexecutions += 1;
+            }
+        } else {
+            self.mcu
+                .stats
+                .trace_event(now, mcu_emu::TraceEvent::IoSkipped(op.kind_name()));
+            self.mcu.stats.io_skipped += 1;
+        }
+        Ok(out.value)
+    }
+
+    /// `_IO_block_begin(sem) ... _IO_block_end` — runs `f` as an atomic I/O
+    /// block with block-level re-execution semantics. Blocks nest; the
+    /// outermost decisive block wins (paper §3.3.1).
+    pub fn io_block<R>(
+        &mut self,
+        sem: ReexecSemantics,
+        f: impl FnOnce(&mut Self) -> Result<R, PowerFailure>,
+    ) -> Result<R, PowerFailure> {
+        let block = self.block_seq;
+        self.block_seq += 1;
+        self.rt.io_block_begin(self.mcu, self.task, block, sem)?;
+        self.block_depth += 1;
+        let r = f(self);
+        self.block_depth -= 1;
+        let value = r?;
+        self.rt.io_block_end(self.mcu, self.task)?;
+        Ok(value)
+    }
+
+    /// `_DMA_copy(src, dst, bytes)` with automatic semantics resolution.
+    pub fn dma_copy(&mut self, src: Addr, dst: Addr, bytes: u32) -> Result<(), PowerFailure> {
+        self.dma_copy_annotated(src, dst, bytes, DmaAnnotation::Auto, &[])
+    }
+
+    /// `_DMA_copy` with an explicit annotation (`Exclude` for constant data)
+    /// and the related I/O call sites whose outputs the data depends on
+    /// (paper §4.3.1).
+    pub fn dma_copy_annotated(
+        &mut self,
+        src: Addr,
+        dst: Addr,
+        bytes: u32,
+        annotation: DmaAnnotation,
+        related: &[u16],
+    ) -> Result<(), PowerFailure> {
+        debug_assert_eq!(self.block_depth, 0, "DMA copies sit outside I/O blocks");
+        let site = self.dma_seq;
+        self.dma_seq += 1;
+        let out = self.rt.dma_copy(
+            self.mcu, self.task, site, src, dst, bytes, annotation, related,
+        )?;
+        let now = self.mcu.now_us();
+        if out.executed {
+            self.mcu
+                .stats
+                .trace_event(now, mcu_emu::TraceEvent::DmaExecuted);
+            let key = (self.task, site);
+            if !self.telemetry.dma_done.insert(key) {
+                self.mcu.stats.dma_reexecutions += 1;
+            }
+        } else {
+            self.mcu
+                .stats
+                .trace_event(now, mcu_emu::TraceEvent::DmaSkipped);
+            self.mcu.stats.dma_skipped += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveRuntime;
+    use crate::semantics::TaskId;
+    use mcu_emu::{NvBuf, NvVar, Region, Supply};
+    use periph::Sensor;
+
+    fn setup() -> (Mcu, Peripherals, NaiveRuntime, Telemetry) {
+        (
+            Mcu::new(Supply::continuous()),
+            Peripherals::new(3),
+            NaiveRuntime::new(),
+            Telemetry::default(),
+        )
+    }
+
+    #[test]
+    fn io_sites_are_numbered_in_execution_order() {
+        let (mut mcu, mut p, mut rt, mut tel) = setup();
+        let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+        assert_eq!(ctx.next_io_site(), 0);
+        ctx.call_io(IoOp::Sense(Sensor::Temp), ReexecSemantics::Always)
+            .unwrap();
+        assert_eq!(ctx.next_io_site(), 1);
+        ctx.call_io(IoOp::Sense(Sensor::Humd), ReexecSemantics::Always)
+            .unwrap();
+        assert_eq!(ctx.next_io_site(), 2);
+    }
+
+    #[test]
+    fn telemetry_counts_reexecution_across_attempts() {
+        let (mut mcu, mut p, mut rt, mut tel) = setup();
+        // Attempt 1 executes site 0.
+        {
+            let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+            ctx.call_io(IoOp::Sense(Sensor::Temp), ReexecSemantics::Always)
+                .unwrap();
+        }
+        assert_eq!(mcu.stats.io_reexecutions, 0);
+        // Attempt 2 (same activation: telemetry not committed) repeats it.
+        {
+            let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+            ctx.call_io(IoOp::Sense(Sensor::Temp), ReexecSemantics::Always)
+                .unwrap();
+        }
+        assert_eq!(mcu.stats.io_reexecutions, 1);
+        // After commit, a fresh activation's execution is not redundant.
+        tel.commit(TaskId(0));
+        {
+            let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+            ctx.call_io(IoOp::Sense(Sensor::Temp), ReexecSemantics::Always)
+                .unwrap();
+        }
+        assert_eq!(mcu.stats.io_reexecutions, 1);
+    }
+
+    #[test]
+    fn reads_and_writes_route_through_the_runtime() {
+        let (mut mcu, mut p, mut rt, mut tel) = setup();
+        let v: NvVar<i32> = NvVar::alloc(&mut mcu.mem, Region::Fram);
+        let b: NvBuf<i16> = NvBuf::alloc(&mut mcu.mem, Region::Fram, 4);
+        let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+        ctx.write(v, -9).unwrap();
+        assert_eq!(ctx.read(v).unwrap(), -9);
+        ctx.buf_write(b, 2, 7i16).unwrap();
+        assert_eq!(ctx.buf_read(b, 2).unwrap(), 7i16);
+    }
+
+    #[test]
+    fn now_reads_the_persistent_timer_with_cost() {
+        let (mut mcu, mut p, mut rt, mut tel) = setup();
+        let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+        let t1 = ctx.now().unwrap();
+        let t2 = ctx.now().unwrap();
+        assert!(t2 > t1, "each timer read advances virtual time");
+    }
+
+    #[test]
+    fn compute_charges_app_time() {
+        let (mut mcu, mut p, mut rt, mut tel) = setup();
+        let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+        ctx.compute(123).unwrap();
+        assert_eq!(mcu.stats.app_time_us, 123);
+        assert_eq!(mcu.stats.overhead_time_us, 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! The runtime interface: privatization and I/O re-execution policy.
+//!
+//! Every intermittent runtime — the Alpaca and InK baselines here, EaseIO in
+//! the `easeio-core` crate — implements [`Runtime`]. The executor and the
+//! task context route every observable action through this trait:
+//!
+//! * CPU accesses to non-volatile variables (`read_var` / `write_var`) so
+//!   the runtime can privatize;
+//! * task lifecycle events (`on_task_entry` / `on_task_commit`) so it can
+//!   restore and commit;
+//! * `_call_IO`, `_IO_block_begin/end`, and `_DMA_copy` so it can apply
+//!   re-execution semantics.
+//!
+//! The trait deliberately has no notion of "what the compiler knew": each
+//! runtime learns variable sets dynamically at first access, which is
+//! semantically equivalent to the static instrumentation the original
+//! systems generate (see DESIGN.md §2 for the argument).
+
+use crate::io::IoOp;
+use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
+use mcu_emu::{Addr, Mcu, PowerFailure, RawVar};
+use periph::Peripherals;
+
+/// Result of a `_call_IO` invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoOutcome {
+    /// The operation's value (executed fresh or restored from the private
+    /// output copy).
+    pub value: i32,
+    /// Whether the peripheral actually ran (false = skipped/restored).
+    pub executed: bool,
+}
+
+/// Result of a `_DMA_copy` invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaOutcome {
+    /// Whether a transfer into the destination happened this call.
+    pub executed: bool,
+}
+
+/// An intermittent-computing runtime.
+pub trait Runtime {
+    /// Runtime name for reports ("Alpaca", "InK", "EaseIO", ...).
+    fn name(&self) -> &'static str;
+
+    /// Called each time a task body is (re-)entered. `reexecution` is true
+    /// when this activation already had at least one failed attempt.
+    fn on_task_entry(
+        &mut self,
+        mcu: &mut Mcu,
+        task: TaskId,
+        reexecution: bool,
+    ) -> Result<(), PowerFailure>;
+
+    /// Price of committing `task`: everything the commit will write
+    /// (published privates, cleared flags). The executor folds its own
+    /// execution-pointer update into the same atomic step, so a power
+    /// failure either aborts the whole commit (the task re-executes with
+    /// its flags intact) or none of it — splitting them would corrupt
+    /// memory the same way the paper's Figure 2b does.
+    fn commit_cost(&self, mcu: &Mcu, task: TaskId) -> mcu_emu::Cost;
+
+    /// Applies the commit's memory effects. Infallible: the cost was
+    /// already paid via [`Runtime::commit_cost`].
+    fn commit_apply(&mut self, mcu: &mut Mcu, task: TaskId);
+
+    /// Convenience: price and apply the commit as one atomic step (used by
+    /// unit tests; the executor calls the two halves itself so it can fold
+    /// in the execution-pointer write).
+    fn on_task_commit(&mut self, mcu: &mut Mcu, task: TaskId) -> Result<(), PowerFailure> {
+        let c = self.commit_cost(mcu, task);
+        mcu.spend(mcu_emu::WorkKind::Overhead, c)?;
+        self.commit_apply(mcu, task);
+        Ok(())
+    }
+
+    /// CPU read of a non-volatile application variable.
+    fn read_var(&mut self, mcu: &mut Mcu, task: TaskId, var: RawVar) -> Result<u64, PowerFailure>;
+
+    /// CPU write of a non-volatile application variable.
+    fn write_var(
+        &mut self,
+        mcu: &mut Mcu,
+        task: TaskId,
+        var: RawVar,
+        raw: u64,
+    ) -> Result<(), PowerFailure>;
+
+    /// `_call_IO(op, sem)` at call site `site` (sequence index within the
+    /// task body). `deps` lists earlier call sites whose outputs feed this
+    /// operation (paper §3.3.2).
+    #[allow(clippy::too_many_arguments)]
+    fn io_call(
+        &mut self,
+        mcu: &mut Mcu,
+        periph: &mut Peripherals,
+        task: TaskId,
+        site: u16,
+        op: &IoOp,
+        sem: ReexecSemantics,
+        deps: &[u16],
+    ) -> Result<IoOutcome, PowerFailure>;
+
+    /// `_IO_block_begin(sem)`; `block` is the block's sequence index.
+    fn io_block_begin(
+        &mut self,
+        mcu: &mut Mcu,
+        task: TaskId,
+        block: u16,
+        sem: ReexecSemantics,
+    ) -> Result<(), PowerFailure>;
+
+    /// `_IO_block_end` for the innermost open block.
+    fn io_block_end(&mut self, mcu: &mut Mcu, task: TaskId) -> Result<(), PowerFailure>;
+
+    /// `_DMA_copy(src, dst, bytes)` at DMA site `site`. `related` names the
+    /// I/O call sites whose outputs the copied data depends on — the
+    /// `RelatedConstFlag` wiring of paper §4.3.1 (the compiler front-end
+    /// infers these; hand-written apps may pass them explicitly).
+    #[allow(clippy::too_many_arguments)]
+    fn dma_copy(
+        &mut self,
+        mcu: &mut Mcu,
+        task: TaskId,
+        site: u16,
+        src: Addr,
+        dst: Addr,
+        bytes: u32,
+        annotation: DmaAnnotation,
+        related: &[u16],
+    ) -> Result<DmaOutcome, PowerFailure>;
+
+    /// Fixed per-reboot overhead charged on every boot (restoring the
+    /// execution pointer, re-initializing the runtime).
+    fn boot_cost(&self) -> mcu_emu::Cost {
+        mcu_emu::Cost::new(60, 90)
+    }
+}

@@ -1,0 +1,87 @@
+//! Re-execution semantics and identifiers (paper §3.1).
+//!
+//! The three keywords — `Single`, `Timely`, `Always` — are the programmer's
+//! annotation vocabulary for peripheral operations. With continuous power
+//! they make no difference (each operation executes exactly once); under
+//! intermittent power they tell the runtime which completed operations may
+//! be skipped when the enclosing task re-executes.
+
+/// Identifies a task within an application (index into `App::tasks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u16);
+
+/// Re-execution semantics for a peripheral operation or I/O block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReexecSemantics {
+    /// Execute at most once per task activation: if the operation completed
+    /// in a previous power cycle, restore its recorded output instead of
+    /// repeating it. For operations whose effect persists (sending a packet,
+    /// DMA into non-volatile memory).
+    Single,
+    /// Repeat only if more than `window_us` µs of wall-clock time (including
+    /// dead time) elapsed since the last successful execution. For sensor
+    /// data with freshness constraints.
+    Timely {
+        /// Validity window in microseconds.
+        window_us: u64,
+    },
+    /// Repeat after every reboot — the default behaviour of task-based
+    /// systems, kept for operations whose effect is volatile.
+    Always,
+}
+
+impl ReexecSemantics {
+    /// Convenience constructor for a `Timely` window given in milliseconds,
+    /// matching the units the paper's examples use.
+    pub fn timely_ms(ms: u64) -> Self {
+        ReexecSemantics::Timely {
+            window_us: ms * 1000,
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReexecSemantics::Single => "Single",
+            ReexecSemantics::Timely { .. } => "Timely",
+            ReexecSemantics::Always => "Always",
+        }
+    }
+}
+
+/// Programmer annotation on a `_DMA_copy` call (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DmaAnnotation {
+    /// Let the runtime resolve semantics from operand memory types.
+    #[default]
+    Auto,
+    /// The copied data is constant (e.g. filter coefficients): skip the
+    /// privatization machinery and treat the transfer as `Always`. This is
+    /// the optimization evaluated as "EaseIO/Op" in the paper.
+    Exclude,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timely_ms_converts_to_us() {
+        assert_eq!(
+            ReexecSemantics::timely_ms(10),
+            ReexecSemantics::Timely { window_us: 10_000 }
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ReexecSemantics::Single.name(), "Single");
+        assert_eq!(ReexecSemantics::timely_ms(1).name(), "Timely");
+        assert_eq!(ReexecSemantics::Always.name(), "Always");
+    }
+
+    #[test]
+    fn default_dma_annotation_is_auto() {
+        assert_eq!(DmaAnnotation::default(), DmaAnnotation::Auto);
+    }
+}

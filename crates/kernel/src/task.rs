@@ -1,0 +1,163 @@
+//! Tasks, task graphs, and applications.
+//!
+//! A task is an atomic unit of work with all-or-nothing semantics: its body
+//! runs from the top after every power failure until it completes, at which
+//! point the runtime commits its state and control transfers to the next
+//! task. Task bodies are ordinary Rust closures over a [`TaskCtx`]; a power
+//! failure surfaces as an `Err` that the `?` operator propagates to the
+//! executor, which is exactly the control flow a reboot produces on the real
+//! hardware.
+
+use crate::ctx::TaskCtx;
+use crate::semantics::TaskId;
+use mcu_emu::{Mcu, PowerFailure};
+use periph::Peripherals;
+use std::rc::Rc;
+
+/// Where control goes after a task commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Continue with the given task.
+    To(TaskId),
+    /// The application is finished.
+    Done,
+}
+
+/// Result of one execution attempt of a task body.
+pub type TaskResult = Result<Transition, PowerFailure>;
+
+/// The body type of a task.
+pub type TaskBody = Rc<dyn Fn(&mut TaskCtx<'_>) -> TaskResult>;
+
+/// One task of an application.
+#[derive(Clone)]
+pub struct TaskDef {
+    /// Task name (for reports).
+    pub name: &'static str,
+    /// The task body; re-executed from the top after each power failure.
+    pub body: TaskBody,
+}
+
+impl std::fmt::Debug for TaskDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskDef").field("name", &self.name).finish()
+    }
+}
+
+/// Static inventory of an application (Table 3 of the paper and inputs to
+/// the code-size model of Table 6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Inventory {
+    /// Number of tasks.
+    pub tasks: u32,
+    /// Number of distinct I/O functions (the paper's Table 3 column).
+    pub io_funcs: u32,
+    /// Number of `_call_IO` call sites.
+    pub io_sites: u32,
+    /// Number of `_DMA_copy` call sites.
+    pub dma_sites: u32,
+    /// Number of I/O blocks.
+    pub io_blocks: u32,
+    /// Number of non-volatile application variables accessed by tasks.
+    pub nv_vars: u32,
+}
+
+/// Outcome of an application-specific correctness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Final state matches continuous-power execution.
+    Correct,
+    /// Memory inconsistency or unsafe execution detected.
+    Incorrect(String),
+}
+
+impl Verdict {
+    /// Whether the run was correct.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Verdict::Correct)
+    }
+}
+
+/// Verification closure: inspects the final MCU/peripheral state.
+pub type VerifyFn = Rc<dyn Fn(&Mcu, &Peripherals) -> Verdict>;
+
+/// An application: a task graph plus its inventory and correctness check.
+#[derive(Clone)]
+pub struct App {
+    /// Application name.
+    pub name: &'static str,
+    /// The tasks; `TaskId(i)` indexes this vector.
+    pub tasks: Vec<TaskDef>,
+    /// Entry task.
+    pub entry: TaskId,
+    /// Static inventory for Tables 3 and 6.
+    pub inventory: Inventory,
+    /// Optional correctness check, run after completion.
+    pub verify: Option<VerifyFn>,
+}
+
+impl std::fmt::Debug for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("App")
+            .field("name", &self.name)
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+impl App {
+    /// Looks up a task.
+    pub fn task(&self, id: TaskId) -> &TaskDef {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop_task(name: &'static str) -> TaskDef {
+        TaskDef {
+            name,
+            body: Rc::new(|_| Ok(Transition::Done)),
+        }
+    }
+
+    #[test]
+    fn app_task_lookup() {
+        let app = App {
+            name: "t",
+            tasks: vec![noop_task("a"), noop_task("b")],
+            entry: TaskId(0),
+            inventory: Inventory::default(),
+            verify: None,
+        };
+        assert_eq!(app.task(TaskId(1)).name, "b");
+        assert_eq!(app.task_count(), 2);
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(Verdict::Correct.is_correct());
+        assert!(!Verdict::Incorrect("x".into()).is_correct());
+    }
+
+    #[test]
+    fn debug_impls_do_not_recurse() {
+        let t = noop_task("dbg");
+        assert!(format!("{t:?}").contains("dbg"));
+        let app = App {
+            name: "dbg-app",
+            tasks: vec![t],
+            entry: TaskId(0),
+            inventory: Inventory::default(),
+            verify: None,
+        };
+        assert!(format!("{app:?}").contains("dbg-app"));
+    }
+}

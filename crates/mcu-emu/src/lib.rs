@@ -1,0 +1,31 @@
+//! Simulated MSP430FR5994 intermittent-computing platform.
+//!
+//! This crate provides the hardware substrate that the EaseIO paper assumes:
+//! a 16-bit microcontroller with a small volatile SRAM, a large persistent
+//! FRAM, a dedicated LEA accelerator RAM, a persistent timekeeper, and a
+//! power supply that fails intermittently (either on an emulated timer, as in
+//! the paper's controlled experiments, or from an RF energy-harvesting
+//! capacitor model, as in the paper's real-world evaluation).
+//!
+//! Everything is deterministic given a seed: virtual time advances only when
+//! the MCU spends cycles, and power failures are produced by seeded supply
+//! models. The simulator keeps an exact time/energy ledger classified into
+//! application work and runtime overhead, from which the paper's metrics
+//! (wasted work, runtime overhead, energy consumption, power-failure counts)
+//! are computed without measurement noise.
+
+pub mod clock;
+pub mod energy;
+pub mod mcu;
+pub mod memory;
+pub mod nvstore;
+pub mod power;
+pub mod stats;
+
+pub use clock::Clock;
+pub use energy::{Capacitor, Cost, CostTable};
+pub use mcu::{Mcu, PowerFailure};
+pub use memory::{Addr, AllocTag, Memory, Region};
+pub use nvstore::{NvBuf, NvVar, RawVar, Scalar};
+pub use power::{RfHarvestConfig, Supply, TimerResetConfig};
+pub use stats::{RunStats, TraceEvent, WorkKind};

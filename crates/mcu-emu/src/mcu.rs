@@ -1,0 +1,259 @@
+//! The MCU facade: clock + memory + supply + cost table + ledger.
+//!
+//! All simulated execution funnels through [`Mcu::spend`]: it prices the
+//! work, pushes it through the power supply, and — on interruption — clears
+//! volatile memory and advances the clock across the dead period. The
+//! invariant every runtime relies on is *spend first, then mutate*: an
+//! operation's memory effect is applied only after its cost was paid in
+//! full, so each primitive operation is atomic with respect to power
+//! failures (word writes to FRAM are atomic on the real part as well).
+
+use crate::clock::Clock;
+use crate::energy::{Cost, CostTable};
+use crate::memory::Memory;
+use crate::nvstore::RawVar;
+use crate::power::Supply;
+use crate::stats::{RunStats, WorkKind};
+
+/// A power failure interrupted execution.
+///
+/// Propagated with `?` out of task bodies to the executor, which reboots and
+/// re-executes the interrupted task — the all-or-nothing task model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerFailure;
+
+/// The simulated microcontroller.
+#[derive(Debug)]
+pub struct Mcu {
+    /// Virtual wall clock (persistent timekeeper).
+    pub clock: Clock,
+    /// Memory map.
+    pub mem: Memory,
+    /// Power supply model.
+    pub supply: Supply,
+    /// Calibrated cost table.
+    pub cost: CostTable,
+    /// Time/energy ledger and event counters.
+    pub stats: RunStats,
+}
+
+impl Mcu {
+    /// Creates an MCU with default costs and the given supply.
+    pub fn new(supply: Supply) -> Self {
+        Self {
+            clock: Clock::new(),
+            mem: Memory::new(),
+            supply,
+            cost: CostTable::default(),
+            stats: RunStats::new(),
+        }
+    }
+
+    /// Spends `cost` classified as `kind`.
+    ///
+    /// Long operations are pushed through the supply in ≤1 ms slices: a
+    /// delay-loop capture or a long DMA drains the capacitor gradually and
+    /// harvests income while it runs, exactly like the physical operation.
+    /// The *memory effect* of an operation is still applied only after the
+    /// whole cost was paid (spend-then-mutate), so slicing never weakens
+    /// atomicity — it only lets an operation whose average draw is
+    /// sustainable run from a capacitor smaller than its total energy.
+    ///
+    /// On power failure: volatile memory is cleared, the failure is counted,
+    /// the clock has been advanced across the recharge period, and
+    /// `Err(PowerFailure)` is returned.
+    pub fn spend(&mut self, kind: WorkKind, cost: Cost) -> Result<(), PowerFailure> {
+        const SLICE_US: u64 = 1_000;
+        let mut remaining = cost;
+        loop {
+            let slice = if remaining.time_us > SLICE_US {
+                // Pro-rata energy for this slice; the remainder keeps the
+                // total exact.
+                let e = remaining.energy_nj * SLICE_US / remaining.time_us;
+                Cost::new(SLICE_US, e)
+            } else {
+                remaining
+            };
+            remaining = Cost::new(
+                remaining.time_us - slice.time_us,
+                remaining.energy_nj - slice.energy_nj,
+            );
+            let spend = self.supply.spend(&mut self.clock, slice);
+            self.stats.record(kind, spend.on_us, spend.energy_nj);
+            if spend.interrupted {
+                self.mem.power_failure();
+                self.stats.power_failures += 1;
+                let now = self.clock.now_us();
+                self.stats
+                    .trace_event(now, crate::stats::TraceEvent::PowerFailure);
+                return Err(PowerFailure);
+            }
+            if remaining.time_us == 0 && remaining.energy_nj == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Current wall-clock time without cost (simulation-internal reads).
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    /// Reads the persistent timekeeper from task/runtime code, charging the
+    /// timestamp-read cost.
+    pub fn read_timestamp(&mut self, kind: WorkKind) -> Result<u64, PowerFailure> {
+        let c = self.cost.timestamp_read;
+        self.spend(kind, c)?;
+        Ok(self.clock.now_us())
+    }
+
+    /// Cost of one memory access to `var`'s region, scaled to its width.
+    fn access_cost(&self, var: RawVar, write: bool) -> Cost {
+        let per_word = if var.addr.is_nonvolatile() {
+            if write {
+                self.cost.fram_write_word
+            } else {
+                self.cost.fram_read_word
+            }
+        } else {
+            self.cost.sram_word
+        };
+        per_word.times(var.words())
+    }
+
+    /// Loads a variable, charging the access cost.
+    pub fn load_var(&mut self, kind: WorkKind, var: RawVar) -> Result<u64, PowerFailure> {
+        let c = self.access_cost(var, false);
+        self.spend(kind, c)?;
+        Ok(var.load(&self.mem))
+    }
+
+    /// Stores a variable, charging the access cost. The store is applied
+    /// only after the cost was paid (atomic with respect to failures).
+    pub fn store_var(&mut self, kind: WorkKind, var: RawVar, raw: u64) -> Result<(), PowerFailure> {
+        let c = self.access_cost(var, true);
+        self.spend(kind, c)?;
+        var.store(&mut self.mem, raw);
+        Ok(())
+    }
+
+    /// Copies one variable-sized slot to another, charging read + write.
+    pub fn copy_var(
+        &mut self,
+        kind: WorkKind,
+        src: RawVar,
+        dst: RawVar,
+    ) -> Result<(), PowerFailure> {
+        debug_assert_eq!(src.width, dst.width, "copy between mismatched widths");
+        let raw = self.load_var(kind, src)?;
+        self.store_var(kind, dst, raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{AllocTag, Region};
+    use crate::power::TimerResetConfig;
+
+    fn continuous() -> Mcu {
+        Mcu::new(Supply::continuous())
+    }
+
+    #[test]
+    fn spend_classifies_work() {
+        let mut m = continuous();
+        m.spend(WorkKind::App, Cost::new(10, 20)).unwrap();
+        m.spend(WorkKind::Overhead, Cost::new(1, 2)).unwrap();
+        assert_eq!(m.stats.app_time_us, 10);
+        assert_eq!(m.stats.overhead_energy_nj, 2);
+        assert_eq!(m.clock.on_us(), 11);
+    }
+
+    #[test]
+    fn failure_clears_volatile_and_counts() {
+        let cfg = TimerResetConfig {
+            on_min_us: 100,
+            on_max_us: 100,
+            off_min_us: 10,
+            off_max_us: 10,
+        };
+        let mut m = Mcu::new(Supply::timer(cfg, 3));
+        let a = m.mem.alloc(Region::Sram, 2, AllocTag::App);
+        m.mem.write_bytes(a, &[5, 5]);
+        let f = m.mem.alloc(Region::Fram, 2, AllocTag::App);
+        m.mem.write_bytes(f, &[6, 6]);
+        // Burn past the 100 µs on-period.
+        let r = m.spend(WorkKind::App, Cost::new(200, 200));
+        assert_eq!(r, Err(PowerFailure));
+        assert_eq!(m.stats.power_failures, 1);
+        assert_eq!(m.mem.read_bytes(a, 2), &[0, 0]);
+        assert_eq!(m.mem.read_bytes(f, 2), &[6, 6]);
+        assert!(m.clock.off_us() > 0);
+    }
+
+    #[test]
+    fn store_is_atomic_wrt_failure() {
+        // A store whose cost cannot be paid must not mutate memory.
+        let cfg = TimerResetConfig {
+            on_min_us: 1,
+            on_max_us: 1,
+            off_min_us: 1,
+            off_max_us: 1,
+        };
+        let mut m = Mcu::new(Supply::timer(cfg, 9));
+        let v = RawVar {
+            addr: m.mem.alloc(Region::Fram, 8, AllocTag::App),
+            width: 8,
+        };
+        v.store(&mut m.mem, 0xDEAD);
+        // Writing 4 words costs 4 µs, but only 1 µs of on-time exists.
+        let r = m.store_var(WorkKind::App, v, 0xBEEF);
+        assert_eq!(r, Err(PowerFailure));
+        assert_eq!(v.load(&m.mem), 0xDEAD, "failed store must not apply");
+    }
+
+    #[test]
+    fn fram_access_costs_more_energy_than_sram() {
+        let mut m = continuous();
+        let f = RawVar {
+            addr: m.mem.alloc(Region::Fram, 2, AllocTag::App),
+            width: 2,
+        };
+        let s = RawVar {
+            addr: m.mem.alloc(Region::Sram, 2, AllocTag::App),
+            width: 2,
+        };
+        m.load_var(WorkKind::App, f).unwrap();
+        let fram_e = m.stats.app_energy_nj;
+        m.load_var(WorkKind::App, s).unwrap();
+        let sram_e = m.stats.app_energy_nj - fram_e;
+        assert!(fram_e > sram_e);
+    }
+
+    #[test]
+    fn timestamp_read_has_cost() {
+        let mut m = continuous();
+        let t0 = m.now_us();
+        let ts = m.read_timestamp(WorkKind::Overhead).unwrap();
+        assert!(ts > t0, "reading the timer itself takes time");
+        assert!(m.stats.overhead_time_us > 0);
+    }
+
+    #[test]
+    fn copy_var_moves_value_and_charges_both_sides() {
+        let mut m = continuous();
+        let a = RawVar {
+            addr: m.mem.alloc(Region::Fram, 4, AllocTag::App),
+            width: 4,
+        };
+        let b = RawVar {
+            addr: m.mem.alloc(Region::Fram, 4, AllocTag::Runtime),
+            width: 4,
+        };
+        a.store(&mut m.mem, 77);
+        m.copy_var(WorkKind::Overhead, a, b).unwrap();
+        assert_eq!(b.load(&m.mem), 77);
+        assert!(m.stats.overhead_energy_nj >= 10); // 2 words read + 2 written
+    }
+}

@@ -1,0 +1,288 @@
+//! Simulated memory map: FRAM, SRAM, and LEA-RAM.
+//!
+//! The MSP430FR5994 has 256 KB of non-volatile FRAM, 4 KB of volatile SRAM,
+//! and a 4 KB volatile RAM dedicated to the Low Energy Accelerator (LEA).
+//! The distinction that drives the entire paper is volatility: a power
+//! failure clears SRAM and LEA-RAM but leaves FRAM intact, so any runtime
+//! that wants forward progress must keep state in FRAM — and any peripheral
+//! (DMA) that writes FRAM directly can corrupt that state if its operation
+//! is blindly re-executed.
+
+/// Memory regions of the simulated MCU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// 256 KB non-volatile ferroelectric RAM. Survives power failures.
+    Fram,
+    /// 4 KB volatile SRAM. Cleared on every reboot.
+    Sram,
+    /// 4 KB volatile RAM private to the LEA vector accelerator.
+    LeaRam,
+}
+
+impl Region {
+    /// Whether the region's contents survive a power failure.
+    pub fn is_nonvolatile(self) -> bool {
+        matches!(self, Region::Fram)
+    }
+
+    /// Size of the region in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            Region::Fram => 256 * 1024,
+            Region::Sram => 4 * 1024,
+            Region::LeaRam => 4 * 1024,
+        }
+    }
+}
+
+/// An address in the simulated memory map: a region plus a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr {
+    /// Region the address points into.
+    pub region: Region,
+    /// Byte offset within the region.
+    pub offset: u32,
+}
+
+impl Addr {
+    /// Creates an address.
+    pub fn new(region: Region, offset: u32) -> Self {
+        Self { region, offset }
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[allow(clippy::should_implement_trait)] // offset helper, not arithmetic
+    pub fn add(self, bytes: u32) -> Self {
+        Self {
+            region: self.region,
+            offset: self.offset + bytes,
+        }
+    }
+
+    /// Whether the address is in non-volatile memory.
+    pub fn is_nonvolatile(self) -> bool {
+        self.region.is_nonvolatile()
+    }
+}
+
+/// Who an allocation belongs to, for the memory-footprint report (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocTag {
+    /// Application data (buffers, non-volatile variables).
+    App,
+    /// Runtime metadata (lock flags, timestamps, private copies, snapshots).
+    Runtime,
+    /// DMA privatization buffers (reported separately in the paper).
+    DmaPrivBuf,
+}
+
+/// One recorded allocation, for footprint accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocRecord {
+    /// Region allocated from.
+    pub region: Region,
+    /// Size in bytes.
+    pub bytes: u32,
+    /// Owner tag.
+    pub tag: AllocTag,
+}
+
+/// The simulated memory: three byte arrays plus bump allocators.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    fram: Vec<u8>,
+    sram: Vec<u8>,
+    lea_ram: Vec<u8>,
+    next: [u32; 3],
+    allocs: Vec<AllocRecord>,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Memory {
+    /// Creates zeroed memory.
+    pub fn new() -> Self {
+        Self {
+            fram: vec![0; Region::Fram.size()],
+            sram: vec![0; Region::Sram.size()],
+            lea_ram: vec![0; Region::LeaRam.size()],
+            next: [0; 3],
+            allocs: Vec::new(),
+        }
+    }
+
+    fn idx(region: Region) -> usize {
+        match region {
+            Region::Fram => 0,
+            Region::Sram => 1,
+            Region::LeaRam => 2,
+        }
+    }
+
+    fn slab(&self, region: Region) -> &[u8] {
+        match region {
+            Region::Fram => &self.fram,
+            Region::Sram => &self.sram,
+            Region::LeaRam => &self.lea_ram,
+        }
+    }
+
+    fn slab_mut(&mut self, region: Region) -> &mut [u8] {
+        match region {
+            Region::Fram => &mut self.fram,
+            Region::Sram => &mut self.sram,
+            Region::LeaRam => &mut self.lea_ram,
+        }
+    }
+
+    /// Bump-allocates `bytes` bytes in `region`, 2-byte aligned (the MSP430
+    /// word size), recording the allocation under `tag` for the footprint
+    /// report. Panics if the region is exhausted — the simulated part has
+    /// hard limits, exactly like the real one.
+    pub fn alloc(&mut self, region: Region, bytes: u32, tag: AllocTag) -> Addr {
+        let i = Self::idx(region);
+        let aligned = (self.next[i] + 1) & !1;
+        let end = aligned
+            .checked_add(bytes)
+            .expect("allocation size overflow");
+        assert!(
+            end as usize <= region.size(),
+            "out of memory in {region:?}: requested {bytes} B at offset {aligned}"
+        );
+        self.next[i] = end;
+        self.allocs.push(AllocRecord { region, bytes, tag });
+        Addr::new(region, aligned)
+    }
+
+    /// Bytes currently allocated in `region`.
+    pub fn allocated(&self, region: Region) -> u32 {
+        self.next[Self::idx(region)]
+    }
+
+    /// Bytes allocated in `region` under `tag`.
+    pub fn allocated_tagged(&self, region: Region, tag: AllocTag) -> u32 {
+        self.allocs
+            .iter()
+            .filter(|a| a.region == region && a.tag == tag)
+            .map(|a| a.bytes)
+            .sum()
+    }
+
+    /// All allocation records (for footprint reporting).
+    pub fn allocations(&self) -> &[AllocRecord] {
+        &self.allocs
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: Addr, len: u32) -> &[u8] {
+        let s = self.slab(addr.region);
+        &s[addr.offset as usize..(addr.offset + len) as usize]
+    }
+
+    /// Writes `data` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+        let off = addr.offset as usize;
+        let s = self.slab_mut(addr.region);
+        s[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies `len` bytes from `src` to `dst`, possibly across regions.
+    ///
+    /// This is the raw memory effect of a DMA transfer: it does *not* pass
+    /// through any runtime privatization layer.
+    pub fn copy(&mut self, src: Addr, dst: Addr, len: u32) {
+        let data: Vec<u8> = self.read_bytes(src, len).to_vec();
+        self.write_bytes(dst, &data);
+    }
+
+    /// Reads a little-endian scalar of `N` bytes.
+    pub fn read_le<const N: usize>(&self, addr: Addr) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.read_bytes(addr, N as u32));
+        out
+    }
+
+    /// Clears all volatile regions; called on reboot. FRAM persists.
+    pub fn power_failure(&mut self) {
+        self.sram.fill(0);
+        self.lea_ram.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volatility_matches_hardware() {
+        assert!(Region::Fram.is_nonvolatile());
+        assert!(!Region::Sram.is_nonvolatile());
+        assert!(!Region::LeaRam.is_nonvolatile());
+    }
+
+    #[test]
+    fn alloc_is_word_aligned_and_tracked() {
+        let mut m = Memory::new();
+        let a = m.alloc(Region::Fram, 3, AllocTag::App);
+        let b = m.alloc(Region::Fram, 4, AllocTag::Runtime);
+        assert_eq!(a.offset % 2, 0);
+        assert_eq!(b.offset % 2, 0);
+        assert!(b.offset >= a.offset + 3);
+        assert_eq!(m.allocated_tagged(Region::Fram, AllocTag::App), 3);
+        assert_eq!(m.allocated_tagged(Region::Fram, AllocTag::Runtime), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn alloc_panics_when_region_exhausted() {
+        let mut m = Memory::new();
+        m.alloc(Region::Sram, 4 * 1024 + 2, AllocTag::App);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = Memory::new();
+        let a = m.alloc(Region::Fram, 8, AllocTag::App);
+        m.write_bytes(a, &[1, 2, 3, 4]);
+        assert_eq!(m.read_bytes(a, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn copy_across_regions() {
+        let mut m = Memory::new();
+        let src = m.alloc(Region::Fram, 4, AllocTag::App);
+        let dst = m.alloc(Region::Sram, 4, AllocTag::App);
+        m.write_bytes(src, &[9, 8, 7, 6]);
+        m.copy(src, dst, 4);
+        assert_eq!(m.read_bytes(dst, 4), &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn power_failure_clears_only_volatile_memory() {
+        let mut m = Memory::new();
+        let f = m.alloc(Region::Fram, 2, AllocTag::App);
+        let s = m.alloc(Region::Sram, 2, AllocTag::App);
+        let l = m.alloc(Region::LeaRam, 2, AllocTag::App);
+        m.write_bytes(f, &[0xAA, 0xBB]);
+        m.write_bytes(s, &[0xCC, 0xDD]);
+        m.write_bytes(l, &[0xEE, 0xFF]);
+        m.power_failure();
+        assert_eq!(m.read_bytes(f, 2), &[0xAA, 0xBB]);
+        assert_eq!(m.read_bytes(s, 2), &[0, 0]);
+        assert_eq!(m.read_bytes(l, 2), &[0, 0]);
+    }
+
+    #[test]
+    fn overlapping_copy_within_region_uses_snapshot() {
+        let mut m = Memory::new();
+        let a = m.alloc(Region::Fram, 8, AllocTag::App);
+        m.write_bytes(a, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        // Copy the first four bytes over bytes 2..6; a memmove-like result.
+        m.copy(a, a.add(2), 4);
+        assert_eq!(m.read_bytes(a, 8), &[1, 2, 1, 2, 3, 4, 7, 8]);
+    }
+}

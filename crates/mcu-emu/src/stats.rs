@@ -1,0 +1,217 @@
+//! Exact time/energy ledger and event counters.
+//!
+//! The paper's five metrics (§5.2) all derive from this ledger:
+//! wasted work, energy consumption, execution correctness (checked by the
+//! apps), runtime overhead, and memory overhead (from `Memory` allocation
+//! records). Work is tagged at spend time as application work or runtime
+//! overhead; "wasted" application work is computed by comparing against a
+//! continuous-power golden run, which by construction contains zero waste.
+
+use std::collections::BTreeMap;
+
+/// A timestamped event for execution tracing (opt-in; see
+/// [`RunStats::enable_trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The MCU (re)booted.
+    Boot,
+    /// A power failure interrupted execution.
+    PowerFailure,
+    /// A task body was entered (task index, true = re-execution).
+    TaskEntry(u16, bool),
+    /// A task committed (task index).
+    TaskCommit(u16),
+    /// An I/O operation physically executed (kind name).
+    IoExecuted(&'static str),
+    /// An I/O operation was skipped and its output restored (kind name).
+    IoSkipped(&'static str),
+    /// A DMA transfer wrote its destination.
+    DmaExecuted,
+    /// A DMA transfer was skipped by semantics.
+    DmaSkipped,
+}
+
+/// Classification of a unit of spent work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkKind {
+    /// Application-level work: compute, I/O, DMA payload transfers.
+    App,
+    /// Runtime bookkeeping: privatization, flags, timestamps, commits.
+    Overhead,
+}
+
+/// Counters and ledgers collected over one simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// On-time spent on application work (µs), across all attempts.
+    pub app_time_us: u64,
+    /// On-time spent on runtime overhead (µs), across all attempts.
+    pub overhead_time_us: u64,
+    /// Energy spent on application work (nJ).
+    pub app_energy_nj: u64,
+    /// Energy spent on runtime overhead (nJ).
+    pub overhead_energy_nj: u64,
+    /// Number of power failures (reboots).
+    pub power_failures: u64,
+    /// Task executions started (first entries plus re-executions).
+    pub task_attempts: u64,
+    /// Tasks committed.
+    pub task_commits: u64,
+    /// I/O operations physically executed on a peripheral.
+    pub io_executed: u64,
+    /// I/O operations skipped; their previous output was restored.
+    pub io_skipped: u64,
+    /// Redundant I/O executions: the same call site executing again after it
+    /// had already completed once within the same task activation.
+    pub io_reexecutions: u64,
+    /// DMA transfers physically performed.
+    pub dma_executed: u64,
+    /// DMA transfers skipped by semantics.
+    pub dma_skipped: u64,
+    /// Redundant DMA executions (same site, same activation, again).
+    pub dma_reexecutions: u64,
+    /// Free-form named counters for runtime-specific events.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Timestamped event trace; empty unless enabled.
+    pub trace: Vec<(u64, TraceEvent)>,
+    trace_enabled: bool,
+}
+
+impl RunStats {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records spent work.
+    pub fn record(&mut self, kind: WorkKind, time_us: u64, energy_nj: u64) {
+        match kind {
+            WorkKind::App => {
+                self.app_time_us += time_us;
+                self.app_energy_nj += energy_nj;
+            }
+            WorkKind::Overhead => {
+                self.overhead_time_us += time_us;
+                self.overhead_energy_nj += energy_nj;
+            }
+        }
+    }
+
+    /// Increments a named counter.
+    pub fn bump(&mut self, name: &'static str) {
+        *self.counters.entry(name).or_insert(0) += 1;
+    }
+
+    /// Turns on event tracing (off by default; tracing a long experiment
+    /// sweep would allocate unboundedly).
+    pub fn enable_trace(&mut self) {
+        self.trace_enabled = true;
+    }
+
+    /// Records a trace event at wall-clock time `now_us`, if enabled.
+    pub fn trace_event(&mut self, now_us: u64, ev: TraceEvent) {
+        if self.trace_enabled {
+            self.trace.push((now_us, ev));
+        }
+    }
+
+    /// Reads a named counter.
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total on-time (µs).
+    pub fn total_time_us(&self) -> u64 {
+        self.app_time_us + self.overhead_time_us
+    }
+
+    /// Total energy (nJ).
+    pub fn total_energy_nj(&self) -> u64 {
+        self.app_energy_nj + self.overhead_energy_nj
+    }
+
+    /// Application time that was wasted (re-executed and discarded), given
+    /// the application time of a continuous-power golden run.
+    pub fn wasted_time_us(&self, golden_app_time_us: u64) -> u64 {
+        self.app_time_us.saturating_sub(golden_app_time_us)
+    }
+
+    /// Application energy that was wasted, given the golden app energy.
+    pub fn wasted_energy_nj(&self, golden_app_energy_nj: u64) -> u64 {
+        self.app_energy_nj.saturating_sub(golden_app_energy_nj)
+    }
+
+    /// Total redundant I/O re-executions (peripheral plus DMA).
+    pub fn total_reexecutions(&self) -> u64 {
+        self.io_reexecutions + self.dma_reexecutions
+    }
+
+    /// Merges another run's ledger into this one (for aggregation across
+    /// seeded repetitions).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.app_time_us += other.app_time_us;
+        self.overhead_time_us += other.overhead_time_us;
+        self.app_energy_nj += other.app_energy_nj;
+        self.overhead_energy_nj += other.overhead_energy_nj;
+        self.power_failures += other.power_failures;
+        self.task_attempts += other.task_attempts;
+        self.task_commits += other.task_commits;
+        self.io_executed += other.io_executed;
+        self.io_skipped += other.io_skipped;
+        self.io_reexecutions += other.io_reexecutions;
+        self.dma_executed += other.dma_executed;
+        self.dma_skipped += other.dma_skipped;
+        self.dma_reexecutions += other.dma_reexecutions;
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        // Traces are per-run diagnostics; merging aggregates drops them.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_splits_by_kind() {
+        let mut s = RunStats::new();
+        s.record(WorkKind::App, 10, 20);
+        s.record(WorkKind::Overhead, 3, 4);
+        s.record(WorkKind::App, 1, 2);
+        assert_eq!(s.app_time_us, 11);
+        assert_eq!(s.app_energy_nj, 22);
+        assert_eq!(s.overhead_time_us, 3);
+        assert_eq!(s.total_time_us(), 14);
+        assert_eq!(s.total_energy_nj(), 26);
+    }
+
+    #[test]
+    fn wasted_is_excess_over_golden() {
+        let mut s = RunStats::new();
+        s.record(WorkKind::App, 100, 200);
+        assert_eq!(s.wasted_time_us(60), 40);
+        assert_eq!(s.wasted_energy_nj(200), 0);
+        // Never negative, even if accounting jitter makes golden larger.
+        assert_eq!(s.wasted_time_us(150), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = RunStats::new();
+        a.record(WorkKind::App, 5, 5);
+        a.power_failures = 2;
+        a.bump("x");
+        let mut b = RunStats::new();
+        b.record(WorkKind::Overhead, 7, 7);
+        b.power_failures = 1;
+        b.bump("x");
+        b.bump("y");
+        a.merge(&b);
+        assert_eq!(a.total_time_us(), 12);
+        assert_eq!(a.power_failures, 3);
+        assert_eq!(a.counter("x"), 2);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.counter("z"), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! DMA engine model.
+//!
+//! The DMA controller copies blocks of memory without CPU involvement. Two
+//! properties matter for intermittent systems and are faithfully modeled:
+//!
+//! 1. **CPU-invisibility** — a transfer mutates the destination bytes
+//!    directly through [`Memory::copy`], bypassing any runtime privatization
+//!    layered over CPU loads/stores. Task-level privatization therefore
+//!    cannot protect non-volatile memory from a re-executed DMA (paper
+//!    §2.1.2, Figure 2b).
+//! 2. **Memory-type awareness** — EaseIO resolves a transfer's re-execution
+//!    semantics at run time from the volatility of its source and
+//!    destination ([`DmaClass`], paper §4.3).
+
+use mcu_emu::{Addr, Cost, CostTable, Memory};
+
+/// Runtime classification of a DMA transfer by operand volatility (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaClass {
+    /// Destination in non-volatile memory: the copied data survives a power
+    /// failure, so the transfer never needs to repeat → `Single`.
+    ToNonVolatile,
+    /// Non-volatile source, volatile destination: must repeat after every
+    /// reboot, but a later write to the source creates a WAR hazard →
+    /// `Private` (two-phase copy through a privatization buffer).
+    NonVolatileToVolatile,
+    /// Both operands volatile: repeating is always safe → `Always`.
+    VolatileToVolatile,
+}
+
+/// Classifies a transfer from its operand addresses.
+pub fn classify(src: Addr, dst: Addr) -> DmaClass {
+    match (src.is_nonvolatile(), dst.is_nonvolatile()) {
+        (_, true) => DmaClass::ToNonVolatile,
+        (true, false) => DmaClass::NonVolatileToVolatile,
+        (false, false) => DmaClass::VolatileToVolatile,
+    }
+}
+
+/// Performs the raw transfer of `bytes` bytes. The caller charges
+/// [`transfer_cost`] first (spend-then-mutate).
+pub fn transfer(mem: &mut Memory, src: Addr, dst: Addr, bytes: u32) {
+    mem.copy(src, dst, bytes);
+}
+
+/// Cost of one transfer: channel setup plus per-word streaming.
+pub fn transfer_cost(table: &CostTable, bytes: u32) -> Cost {
+    table.dma_setup + table.dma_word.times((bytes as u64).div_ceil(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_emu::{AllocTag, Region};
+
+    #[test]
+    fn classification_matches_paper_rules() {
+        let f = Addr::new(Region::Fram, 0);
+        let s = Addr::new(Region::Sram, 0);
+        let l = Addr::new(Region::LeaRam, 0);
+        assert_eq!(classify(f, f), DmaClass::ToNonVolatile);
+        assert_eq!(classify(s, f), DmaClass::ToNonVolatile);
+        assert_eq!(classify(f, s), DmaClass::NonVolatileToVolatile);
+        assert_eq!(classify(f, l), DmaClass::NonVolatileToVolatile);
+        assert_eq!(classify(s, l), DmaClass::VolatileToVolatile);
+        assert_eq!(classify(l, s), DmaClass::VolatileToVolatile);
+    }
+
+    #[test]
+    fn transfer_moves_bytes() {
+        let mut m = Memory::new();
+        let src = m.alloc(Region::Fram, 6, AllocTag::App);
+        let dst = m.alloc(Region::LeaRam, 6, AllocTag::App);
+        m.write_bytes(src, &[1, 2, 3, 4, 5, 6]);
+        transfer(&mut m, src, dst, 6);
+        assert_eq!(m.read_bytes(dst, 6), &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn cost_scales_per_word_with_setup() {
+        let t = CostTable::default();
+        let c1 = transfer_cost(&t, 2);
+        let c2 = transfer_cost(&t, 200);
+        assert_eq!(c1.time_us, t.dma_setup.time_us + t.dma_word.time_us);
+        assert_eq!(c2.time_us - c1.time_us, t.dma_word.time_us * 99);
+        // Odd byte counts round up to a whole word.
+        assert_eq!(transfer_cost(&t, 3), transfer_cost(&t, 4));
+    }
+}

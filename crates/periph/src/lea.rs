@@ -1,0 +1,283 @@
+//! LEA — the Low Energy Accelerator.
+//!
+//! The MSP430FR5994's LEA is a fixed-point vector coprocessor that can only
+//! address its dedicated 4 KB LEA-RAM. That restriction is load-bearing for
+//! the paper's workloads: operands must be staged into LEA-RAM by DMA
+//! (non-volatile → volatile, the `Private` class) and results staged back
+//! (→ non-volatile, the `Single` class), which is exactly the DMA pattern
+//! whose WAR hazards regional privatization exists to fix.
+//!
+//! Arithmetic is Q-format fixed point on `i16` with `i32` accumulation, so
+//! every result is bit-exact and checkable against a golden run.
+
+use mcu_emu::{Addr, Cost, CostTable, Memory, Region};
+
+/// Right-shift applied to MAC accumulators before narrowing to i16.
+pub const ACC_SHIFT: u32 = 8;
+
+fn assert_lea(addr: Addr, what: &str) {
+    assert!(
+        addr.region == Region::LeaRam,
+        "LEA can only address LEA-RAM, but {what} is in {:?}",
+        addr.region
+    );
+}
+
+fn load_i16(mem: &Memory, base: Addr, i: u32) -> i16 {
+    let b = mem.read_bytes(base.add(i * 2), 2);
+    i16::from_le_bytes([b[0], b[1]])
+}
+
+fn store_i16(mem: &mut Memory, base: Addr, i: u32, v: i16) {
+    mem.write_bytes(base.add(i * 2), &v.to_le_bytes());
+}
+
+fn sat16(acc: i32) -> i16 {
+    (acc >> ACC_SHIFT).clamp(i16::MIN as i32, i16::MAX as i32) as i16
+}
+
+/// FIR filter: `y[i] = (Σ_k h[k]·x[i+k]) >> ACC_SHIFT` for `i in 0..n_out`.
+///
+/// `x` must hold `n_out + taps - 1` samples. Returns the MAC count for cost
+/// accounting.
+pub fn fir(mem: &mut Memory, x: Addr, h: Addr, y: Addr, n_out: u32, taps: u32) -> u64 {
+    assert_lea(x, "input");
+    assert_lea(h, "coefficients");
+    assert_lea(y, "output");
+    for i in 0..n_out {
+        let mut acc: i32 = 0;
+        for k in 0..taps {
+            acc += load_i16(mem, h, k) as i32 * load_i16(mem, x, i + k) as i32;
+        }
+        store_i16(mem, y, i, sat16(acc));
+    }
+    (n_out as u64) * (taps as u64)
+}
+
+/// MAC count of a FIR invocation (for pricing before execution).
+pub fn fir_macs(n_out: u32, taps: u32) -> u64 {
+    n_out as u64 * taps as u64
+}
+
+/// Valid 2-D convolution of a `w`×`h` image with a `kw`×`kh` kernel.
+///
+/// Output is `(w-kw+1)`×`(h-kh+1)`. Returns the MAC count.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    mem: &mut Memory,
+    input: Addr,
+    w: u32,
+    h: u32,
+    kernel: Addr,
+    kw: u32,
+    kh: u32,
+    out: Addr,
+) -> u64 {
+    assert_lea(input, "input");
+    assert_lea(kernel, "kernel");
+    assert_lea(out, "output");
+    assert!(w >= kw && h >= kh, "kernel larger than input");
+    let ow = w - kw + 1;
+    let oh = h - kh + 1;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc: i32 = 0;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let px = load_i16(mem, input, (oy + ky) * w + (ox + kx)) as i32;
+                    let kv = load_i16(mem, kernel, ky * kw + kx) as i32;
+                    acc += px * kv;
+                }
+            }
+            store_i16(mem, out, oy * ow + ox, sat16(acc));
+        }
+    }
+    (ow as u64) * (oh as u64) * (kw as u64) * (kh as u64)
+}
+
+/// MAC count of a conv2d invocation.
+pub fn conv2d_macs(w: u32, h: u32, kw: u32, kh: u32) -> u64 {
+    ((w - kw + 1) as u64) * ((h - kh + 1) as u64) * (kw as u64) * (kh as u64)
+}
+
+/// In-place ReLU over `n` elements. Returns the op count.
+pub fn relu(mem: &mut Memory, buf: Addr, n: u32) -> u64 {
+    assert_lea(buf, "buffer");
+    for i in 0..n {
+        let v = load_i16(mem, buf, i);
+        if v < 0 {
+            store_i16(mem, buf, i, 0);
+        }
+    }
+    n as u64
+}
+
+/// Fully-connected layer: `out[j] = (Σ_i w[j·n_in + i]·x[i]) >> ACC_SHIFT`.
+///
+/// Returns the MAC count.
+pub fn fully_connected(
+    mem: &mut Memory,
+    x: Addr,
+    n_in: u32,
+    weights: Addr,
+    out: Addr,
+    n_out: u32,
+) -> u64 {
+    assert_lea(x, "input");
+    assert_lea(weights, "weights");
+    assert_lea(out, "output");
+    for j in 0..n_out {
+        let mut acc: i32 = 0;
+        for i in 0..n_in {
+            acc += load_i16(mem, weights, j * n_in + i) as i32 * load_i16(mem, x, i) as i32;
+        }
+        store_i16(mem, out, j, sat16(acc));
+    }
+    (n_in as u64) * (n_out as u64)
+}
+
+/// Index of the maximum element (the paper's inference layer). Ties break to
+/// the lowest index. Returns `(argmax, comparisons)`.
+pub fn argmax(mem: &Memory, buf: Addr, n: u32) -> (u32, u64) {
+    assert_lea(buf, "buffer");
+    assert!(n > 0, "argmax over empty buffer");
+    let mut best = 0u32;
+    let mut best_v = load_i16(mem, buf, 0);
+    for i in 1..n {
+        let v = load_i16(mem, buf, i);
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    (best, n as u64)
+}
+
+/// Cost of a LEA invocation performing `macs` multiply-accumulates.
+pub fn lea_cost(table: &CostTable, macs: u64) -> Cost {
+    table.lea_setup + table.lea_mac.times(macs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_emu::AllocTag;
+
+    fn lea_buf(mem: &mut Memory, n: u32) -> Addr {
+        mem.alloc(Region::LeaRam, n * 2, AllocTag::App)
+    }
+
+    fn fill(mem: &mut Memory, base: Addr, data: &[i16]) {
+        for (i, v) in data.iter().enumerate() {
+            store_i16(mem, base, i as u32, *v);
+        }
+    }
+
+    fn read(mem: &Memory, base: Addr, n: u32) -> Vec<i16> {
+        (0..n).map(|i| load_i16(mem, base, i)).collect()
+    }
+
+    #[test]
+    fn fir_identity_kernel_shifts_scale() {
+        let mut m = Memory::new();
+        let x = lea_buf(&mut m, 6);
+        let h = lea_buf(&mut m, 1);
+        let y = lea_buf(&mut m, 6);
+        fill(&mut m, x, &[256, 512, -256, 0, 1024, 2560]);
+        fill(&mut m, h, &[1 << ACC_SHIFT]); // unity gain in Q8
+        let macs = fir(&mut m, x, h, y, 6, 1);
+        assert_eq!(macs, 6);
+        assert_eq!(read(&m, y, 6), vec![256, 512, -256, 0, 1024, 2560]);
+    }
+
+    #[test]
+    fn fir_moving_average() {
+        let mut m = Memory::new();
+        let x = lea_buf(&mut m, 5);
+        let h = lea_buf(&mut m, 2);
+        let y = lea_buf(&mut m, 4);
+        fill(&mut m, x, &[0, 256, 512, 768, 1024]);
+        // Two half-gain taps in Q8: output = mean of adjacent samples.
+        fill(&mut m, h, &[128, 128]);
+        fir(&mut m, x, h, y, 4, 2);
+        assert_eq!(read(&m, y, 4), vec![128, 384, 640, 896]);
+    }
+
+    #[test]
+    #[should_panic(expected = "LEA can only address LEA-RAM")]
+    fn lea_rejects_fram_operands() {
+        let mut m = Memory::new();
+        let x = m.alloc(Region::Fram, 8, AllocTag::App);
+        let h = lea_buf(&mut m, 1);
+        let y = lea_buf(&mut m, 4);
+        fir(&mut m, x, h, y, 4, 1);
+    }
+
+    #[test]
+    fn conv2d_shapes_and_values() {
+        let mut m = Memory::new();
+        let input = lea_buf(&mut m, 9);
+        let kernel = lea_buf(&mut m, 4);
+        let out = lea_buf(&mut m, 4);
+        // 3×3 input, 2×2 kernel of Q8 quarters → output = mean of window.
+        fill(&mut m, input, &[0, 256, 512, 256, 512, 768, 512, 768, 1024]);
+        fill(&mut m, kernel, &[64, 64, 64, 64]);
+        let macs = conv2d(&mut m, input, 3, 3, kernel, 2, 2, out);
+        assert_eq!(macs, 16);
+        assert_eq!(read(&m, out, 4), vec![256, 512, 512, 768]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let mut m = Memory::new();
+        let b = lea_buf(&mut m, 4);
+        fill(&mut m, b, &[-5, 3, 0, -32768]);
+        relu(&mut m, b, 4);
+        assert_eq!(read(&m, b, 4), vec![0, 3, 0, 0]);
+    }
+
+    #[test]
+    fn fully_connected_matches_manual_matvec() {
+        let mut m = Memory::new();
+        let x = lea_buf(&mut m, 2);
+        let w = lea_buf(&mut m, 4);
+        let o = lea_buf(&mut m, 2);
+        fill(&mut m, x, &[256, 512]); // [1.0, 2.0] in Q8
+        fill(&mut m, w, &[256, 0, 256, 256]); // rows [1,0],[1,1]
+        fully_connected(&mut m, x, 2, w, o, 2);
+        // out = [1.0·1.0, 1.0·1.0+1.0·2.0] = [256, 768] in Q8... one shift:
+        // acc0 = 256·256 >> 8 = 256; acc1 = (256·256 + 256·512) >> 8 = 768.
+        assert_eq!(read(&m, o, 2), vec![256, 768]);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        let mut m = Memory::new();
+        let b = lea_buf(&mut m, 5);
+        fill(&mut m, b, &[3, 9, 9, -1, 2]);
+        let (idx, cmps) = argmax(&m, b, 5);
+        assert_eq!(idx, 1);
+        assert_eq!(cmps, 5);
+    }
+
+    #[test]
+    fn saturation_on_overflow() {
+        let mut m = Memory::new();
+        let x = lea_buf(&mut m, 1);
+        let h = lea_buf(&mut m, 1);
+        let y = lea_buf(&mut m, 1);
+        fill(&mut m, x, &[i16::MAX]);
+        fill(&mut m, h, &[i16::MAX]);
+        fir(&mut m, x, h, y, 1, 1);
+        // MAX·MAX >> 8 overflows i16 → saturates.
+        assert_eq!(read(&m, y, 1), vec![i16::MAX]);
+    }
+
+    #[test]
+    fn cost_linear_in_macs() {
+        let t = CostTable::default();
+        let a = lea_cost(&t, 100);
+        let b = lea_cost(&t, 200);
+        assert_eq!(b.time_us - a.time_us, t.lea_mac.time_us * 100);
+    }
+}

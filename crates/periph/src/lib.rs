@@ -1,0 +1,46 @@
+//! Simulated peripherals of the MSP430FR5994 platform.
+//!
+//! The EaseIO paper's workloads are peripheral-bound: temperature/humidity
+//! sensing, radio transmission, image capture, DMA block copies, and the LEA
+//! vector accelerator. This crate provides deterministic models of each:
+//!
+//! * a time-varying [`env::Environment`] that sensors sample — re-executing a
+//!   sensor read at a different time yields a different value, which is what
+//!   makes blind I/O re-execution *unsafe* (paper §2.1.3), not just wasteful;
+//! * a [`radio::RadioLog`] that records every transmitted packet, so tests
+//!   can observe duplicate or stale transmissions;
+//! * a [`dma`] engine whose transfers write memory directly, invisible to any
+//!   CPU-level privatization (the root cause of the paper's idempotence
+//!   bugs, §2.1.2);
+//! * a [`lea`] fixed-point vector unit that only operates on LEA-RAM, forcing
+//!   the DMA staging pattern the paper's FIR and DNN workloads use.
+
+pub mod camera;
+pub mod dma;
+pub mod env;
+pub mod lea;
+pub mod radio;
+pub mod sensors;
+
+pub use env::Environment;
+pub use radio::{Packet, RadioLog};
+pub use sensors::Sensor;
+
+/// Bundle of peripheral state threaded through task execution.
+#[derive(Debug, Clone)]
+pub struct Peripherals {
+    /// The physical environment sensors sample.
+    pub env: Environment,
+    /// Radio transmission log.
+    pub radio: RadioLog,
+}
+
+impl Peripherals {
+    /// Creates peripherals over an environment with the given seed.
+    pub fn new(env_seed: u64) -> Self {
+        Self {
+            env: Environment::new(env_seed),
+            radio: RadioLog::new(),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Environmental sensors.
+//!
+//! Each sensor is synchronous and arbitrarily restartable (no internal
+//! non-volatile state), matching the peripheral class EaseIO targets
+//! (paper §6, "Asynchronous Peripheral Operations"). A sample is a pure
+//! read of the [`Environment`] at the current
+//! wall-clock time; the caller charges the sampling cost.
+
+use crate::env::Environment;
+use mcu_emu::{Cost, CostTable};
+
+/// The sensors available on the evaluation platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sensor {
+    /// Temperature (centi-degrees Celsius).
+    Temp,
+    /// Relative humidity (per-mille).
+    Humd,
+    /// Barometric pressure (decapascals).
+    Pres,
+    /// Ambient light (12-bit ADC counts).
+    Light,
+    /// Acceleration magnitude (milli-g).
+    Accel,
+}
+
+impl Sensor {
+    /// Sampling cost of this sensor.
+    pub fn cost(self, table: &CostTable) -> Cost {
+        match self {
+            Sensor::Temp => table.sense_temp,
+            Sensor::Humd => table.sense_humd,
+            Sensor::Pres => table.sense_pres,
+            // Light is a fast ADC read.
+            Sensor::Light => Cost::new(
+                table.sense_temp.time_us / 10,
+                table.sense_temp.energy_nj / 10,
+            ),
+            // One IMU FIFO read.
+            Sensor::Accel => {
+                Cost::new(table.sense_temp.time_us / 6, table.sense_temp.energy_nj / 5)
+            }
+        }
+    }
+
+    /// Samples the environment at wall-clock time `t_us`.
+    pub fn sample(self, env: &Environment, t_us: u64) -> i32 {
+        match self {
+            Sensor::Temp => env.temp_centi_c(t_us),
+            Sensor::Humd => env.humidity_permille(t_us),
+            Sensor::Pres => env.pressure_dapa(t_us),
+            Sensor::Light => env.light_adc(t_us),
+            Sensor::Accel => env.accel_magnitude_mg(t_us),
+        }
+    }
+
+    /// Human-readable name, used in experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sensor::Temp => "temp",
+            Sensor::Humd => "humd",
+            Sensor::Pres => "pres",
+            Sensor::Light => "light",
+            Sensor::Accel => "accel",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_matches_environment() {
+        let env = Environment::new(11);
+        assert_eq!(Sensor::Temp.sample(&env, 1234), env.temp_centi_c(1234));
+        assert_eq!(Sensor::Humd.sample(&env, 999), env.humidity_permille(999));
+        assert_eq!(Sensor::Pres.sample(&env, 5), env.pressure_dapa(5));
+        assert_eq!(Sensor::Light.sample(&env, 5), env.light_adc(5));
+    }
+
+    #[test]
+    fn sensing_is_expensive_relative_to_flag_checks() {
+        // The entire EaseIO premise: skipping a sense and paying only a flag
+        // check must be a large win.
+        let t = CostTable::default();
+        for s in [Sensor::Temp, Sensor::Humd, Sensor::Pres] {
+            assert!(s.cost(&t).time_us > 20 * t.flag_check.time_us);
+            assert!(s.cost(&t).energy_nj > 20 * t.flag_check.energy_nj);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Sensor::Temp.name(),
+            Sensor::Humd.name(),
+            Sensor::Pres.name(),
+            Sensor::Light.name(),
+            Sensor::Accel.name(),
+        ];
+        let mut sorted = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

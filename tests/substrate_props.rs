@@ -1,0 +1,163 @@
+//! Property-based tests of the substrate: memory map, capacitor, supplies,
+//! and the environment model.
+
+use easeio_repro::mcu_emu::{
+    Addr, Capacitor, Clock, Cost, Memory, Region, Supply, TimerResetConfig,
+};
+use easeio_repro::periph::Environment;
+use proptest::prelude::*;
+
+/// A random sequence of small memory operations on FRAM and SRAM.
+#[derive(Debug, Clone)]
+enum MemOp {
+    Write {
+        fram: bool,
+        off: u32,
+        byte: u8,
+    },
+    Copy {
+        from_fram: bool,
+        src: u32,
+        to_fram: bool,
+        dst: u32,
+        len: u32,
+    },
+    Fail,
+}
+
+fn mem_op_strategy() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (any::<bool>(), 0u32..512, any::<u8>()).prop_map(|(fram, off, byte)| MemOp::Write {
+            fram,
+            off,
+            byte
+        }),
+        (any::<bool>(), 0u32..256, any::<bool>(), 0u32..256, 1u32..64).prop_map(
+            |(from_fram, src, to_fram, dst, len)| MemOp::Copy {
+                from_fram,
+                src,
+                to_fram,
+                dst,
+                len
+            }
+        ),
+        Just(MemOp::Fail),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// FRAM contents evolve exactly like a reference model that ignores
+    /// power failures; volatile contents clear at every failure.
+    #[test]
+    fn memory_volatility_model(ops in proptest::collection::vec(mem_op_strategy(), 1..120)) {
+        let mut mem = Memory::new();
+        let fram_base = mem.alloc(Region::Fram, 1024, easeio_repro::mcu_emu::AllocTag::App);
+        let sram_base = mem.alloc(Region::Sram, 1024, easeio_repro::mcu_emu::AllocTag::App);
+        let mut fram_ref = vec![0u8; 1024];
+        let mut sram_ref = vec![0u8; 1024];
+        let at = |fram: bool, off: u32| -> Addr {
+            if fram { fram_base.add(off) } else { sram_base.add(off) }
+        };
+        for op in &ops {
+            match *op {
+                MemOp::Write { fram, off, byte } => {
+                    mem.write_bytes(at(fram, off), &[byte]);
+                    if fram { fram_ref[off as usize] = byte } else { sram_ref[off as usize] = byte }
+                }
+                MemOp::Copy { from_fram, src, to_fram, dst, len } => {
+                    mem.copy(at(from_fram, src), at(to_fram, dst), len);
+                    let data: Vec<u8> = if from_fram {
+                        fram_ref[src as usize..(src + len) as usize].to_vec()
+                    } else {
+                        sram_ref[src as usize..(src + len) as usize].to_vec()
+                    };
+                    let dst_ref = if to_fram { &mut fram_ref } else { &mut sram_ref };
+                    dst_ref[dst as usize..(dst + len) as usize].copy_from_slice(&data);
+                }
+                MemOp::Fail => {
+                    mem.power_failure();
+                    sram_ref.fill(0);
+                }
+            }
+        }
+        prop_assert_eq!(mem.read_bytes(fram_base, 1024), &fram_ref[..]);
+        prop_assert_eq!(mem.read_bytes(sram_base, 1024), &sram_ref[..]);
+    }
+
+    /// The capacitor never exceeds its capacity, never goes negative, and
+    /// drain/charge arithmetic is exact.
+    #[test]
+    fn capacitor_invariants(
+        capacity in 1u64..1_000_000,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..100_000), 1..200),
+    ) {
+        let mut cap = Capacitor::with_usable_energy(capacity);
+        let mut model: u64 = capacity;
+        for (is_charge, amount) in ops {
+            if is_charge {
+                cap.charge(amount);
+                model = (model + amount).min(capacity);
+            } else {
+                let ok = cap.drain(amount);
+                if amount <= model {
+                    prop_assert!(ok);
+                    model -= amount;
+                } else {
+                    prop_assert!(!ok);
+                    model = 0;
+                }
+            }
+            prop_assert_eq!(cap.remaining_nj(), model);
+            prop_assert!(cap.remaining_nj() <= capacity);
+        }
+    }
+
+    /// The timer supply's on-periods always fall inside the configured
+    /// bounds, for arbitrary configurations and work granularities.
+    #[test]
+    fn timer_on_periods_within_bounds(
+        seed in any::<u64>(),
+        on_min in 100u64..5_000,
+        on_extra in 1u64..10_000,
+        grain in 1u64..400,
+    ) {
+        let cfg = TimerResetConfig {
+            on_min_us: on_min,
+            on_max_us: on_min + on_extra,
+            off_min_us: 10,
+            off_max_us: 100,
+        };
+        let mut s = Supply::timer(cfg.clone(), seed);
+        let mut clock = Clock::new();
+        let mut boot_at = 0u64;
+        let mut failures = 0;
+        while failures < 20 && clock.on_us() < 2_000_000 {
+            let r = s.spend(&mut clock, Cost::new(grain, grain));
+            if r.interrupted {
+                let period = clock.on_us() - boot_at;
+                prop_assert!(period >= cfg.on_min_us);
+                prop_assert!(period <= cfg.on_max_us);
+                boot_at = clock.on_us();
+                failures += 1;
+            }
+        }
+        prop_assert!(failures > 0);
+    }
+
+    /// Environment readings are pure functions of (seed, time) and stay in
+    /// physical ranges.
+    #[test]
+    fn environment_is_pure_and_bounded(seed in any::<u64>(), t in any::<u32>()) {
+        let t = t as u64 * 7;
+        let a = Environment::new(seed);
+        let b = Environment::new(seed);
+        prop_assert_eq!(a.temp_centi_c(t), b.temp_centi_c(t));
+        prop_assert_eq!(a.humidity_permille(t), b.humidity_permille(t));
+        prop_assert!((0..=1000).contains(&a.humidity_permille(t)));
+        prop_assert!((300..=2200).contains(&a.temp_centi_c(t)),
+            "temp {} out of band", a.temp_centi_c(t));
+        prop_assert!((0..=4095).contains(&a.light_adc(t)));
+    }
+}
