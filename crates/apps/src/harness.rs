@@ -182,7 +182,31 @@ pub fn run_once(
     supply: Supply,
     env_seed: u64,
 ) -> RunResult {
+    run_configured(builder, kind, supply, env_seed, false)
+}
+
+/// Like [`run_once`], but with the structured event recorder enabled: the
+/// returned [`RunResult::events`] holds the full trace.
+pub fn run_traced(
+    builder: &dyn Fn(&mut Mcu) -> App,
+    kind: RuntimeKind,
+    supply: Supply,
+    env_seed: u64,
+) -> RunResult {
+    run_configured(builder, kind, supply, env_seed, true)
+}
+
+fn run_configured(
+    builder: &dyn Fn(&mut Mcu) -> App,
+    kind: RuntimeKind,
+    supply: Supply,
+    env_seed: u64,
+    traced: bool,
+) -> RunResult {
     let mut mcu = Mcu::new(supply);
+    if traced {
+        mcu.trace = mcu_emu::TraceSink::enabled();
+    }
     let mut periph = Peripherals::new(env_seed);
     let app = builder(&mut mcu);
     let mut rt = kind.make();

@@ -3,7 +3,7 @@
 //! the simulated MCU — the simulated costs are exact by construction).
 
 use apps::dma_app::{self, DmaAppCfg};
-use apps::harness::{run_once, RuntimeKind};
+use apps::harness::{run_once, run_traced, RuntimeKind};
 use apps::weather::{self, WeatherCfg};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcu_emu::{Mcu, Supply, TimerResetConfig};
@@ -85,5 +85,60 @@ fn bench_primitives(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_primitives);
+/// The tentpole's "effectively free when off" claim: a run with the default
+/// disabled [`easeio_trace::TraceSink`] must cost within noise (≤1%) of the
+/// pre-recorder simulator, because the fast path is one `Option` check and
+/// the event closures are never evaluated. Compare `recorder/dma_untraced`
+/// against `recorder/dma_traced` to see the enabled cost, and the two
+/// `emit_*` benches for the per-call price.
+fn bench_recorder(c: &mut Criterion) {
+    use easeio_trace::{Event, InstantKind, TraceSink};
+
+    let mut g = c.benchmark_group("recorder");
+    g.bench_function("dma_untraced", |b| {
+        b.iter(|| {
+            let builder = |mcu: &mut Mcu| dma_app::build(mcu, &DmaAppCfg::default());
+            let r = run_once(
+                &builder,
+                RuntimeKind::EaseIo,
+                Supply::timer(TimerResetConfig::default(), black_box(42)),
+                42,
+            );
+            black_box(r.stats.power_failures)
+        })
+    });
+    g.bench_function("dma_traced", |b| {
+        b.iter(|| {
+            let builder = |mcu: &mut Mcu| dma_app::build(mcu, &DmaAppCfg::default());
+            let r = run_traced(
+                &builder,
+                RuntimeKind::EaseIo,
+                Supply::timer(TimerResetConfig::default(), black_box(42)),
+                42,
+            );
+            black_box(r.events.len())
+        })
+    });
+    g.bench_function("emit_disabled", |b| {
+        let mut sink = TraceSink::disabled();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            sink.emit_with(|| Event::instant(black_box(n), n, InstantKind::Boot, "boot"));
+            black_box(&sink);
+        })
+    });
+    g.bench_function("emit_enabled", |b| {
+        let mut sink = TraceSink::enabled();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            sink.emit_with(|| Event::instant(black_box(n), n, InstantKind::Boot, "boot"));
+            black_box(&sink);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_primitives, bench_recorder);
 criterion_main!(benches);

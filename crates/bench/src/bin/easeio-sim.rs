@@ -9,14 +9,20 @@
 //!   --runs <u64>                                             (default 1)
 //!   --distance <inches>      RF supply distance              (default 61)
 //!   --trace                  print the event timeline (single run only)
+//!   --trace-out <path>       write the trace (.json Chrome, .jsonl lines)
+//!   --report <path>          write the machine-readable run report
+//!   --validate-report <path> check a report against the schema and exit
 //! ```
 
-use apps::harness::{run_once, RuntimeKind};
+use apps::harness::{golden, measure_footprint, run_once, run_traced, RuntimeKind};
 use apps::{dma_app, fir, lea_app, motion, temp_app, unsafe_branch, weather};
 use easeio_bench::experiments::rf_supply;
-use kernel::{run_app, App, ExecConfig, Outcome, Verdict};
-use mcu_emu::{Mcu, Supply, TimerResetConfig, TraceEvent};
-use periph::Peripherals;
+use easeio_trace::{
+    build_profile, build_report, chrome_trace, jsonl, parse_json, validate_report, Event,
+    EventKind, InstantKind, ReportInputs, SpanKind, Value,
+};
+use kernel::{App, Outcome, Verdict};
+use mcu_emu::{Mcu, Supply, TimerResetConfig};
 
 struct Args {
     app: String,
@@ -26,6 +32,9 @@ struct Args {
     runs: u64,
     distance: u64,
     trace: bool,
+    trace_out: Option<String>,
+    report: Option<String>,
+    validate: Option<String>,
     source: Option<String>,
     emit_transform: bool,
 }
@@ -39,6 +48,9 @@ fn parse_args() -> Result<Args, String> {
         runs: 1,
         distance: 61,
         trace: false,
+        trace_out: None,
+        report: None,
+        validate: None,
         source: None,
         emit_transform: false,
     };
@@ -55,6 +67,9 @@ fn parse_args() -> Result<Args, String> {
                 args.distance = val("--distance")?.parse().map_err(|e| format!("{e}"))?
             }
             "--trace" => args.trace = true,
+            "--trace-out" => args.trace_out = Some(val("--trace-out")?),
+            "--report" => args.report = Some(val("--report")?),
+            "--validate-report" => args.validate = Some(val("--validate-report")?),
             "--source" => args.source = Some(val("--source")?),
             "--emit-transform" => args.emit_transform = true,
             "--help" | "-h" => return Err("help".into()),
@@ -123,22 +138,53 @@ fn make_supply(name: &str, seed: u64, distance: u64) -> Result<Supply, String> {
     })
 }
 
-fn print_trace(trace: &[(u64, TraceEvent)]) {
+fn supply_value(args: &Args) -> Value {
+    let mut fields = vec![("kind".to_string(), Value::str(args.supply.clone()))];
+    if args.supply == "rf" {
+        fields.push(("distance_in".into(), Value::u64(args.distance)));
+    }
+    Value::Obj(fields)
+}
+
+fn print_trace(events: &[Event], dropped: u64) {
     println!("\n-- event timeline --");
-    for (t, ev) in trace {
-        let ms = *t as f64 / 1000.0;
-        let line = match ev {
-            TraceEvent::Boot => "boot".to_string(),
-            TraceEvent::PowerFailure => "*** POWER FAILURE ***".to_string(),
-            TraceEvent::TaskEntry(id, false) => format!("task {id} enter"),
-            TraceEvent::TaskEntry(id, true) => format!("task {id} RE-EXECUTE"),
-            TraceEvent::TaskCommit(id) => format!("task {id} commit"),
-            TraceEvent::IoExecuted(k) => format!("  io {k}: executed"),
-            TraceEvent::IoSkipped(k) => format!("  io {k}: skipped (restored)"),
-            TraceEvent::DmaExecuted => "  dma: executed".to_string(),
-            TraceEvent::DmaSkipped => "  dma: skipped".to_string(),
+    for ev in events {
+        let ms = ev.ts_us as f64 / 1000.0;
+        let line = match ev.kind {
+            EventKind::Instant(InstantKind::PowerFailure) => "*** POWER FAILURE ***".to_string(),
+            EventKind::Instant(InstantKind::Boot) => "boot".to_string(),
+            EventKind::Instant(k) => format!("  {} ({})", k.label(), ev.name),
+            EventKind::SpanBegin(SpanKind::TaskAttempt) => {
+                if ev.site > 0 {
+                    format!(
+                        "task {} `{}` RE-EXECUTE (attempt {})",
+                        ev.task,
+                        ev.name,
+                        ev.site + 1
+                    )
+                } else {
+                    format!("task {} `{}` enter", ev.task, ev.name)
+                }
+            }
+            EventKind::SpanBegin(SpanKind::PowerOff) => "supply off".to_string(),
+            EventKind::SpanEnd(SpanKind::PowerOff, _) => "supply restored".to_string(),
+            EventKind::SpanBegin(k) => format!("  {} `{}` begin", k.label(), ev.name),
+            EventKind::SpanEnd(SpanKind::TaskAttempt, st) => {
+                format!("task {} `{}`: {}", ev.task, ev.name, st.label())
+            }
+            EventKind::SpanEnd(k, st) => format!("  {} `{}`: {}", k.label(), ev.name, st.label()),
         };
         println!("{ms:>10.3} ms  {line}");
+    }
+    if dropped > 0 {
+        println!("  ({dropped} older events dropped by the ring)");
+    }
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {what} {path}: {e}");
+        std::process::exit(2);
     }
 }
 
@@ -153,12 +199,42 @@ fn main() {
                 "usage: easeio-sim [--app dma|temp|lea|fir|weather|weather-single|branch|motion]\n\
                  \x20                 [--runtime naive|alpaca|ink|easeio|easeio-op]\n\
                  \x20                 [--supply continuous|timer|rf] [--seed N] [--runs N]\n\
-                 \x20                 [--distance INCHES] [--trace]\n\
+                 \x20                 [--distance INCHES] [--trace] [--trace-out FILE.json|.jsonl]\n\
+                 \x20                 [--report FILE.json] [--validate-report FILE.json]\n\
                  \x20                 [--source prog.eio [--emit-transform]]"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
     };
+
+    // Standalone schema check: no simulation at all.
+    if let Some(path) = &args.validate {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2)
+        });
+        let doc = parse_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: invalid JSON: {e}");
+            std::process::exit(1)
+        });
+        match validate_report(&doc) {
+            Ok(()) => {
+                println!(
+                    "{path}: valid run report (schema v{})",
+                    easeio_trace::SCHEMA_VERSION
+                );
+                return;
+            }
+            Err(errs) => {
+                eprintln!("{path}: {} schema violation(s):", errs.len());
+                for e in &errs {
+                    eprintln!("  - {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+
     let kind = runtime_kind(&args.runtime).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2)
@@ -185,32 +261,29 @@ fn main() {
         }
     }
 
-    if args.trace || args.runs == 1 {
+    let single = args.trace || args.trace_out.is_some() || args.report.is_some() || args.runs == 1;
+    if single {
         // Single traced run.
         let supply = make_supply(&args.supply, args.seed, args.distance).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2)
         });
-        let mut mcu = Mcu::new(supply);
-        if args.trace {
-            mcu.stats.enable_trace();
-        }
-        let mut periph = Peripherals::new(args.seed);
-        let app = build_app(&args, kind.excludes_const_dma(), &mut mcu).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2)
-        });
-        let mut rt = kind.make();
-        let r = run_app(
-            &app,
-            rt.as_mut(),
-            &mut mcu,
-            &mut periph,
-            &ExecConfig::default(),
-        );
+        // Probe build: surfaces app/source errors before committing to a run.
+        let app_name = {
+            let mut probe = Mcu::new(Supply::continuous());
+            match build_app(&args, kind.excludes_const_dma(), &mut probe) {
+                Ok(app) => app.name,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2)
+                }
+            }
+        };
+        let build = |m: &mut Mcu| build_app(&args, kind.excludes_const_dma(), m).unwrap();
+        let r = run_traced(&build, kind, supply, args.seed);
         println!(
             "{} under {} on {} supply (seed {})",
-            app.name,
+            app_name,
             kind.name(),
             args.supply,
             args.seed
@@ -245,8 +318,78 @@ fn main() {
             "  DMA:            {} executed, {} skipped, {} redundant",
             r.stats.dma_executed, r.stats.dma_skipped, r.stats.dma_reexecutions
         );
+
+        // Wasted work against a continuous-power golden run of the same
+        // app/runtime, for the one-line summary and the report.
+        let (golden_us, golden_nj) = golden(&build, kind, args.seed);
+        let wasted_us = r.stats.app_time_us.saturating_sub(golden_us);
+        let wasted_pct = if r.stats.app_time_us > 0 {
+            wasted_us as f64 * 100.0 / r.stats.app_time_us as f64
+        } else {
+            0.0
+        };
+        println!(
+            "summary: {} failures, {} commits, io {} executed / {} skipped, wasted work {:.1}%",
+            r.stats.power_failures,
+            r.stats.task_commits,
+            r.stats.io_executed,
+            r.stats.io_skipped,
+            wasted_pct
+        );
+
         if args.trace {
-            print_trace(&r.stats.trace);
+            print_trace(&r.events, r.events_dropped);
+        }
+        if let Some(path) = &args.trace_out {
+            let contents = if path.ends_with(".jsonl") {
+                jsonl(&r.events)
+            } else {
+                let mut s = chrome_trace(&r.events, &format!("{} on {}", app_name, kind.name()))
+                    .to_pretty();
+                s.push('\n');
+                s
+            };
+            write_or_die(path, &contents, "trace");
+            println!("trace written to {path} ({} events)", r.events.len());
+        }
+        if let Some(path) = &args.report {
+            let profile = build_profile(&r.events);
+            let fp = measure_footprint(&build, kind, args.seed);
+            let inputs = ReportInputs {
+                runtime: kind.name().into(),
+                app: app_name.into(),
+                supply: supply_value(&args),
+                seed: args.seed,
+                outcome: match r.outcome {
+                    Outcome::Completed => "completed".into(),
+                    Outcome::NonTermination => "non_termination".into(),
+                },
+                correct: r.verdict.as_ref().map(|v| matches!(v, Verdict::Correct)),
+                wall_us: r.wall_us,
+                on_us: r.on_us,
+                app_time_us: r.stats.app_time_us,
+                overhead_time_us: r.stats.overhead_time_us,
+                app_energy_nj: r.stats.app_energy_nj,
+                overhead_energy_nj: r.stats.overhead_energy_nj,
+                golden_app_time_us: golden_us,
+                golden_app_energy_nj: golden_nj,
+                power_failures: r.stats.power_failures,
+                task_attempts: r.stats.task_attempts,
+                task_commits: r.stats.task_commits,
+                io_executed: r.stats.io_executed,
+                io_skipped: r.stats.io_skipped,
+                io_reexecutions: r.stats.io_reexecutions,
+                dma_executed: r.stats.dma_executed,
+                dma_skipped: r.stats.dma_skipped,
+                dma_reexecutions: r.stats.dma_reexecutions,
+                memory: Some((fp.text, fp.ram, fp.fram)),
+                events_recorded: r.events.len() as u64,
+                events_dropped: r.events_dropped,
+            };
+            let mut doc = build_report(&inputs, &profile).to_pretty();
+            doc.push('\n');
+            write_or_die(path, &doc, "report");
+            println!("report written to {path}");
         }
         if r.outcome != Outcome::Completed {
             std::process::exit(1);
@@ -259,6 +402,10 @@ fn main() {
     let mut correct = 0u64;
     let mut total_on = 0u64;
     let mut failures = 0u64;
+    let mut commits = 0u64;
+    let mut io_executed = 0u64;
+    let mut io_skipped = 0u64;
+    let mut app_us = 0u64;
     for i in 0..args.runs {
         let seed = args.seed + i;
         let supply = make_supply(&args.supply, seed, args.distance).unwrap();
@@ -268,6 +415,10 @@ fn main() {
             completed += 1;
             total_on += r.stats.total_time_us();
             failures += r.stats.power_failures;
+            commits += r.stats.task_commits;
+            io_executed += r.stats.io_executed;
+            io_skipped += r.stats.io_skipped;
+            app_us += r.stats.app_time_us;
             if matches!(r.verdict, Some(Verdict::Correct) | None) {
                 correct += 1;
             }
@@ -284,5 +435,17 @@ fn main() {
         completed,
         total_on as f64 / completed.max(1) as f64 / 1000.0,
         failures as f64 / completed.max(1) as f64,
+    );
+    let b = |m: &mut Mcu| build_app(&args, kind.excludes_const_dma(), m).unwrap();
+    let (golden_us, _) = golden(&b, kind, args.seed);
+    let wasted = app_us.saturating_sub(golden_us * completed);
+    let wasted_pct = if app_us > 0 {
+        wasted as f64 * 100.0 / app_us as f64
+    } else {
+        0.0
+    };
+    println!(
+        "summary: {} failures, {} commits, io {} executed / {} skipped, wasted work {:.1}%",
+        failures, commits, io_executed, io_skipped, wasted_pct
     );
 }

@@ -62,7 +62,17 @@ impl IoSlotTable {
     pub fn lock_is_set(&self, mcu: &mut Mcu, slot: IoSlot) -> Result<bool, PowerFailure> {
         let c = mcu.cost.flag_check;
         mcu.spend(WorkKind::Overhead, c)?;
-        Ok(slot.lock.load(&mcu.mem) != 0)
+        let set = slot.lock.load(&mcu.mem) != 0;
+        let (ts, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
+        mcu.trace.emit_with(|| {
+            easeio_trace::Event::instant(
+                ts,
+                e,
+                easeio_trace::InstantKind::FlagCheck,
+                if set { "set" } else { "clear" },
+            )
+        });
+        Ok(set)
     }
 
     /// Restores the private output copy, charging the FRAM read.

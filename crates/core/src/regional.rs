@@ -71,6 +71,16 @@ impl Regional {
             .or_default()
             .push((var, slot));
         mcu.stats.bump("easeio_regional_snapshots");
+        let (ts, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
+        mcu.trace.emit_with(|| {
+            easeio_trace::Event::task_instant(
+                ts,
+                e,
+                task.0,
+                easeio_trace::InstantKind::Privatize,
+                "region_snapshot",
+            )
+        });
         Ok(())
     }
 
@@ -86,6 +96,16 @@ impl Regional {
         // The generated code tests the region's privatization flag once.
         let c = mcu.cost.flag_check;
         mcu.spend(WorkKind::Overhead, c)?;
+        let (ts, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
+        mcu.trace.emit_with(|| {
+            easeio_trace::Event::task_instant(
+                ts,
+                e,
+                task.0,
+                easeio_trace::InstantKind::RegionEnter,
+                "region",
+            )
+        });
         let Some(entries) = self.snaps.get(&(task, region)) else {
             return Ok(());
         };
@@ -120,6 +140,16 @@ impl Regional {
     ) -> Result<(), PowerFailure> {
         let c = mcu.cost.flag_check;
         mcu.spend(WorkKind::Overhead, c)?;
+        let (ts, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
+        mcu.trace.emit_with(|| {
+            easeio_trace::Event::task_instant(
+                ts,
+                e,
+                task.0,
+                easeio_trace::InstantKind::RegionReconcile,
+                "region",
+            )
+        });
         let Some(entries) = self.snaps.get(&(task, region)) else {
             return Ok(());
         };

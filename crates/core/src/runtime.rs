@@ -321,7 +321,18 @@ impl Runtime for EaseIoRuntime {
                     if locked && !forced && self.persistent_timekeeper {
                         let ts = self.io.last_timestamp(mcu, slot)?;
                         let now = mcu.read_timestamp(WorkKind::Overhead)?;
-                        if now.saturating_sub(ts) <= window_us {
+                        let fresh = now.saturating_sub(ts) <= window_us;
+                        let (ets, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
+                        mcu.trace.emit_with(|| {
+                            easeio_trace::Event::task_instant(
+                                ets,
+                                e,
+                                task.0,
+                                easeio_trace::InstantKind::TimestampCheck,
+                                if fresh { "fresh" } else { "expired" },
+                            )
+                        });
+                        if fresh {
                             let value = self.io.restore_out(mcu, slot)?;
                             return Ok(IoOutcome {
                                 value,

@@ -114,7 +114,7 @@ impl Runtime for AlpacaRuntime {
     fn write_var(
         &mut self,
         mcu: &mut Mcu,
-        _task: TaskId,
+        task: TaskId,
         var: RawVar,
         raw: u64,
     ) -> Result<(), PowerFailure> {
@@ -129,6 +129,16 @@ impl Runtime for AlpacaRuntime {
             self.redirect.insert(var, slot);
             self.active.push(var);
             mcu.stats.bump("alpaca_privatizations");
+            let (ts, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
+            mcu.trace.emit_with(|| {
+                easeio_trace::Event::task_instant(
+                    ts,
+                    e,
+                    task.0,
+                    easeio_trace::InstantKind::Privatize,
+                    "war_copy",
+                )
+            });
             return mcu.store_var(WorkKind::App, slot, raw);
         }
         mcu.store_var(WorkKind::App, var, raw)

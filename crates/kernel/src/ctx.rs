@@ -19,26 +19,9 @@
 use crate::io::IoOp;
 use crate::runtime::Runtime;
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
+use easeio_trace::{ActivationTracker, Event, EventKind, SpanKind, Status};
 use mcu_emu::{Addr, Mcu, NvBuf, NvVar, PowerFailure, Scalar, WorkKind};
 use periph::Peripherals;
-use std::collections::HashSet;
-
-/// Telemetry shared across attempts of an activation, used to count
-/// redundant re-executions (paper Table 4). Observer-only: it models the
-/// logic analyzer, not anything the MCU stores.
-#[derive(Debug, Default)]
-pub struct Telemetry {
-    io_done: HashSet<(TaskId, u16)>,
-    dma_done: HashSet<(TaskId, u16)>,
-}
-
-impl Telemetry {
-    /// Clears per-activation state for `task` after it commits.
-    pub fn commit(&mut self, task: TaskId) {
-        self.io_done.retain(|(t, _)| *t != task);
-        self.dma_done.retain(|(t, _)| *t != task);
-    }
-}
 
 /// The execution context passed to task bodies.
 pub struct TaskCtx<'a> {
@@ -47,7 +30,7 @@ pub struct TaskCtx<'a> {
     /// The simulated peripherals.
     pub periph: &'a mut Peripherals,
     rt: &'a mut dyn Runtime,
-    telemetry: &'a mut Telemetry,
+    tracker: &'a mut ActivationTracker,
     task: TaskId,
     io_seq: u16,
     dma_seq: u16,
@@ -56,25 +39,43 @@ pub struct TaskCtx<'a> {
 }
 
 impl<'a> TaskCtx<'a> {
-    /// Creates a context for one execution attempt of `task`.
+    /// Creates a context for one execution attempt of `task`. The tracker —
+    /// the observer-side record of which sites already completed this
+    /// activation (it models the logic analyzer, not anything the MCU
+    /// stores) — is shared across attempts and committed by the executor.
     pub fn new(
         mcu: &'a mut Mcu,
         periph: &'a mut Peripherals,
         rt: &'a mut dyn Runtime,
-        telemetry: &'a mut Telemetry,
+        tracker: &'a mut ActivationTracker,
         task: TaskId,
     ) -> Self {
         Self {
             mcu,
             periph,
             rt,
-            telemetry,
+            tracker,
             task,
             io_seq: 0,
             dma_seq: 0,
             block_seq: 0,
             block_depth: 0,
         }
+    }
+
+    /// Records a span event for site `site` at the current time/energy.
+    fn span(&mut self, site: u16, name: &'static str, kind: EventKind) {
+        let ts_us = self.mcu.now_us();
+        let energy_nj = self.mcu.stats.total_energy_nj();
+        let task = self.task.0;
+        self.mcu.trace.emit_with(|| Event {
+            ts_us,
+            energy_nj,
+            task,
+            site,
+            name,
+            kind,
+        });
     }
 
     /// The task being executed.
@@ -155,26 +156,36 @@ impl<'a> TaskCtx<'a> {
     ) -> Result<i32, PowerFailure> {
         let site = self.io_seq;
         self.io_seq += 1;
-        let out = self
+        let name = op.kind_name();
+        self.span(site, name, EventKind::SpanBegin(SpanKind::IoCall));
+        let out = match self
             .rt
-            .io_call(self.mcu, self.periph, self.task, site, &op, sem, deps)?;
-        let now = self.mcu.now_us();
-        if out.executed {
-            self.mcu
-                .stats
-                .trace_event(now, mcu_emu::TraceEvent::IoExecuted(op.kind_name()));
-            let key = (self.task, site);
-            if !self.telemetry.io_done.insert(key) {
+            .io_call(self.mcu, self.periph, self.task, site, &op, sem, deps)
+        {
+            Ok(out) => out,
+            Err(e) => {
+                self.span(
+                    site,
+                    name,
+                    EventKind::SpanEnd(SpanKind::IoCall, Status::Failed),
+                );
+                return Err(e);
+            }
+        };
+        let status = if out.executed {
+            if self.tracker.first_io(self.task.0, site) {
+                Status::Executed
+            } else {
                 // The site had already completed in an earlier attempt of
                 // this activation: this execution is redundant.
                 self.mcu.stats.io_reexecutions += 1;
+                Status::Redundant
             }
         } else {
-            self.mcu
-                .stats
-                .trace_event(now, mcu_emu::TraceEvent::IoSkipped(op.kind_name()));
             self.mcu.stats.io_skipped += 1;
-        }
+            Status::Skipped
+        };
+        self.span(site, name, EventKind::SpanEnd(SpanKind::IoCall, status));
         Ok(out.value)
     }
 
@@ -188,13 +199,26 @@ impl<'a> TaskCtx<'a> {
     ) -> Result<R, PowerFailure> {
         let block = self.block_seq;
         self.block_seq += 1;
-        self.rt.io_block_begin(self.mcu, self.task, block, sem)?;
-        self.block_depth += 1;
-        let r = f(self);
-        self.block_depth -= 1;
-        let value = r?;
-        self.rt.io_block_end(self.mcu, self.task)?;
-        Ok(value)
+        self.span(block, "block", EventKind::SpanBegin(SpanKind::IoBlock));
+        let attempt = (|| {
+            self.rt.io_block_begin(self.mcu, self.task, block, sem)?;
+            self.block_depth += 1;
+            let r = f(self);
+            self.block_depth -= 1;
+            let value = r?;
+            self.rt.io_block_end(self.mcu, self.task)?;
+            Ok(value)
+        })();
+        let status = match &attempt {
+            Ok(_) => Status::Committed,
+            Err(_) => Status::Failed,
+        };
+        self.span(
+            block,
+            "block",
+            EventKind::SpanEnd(SpanKind::IoBlock, status),
+        );
+        attempt
     }
 
     /// `_DMA_copy(src, dst, bytes)` with automatic semantics resolution.
@@ -216,24 +240,32 @@ impl<'a> TaskCtx<'a> {
         debug_assert_eq!(self.block_depth, 0, "DMA copies sit outside I/O blocks");
         let site = self.dma_seq;
         self.dma_seq += 1;
-        let out = self.rt.dma_copy(
+        self.span(site, "dma", EventKind::SpanBegin(SpanKind::DmaCopy));
+        let out = match self.rt.dma_copy(
             self.mcu, self.task, site, src, dst, bytes, annotation, related,
-        )?;
-        let now = self.mcu.now_us();
-        if out.executed {
-            self.mcu
-                .stats
-                .trace_event(now, mcu_emu::TraceEvent::DmaExecuted);
-            let key = (self.task, site);
-            if !self.telemetry.dma_done.insert(key) {
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                self.span(
+                    site,
+                    "dma",
+                    EventKind::SpanEnd(SpanKind::DmaCopy, Status::Failed),
+                );
+                return Err(e);
+            }
+        };
+        let status = if out.executed {
+            if self.tracker.first_dma(self.task.0, site) {
+                Status::Executed
+            } else {
                 self.mcu.stats.dma_reexecutions += 1;
+                Status::Redundant
             }
         } else {
-            self.mcu
-                .stats
-                .trace_event(now, mcu_emu::TraceEvent::DmaSkipped);
             self.mcu.stats.dma_skipped += 1;
-        }
+            Status::Skipped
+        };
+        self.span(site, "dma", EventKind::SpanEnd(SpanKind::DmaCopy, status));
         Ok(())
     }
 }
@@ -246,12 +278,12 @@ mod tests {
     use mcu_emu::{NvBuf, NvVar, Region, Supply};
     use periph::Sensor;
 
-    fn setup() -> (Mcu, Peripherals, NaiveRuntime, Telemetry) {
+    fn setup() -> (Mcu, Peripherals, NaiveRuntime, ActivationTracker) {
         (
             Mcu::new(Supply::continuous()),
             Peripherals::new(3),
             NaiveRuntime::new(),
-            Telemetry::default(),
+            ActivationTracker::new(),
         )
     }
 
@@ -269,7 +301,7 @@ mod tests {
     }
 
     #[test]
-    fn telemetry_counts_reexecution_across_attempts() {
+    fn tracker_counts_reexecution_across_attempts() {
         let (mut mcu, mut p, mut rt, mut tel) = setup();
         // Attempt 1 executes site 0.
         {
@@ -286,7 +318,7 @@ mod tests {
         }
         assert_eq!(mcu.stats.io_reexecutions, 1);
         // After commit, a fresh activation's execution is not redundant.
-        tel.commit(TaskId(0));
+        tel.commit(0);
         {
             let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
             ctx.call_io(IoOp::Sense(Sensor::Temp), ReexecSemantics::Always)

@@ -9,10 +9,11 @@
 //! the executor gives up after a configurable number of attempts and reports
 //! it.
 
-use crate::ctx::{TaskCtx, Telemetry};
+use crate::ctx::TaskCtx;
 use crate::runtime::Runtime;
 use crate::semantics::TaskId;
 use crate::task::{App, Transition, Verdict};
+use easeio_trace::{ActivationTracker, Event, EventKind, InstantKind, SpanKind, Status, NO_SITE};
 use mcu_emu::{AllocTag, Mcu, NvVar, Region, RunStats, WorkKind};
 use periph::Peripherals;
 
@@ -54,6 +55,11 @@ pub struct RunResult {
     pub on_us: u64,
     /// Application correctness, if the app defines a check.
     pub verdict: Option<Verdict>,
+    /// Structured event trace, drained from the MCU's sink (empty unless
+    /// `mcu.trace` was enabled before the run).
+    pub events: Vec<Event>,
+    /// Events lost to trace-ring overflow.
+    pub events_dropped: u64,
 }
 
 /// Runs `app` under `rt` on `mcu`/`periph` until completion or give-up.
@@ -71,7 +77,7 @@ pub fn run_app(
     let cur: NvVar<u16> = NvVar::alloc_tagged(&mut mcu.mem, Region::Fram, AllocTag::Runtime);
     cur.set(&mut mcu.mem, app.entry.0);
 
-    let mut telemetry = Telemetry::default();
+    let mut tracker = ActivationTracker::new();
     let mut outcome = Outcome::Completed;
     // Failed attempts of the activation currently in progress (survives the
     // boot loop so the non-termination guard covers boot-loop livelock too).
@@ -80,8 +86,7 @@ pub fn run_app(
     // Boot loop: one iteration per power-on period.
     'run: loop {
         // Boot: pay the boot overhead and restore the execution pointer.
-        let boot_now = mcu.now_us();
-        mcu.stats.trace_event(boot_now, mcu_emu::TraceEvent::Boot);
+        emit_instant(mcu, InstantKind::Boot, "boot");
         let mut task_id = match boot(rt, mcu, cur) {
             Ok(raw) => {
                 if raw == u16::MAX {
@@ -94,6 +99,7 @@ pub fn run_app(
                 attempts_this_activation += 1;
                 if attempts_this_activation > cfg.max_attempts_per_task {
                     outcome = Outcome::NonTermination;
+                    emit_instant(mcu, InstantKind::GiveUp, "boot");
                     break 'run;
                 }
                 continue 'run;
@@ -106,16 +112,25 @@ pub fn run_app(
             attempts_this_activation += 1;
             if attempts_this_activation > cfg.max_attempts_per_task {
                 outcome = Outcome::NonTermination;
+                emit_instant(mcu, InstantKind::GiveUp, app.task(task_id).name);
                 break 'run;
             }
             mcu.stats.task_attempts += 1;
-            let now = mcu.now_us();
-            mcu.stats
-                .trace_event(now, mcu_emu::TraceEvent::TaskEntry(task_id.0, reexecution));
+            let task_name = app.task(task_id).name;
+            // The attempt span's begin carries the attempt index within the
+            // activation in `site` (> 0 means re-execution).
+            let attempt_idx = (attempts_this_activation - 1).min(NO_SITE as u64 - 1) as u16;
+            emit_span(
+                mcu,
+                task_id.0,
+                attempt_idx,
+                task_name,
+                EventKind::SpanBegin(SpanKind::TaskAttempt),
+            );
             let attempt = (|| {
                 rt.on_task_entry(mcu, task_id, reexecution)?;
                 let body = app.task(task_id).body.clone();
-                let mut ctx = TaskCtx::new(mcu, periph, rt, &mut telemetry, task_id);
+                let mut ctx = TaskCtx::new(mcu, periph, rt, &mut tracker, task_id);
                 let transition = body(&mut ctx)?;
                 // Commit: the runtime's flag/privatization publication and
                 // the execution-pointer update are ONE atomic step. If the
@@ -127,18 +142,45 @@ pub fn run_app(
                 };
                 let cost = rt.commit_cost(mcu, task_id)
                     + mcu.cost.fram_write_word.times(cur.raw().words());
-                mcu.spend(WorkKind::Overhead, cost)?;
+                emit_span(
+                    mcu,
+                    task_id.0,
+                    NO_SITE,
+                    task_name,
+                    EventKind::SpanBegin(SpanKind::Commit),
+                );
+                if let Err(e) = mcu.spend(WorkKind::Overhead, cost) {
+                    emit_span(
+                        mcu,
+                        task_id.0,
+                        NO_SITE,
+                        task_name,
+                        EventKind::SpanEnd(SpanKind::Commit, Status::Failed),
+                    );
+                    return Err(e);
+                }
                 rt.commit_apply(mcu, task_id);
                 cur.raw().store(&mut mcu.mem, next as u64);
+                emit_span(
+                    mcu,
+                    task_id.0,
+                    NO_SITE,
+                    task_name,
+                    EventKind::SpanEnd(SpanKind::Commit, Status::Committed),
+                );
                 Ok::<Transition, mcu_emu::PowerFailure>(transition)
             })();
             match attempt {
                 Ok(transition) => {
                     mcu.stats.task_commits += 1;
-                    let now = mcu.now_us();
-                    mcu.stats
-                        .trace_event(now, mcu_emu::TraceEvent::TaskCommit(task_id.0));
-                    telemetry.commit(task_id);
+                    emit_span(
+                        mcu,
+                        task_id.0,
+                        NO_SITE,
+                        task_name,
+                        EventKind::SpanEnd(SpanKind::TaskAttempt, Status::Committed),
+                    );
+                    tracker.commit(task_id.0);
                     attempts_this_activation = 0;
                     match transition {
                         Transition::Done => break 'run,
@@ -147,7 +189,16 @@ pub fn run_app(
                 }
                 Err(_) => {
                     // The MCU already cleared volatile memory and advanced
-                    // across the dead period; go back to the boot loop.
+                    // across the dead period; go back to the boot loop. The
+                    // span end lands after the dead period — profile
+                    // builders clip it back to the failure instant.
+                    emit_span(
+                        mcu,
+                        task_id.0,
+                        NO_SITE,
+                        task_name,
+                        EventKind::SpanEnd(SpanKind::TaskAttempt, Status::Failed),
+                    );
                     continue 'run;
                 }
             }
@@ -159,13 +210,38 @@ pub fn run_app(
     } else {
         None
     };
+    let events_dropped = mcu.trace.dropped();
     RunResult {
         outcome,
         stats: mcu.stats.clone(),
         wall_us: mcu.clock.now_us(),
         on_us: mcu.clock.on_us(),
         verdict,
+        events: mcu.trace.take(),
+        events_dropped,
     }
+}
+
+/// Records an unattributed instant at the current time/energy.
+fn emit_instant(mcu: &mut Mcu, kind: InstantKind, name: &'static str) {
+    let ts_us = mcu.now_us();
+    let energy_nj = mcu.stats.total_energy_nj();
+    mcu.trace
+        .emit_with(|| Event::instant(ts_us, energy_nj, kind, name));
+}
+
+/// Records a task-attributed span event at the current time/energy.
+fn emit_span(mcu: &mut Mcu, task: u16, site: u16, name: &'static str, kind: EventKind) {
+    let ts_us = mcu.now_us();
+    let energy_nj = mcu.stats.total_energy_nj();
+    mcu.trace.emit_with(|| Event {
+        ts_us,
+        energy_nj,
+        task,
+        site,
+        name,
+        kind,
+    });
 }
 
 /// Boot sequence: pay the runtime's boot cost and reload the execution
@@ -308,7 +384,6 @@ mod tests {
 
     #[test]
     fn trace_records_the_execution_timeline() {
-        use mcu_emu::TraceEvent;
         let cfg = TimerResetConfig {
             on_min_us: 300,
             on_max_us: 900,
@@ -316,42 +391,75 @@ mod tests {
             off_max_us: 100,
         };
         let mut mcu = Mcu::new(Supply::timer(cfg, 11));
-        mcu.stats.enable_trace();
+        mcu.trace = mcu_emu::TraceSink::enabled();
         let mut p = Peripherals::new(1);
         let (app, _) = two_task_app(&mut mcu);
         let mut rt = NaiveRuntime::new();
         let r = run_app(&app, &mut rt, &mut mcu, &mut p, &ExecConfig::default());
         assert_eq!(r.outcome, Outcome::Completed);
-        let trace = &r.stats.trace;
-        assert!(matches!(trace.first(), Some((0, TraceEvent::Boot))));
-        // Timestamps are monotone.
-        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0));
-        // Every power failure is followed by a boot.
-        for (i, (_, ev)) in trace.iter().enumerate() {
-            if *ev == TraceEvent::PowerFailure {
+        assert_eq!(r.events_dropped, 0);
+        let events = &r.events;
+        assert!(
+            matches!(
+                events.first(),
+                Some(Event {
+                    ts_us: 0,
+                    kind: EventKind::Instant(InstantKind::Boot),
+                    ..
+                })
+            ),
+            "the run starts with a boot"
+        );
+        // Timestamps and energies are monotone.
+        assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        assert!(events.windows(2).all(|w| w[0].energy_nj <= w[1].energy_nj));
+        // Every power failure is eventually followed by a boot.
+        for (i, ev) in events.iter().enumerate() {
+            if ev.kind == EventKind::Instant(InstantKind::PowerFailure) {
                 assert!(
-                    matches!(trace.get(i + 1), Some((_, TraceEvent::Boot))),
+                    events[i + 1..]
+                        .iter()
+                        .any(|e| e.kind == EventKind::Instant(InstantKind::Boot)),
                     "failure at index {i} not followed by a boot"
                 );
             }
         }
-        // Commits match the ledger.
-        let commits = trace
+        // Span ends match the ledger.
+        let count = |kind: EventKind| events.iter().filter(|e| e.kind == kind).count() as u64;
+        assert_eq!(
+            count(EventKind::SpanEnd(SpanKind::TaskAttempt, Status::Committed)),
+            r.stats.task_commits
+        );
+        assert_eq!(
+            count(EventKind::Instant(InstantKind::PowerFailure)),
+            r.stats.power_failures
+        );
+        assert_eq!(
+            count(EventKind::SpanBegin(SpanKind::TaskAttempt)),
+            r.stats.task_attempts
+        );
+        // Power-off spans are balanced and task names label the attempts.
+        assert_eq!(
+            count(EventKind::SpanBegin(SpanKind::PowerOff)),
+            count(EventKind::SpanEnd(SpanKind::PowerOff, Status::None))
+        );
+        assert!(events
             .iter()
-            .filter(|(_, e)| matches!(e, TraceEvent::TaskCommit(_)))
-            .count() as u64;
-        assert_eq!(commits, r.stats.task_commits);
-        let failures = trace
-            .iter()
-            .filter(|(_, e)| matches!(e, TraceEvent::PowerFailure))
-            .count() as u64;
-        assert_eq!(failures, r.stats.power_failures);
-        // Re-execution entries appear whenever failures happened mid-task.
+            .any(|e| e.name == "inc" && e.kind == EventKind::SpanBegin(SpanKind::TaskAttempt)));
+        // Re-execution attempts (site > 0) appear whenever failures happened
+        // mid-task.
         if r.stats.task_attempts > r.stats.task_commits {
-            assert!(trace
+            assert!(events
                 .iter()
-                .any(|(_, e)| matches!(e, TraceEvent::TaskEntry(_, true))));
+                .any(|e| e.kind == EventKind::SpanBegin(SpanKind::TaskAttempt) && e.site > 0));
         }
+        // An untraced run yields no events.
+        let mut mcu2 = Mcu::new(Supply::continuous());
+        let mut p2 = Peripherals::new(1);
+        let (app2, _) = two_task_app(&mut mcu2);
+        let mut rt2 = NaiveRuntime::new();
+        let r2 = run_app(&app2, &mut rt2, &mut mcu2, &mut p2, &ExecConfig::default());
+        assert!(r2.events.is_empty());
     }
 
     #[test]

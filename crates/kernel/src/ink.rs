@@ -50,6 +50,15 @@ impl InkRuntime {
         self.redirect.insert(var, slot);
         self.active.push(var);
         mcu.stats.bump("ink_buffered_vars");
+        let (ts, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
+        mcu.trace.emit_with(|| {
+            easeio_trace::Event::instant(
+                ts,
+                e,
+                easeio_trace::InstantKind::Privatize,
+                "double_buffer",
+            )
+        });
         Ok(slot)
     }
 

@@ -23,9 +23,10 @@ pub mod power;
 pub mod stats;
 
 pub use clock::Clock;
+pub use easeio_trace::TraceSink;
 pub use energy::{Capacitor, Cost, CostTable};
 pub use mcu::{Mcu, PowerFailure};
 pub use memory::{Addr, AllocTag, Memory, Region};
 pub use nvstore::{NvBuf, NvVar, RawVar, Scalar};
 pub use power::{RfHarvestConfig, Supply, TimerResetConfig};
-pub use stats::{RunStats, TraceEvent, WorkKind};
+pub use stats::{RunStats, WorkKind};

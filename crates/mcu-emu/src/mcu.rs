@@ -14,6 +14,7 @@ use crate::memory::Memory;
 use crate::nvstore::RawVar;
 use crate::power::Supply;
 use crate::stats::{RunStats, WorkKind};
+use easeio_trace::{Event, EventKind, InstantKind, SpanKind, Status, TraceSink, NO_SITE, NO_TASK};
 
 /// A power failure interrupted execution.
 ///
@@ -35,6 +36,9 @@ pub struct Mcu {
     pub cost: CostTable,
     /// Time/energy ledger and event counters.
     pub stats: RunStats,
+    /// Structured trace recorder (disabled by default; every layer above
+    /// emits through this sink).
+    pub trace: TraceSink,
 }
 
 impl Mcu {
@@ -46,6 +50,7 @@ impl Mcu {
             supply,
             cost: CostTable::default(),
             stats: RunStats::new(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -78,14 +83,40 @@ impl Mcu {
                 remaining.time_us - slice.time_us,
                 remaining.energy_nj - slice.energy_nj,
             );
+            let off_before = self.clock.off_us();
             let spend = self.supply.spend(&mut self.clock, slice);
             self.stats.record(kind, spend.on_us, spend.energy_nj);
             if spend.interrupted {
                 self.mem.power_failure();
                 self.stats.power_failures += 1;
+                // The supply already advanced the clock across the dead
+                // period; reconstruct the failure instant so the trace shows
+                // the off interval [t_fail, now] on the power track.
                 let now = self.clock.now_us();
-                self.stats
-                    .trace_event(now, crate::stats::TraceEvent::PowerFailure);
+                let t_fail = now - (self.clock.off_us() - off_before);
+                let energy = self.stats.total_energy_nj();
+                let supply = self.supply.kind_name();
+                self.trace.emit_with(|| {
+                    Event::instant(t_fail, energy, InstantKind::PowerFailure, supply)
+                });
+                self.trace.emit_with(|| Event {
+                    ts_us: t_fail,
+                    energy_nj: energy,
+                    task: NO_TASK,
+                    site: NO_SITE,
+                    name: "off",
+                    kind: EventKind::SpanBegin(SpanKind::PowerOff),
+                });
+                self.trace.emit_with(|| Event {
+                    ts_us: now,
+                    energy_nj: energy,
+                    task: NO_TASK,
+                    site: NO_SITE,
+                    name: "off",
+                    kind: EventKind::SpanEnd(SpanKind::PowerOff, Status::None),
+                });
+                self.trace
+                    .emit_with(|| Event::instant(now, energy, InstantKind::ChargeCycle, supply));
                 return Err(PowerFailure);
             }
             if remaining.time_us == 0 && remaining.energy_nj == 0 {

@@ -269,6 +269,15 @@ impl Supply {
     pub fn can_fail(&self) -> bool {
         !matches!(self, Supply::Continuous)
     }
+
+    /// Stable lowercase name of the supply model, used in trace events.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Supply::Continuous => "continuous",
+            Supply::Timer { .. } => "timer",
+            Supply::Harvester { .. } => "harvester",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,28 +9,6 @@
 
 use std::collections::BTreeMap;
 
-/// A timestamped event for execution tracing (opt-in; see
-/// [`RunStats::enable_trace`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// The MCU (re)booted.
-    Boot,
-    /// A power failure interrupted execution.
-    PowerFailure,
-    /// A task body was entered (task index, true = re-execution).
-    TaskEntry(u16, bool),
-    /// A task committed (task index).
-    TaskCommit(u16),
-    /// An I/O operation physically executed (kind name).
-    IoExecuted(&'static str),
-    /// An I/O operation was skipped and its output restored (kind name).
-    IoSkipped(&'static str),
-    /// A DMA transfer wrote its destination.
-    DmaExecuted,
-    /// A DMA transfer was skipped by semantics.
-    DmaSkipped,
-}
-
 /// Classification of a unit of spent work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkKind {
@@ -72,9 +50,6 @@ pub struct RunStats {
     pub dma_reexecutions: u64,
     /// Free-form named counters for runtime-specific events.
     pub counters: BTreeMap<&'static str, u64>,
-    /// Timestamped event trace; empty unless enabled.
-    pub trace: Vec<(u64, TraceEvent)>,
-    trace_enabled: bool,
 }
 
 impl RunStats {
@@ -100,19 +75,6 @@ impl RunStats {
     /// Increments a named counter.
     pub fn bump(&mut self, name: &'static str) {
         *self.counters.entry(name).or_insert(0) += 1;
-    }
-
-    /// Turns on event tracing (off by default; tracing a long experiment
-    /// sweep would allocate unboundedly).
-    pub fn enable_trace(&mut self) {
-        self.trace_enabled = true;
-    }
-
-    /// Records a trace event at wall-clock time `now_us`, if enabled.
-    pub fn trace_event(&mut self, now_us: u64, ev: TraceEvent) {
-        if self.trace_enabled {
-            self.trace.push((now_us, ev));
-        }
     }
 
     /// Reads a named counter.
@@ -165,7 +127,6 @@ impl RunStats {
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
         }
-        // Traces are per-run diagnostics; merging aggregates drops them.
     }
 }
 

@@ -1,0 +1,192 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Produces the JSON object format consumed by `chrome://tracing` and
+//! Perfetto: one track (tid) per task plus a dedicated power track (tid 0)
+//! carrying the off-period spans and supply instants, so power failures line
+//! up visually under the task attempts they interrupted. Timestamps are
+//! already in microseconds, the unit the format expects.
+
+use crate::event::{Event, EventKind, InstantKind, SpanKind, NO_SITE, NO_TASK};
+use crate::json::Value;
+
+/// Tid of the power/supply track.
+const POWER_TID: u64 = 0;
+
+fn tid_for(ev: &Event) -> u64 {
+    match ev.kind {
+        EventKind::SpanBegin(SpanKind::PowerOff) | EventKind::SpanEnd(SpanKind::PowerOff, _) => {
+            POWER_TID
+        }
+        EventKind::Instant(
+            InstantKind::Boot | InstantKind::PowerFailure | InstantKind::ChargeCycle,
+        ) => POWER_TID,
+        _ if ev.task == NO_TASK => POWER_TID,
+        _ => ev.task as u64 + 1,
+    }
+}
+
+fn meta(name: &str, tid: Option<u64>, value: &str) -> Value {
+    let mut args = vec![("name".to_string(), Value::str(value))];
+    let mut pairs = vec![
+        ("name".to_string(), Value::str(name)),
+        ("ph".to_string(), Value::str("M")),
+        ("pid".to_string(), Value::u64(1)),
+    ];
+    if let Some(t) = tid {
+        pairs.push(("tid".to_string(), Value::u64(t)));
+    }
+    pairs.push(("args".to_string(), Value::Obj(std::mem::take(&mut args))));
+    Value::Obj(pairs)
+}
+
+/// Converts an event stream into a Chrome trace document.
+///
+/// `process_name` labels the single process row (conventionally
+/// `"<runtime>/<app>"`); task display names are taken from the first
+/// `TaskAttempt` begin seen per task.
+pub fn chrome_trace(events: &[Event], process_name: &str) -> Value {
+    let mut records = Vec::with_capacity(events.len() + 8);
+    records.push(meta("process_name", None, process_name));
+    records.push(meta("thread_name", Some(POWER_TID), "power"));
+
+    // Name each task track after the task itself.
+    let mut named: Vec<u16> = Vec::new();
+    for ev in events {
+        if let EventKind::SpanBegin(SpanKind::TaskAttempt) = ev.kind {
+            if ev.task != NO_TASK && !named.contains(&ev.task) {
+                named.push(ev.task);
+                records.push(meta("thread_name", Some(ev.task as u64 + 1), ev.name));
+            }
+        }
+    }
+
+    for ev in events {
+        let mut pairs: Vec<(String, Value)> = Vec::with_capacity(7);
+        let mut args: Vec<(String, Value)> =
+            vec![("energy_nj".to_string(), Value::u64(ev.energy_nj))];
+        if ev.site != NO_SITE {
+            args.push(("site".to_string(), Value::u64(ev.site as u64)));
+        }
+        let (ph, name, cat) = match ev.kind {
+            EventKind::SpanBegin(k) => ("B", ev.name, k.label()),
+            EventKind::SpanEnd(k, status) => {
+                args.push(("status".to_string(), Value::str(status.label())));
+                ("E", ev.name, k.label())
+            }
+            EventKind::Instant(k) => ("i", ev.name, k.label()),
+        };
+        pairs.push(("name".to_string(), Value::str(name)));
+        pairs.push(("cat".to_string(), Value::str(cat)));
+        pairs.push(("ph".to_string(), Value::str(ph)));
+        pairs.push(("ts".to_string(), Value::u64(ev.ts_us)));
+        pairs.push(("pid".to_string(), Value::u64(1)));
+        pairs.push(("tid".to_string(), Value::u64(tid_for(ev))));
+        if ph == "i" {
+            pairs.push(("s".to_string(), Value::str("t")));
+        }
+        pairs.push(("args".to_string(), Value::Obj(args)));
+        records.push(Value::Obj(pairs));
+    }
+
+    Value::Obj(vec![
+        ("traceEvents".to_string(), Value::Arr(records)),
+        ("displayTimeUnit".to_string(), Value::str("ms")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Status;
+
+    #[test]
+    fn power_events_land_on_the_power_track() {
+        let events = [
+            Event::instant(5, 1, InstantKind::PowerFailure, "timer"),
+            Event {
+                ts_us: 5,
+                energy_nj: 1,
+                task: NO_TASK,
+                site: NO_SITE,
+                name: "off",
+                kind: EventKind::SpanBegin(SpanKind::PowerOff),
+            },
+            Event {
+                ts_us: 50,
+                energy_nj: 1,
+                task: NO_TASK,
+                site: NO_SITE,
+                name: "off",
+                kind: EventKind::SpanEnd(SpanKind::PowerOff, Status::None),
+            },
+            Event {
+                ts_us: 60,
+                energy_nj: 2,
+                task: 3,
+                site: 0,
+                name: "sense",
+                kind: EventKind::SpanBegin(SpanKind::IoCall),
+            },
+        ];
+        let doc = chrome_trace(&events, "easeio/demo");
+        let recs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Skip the metadata records, check the tids of the real events.
+        let tids: Vec<u64> = recs
+            .iter()
+            .filter(|r| r.get("ph").unwrap().as_str() != Some("M"))
+            .map(|r| r.get("tid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(tids, vec![0, 0, 0, 4]);
+    }
+
+    #[test]
+    fn task_tracks_are_named_from_attempt_begins() {
+        let events = [Event {
+            ts_us: 0,
+            energy_nj: 0,
+            task: 2,
+            site: 0,
+            name: "capture",
+            kind: EventKind::SpanBegin(SpanKind::TaskAttempt),
+        }];
+        let doc = chrome_trace(&events, "p");
+        let recs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let thread_meta: Vec<&Value> = recs
+            .iter()
+            .filter(|r| r.get("name").unwrap().as_str() == Some("thread_name"))
+            .collect();
+        assert_eq!(thread_meta.len(), 2, "power + one task");
+        let named = thread_meta
+            .iter()
+            .find(|r| r.get("tid").unwrap().as_u64() == Some(3))
+            .unwrap();
+        assert_eq!(
+            named.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("capture")
+        );
+    }
+
+    #[test]
+    fn span_ends_carry_their_status() {
+        let events = [Event {
+            ts_us: 9,
+            energy_nj: 7,
+            task: 0,
+            site: 1,
+            name: "sense",
+            kind: EventKind::SpanEnd(SpanKind::IoCall, Status::Skipped),
+        }];
+        let doc = chrome_trace(&events, "p");
+        let recs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let e = recs.last().unwrap();
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(
+            e.get("args").unwrap().get("status").unwrap().as_str(),
+            Some("skipped")
+        );
+        assert_eq!(
+            e.get("args").unwrap().get("site").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! The structured event vocabulary shared by every layer of the stack.
+//!
+//! One run produces one flat stream of [`Event`]s: spans (a begin/end pair
+//! bracketing an interval of simulated time) and instants (a point
+//! occurrence). The vocabulary is runtime-independent — Naive, Alpaca, InK
+//! and EaseIO all emit the same kinds, differing only in *which* events show
+//! up (a baseline never emits `FlagCheck`, EaseIO rarely emits `Redundant`
+//! I/O ends) — so traces from different runtimes are directly comparable in
+//! the same viewer.
+//!
+//! Events are plain `Copy` data with `&'static str` names: recording one is
+//! a handful of word moves, cheap enough to leave compiled in.
+
+/// `task` value for events not attributed to a task.
+pub const NO_TASK: u16 = u16::MAX;
+/// `site` value for events not attributed to a call site.
+pub const NO_SITE: u16 = u16::MAX;
+
+/// What kind of interval a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// One execution attempt of a task body (entry to commit/failure).
+    TaskAttempt,
+    /// The atomic commit step at task end (publication + pointer update).
+    Commit,
+    /// One `_call_IO` site activation (decision + execution or restore).
+    IoCall,
+    /// One `_IO_block_begin` … `_IO_block_end` region.
+    IoBlock,
+    /// One `_DMA_copy` site activation.
+    DmaCopy,
+    /// A dead period: from power failure to the next boot.
+    PowerOff,
+}
+
+impl SpanKind {
+    /// Stable lowercase label used in exported JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::TaskAttempt => "task_attempt",
+            SpanKind::Commit => "commit",
+            SpanKind::IoCall => "io_call",
+            SpanKind::IoBlock => "io_block",
+            SpanKind::DmaCopy => "dma_copy",
+            SpanKind::PowerOff => "power_off",
+        }
+    }
+}
+
+/// A point occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstantKind {
+    /// The MCU (re)booted.
+    Boot,
+    /// The supply interrupted execution.
+    PowerFailure,
+    /// The supply finished recharging after an off period.
+    ChargeCycle,
+    /// A runtime privatized state (WAR copy, buffered var, region snapshot).
+    Privatize,
+    /// EaseIO consulted an I/O lock flag.
+    FlagCheck,
+    /// EaseIO evaluated a `Timely` timestamp; `name` is `"fresh"`/`"expired"`.
+    TimestampCheck,
+    /// EaseIO entered a privatization region.
+    RegionEnter,
+    /// EaseIO reconciled (restored) a region's snapshots on re-entry.
+    RegionReconcile,
+    /// The executor abandoned a task (non-termination guard).
+    GiveUp,
+}
+
+impl InstantKind {
+    /// Stable lowercase label used in exported JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            InstantKind::Boot => "boot",
+            InstantKind::PowerFailure => "power_failure",
+            InstantKind::ChargeCycle => "charge_cycle",
+            InstantKind::Privatize => "privatize",
+            InstantKind::FlagCheck => "flag_check",
+            InstantKind::TimestampCheck => "timestamp_check",
+            InstantKind::RegionEnter => "region_enter",
+            InstantKind::RegionReconcile => "region_reconcile",
+            InstantKind::GiveUp => "give_up",
+        }
+    }
+}
+
+/// How a span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Status {
+    /// No particular outcome (span begins, instants).
+    None,
+    /// The task attempt was a re-execution of an interrupted activation.
+    Reexec,
+    /// The task attempt (or commit) completed and published.
+    Committed,
+    /// A power failure interrupted the span.
+    Failed,
+    /// The non-termination guard abandoned the span.
+    GaveUp,
+    /// The I/O or DMA physically executed, first completion this activation.
+    Executed,
+    /// The I/O or DMA physically executed *again* after already completing
+    /// in an earlier attempt of the same activation — wasted work.
+    Redundant,
+    /// The I/O or DMA was skipped; its previous output was restored.
+    Skipped,
+}
+
+impl Status {
+    /// Stable lowercase label used in exported JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Status::None => "none",
+            Status::Reexec => "reexec",
+            Status::Committed => "committed",
+            Status::Failed => "failed",
+            Status::GaveUp => "gave_up",
+            Status::Executed => "executed",
+            Status::Redundant => "redundant",
+            Status::Skipped => "skipped",
+        }
+    }
+}
+
+/// Span begin / span end / instant discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Opens a span. The matching end is the next `SpanEnd` of the same
+    /// `(SpanKind, task, site)` in stack order.
+    SpanBegin(SpanKind),
+    /// Closes the most recently opened span of this `(SpanKind, task, site)`.
+    SpanEnd(SpanKind, Status),
+    /// A point event.
+    Instant(InstantKind),
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual wall-clock time (µs since run start, includes off periods).
+    pub ts_us: u64,
+    /// Cumulative energy spent at this point (nJ, app + overhead).
+    pub energy_nj: u64,
+    /// Task index, or [`NO_TASK`].
+    pub task: u16,
+    /// Call-site index within the task (I/O, DMA and block sites are
+    /// numbered independently), or [`NO_SITE`].
+    pub site: u16,
+    /// Human-readable name: task name, I/O kind, runtime name, etc.
+    pub name: &'static str,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// An instant with no task/site attribution.
+    pub fn instant(ts_us: u64, energy_nj: u64, kind: InstantKind, name: &'static str) -> Self {
+        Self {
+            ts_us,
+            energy_nj,
+            task: NO_TASK,
+            site: NO_SITE,
+            name,
+            kind: EventKind::Instant(kind),
+        }
+    }
+
+    /// An instant attributed to a task.
+    pub fn task_instant(
+        ts_us: u64,
+        energy_nj: u64,
+        task: u16,
+        kind: InstantKind,
+        name: &'static str,
+    ) -> Self {
+        Self {
+            ts_us,
+            energy_nj,
+            task,
+            site: NO_SITE,
+            name,
+            kind: EventKind::Instant(kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_lowercase() {
+        assert_eq!(SpanKind::IoCall.label(), "io_call");
+        assert_eq!(InstantKind::PowerFailure.label(), "power_failure");
+        assert_eq!(Status::Redundant.label(), "redundant");
+        for l in [
+            SpanKind::TaskAttempt.label(),
+            InstantKind::RegionReconcile.label(),
+            Status::GaveUp.label(),
+        ] {
+            assert_eq!(l, l.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn instant_constructor_leaves_attribution_empty() {
+        let e = Event::instant(5, 9, InstantKind::Boot, "boot");
+        assert_eq!(e.task, NO_TASK);
+        assert_eq!(e.site, NO_SITE);
+        assert_eq!(e.kind, EventKind::Instant(InstantKind::Boot));
+    }
+}

@@ -1,0 +1,79 @@
+//! Compact JSONL exporter: one event per line.
+//!
+//! The line format is stable and self-describing, meant for `grep`/`jq`
+//! post-processing of long runs where the Chrome document would be unwieldy.
+
+use crate::event::{Event, EventKind, NO_SITE, NO_TASK};
+use crate::json::Value;
+
+/// Converts one event to its JSON object form.
+pub fn event_value(ev: &Event) -> Value {
+    let mut pairs: Vec<(String, Value)> = vec![
+        ("ts_us".to_string(), Value::u64(ev.ts_us)),
+        ("energy_nj".to_string(), Value::u64(ev.energy_nj)),
+    ];
+    if ev.task != NO_TASK {
+        pairs.push(("task".to_string(), Value::u64(ev.task as u64)));
+    }
+    if ev.site != NO_SITE {
+        pairs.push(("site".to_string(), Value::u64(ev.site as u64)));
+    }
+    pairs.push(("name".to_string(), Value::str(ev.name)));
+    match ev.kind {
+        EventKind::SpanBegin(k) => {
+            pairs.push(("ev".to_string(), Value::str("begin")));
+            pairs.push(("kind".to_string(), Value::str(k.label())));
+        }
+        EventKind::SpanEnd(k, status) => {
+            pairs.push(("ev".to_string(), Value::str("end")));
+            pairs.push(("kind".to_string(), Value::str(k.label())));
+            pairs.push(("status".to_string(), Value::str(status.label())));
+        }
+        EventKind::Instant(k) => {
+            pairs.push(("ev".to_string(), Value::str("instant")));
+            pairs.push(("kind".to_string(), Value::str(k.label())));
+        }
+    }
+    Value::Obj(pairs)
+}
+
+/// Serializes the stream as newline-delimited JSON (one object per line).
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_value(ev).to_compact());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{InstantKind, SpanKind, Status};
+    use crate::json;
+
+    #[test]
+    fn one_parseable_object_per_line() {
+        let events = [
+            Event::instant(1, 2, InstantKind::Boot, "boot"),
+            Event {
+                ts_us: 3,
+                energy_nj: 4,
+                task: 1,
+                site: 0,
+                name: "sense",
+                kind: EventKind::SpanEnd(SpanKind::IoCall, Status::Executed),
+            },
+        ];
+        let text = jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("ev").unwrap().as_str(), Some("instant"));
+        assert_eq!(first.get("task"), None, "unattributed fields are omitted");
+        let second = json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("status").unwrap().as_str(), Some("executed"));
+        assert_eq!(second.get("task").unwrap().as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,411 @@
+//! Post-hoc profile construction from an event stream.
+//!
+//! The simulator is single-threaded, so spans form a stack per run and the
+//! whole profile — per-call-site execution/skip/redundancy counts with their
+//! time and energy, and per-task attempt-latency distributions — is
+//! derivable from the flat event stream alone. Nothing here is counted
+//! during execution; the recorder stays a dumb ring.
+
+use crate::event::{Event, EventKind, InstantKind, SpanKind, Status, NO_TASK};
+use std::collections::BTreeMap;
+
+/// Aggregate for one I/O or DMA call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteProfile {
+    /// Owning task index.
+    pub task: u16,
+    /// Site index within the task.
+    pub site: u16,
+    /// `IoCall` or `DmaCopy`.
+    pub kind: SpanKind,
+    /// Operation name (I/O kind, or `"dma"`).
+    pub name: String,
+    /// Physical executions (first completions plus redundant repeats).
+    pub executions: u64,
+    /// Executions that were redundant — wasted work (paper Table 4).
+    pub redundant: u64,
+    /// Activations skipped with the previous output restored.
+    pub skips: u64,
+    /// Activations interrupted by a power failure.
+    pub failed: u64,
+    /// Total on-time spent at this site (µs), all activations.
+    pub time_us: u64,
+    /// Total energy spent at this site (nJ).
+    pub energy_nj: u64,
+    /// Time spent on redundant or interrupted activations (µs).
+    pub wasted_time_us: u64,
+    /// Energy spent on redundant or interrupted activations (nJ).
+    pub wasted_energy_nj: u64,
+}
+
+impl SiteProfile {
+    /// Share of this site's time that was wasted, in `[0, 1]`.
+    pub fn wasted_share(&self) -> f64 {
+        if self.time_us == 0 {
+            0.0
+        } else {
+            self.wasted_time_us as f64 / self.time_us as f64
+        }
+    }
+}
+
+/// Attempt-latency distribution summary (µs of on-time per attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Median committed-attempt latency.
+    pub p50_us: u64,
+    /// 95th-percentile committed-attempt latency.
+    pub p95_us: u64,
+    /// Worst committed-attempt latency.
+    pub max_us: u64,
+}
+
+/// Aggregate for one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskProfile {
+    /// Task index.
+    pub task: u16,
+    /// Task name.
+    pub name: String,
+    /// Execution attempts started.
+    pub attempts: u64,
+    /// Attempts that were re-executions of an interrupted activation.
+    pub reexec_attempts: u64,
+    /// Attempts that committed.
+    pub commits: u64,
+    /// Attempts interrupted by power failures.
+    pub failures: u64,
+    /// Attempts abandoned by the non-termination guard.
+    pub giveups: u64,
+    /// Latency distribution over committed attempts.
+    pub latency: LatencySummary,
+    latencies_us: Vec<u64>,
+}
+
+/// Everything derived from one run's events.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Per-call-site aggregates, ordered by (task, kind, site).
+    pub sites: Vec<SiteProfile>,
+    /// Per-task aggregates, ordered by task index.
+    pub tasks: Vec<TaskProfile>,
+    /// Instant-event counts keyed by [`InstantKind::label`]. The
+    /// `timestamp_check` total splits into `timestamp_check_expired` via the
+    /// event name.
+    pub instants: BTreeMap<&'static str, u64>,
+    /// Total time the supply was off (µs), from `PowerOff` spans.
+    pub power_off_us: u64,
+    /// Span ends without a matching begin plus spans left open — zero on a
+    /// well-formed trace (ring overflow can make this positive).
+    pub unbalanced: u64,
+}
+
+struct Open {
+    kind: SpanKind,
+    task: u16,
+    site: u16,
+    ts_us: u64,
+    energy_nj: u64,
+}
+
+/// Builds the profile for one run's event stream.
+///
+/// Conventions the emitters guarantee (and tests/properties.rs checks):
+/// spans nest per `(kind, task, site)`; a `TaskAttempt` begin carries the
+/// attempt index within the activation in its `site` field (`> 0` means
+/// re-execution); every interrupted span is closed with `Status::Failed`
+/// *after* the dead period, so a failed span's useful duration ends at the
+/// preceding `PowerFailure` instant.
+pub fn build_profile(events: &[Event]) -> Profile {
+    let mut p = Profile::default();
+    let mut open: Vec<Open> = Vec::new();
+    let mut sites: BTreeMap<(u16, SpanKind, u16), SiteProfile> = BTreeMap::new();
+    let mut tasks: BTreeMap<u16, TaskProfile> = BTreeMap::new();
+    // Where useful work stopped for spans that end with `Failed`.
+    let mut last_failure: Option<(u64, u64)> = None;
+
+    for ev in events {
+        match ev.kind {
+            EventKind::Instant(kind) => {
+                *p.instants.entry(kind.label()).or_insert(0) += 1;
+                match kind {
+                    InstantKind::PowerFailure => last_failure = Some((ev.ts_us, ev.energy_nj)),
+                    InstantKind::TimestampCheck if ev.name == "expired" => {
+                        *p.instants.entry("timestamp_check_expired").or_insert(0) += 1;
+                    }
+                    _ => {}
+                }
+            }
+            EventKind::SpanBegin(kind) => {
+                if kind == SpanKind::TaskAttempt && ev.task != NO_TASK {
+                    let t = tasks.entry(ev.task).or_insert_with(|| TaskProfile {
+                        task: ev.task,
+                        name: ev.name.to_string(),
+                        attempts: 0,
+                        reexec_attempts: 0,
+                        commits: 0,
+                        failures: 0,
+                        giveups: 0,
+                        latency: LatencySummary::default(),
+                        latencies_us: Vec::new(),
+                    });
+                    t.attempts += 1;
+                    if ev.site > 0 {
+                        t.reexec_attempts += 1;
+                    }
+                }
+                open.push(Open {
+                    kind,
+                    task: ev.task,
+                    site: ev.site,
+                    ts_us: ev.ts_us,
+                    energy_nj: ev.energy_nj,
+                });
+            }
+            EventKind::SpanEnd(kind, status) => {
+                // Pop the most recent matching open span. `TaskAttempt`
+                // matches on task alone: its begin carries the attempt index
+                // in `site`, which the end does not repeat.
+                let idx = open.iter().rposition(|o| {
+                    o.kind == kind
+                        && o.task == ev.task
+                        && (kind == SpanKind::TaskAttempt || o.site == ev.site)
+                });
+                let Some(idx) = idx else {
+                    p.unbalanced += 1;
+                    continue;
+                };
+                let o = open.remove(idx);
+                // A failed span's end is emitted after the recharge period;
+                // its useful extent stops at the failure itself.
+                let (end_ts, end_energy) = match (status, last_failure) {
+                    (Status::Failed, Some((fts, fe))) if fts >= o.ts_us => (fts, fe),
+                    _ => (ev.ts_us, ev.energy_nj),
+                };
+                let dt = end_ts.saturating_sub(o.ts_us);
+                let de = end_energy.saturating_sub(o.energy_nj);
+                match kind {
+                    SpanKind::IoCall | SpanKind::DmaCopy => {
+                        let s =
+                            sites
+                                .entry((ev.task, kind, ev.site))
+                                .or_insert_with(|| SiteProfile {
+                                    task: ev.task,
+                                    site: ev.site,
+                                    kind,
+                                    name: ev.name.to_string(),
+                                    executions: 0,
+                                    redundant: 0,
+                                    skips: 0,
+                                    failed: 0,
+                                    time_us: 0,
+                                    energy_nj: 0,
+                                    wasted_time_us: 0,
+                                    wasted_energy_nj: 0,
+                                });
+                        s.time_us += dt;
+                        s.energy_nj += de;
+                        match status {
+                            Status::Executed => s.executions += 1,
+                            Status::Redundant => {
+                                s.executions += 1;
+                                s.redundant += 1;
+                                s.wasted_time_us += dt;
+                                s.wasted_energy_nj += de;
+                            }
+                            Status::Skipped => s.skips += 1,
+                            _ => {
+                                s.failed += 1;
+                                s.wasted_time_us += dt;
+                                s.wasted_energy_nj += de;
+                            }
+                        }
+                    }
+                    SpanKind::TaskAttempt => {
+                        if let Some(t) = tasks.get_mut(&ev.task) {
+                            match status {
+                                Status::Committed => {
+                                    t.commits += 1;
+                                    t.latencies_us.push(dt);
+                                }
+                                Status::GaveUp => t.giveups += 1,
+                                _ => t.failures += 1,
+                            }
+                        }
+                    }
+                    SpanKind::PowerOff => p.power_off_us += ev.ts_us.saturating_sub(o.ts_us),
+                    SpanKind::Commit | SpanKind::IoBlock => {}
+                }
+            }
+        }
+    }
+
+    p.unbalanced += open.len() as u64;
+    for t in tasks.values_mut() {
+        t.latencies_us.sort_unstable();
+        t.latency = LatencySummary {
+            p50_us: percentile(&t.latencies_us, 50),
+            p95_us: percentile(&t.latencies_us, 95),
+            max_us: t.latencies_us.last().copied().unwrap_or(0),
+        };
+    }
+    p.sites = sites.into_values().collect();
+    p.tasks = tasks.into_values().collect();
+    p
+}
+
+fn percentile(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as u64 * q / 100) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, NO_SITE, NO_TASK};
+
+    fn span(ts: u64, e: u64, task: u16, site: u16, name: &'static str, kind: EventKind) -> Event {
+        Event {
+            ts_us: ts,
+            energy_nj: e,
+            task,
+            site,
+            name,
+            kind,
+        }
+    }
+
+    #[test]
+    fn io_site_counts_split_by_status() {
+        use EventKind::{SpanBegin, SpanEnd};
+        use SpanKind::IoCall;
+        let events = [
+            span(0, 0, 0, 0, "sense", SpanBegin(IoCall)),
+            span(10, 100, 0, 0, "sense", SpanEnd(IoCall, Status::Executed)),
+            span(20, 120, 0, 0, "sense", SpanBegin(IoCall)),
+            span(30, 220, 0, 0, "sense", SpanEnd(IoCall, Status::Redundant)),
+            span(40, 240, 0, 0, "sense", SpanBegin(IoCall)),
+            span(42, 244, 0, 0, "sense", SpanEnd(IoCall, Status::Skipped)),
+        ];
+        let p = build_profile(&events);
+        assert_eq!(p.unbalanced, 0);
+        let s = &p.sites[0];
+        assert_eq!((s.executions, s.redundant, s.skips), (2, 1, 1));
+        assert_eq!(s.time_us, 10 + 10 + 2);
+        assert_eq!(s.wasted_time_us, 10);
+        assert_eq!(s.wasted_energy_nj, 100);
+        assert!((s.wasted_share() - 10.0 / 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_span_duration_stops_at_the_failure() {
+        use EventKind::{Instant, SpanBegin, SpanEnd};
+        let events = [
+            span(0, 0, 0, 0, "t0", SpanBegin(SpanKind::TaskAttempt)),
+            span(5, 50, 0, 3, "cap", SpanBegin(SpanKind::IoCall)),
+            Event::instant(8, 60, InstantKind::PowerFailure, "timer"),
+            span(
+                8,
+                60,
+                NO_TASK,
+                NO_SITE,
+                "off",
+                SpanBegin(SpanKind::PowerOff),
+            ),
+            span(
+                100,
+                60,
+                NO_TASK,
+                NO_SITE,
+                "off",
+                SpanEnd(SpanKind::PowerOff, Status::None),
+            ),
+            span(
+                100,
+                60,
+                0,
+                3,
+                "cap",
+                SpanEnd(SpanKind::IoCall, Status::Failed),
+            ),
+            span(
+                100,
+                60,
+                0,
+                NO_SITE,
+                "t0",
+                SpanEnd(SpanKind::TaskAttempt, Status::Failed),
+            ),
+            Event {
+                ts_us: 100,
+                energy_nj: 60,
+                task: NO_TASK,
+                site: NO_SITE,
+                name: "boot",
+                kind: Instant(InstantKind::Boot),
+            },
+        ];
+        let p = build_profile(&events);
+        assert_eq!(p.unbalanced, 0);
+        assert_eq!(p.power_off_us, 92);
+        let s = &p.sites[0];
+        assert_eq!(s.failed, 1);
+        assert_eq!(
+            s.time_us, 3,
+            "useful extent ends at the failure, not after recharge"
+        );
+        assert_eq!(p.tasks[0].failures, 1);
+        assert_eq!(p.instants["power_failure"], 1);
+        assert_eq!(p.instants["boot"], 1);
+    }
+
+    #[test]
+    fn task_latency_percentiles_cover_committed_attempts_only() {
+        use EventKind::{SpanBegin, SpanEnd};
+        use SpanKind::TaskAttempt;
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for (i, d) in [10u64, 20, 30, 40, 1000].iter().enumerate() {
+            events.push(span(t, t, 0, i as u16, "t0", SpanBegin(TaskAttempt)));
+            t += d;
+            events.push(span(
+                t,
+                t,
+                0,
+                NO_SITE,
+                "t0",
+                SpanEnd(TaskAttempt, Status::Committed),
+            ));
+        }
+        let p = build_profile(&events);
+        let tp = &p.tasks[0];
+        assert_eq!(tp.attempts, 5);
+        assert_eq!(
+            tp.reexec_attempts, 4,
+            "site field carries the attempt index"
+        );
+        assert_eq!(tp.commits, 5);
+        assert_eq!(tp.latency.p50_us, 30);
+        assert_eq!(tp.latency.max_us, 1000);
+    }
+
+    #[test]
+    fn unbalanced_stream_is_reported_not_panicked() {
+        use EventKind::{SpanBegin, SpanEnd};
+        let events = [
+            span(0, 0, 0, 0, "x", SpanBegin(SpanKind::IoCall)),
+            span(
+                5,
+                0,
+                1,
+                9,
+                "y",
+                SpanEnd(SpanKind::Commit, Status::Committed),
+            ),
+        ];
+        let p = build_profile(&events);
+        assert_eq!(p.unbalanced, 2, "one dangling begin + one orphan end");
+    }
+}

@@ -1,0 +1,416 @@
+//! Versioned machine-readable run report.
+//!
+//! `easeio-sim --report out.json` emits this document: run identity
+//! (runtime, app, supply, seed), the paper's five metrics (§5.2 — wasted
+//! work, energy, correctness, runtime overhead, memory overhead), the
+//! per-call-site profile and per-task latency table. Downstream tooling pins
+//! `schema_version`; [`validate_report`] is the schema check CI runs against
+//! a fresh report.
+
+use crate::json::Value;
+use crate::profile::Profile;
+
+/// Version of the report document layout.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Ledger-level inputs the simulator supplies alongside the event profile.
+#[derive(Debug, Clone)]
+pub struct ReportInputs {
+    /// Runtime display name (`"EaseIO"`, `"Alpaca"`, …).
+    pub runtime: String,
+    /// Application name.
+    pub app: String,
+    /// Supply description (free-form object, e.g. kind + timer bounds).
+    pub supply: Value,
+    /// Failure-schedule / environment seed.
+    pub seed: u64,
+    /// `"completed"` or `"non_termination"`.
+    pub outcome: String,
+    /// Application correctness verdict, if the app defines a check.
+    pub correct: Option<bool>,
+    /// Wall-clock time including off periods (µs).
+    pub wall_us: u64,
+    /// Powered time (µs).
+    pub on_us: u64,
+    /// App-classified time (µs).
+    pub app_time_us: u64,
+    /// Overhead-classified time (µs).
+    pub overhead_time_us: u64,
+    /// App-classified energy (nJ).
+    pub app_energy_nj: u64,
+    /// Overhead-classified energy (nJ).
+    pub overhead_energy_nj: u64,
+    /// Golden (continuous-power) app time (µs), for wasted-work.
+    pub golden_app_time_us: u64,
+    /// Golden app energy (nJ).
+    pub golden_app_energy_nj: u64,
+    /// Power failures.
+    pub power_failures: u64,
+    /// Task attempts / commits.
+    pub task_attempts: u64,
+    /// Task commits.
+    pub task_commits: u64,
+    /// I/O physically executed.
+    pub io_executed: u64,
+    /// I/O skipped with restored outputs.
+    pub io_skipped: u64,
+    /// Redundant I/O re-executions.
+    pub io_reexecutions: u64,
+    /// DMA transfers performed.
+    pub dma_executed: u64,
+    /// DMA transfers skipped.
+    pub dma_skipped: u64,
+    /// Redundant DMA re-executions.
+    pub dma_reexecutions: u64,
+    /// Memory overhead `(text, ram, fram)` bytes, if measured.
+    pub memory: Option<(u32, u32, u32)>,
+    /// Events recorded / dropped by the ring.
+    pub events_recorded: u64,
+    /// Events lost to ring overflow.
+    pub events_dropped: u64,
+}
+
+fn pct(part: u64, whole: u64) -> Value {
+    if whole == 0 {
+        Value::Num(0.0)
+    } else {
+        Value::Num((part as f64 / whole as f64 * 1000.0).round() / 10.0)
+    }
+}
+
+/// Builds the report document.
+pub fn build_report(inp: &ReportInputs, profile: &Profile) -> Value {
+    let wasted_us = inp.app_time_us.saturating_sub(inp.golden_app_time_us);
+    let wasted_nj = inp.app_energy_nj.saturating_sub(inp.golden_app_energy_nj);
+    let total_us = inp.app_time_us + inp.overhead_time_us;
+    let metrics = Value::Obj(vec![
+        ("wall_us".into(), Value::u64(inp.wall_us)),
+        ("on_us".into(), Value::u64(inp.on_us)),
+        ("app_time_us".into(), Value::u64(inp.app_time_us)),
+        ("overhead_time_us".into(), Value::u64(inp.overhead_time_us)),
+        ("app_energy_nj".into(), Value::u64(inp.app_energy_nj)),
+        (
+            "overhead_energy_nj".into(),
+            Value::u64(inp.overhead_energy_nj),
+        ),
+        (
+            "total_energy_nj".into(),
+            Value::u64(inp.app_energy_nj + inp.overhead_energy_nj),
+        ),
+        (
+            "golden_app_time_us".into(),
+            Value::u64(inp.golden_app_time_us),
+        ),
+        (
+            "golden_app_energy_nj".into(),
+            Value::u64(inp.golden_app_energy_nj),
+        ),
+        ("wasted_time_us".into(), Value::u64(wasted_us)),
+        ("wasted_energy_nj".into(), Value::u64(wasted_nj)),
+        ("wasted_work_pct".into(), pct(wasted_us, inp.app_time_us)),
+        (
+            "runtime_overhead_pct".into(),
+            pct(inp.overhead_time_us, total_us),
+        ),
+        ("power_failures".into(), Value::u64(inp.power_failures)),
+        ("task_attempts".into(), Value::u64(inp.task_attempts)),
+        ("task_commits".into(), Value::u64(inp.task_commits)),
+        ("io_executed".into(), Value::u64(inp.io_executed)),
+        ("io_skipped".into(), Value::u64(inp.io_skipped)),
+        ("io_reexecutions".into(), Value::u64(inp.io_reexecutions)),
+        ("dma_executed".into(), Value::u64(inp.dma_executed)),
+        ("dma_skipped".into(), Value::u64(inp.dma_skipped)),
+        ("dma_reexecutions".into(), Value::u64(inp.dma_reexecutions)),
+        (
+            "memory".into(),
+            match inp.memory {
+                Some((text, ram, fram)) => Value::Obj(vec![
+                    ("text".into(), Value::u64(text as u64)),
+                    ("ram".into(), Value::u64(ram as u64)),
+                    ("fram".into(), Value::u64(fram as u64)),
+                ]),
+                None => Value::Null,
+            },
+        ),
+    ]);
+
+    let sites = profile
+        .sites
+        .iter()
+        .map(|s| {
+            Value::Obj(vec![
+                ("task".into(), Value::u64(s.task as u64)),
+                ("site".into(), Value::u64(s.site as u64)),
+                ("kind".into(), Value::str(s.kind.label())),
+                ("name".into(), Value::str(s.name.clone())),
+                ("executions".into(), Value::u64(s.executions)),
+                ("redundant".into(), Value::u64(s.redundant)),
+                ("skips".into(), Value::u64(s.skips)),
+                ("failed".into(), Value::u64(s.failed)),
+                ("time_us".into(), Value::u64(s.time_us)),
+                ("energy_nj".into(), Value::u64(s.energy_nj)),
+                ("wasted_time_us".into(), Value::u64(s.wasted_time_us)),
+                ("wasted_energy_nj".into(), Value::u64(s.wasted_energy_nj)),
+                (
+                    "wasted_share".into(),
+                    Value::Num((s.wasted_share() * 1000.0).round() / 1000.0),
+                ),
+            ])
+        })
+        .collect();
+
+    let tasks = profile
+        .tasks
+        .iter()
+        .map(|t| {
+            Value::Obj(vec![
+                ("task".into(), Value::u64(t.task as u64)),
+                ("name".into(), Value::str(t.name.clone())),
+                ("attempts".into(), Value::u64(t.attempts)),
+                ("reexec_attempts".into(), Value::u64(t.reexec_attempts)),
+                ("commits".into(), Value::u64(t.commits)),
+                ("failures".into(), Value::u64(t.failures)),
+                ("giveups".into(), Value::u64(t.giveups)),
+                (
+                    "latency_us".into(),
+                    Value::Obj(vec![
+                        ("p50".into(), Value::u64(t.latency.p50_us)),
+                        ("p95".into(), Value::u64(t.latency.p95_us)),
+                        ("max".into(), Value::u64(t.latency.max_us)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+
+    let instants = profile
+        .instants
+        .iter()
+        .map(|(k, v)| (k.to_string(), Value::u64(*v)))
+        .collect();
+
+    Value::Obj(vec![
+        ("schema_version".into(), Value::u64(SCHEMA_VERSION)),
+        ("tool".into(), Value::str("easeio-sim")),
+        ("runtime".into(), Value::str(inp.runtime.clone())),
+        ("app".into(), Value::str(inp.app.clone())),
+        ("supply".into(), inp.supply.clone()),
+        ("seed".into(), Value::u64(inp.seed)),
+        ("outcome".into(), Value::str(inp.outcome.clone())),
+        (
+            "correct".into(),
+            match inp.correct {
+                Some(b) => Value::Bool(b),
+                None => Value::Null,
+            },
+        ),
+        ("metrics".into(), metrics),
+        ("sites".into(), Value::Arr(sites)),
+        ("tasks".into(), Value::Arr(tasks)),
+        ("instants".into(), Value::Obj(instants)),
+        (
+            "trace".into(),
+            Value::Obj(vec![
+                ("events_recorded".into(), Value::u64(inp.events_recorded)),
+                ("events_dropped".into(), Value::u64(inp.events_dropped)),
+                ("power_off_us".into(), Value::u64(profile.power_off_us)),
+                ("unbalanced_spans".into(), Value::u64(profile.unbalanced)),
+            ]),
+        ),
+    ])
+}
+
+/// Required numeric keys inside `metrics`.
+const METRIC_KEYS: &[&str] = &[
+    "wall_us",
+    "on_us",
+    "app_time_us",
+    "overhead_time_us",
+    "app_energy_nj",
+    "overhead_energy_nj",
+    "total_energy_nj",
+    "wasted_time_us",
+    "wasted_energy_nj",
+    "wasted_work_pct",
+    "runtime_overhead_pct",
+    "power_failures",
+    "task_attempts",
+    "task_commits",
+    "io_executed",
+    "io_skipped",
+    "io_reexecutions",
+    "dma_executed",
+    "dma_skipped",
+    "dma_reexecutions",
+];
+
+const SITE_KEYS: &[&str] = &[
+    "task",
+    "site",
+    "kind",
+    "name",
+    "executions",
+    "redundant",
+    "skips",
+    "failed",
+    "time_us",
+    "energy_nj",
+    "wasted_time_us",
+    "wasted_energy_nj",
+    "wasted_share",
+];
+
+const TASK_KEYS: &[&str] = &[
+    "task",
+    "name",
+    "attempts",
+    "reexec_attempts",
+    "commits",
+    "failures",
+    "giveups",
+    "latency_us",
+];
+
+/// Checks a parsed report against schema version [`SCHEMA_VERSION`].
+/// Returns every violation found, not just the first.
+pub fn validate_report(v: &Value) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    let mut need = |key: &str, pred: &dyn Fn(&Value) -> bool, what: &str| match v.get(key) {
+        None => errs.push(format!("missing key '{key}'")),
+        Some(val) if !pred(val) => errs.push(format!("'{key}' must be {what}")),
+        _ => {}
+    };
+    need(
+        "schema_version",
+        &|x| x.as_u64() == Some(SCHEMA_VERSION),
+        &format!("the integer {SCHEMA_VERSION}"),
+    );
+    need("tool", &|x| x.as_str().is_some(), "a string");
+    need("runtime", &|x| x.as_str().is_some(), "a string");
+    need("app", &|x| x.as_str().is_some(), "a string");
+    need("supply", &|x| x.as_obj().is_some(), "an object");
+    need("seed", &|x| x.as_u64().is_some(), "an unsigned integer");
+    need(
+        "outcome",
+        &|x| matches!(x.as_str(), Some("completed" | "non_termination")),
+        "'completed' or 'non_termination'",
+    );
+    need(
+        "correct",
+        &|x| matches!(x, Value::Null | Value::Bool(_)),
+        "a bool or null",
+    );
+
+    match v.get("metrics") {
+        None => errs.push("missing key 'metrics'".into()),
+        Some(m) => {
+            for k in METRIC_KEYS {
+                if m.get(k).and_then(Value::as_f64).is_none() {
+                    errs.push(format!("metrics.{k} must be a number"));
+                }
+            }
+        }
+    }
+    for (key, required) in [("sites", SITE_KEYS), ("tasks", TASK_KEYS)] {
+        match v.get(key).and_then(Value::as_arr) {
+            None => errs.push(format!("'{key}' must be an array")),
+            Some(rows) => {
+                for (i, row) in rows.iter().enumerate() {
+                    for k in required {
+                        if row.get(k).is_none() {
+                            errs.push(format!("{key}[{i}] missing '{k}'"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    match v.get("trace") {
+        None => errs.push("missing key 'trace'".into()),
+        Some(t) => {
+            for k in ["events_recorded", "events_dropped", "unbalanced_spans"] {
+                if t.get(k).and_then(Value::as_u64).is_none() {
+                    errs.push(format!("trace.{k} must be an unsigned integer"));
+                }
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_inputs() -> ReportInputs {
+        ReportInputs {
+            runtime: "EaseIO".into(),
+            app: "weather".into(),
+            supply: Value::Obj(vec![("kind".into(), Value::str("timer"))]),
+            seed: 7,
+            outcome: "completed".into(),
+            correct: Some(true),
+            wall_us: 1000,
+            on_us: 800,
+            app_time_us: 600,
+            overhead_time_us: 200,
+            app_energy_nj: 6000,
+            overhead_energy_nj: 2000,
+            golden_app_time_us: 450,
+            golden_app_energy_nj: 4500,
+            power_failures: 3,
+            task_attempts: 9,
+            task_commits: 6,
+            io_executed: 4,
+            io_skipped: 2,
+            io_reexecutions: 1,
+            dma_executed: 1,
+            dma_skipped: 1,
+            dma_reexecutions: 0,
+            memory: Some((1480, 128, 512)),
+            events_recorded: 42,
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn built_report_validates_and_roundtrips() {
+        let report = build_report(&sample_inputs(), &Profile::default());
+        validate_report(&report).expect("fresh report must satisfy its own schema");
+        let reparsed = json::parse(&report.to_pretty()).unwrap();
+        validate_report(&reparsed).unwrap();
+        assert_eq!(
+            reparsed
+                .get("metrics")
+                .unwrap()
+                .get("wasted_time_us")
+                .unwrap()
+                .as_u64(),
+            Some(150)
+        );
+        assert_eq!(
+            reparsed
+                .get("metrics")
+                .unwrap()
+                .get("wasted_work_pct")
+                .unwrap()
+                .as_f64(),
+            Some(25.0)
+        );
+    }
+
+    #[test]
+    fn validator_reports_every_violation() {
+        let doc = json::parse(r#"{"schema_version": 2, "runtime": 5}"#).unwrap();
+        let errs = validate_report(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("schema_version")));
+        assert!(errs.iter().any(|e| e.contains("'runtime' must be")));
+        assert!(errs.iter().any(|e| e.contains("missing key 'metrics'")));
+        assert!(errs.len() > 5, "all violations collected: {errs:?}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Bounded ring buffer of trace events.
+//!
+//! A long experiment sweep would allocate unboundedly with a plain `Vec`;
+//! the ring instead keeps the most recent `capacity` events and counts how
+//! many older ones were overwritten, so exporters can state exactly what was
+//! dropped instead of silently truncating.
+
+use crate::event::Event;
+
+/// Default ring capacity (events). At ~48 bytes per event this bounds a
+/// recorder at a few tens of megabytes, far above any single simulated run.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A fixed-capacity recorder that keeps the newest events.
+#[derive(Debug)]
+pub struct RingRecorder {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Creates a recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            buf: Vec::new(),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if full.
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the recorder, returning events oldest-first.
+    pub fn take(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, InstantKind};
+
+    fn ev(ts: u64) -> Event {
+        Event::instant(ts, 0, InstantKind::Boot, "boot")
+    }
+
+    #[test]
+    fn keeps_everything_below_capacity() {
+        let mut r = RingRecorder::new(4);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 0);
+        let got: Vec<u64> = r.take().iter().map(|e| e.ts_us).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wraps_keeping_the_newest_and_counting_drops() {
+        let mut r = RingRecorder::new(3);
+        for t in 0..7 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 4);
+        assert_eq!(r.len(), 3);
+        let got: Vec<u64> = r.take().iter().map(|e| e.ts_us).collect();
+        assert_eq!(got, vec![4, 5, 6], "oldest-first, newest retained");
+    }
+
+    #[test]
+    fn take_resets_for_reuse() {
+        let mut r = RingRecorder::new(2);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        r.take();
+        r.push(ev(9));
+        let got: Vec<u64> = r.take().iter().map(|e| e.ts_us).collect();
+        assert_eq!(got, vec![9]);
+    }
+}

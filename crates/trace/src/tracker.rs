@@ -1,0 +1,65 @@
+//! Cross-attempt activation tracking: which call sites already completed.
+//!
+//! The paper's Table 4 counts *redundant* re-executions: a site physically
+//! executing again after it already completed in an earlier attempt of the
+//! same task activation. That is an observer-side judgement (the logic
+//! analyzer's view), not anything the MCU stores, so it lives here with the
+//! rest of the observability machinery rather than in the kernel.
+
+use std::collections::HashSet;
+
+/// Tracks first completions of I/O and DMA sites per task activation.
+#[derive(Debug, Default)]
+pub struct ActivationTracker {
+    io_done: HashSet<(u16, u16)>,
+    dma_done: HashSet<(u16, u16)>,
+}
+
+impl ActivationTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that I/O site `(task, site)` executed; returns `true` on the
+    /// first completion of this activation, `false` if it is redundant.
+    pub fn first_io(&mut self, task: u16, site: u16) -> bool {
+        self.io_done.insert((task, site))
+    }
+
+    /// Records that DMA site `(task, site)` executed; returns `true` on the
+    /// first completion of this activation, `false` if it is redundant.
+    pub fn first_dma(&mut self, task: u16, site: u16) -> bool {
+        self.dma_done.insert((task, site))
+    }
+
+    /// Clears `task`'s per-activation state after it commits.
+    pub fn commit(&mut self, task: u16) {
+        self.io_done.retain(|(t, _)| *t != task);
+        self.dma_done.retain(|(t, _)| *t != task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_execution_same_activation_is_redundant() {
+        let mut t = ActivationTracker::new();
+        assert!(t.first_io(0, 0));
+        assert!(!t.first_io(0, 0), "repeat within the activation");
+        assert!(t.first_io(0, 1), "different site is fresh");
+        assert!(t.first_dma(0, 0), "DMA sites are tracked separately");
+    }
+
+    #[test]
+    fn commit_resets_only_that_task() {
+        let mut t = ActivationTracker::new();
+        t.first_io(0, 0);
+        t.first_io(1, 0);
+        t.commit(0);
+        assert!(t.first_io(0, 0), "fresh activation after commit");
+        assert!(!t.first_io(1, 0), "other task untouched");
+    }
+}

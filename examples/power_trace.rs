@@ -6,17 +6,22 @@
 //! never dies; farther away the capacitor drains, the device goes dark,
 //! recharges, and resumes.
 //!
+//! It also records the structured event stream of one harvester run and
+//! writes it as Chrome `trace_event` JSON (`power_trace.json`, loadable in
+//! `chrome://tracing` or Perfetto), with the dead periods on their own track.
+//!
 //! Run with: `cargo run --release --example power_trace`
 
 use easeio_repro::apps::dma_app::{self, DmaAppCfg};
 use easeio_repro::apps::harness::RuntimeKind;
+use easeio_repro::easeio_trace::{chrome_trace, Event, TraceSink};
 use easeio_repro::kernel::{run_app, ExecConfig};
 use easeio_repro::mcu_emu::{Capacitor, Mcu, RfHarvestConfig, Supply};
 use easeio_repro::periph::Peripherals;
 
 /// Samples of (wall ms, remaining energy fraction 0..=1) collected by
 /// polling the supply between runs of fixed-size work slices.
-fn trace(distance_inch: u64) -> (Vec<(f64, f64)>, u64) {
+fn trace(distance_inch: u64) -> (Vec<(f64, f64)>, u64, Vec<Event>) {
     let cfg = RfHarvestConfig {
         tx_power_mw: 3_000,
         distance_centi_inch: distance_inch * 100,
@@ -28,6 +33,7 @@ fn trace(distance_inch: u64) -> (Vec<(f64, f64)>, u64) {
         fading_phase_us: 0,
     };
     let mut mcu = Mcu::new(Supply::harvester(cfg));
+    mcu.trace = TraceSink::enabled();
     let mut periph = Peripherals::new(1);
     let app = dma_app::build(
         &mut mcu,
@@ -53,7 +59,7 @@ fn trace(distance_inch: u64) -> (Vec<(f64, f64)>, u64) {
             cfg.capacitor.remaining_nj() as f64 / cfg.capacitor.usable_nj() as f64,
         ));
     }
-    (samples, r.stats.power_failures)
+    (samples, r.stats.power_failures, r.events)
 }
 
 fn bar(frac: f64, width: usize) -> String {
@@ -108,8 +114,22 @@ fn main() {
     }
     // And the end-to-end effect on a real workload:
     println!("DMA benchmark (3 iterations) under the harvester, EaseIO:");
+    let mut far_events = Vec::new();
     for d in [52u64, 58, 64] {
-        let (_, failures) = trace(d);
+        let (_, failures, events) = trace(d);
         println!("  distance {d} in → {failures} power failures");
+        if d == 64 {
+            far_events = events;
+        }
+    }
+    // Export the farthest (most intermittent) run as a Chrome trace.
+    let doc = chrome_trace(&far_events, "dma on EaseIO, harvester @64in");
+    let path = "power_trace.json";
+    match std::fs::write(path, doc.to_pretty()) {
+        Ok(()) => println!(
+            "\nwrote {path} ({} events) — open in chrome://tracing or Perfetto",
+            far_events.len()
+        ),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
     }
 }

@@ -3,6 +3,7 @@
 //! Re-exports the workspace crates so examples and integration tests can
 //! depend on a single package:
 //!
+//! * [`easeio_trace`] — structured tracing, profiles, and run reports;
 //! * [`mcu_emu`] — the simulated MSP430FR5994 platform;
 //! * [`periph`] — sensors, radio, camera, DMA, LEA, environment;
 //! * [`kernel`] — task model, executor, Alpaca/InK/naive runtimes;
@@ -30,6 +31,7 @@
 pub use apps;
 pub use easec;
 pub use easeio_core;
+pub use easeio_trace;
 pub use kernel;
 pub use mcu_emu;
 pub use periph;

@@ -1,0 +1,276 @@
+//! Golden-file and schema tests for the observability stack.
+//!
+//! The Chrome `trace_event` export and the run report are consumed by
+//! external tooling (trace viewers, CI schema checks, plotting scripts), so
+//! their byte-level layout is pinned here against golden files built from a
+//! small synthetic event stream that exercises every record shape: task
+//! attempts and re-executions, I/O with all outcomes, DMA, commits, a power
+//! failure with its off-period span, and runtime instants.
+//!
+//! Regenerate the goldens after an intentional format change with:
+//! `UPDATE_GOLDEN=1 cargo test --test observability`
+//!
+//! A second group runs the real simulator end-to-end and checks that a fresh
+//! report always satisfies its own schema.
+
+use easeio_repro::apps::harness::{golden, run_traced, RuntimeKind};
+use easeio_repro::apps::temp_app;
+use easeio_repro::easeio_trace::{
+    build_profile, build_report, chrome_trace, jsonl, parse_json, validate_report, Event,
+    EventKind, InstantKind, ReportInputs, SpanKind, Status, Value, NO_SITE, NO_TASK,
+};
+use easeio_repro::kernel::Outcome;
+use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};
+use std::path::PathBuf;
+
+fn ev(ts: u64, nj: u64, task: u16, site: u16, name: &'static str, kind: EventKind) -> Event {
+    Event {
+        ts_us: ts,
+        energy_nj: nj,
+        task,
+        site,
+        name,
+        kind,
+    }
+}
+
+/// A fixed stream covering every exported record shape: one committed
+/// attempt with an executed I/O and a skipped DMA, a power failure mid-I/O,
+/// and a committed re-execution whose repeated I/O is redundant.
+fn synthetic_events() -> Vec<Event> {
+    use EventKind::{SpanBegin, SpanEnd};
+    use InstantKind::*;
+    use SpanKind::*;
+    vec![
+        Event::instant(0, 0, Boot, "boot"),
+        ev(10, 5, 0, 0, "sense", SpanBegin(TaskAttempt)),
+        ev(12, 8, 0, 0, "temp", SpanBegin(IoCall)),
+        Event::task_instant(13, 9, 0, FlagCheck, "clear"),
+        ev(20, 40, 0, 0, "temp", SpanEnd(IoCall, Status::Executed)),
+        ev(22, 44, 0, 1, "dma", SpanBegin(DmaCopy)),
+        ev(25, 50, 0, 1, "dma", SpanEnd(DmaCopy, Status::Skipped)),
+        ev(26, 52, 0, NO_SITE, "sense", SpanBegin(Commit)),
+        ev(
+            30,
+            60,
+            0,
+            NO_SITE,
+            "sense",
+            SpanEnd(Commit, Status::Committed),
+        ),
+        ev(
+            30,
+            60,
+            0,
+            NO_SITE,
+            "sense",
+            SpanEnd(TaskAttempt, Status::Committed),
+        ),
+        ev(32, 62, 1, 0, "send", SpanBegin(TaskAttempt)),
+        ev(34, 64, 1, 0, "radio", SpanBegin(IoCall)),
+        Event::instant(40, 70, PowerFailure, "timer"),
+        ev(40, 70, NO_TASK, NO_SITE, "off", SpanBegin(PowerOff)),
+        ev(
+            90,
+            70,
+            NO_TASK,
+            NO_SITE,
+            "off",
+            SpanEnd(PowerOff, Status::None),
+        ),
+        Event::instant(90, 70, ChargeCycle, "timer"),
+        ev(90, 70, 1, 0, "radio", SpanEnd(IoCall, Status::Failed)),
+        ev(
+            90,
+            70,
+            1,
+            NO_SITE,
+            "send",
+            SpanEnd(TaskAttempt, Status::Failed),
+        ),
+        Event::instant(90, 70, Boot, "boot"),
+        ev(92, 72, 1, 1, "send", SpanBegin(TaskAttempt)),
+        ev(94, 74, 1, 0, "radio", SpanBegin(IoCall)),
+        ev(102, 110, 1, 0, "radio", SpanEnd(IoCall, Status::Redundant)),
+        ev(104, 112, 1, NO_SITE, "send", SpanBegin(Commit)),
+        ev(
+            108,
+            120,
+            1,
+            NO_SITE,
+            "send",
+            SpanEnd(Commit, Status::Committed),
+        ),
+        ev(
+            108,
+            120,
+            1,
+            NO_SITE,
+            "send",
+            SpanEnd(TaskAttempt, Status::Committed),
+        ),
+    ]
+}
+
+fn sample_inputs() -> ReportInputs {
+    ReportInputs {
+        runtime: "EaseIO".into(),
+        app: "synthetic".into(),
+        supply: Value::Obj(vec![("kind".into(), Value::str("timer"))]),
+        seed: 42,
+        outcome: "completed".into(),
+        correct: Some(true),
+        wall_us: 108,
+        on_us: 58,
+        app_time_us: 40,
+        overhead_time_us: 18,
+        app_energy_nj: 90,
+        overhead_energy_nj: 30,
+        golden_app_time_us: 32,
+        golden_app_energy_nj: 72,
+        power_failures: 1,
+        task_attempts: 3,
+        task_commits: 2,
+        io_executed: 2,
+        io_skipped: 0,
+        io_reexecutions: 1,
+        dma_executed: 0,
+        dma_skipped: 1,
+        dma_reexecutions: 0,
+        memory: Some((1480, 128, 512)),
+        events_recorded: 25,
+        events_dropped: 0,
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `UPDATE_GOLDEN=1 cargo test --test observability` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let mut doc = chrome_trace(&synthetic_events(), "synthetic on EaseIO").to_pretty();
+    doc.push('\n');
+    assert_matches_golden("chrome_trace.json", &doc);
+    // And it stays parseable JSON with the two required top-level keys.
+    let parsed = parse_json(&doc).unwrap();
+    assert!(parsed.get("traceEvents").is_some());
+    assert!(parsed.get("displayTimeUnit").is_some());
+}
+
+#[test]
+fn jsonl_export_matches_golden() {
+    let doc = jsonl(&synthetic_events());
+    assert_matches_golden("trace.jsonl", &doc);
+    for line in doc.lines() {
+        parse_json(line).expect("every JSONL line parses on its own");
+    }
+}
+
+#[test]
+fn report_matches_golden_and_validates() {
+    let profile = build_profile(&synthetic_events());
+    assert_eq!(profile.unbalanced, 0, "the synthetic stream is well-formed");
+    let report = build_report(&sample_inputs(), &profile);
+    let mut doc = report.to_pretty();
+    doc.push('\n');
+    assert_matches_golden("report.json", &doc);
+    validate_report(&parse_json(&doc).unwrap()).expect("golden report satisfies the schema");
+}
+
+#[test]
+fn real_run_report_satisfies_the_schema() {
+    // End-to-end: trace a real intermittent run, derive its profile, build
+    // the report exactly as `easeio-sim --report` does, and validate.
+    let build = |m: &mut Mcu| temp_app::build(m, &temp_app::TempAppCfg::default());
+    let kind = RuntimeKind::EaseIo;
+    let seed = 7;
+    let r = run_traced(
+        &build,
+        kind,
+        Supply::timer(TimerResetConfig::default(), seed),
+        seed,
+    );
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert!(!r.events.is_empty());
+    let (golden_us, golden_nj) = golden(&build, kind, seed);
+    let profile = build_profile(&r.events);
+    assert_eq!(profile.unbalanced, 0);
+    let inputs = ReportInputs {
+        runtime: kind.name().into(),
+        app: "temp".into(),
+        supply: Value::Obj(vec![("kind".into(), Value::str("timer"))]),
+        seed,
+        outcome: "completed".into(),
+        correct: None,
+        wall_us: r.wall_us,
+        on_us: r.on_us,
+        app_time_us: r.stats.app_time_us,
+        overhead_time_us: r.stats.overhead_time_us,
+        app_energy_nj: r.stats.app_energy_nj,
+        overhead_energy_nj: r.stats.overhead_energy_nj,
+        golden_app_time_us: golden_us,
+        golden_app_energy_nj: golden_nj,
+        power_failures: r.stats.power_failures,
+        task_attempts: r.stats.task_attempts,
+        task_commits: r.stats.task_commits,
+        io_executed: r.stats.io_executed,
+        io_skipped: r.stats.io_skipped,
+        io_reexecutions: r.stats.io_reexecutions,
+        dma_executed: r.stats.dma_executed,
+        dma_skipped: r.stats.dma_skipped,
+        dma_reexecutions: r.stats.dma_reexecutions,
+        memory: None,
+        events_recorded: r.events.len() as u64,
+        events_dropped: r.events_dropped,
+    };
+    let report = build_report(&inputs, &profile);
+    validate_report(&report).expect("fresh report from a real run must validate");
+    // Round-trip through text like CI's smoke run does.
+    let reparsed = parse_json(&report.to_pretty()).unwrap();
+    validate_report(&reparsed).unwrap();
+    // The per-site table reflects the ledger. `stats.io_executed` counts
+    // every physical execution (redundant included); the profile counts the
+    // same except for calls interrupted after the peripheral ran, which land
+    // in `failed` instead.
+    let io_execs: u64 = profile
+        .sites
+        .iter()
+        .filter(|s| s.kind == SpanKind::IoCall)
+        .map(|s| s.executions)
+        .sum();
+    let io_failed: u64 = profile
+        .sites
+        .iter()
+        .filter(|s| s.kind == SpanKind::IoCall)
+        .map(|s| s.failed)
+        .sum();
+    assert!(io_execs <= r.stats.io_executed);
+    assert!(io_execs + io_failed >= r.stats.io_executed);
+    let redundant: u64 = profile.sites.iter().map(|s| s.redundant).sum();
+    assert_eq!(
+        redundant,
+        r.stats.io_reexecutions + r.stats.dma_reexecutions
+    );
+}

@@ -9,9 +9,13 @@
 //!   than its window at restore time.
 //! * **Ledger**: time and energy accounting is exact and internally
 //!   consistent for every runtime and schedule.
+//! * **Trace well-formedness**: the structured event stream is monotonically
+//!   timestamped across power failures and every span begin has a matching
+//!   end, for every runtime and schedule.
 
-use easeio_repro::apps::harness::{run_once, RuntimeKind};
+use easeio_repro::apps::harness::{run_once, run_traced, RuntimeKind};
 use easeio_repro::apps::{dma_app, fir, temp_app};
+use easeio_repro::easeio_trace::build_profile;
 use easeio_repro::kernel::{Outcome, Verdict};
 use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};
 use proptest::prelude::*;
@@ -77,6 +81,42 @@ proptest! {
         }
         // Counters are coherent: skipped + executed ≥ distinct completions.
         prop_assert!(r.stats.io_reexecutions <= r.stats.io_executed);
+    }
+
+    #[test]
+    fn trace_spans_are_balanced_and_monotone_across_failures(
+        cfg in schedule_strategy(),
+        seed in any::<u64>(),
+        which in 0usize..3,
+    ) {
+        let kind = [RuntimeKind::Alpaca, RuntimeKind::Ink, RuntimeKind::EaseIo][which];
+        let b = |m: &mut Mcu| temp_app::build(m, &temp_app::TempAppCfg::default());
+        let r = run_traced(&b, kind, Supply::timer(cfg, seed), seed);
+        prop_assert_eq!(r.outcome, Outcome::Completed);
+        prop_assert!(!r.events.is_empty());
+        // Timestamps and the cumulative energy counter never go backwards,
+        // even across power failures and recharge periods.
+        let (mut prev_ts, mut prev_nj) = (0u64, 0u64);
+        for ev in &r.events {
+            prop_assert!(ev.ts_us >= prev_ts, "ts regressed: {} -> {}", prev_ts, ev.ts_us);
+            prop_assert!(ev.energy_nj >= prev_nj);
+            prev_ts = ev.ts_us;
+            prev_nj = ev.energy_nj;
+        }
+        // Every span begin has a matching end (the ring didn't overflow on
+        // this workload, so the stream is complete).
+        prop_assert_eq!(r.events_dropped, 0);
+        let p = build_profile(&r.events);
+        prop_assert_eq!(p.unbalanced, 0);
+        // The profile's view of the run agrees with the executor's ledger.
+        prop_assert_eq!(
+            p.instants.get("power_failure").copied().unwrap_or(0),
+            r.stats.power_failures
+        );
+        let commits: u64 = p.tasks.iter().map(|t| t.commits).sum();
+        prop_assert_eq!(commits, r.stats.task_commits);
+        let attempts: u64 = p.tasks.iter().map(|t| t.attempts).sum();
+        prop_assert_eq!(attempts, r.stats.task_attempts);
     }
 
     #[test]

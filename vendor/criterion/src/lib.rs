@@ -1,0 +1,135 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! Provides `Criterion::benchmark_group` / `bench_function` / `Bencher::iter`
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple calibrated wall-clock mean: warm up, pick an iteration count that
+//! fills a fixed measurement window, report mean ns/iteration. No statistics
+//! beyond min/mean are computed — good enough to compare a hot path before
+//! and after a change on the same machine, which is all the micro bench in
+//! this workspace is for.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_window: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Compatibility no-op (the real crate parses CLI filters here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            window: self.measurement_window,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmark functions.
+pub struct BenchmarkGroup<'a> {
+    window: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            window: self.window,
+            mean_ns: 0.0,
+            min_ns: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "  {id:<44} mean {:>12.1} ns/iter   min {:>12.1} ns/iter",
+            b.mean_ns, b.min_ns
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// workload.
+pub struct Bencher {
+    window: Duration,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping its output alive so the optimizer cannot drop
+    /// the workload.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up + calibration: how many iterations fit in ~1/10 window?
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < self.window / 10 {
+            std::hint::black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = (self.window / 10).as_nanos() as f64 / calib_iters.max(1) as f64;
+        let target = ((self.window.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+
+        // Measure in 5 batches; report overall mean and best batch.
+        let batches = 5u64;
+        let batch_iters = (target / batches).max(1);
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..batches {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            total += dt;
+            best = best.min(dt);
+        }
+        let iters = (batch_iters * batches) as f64;
+        self.mean_ns = total.as_nanos() as f64 / iters;
+        self.min_ns = best.as_nanos() as f64 / batch_iters as f64;
+    }
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from one or more `criterion_group!` functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build container has no network access and no vendored registry, so
+//! the workspace patches `rand` to this crate (see `[patch.crates-io]` in
+//! the root manifest). Only the surface the simulator actually uses is
+//! provided: `StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::random_range` over integer ranges. The generator is xoshiro256++
+//! seeded through SplitMix64 — deterministic per seed, which is the only
+//! property the simulator relies on (failure schedules are compared across
+//! runs of the *same* seed, never against golden sequences of the real
+//! `rand`).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    //! Named RNGs (only `StdRng`).
+
+    /// Deterministic xoshiro256++ generator, API-compatible with
+    /// `rand::rngs::StdRng` for the subset this workspace uses.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the full state,
+            // as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng::from_u64(state)
+        }
+    }
+}
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (only the `seed_from_u64` entry point).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<G: RngCore + ?Sized> Rng for G {}
+
+/// Integer types samplable uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Widens to `i128` (lossless for every integer up to 64 bits).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128`; the value is guaranteed in range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn sample_span<G: RngCore + ?Sized>(rng: &mut G, lo: i128, span: u128) -> i128 {
+    debug_assert!(span > 0, "empty sample range");
+    // Modulo bias is ≤ span/2^64, far below anything the simulator's
+    // statistics could resolve; the real rand's widening multiply is not
+    // worth reproducing here.
+    lo + (rng.next_u64() as u128 % span) as i128
+}
+
+/// Ranges that [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        T::from_i128(sample_span(rng, lo, (hi - lo) as u128))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::from_i128(sample_span(rng, lo, (hi - lo + 1) as u128))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let draw = |seed| {
+            let mut r = StdRng::seed_from_u64(seed);
+            (0..32)
+                .map(|_| r.random_range(0u64..1000))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let a = r.random_range(5u64..20);
+            assert!((5..20).contains(&a));
+            let b = r.random_range(-50i32..50);
+            assert!((-50..50).contains(&b));
+            let c = r.random_range(3u8..=5);
+            assert!((3..=5).contains(&c));
+            let d = r.random_range(0usize..3);
+            assert!(d < 3);
+        }
+    }
+
+    #[test]
+    fn covers_the_whole_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets hit: {seen:?}");
+    }
+}
