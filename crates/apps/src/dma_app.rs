@@ -130,6 +130,7 @@ pub fn build(mcu: &mut Mcu, cfg: &DmaAppCfg) -> App {
             tasks: 3,
             io_funcs: 1,
             io_sites: 0,
+            timely_sites: 0,
             dma_sites: 6,
             io_blocks: 0,
             nv_vars: 2 + 2, // iter, checksum + the two buffers

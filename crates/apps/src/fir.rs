@@ -228,6 +228,7 @@ pub fn build(mcu: &mut Mcu, cfg: &FirCfg) -> App {
             tasks: 1 + CHUNKS,
             io_funcs: 2,
             io_sites: 1,
+            timely_sites: 0,
             dma_sites: 3,
             io_blocks: 0,
             nv_vars: 3,

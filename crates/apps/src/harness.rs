@@ -98,6 +98,8 @@ pub struct Summary {
     pub completed: u64,
     /// Runs that hit the non-termination guard.
     pub non_terminated: u64,
+    /// Runs aborted on a runtime resource fault (e.g. DMA pool exhausted).
+    pub faulted: u64,
     /// Completed runs whose final state matched the golden run.
     pub correct: u64,
     /// Completed runs with corrupted state.
@@ -246,6 +248,7 @@ pub fn run_many(
         runs: cfg.runs,
         completed: 0,
         non_terminated: 0,
+        faulted: 0,
         correct: 0,
         incorrect: 0,
         total_on_us: 0,
@@ -269,6 +272,10 @@ pub fn run_many(
         match r.outcome {
             Outcome::NonTermination => {
                 s.non_terminated += 1;
+                continue;
+            }
+            Outcome::Fault(_) => {
+                s.faulted += 1;
                 continue;
             }
             Outcome::Completed => s.completed += 1,

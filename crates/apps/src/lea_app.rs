@@ -149,6 +149,7 @@ pub fn build(mcu: &mut Mcu, cfg: &LeaAppCfg) -> App {
             tasks: 3,
             io_funcs: 1,
             io_sites: 1,
+            timely_sites: 0,
             dma_sites: 0,
             io_blocks: 0,
             nv_vars: 1,

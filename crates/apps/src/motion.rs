@@ -162,6 +162,7 @@ pub fn build(mcu: &mut Mcu, cfg: &MotionCfg) -> (App, NvVar<u32>) {
             tasks: 4,
             io_funcs: 2,
             io_sites: 17, // 16 loop samples + the alert
+            timely_sites: 0,
             dma_sites: 0,
             io_blocks: 0,
             nv_vars: 3,

@@ -108,6 +108,7 @@ pub fn build(mcu: &mut Mcu, cfg: &TempAppCfg) -> App {
             tasks: 3,
             io_funcs: 1,
             io_sites: 1,
+            timely_sites: 1,
             dma_sites: 0,
             io_blocks: 0,
             nv_vars: 3,

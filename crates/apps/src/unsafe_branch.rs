@@ -87,6 +87,7 @@ pub fn build(mcu: &mut Mcu, cfg: &BranchCfg) -> (App, NvVar<u8>, NvVar<u8>) {
             tasks: 2,
             io_funcs: 1,
             io_sites: 1,
+            timely_sites: 0,
             dma_sites: 0,
             io_blocks: 0,
             nv_vars: 2,

@@ -386,6 +386,7 @@ pub fn build(mcu: &mut Mcu, cfg: &WeatherCfg) -> App {
             tasks: 11,
             io_funcs: 5,
             io_sites: 8,
+            timely_sites: 1,
             dma_sites: 9,
             io_blocks: 1,
             nv_vars: 9,

@@ -13,13 +13,35 @@
 //!   --report <path>          write the machine-readable run report
 //!   --validate-report <path> check a report against the schema and exit
 //! ```
+//!
+//! Subcommand `sweep` runs the deterministic power-failure sweep from the
+//! `crashcheck` crate: a continuous-power oracle run enumerates every
+//! energy-spend boundary, then the same app is re-run with a single injected
+//! failure at each chosen boundary and checked against the oracle.
+//!
+//! ```text
+//! Usage: easeio-sim sweep [OPTIONS]
+//!   --app <name>             app to sweep                      (default dma)
+//!   --runtime <name>         runtime under test                (default easeio)
+//!   --exhaustive             inject at every boundary          (default)
+//!   --sample <N>             inject at N seeded-random boundaries
+//!   --seed <u64>             env + sampling seed               (default 7)
+//!   --off-us <us>            outage length per injection       (default 100000)
+//!   --strict-memory          force byte-exact FRAM compare (auto for
+//!                            deterministic apps: dma, fir, lea)
+//!   --report <path>          write the machine-readable sweep report
+//!   --allow-violations       exit 0 even if violations are found
+//!   --expect-violations      exit 1 only if NO violation is found
+//! ```
 
 use apps::harness::{golden, measure_footprint, run_once, run_traced, RuntimeKind};
 use apps::{dma_app, fir, lea_app, motion, temp_app, unsafe_branch, weather};
+use crashcheck::{sweep, SweepConfig, SweepMode};
 use easeio_bench::experiments::rf_supply;
 use easeio_trace::{
-    build_profile, build_report, chrome_trace, jsonl, parse_json, validate_report, Event,
-    EventKind, InstantKind, ReportInputs, SpanKind, Value,
+    build_profile, build_report, build_sweep_report, chrome_trace, jsonl, parse_json,
+    validate_report, validate_sweep_report, Event, EventKind, InstantKind, ReportInputs, SpanKind,
+    SweepInputs, SweepViolation, Value,
 };
 use kernel::{App, Outcome, Verdict};
 use mcu_emu::{Mcu, Supply, TimerResetConfig};
@@ -188,7 +210,182 @@ fn write_or_die(path: &str, contents: &str, what: &str) {
     }
 }
 
+/// Apps whose final memory is a pure function of the seed: no sensed
+/// environment values reach application state, so byte-exact comparison
+/// against the continuous-power oracle is sound.
+fn deterministic_app(name: &str) -> bool {
+    matches!(name, "dma" | "fir" | "lea")
+}
+
+struct SweepArgs {
+    app: String,
+    runtime: String,
+    seed: u64,
+    off_us: u64,
+    sample: Option<u64>,
+    strict_memory: bool,
+    report: Option<String>,
+    allow_violations: bool,
+    expect_violations: bool,
+}
+
+fn parse_sweep_args() -> Result<SweepArgs, String> {
+    let mut args = SweepArgs {
+        app: "dma".into(),
+        runtime: "easeio".into(),
+        seed: 7,
+        off_us: 100_000,
+        sample: None,
+        strict_memory: false,
+        report: None,
+        allow_violations: false,
+        expect_violations: false,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--app" => args.app = val("--app")?,
+            "--runtime" => args.runtime = val("--runtime")?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--off-us" => args.off_us = val("--off-us")?.parse().map_err(|e| format!("{e}"))?,
+            "--exhaustive" => args.sample = None,
+            "--sample" => args.sample = Some(val("--sample")?.parse().map_err(|e| format!("{e}"))?),
+            "--strict-memory" => args.strict_memory = true,
+            "--report" => args.report = Some(val("--report")?),
+            "--allow-violations" => args.allow_violations = true,
+            "--expect-violations" => args.expect_violations = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown sweep flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn sweep_main() -> ! {
+    let args = match parse_sweep_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: easeio-sim sweep [--app dma|temp|lea|fir|weather|weather-single|branch|motion]\n\
+                 \x20                       [--runtime naive|alpaca|ink|easeio|easeio-op]\n\
+                 \x20                       [--exhaustive | --sample N] [--seed N] [--off-us US]\n\
+                 \x20                       [--strict-memory] [--report FILE.json]\n\
+                 \x20                       [--allow-violations] [--expect-violations]"
+            );
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    };
+    let kind = runtime_kind(&args.runtime).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2)
+    });
+    let single_args = Args {
+        app: args.app.clone(),
+        runtime: args.runtime.clone(),
+        supply: "continuous".into(),
+        seed: args.seed,
+        runs: 1,
+        distance: 61,
+        trace: false,
+        trace_out: None,
+        report: None,
+        validate: None,
+        source: None,
+        emit_transform: false,
+    };
+    // Probe build: surface app errors before the sweep.
+    {
+        let mut probe = Mcu::new(Supply::continuous());
+        if let Err(e) = build_app(&single_args, kind.excludes_const_dma(), &mut probe) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+    let build = |m: &mut Mcu| build_app(&single_args, kind.excludes_const_dma(), m).unwrap();
+    let cfg = SweepConfig {
+        mode: match args.sample {
+            Some(n) => SweepMode::Sample(n),
+            None => SweepMode::Exhaustive,
+        },
+        seed: args.seed,
+        off_us: args.off_us,
+        strict_memory: args.strict_memory || deterministic_app(&args.app),
+    };
+    let out = sweep(&build, kind, args.seed, &cfg);
+    println!(
+        "sweep: {} under {} — {} boundaries, {} injections ({}), seed {}, outage {} µs{}",
+        out.app,
+        out.runtime,
+        out.oracle_boundaries,
+        out.injections,
+        cfg.mode.name(),
+        args.seed,
+        args.off_us,
+        if cfg.strict_memory {
+            ", strict memory"
+        } else {
+            ""
+        }
+    );
+    for v in &out.violations {
+        println!(
+            "  boundary {:>6}: {} — {}",
+            v.boundary,
+            v.kind.name(),
+            v.detail
+        );
+    }
+    println!(
+        "sweep result: {} violation(s) in {} injection(s)",
+        out.violations.len(),
+        out.injections
+    );
+    if let Some(path) = &args.report {
+        let inputs = SweepInputs {
+            runtime: out.runtime.into(),
+            app: out.app.into(),
+            seed: args.seed,
+            off_us: args.off_us,
+            mode: cfg.mode.name().into(),
+            oracle_boundaries: out.oracle_boundaries,
+            strict_memory: cfg.strict_memory,
+            injections: out.injections,
+            violations: out
+                .violations
+                .iter()
+                .map(|v| SweepViolation {
+                    boundary: v.boundary,
+                    kind: v.kind.name().into(),
+                    detail: v.detail.clone(),
+                })
+                .collect(),
+        };
+        let mut doc = build_sweep_report(&inputs).to_pretty();
+        doc.push('\n');
+        write_or_die(path, &doc, "sweep report");
+        println!("sweep report written to {path}");
+    }
+    if args.expect_violations {
+        if out.is_clean() {
+            eprintln!("error: expected violations, found none");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
+    if !out.is_clean() && !args.allow_violations {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("sweep") {
+        sweep_main();
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -217,10 +414,17 @@ fn main() {
             eprintln!("error: {path}: invalid JSON: {e}");
             std::process::exit(1)
         });
-        match validate_report(&doc) {
+        let is_sweep = doc.get("tool").and_then(Value::as_str) == Some("easeio-sim sweep");
+        let result = if is_sweep {
+            validate_sweep_report(&doc)
+        } else {
+            validate_report(&doc)
+        };
+        match result {
             Ok(()) => {
                 println!(
-                    "{path}: valid run report (schema v{})",
+                    "{path}: valid {} report (schema v{})",
+                    if is_sweep { "sweep" } else { "run" },
                     easeio_trace::SCHEMA_VERSION
                 );
                 return;
@@ -363,6 +567,7 @@ fn main() {
                 outcome: match r.outcome {
                     Outcome::Completed => "completed".into(),
                     Outcome::NonTermination => "non_termination".into(),
+                    Outcome::Fault(_) => "fault".into(),
                 },
                 correct: r.verdict.as_ref().map(|v| matches!(v, Verdict::Correct)),
                 wall_us: r.wall_us,
@@ -390,6 +595,9 @@ fn main() {
             doc.push('\n');
             write_or_die(path, &doc, "report");
             println!("report written to {path}");
+        }
+        if let Outcome::Fault(e) = r.outcome {
+            eprintln!("error: aborted on DMA fault: {e}");
         }
         if r.outcome != Outcome::Completed {
             std::process::exit(1);

@@ -16,10 +16,10 @@
 //! programmer configures (the paper uses 4 KB); exhausting it is a hard
 //! error, mirroring the buffer-limit discussion in the paper's §6.
 
-use kernel::{DmaAnnotation, TaskId};
-use mcu_emu::{Addr, AllocTag, Mcu, PowerFailure, RawVar, Region, WorkKind};
+use kernel::{DmaAnnotation, DmaError, Fault, TaskId};
+use mcu_emu::{Addr, AllocTag, Mcu, RawVar, Region, WorkKind};
 use periph::dma::{classify, DmaClass};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Re-execution policy resolved for one transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,45 +119,52 @@ impl DmaTable {
         })
     }
 
-    fn ensure_priv_buf(&mut self, mcu: &mut Mcu, task: TaskId, site: u16, bytes: u32) -> Addr {
+    fn ensure_priv_buf(
+        &mut self,
+        mcu: &mut Mcu,
+        task: TaskId,
+        site: u16,
+        bytes: u32,
+    ) -> Result<Addr, DmaError> {
         if let BufferMode::Shared { slot_bytes } = self.mode {
-            assert!(
-                bytes <= slot_bytes,
-                "DMA copy of {bytes} B exceeds the shared privatization slot \
-                 of {slot_bytes} B (paper §6: the compile-time size check)"
-            );
-            if let Some(buf) = self.shared.get(&site) {
-                return *buf;
+            if bytes > slot_bytes {
+                // Paper §6: the compile-time size check. Surfaced as a typed
+                // error so the simulator can report it instead of aborting.
+                return Err(DmaError::OversizedTransfer { bytes, slot_bytes });
             }
-            assert!(
-                self.pool_used + slot_bytes <= self.pool_limit,
-                "DMA privatization pool exhausted: {} + {slot_bytes} B exceeds \
-                 the configured {} B",
-                self.pool_used,
-                self.pool_limit
-            );
+            if let Some(buf) = self.shared.get(&site) {
+                return Ok(*buf);
+            }
+            if self.pool_used + slot_bytes > self.pool_limit {
+                return Err(DmaError::PoolExhausted {
+                    requested: slot_bytes,
+                    used: self.pool_used,
+                    limit: self.pool_limit,
+                });
+            }
             self.pool_used += slot_bytes;
             let buf = mcu
                 .mem
                 .alloc(Region::Fram, slot_bytes, AllocTag::DmaPrivBuf);
             self.shared.insert(site, buf);
-            return buf;
+            return Ok(buf);
         }
         let slot = self.slots.get_mut(&(task, site)).expect("slot exists");
         if let Some(buf) = slot.priv_buf {
-            return buf;
+            return Ok(buf);
         }
-        assert!(
-            self.pool_used + bytes <= self.pool_limit,
-            "DMA privatization pool exhausted: {} + {bytes} B exceeds the \
-             configured {} B (paper §6, 'DMA Privatization Buffer Limits')",
-            self.pool_used,
-            self.pool_limit
-        );
+        // Paper §6, "DMA Privatization Buffer Limits".
+        if self.pool_used + bytes > self.pool_limit {
+            return Err(DmaError::PoolExhausted {
+                requested: bytes,
+                used: self.pool_used,
+                limit: self.pool_limit,
+            });
+        }
         self.pool_used += bytes;
         let buf = mcu.mem.alloc(Region::Fram, bytes, AllocTag::DmaPrivBuf);
         slot.priv_buf = Some(buf);
-        buf
+        Ok(buf)
     }
 
     /// Executes `_DMA_copy` under the resolved policy. `dep_forced` is the
@@ -176,7 +183,7 @@ impl DmaTable {
         bytes: u32,
         annotation: DmaAnnotation,
         dep_forced: bool,
-    ) -> Result<bool, PowerFailure> {
+    ) -> Result<bool, Fault> {
         match resolve(src, dst, annotation) {
             ResolvedDma::Always => {
                 // `Exclude` (or volatile→volatile): no flags, no buffers.
@@ -196,13 +203,17 @@ impl DmaTable {
                 let c = mcu.cost.flag_write;
                 mcu.spend(WorkKind::Overhead, c)?;
                 slot.done.store(&mut mcu.mem, 1);
-                self.dirty.push((task, site));
+                // A dep-forced repeat re-dirties an already-listed site; a
+                // duplicate entry would double-price the commit.
+                if !self.dirty.contains(&(task, site)) {
+                    self.dirty.push((task, site));
+                }
                 mcu.stats.bump("easeio_dma_single_executed");
                 Ok(true)
             }
             ResolvedDma::Private => {
                 self.ensure(mcu, task, site);
-                let priv_buf = self.ensure_priv_buf(mcu, task, site, bytes);
+                let priv_buf = self.ensure_priv_buf(mcu, task, site, bytes)?;
                 let slot = self.slots[&(task, site)];
                 // Phase 1: source → privatization buffer, once per
                 // activation (or again if a related I/O refreshed the
@@ -217,7 +228,11 @@ impl DmaTable {
                     let c = mcu.cost.flag_write;
                     mcu.spend(WorkKind::Overhead, c)?;
                     slot.phase1.store(&mut mcu.mem, 1);
-                    self.dirty.push((task, site));
+                    // Re-privatization after a failure (or dep-force) must
+                    // not enter the site twice: commit clears it once.
+                    if !self.dirty.contains(&(task, site)) {
+                        self.dirty.push((task, site));
+                    }
                     mcu.stats.bump("easeio_dma_privatizations");
                 }
                 // Phase 2: buffer → destination, every attempt (the
@@ -232,6 +247,17 @@ impl DmaTable {
     /// Dirty sites for `task` (commit pricing).
     pub fn dirty_for(&self, task: TaskId) -> u64 {
         self.dirty.iter().filter(|(t, _)| *t == task).count() as u64
+    }
+
+    /// Distinct dirty sites for `task`. Commit pricing must equal this —
+    /// `clear_task` resets each site's flags exactly once — and the crash
+    /// sweep's pricing probe compares the two.
+    pub fn distinct_dirty_for(&self, task: TaskId) -> u64 {
+        self.dirty
+            .iter()
+            .filter(|(t, _)| *t == task)
+            .collect::<HashSet<_>>()
+            .len() as u64
     }
 
     /// Clears `task`'s DMA flags at commit (caller priced it).
@@ -250,6 +276,26 @@ impl DmaTable {
             }
         });
         cleared
+    }
+
+    /// Crash-consistency probe: a `Private` site's phase-1 flag and the
+    /// current contents of its privatization buffer, read directly from
+    /// memory without charging the MCU. `None` until the site's first copy
+    /// allocates its buffer. The power-failure sweep uses this to check
+    /// that the phase-1 flag is never set while the buffer is stale.
+    pub fn probe_phase1(
+        &self,
+        mcu: &Mcu,
+        task: TaskId,
+        site: u16,
+        bytes: u32,
+    ) -> Option<(bool, Vec<u8>)> {
+        let slot = self.slots.get(&(task, site))?;
+        let buf = slot.priv_buf.or_else(|| self.shared.get(&site).copied())?;
+        Some((
+            slot.phase1.load(&mcu.mem) != 0,
+            mcu.mem.read_bytes(buf, bytes).to_vec(),
+        ))
     }
 
     /// Bytes of privatization pool in use (footprint reporting).
@@ -421,23 +467,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "privatization pool exhausted")]
-    fn pool_limit_is_enforced() {
+    fn pool_limit_is_a_typed_error_not_a_panic() {
+        // Regression: this used to `assert!` and abort the whole process;
+        // now it surfaces as `Fault::Dma` so the caller can degrade
+        // gracefully (nonzero exit, report entry).
         let mut m = mcu();
         let mut t = DmaTable::new(16);
         let src = fram(&mut m, 32);
         let dst = sram(&mut m, 32);
-        t.copy(
-            &mut m,
-            TaskId(0),
-            0,
-            src,
-            dst,
-            32,
-            DmaAnnotation::Auto,
-            false,
-        )
-        .unwrap();
+        let err = t
+            .copy(
+                &mut m,
+                TaskId(0),
+                0,
+                src,
+                dst,
+                32,
+                DmaAnnotation::Auto,
+                false,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Fault::Dma(DmaError::PoolExhausted {
+                requested: 32,
+                used: 0,
+                limit: 16
+            })
+        );
+        assert!(err.to_string().contains("privatization pool exhausted"));
+        // The pool is untouched by the failed attempt.
+        assert_eq!(t.pool_used(), 0);
+    }
+
+    #[test]
+    fn dep_forced_repeat_does_not_double_count_dirty_site() {
+        // Regression for the dirty-list duplication bug: a dep-forced Single
+        // repeat (and a re-privatized Private phase 1) pushed the same
+        // (task, site) twice, so commit priced two flag-clears for one site.
+        let mut m = mcu();
+        let mut t = DmaTable::new(4096);
+        let task = TaskId(0);
+        let src = fram(&mut m, 4);
+        let dst = fram(&mut m, 4);
+        for forced in [false, true, true] {
+            t.copy(&mut m, task, 0, src, dst, 4, DmaAnnotation::Auto, forced)
+                .unwrap();
+        }
+        assert_eq!(t.dirty_for(task), 1, "one site, one dirty entry");
+        assert_eq!(t.dirty_for(task), t.distinct_dirty_for(task));
+        // Same for a Private site whose phase 1 repeats under dep-force.
+        let vdst = sram(&mut m, 4);
+        for forced in [false, true] {
+            t.copy(&mut m, task, 1, src, vdst, 4, DmaAnnotation::Auto, forced)
+                .unwrap();
+        }
+        assert_eq!(t.dirty_for(task), 2);
+        assert_eq!(t.dirty_for(task), t.distinct_dirty_for(task));
+        assert_eq!(t.clear_task(&mut m, task), 2);
     }
 
     #[test]
@@ -571,22 +658,35 @@ mod shared_mode_tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the shared privatization slot")]
-    fn oversized_transfer_is_a_hard_error() {
+    fn oversized_transfer_is_a_typed_error() {
+        // Regression: previously an `assert!` abort; now a typed error the
+        // executor converts into `Outcome::Fault`.
         let mut m = mcu();
         let mut t = DmaTable::with_mode(4096, BufferMode::Shared { slot_bytes: 16 });
         let src = m.mem.alloc(Region::Fram, 32, AllocTag::App);
         let dst = m.mem.alloc(Region::Sram, 32, AllocTag::App);
-        let _ = t.copy(
-            &mut m,
-            TaskId(0),
-            0,
-            src,
-            dst,
-            32,
-            DmaAnnotation::Auto,
-            false,
+        let err = t
+            .copy(
+                &mut m,
+                TaskId(0),
+                0,
+                src,
+                dst,
+                32,
+                DmaAnnotation::Auto,
+                false,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            kernel::Fault::Dma(kernel::DmaError::OversizedTransfer {
+                bytes: 32,
+                slot_bytes: 16
+            })
         );
+        assert!(err
+            .to_string()
+            .contains("exceeds the shared privatization slot"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! the same flag traffic the real system pays.
 
 use kernel::TaskId;
-use mcu_emu::{AllocTag, Mcu, PowerFailure, RawVar, Region, WorkKind};
+use mcu_emu::{AllocTag, Cost, Mcu, PowerFailure, RawVar, Region, WorkKind};
 use std::collections::{HashMap, HashSet};
 
 /// The FRAM control block of one `_call_IO` site.
@@ -21,9 +21,11 @@ pub struct IoSlot {
     pub lock: RawVar,
     /// Private copy of the operation's returned value.
     pub out: RawVar,
-    /// Timestamp of the last successful execution (allocated for every slot;
-    /// only `Timely` sites read it).
-    pub ts: RawVar,
+    /// Timestamp of the last successful execution. Allocated lazily, the
+    /// first time a `Timely` completion stores one: per paper §4.2 the
+    /// compiler emits the timestamp word only for `Timely` sites, so
+    /// `Single`/`Always` sites must not pay the 8 bytes of FRAM.
+    pub ts: Option<RawVar>,
 }
 
 /// Table of control blocks, lazily allocated like the compiler's statics.
@@ -43,7 +45,9 @@ impl IoSlotTable {
         Self::default()
     }
 
-    /// Returns (allocating on first use) the slot for a call site.
+    /// Returns (allocating on first use) the slot for a call site. Only the
+    /// lock and output words are allocated here; the timestamp word is
+    /// allocated lazily when a `Timely` completion first needs it.
     pub fn ensure(&mut self, mcu: &mut Mcu, task: TaskId, site: u16) -> IoSlot {
         *self.slots.entry((task, site)).or_insert_with(|| {
             let alloc = |mcu: &mut Mcu, width: u32| RawVar {
@@ -53,8 +57,20 @@ impl IoSlotTable {
             IoSlot {
                 lock: alloc(mcu, 1),
                 out: alloc(mcu, 4),
-                ts: alloc(mcu, 8),
+                ts: None,
             }
+        })
+    }
+
+    /// Returns (allocating on first use) the timestamp word of a site.
+    fn ensure_ts(&mut self, mcu: &mut Mcu, task: TaskId, site: u16) -> RawVar {
+        let slot = self
+            .slots
+            .get_mut(&(task, site))
+            .expect("ensure_ts on a site without a slot");
+        *slot.ts.get_or_insert_with(|| RawVar {
+            addr: mcu.mem.alloc(Region::Fram, 8, AllocTag::Runtime),
+            width: 8,
         })
     }
 
@@ -82,9 +98,66 @@ impl IoSlotTable {
         Ok(raw as u32 as i32)
     }
 
-    /// Records a successful execution: stores the private output, optionally
-    /// the timestamp, and sets the lock *last* (completion flag strictly
-    /// after the operation and its bookkeeping, paper §6).
+    /// Price of recording a completion: the private-output store, the
+    /// optional timestamp store, and the lock-flag write. The runtime
+    /// charges this *before* performing an externally visible operation so
+    /// that no energy boundary can fall between the operation's effect and
+    /// the lock store — the atomic I/O section the power-failure sweep
+    /// demands (a failure in that window would re-perform a `Single` op).
+    pub fn completion_cost(&self, mcu: &Mcu, slot: IoSlot, store_out: bool, with_ts: bool) -> Cost {
+        let mut c = mcu.cost.flag_write;
+        if store_out {
+            c = c.plus(mcu.cost.fram_write_word.times(slot.out.words()));
+        }
+        if with_ts {
+            // The timestamp word is 8 bytes whether or not it is allocated
+            // yet (allocation itself is free address arithmetic).
+            c = c.plus(mcu.cost.fram_write_word.times(4));
+        }
+        c
+    }
+
+    /// Records a completion whose cost was already charged via
+    /// [`Self::completion_cost`]: raw stores only, so no power failure can
+    /// interleave. The lock is still stored last — a caller that (wrongly)
+    /// skipped the pre-charge degrades to the lock-last guarantee instead
+    /// of atomicity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_completion_prepaid(
+        &mut self,
+        mcu: &mut Mcu,
+        task: TaskId,
+        site: u16,
+        slot: IoSlot,
+        value: i32,
+        store_out: bool,
+        timestamp: Option<u64>,
+    ) {
+        if store_out {
+            slot.out.store(&mut mcu.mem, value as u32 as u64);
+        }
+        if let Some(ts) = timestamp {
+            let ts_var = self.ensure_ts(mcu, task, site);
+            ts_var.store(&mut mcu.mem, ts);
+        }
+        slot.lock.store(&mut mcu.mem, 1);
+        // A re-executed site (dep-forced, Timely expiry, Violated block) may
+        // complete more than once per activation; its lock still clears in
+        // one flag write at commit, so the dirty list must not double-count.
+        if !self.dirty.contains(&(task, site)) {
+            self.dirty.push((task, site));
+        }
+        if store_out {
+            self.recorded.insert((task, site));
+        }
+    }
+
+    /// Records a successful execution, charging as it goes: stores the
+    /// private output, optionally the timestamp, and sets the lock *last*
+    /// (completion flag strictly after the operation and its bookkeeping,
+    /// paper §6). The runtime's I/O path instead pre-charges
+    /// [`Self::completion_cost`] before the operation and calls
+    /// [`Self::record_completion_prepaid`], closing the window entirely.
     #[allow(clippy::too_many_arguments)]
     pub fn record_completion(
         &mut self,
@@ -100,21 +173,23 @@ impl IoSlotTable {
             mcu.store_var(WorkKind::Overhead, slot.out, value as u32 as u64)?;
         }
         if let Some(ts) = timestamp {
-            mcu.store_var(WorkKind::Overhead, slot.ts, ts)?;
+            let ts_var = self.ensure_ts(mcu, task, site);
+            mcu.store_var(WorkKind::Overhead, ts_var, ts)?;
         }
         let c = mcu.cost.flag_write;
         mcu.spend(WorkKind::Overhead, c)?;
-        slot.lock.store(&mut mcu.mem, 1);
-        self.dirty.push((task, site));
-        if store_out {
-            self.recorded.insert((task, site));
-        }
+        self.record_completion_prepaid(mcu, task, site, slot, value, store_out, timestamp);
         Ok(())
     }
 
-    /// Reads the recorded timestamp (charging the FRAM read).
+    /// Reads the recorded timestamp (charging the FRAM read). A site whose
+    /// timestamp word was never written reads as 0 — maximally stale, so a
+    /// `Timely` check conservatively re-executes.
     pub fn last_timestamp(&self, mcu: &mut Mcu, slot: IoSlot) -> Result<u64, PowerFailure> {
-        mcu.load_var(WorkKind::Overhead, slot.ts)
+        match slot.ts {
+            Some(ts) => mcu.load_var(WorkKind::Overhead, ts),
+            None => Ok(0),
+        }
     }
 
     /// Whether the site's private output holds a value from this activation.
@@ -174,6 +249,17 @@ impl IoSlotTable {
         self.dirty.iter().filter(|(t, _)| *t == task).count() as u64
     }
 
+    /// Distinct dirty sites belonging to `task`. Commit pricing must equal
+    /// this (each lock clears in exactly one flag write); the crash sweep's
+    /// pricing probe compares the two.
+    pub fn distinct_dirty_for(&self, task: TaskId) -> u64 {
+        self.dirty
+            .iter()
+            .filter(|(t, _)| *t == task)
+            .collect::<HashSet<_>>()
+            .len() as u64
+    }
+
     /// Total slots allocated (footprint reporting).
     pub fn slot_count(&self) -> usize {
         self.slots.len()
@@ -210,6 +296,8 @@ mod tests {
         assert!(!t.lock_is_set(&mut m, slot).unwrap());
         t.record_completion(&mut m, task, 0, slot, -7, true, Some(123))
             .unwrap();
+        // Re-fetch: recording the timestamp lazily allocated the ts word.
+        let slot = t.ensure(&mut m, task, 0);
         assert!(t.lock_is_set(&mut m, slot).unwrap());
         assert_eq!(t.restore_out(&mut m, slot).unwrap(), -7);
         assert_eq!(t.last_timestamp(&mut m, slot).unwrap(), 123);
@@ -232,6 +320,46 @@ mod tests {
         t.clear_task(&mut m, TaskId(0));
         assert!(!t.lock_is_set(&mut m, s0).unwrap());
         assert!(t.lock_is_set(&mut m, s1).unwrap());
+    }
+
+    #[test]
+    fn reexecuted_site_is_not_double_counted_in_dirty_list() {
+        // A dep-forced or Timely-expired site completes twice in one
+        // activation; commit pricing must still count one flag clear.
+        let mut m = mcu();
+        let mut t = IoSlotTable::new();
+        let task = TaskId(0);
+        let slot = t.ensure(&mut m, task, 0);
+        t.record_completion(&mut m, task, 0, slot, 1, true, None)
+            .unwrap();
+        t.record_completion(&mut m, task, 0, slot, 2, true, None)
+            .unwrap();
+        assert_eq!(t.dirty_for(task), 1, "one site, one commit flag write");
+        assert_eq!(t.dirty_count(), 1);
+        assert_eq!(t.clear_task(&mut m, task), 1);
+    }
+
+    #[test]
+    fn non_timely_sites_allocate_no_timestamp_word() {
+        // Paper §4.2: only Timely sites carry the 8-byte timestamp. A
+        // Single site's control block is lock (1 B) + out (4 B) only.
+        let mut m = mcu();
+        let mut t = IoSlotTable::new();
+        let task = TaskId(0);
+        let slot = t.ensure(&mut m, task, 0);
+        t.record_completion(&mut m, task, 0, slot, 5, true, None)
+            .unwrap();
+        let single_only = m.mem.allocated_tagged(Region::Fram, AllocTag::Runtime);
+        assert_eq!(single_only, 5, "Single site: 1 B lock + 4 B out");
+        assert_eq!(t.last_timestamp(&mut m, slot).unwrap(), 0, "no ts → stale");
+        // A Timely completion on another site allocates its ts lazily.
+        let s2 = t.ensure(&mut m, task, 1);
+        t.record_completion(&mut m, task, 1, s2, 5, true, Some(9))
+            .unwrap();
+        let with_timely = m.mem.allocated_tagged(Region::Fram, AllocTag::Runtime);
+        assert_eq!(with_timely, single_only + 5 + 8);
+        let s2 = t.ensure(&mut m, task, 1);
+        assert_eq!(t.last_timestamp(&mut m, s2).unwrap(), 9);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::dma_rules::DmaTable;
 use crate::flags::IoSlotTable;
 use crate::regional::Regional;
 use kernel::io::perform_io;
-use kernel::{DmaAnnotation, DmaOutcome, IoOp, IoOutcome, ReexecSemantics, Runtime, TaskId};
+use kernel::{DmaAnnotation, DmaOutcome, Fault, IoOp, IoOutcome, ReexecSemantics, Runtime, TaskId};
 use mcu_emu::{Addr, Cost, Mcu, PowerFailure, RawVar, WorkKind};
 use periph::Peripherals;
 use std::collections::HashSet;
@@ -141,30 +141,42 @@ impl EaseIoRuntime {
         } else {
             None
         };
-        let value = perform_io(mcu, periph, op)?;
-        self.deps.mark_executed(site);
-        if let Some(old) = prev {
-            if old != value {
-                self.diverged = true;
-                mcu.stats.bump("easeio_divergences");
-            }
-        }
         // The paper privatizes every return value used across failures:
         // Single/Timely ops always, and any op inside a block (Fig. 3 shows
         // `humd_priv = Humd()` for an Always op in a block). Bare Always
         // ops store only the output (for the divergence comparison above),
         // never a lock.
         let needs_lock = !matches!(sem, ReexecSemantics::Always);
-        if needs_lock {
+        let value = if needs_lock {
+            // Atomic I/O section: the timestamp read and the full completion
+            // bookkeeping are charged *before* the operation, so once its
+            // external effect happens nothing fallible separates it from
+            // the lock store. A failure in between would otherwise
+            // re-perform the `Single` op on reboot (the power-failure sweep
+            // catches exactly that as a duplicated radio packet).
             let ts = if matches!(sem, ReexecSemantics::Timely { .. }) {
                 Some(mcu.read_timestamp(WorkKind::Overhead)?)
             } else {
                 None
             };
+            let c = self.io.completion_cost(mcu, slot, true, ts.is_some());
+            mcu.spend(WorkKind::Overhead, c)?;
+            let value = perform_io(mcu, periph, op)?;
+            self.deps.mark_executed(site);
             self.io
-                .record_completion(mcu, task, site, slot, value, true, ts)?;
+                .record_completion_prepaid(mcu, task, site, slot, value, true, ts);
+            value
         } else {
+            let value = perform_io(mcu, periph, op)?;
+            self.deps.mark_executed(site);
             self.io.store_out(mcu, task, site, slot, value)?;
+            value
+        };
+        if let Some(old) = prev {
+            if old != value {
+                self.diverged = true;
+                mcu.stats.bump("easeio_divergences");
+            }
         }
         Ok(IoOutcome {
             value,
@@ -242,6 +254,15 @@ impl Runtime for EaseIoRuntime {
     }
 
     fn commit_apply(&mut self, mcu: &mut Mcu, task: TaskId) {
+        // Pricing probe for the crash sweep: commit was priced from the raw
+        // dirty lists (`dirty_for`), but each site's flags clear exactly
+        // once, so the priced count must equal the *distinct* count. A
+        // mismatch means a duplicated dirty entry double-charged the commit.
+        if self.io.dirty_for(task) != self.io.distinct_dirty_for(task)
+            || self.dma.dirty_for(task) != self.dma.distinct_dirty_for(task)
+        {
+            mcu.stats.bump("probe_commit_overpriced");
+        }
         self.io.clear_task(mcu, task);
         self.blocks.clear_task(mcu, task);
         self.dma.clear_task(mcu, task);
@@ -333,6 +354,16 @@ impl Runtime for EaseIoRuntime {
                             )
                         });
                         if fresh {
+                            // Staleness probe for the crash sweep: the
+                            // control block judged the sample fresh, so its
+                            // true age must be within the window (plus a
+                            // small slack for the restore path's own cost).
+                            // A hit means a corrupted timestamp let a stale
+                            // value through.
+                            let age = mcu.now_us().saturating_sub(ts);
+                            if age > window_us + 50 {
+                                mcu.stats.bump("probe_timely_stale");
+                            }
                             let value = self.io.restore_out(mcu, slot)?;
                             return Ok(IoOutcome {
                                 value,
@@ -371,7 +402,7 @@ impl Runtime for EaseIoRuntime {
         bytes: u32,
         annotation: DmaAnnotation,
         related: &[u16],
-    ) -> Result<DmaOutcome, PowerFailure> {
+    ) -> Result<DmaOutcome, Fault> {
         // RelatedConstFlag: did a producing I/O re-execute this attempt?
         let forced = if related.is_empty() {
             false

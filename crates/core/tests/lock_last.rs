@@ -1,0 +1,170 @@
+//! Lock-last ordering under power failure (paper §6): a completion flag must
+//! be stored strictly *after* the state it guards, so a failure landing
+//! anywhere inside the window can never leave the flag set over stale data.
+//!
+//! Two windows are swept exhaustively, with proptest choosing the data:
+//!
+//! * `IoSlotTable::record_completion` — between the private-output store
+//!   (and timestamp store) and the lock-flag store;
+//! * `DmaTable::copy`, `Private` phase 1 — between the source→buffer
+//!   transfer and the phase-1 flag store.
+//!
+//! Each case first runs the operation under continuous power to count its
+//! energy-spend boundaries, then re-runs it once per boundary with
+//! `Supply::injected` firing exactly there, and checks the invariant on the
+//! interrupted machine. Reordering either flag store before its payload
+//! store makes these tests fail.
+
+use easeio_core::dma_rules::DmaTable;
+use easeio_core::flags::IoSlotTable;
+use kernel::{DmaAnnotation, Fault, TaskId};
+use mcu_emu::{Addr, AllocTag, Mcu, Region, Supply};
+use proptest::prelude::*;
+
+const STALE: i32 = 0x5A5A_5A5A_u32 as i32;
+const OFF_US: u64 = 10_000;
+
+/// Runs one `record_completion` with an optional injected failure at
+/// boundary `fail_at` (counted from the call). Returns
+/// (failed, lock_set, out_raw, ts_raw, boundaries_spent).
+fn record_once(fail_at: Option<u64>, value: i32, ts: u64) -> (bool, bool, u32, u64, u64) {
+    let mut mcu = Mcu::new(Supply::continuous());
+    let mut table = IoSlotTable::new();
+    let task = TaskId(0);
+    let slot = table.ensure(&mut mcu, task, 0);
+    // A previous activation left a different value behind, lock clear.
+    slot.out.store(&mut mcu.mem, STALE as u32 as u64);
+    slot.lock.store(&mut mcu.mem, 0);
+    let before = mcu.stats.boundaries;
+    if let Some(b) = fail_at {
+        mcu.supply = Supply::injected(b, OFF_US);
+    }
+    let res = table.record_completion(&mut mcu, task, 0, slot, value, true, Some(ts));
+    // The slot handle predates the lazy timestamp allocation; re-fetch.
+    let slot = table.ensure(&mut mcu, task, 0);
+    (
+        res.is_err(),
+        slot.lock.load(&mcu.mem) != 0,
+        slot.out.load(&mcu.mem) as u32,
+        slot.ts.map_or(0, |t| t.load(&mcu.mem)),
+        mcu.stats.boundaries - before,
+    )
+}
+
+/// Runs one `Private` DMA copy with an optional injected failure. Returns
+/// (failed, phase1_set, priv_buf_contents, boundaries_spent).
+fn private_copy_once(fail_at: Option<u64>, pattern: &[u8]) -> (bool, bool, Vec<u8>, u64) {
+    let mut mcu = Mcu::new(Supply::continuous());
+    let mut table = DmaTable::new(4096);
+    let task = TaskId(0);
+    let bytes = pattern.len() as u32;
+    let src = mcu.mem.alloc(Region::Fram, bytes, AllocTag::App);
+    let dst = mcu.mem.alloc(Region::Sram, bytes, AllocTag::App);
+    mcu.mem.write_bytes(src, pattern);
+    let before = mcu.stats.boundaries;
+    if let Some(b) = fail_at {
+        mcu.supply = Supply::injected(b, OFF_US);
+    }
+    let res = table.copy(
+        &mut mcu,
+        task,
+        0,
+        src,
+        dst,
+        bytes,
+        DmaAnnotation::Auto,
+        false,
+    );
+    if let Err(Fault::Dma(e)) = res {
+        panic!("unexpected DMA fault: {e}");
+    }
+    let (phase1, buf) = table
+        .probe_phase1(&mcu, task, 0, bytes)
+        .map_or((false, Vec::new()), |(p, b)| (p, b));
+    (res.is_err(), phase1, buf, mcu.stats.boundaries - before)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Failure at every boundary of `record_completion`: the lock flag is
+    /// never observed set while the private output (or timestamp) is stale.
+    #[test]
+    fn lock_never_set_over_stale_output(value in any::<i32>(), ts in 1u64..u64::MAX) {
+        // The vendored proptest has no prop_assume; dodge the sentinel.
+        let value = if value == STALE { value.wrapping_add(1) } else { value };
+        let (failed, lock, out, got_ts, total) = record_once(None, value, ts);
+        prop_assert!(!failed);
+        prop_assert!(lock);
+        prop_assert_eq!(out, value as u32);
+        prop_assert_eq!(got_ts, ts);
+        prop_assert!(total > 0);
+        for b in 0..total {
+            let (failed, lock, out, got_ts, _) = record_once(Some(b), value, ts);
+            prop_assert!(failed, "boundary {} of {} did not fire", b, total);
+            // Lock-last: the flag store is the final fallible-free step, so
+            // an interrupted call must leave the lock clear…
+            prop_assert!(!lock, "boundary {}: lock set by an interrupted call", b);
+            // …and a fortiori the guarded invariant holds: a set lock would
+            // have to cover fresh output and timestamp.
+            if lock {
+                prop_assert_eq!(out, value as u32);
+                prop_assert_eq!(got_ts, ts);
+            }
+        }
+    }
+
+    /// Failure at every boundary of a `Private` DMA copy: the phase-1 flag
+    /// is never observed set while the privatization buffer is stale.
+    #[test]
+    fn phase1_never_set_over_stale_buffer(seed in any::<u64>(), len in 1usize..96) {
+        let pattern: Vec<u8> = (0..len).map(|i| (seed.rotate_left(i as u32 % 64) as u8) | 1).collect();
+        let (failed, phase1, buf, total) = private_copy_once(None, &pattern);
+        prop_assert!(!failed);
+        prop_assert!(phase1);
+        prop_assert_eq!(&buf, &pattern);
+        prop_assert!(total > 0);
+        for b in 0..total {
+            let (failed, phase1, buf, _) = private_copy_once(Some(b), &pattern);
+            prop_assert!(failed, "boundary {} of {} did not fire", b, total);
+            if phase1 {
+                // Flag set ⟹ the buffer holds the complete privatized copy.
+                prop_assert_eq!(&buf, &pattern, "boundary {}: phase-1 flag set over a stale buffer", b);
+            }
+        }
+    }
+}
+
+/// Deterministic cross-check: the `Private` phase-1 flag store happens after
+/// the transfer, so the *last* boundary of an interrupted phase 1 leaves the
+/// buffer fully written but the flag still clear — a safe re-privatization
+/// on the next attempt, never a skipped one.
+#[test]
+fn interrupted_phase1_reprivatizes_rather_than_skipping() {
+    let pattern = [7u8; 32];
+    let (_, _, _, total) = private_copy_once(None, &pattern);
+    let mut saw_full_buffer_with_clear_flag = false;
+    for b in 0..total {
+        let (failed, phase1, buf, _) = private_copy_once(Some(b), &pattern);
+        assert!(failed);
+        if !phase1 && buf == pattern {
+            saw_full_buffer_with_clear_flag = true;
+        }
+    }
+    // The failure between transfer and flag store is a real boundary of the
+    // sweep, not a window the cost model skips over.
+    assert!(saw_full_buffer_with_clear_flag);
+}
+
+// Sanity for the helpers: Addr/Region wiring gives a Private resolution.
+#[test]
+fn helper_copy_is_private() {
+    let mut mcu = Mcu::new(Supply::continuous());
+    let src = mcu.mem.alloc(Region::Fram, 4, AllocTag::App);
+    let dst = mcu.mem.alloc(Region::Sram, 4, AllocTag::App);
+    assert_eq!(
+        easeio_core::dma_rules::resolve(src, dst, DmaAnnotation::Auto),
+        easeio_core::dma_rules::ResolvedDma::Private
+    );
+    let _ = Addr::new(Region::Fram, 0);
+}

@@ -1,0 +1,467 @@
+//! Deterministic power-failure sweep engine.
+//!
+//! The random failure schedules of the benchmark harness sample the crash
+//! space; this crate *enumerates* it. A reference run on continuous power
+//! counts every energy-spend boundary — the `Mcu::spend` slices at which a
+//! supply may interrupt execution, i.e. every point where a power failure
+//! can be observed. The sweep then re-runs the application once per chosen
+//! boundary with [`Supply::injected`] firing exactly there, and checks each
+//! injected run against crash-consistency invariants:
+//!
+//! * the run completes (a single failure must never wedge the executor);
+//! * the application's own verdict is `Correct`;
+//! * `Single` operations are never externally performed twice
+//!   (`probe_single_redundant` stays zero — a re-execution is only legal
+//!   when the completion record was itself interrupted);
+//! * `Timely` restores never hand out a stale value (`probe_timely_stale`);
+//! * commit pricing matches the distinct dirty control state
+//!   (`probe_commit_overpriced`);
+//! * optionally, final application FRAM is byte-identical to the oracle's
+//!   (sound only for apps whose outputs don't depend on sensed time).
+//!
+//! Every run restores the machine from a snapshot taken after the app was
+//! built — including the allocator cursors, so runtime-allocated control
+//! blocks land at identical addresses — which makes any violation
+//! reproducible from (app, runtime, seed, boundary index) alone.
+//!
+//! Exhaustive below a threshold; above it, boundaries are sampled without
+//! replacement from a seeded [`StdRng`].
+
+use apps::harness::RuntimeKind;
+use kernel::{run_app, App, ExecConfig, Outcome, Verdict};
+use mcu_emu::{AllocTag, Mcu, McuSnapshot, Region, Supply};
+use periph::Peripherals;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// How boundaries are chosen from `0..oracle_boundaries`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Inject at every boundary.
+    Exhaustive,
+    /// Inject at `n` distinct boundaries sampled without replacement
+    /// (exhaustive anyway when `n` covers the whole range).
+    Sample(u64),
+}
+
+impl SweepMode {
+    /// Display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepMode::Exhaustive => "exhaustive",
+            SweepMode::Sample(_) => "sample",
+        }
+    }
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Boundary-selection mode.
+    pub mode: SweepMode,
+    /// Seed for boundary sampling (and recorded for reproduction).
+    pub seed: u64,
+    /// Outage length of the injected failure (µs). Long outages let the
+    /// sensed environment drift, which is what provokes stale-value bugs
+    /// in runtimes without I/O semantics.
+    pub off_us: u64,
+    /// Compare final app-tagged FRAM byte-for-byte against the oracle.
+    /// Only sound for deterministic apps: anything sensing a drifting
+    /// environment legitimately diverges after an outage.
+    pub strict_memory: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            mode: SweepMode::Exhaustive,
+            seed: 7,
+            off_us: 100_000,
+            strict_memory: false,
+        }
+    }
+}
+
+/// Classes of invariant violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The injected run hit the non-termination guard.
+    NotCompleted,
+    /// The injected run aborted on a runtime resource fault.
+    Fault,
+    /// The app's verdict was `Incorrect`.
+    WrongVerdict,
+    /// A completed `Single` operation was externally re-performed.
+    SingleRedundant,
+    /// A `Timely` restore handed out a value older than its window.
+    TimelyStale,
+    /// Commit priced more flag clears than distinct dirty sites exist.
+    CommitOverpriced,
+    /// Final app FRAM differs from the continuous-power oracle.
+    MemoryDivergence,
+}
+
+impl ViolationKind {
+    /// Stable snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::NotCompleted => "not_completed",
+            ViolationKind::Fault => "fault",
+            ViolationKind::WrongVerdict => "wrong_verdict",
+            ViolationKind::SingleRedundant => "single_redundant",
+            ViolationKind::TimelyStale => "timely_stale",
+            ViolationKind::CommitOverpriced => "commit_overpriced",
+            ViolationKind::MemoryDivergence => "memory_divergence",
+        }
+    }
+}
+
+/// One invariant violation, reproducible from the sweep identity plus
+/// `boundary`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Boundary index the failure was injected at.
+    pub boundary: u64,
+    /// Violation class.
+    pub kind: ViolationKind,
+    /// Human-readable divergence description.
+    pub detail: String,
+}
+
+/// Result of a whole sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Runtime display name.
+    pub runtime: &'static str,
+    /// App name.
+    pub app: &'static str,
+    /// Environment seed every run shared.
+    pub env_seed: u64,
+    /// The configuration the sweep ran with.
+    pub config: SweepConfig,
+    /// Energy-spend boundaries counted in the oracle run.
+    pub oracle_boundaries: u64,
+    /// Injection runs performed.
+    pub injections: u64,
+    /// Invariant violations, in boundary order.
+    pub violations: Vec<Violation>,
+}
+
+impl SweepOutcome {
+    /// Whether every injected run upheld every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Boundaries to inject at, in increasing order.
+fn select_boundaries(total: u64, mode: SweepMode, seed: u64) -> Vec<u64> {
+    match mode {
+        SweepMode::Sample(n) if n < total => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut set = BTreeSet::new();
+            while (set.len() as u64) < n {
+                set.insert(rng.random_range(0..total));
+            }
+            set.into_iter().collect()
+        }
+        _ => (0..total).collect(),
+    }
+}
+
+/// Final contents of all app-tagged FRAM allocations, in allocation order.
+fn app_fram(mcu: &Mcu) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for (addr, len) in mcu.mem.tagged_ranges(Region::Fram, AllocTag::App) {
+        bytes.extend_from_slice(mcu.mem.read_bytes(addr, len));
+    }
+    bytes
+}
+
+struct RunRecord {
+    outcome: Outcome,
+    verdict: Option<Verdict>,
+    boundaries: u64,
+    single_redundant: u64,
+    timely_stale: u64,
+    commit_overpriced: u64,
+    fram: Vec<u8>,
+}
+
+/// One run from the snapshot under `supply`: fresh peripherals, fresh
+/// runtime, restored machine — identical initial state every time.
+fn run_from(
+    app: &App,
+    kind: RuntimeKind,
+    mcu: &mut Mcu,
+    snap: &McuSnapshot,
+    supply: Supply,
+    env_seed: u64,
+) -> RunRecord {
+    mcu.restore(snap);
+    mcu.supply = supply;
+    let mut periph = Peripherals::new(env_seed);
+    let mut rt = kind.make();
+    let r = run_app(app, rt.as_mut(), mcu, &mut periph, &ExecConfig::default());
+    RunRecord {
+        outcome: r.outcome,
+        verdict: r.verdict,
+        boundaries: r.stats.boundaries,
+        single_redundant: r.stats.counter("probe_single_redundant"),
+        timely_stale: r.stats.counter("probe_timely_stale"),
+        commit_overpriced: r.stats.counter("probe_commit_overpriced"),
+        fram: app_fram(mcu),
+    }
+}
+
+/// Runs the sweep: one continuous-power oracle run, then one injected run
+/// per selected boundary, checking the invariants above.
+pub fn sweep(
+    builder: &dyn Fn(&mut Mcu) -> App,
+    kind: RuntimeKind,
+    env_seed: u64,
+    cfg: &SweepConfig,
+) -> SweepOutcome {
+    let mut mcu = Mcu::new(Supply::continuous());
+    let app = builder(&mut mcu);
+    let snap = mcu.snapshot();
+
+    let oracle = run_from(&app, kind, &mut mcu, &snap, Supply::continuous(), env_seed);
+    assert_eq!(
+        oracle.outcome,
+        Outcome::Completed,
+        "oracle run must complete on continuous power"
+    );
+    let total = oracle.boundaries;
+
+    let mut violations = Vec::new();
+    let chosen = select_boundaries(total, cfg.mode, cfg.seed);
+    let injections = chosen.len() as u64;
+    for b in chosen {
+        let r = run_from(
+            &app,
+            kind,
+            &mut mcu,
+            &snap,
+            Supply::injected(b, cfg.off_us),
+            env_seed,
+        );
+        let mut report = |kind: ViolationKind, detail: String| {
+            violations.push(Violation {
+                boundary: b,
+                kind,
+                detail,
+            });
+        };
+        match &r.outcome {
+            Outcome::Completed => {}
+            Outcome::NonTermination => {
+                report(
+                    ViolationKind::NotCompleted,
+                    "hit the non-termination guard".into(),
+                );
+                continue;
+            }
+            Outcome::Fault(e) => {
+                report(ViolationKind::Fault, e.to_string());
+                continue;
+            }
+        }
+        if let Some(Verdict::Incorrect(why)) = &r.verdict {
+            report(ViolationKind::WrongVerdict, why.clone());
+        }
+        if r.single_redundant > 0 {
+            report(
+                ViolationKind::SingleRedundant,
+                format!("probe_single_redundant = {}", r.single_redundant),
+            );
+        }
+        if r.timely_stale > 0 {
+            report(
+                ViolationKind::TimelyStale,
+                format!("probe_timely_stale = {}", r.timely_stale),
+            );
+        }
+        if r.commit_overpriced > 0 {
+            report(
+                ViolationKind::CommitOverpriced,
+                format!("probe_commit_overpriced = {}", r.commit_overpriced),
+            );
+        }
+        if cfg.strict_memory && r.fram != oracle.fram {
+            let first = r
+                .fram
+                .iter()
+                .zip(&oracle.fram)
+                .position(|(a, b)| a != b)
+                .unwrap_or(oracle.fram.len().min(r.fram.len()));
+            report(
+                ViolationKind::MemoryDivergence,
+                format!(
+                    "app FRAM diverges from the oracle at byte {first} of {}",
+                    oracle.fram.len()
+                ),
+            );
+        }
+    }
+
+    SweepOutcome {
+        runtime: kind.name(),
+        app: app.name,
+        env_seed,
+        config: cfg.clone(),
+        oracle_boundaries: total,
+        injections,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::{dma_app, motion, unsafe_branch};
+
+    fn small_dma(m: &mut Mcu) -> App {
+        dma_app::build(
+            m,
+            &dma_app::DmaAppCfg {
+                bytes: 256,
+                chunks: 3,
+                iterations: 1,
+                pre_compute: 200,
+                post_compute: 200,
+            },
+        )
+    }
+
+    #[test]
+    fn easeio_exhaustive_sweep_is_clean_on_the_dma_app() {
+        let out = sweep(
+            &small_dma,
+            RuntimeKind::EaseIo,
+            5,
+            &SweepConfig {
+                strict_memory: true,
+                ..SweepConfig::default()
+            },
+        );
+        assert!(out.oracle_boundaries > 0, "a non-trivial boundary space");
+        assert_eq!(out.injections, out.oracle_boundaries);
+        assert!(
+            out.is_clean(),
+            "EaseIO violated invariants: {:?}",
+            out.violations
+        );
+    }
+
+    /// Regression for the atomic-completion fix: the motion app's verdict is
+    /// the end-to-end exactly-once invariant (radio packets on the air ==
+    /// alert counter in FRAM). Before the runtime pre-charged the completion
+    /// bookkeeping, a failure injected between the `Single` send's effect
+    /// and its lock store re-sent the alert on reboot — this exhaustive
+    /// sweep found it as `WrongVerdict` at those exact boundaries.
+    #[test]
+    fn easeio_exhaustive_sweep_keeps_motion_alerts_exactly_once() {
+        let out = sweep(
+            &|m: &mut Mcu| motion::build(m, &motion::MotionCfg::default()).0,
+            RuntimeKind::EaseIo,
+            7,
+            &SweepConfig::default(),
+        );
+        assert!(out.oracle_boundaries > 0);
+        assert!(
+            out.is_clean(),
+            "a Single alert was externally re-performed: {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn naive_exhaustive_sweep_detects_dma_violations() {
+        // The same app under a runtime with no DMA flags: a failure after a
+        // completed transfer re-runs it, which the redundancy probe and the
+        // checksum verdict both expose.
+        let out = sweep(
+            &small_dma,
+            RuntimeKind::Naive,
+            5,
+            &SweepConfig {
+                strict_memory: true,
+                ..SweepConfig::default()
+            },
+        );
+        assert!(
+            !out.is_clean(),
+            "naive re-execution must violate at some boundary"
+        );
+    }
+
+    #[test]
+    fn alpaca_sweep_detects_the_branch_double_actuation() {
+        // Fig. 2c: a failure between the sensed branch and commit can set
+        // both actuation flags under Alpaca; the app's verdict catches it.
+        // A long outage lets the sensed temperature drift across the
+        // threshold on re-execution.
+        let build = |m: &mut Mcu| unsafe_branch::build(m, &unsafe_branch::BranchCfg::default()).0;
+        let out = sweep(
+            &build,
+            RuntimeKind::Alpaca,
+            11,
+            &SweepConfig {
+                off_us: 2_000_000,
+                ..SweepConfig::default()
+            },
+        );
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::WrongVerdict
+                    || v.kind == ViolationKind::SingleRedundant),
+            "Alpaca must trip the branch hazard somewhere: {:?}",
+            out.violations
+        );
+        // And EaseIO survives the identical schedule.
+        let clean = sweep(
+            &build,
+            RuntimeKind::EaseIo,
+            11,
+            &SweepConfig {
+                off_us: 2_000_000,
+                ..SweepConfig::default()
+            },
+        );
+        assert!(clean.is_clean(), "{:?}", clean.violations);
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_deterministic() {
+        let a = select_boundaries(1000, SweepMode::Sample(20), 42);
+        let b = select_boundaries(1000, SweepMode::Sample(20), 42);
+        let c = select_boundaries(1000, SweepMode::Sample(20), 43);
+        assert_eq!(a, b, "same seed, same boundaries");
+        assert_ne!(a, c, "different seed, different boundaries");
+        assert_eq!(a.len(), 20);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "distinct and sorted");
+        // Sample size covering the range degrades to exhaustive.
+        let all = select_boundaries(10, SweepMode::Sample(50), 1);
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn violations_are_reproducible_from_seed_and_boundary() {
+        let cfg = SweepConfig {
+            strict_memory: true,
+            mode: SweepMode::Sample(40),
+            ..SweepConfig::default()
+        };
+        let a = sweep(&small_dma, RuntimeKind::Naive, 5, &cfg);
+        let b = sweep(&small_dma, RuntimeKind::Naive, 5, &cfg);
+        assert_eq!(a.violations.len(), b.violations.len());
+        for (x, y) in a.violations.iter().zip(&b.violations) {
+            assert_eq!(x.boundary, y.boundary);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.detail, y.detail);
+        }
+    }
+}

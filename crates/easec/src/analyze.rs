@@ -30,6 +30,8 @@ pub struct Analysis {
     pub dma_sites_per_task: HashMap<String, u32>,
     /// Total `_call_IO` sites.
     pub io_sites: u32,
+    /// `_call_IO` sites with `Timely` semantics (extra timestamp word).
+    pub timely_sites: u32,
     /// Total I/O blocks.
     pub io_blocks: u32,
 }
@@ -290,6 +292,9 @@ impl Cx<'_> {
             call.id = self.next_id;
             self.next_id += 1;
             self.analysis.io_sites += 1;
+            if matches!(call.sem, Sem::Timely(_)) {
+                self.analysis.timely_sites += 1;
+            }
             let n = self
                 .lock_counts
                 .entry((call.func.name().to_string(), task.to_string()))

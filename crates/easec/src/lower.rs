@@ -13,10 +13,10 @@ use crate::analyze::Analysis;
 use crate::ast::*;
 use crate::CompileError;
 use kernel::{
-    App, DmaAnnotation, Inventory, IoOp, ReexecSemantics, TaskCtx, TaskDef, TaskId, TaskResult,
-    Transition,
+    App, DmaAnnotation, Fault, Inventory, IoOp, ReexecSemantics, TaskCtx, TaskDef, TaskId,
+    TaskResult, Transition,
 };
-use mcu_emu::{Mcu, NvBuf, NvVar, PowerFailure, Region};
+use mcu_emu::{Mcu, NvBuf, NvVar, Region};
 use periph::Sensor;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -125,6 +125,7 @@ pub fn lower(
             .collect::<std::collections::BTreeSet<_>>()
             .len() as u32,
         io_sites: analysis.io_sites,
+        timely_sites: analysis.timely_sites,
         dma_sites: analysis.dma_sites_per_task.values().sum(),
         io_blocks: analysis.io_blocks,
         nv_vars: program.decls.len() as u32,
@@ -143,12 +144,7 @@ pub fn lower(
 }
 
 impl Interp {
-    fn eval(
-        &self,
-        ctx: &mut TaskCtx<'_>,
-        frame: &RefCell<Frame>,
-        e: &Expr,
-    ) -> Result<i64, PowerFailure> {
+    fn eval(&self, ctx: &mut TaskCtx<'_>, frame: &RefCell<Frame>, e: &Expr) -> Result<i64, Fault> {
         match e {
             Expr::Int(n) => Ok(*n),
             Expr::Var(name) => {
@@ -206,7 +202,7 @@ impl Interp {
         ctx: &mut TaskCtx<'_>,
         frame: &RefCell<Frame>,
         call: &IoCall,
-    ) -> Result<i64, PowerFailure> {
+    ) -> Result<i64, Fault> {
         let op = match call.func {
             IoFunc::Temp => IoOp::Sense(Sensor::Temp),
             IoFunc::Humd => IoOp::Sense(Sensor::Humd),
@@ -263,7 +259,7 @@ impl Interp {
         frame: &RefCell<Frame>,
         op: IoOp,
         id: u32,
-    ) -> Result<(), PowerFailure> {
+    ) -> Result<(), Fault> {
         let deps: Vec<u16> = self.analysis.io_deps[&id]
             .iter()
             .filter_map(|d| frame.borrow().site_of.get(d).copied())
@@ -279,7 +275,7 @@ impl Interp {
         ctx: &mut TaskCtx<'_>,
         frame: &RefCell<Frame>,
         stmts: &[Stmt],
-    ) -> Result<Flow, PowerFailure> {
+    ) -> Result<Flow, Fault> {
         for s in stmts {
             match self.exec_stmt(ctx, frame, s)? {
                 Flow::Continue => {}
@@ -294,7 +290,7 @@ impl Interp {
         ctx: &mut TaskCtx<'_>,
         frame: &RefCell<Frame>,
         s: &Stmt,
-    ) -> Result<Flow, PowerFailure> {
+    ) -> Result<Flow, Fault> {
         match s {
             Stmt::Let { name, expr, .. } => {
                 let v = self.eval(ctx, frame, expr)?;

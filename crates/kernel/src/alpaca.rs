@@ -16,6 +16,7 @@
 //!   DMA-induced WAR still corrupts memory, which is the paper's Figure 2b
 //!   bug and the subject of its Figure 12 experiment.
 
+use crate::error::Fault;
 use crate::io::{perform_dma, perform_io, IoOp};
 use crate::runtime::{DmaOutcome, IoOutcome, Runtime};
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
@@ -186,7 +187,7 @@ impl Runtime for AlpacaRuntime {
         bytes: u32,
         _annotation: DmaAnnotation,
         _related: &[u16],
-    ) -> Result<DmaOutcome, PowerFailure> {
+    ) -> Result<DmaOutcome, Fault> {
         // DMA is invisible to Alpaca: straight to memory, repeated on every
         // re-execution, no privatization of the touched bytes.
         perform_dma(mcu, src, dst, bytes, WorkKind::App)?;

@@ -16,11 +16,12 @@
 //! A loop over `call_io` therefore gets one lock slot per iteration — the
 //! loop-array extension of the paper's §6 falls out for free.
 
+use crate::error::Fault;
 use crate::io::IoOp;
 use crate::runtime::Runtime;
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
 use easeio_trace::{ActivationTracker, Event, EventKind, SpanKind, Status};
-use mcu_emu::{Addr, Mcu, NvBuf, NvVar, PowerFailure, Scalar, WorkKind};
+use mcu_emu::{Addr, Mcu, NvBuf, NvVar, Scalar, WorkKind};
 use periph::Peripherals;
 
 /// The execution context passed to task bodies.
@@ -90,57 +91,54 @@ impl<'a> TaskCtx<'a> {
     }
 
     /// Performs `cycles` cycles of application computation.
-    pub fn compute(&mut self, cycles: u64) -> Result<(), PowerFailure> {
+    pub fn compute(&mut self, cycles: u64) -> Result<(), Fault> {
         debug_assert_eq!(
             self.block_depth, 0,
             "EaseIO I/O blocks contain only I/O operations (paper §3.2)"
         );
         let c = self.mcu.cost.cpu_cycle.times(cycles);
-        self.mcu.spend(WorkKind::App, c)
+        Ok(self.mcu.spend(WorkKind::App, c)?)
     }
 
     /// Reads a task-shared variable through the runtime.
-    pub fn read<T: Scalar>(&mut self, var: NvVar<T>) -> Result<T, PowerFailure> {
+    pub fn read<T: Scalar>(&mut self, var: NvVar<T>) -> Result<T, Fault> {
         let raw = self.rt.read_var(self.mcu, self.task, var.raw())?;
         Ok(T::from_raw(raw))
     }
 
     /// Writes a task-shared variable through the runtime.
-    pub fn write<T: Scalar>(&mut self, var: NvVar<T>, value: T) -> Result<(), PowerFailure> {
+    pub fn write<T: Scalar>(&mut self, var: NvVar<T>, value: T) -> Result<(), Fault> {
         debug_assert_eq!(
             self.block_depth, 0,
             "EaseIO I/O blocks contain only I/O operations (paper §3.2)"
         );
-        self.rt
-            .write_var(self.mcu, self.task, var.raw(), value.to_raw())
+        Ok(self
+            .rt
+            .write_var(self.mcu, self.task, var.raw(), value.to_raw())?)
     }
 
     /// Reads one element of a task-shared buffer through the runtime.
-    pub fn buf_read<T: Scalar>(&mut self, buf: NvBuf<T>, i: u32) -> Result<T, PowerFailure> {
+    pub fn buf_read<T: Scalar>(&mut self, buf: NvBuf<T>, i: u32) -> Result<T, Fault> {
         let raw = self.rt.read_var(self.mcu, self.task, buf.slot(i))?;
         Ok(T::from_raw(raw))
     }
 
     /// Writes one element of a task-shared buffer through the runtime.
-    pub fn buf_write<T: Scalar>(
-        &mut self,
-        buf: NvBuf<T>,
-        i: u32,
-        value: T,
-    ) -> Result<(), PowerFailure> {
+    pub fn buf_write<T: Scalar>(&mut self, buf: NvBuf<T>, i: u32, value: T) -> Result<(), Fault> {
         debug_assert_eq!(self.block_depth, 0, "no buffer writes inside I/O blocks");
-        self.rt
-            .write_var(self.mcu, self.task, buf.slot(i), value.to_raw())
+        Ok(self
+            .rt
+            .write_var(self.mcu, self.task, buf.slot(i), value.to_raw())?)
     }
 
     /// Reads the persistent timekeeper (application-level `GetTime()`).
-    pub fn now(&mut self) -> Result<u64, PowerFailure> {
-        self.mcu.read_timestamp(WorkKind::App)
+    pub fn now(&mut self) -> Result<u64, Fault> {
+        Ok(self.mcu.read_timestamp(WorkKind::App)?)
     }
 
     /// `_call_IO(op, sem)` — executes `op` under the given re-execution
     /// semantics and returns its (possibly restored) value.
-    pub fn call_io(&mut self, op: IoOp, sem: ReexecSemantics) -> Result<i32, PowerFailure> {
+    pub fn call_io(&mut self, op: IoOp, sem: ReexecSemantics) -> Result<i32, Fault> {
         self.call_io_dep(op, sem, &[])
     }
 
@@ -153,7 +151,7 @@ impl<'a> TaskCtx<'a> {
         op: IoOp,
         sem: ReexecSemantics,
         deps: &[u16],
-    ) -> Result<i32, PowerFailure> {
+    ) -> Result<i32, Fault> {
         let site = self.io_seq;
         self.io_seq += 1;
         let name = op.kind_name();
@@ -169,7 +167,7 @@ impl<'a> TaskCtx<'a> {
                     name,
                     EventKind::SpanEnd(SpanKind::IoCall, Status::Failed),
                 );
-                return Err(e);
+                return Err(e.into());
             }
         };
         let status = if out.executed {
@@ -179,6 +177,22 @@ impl<'a> TaskCtx<'a> {
                 // The site had already completed in an earlier attempt of
                 // this activation: this execution is redundant.
                 self.mcu.stats.io_reexecutions += 1;
+                // Invariant probe: a bare `Single` op with no dependence
+                // forcing and no enclosing block must never run twice within
+                // one activation. A safe runtime's `io_call` only reports a
+                // completed Single as executed again under dependence
+                // forcing or a Violated block — both excluded here — so any
+                // hit means its control blocks lost the completion record.
+                // (An op interrupted *during* completion recording returns
+                // `Err` above and never marks `first_io`, so the legitimate
+                // op-to-lock re-execution window counts as Executed, not
+                // Redundant.)
+                if matches!(sem, ReexecSemantics::Single)
+                    && deps.is_empty()
+                    && self.block_depth == 0
+                {
+                    self.mcu.stats.bump("probe_single_redundant");
+                }
                 Status::Redundant
             }
         } else {
@@ -195,8 +209,8 @@ impl<'a> TaskCtx<'a> {
     pub fn io_block<R>(
         &mut self,
         sem: ReexecSemantics,
-        f: impl FnOnce(&mut Self) -> Result<R, PowerFailure>,
-    ) -> Result<R, PowerFailure> {
+        f: impl FnOnce(&mut Self) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
         let block = self.block_seq;
         self.block_seq += 1;
         self.span(block, "block", EventKind::SpanBegin(SpanKind::IoBlock));
@@ -222,7 +236,7 @@ impl<'a> TaskCtx<'a> {
     }
 
     /// `_DMA_copy(src, dst, bytes)` with automatic semantics resolution.
-    pub fn dma_copy(&mut self, src: Addr, dst: Addr, bytes: u32) -> Result<(), PowerFailure> {
+    pub fn dma_copy(&mut self, src: Addr, dst: Addr, bytes: u32) -> Result<(), Fault> {
         self.dma_copy_annotated(src, dst, bytes, DmaAnnotation::Auto, &[])
     }
 
@@ -236,7 +250,7 @@ impl<'a> TaskCtx<'a> {
         bytes: u32,
         annotation: DmaAnnotation,
         related: &[u16],
-    ) -> Result<(), PowerFailure> {
+    ) -> Result<(), Fault> {
         debug_assert_eq!(self.block_depth, 0, "DMA copies sit outside I/O blocks");
         let site = self.dma_seq;
         self.dma_seq += 1;

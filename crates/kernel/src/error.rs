@@ -1,0 +1,115 @@
+//! Typed fault model for task execution.
+//!
+//! A task attempt can be interrupted by two kinds of events: a power
+//! failure (the normal course of intermittent execution — the executor
+//! reboots and re-enters the task) and a runtime resource fault such as an
+//! exhausted DMA privatization pool (a configuration error — retrying
+//! cannot help, so the executor aborts the run and reports it). Both
+//! propagate with `?` out of task bodies as a [`Fault`].
+
+use mcu_emu::PowerFailure;
+
+/// A non-recoverable DMA configuration error.
+///
+/// Unlike a [`PowerFailure`], re-executing the task cannot clear a
+/// `DmaError`: the privatization pool and slot sizes are fixed at runtime
+/// construction, so the same transfer fails the same way on every attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaError {
+    /// The privatization pool cannot hold another buffer.
+    PoolExhausted {
+        /// Bytes the transfer needed.
+        requested: u32,
+        /// Bytes already in use.
+        used: u32,
+        /// Configured pool size.
+        limit: u32,
+    },
+    /// A transfer is larger than the shared privatization slot.
+    OversizedTransfer {
+        /// Bytes the transfer needed.
+        bytes: u32,
+        /// Configured shared-slot size.
+        slot_bytes: u32,
+    },
+}
+
+impl std::fmt::Display for DmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DmaError::PoolExhausted {
+                requested,
+                used,
+                limit,
+            } => write!(
+                f,
+                "DMA privatization pool exhausted: {used} + {requested} B exceeds the configured {limit} B"
+            ),
+            DmaError::OversizedTransfer { bytes, slot_bytes } => write!(
+                f,
+                "DMA copy of {bytes} B exceeds the shared privatization slot of {slot_bytes} B"
+            ),
+        }
+    }
+}
+
+/// Why a task attempt stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Power failed; the executor reboots and re-executes the task.
+    Power(PowerFailure),
+    /// A DMA resource fault; the executor aborts the run.
+    Dma(DmaError),
+}
+
+impl From<PowerFailure> for Fault {
+    fn from(p: PowerFailure) -> Self {
+        Fault::Power(p)
+    }
+}
+
+impl From<DmaError> for Fault {
+    fn from(e: DmaError) -> Self {
+        Fault::Dma(e)
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Power(_) => write!(f, "power failure"),
+            Fault::Dma(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_failure_converts_via_from() {
+        let f: Fault = PowerFailure.into();
+        assert_eq!(f, Fault::Power(PowerFailure));
+    }
+
+    #[test]
+    fn display_mentions_the_numbers() {
+        let e = DmaError::PoolExhausted {
+            requested: 128,
+            used: 4000,
+            limit: 4096,
+        };
+        let s = format!("{e}");
+        assert!(
+            s.contains("4000") && s.contains("128") && s.contains("4096"),
+            "{s}"
+        );
+        let o = DmaError::OversizedTransfer {
+            bytes: 512,
+            slot_bytes: 256,
+        };
+        assert!(format!("{o}").contains("512"));
+        assert!(format!("{}", Fault::Dma(o)).contains("256"));
+    }
+}

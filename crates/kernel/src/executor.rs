@@ -10,6 +10,7 @@
 //! it.
 
 use crate::ctx::TaskCtx;
+use crate::error::{DmaError, Fault};
 use crate::runtime::Runtime;
 use crate::semantics::TaskId;
 use crate::task::{App, Transition, Verdict};
@@ -40,6 +41,9 @@ pub enum Outcome {
     /// A task could not complete within the attempt budget: the
     /// non-termination bug of paper §3.5.
     NonTermination,
+    /// A non-recoverable runtime fault (e.g. DMA pool exhaustion) aborted
+    /// the run; re-execution cannot clear it.
+    Fault(DmaError),
 }
 
 /// Everything a run produces.
@@ -157,7 +161,7 @@ pub fn run_app(
                         task_name,
                         EventKind::SpanEnd(SpanKind::Commit, Status::Failed),
                     );
-                    return Err(e);
+                    return Err(e.into());
                 }
                 rt.commit_apply(mcu, task_id);
                 cur.raw().store(&mut mcu.mem, next as u64);
@@ -168,7 +172,7 @@ pub fn run_app(
                     task_name,
                     EventKind::SpanEnd(SpanKind::Commit, Status::Committed),
                 );
-                Ok::<Transition, mcu_emu::PowerFailure>(transition)
+                Ok::<Transition, Fault>(transition)
             })();
             match attempt {
                 Ok(transition) => {
@@ -187,7 +191,7 @@ pub fn run_app(
                         Transition::To(t) => task_id = t,
                     }
                 }
-                Err(_) => {
+                Err(Fault::Power(_)) => {
                     // The MCU already cleared volatile memory and advanced
                     // across the dead period; go back to the boot loop. The
                     // span end lands after the dead period — profile
@@ -200,6 +204,19 @@ pub fn run_app(
                         EventKind::SpanEnd(SpanKind::TaskAttempt, Status::Failed),
                     );
                     continue 'run;
+                }
+                Err(Fault::Dma(e)) => {
+                    // Re-executing cannot clear a resource fault: abort.
+                    emit_span(
+                        mcu,
+                        task_id.0,
+                        NO_SITE,
+                        task_name,
+                        EventKind::SpanEnd(SpanKind::TaskAttempt, Status::Failed),
+                    );
+                    emit_instant(mcu, InstantKind::GiveUp, task_name);
+                    outcome = Outcome::Fault(e);
+                    break 'run;
                 }
             }
         }

@@ -33,6 +33,9 @@ pub struct CodeModel {
     pub per_task: u32,
     /// Control block emitted per `_call_IO` site.
     pub per_io_site: u32,
+    /// Extra timestamp handling per `Timely` call site (allocation of the
+    /// timestamp word, freshness check); zero for runtimes without `Timely`.
+    pub per_timely_site: u32,
     /// Handling code per `_DMA_copy` site.
     pub per_dma_site: u32,
     /// Control block per I/O block.
@@ -48,6 +51,7 @@ impl CodeModel {
             base: 620,
             per_task: 48,
             per_io_site: 12,
+            per_timely_site: 0,
             per_dma_site: 16,
             per_block: 0,
             per_nv_var: 56,
@@ -60,6 +64,7 @@ impl CodeModel {
             base: 2_100,
             per_task: 96,
             per_io_site: 12,
+            per_timely_site: 0,
             per_dma_site: 16,
             per_block: 0,
             per_nv_var: 72,
@@ -68,12 +73,16 @@ impl CodeModel {
 
     /// EaseIO: Alpaca-like task core plus the I/O-semantics control blocks,
     /// run-time DMA typing, and regional privatization (~1 KB over Alpaca,
-    /// per the paper §5.4.5).
+    /// per the paper §5.4.5). Timestamp handling is priced per `Timely`
+    /// site, not per I/O site: only `Timely` sites allocate the 8-byte
+    /// timestamp word and emit the freshness check (paper §4.2's
+    /// per-semantics control blocks).
     pub fn easeio() -> Self {
         Self {
             base: 1_480,
             per_task: 56,
-            per_io_site: 74,
+            per_io_site: 62,
+            per_timely_site: 36,
             per_dma_site: 158,
             per_block: 88,
             per_nv_var: 64,
@@ -95,6 +104,7 @@ impl CodeModel {
         self.base
             + self.per_task * inv.tasks
             + self.per_io_site * inv.io_sites
+            + self.per_timely_site * inv.timely_sites
             + self.per_dma_site * inv.dma_sites
             + self.per_block * inv.io_blocks
             + self.per_nv_var * inv.nv_vars
@@ -129,6 +139,7 @@ mod tests {
             tasks: 5,
             io_funcs: 2,
             io_sites: 3,
+            timely_sites: 1,
             dma_sites: 3,
             io_blocks: 1,
             nv_vars: 8,
@@ -160,6 +171,7 @@ mod tests {
             tasks: 3,
             io_funcs: 1,
             io_sites: 1,
+            timely_sites: 1,
             dma_sites: 0,
             io_blocks: 0,
             nv_vars: 2,
@@ -171,6 +183,29 @@ mod tests {
         let a = CodeModel::easeio().text_bytes(&small);
         let b = CodeModel::easeio().text_bytes(&with_dma);
         assert!(b - a >= 3 * 150, "DMA handling dominates the increment");
+    }
+
+    #[test]
+    fn timely_sites_priced_only_under_easeio() {
+        let without = Inventory {
+            timely_sites: 0,
+            ..inv()
+        };
+        let with = inv();
+        let e = CodeModel::easeio();
+        assert_eq!(
+            e.text_bytes(&with) - e.text_bytes(&without),
+            e.per_timely_site
+        );
+        // Baselines have no Timely machinery to emit.
+        assert_eq!(
+            CodeModel::alpaca().text_bytes(&with),
+            CodeModel::alpaca().text_bytes(&without)
+        );
+        assert_eq!(
+            CodeModel::ink().text_bytes(&with),
+            CodeModel::ink().text_bytes(&without)
+        );
     }
 
     #[test]

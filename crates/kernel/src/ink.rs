@@ -11,6 +11,7 @@
 //! Like Alpaca, InK has no I/O semantics and no DMA interception: both
 //! re-execute wholesale after every power failure.
 
+use crate::error::Fault;
 use crate::io::{perform_dma, perform_io, IoOp};
 use crate::runtime::{DmaOutcome, IoOutcome, Runtime};
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
@@ -173,7 +174,7 @@ impl Runtime for InkRuntime {
         bytes: u32,
         _annotation: DmaAnnotation,
         _related: &[u16],
-    ) -> Result<DmaOutcome, PowerFailure> {
+    ) -> Result<DmaOutcome, Fault> {
         // DMA bypasses the double buffers entirely — and worse, it writes
         // the *committed* buffer, so a re-executed DMA clobbers state the
         // kernel believes is stable.

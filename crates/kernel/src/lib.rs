@@ -22,6 +22,7 @@
 
 pub mod alpaca;
 pub mod ctx;
+pub mod error;
 pub mod executor;
 pub mod footprint;
 pub mod ink;
@@ -32,6 +33,7 @@ pub mod semantics;
 pub mod task;
 
 pub use ctx::TaskCtx;
+pub use error::{DmaError, Fault};
 pub use executor::{run_app, ExecConfig, Outcome, RunResult};
 pub use io::IoOp;
 pub use runtime::{DmaOutcome, IoOutcome, Runtime};

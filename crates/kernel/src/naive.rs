@@ -5,6 +5,7 @@
 //! paper's Figure 2 (wasteful I/O, idempotence bugs, unsafe execution) and
 //! serves as the didactic lower bound in tests and examples.
 
+use crate::error::Fault;
 use crate::io::{perform_dma, perform_io, IoOp};
 use crate::runtime::{DmaOutcome, IoOutcome, Runtime};
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
@@ -97,7 +98,7 @@ impl Runtime for NaiveRuntime {
         bytes: u32,
         _annotation: DmaAnnotation,
         _related: &[u16],
-    ) -> Result<DmaOutcome, PowerFailure> {
+    ) -> Result<DmaOutcome, Fault> {
         perform_dma(mcu, src, dst, bytes, WorkKind::App)?;
         Ok(DmaOutcome { executed: true })
     }

@@ -16,6 +16,7 @@
 //! semantically equivalent to the static instrumentation the original
 //! systems generate (see DESIGN.md §2 for the argument).
 
+use crate::error::Fault;
 use crate::io::IoOp;
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
 use mcu_emu::{Addr, Mcu, PowerFailure, RawVar};
@@ -117,6 +118,10 @@ pub trait Runtime {
     /// I/O call sites whose outputs the copied data depends on — the
     /// `RelatedConstFlag` wiring of paper §4.3.1 (the compiler front-end
     /// infers these; hand-written apps may pass them explicitly).
+    ///
+    /// Returns a [`Fault`] rather than a bare [`PowerFailure`] because a
+    /// transfer can also fail on a non-recoverable resource error (pool
+    /// exhaustion, oversized shared-slot copy).
     #[allow(clippy::too_many_arguments)]
     fn dma_copy(
         &mut self,
@@ -128,7 +133,7 @@ pub trait Runtime {
         bytes: u32,
         annotation: DmaAnnotation,
         related: &[u16],
-    ) -> Result<DmaOutcome, PowerFailure>;
+    ) -> Result<DmaOutcome, Fault>;
 
     /// Fixed per-reboot overhead charged on every boot (restoring the
     /// execution pointer, re-initializing the runtime).

@@ -9,8 +9,9 @@
 //! hardware.
 
 use crate::ctx::TaskCtx;
+use crate::error::Fault;
 use crate::semantics::TaskId;
-use mcu_emu::{Mcu, PowerFailure};
+use mcu_emu::Mcu;
 use periph::Peripherals;
 use std::rc::Rc;
 
@@ -24,7 +25,7 @@ pub enum Transition {
 }
 
 /// Result of one execution attempt of a task body.
-pub type TaskResult = Result<Transition, PowerFailure>;
+pub type TaskResult = Result<Transition, Fault>;
 
 /// The body type of a task.
 pub type TaskBody = Rc<dyn Fn(&mut TaskCtx<'_>) -> TaskResult>;
@@ -54,6 +55,9 @@ pub struct Inventory {
     pub io_funcs: u32,
     /// Number of `_call_IO` call sites.
     pub io_sites: u32,
+    /// Number of `_call_IO` call sites with `Timely` semantics (these carry
+    /// an extra timestamp control word, paper §4.2).
+    pub timely_sites: u32,
     /// Number of `_DMA_copy` call sites.
     pub dma_sites: u32,
     /// Number of I/O blocks.

@@ -25,8 +25,8 @@ pub mod stats;
 pub use clock::Clock;
 pub use easeio_trace::TraceSink;
 pub use energy::{Capacitor, Cost, CostTable};
-pub use mcu::{Mcu, PowerFailure};
-pub use memory::{Addr, AllocTag, Memory, Region};
+pub use mcu::{Mcu, McuSnapshot, PowerFailure};
+pub use memory::{Addr, AllocRecord, AllocTag, Memory, Region};
 pub use nvstore::{NvBuf, NvVar, RawVar, Scalar};
 pub use power::{RfHarvestConfig, Supply, TimerResetConfig};
 pub use stats::{RunStats, WorkKind};

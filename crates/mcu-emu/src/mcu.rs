@@ -84,6 +84,7 @@ impl Mcu {
                 remaining.energy_nj - slice.energy_nj,
             );
             let off_before = self.clock.off_us();
+            self.stats.boundaries += 1;
             let spend = self.supply.spend(&mut self.clock, slice);
             self.stats.record(kind, spend.on_us, spend.energy_nj);
             if spend.interrupted {
@@ -179,6 +180,39 @@ impl Mcu {
         let raw = self.load_var(kind, src)?;
         self.store_var(kind, dst, raw)
     }
+
+    /// Captures the full machine state (clock, memory including allocator
+    /// cursors, ledger, cost table) so a crash sweep can re-run the same
+    /// program from an identical starting point. The supply is *not* part of
+    /// the snapshot: each injection run installs its own.
+    pub fn snapshot(&self) -> McuSnapshot {
+        McuSnapshot {
+            clock: self.clock.clone(),
+            mem: self.mem.clone(),
+            stats: self.stats.clone(),
+            cost: self.cost.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken with [`Mcu::snapshot`]. Restoring the
+    /// allocator cursors guarantees that runtime allocations made after this
+    /// point land at the same addresses as in every other run from the same
+    /// snapshot.
+    pub fn restore(&mut self, snap: &McuSnapshot) {
+        self.clock = snap.clock.clone();
+        self.mem = snap.mem.clone();
+        self.stats = snap.stats.clone();
+        self.cost = snap.cost.clone();
+    }
+}
+
+/// Full machine state captured by [`Mcu::snapshot`].
+#[derive(Debug, Clone)]
+pub struct McuSnapshot {
+    clock: Clock,
+    mem: Memory,
+    stats: RunStats,
+    cost: CostTable,
 }
 
 #[cfg(test)]
@@ -269,6 +303,52 @@ mod tests {
         let ts = m.read_timestamp(WorkKind::Overhead).unwrap();
         assert!(ts > t0, "reading the timer itself takes time");
         assert!(m.stats.overhead_time_us > 0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_machine_state() {
+        let mut m = continuous();
+        let v = RawVar {
+            addr: m.mem.alloc(Region::Fram, 4, AllocTag::App),
+            width: 4,
+        };
+        m.store_var(WorkKind::App, v, 41).unwrap();
+        let snap = m.snapshot();
+        let before = (
+            m.clock.now_us(),
+            m.stats.boundaries,
+            m.mem.allocated(Region::Fram),
+        );
+        // Diverge: more work, a new allocation, a mutated variable.
+        m.store_var(WorkKind::App, v, 99).unwrap();
+        m.spend(WorkKind::Overhead, Cost::new(500, 500)).unwrap();
+        m.mem.alloc(Region::Fram, 16, AllocTag::Runtime);
+        m.restore(&snap);
+        assert_eq!(v.load(&m.mem), 41);
+        assert_eq!(
+            (
+                m.clock.now_us(),
+                m.stats.boundaries,
+                m.mem.allocated(Region::Fram)
+            ),
+            before
+        );
+        // Allocator cursors restored: the next alloc lands where it would
+        // have in any other run from the same snapshot.
+        let a1 = m.mem.alloc(Region::Fram, 8, AllocTag::Runtime);
+        m.restore(&snap);
+        let a2 = m.mem.alloc(Region::Fram, 8, AllocTag::Runtime);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn spend_counts_one_boundary_per_slice() {
+        let mut m = continuous();
+        m.spend(WorkKind::App, Cost::new(10, 10)).unwrap();
+        assert_eq!(m.stats.boundaries, 1);
+        // 2.5 ms → three ≤1 ms slices.
+        m.spend(WorkKind::App, Cost::new(2_500, 100)).unwrap();
+        assert_eq!(m.stats.boundaries, 4);
     }
 
     #[test]

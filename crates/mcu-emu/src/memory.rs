@@ -81,6 +81,8 @@ pub enum AllocTag {
 pub struct AllocRecord {
     /// Region allocated from.
     pub region: Region,
+    /// Base address of the allocation.
+    pub addr: Addr,
     /// Size in bytes.
     pub bytes: u32,
     /// Owner tag.
@@ -154,8 +156,14 @@ impl Memory {
             "out of memory in {region:?}: requested {bytes} B at offset {aligned}"
         );
         self.next[i] = end;
-        self.allocs.push(AllocRecord { region, bytes, tag });
-        Addr::new(region, aligned)
+        let addr = Addr::new(region, aligned);
+        self.allocs.push(AllocRecord {
+            region,
+            addr,
+            bytes,
+            tag,
+        });
+        addr
     }
 
     /// Bytes currently allocated in `region`.
@@ -175,6 +183,17 @@ impl Memory {
     /// All allocation records (for footprint reporting).
     pub fn allocations(&self) -> &[AllocRecord] {
         &self.allocs
+    }
+
+    /// Byte ranges allocated in `region` under `tag`, as `(addr, len)`
+    /// pairs. A crash sweep uses this to compare the application-visible
+    /// non-volatile state of two runs without touching runtime metadata.
+    pub fn tagged_ranges(&self, region: Region, tag: AllocTag) -> Vec<(Addr, u32)> {
+        self.allocs
+            .iter()
+            .filter(|a| a.region == region && a.tag == tag)
+            .map(|a| (a.addr, a.bytes))
+            .collect()
     }
 
     /// Reads `len` bytes starting at `addr`.

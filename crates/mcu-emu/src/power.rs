@@ -139,6 +139,21 @@ pub enum Supply {
         /// failure points (real comparators have hysteresis noise).
         cycle: u64,
     },
+    /// Deterministic single-failure injection for crash-consistency sweeps:
+    /// fails exactly once, at the `fail_at`-th energy-spend boundary
+    /// (0-based, counting individual `spend` calls), then behaves like
+    /// [`Supply::Continuous`] forever after. If `fail_at` is at or past the
+    /// run's boundary count, the run is identical to a continuous one.
+    Injected {
+        /// Boundary index at which the single failure fires.
+        fail_at: u64,
+        /// Dead time inserted at the failure (µs).
+        off_us: u64,
+        /// Number of `spend` calls observed so far.
+        seen: u64,
+        /// Whether the single failure already fired.
+        fired: bool,
+    },
 }
 
 impl Supply {
@@ -164,6 +179,18 @@ impl Supply {
             cfg,
             acc_unj: 0,
             cycle: 0,
+        }
+    }
+
+    /// Creates a single-failure injection supply: power fails at exactly the
+    /// `fail_at`-th spend boundary, stays off for `off_us`, then never fails
+    /// again.
+    pub fn injected(fail_at: u64, off_us: u64) -> Self {
+        Supply::Injected {
+            fail_at,
+            off_us,
+            seen: 0,
+            fired: false,
         }
     }
 
@@ -262,6 +289,32 @@ impl Supply {
                     interrupted: true,
                 }
             }
+            Supply::Injected {
+                fail_at,
+                off_us,
+                seen,
+                fired,
+            } => {
+                let boundary = *seen;
+                *seen += 1;
+                if !*fired && boundary == *fail_at {
+                    // The failure fires *at* the boundary: the operation
+                    // never runs, no time or energy is consumed on it.
+                    *fired = true;
+                    clock.advance_off(*off_us);
+                    return Spend {
+                        on_us: 0,
+                        energy_nj: 0,
+                        interrupted: true,
+                    };
+                }
+                clock.advance_on(cost.time_us);
+                Spend {
+                    on_us: cost.time_us,
+                    energy_nj: cost.energy_nj,
+                    interrupted: false,
+                }
+            }
         }
     }
 
@@ -276,6 +329,7 @@ impl Supply {
             Supply::Continuous => "continuous",
             Supply::Timer { .. } => "timer",
             Supply::Harvester { .. } => "harvester",
+            Supply::Injected { .. } => "injected",
         }
     }
 }
@@ -377,6 +431,38 @@ mod tests {
         // 1000 nJ per charge, 100 nJ per op → failure every ~10 ops.
         assert!(failures >= 2, "expected multiple brown-outs");
         assert!(c.off_us() > 0, "recharge time must appear as off-time");
+    }
+
+    #[test]
+    fn injected_fails_exactly_once_at_the_requested_boundary() {
+        let mut s = Supply::injected(3, 500);
+        let mut c = Clock::new();
+        let mut fired_at = None;
+        for i in 0..10u64 {
+            let r = s.spend(&mut c, Cost::new(10, 10));
+            if r.interrupted {
+                assert!(fired_at.is_none(), "second failure at boundary {i}");
+                assert_eq!(r.on_us, 0, "injected failure consumes no on-time");
+                assert_eq!(r.energy_nj, 0);
+                fired_at = Some(i);
+            }
+        }
+        assert_eq!(fired_at, Some(3));
+        assert_eq!(c.off_us(), 500);
+        // 9 of the 10 spends ran normally.
+        assert_eq!(c.on_us(), 90);
+    }
+
+    #[test]
+    fn injected_past_the_end_never_fires() {
+        let mut s = Supply::injected(100, 500);
+        let mut c = Clock::new();
+        for _ in 0..50 {
+            assert!(!s.spend(&mut c, Cost::new(10, 10)).interrupted);
+        }
+        assert_eq!(c.off_us(), 0);
+        assert!(s.can_fail());
+        assert_eq!(s.kind_name(), "injected");
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub struct RunStats {
     pub dma_skipped: u64,
     /// Redundant DMA executions (same site, same activation, again).
     pub dma_reexecutions: u64,
+    /// Energy-spend boundaries crossed: one per supply `spend` call (the
+    /// unit at which a power failure can be injected by a crash sweep).
+    pub boundaries: u64,
     /// Free-form named counters for runtime-specific events.
     pub counters: BTreeMap<&'static str, u64>,
 }
@@ -124,6 +127,7 @@ impl RunStats {
         self.dma_executed += other.dma_executed;
         self.dma_skipped += other.dma_skipped;
         self.dma_reexecutions += other.dma_reexecutions;
+        self.boundaries += other.boundaries;
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
         }

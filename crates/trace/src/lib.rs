@@ -30,6 +30,7 @@ pub mod jsonl;
 pub mod profile;
 pub mod report;
 pub mod ring;
+pub mod sweep;
 pub mod tracker;
 
 pub use chrome::chrome_trace;
@@ -39,6 +40,7 @@ pub use jsonl::jsonl;
 pub use profile::{build_profile, LatencySummary, Profile, SiteProfile, TaskProfile};
 pub use report::{build_report, validate_report, ReportInputs, SCHEMA_VERSION};
 pub use ring::{RingRecorder, DEFAULT_CAPACITY};
+pub use sweep::{build_sweep_report, validate_sweep_report, SweepInputs, SweepViolation};
 pub use tracker::ActivationTracker;
 
 /// The recording endpoint embedded in the simulated MCU.

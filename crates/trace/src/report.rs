@@ -24,7 +24,7 @@ pub struct ReportInputs {
     pub supply: Value,
     /// Failure-schedule / environment seed.
     pub seed: u64,
-    /// `"completed"` or `"non_termination"`.
+    /// `"completed"`, `"non_termination"`, or `"fault"`.
     pub outcome: String,
     /// Application correctness verdict, if the app defines a check.
     pub correct: Option<bool>,
@@ -292,8 +292,8 @@ pub fn validate_report(v: &Value) -> Result<(), Vec<String>> {
     need("seed", &|x| x.as_u64().is_some(), "an unsigned integer");
     need(
         "outcome",
-        &|x| matches!(x.as_str(), Some("completed" | "non_termination")),
-        "'completed' or 'non_termination'",
+        &|x| matches!(x.as_str(), Some("completed" | "non_termination" | "fault")),
+        "'completed', 'non_termination', or 'fault'",
     );
     need(
         "correct",

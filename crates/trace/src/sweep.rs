@@ -1,0 +1,207 @@
+//! Versioned machine-readable crash-sweep report.
+//!
+//! `easeio-sim sweep --report out.json` emits this document: sweep identity
+//! (runtime, app, seed, outage length, sampling mode), the reference run's
+//! boundary count, and one entry per injection that violated an invariant.
+//! Any violation is reproducible from the document alone: re-run the same
+//! app/runtime/seed with a failure injected at the recorded boundary.
+//!
+//! The document shares [`SCHEMA_VERSION`] with the run report — both layouts
+//! version together.
+
+use crate::json::Value;
+use crate::report::SCHEMA_VERSION;
+
+/// One injection run that broke a crash-consistency invariant.
+#[derive(Debug, Clone)]
+pub struct SweepViolation {
+    /// Energy-spend boundary index the failure was injected at.
+    pub boundary: u64,
+    /// Violation class (e.g. `"single_redundant"`, `"wrong_verdict"`).
+    pub kind: String,
+    /// Human-readable divergence description.
+    pub detail: String,
+}
+
+/// Inputs to the sweep report document.
+#[derive(Debug, Clone)]
+pub struct SweepInputs {
+    /// Runtime display name.
+    pub runtime: String,
+    /// Application name.
+    pub app: String,
+    /// Environment seed shared by every run of the sweep.
+    pub seed: u64,
+    /// Outage length injected at each boundary (µs).
+    pub off_us: u64,
+    /// `"exhaustive"` or `"sample"`.
+    pub mode: String,
+    /// Energy-spend boundaries counted in the continuous-power oracle run.
+    pub oracle_boundaries: u64,
+    /// Whether final app FRAM was compared byte-for-byte with the oracle.
+    pub strict_memory: bool,
+    /// Number of injection runs performed.
+    pub injections: u64,
+    /// Invariant violations, in boundary order.
+    pub violations: Vec<SweepViolation>,
+}
+
+/// Builds the sweep report document.
+pub fn build_sweep_report(inp: &SweepInputs) -> Value {
+    let violations = inp
+        .violations
+        .iter()
+        .map(|v| {
+            Value::Obj(vec![
+                ("boundary".into(), Value::u64(v.boundary)),
+                ("kind".into(), Value::str(v.kind.clone())),
+                ("detail".into(), Value::str(v.detail.clone())),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("schema_version".into(), Value::u64(SCHEMA_VERSION)),
+        ("tool".into(), Value::str("easeio-sim sweep")),
+        ("runtime".into(), Value::str(inp.runtime.clone())),
+        ("app".into(), Value::str(inp.app.clone())),
+        ("seed".into(), Value::u64(inp.seed)),
+        ("off_us".into(), Value::u64(inp.off_us)),
+        ("mode".into(), Value::str(inp.mode.clone())),
+        (
+            "oracle_boundaries".into(),
+            Value::u64(inp.oracle_boundaries),
+        ),
+        ("strict_memory".into(), Value::Bool(inp.strict_memory)),
+        ("injections".into(), Value::u64(inp.injections)),
+        (
+            "violation_count".into(),
+            Value::u64(inp.violations.len() as u64),
+        ),
+        ("violations".into(), Value::Arr(violations)),
+    ])
+}
+
+/// Checks a parsed sweep report against the schema. Returns every violation
+/// found, not just the first.
+pub fn validate_sweep_report(v: &Value) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    let mut need = |key: &str, pred: &dyn Fn(&Value) -> bool, what: &str| match v.get(key) {
+        None => errs.push(format!("missing key '{key}'")),
+        Some(val) if !pred(val) => errs.push(format!("'{key}' must be {what}")),
+        _ => {}
+    };
+    need(
+        "schema_version",
+        &|x| x.as_u64() == Some(SCHEMA_VERSION),
+        &format!("the integer {SCHEMA_VERSION}"),
+    );
+    need("tool", &|x| x.as_str().is_some(), "a string");
+    need("runtime", &|x| x.as_str().is_some(), "a string");
+    need("app", &|x| x.as_str().is_some(), "a string");
+    need("seed", &|x| x.as_u64().is_some(), "an unsigned integer");
+    need("off_us", &|x| x.as_u64().is_some(), "an unsigned integer");
+    need(
+        "mode",
+        &|x| matches!(x.as_str(), Some("exhaustive" | "sample")),
+        "'exhaustive' or 'sample'",
+    );
+    need(
+        "oracle_boundaries",
+        &|x| x.as_u64().is_some(),
+        "an unsigned integer",
+    );
+    need("strict_memory", &|x| matches!(x, Value::Bool(_)), "a bool");
+    need(
+        "injections",
+        &|x| x.as_u64().is_some(),
+        "an unsigned integer",
+    );
+    need(
+        "violation_count",
+        &|x| x.as_u64().is_some(),
+        "an unsigned integer",
+    );
+    match v.get("violations").and_then(Value::as_arr) {
+        None => errs.push("'violations' must be an array".into()),
+        Some(rows) => {
+            if v.get("violation_count").and_then(Value::as_u64) != Some(rows.len() as u64) {
+                errs.push("'violation_count' disagrees with 'violations' length".into());
+            }
+            for (i, row) in rows.iter().enumerate() {
+                for k in ["boundary", "kind", "detail"] {
+                    if row.get(k).is_none() {
+                        errs.push(format!("violations[{i}] missing '{k}'"));
+                    }
+                }
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn inputs() -> SweepInputs {
+        SweepInputs {
+            runtime: "Alpaca".into(),
+            app: "branch".into(),
+            seed: 7,
+            off_us: 100_000,
+            mode: "exhaustive".into(),
+            oracle_boundaries: 42,
+            strict_memory: false,
+            injections: 42,
+            violations: vec![SweepViolation {
+                boundary: 17,
+                kind: "single_redundant".into(),
+                detail: "probe_single_redundant = 1".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn built_report_round_trips_and_validates() {
+        let doc = build_sweep_report(&inputs());
+        let parsed = parse(&doc.to_pretty()).unwrap();
+        validate_sweep_report(&parsed).unwrap();
+        assert_eq!(
+            parsed.get("violation_count").and_then(Value::as_u64),
+            Some(1)
+        );
+        let rows = parsed.get("violations").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows[0].get("boundary").and_then(Value::as_u64), Some(17));
+        assert_eq!(
+            rows[0].get("kind").and_then(Value::as_str),
+            Some("single_redundant")
+        );
+    }
+
+    #[test]
+    fn validation_catches_missing_and_inconsistent_fields() {
+        let mut doc = build_sweep_report(&inputs());
+        // Corrupt the count so it disagrees with the array.
+        if let Value::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "violation_count" {
+                    *v = Value::u64(9);
+                }
+            }
+        }
+        let errs = validate_sweep_report(&doc).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("violation_count")),
+            "{errs:?}"
+        );
+
+        let errs = validate_sweep_report(&Value::Obj(vec![])).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("schema_version")));
+        assert!(errs.iter().any(|e| e.contains("violations")));
+    }
+}
