@@ -9,58 +9,46 @@
 
 use easeio_core::EaseIoRuntime;
 use kernel::footprint::{footprint, Footprint};
-use kernel::{alpaca::AlpacaRuntime, ink::InkRuntime, naive::NaiveRuntime};
 use kernel::{run_app, App, ExecConfig, Outcome, RunResult, Runtime, Verdict};
 use mcu_emu::{Mcu, Supply, TimerResetConfig};
 use periph::Peripherals;
+use std::sync::Arc;
 
-/// Which runtime an experiment uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RuntimeKind {
-    /// No privatization at all (didactic lower bound).
-    Naive,
-    /// Alpaca baseline.
-    Alpaca,
-    /// InK baseline.
-    Ink,
-    /// EaseIO.
-    EaseIo,
-    /// EaseIO with `Exclude`-annotated constant DMAs ("EaseIO/Op"). The
-    /// runtime is the same; callers must pair this with an app built with
-    /// `exclude_const_dma = true`.
-    EaseIoOp,
+pub use kernel::{KernelBuilder, KernelFactory, KernelKind};
+
+/// Which runtime an experiment uses — the kernel crate's [`KernelKind`],
+/// re-exported under its historical harness name.
+pub type RuntimeKind = KernelKind;
+
+/// The [`KernelFactory`] covering every kernel the repository ships: it
+/// constructs EaseIO (which lives upstream of the `kernel` crate) and lets
+/// the in-crate baselines fall through to [`KernelBuilder`]'s defaults.
+pub fn standard_factory() -> KernelFactory {
+    Arc::new(|kind| match kind {
+        KernelKind::EaseIo | KernelKind::EaseIoOp => {
+            Some(Box::new(EaseIoRuntime::default()) as Box<dyn Runtime>)
+        }
+        _ => None,
+    })
 }
 
-impl RuntimeKind {
-    /// Display name matching the paper's figures.
-    pub fn name(self) -> &'static str {
-        match self {
-            RuntimeKind::Naive => "Naive",
-            RuntimeKind::Alpaca => "Alpaca",
-            RuntimeKind::Ink => "InK",
-            RuntimeKind::EaseIo => "EaseIO",
-            RuntimeKind::EaseIoOp => "EaseIO/Op",
-        }
-    }
+/// A [`KernelBuilder`] for `kind` with the [`standard_factory`] installed:
+/// the one constructor every experiment, sweep, and engine worker uses.
+pub fn kernel_builder(kind: KernelKind) -> KernelBuilder {
+    KernelBuilder::new(kind).with_factory(standard_factory())
+}
 
-    /// Instantiates the runtime.
-    pub fn make(self) -> Box<dyn Runtime> {
-        match self {
-            RuntimeKind::Naive => Box::new(NaiveRuntime::new()),
-            RuntimeKind::Alpaca => Box::new(AlpacaRuntime::new()),
-            RuntimeKind::Ink => Box::new(InkRuntime::new()),
-            RuntimeKind::EaseIo | RuntimeKind::EaseIoOp => Box::new(EaseIoRuntime::default()),
-        }
-    }
+/// Convenience `kind.make()` method, preserved from the pre-builder API as
+/// an extension trait over [`KernelKind`].
+pub trait MakeRuntime {
+    /// Instantiates a fresh runtime via the standard [`KernelBuilder`].
+    fn make(self) -> Box<dyn Runtime>;
+}
 
-    /// Whether apps should be built with `exclude_const_dma`.
-    pub fn excludes_const_dma(self) -> bool {
-        self == RuntimeKind::EaseIoOp
+impl MakeRuntime for KernelKind {
+    fn make(self) -> Box<dyn Runtime> {
+        kernel_builder(self).build()
     }
-
-    /// The three runtimes the paper's figures compare.
-    pub const PAPER_SET: [RuntimeKind; 3] =
-        [RuntimeKind::Alpaca, RuntimeKind::Ink, RuntimeKind::EaseIo];
 }
 
 /// Repetition configuration for an experiment.

@@ -175,7 +175,7 @@ pub fn build(mcu: &mut Mcu, cfg: &MotionCfg) -> (App, NvVar<u32>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::RuntimeKind;
+    use crate::harness::{MakeRuntime, RuntimeKind};
     use kernel::{run_app, ExecConfig, Outcome};
     use mcu_emu::{Supply, TimerResetConfig};
     use periph::Peripherals;

@@ -33,7 +33,7 @@
 //!   that DMA — which addresses physical memory — cannot see; mixing the
 //!   two in one task is broken on *continuous* power under real InK too).
 
-use crate::harness::RuntimeKind;
+use crate::harness::{MakeRuntime, RuntimeKind};
 use kernel::{
     run_app, App, ExecConfig, Inventory, IoOp, Outcome, ReexecSemantics, TaskCtx, TaskDef, TaskId,
     TaskResult, Transition,

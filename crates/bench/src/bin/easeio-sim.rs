@@ -1,171 +1,174 @@
-//! easeio-sim — run any benchmark app under any runtime and supply.
+//! easeio-sim — run any benchmark app under any kernel and supply.
+//!
+//! Common options (accepted by every mode, parsed once into a `SimConfig`):
 //!
 //! ```text
-//! Usage: easeio-sim [OPTIONS]
 //!   --app <dma|temp|lea|fir|weather|weather-single|branch|motion>   (default dma)
-//!   --runtime <naive|alpaca|ink|easeio|easeio-op>            (default easeio)
-//!   --supply <continuous|timer|rf>                           (default timer)
-//!   --seed <u64>                                             (default 42)
-//!   --runs <u64>                                             (default 1)
-//!   --distance <inches>      RF supply distance              (default 61)
-//!   --trace                  print the event timeline (single run only)
+//!   --kernel <naive|alpaca|ink|easeio|easeio-op>   (default easeio; --runtime
+//!                                                   is an accepted alias)
+//!   --supply <continuous|timer|rf>                 (default timer)
+//!   --distance <inches>      RF supply distance    (default 61)
+//!   --seed <u64>             (default 42; sweep defaults to 7)
+//!   --runs <u64>             repetitions            (default 1)
+//!   --jobs <N>               worker threads for parallel modes (default 1)
 //!   --trace-out <path>       write the trace (.json Chrome, .jsonl lines)
-//!   --report <path>          write the machine-readable run report
-//!   --validate-report <path> check a report against the schema and exit
+//!   --report <path>          write the machine-readable report
+//!   --source <prog.eio>      compile an easec program instead of --app
 //! ```
 //!
+//! Run mode (no subcommand) adds `--trace` (print the timeline),
+//! `--validate-report <path>` (schema-check any report — run or sweep, v1 or
+//! v2 — and exit) and `--emit-transform` (print the easec transform of
+//! `--source`).
+//!
 //! Subcommand `sweep` runs the deterministic power-failure sweep from the
-//! `crashcheck` crate: a continuous-power oracle run enumerates every
-//! energy-spend boundary, then the same app is re-run with a single injected
-//! failure at each chosen boundary and checked against the oracle.
+//! `crashcheck` crate on the parallel engine: a continuous-power oracle run
+//! enumerates every energy-spend boundary, then the same app is re-run with
+//! a single injected failure at each chosen boundary and checked against the
+//! oracle. The result is byte-identical at any `--jobs` width.
 //!
 //! ```text
-//! Usage: easeio-sim sweep [OPTIONS]
-//!   --app <name>             app to sweep                      (default dma)
-//!   --runtime <name>         runtime under test                (default easeio)
+//! Usage: easeio-sim sweep [COMMON OPTIONS] [OPTIONS]
 //!   --exhaustive             inject at every boundary          (default)
 //!   --sample <N>             inject at N seeded-random boundaries
-//!   --seed <u64>             env + sampling seed               (default 7)
 //!   --off-us <us>            outage length per injection       (default 100000)
 //!   --strict-memory          force byte-exact FRAM compare (auto for
 //!                            deterministic apps: dma, fir, lea)
-//!   --report <path>          write the machine-readable sweep report
+//!   --all-apps               sweep every built-in app in sequence
+//!   --bench-out <path>       write BENCH_sweep.json (wall-clock, throughput,
+//!                            per-app breakdown)
 //!   --allow-violations       exit 0 even if violations are found
 //!   --expect-violations      exit 1 only if NO violation is found
 //! ```
+//!
+//! Subcommand `grid` fans a kernel × supply-point experiment matrix (the
+//! Fig. 12/13 axes) across the worker pool:
+//!
+//! ```text
+//! Usage: easeio-sim grid [COMMON OPTIONS] [OPTIONS]
+//!   --kernels <a,b,c>        kernels to compare   (default alpaca,ink,easeio)
+//!   --distances <d1,d2,..>   RF distances in inches (default 52,55,58,61,64)
+//!   --on-times <m1,m2,..>    timer mean on-periods in ms (default none)
+//! ```
 
-use apps::harness::{golden, measure_footprint, run_once, run_traced, RuntimeKind};
-use apps::{dma_app, fir, lea_app, motion, temp_app, unsafe_branch, weather};
-use crashcheck::{sweep, SweepConfig, SweepMode};
-use easeio_bench::experiments::rf_supply;
+use apps::harness::{golden, measure_footprint, run_traced, RuntimeKind};
+use crashcheck::{SweepMode, SweepOutcome, SweepPlan};
+use easeio_exec::{parallel_sweep, run_grid, AppSpec, GridSpec, SimConfig, SupplySpec, APP_NAMES};
 use easeio_trace::{
     build_profile, build_report, build_sweep_report, chrome_trace, jsonl, parse_json,
-    validate_report, validate_sweep_report, Event, EventKind, InstantKind, ReportInputs, SpanKind,
-    SweepInputs, SweepViolation, Value,
+    validate_any_report, Event, EventKind, InstantKind, ReportInputs, SpanKind, SweepInputs,
+    SweepTimingDoc, SweepViolation, Value,
 };
-use kernel::{App, Outcome, Verdict};
-use mcu_emu::{Mcu, Supply, TimerResetConfig};
+use kernel::{Outcome, Verdict};
+use mcu_emu::{Mcu, Supply};
 
-struct Args {
+/// The one flag set shared by every mode. Parsed once; each subcommand adds
+/// its own extras on top. `--runtime` is kept as an alias for `--kernel`.
+struct CommonOpts {
     app: String,
-    runtime: String,
+    source: Option<String>,
+    kernel: String,
     supply: String,
-    seed: u64,
-    runs: u64,
     distance: u64,
+    seed: Option<u64>,
+    runs: u64,
+    jobs: usize,
     trace: bool,
     trace_out: Option<String>,
     report: Option<String>,
-    validate: Option<String>,
-    source: Option<String>,
-    emit_transform: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        app: "dma".into(),
-        runtime: "easeio".into(),
-        supply: "timer".into(),
-        seed: 42,
-        runs: 1,
-        distance: 61,
-        trace: false,
-        trace_out: None,
-        report: None,
-        validate: None,
-        source: None,
-        emit_transform: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
-        match flag.as_str() {
-            "--app" => args.app = val("--app")?,
-            "--runtime" => args.runtime = val("--runtime")?,
-            "--supply" => args.supply = val("--supply")?,
-            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
-            "--runs" => args.runs = val("--runs")?.parse().map_err(|e| format!("{e}"))?,
-            "--distance" => {
-                args.distance = val("--distance")?.parse().map_err(|e| format!("{e}"))?
-            }
-            "--trace" => args.trace = true,
-            "--trace-out" => args.trace_out = Some(val("--trace-out")?),
-            "--report" => args.report = Some(val("--report")?),
-            "--validate-report" => args.validate = Some(val("--validate-report")?),
-            "--source" => args.source = Some(val("--source")?),
-            "--emit-transform" => args.emit_transform = true,
-            "--help" | "-h" => return Err("help".into()),
-            other => return Err(format!("unknown flag {other}")),
+impl CommonOpts {
+    fn new() -> Self {
+        Self {
+            app: "dma".into(),
+            source: None,
+            kernel: "easeio".into(),
+            supply: "timer".into(),
+            distance: 61,
+            seed: None,
+            runs: 1,
+            jobs: 1,
+            trace: false,
+            trace_out: None,
+            report: None,
         }
     }
-    Ok(args)
-}
 
-fn build_app(args: &Args, exclude: bool, mcu: &mut Mcu) -> Result<App, String> {
-    if let Some(path) = &args.source {
-        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let compiled = easec::compile(&src, mcu).map_err(|e| format!("{path}: {e}"))?;
-        return Ok(compiled.app);
+    /// Consumes `flag` if it is a common option. Returns whether it was.
+    fn accept(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag {
+            "--app" => self.app = val("--app")?,
+            "--source" => self.source = Some(val("--source")?),
+            "--kernel" => self.kernel = val("--kernel")?,
+            "--runtime" => self.kernel = val("--runtime")?,
+            "--supply" => self.supply = val("--supply")?,
+            "--distance" => self.distance = parse_num(&val("--distance")?)?,
+            "--seed" => self.seed = Some(parse_num(&val("--seed")?)?),
+            "--runs" => self.runs = parse_num(&val("--runs")?)?,
+            "--jobs" => self.jobs = parse_num::<usize>(&val("--jobs")?)?.max(1),
+            "--trace" => self.trace = true,
+            "--trace-out" => self.trace_out = Some(val("--trace-out")?),
+            "--report" => self.report = Some(val("--report")?),
+            _ => return Ok(false),
+        }
+        Ok(true)
     }
-    let name = args.app.as_str();
-    Ok(match name {
-        "dma" => dma_app::build(mcu, &dma_app::DmaAppCfg::default()),
-        "temp" => temp_app::build(mcu, &temp_app::TempAppCfg::default()),
-        "lea" => lea_app::build(mcu, &lea_app::LeaAppCfg::default()),
-        "fir" => fir::build(
-            mcu,
-            &fir::FirCfg {
-                exclude_const_dma: exclude,
-                ..fir::FirCfg::default()
-            },
-        ),
-        "weather" => weather::build(
-            mcu,
-            &weather::WeatherCfg {
-                exclude_const_dma: exclude,
-                ..weather::WeatherCfg::default()
-            },
-        ),
-        "weather-single" => weather::build(
-            mcu,
-            &weather::WeatherCfg {
-                single_buffer: true,
-                exclude_const_dma: exclude,
-                ..weather::WeatherCfg::default()
-            },
-        ),
-        "branch" => unsafe_branch::build(mcu, &unsafe_branch::BranchCfg::default()).0,
-        "motion" => motion::build(mcu, &motion::MotionCfg::default()).0,
-        other => return Err(format!("unknown app {other}")),
-    })
-}
 
-fn runtime_kind(name: &str) -> Result<RuntimeKind, String> {
-    Ok(match name {
-        "naive" => RuntimeKind::Naive,
-        "alpaca" => RuntimeKind::Alpaca,
-        "ink" => RuntimeKind::Ink,
-        "easeio" => RuntimeKind::EaseIo,
-        "easeio-op" => RuntimeKind::EaseIoOp,
-        other => return Err(format!("unknown runtime {other}")),
-    })
-}
-
-fn make_supply(name: &str, seed: u64, distance: u64) -> Result<Supply, String> {
-    Ok(match name {
-        "continuous" => Supply::continuous(),
-        "timer" => Supply::timer(TimerResetConfig::default(), seed),
-        "rf" => rf_supply(distance),
-        other => return Err(format!("unknown supply {other}")),
-    })
-}
-
-fn supply_value(args: &Args) -> Value {
-    let mut fields = vec![("kind".to_string(), Value::str(args.supply.clone()))];
-    if args.supply == "rf" {
-        fields.push(("distance_in".into(), Value::u64(args.distance)));
+    /// Resolves the parsed strings into a `SimConfig`. `default_seed` lets
+    /// modes keep their historical defaults (run: 42, sweep: 7).
+    fn into_sim(self, default_seed: u64) -> Result<SimConfig, String> {
+        let kernel = RuntimeKind::parse(&self.kernel)?;
+        let supply = SupplySpec::parse(&self.supply, self.distance)?;
+        let app = match &self.source {
+            Some(path) => AppSpec::Source(path.clone()),
+            None => AppSpec::Named(self.app.clone()),
+        };
+        Ok(SimConfig {
+            app,
+            kernel,
+            supply,
+            seed: self.seed.unwrap_or(default_seed),
+            runs: self.runs,
+            jobs: self.jobs,
+            trace_out: self.trace_out,
+            report_out: self.report,
+        })
     }
-    Value::Obj(fields)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("{e}"))
+}
+
+fn parse_list(s: &str) -> Result<Vec<u64>, String> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(parse_num)
+        .collect()
+}
+
+fn supply_value(supply: SupplySpec) -> Value {
+    match supply {
+        SupplySpec::Continuous => Value::Obj(vec![("kind".into(), Value::str("continuous"))]),
+        SupplySpec::Timer => Value::Obj(vec![("kind".into(), Value::str("timer"))]),
+        SupplySpec::TimerOnMs(on_ms) => Value::Obj(vec![
+            ("kind".into(), Value::str("timer")),
+            ("on_ms".into(), Value::u64(on_ms)),
+        ]),
+        SupplySpec::Rf(d) => Value::Obj(vec![
+            ("kind".into(), Value::str("rf")),
+            ("distance_in".into(), Value::u64(d)),
+        ]),
+    }
 }
 
 fn print_trace(events: &[Event], dropped: u64) {
@@ -210,56 +213,140 @@ fn write_or_die(path: &str, contents: &str, what: &str) {
     }
 }
 
-/// Apps whose final memory is a pure function of the seed: no sensed
-/// environment values reach application state, so byte-exact comparison
-/// against the continuous-power oracle is sound.
-fn deterministic_app(name: &str) -> bool {
-    matches!(name, "dma" | "fir" | "lea")
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
 }
 
+// ---------------------------------------------------------------- sweep --
+
 struct SweepArgs {
-    app: String,
-    runtime: String,
-    seed: u64,
+    sim: SimConfig,
     off_us: u64,
     sample: Option<u64>,
     strict_memory: bool,
-    report: Option<String>,
+    all_apps: bool,
+    bench_out: Option<String>,
     allow_violations: bool,
     expect_violations: bool,
 }
 
 fn parse_sweep_args() -> Result<SweepArgs, String> {
-    let mut args = SweepArgs {
-        app: "dma".into(),
-        runtime: "easeio".into(),
-        seed: 7,
-        off_us: 100_000,
-        sample: None,
-        strict_memory: false,
-        report: None,
-        allow_violations: false,
-        expect_violations: false,
-    };
+    let mut common = CommonOpts::new();
+    let mut off_us = 100_000;
+    let mut sample = None;
+    let mut strict_memory = false;
+    let mut all_apps = false;
+    let mut bench_out = None;
+    let mut allow_violations = false;
+    let mut expect_violations = false;
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
+        if common.accept(&flag, &mut it)? {
+            continue;
+        }
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
-            "--app" => args.app = val("--app")?,
-            "--runtime" => args.runtime = val("--runtime")?,
-            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
-            "--off-us" => args.off_us = val("--off-us")?.parse().map_err(|e| format!("{e}"))?,
-            "--exhaustive" => args.sample = None,
-            "--sample" => args.sample = Some(val("--sample")?.parse().map_err(|e| format!("{e}"))?),
-            "--strict-memory" => args.strict_memory = true,
-            "--report" => args.report = Some(val("--report")?),
-            "--allow-violations" => args.allow_violations = true,
-            "--expect-violations" => args.expect_violations = true,
+            "--off-us" => off_us = parse_num(&val("--off-us")?)?,
+            "--exhaustive" => sample = None,
+            "--sample" => sample = Some(parse_num(&val("--sample")?)?),
+            "--strict-memory" => strict_memory = true,
+            "--all-apps" => all_apps = true,
+            "--bench-out" => bench_out = Some(val("--bench-out")?),
+            "--allow-violations" => allow_violations = true,
+            "--expect-violations" => expect_violations = true,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown sweep flag {other}")),
         }
     }
-    Ok(args)
+    Ok(SweepArgs {
+        sim: common.into_sim(7)?,
+        off_us,
+        sample,
+        strict_memory,
+        all_apps,
+        bench_out,
+        allow_violations,
+        expect_violations,
+    })
+}
+
+/// One app's sweep, run through the parallel engine at `jobs` workers.
+fn sweep_one(
+    sim: &SimConfig,
+    app: &AppSpec,
+    plan: &SweepPlan,
+    jobs: usize,
+) -> (SweepOutcome, easeio_exec::SweepTiming) {
+    // Probe build: surface app/source errors before committing to a sweep.
+    {
+        let mut probe = Mcu::new(Supply::continuous());
+        if let Err(e) = app.build(sim.kernel.excludes_const_dma(), &mut probe) {
+            die(&e);
+        }
+    }
+    let build = |m: &mut Mcu| app.build(sim.kernel.excludes_const_dma(), m).unwrap();
+    parallel_sweep(&build, sim.kernel, plan, jobs)
+}
+
+/// The engine's determinism contract, checked at run time: identical
+/// boundary bookkeeping and identical violations in identical order.
+fn outcomes_diverge(a: &SweepOutcome, b: &SweepOutcome) -> Option<String> {
+    if a.oracle_boundaries != b.oracle_boundaries || a.injections != b.injections {
+        return Some(format!(
+            "boundary bookkeeping diverged: {}/{} vs {}/{} (oracle/injections)",
+            a.oracle_boundaries, a.injections, b.oracle_boundaries, b.injections
+        ));
+    }
+    if a.violations.len() != b.violations.len() {
+        return Some(format!(
+            "violation count diverged: {} vs {}",
+            a.violations.len(),
+            b.violations.len()
+        ));
+    }
+    for (x, y) in a.violations.iter().zip(&b.violations) {
+        if x.boundary != y.boundary || x.kind != y.kind || x.detail != y.detail {
+            return Some(format!(
+                "violation diverged at boundary {} vs {}: {:?} vs {:?}",
+                x.boundary, y.boundary, x.kind, y.kind
+            ));
+        }
+    }
+    None
+}
+
+fn sweep_report_inputs(
+    out: &SweepOutcome,
+    plan: &SweepPlan,
+    timing: &easeio_exec::SweepTiming,
+) -> SweepInputs {
+    SweepInputs {
+        runtime: out.runtime.into(),
+        app: out.app.into(),
+        seed: plan.seed,
+        off_us: plan.off_us,
+        mode: plan.mode.name().into(),
+        oracle_boundaries: out.oracle_boundaries,
+        strict_memory: plan.strict_memory,
+        injections: out.injections,
+        violations: out
+            .violations
+            .iter()
+            .map(|v| SweepViolation {
+                boundary: v.boundary,
+                kind: v.kind.name().into(),
+                detail: v.detail.clone(),
+            })
+            .collect(),
+        timing: Some(SweepTimingDoc {
+            jobs: timing.jobs as u64,
+            wall_us: timing.wall_us,
+            injections_per_sec_milli: timing.injections_per_sec_milli,
+            injections_per_worker: timing.injections_per_worker.clone(),
+            busy_us_per_worker: timing.busy_us_per_worker.clone(),
+        }),
+    }
 }
 
 fn sweep_main() -> ! {
@@ -270,123 +357,367 @@ fn sweep_main() -> ! {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: easeio-sim sweep [--app dma|temp|lea|fir|weather|weather-single|branch|motion]\n\
-                 \x20                       [--runtime naive|alpaca|ink|easeio|easeio-op]\n\
+                "usage: easeio-sim sweep [--app NAME | --all-apps] [--kernel NAME] [--jobs N]\n\
                  \x20                       [--exhaustive | --sample N] [--seed N] [--off-us US]\n\
                  \x20                       [--strict-memory] [--report FILE.json]\n\
+                 \x20                       [--bench-out BENCH_sweep.json]\n\
                  \x20                       [--allow-violations] [--expect-violations]"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
     };
-    let kind = runtime_kind(&args.runtime).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2)
-    });
-    let single_args = Args {
-        app: args.app.clone(),
-        runtime: args.runtime.clone(),
-        supply: "continuous".into(),
-        seed: args.seed,
-        runs: 1,
-        distance: 61,
-        trace: false,
-        trace_out: None,
-        report: None,
-        validate: None,
-        source: None,
-        emit_transform: false,
-    };
-    // Probe build: surface app errors before the sweep.
-    {
-        let mut probe = Mcu::new(Supply::continuous());
-        if let Err(e) = build_app(&single_args, kind.excludes_const_dma(), &mut probe) {
-            eprintln!("error: {e}");
-            std::process::exit(2);
+    let sim = &args.sim;
+    let apps: Vec<AppSpec> = if args.all_apps {
+        if sim.report_out.is_some() {
+            die("--report is per-app; use --bench-out with --all-apps");
         }
-    }
-    let build = |m: &mut Mcu| build_app(&single_args, kind.excludes_const_dma(), m).unwrap();
-    let cfg = SweepConfig {
-        mode: match args.sample {
-            Some(n) => SweepMode::Sample(n),
-            None => SweepMode::Exhaustive,
-        },
-        seed: args.seed,
-        off_us: args.off_us,
-        strict_memory: args.strict_memory || deterministic_app(&args.app),
+        APP_NAMES
+            .iter()
+            .map(|n| AppSpec::Named((*n).into()))
+            .collect()
+    } else {
+        vec![sim.app.clone()]
     };
-    let out = sweep(&build, kind, args.seed, &cfg);
-    println!(
-        "sweep: {} under {} — {} boundaries, {} injections ({}), seed {}, outage {} µs{}",
-        out.app,
-        out.runtime,
-        out.oracle_boundaries,
-        out.injections,
-        cfg.mode.name(),
-        args.seed,
-        args.off_us,
-        if cfg.strict_memory {
-            ", strict memory"
-        } else {
-            ""
-        }
-    );
-    for v in &out.violations {
-        println!(
-            "  boundary {:>6}: {} — {}",
-            v.boundary,
-            v.kind.name(),
-            v.detail
-        );
-    }
-    println!(
-        "sweep result: {} violation(s) in {} injection(s)",
-        out.violations.len(),
-        out.injections
-    );
-    if let Some(path) = &args.report {
-        let inputs = SweepInputs {
-            runtime: out.runtime.into(),
-            app: out.app.into(),
-            seed: args.seed,
+
+    let mode = match args.sample {
+        Some(n) => SweepMode::Sample(n),
+        None => SweepMode::Exhaustive,
+    };
+    // With --bench-out and --jobs > 1, every sweep also runs serially: the
+    // serial pass is the divergence gate (parallel must merge to the exact
+    // same outcome) and the honest speedup baseline in the bench document.
+    let record_serial = args.bench_out.is_some() && sim.jobs > 1;
+    let mut total_violations = 0u64;
+    let mut total_injections = 0u64;
+    let mut total_wall_us = 0u64;
+    let mut total_serial_wall_us = 0u64;
+    let mut per_app = Vec::new();
+    for app in &apps {
+        let plan = SweepPlan {
+            mode,
+            seed: sim.seed,
             off_us: args.off_us,
-            mode: cfg.mode.name().into(),
-            oracle_boundaries: out.oracle_boundaries,
-            strict_memory: cfg.strict_memory,
-            injections: out.injections,
-            violations: out
-                .violations
-                .iter()
-                .map(|v| SweepViolation {
-                    boundary: v.boundary,
-                    kind: v.kind.name().into(),
-                    detail: v.detail.clone(),
-                })
-                .collect(),
+            strict_memory: args.strict_memory || app.is_deterministic(),
+            env_seed: sim.seed,
         };
-        let mut doc = build_sweep_report(&inputs).to_pretty();
-        doc.push('\n');
-        write_or_die(path, &doc, "sweep report");
-        println!("sweep report written to {path}");
+        let (out, timing) = sweep_one(sim, app, &plan, sim.jobs);
+        let serial_wall_us = if record_serial {
+            let (serial_out, serial_timing) = sweep_one(sim, app, &plan, 1);
+            if let Some(why) = outcomes_diverge(&serial_out, &out) {
+                eprintln!(
+                    "error: serial and --jobs {} sweeps of {} diverged: {why}",
+                    sim.jobs,
+                    app.label()
+                );
+                std::process::exit(1);
+            }
+            total_serial_wall_us += serial_timing.wall_us;
+            Some(serial_timing.wall_us)
+        } else {
+            None
+        };
+        println!(
+            "sweep: {} under {} — {} boundaries, {} injections ({}), seed {}, outage {} µs{}, \
+             {} job(s), {:.2} ms wall ({} inj/s)",
+            out.app,
+            out.runtime,
+            out.oracle_boundaries,
+            out.injections,
+            plan.mode.name(),
+            plan.seed,
+            plan.off_us,
+            if plan.strict_memory {
+                ", strict memory"
+            } else {
+                ""
+            },
+            timing.jobs,
+            timing.wall_us as f64 / 1000.0,
+            timing.injections_per_sec_milli / 1000,
+        );
+        for v in &out.violations {
+            println!(
+                "  boundary {:>6}: {} — {}",
+                v.boundary,
+                v.kind.name(),
+                v.detail
+            );
+        }
+        println!(
+            "sweep result: {} violation(s) in {} injection(s)",
+            out.violations.len(),
+            out.injections
+        );
+        if let Some(path) = &sim.report_out {
+            let inputs = sweep_report_inputs(&out, &plan, &timing);
+            let mut doc = build_sweep_report(&inputs).to_pretty();
+            doc.push('\n');
+            write_or_die(path, &doc, "sweep report");
+            println!("sweep report written to {path}");
+        }
+        total_violations += out.violations.len() as u64;
+        total_injections += out.injections;
+        total_wall_us += timing.wall_us;
+        let mut entry = vec![
+            ("app".into(), Value::str(out.app)),
+            ("runtime".into(), Value::str(out.runtime)),
+            ("injections".into(), Value::u64(out.injections)),
+            ("violations".into(), Value::u64(out.violations.len() as u64)),
+            ("wall_us".into(), Value::u64(timing.wall_us)),
+            (
+                "injections_per_sec_milli".into(),
+                Value::u64(timing.injections_per_sec_milli),
+            ),
+        ];
+        if let Some(serial) = serial_wall_us {
+            entry.push(("serial_wall_us".into(), Value::u64(serial)));
+            entry.push((
+                "speedup_milli".into(),
+                Value::u64((serial * 1000).checked_div(timing.wall_us).unwrap_or(0)),
+            ));
+        }
+        per_app.push(Value::Obj(entry));
     }
+
+    if let Some(path) = &args.bench_out {
+        let mut fields = vec![
+            ("tool".into(), Value::str("easeio-sim sweep")),
+            ("jobs".into(), Value::u64(sim.jobs as u64)),
+            ("mode".into(), Value::str(mode.name())),
+            ("seed".into(), Value::u64(sim.seed)),
+            ("injections".into(), Value::u64(total_injections)),
+            ("violations".into(), Value::u64(total_violations)),
+            ("wall_us".into(), Value::u64(total_wall_us)),
+            (
+                "injections_per_sec_milli".into(),
+                Value::u64(
+                    (total_injections * 1_000_000_000)
+                        .checked_div(total_wall_us)
+                        .unwrap_or(0),
+                ),
+            ),
+        ];
+        if record_serial {
+            fields.push(("serial_wall_us".into(), Value::u64(total_serial_wall_us)));
+            fields.push((
+                "speedup_milli".into(),
+                Value::u64(
+                    (total_serial_wall_us * 1000)
+                        .checked_div(total_wall_us)
+                        .unwrap_or(0),
+                ),
+            ));
+            println!(
+                "sweep bench: --jobs {} is {:.2}x serial ({:.1} ms vs {:.1} ms)",
+                sim.jobs,
+                total_serial_wall_us as f64 / total_wall_us.max(1) as f64,
+                total_wall_us as f64 / 1000.0,
+                total_serial_wall_us as f64 / 1000.0
+            );
+        }
+        fields.push(("apps".into(), Value::Arr(per_app)));
+        let doc = Value::Obj(fields);
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        write_or_die(path, &text, "sweep bench");
+        println!("sweep bench written to {path}");
+    }
+
     if args.expect_violations {
-        if out.is_clean() {
+        if total_violations == 0 {
             eprintln!("error: expected violations, found none");
             std::process::exit(1);
         }
         std::process::exit(0);
     }
-    if !out.is_clean() && !args.allow_violations {
+    if total_violations > 0 && !args.allow_violations {
         std::process::exit(1);
     }
     std::process::exit(0);
 }
 
-fn main() {
-    if std::env::args().nth(1).as_deref() == Some("sweep") {
-        sweep_main();
+// ----------------------------------------------------------------- grid --
+
+struct GridArgs {
+    sim: SimConfig,
+    spec: GridSpec,
+}
+
+fn parse_grid_args() -> Result<GridArgs, String> {
+    let mut common = CommonOpts::new();
+    let mut kernels: Option<Vec<RuntimeKind>> = None;
+    let mut distances: Option<Vec<u64>> = None;
+    let mut on_times: Vec<u64> = vec![];
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        if common.accept(&flag, &mut it)? {
+            continue;
+        }
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--kernels" => {
+                kernels = Some(
+                    val("--kernels")?
+                        .split(',')
+                        .filter(|p| !p.is_empty())
+                        .map(RuntimeKind::parse)
+                        .collect::<Result<_, _>>()?,
+                )
+            }
+            "--distances" => distances = Some(parse_list(&val("--distances")?)?),
+            "--on-times" => on_times = parse_list(&val("--on-times")?)?,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown grid flag {other}")),
+        }
     }
-    let args = match parse_args() {
+    let runs = common.runs.max(1);
+    let sim = common.into_sim(77)?;
+    let mut spec = GridSpec {
+        runs,
+        seed: sim.seed,
+        ..GridSpec::default()
+    };
+    if let Some(k) = kernels {
+        spec.kernels = k;
+    }
+    if let Some(d) = distances {
+        spec.distances_inch = d;
+    }
+    if !on_times.is_empty() {
+        spec.on_times_ms = on_times;
+    }
+    Ok(GridArgs { sim, spec })
+}
+
+fn grid_main() -> ! {
+    let args = match parse_grid_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: easeio-sim grid [--app NAME] [--kernels a,b,c] [--distances d1,d2,..]\n\
+                 \x20                      [--on-times m1,m2,..] [--runs N] [--seed N] [--jobs N]\n\
+                 \x20                      [--report FILE.json]"
+            );
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    };
+    let sim = &args.sim;
+    // Probe build once (grid apps must build under every kernel the same).
+    {
+        let mut probe = Mcu::new(Supply::continuous());
+        if let Err(e) = sim.app.build(false, &mut probe) {
+            die(&e);
+        }
+    }
+    let app = &sim.app;
+    let builder = |kind: RuntimeKind, m: &mut Mcu| app.build(kind.excludes_const_dma(), m).unwrap();
+    let (cells, stats) = run_grid(&builder, &args.spec, sim.jobs);
+    println!(
+        "grid: {} — {} cells × {} run(s), {} job(s), {:.2} ms wall",
+        app.label(),
+        cells.len(),
+        args.spec.runs,
+        stats.jobs,
+        stats.wall_us as f64 / 1000.0
+    );
+    println!(
+        "{:<8} {:<12} {:>9} {:>8} {:>12} {:>12} {:>9}",
+        "kernel", "supply", "completed", "correct", "mean_wall_ms", "mean_on_ms", "failures"
+    );
+    for c in &cells {
+        println!(
+            "{:<8} {:<12} {:>9} {:>8} {:>12.2} {:>12.2} {:>9}",
+            c.kernel,
+            c.supply,
+            c.completed,
+            c.correct,
+            c.mean_wall_us as f64 / 1000.0,
+            c.mean_on_us as f64 / 1000.0,
+            c.mean_failures
+        );
+    }
+    if let Some(path) = &sim.report_out {
+        let rows = cells
+            .iter()
+            .map(|c| {
+                Value::Obj(vec![
+                    ("kernel".into(), Value::str(c.kernel)),
+                    ("supply".into(), Value::str(c.supply.clone())),
+                    ("completed".into(), Value::u64(c.completed)),
+                    ("correct".into(), Value::u64(c.correct)),
+                    ("mean_wall_us".into(), Value::u64(c.mean_wall_us)),
+                    ("mean_on_us".into(), Value::u64(c.mean_on_us)),
+                    ("mean_failures".into(), Value::u64(c.mean_failures)),
+                ])
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            ("tool".into(), Value::str("easeio-sim grid")),
+            ("app".into(), Value::str(app.label().to_string())),
+            ("runs".into(), Value::u64(args.spec.runs)),
+            ("seed".into(), Value::u64(args.spec.seed)),
+            ("cells".into(), Value::Arr(rows)),
+            (
+                "timing".into(),
+                Value::Obj(vec![
+                    ("jobs".into(), Value::u64(stats.jobs as u64)),
+                    ("wall_us".into(), Value::u64(stats.wall_us)),
+                ]),
+            ),
+        ]);
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        write_or_die(path, &text, "grid report");
+        println!("grid report written to {path}");
+    }
+    std::process::exit(0);
+}
+
+// ------------------------------------------------------------------ run --
+
+struct RunArgs {
+    sim: SimConfig,
+    trace: bool,
+    validate: Option<String>,
+    emit_transform: bool,
+}
+
+fn parse_run_args() -> Result<RunArgs, String> {
+    let mut common = CommonOpts::new();
+    let mut validate = None;
+    let mut emit_transform = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if common.accept(&flag, &mut it)? {
+            continue;
+        }
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--validate-report" => validate = Some(val("--validate-report")?),
+            "--emit-transform" => emit_transform = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let trace = common.trace;
+    Ok(RunArgs {
+        sim: common.into_sim(42)?,
+        trace,
+        validate,
+        emit_transform,
+    })
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("sweep") => sweep_main(),
+        Some("grid") => grid_main(),
+        _ => {}
+    }
+    let args = match parse_run_args() {
         Ok(a) => a,
         Err(e) => {
             if e != "help" {
@@ -394,17 +725,21 @@ fn main() {
             }
             eprintln!(
                 "usage: easeio-sim [--app dma|temp|lea|fir|weather|weather-single|branch|motion]\n\
-                 \x20                 [--runtime naive|alpaca|ink|easeio|easeio-op]\n\
+                 \x20                 [--kernel naive|alpaca|ink|easeio|easeio-op]\n\
                  \x20                 [--supply continuous|timer|rf] [--seed N] [--runs N]\n\
                  \x20                 [--distance INCHES] [--trace] [--trace-out FILE.json|.jsonl]\n\
                  \x20                 [--report FILE.json] [--validate-report FILE.json]\n\
-                 \x20                 [--source prog.eio [--emit-transform]]"
+                 \x20                 [--source prog.eio [--emit-transform]]\n\
+                 \x20      easeio-sim sweep --help\n\
+                 \x20      easeio-sim grid --help"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
     };
+    let sim = &args.sim;
 
-    // Standalone schema check: no simulation at all.
+    // Standalone schema check: no simulation at all. Accepts v1 and v2
+    // documents of either kind through the single validator entry point.
     if let Some(path) = &args.validate {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("error: {path}: {e}");
@@ -414,19 +749,13 @@ fn main() {
             eprintln!("error: {path}: invalid JSON: {e}");
             std::process::exit(1)
         });
-        let is_sweep = doc.get("tool").and_then(Value::as_str) == Some("easeio-sim sweep");
-        let result = if is_sweep {
-            validate_sweep_report(&doc)
-        } else {
-            validate_report(&doc)
-        };
-        match result {
-            Ok(()) => {
-                println!(
-                    "{path}: valid {} report (schema v{})",
-                    if is_sweep { "sweep" } else { "run" },
-                    easeio_trace::SCHEMA_VERSION
-                );
+        match validate_any_report(&doc) {
+            Ok(kind) => {
+                let version = doc
+                    .get("schema_version")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                println!("{path}: valid {} report (schema v{version})", kind.label());
                 return;
             }
             Err(errs) => {
@@ -439,15 +768,9 @@ fn main() {
         }
     }
 
-    let kind = runtime_kind(&args.runtime).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2)
-    });
-
     if args.emit_transform {
-        let Some(path) = &args.source else {
-            eprintln!("error: --emit-transform needs --source");
-            std::process::exit(2);
+        let AppSpec::Source(path) = &sim.app else {
+            die("--emit-transform needs --source");
         };
         let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("error: {path}: {e}");
@@ -465,32 +788,27 @@ fn main() {
         }
     }
 
-    let single = args.trace || args.trace_out.is_some() || args.report.is_some() || args.runs == 1;
+    let kind = sim.kernel;
+    let single = args.trace || sim.trace_out.is_some() || sim.report_out.is_some() || sim.runs == 1;
     if single {
         // Single traced run.
-        let supply = make_supply(&args.supply, args.seed, args.distance).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2)
-        });
+        let supply = sim.supply.make(sim.seed);
         // Probe build: surfaces app/source errors before committing to a run.
         let app_name = {
             let mut probe = Mcu::new(Supply::continuous());
-            match build_app(&args, kind.excludes_const_dma(), &mut probe) {
+            match sim.build_app(&mut probe) {
                 Ok(app) => app.name,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(2)
-                }
+                Err(e) => die(&e),
             }
         };
-        let build = |m: &mut Mcu| build_app(&args, kind.excludes_const_dma(), m).unwrap();
-        let r = run_traced(&build, kind, supply, args.seed);
+        let build = |m: &mut Mcu| sim.build_app(m).unwrap();
+        let r = run_traced(&build, kind, supply, sim.seed);
         println!(
             "{} under {} on {} supply (seed {})",
             app_name,
             kind.name(),
-            args.supply,
-            args.seed
+            sim.supply.label(),
+            sim.seed
         );
         println!("  outcome:        {:?}", r.outcome);
         if let Some(v) = &r.verdict {
@@ -525,7 +843,7 @@ fn main() {
 
         // Wasted work against a continuous-power golden run of the same
         // app/runtime, for the one-line summary and the report.
-        let (golden_us, golden_nj) = golden(&build, kind, args.seed);
+        let (golden_us, golden_nj) = golden(&build, kind, sim.seed);
         let wasted_us = r.stats.app_time_us.saturating_sub(golden_us);
         let wasted_pct = if r.stats.app_time_us > 0 {
             wasted_us as f64 * 100.0 / r.stats.app_time_us as f64
@@ -544,7 +862,7 @@ fn main() {
         if args.trace {
             print_trace(&r.events, r.events_dropped);
         }
-        if let Some(path) = &args.trace_out {
+        if let Some(path) = &sim.trace_out {
             let contents = if path.ends_with(".jsonl") {
                 jsonl(&r.events)
             } else {
@@ -556,14 +874,14 @@ fn main() {
             write_or_die(path, &contents, "trace");
             println!("trace written to {path} ({} events)", r.events.len());
         }
-        if let Some(path) = &args.report {
+        if let Some(path) = &sim.report_out {
             let profile = build_profile(&r.events);
-            let fp = measure_footprint(&build, kind, args.seed);
+            let fp = measure_footprint(&build, kind, sim.seed);
             let inputs = ReportInputs {
                 runtime: kind.name().into(),
                 app: app_name.into(),
-                supply: supply_value(&args),
-                seed: args.seed,
+                supply: supply_value(sim.supply),
+                seed: sim.seed,
                 outcome: match r.outcome {
                     Outcome::Completed => "completed".into(),
                     Outcome::NonTermination => "non_termination".into(),
@@ -614,11 +932,11 @@ fn main() {
     let mut io_executed = 0u64;
     let mut io_skipped = 0u64;
     let mut app_us = 0u64;
-    for i in 0..args.runs {
-        let seed = args.seed + i;
-        let supply = make_supply(&args.supply, seed, args.distance).unwrap();
-        let b = |m: &mut Mcu| build_app(&args, kind.excludes_const_dma(), m).unwrap();
-        let r = run_once(&b, kind, supply, seed);
+    for i in 0..sim.runs {
+        let seed = sim.seed + i;
+        let supply = sim.supply_for_run(i);
+        let b = |m: &mut Mcu| sim.build_app(m).unwrap();
+        let r = apps::harness::run_once(&b, kind, supply, seed);
         if r.outcome == Outcome::Completed {
             completed += 1;
             total_on += r.stats.total_time_us();
@@ -634,18 +952,18 @@ fn main() {
     }
     println!(
         "{} × {} under {}: {}/{} completed, {}/{} correct, mean {:.2} ms, {:.2} failures/run",
-        args.runs,
-        args.app,
+        sim.runs,
+        sim.app.label(),
         kind.name(),
         completed,
-        args.runs,
+        sim.runs,
         correct,
         completed,
         total_on as f64 / completed.max(1) as f64 / 1000.0,
         failures as f64 / completed.max(1) as f64,
     );
-    let b = |m: &mut Mcu| build_app(&args, kind.excludes_const_dma(), m).unwrap();
-    let (golden_us, _) = golden(&b, kind, args.seed);
+    let b = |m: &mut Mcu| sim.build_app(m).unwrap();
+    let (golden_us, _) = golden(&b, kind, sim.seed);
     let wasted = app_us.saturating_sub(golden_us * completed);
     let wasted_pct = if app_us > 0 {
         wasted as f64 * 100.0 / app_us as f64

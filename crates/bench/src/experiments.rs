@@ -12,7 +12,7 @@ use apps::temp_app::{self, TempAppCfg};
 use apps::weather::{self, WeatherCfg};
 use kernel::footprint::Footprint;
 use kernel::{App, Outcome};
-use mcu_emu::{Capacitor, Mcu, RfHarvestConfig, Supply, TimerResetConfig};
+use mcu_emu::{Mcu, Supply, TimerResetConfig};
 
 /// A boxed application builder.
 pub type Builder = Box<dyn Fn(&mut Mcu) -> App>;
@@ -199,28 +199,10 @@ pub fn table6() -> Vec<Table6Row> {
     rows
 }
 
-/// The RF-harvesting supply of the real-world evaluation (§5.5): a 3 W
-/// transmitter at 915 MHz charging a small storage capacitor, with the
-/// combined antenna/rectifier gain calibrated so the no-failure /
-/// intermittent crossover falls inside the paper's 52–64 inch sweep.
-pub fn rf_supply(distance_inch: u64) -> Supply {
-    rf_supply_phased(distance_inch, 0)
-}
-
-/// [`rf_supply`] with an explicit fading-wave phase: different phases give
-/// independent-looking (but fully deterministic) harvesting trajectories.
-pub fn rf_supply_phased(distance_inch: u64, phase_us: u64) -> Supply {
-    Supply::harvester(RfHarvestConfig {
-        tx_power_mw: 3_000,
-        distance_centi_inch: distance_inch * 100,
-        efficiency_ppm: 1_500_000,
-        capacitor: Capacitor::with_usable_energy(4_500),
-        boot_us: 300,
-        fading_permille: 180,
-        fading_period_us: 23_000,
-        fading_phase_us: phase_us,
-    })
-}
+// The RF-harvesting supply now lives in the execution engine (it is a
+// grid axis there); re-exported so every existing bench import keeps
+// working.
+pub use easeio_exec::supply::{rf_supply, rf_supply_phased};
 
 /// One Figure 13 row.
 #[derive(Debug, Clone)]

@@ -27,13 +27,14 @@
 //! Exhaustive below a threshold; above it, boundaries are sampled without
 //! replacement from a seeded [`StdRng`].
 
-use apps::harness::RuntimeKind;
+use apps::harness::{MakeRuntime, RuntimeKind};
 use kernel::{run_app, App, ExecConfig, Outcome, Verdict};
 use mcu_emu::{AllocTag, Mcu, McuSnapshot, Region, Supply};
 use periph::Peripherals;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// How boundaries are chosen from `0..oracle_boundaries`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,9 +56,11 @@ impl SweepMode {
     }
 }
 
-/// Sweep parameters.
+/// Everything a sweep needs beyond (app, kernel): one plain struct shared
+/// by the serial loop, the parallel engine, and the CLI, replacing the old
+/// bool-and-scalar parameter tails.
 #[derive(Debug, Clone)]
-pub struct SweepConfig {
+pub struct SweepPlan {
     /// Boundary-selection mode.
     pub mode: SweepMode,
     /// Seed for boundary sampling (and recorded for reproduction).
@@ -70,18 +73,35 @@ pub struct SweepConfig {
     /// Only sound for deterministic apps: anything sensing a drifting
     /// environment legitimately diverges after an outage.
     pub strict_memory: bool,
+    /// Environment seed every run (oracle and injected) shares.
+    pub env_seed: u64,
 }
 
-impl Default for SweepConfig {
+impl Default for SweepPlan {
     fn default() -> Self {
         Self {
             mode: SweepMode::Exhaustive,
             seed: 7,
             off_us: 100_000,
             strict_memory: false,
+            env_seed: 7,
         }
     }
 }
+
+impl SweepPlan {
+    /// A default plan with its environment seed set — the common literal.
+    pub fn with_env_seed(env_seed: u64) -> Self {
+        Self {
+            env_seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Former name of [`SweepPlan`] (minus `env_seed`), kept as an alias so the
+/// pre-plan spelling keeps compiling.
+pub type SweepConfig = SweepPlan;
 
 /// Classes of invariant violations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,8 +158,8 @@ pub struct SweepOutcome {
     pub app: &'static str,
     /// Environment seed every run shared.
     pub env_seed: u64,
-    /// The configuration the sweep ran with.
-    pub config: SweepConfig,
+    /// The plan the sweep ran with.
+    pub config: SweepPlan,
     /// Energy-spend boundaries counted in the oracle run.
     pub oracle_boundaries: u64,
     /// Injection runs performed.
@@ -155,8 +175,10 @@ impl SweepOutcome {
     }
 }
 
-/// Boundaries to inject at, in increasing order.
-fn select_boundaries(total: u64, mode: SweepMode, seed: u64) -> Vec<u64> {
+/// Boundaries to inject at, in increasing order. Public so schedulers (the
+/// parallel engine partitions this list into batches) select exactly the
+/// set the serial sweep would.
+pub fn select_boundaries(total: u64, mode: SweepMode, seed: u64) -> Vec<u64> {
     match mode {
         SweepMode::Sample(n) if n < total => {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -171,7 +193,7 @@ fn select_boundaries(total: u64, mode: SweepMode, seed: u64) -> Vec<u64> {
 }
 
 /// Final contents of all app-tagged FRAM allocations, in allocation order.
-fn app_fram(mcu: &Mcu) -> Vec<u8> {
+pub fn app_fram(mcu: &Mcu) -> Vec<u8> {
     let mut bytes = Vec::new();
     for (addr, len) in mcu.mem.tagged_ranges(Region::Fram, AllocTag::App) {
         bytes.extend_from_slice(mcu.mem.read_bytes(addr, len));
@@ -179,19 +201,29 @@ fn app_fram(mcu: &Mcu) -> Vec<u8> {
     bytes
 }
 
-struct RunRecord {
-    outcome: Outcome,
-    verdict: Option<Verdict>,
-    boundaries: u64,
-    single_redundant: u64,
-    timely_stale: u64,
-    commit_overpriced: u64,
-    fram: Vec<u8>,
+/// Everything the invariant checks need from one run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// How the executor finished.
+    pub outcome: Outcome,
+    /// The app's self-check verdict, if it completed.
+    pub verdict: Option<Verdict>,
+    /// Energy-spend boundaries crossed.
+    pub boundaries: u64,
+    /// `probe_single_redundant` counter.
+    pub single_redundant: u64,
+    /// `probe_timely_stale` counter.
+    pub timely_stale: u64,
+    /// `probe_commit_overpriced` counter.
+    pub commit_overpriced: u64,
+    /// Final app-tagged FRAM bytes.
+    pub fram: Vec<u8>,
 }
 
 /// One run from the snapshot under `supply`: fresh peripherals, fresh
-/// runtime, restored machine — identical initial state every time.
-fn run_from(
+/// runtime, restored machine — identical initial state every time. Public
+/// so the parallel engine's workers replay exactly the serial recipe.
+pub fn run_from(
     app: &App,
     kind: RuntimeKind,
     mcu: &mut Mcu,
@@ -215,103 +247,154 @@ fn run_from(
     }
 }
 
-/// Runs the sweep: one continuous-power oracle run, then one injected run
-/// per selected boundary, checking the invariants above.
-pub fn sweep(
+/// The shared prefix of every sweep: the post-construction machine snapshot
+/// and the continuous-power oracle record. The snapshot is an `Arc` under
+/// the hood and `oracle_fram` is `Arc`-wrapped here, so cloning a
+/// `SweepOracle` to N worker threads shares the 256 KB FRAM image instead
+/// of copying it per worker.
+#[derive(Clone)]
+pub struct SweepOracle {
+    /// Machine state right after app construction (allocator cursors
+    /// included, so rebuilt apps land at identical addresses).
+    pub snapshot: McuSnapshot,
+    /// Energy-spend boundaries the oracle run crossed.
+    pub boundaries: u64,
+    /// App-tagged FRAM at oracle completion, for `strict_memory` compares.
+    pub fram: Arc<Vec<u8>>,
+    /// App display name.
+    pub app: &'static str,
+}
+
+/// Builds the app once, snapshots the machine, and runs the
+/// continuous-power oracle. Panics if the oracle does not complete — a
+/// sweep of an app that cannot finish on wall power is meaningless.
+pub fn prepare_oracle(
     builder: &dyn Fn(&mut Mcu) -> App,
     kind: RuntimeKind,
     env_seed: u64,
-    cfg: &SweepConfig,
-) -> SweepOutcome {
+) -> SweepOracle {
     let mut mcu = Mcu::new(Supply::continuous());
     let app = builder(&mut mcu);
     let snap = mcu.snapshot();
-
     let oracle = run_from(&app, kind, &mut mcu, &snap, Supply::continuous(), env_seed);
     assert_eq!(
         oracle.outcome,
         Outcome::Completed,
         "oracle run must complete on continuous power"
     );
-    let total = oracle.boundaries;
+    SweepOracle {
+        snapshot: snap,
+        boundaries: oracle.boundaries,
+        fram: Arc::new(oracle.fram),
+        app: app.name,
+    }
+}
 
+/// Checks one injected run against every invariant, returning the
+/// violations for `boundary` in deterministic order. This is the single
+/// judgement function — serial sweep and parallel engine both call it, so
+/// their reports cannot drift apart.
+pub fn check_record(
+    r: &RunRecord,
+    oracle_fram: &[u8],
+    boundary: u64,
+    strict_memory: bool,
+) -> Vec<Violation> {
     let mut violations = Vec::new();
-    let chosen = select_boundaries(total, cfg.mode, cfg.seed);
+    let mut report = |kind: ViolationKind, detail: String| {
+        violations.push(Violation {
+            boundary,
+            kind,
+            detail,
+        });
+    };
+    match &r.outcome {
+        Outcome::Completed => {}
+        Outcome::NonTermination => {
+            report(
+                ViolationKind::NotCompleted,
+                "hit the non-termination guard".into(),
+            );
+            return violations;
+        }
+        Outcome::Fault(e) => {
+            report(ViolationKind::Fault, e.to_string());
+            return violations;
+        }
+    }
+    if let Some(Verdict::Incorrect(why)) = &r.verdict {
+        report(ViolationKind::WrongVerdict, why.clone());
+    }
+    if r.single_redundant > 0 {
+        report(
+            ViolationKind::SingleRedundant,
+            format!("probe_single_redundant = {}", r.single_redundant),
+        );
+    }
+    if r.timely_stale > 0 {
+        report(
+            ViolationKind::TimelyStale,
+            format!("probe_timely_stale = {}", r.timely_stale),
+        );
+    }
+    if r.commit_overpriced > 0 {
+        report(
+            ViolationKind::CommitOverpriced,
+            format!("probe_commit_overpriced = {}", r.commit_overpriced),
+        );
+    }
+    if strict_memory && r.fram != oracle_fram {
+        let first = r
+            .fram
+            .iter()
+            .zip(oracle_fram)
+            .position(|(a, b)| a != b)
+            .unwrap_or(oracle_fram.len().min(r.fram.len()));
+        report(
+            ViolationKind::MemoryDivergence,
+            format!(
+                "app FRAM diverges from the oracle at byte {first} of {}",
+                oracle_fram.len()
+            ),
+        );
+    }
+    violations
+}
+
+/// Runs the sweep serially: one continuous-power oracle run, then one
+/// injected run per selected boundary, checking the invariants above.
+pub fn sweep(
+    builder: &dyn Fn(&mut Mcu) -> App,
+    kind: RuntimeKind,
+    plan: &SweepPlan,
+) -> SweepOutcome {
+    let mut mcu = Mcu::new(Supply::continuous());
+    let app = builder(&mut mcu);
+    let oracle = prepare_oracle(builder, kind, plan.env_seed);
+    // Adopt the oracle's snapshot (full copy once, then page-wise CoW).
+    mcu.restore(&oracle.snapshot);
+
+    let chosen = select_boundaries(oracle.boundaries, plan.mode, plan.seed);
     let injections = chosen.len() as u64;
+    let mut violations = Vec::new();
     for b in chosen {
         let r = run_from(
             &app,
             kind,
             &mut mcu,
-            &snap,
-            Supply::injected(b, cfg.off_us),
-            env_seed,
+            &oracle.snapshot,
+            Supply::injected(b, plan.off_us),
+            plan.env_seed,
         );
-        let mut report = |kind: ViolationKind, detail: String| {
-            violations.push(Violation {
-                boundary: b,
-                kind,
-                detail,
-            });
-        };
-        match &r.outcome {
-            Outcome::Completed => {}
-            Outcome::NonTermination => {
-                report(
-                    ViolationKind::NotCompleted,
-                    "hit the non-termination guard".into(),
-                );
-                continue;
-            }
-            Outcome::Fault(e) => {
-                report(ViolationKind::Fault, e.to_string());
-                continue;
-            }
-        }
-        if let Some(Verdict::Incorrect(why)) = &r.verdict {
-            report(ViolationKind::WrongVerdict, why.clone());
-        }
-        if r.single_redundant > 0 {
-            report(
-                ViolationKind::SingleRedundant,
-                format!("probe_single_redundant = {}", r.single_redundant),
-            );
-        }
-        if r.timely_stale > 0 {
-            report(
-                ViolationKind::TimelyStale,
-                format!("probe_timely_stale = {}", r.timely_stale),
-            );
-        }
-        if r.commit_overpriced > 0 {
-            report(
-                ViolationKind::CommitOverpriced,
-                format!("probe_commit_overpriced = {}", r.commit_overpriced),
-            );
-        }
-        if cfg.strict_memory && r.fram != oracle.fram {
-            let first = r
-                .fram
-                .iter()
-                .zip(&oracle.fram)
-                .position(|(a, b)| a != b)
-                .unwrap_or(oracle.fram.len().min(r.fram.len()));
-            report(
-                ViolationKind::MemoryDivergence,
-                format!(
-                    "app FRAM diverges from the oracle at byte {first} of {}",
-                    oracle.fram.len()
-                ),
-            );
-        }
+        violations.extend(check_record(&r, &oracle.fram, b, plan.strict_memory));
     }
 
     SweepOutcome {
         runtime: kind.name(),
-        app: app.name,
-        env_seed,
-        config: cfg.clone(),
-        oracle_boundaries: total,
+        app: oracle.app,
+        env_seed: plan.env_seed,
+        config: plan.clone(),
+        oracle_boundaries: oracle.boundaries,
         injections,
         violations,
     }
@@ -340,10 +423,9 @@ mod tests {
         let out = sweep(
             &small_dma,
             RuntimeKind::EaseIo,
-            5,
-            &SweepConfig {
+            &SweepPlan {
                 strict_memory: true,
-                ..SweepConfig::default()
+                ..SweepPlan::with_env_seed(5)
             },
         );
         assert!(out.oracle_boundaries > 0, "a non-trivial boundary space");
@@ -366,8 +448,7 @@ mod tests {
         let out = sweep(
             &|m: &mut Mcu| motion::build(m, &motion::MotionCfg::default()).0,
             RuntimeKind::EaseIo,
-            7,
-            &SweepConfig::default(),
+            &SweepPlan::with_env_seed(7),
         );
         assert!(out.oracle_boundaries > 0);
         assert!(
@@ -385,10 +466,9 @@ mod tests {
         let out = sweep(
             &small_dma,
             RuntimeKind::Naive,
-            5,
-            &SweepConfig {
+            &SweepPlan {
                 strict_memory: true,
-                ..SweepConfig::default()
+                ..SweepPlan::with_env_seed(5)
             },
         );
         assert!(
@@ -407,10 +487,9 @@ mod tests {
         let out = sweep(
             &build,
             RuntimeKind::Alpaca,
-            11,
-            &SweepConfig {
+            &SweepPlan {
                 off_us: 2_000_000,
-                ..SweepConfig::default()
+                ..SweepPlan::with_env_seed(11)
             },
         );
         assert!(
@@ -425,10 +504,9 @@ mod tests {
         let clean = sweep(
             &build,
             RuntimeKind::EaseIo,
-            11,
-            &SweepConfig {
+            &SweepPlan {
                 off_us: 2_000_000,
-                ..SweepConfig::default()
+                ..SweepPlan::with_env_seed(11)
             },
         );
         assert!(clean.is_clean(), "{:?}", clean.violations);
@@ -450,13 +528,13 @@ mod tests {
 
     #[test]
     fn violations_are_reproducible_from_seed_and_boundary() {
-        let cfg = SweepConfig {
+        let plan = SweepPlan {
             strict_memory: true,
             mode: SweepMode::Sample(40),
-            ..SweepConfig::default()
+            ..SweepPlan::with_env_seed(5)
         };
-        let a = sweep(&small_dma, RuntimeKind::Naive, 5, &cfg);
-        let b = sweep(&small_dma, RuntimeKind::Naive, 5, &cfg);
+        let a = sweep(&small_dma, RuntimeKind::Naive, &plan);
+        let b = sweep(&small_dma, RuntimeKind::Naive, &plan);
         assert_eq!(a.violations.len(), b.violations.len());
         for (x, y) in a.violations.iter().zip(&b.violations) {
             assert_eq!(x.boundary, y.boundary);

@@ -1,0 +1,249 @@
+//! The single construction surface for a simulation: what app, which
+//! kernel, what power, which seeds, where outputs go.
+//!
+//! Before `SimConfig`, every entry point re-derived these from its own flag
+//! set: the run path, the sweep path, and the aggregate path of
+//! `easeio-sim` each parsed app/runtime/supply/seed separately and plumbed
+//! them as loose scalars. A `SimConfig` is parsed once, travels as one
+//! value, and every consumer — serial runs, the crash sweep, the parallel
+//! engine's workers, the experiment grid — builds apps and kernels from it
+//! the same way.
+
+use apps::harness::{kernel_builder, KernelBuilder, KernelKind};
+use apps::{dma_app, fir, lea_app, motion, temp_app, unsafe_branch, weather};
+use kernel::App;
+use mcu_emu::{Mcu, Supply, TimerResetConfig};
+
+use crate::supply::{rf_supply, timer_supply_with_mean_on};
+
+/// Which application to build. `Named` covers the paper's eight benchmark
+/// apps; `Source` compiles an `easec` program from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppSpec {
+    /// One of the built-in benchmark apps, by CLI name.
+    Named(String),
+    /// An `easec` source file.
+    Source(String),
+}
+
+/// CLI names of the built-in benchmark apps, in canonical report order —
+/// the full EaseIO evaluation matrix.
+pub const APP_NAMES: [&str; 8] = [
+    "dma",
+    "temp",
+    "lea",
+    "fir",
+    "weather",
+    "weather-single",
+    "branch",
+    "motion",
+];
+
+impl AppSpec {
+    /// Builds the app on `mcu`. `exclude` selects the `Exclude`-annotated
+    /// constant-DMA variant where the app has one (the EaseIO/Op pairing).
+    pub fn build(&self, exclude: bool, mcu: &mut Mcu) -> Result<App, String> {
+        let name = match self {
+            AppSpec::Source(path) => {
+                let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let compiled = easec::compile(&src, mcu).map_err(|e| format!("{path}: {e}"))?;
+                return Ok(compiled.app);
+            }
+            AppSpec::Named(name) => name.as_str(),
+        };
+        Ok(match name {
+            "dma" => dma_app::build(mcu, &dma_app::DmaAppCfg::default()),
+            "temp" => temp_app::build(mcu, &temp_app::TempAppCfg::default()),
+            "lea" => lea_app::build(mcu, &lea_app::LeaAppCfg::default()),
+            "fir" => fir::build(
+                mcu,
+                &fir::FirCfg {
+                    exclude_const_dma: exclude,
+                    ..fir::FirCfg::default()
+                },
+            ),
+            "weather" => weather::build(
+                mcu,
+                &weather::WeatherCfg {
+                    exclude_const_dma: exclude,
+                    ..weather::WeatherCfg::default()
+                },
+            ),
+            "weather-single" => weather::build(
+                mcu,
+                &weather::WeatherCfg {
+                    single_buffer: true,
+                    exclude_const_dma: exclude,
+                    ..weather::WeatherCfg::default()
+                },
+            ),
+            "branch" => unsafe_branch::build(mcu, &unsafe_branch::BranchCfg::default()).0,
+            "motion" => motion::build(mcu, &motion::MotionCfg::default()).0,
+            other => return Err(format!("unknown app {other}")),
+        })
+    }
+
+    /// Whether the app's final memory is a pure function of the seed: no
+    /// sensed environment values reach application state, so byte-exact
+    /// comparison against the continuous-power oracle is sound.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, AppSpec::Named(n) if matches!(n.as_str(), "dma" | "fir" | "lea"))
+    }
+
+    /// Display label: the app name, or the source path.
+    pub fn label(&self) -> &str {
+        match self {
+            AppSpec::Named(n) => n,
+            AppSpec::Source(p) => p,
+        }
+    }
+}
+
+/// Which power supply drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupplySpec {
+    /// Continuous wall power.
+    Continuous,
+    /// The default randomized on/off timer schedule.
+    Timer,
+    /// A timer schedule with mean on-period `on_ms` milliseconds (the
+    /// grid's failure-intensity axis).
+    TimerOnMs(u64),
+    /// The RF harvester at `distance_inch` inches from the transmitter.
+    Rf(u64),
+}
+
+impl SupplySpec {
+    /// Parses a CLI `--supply` value (`continuous|timer|rf`; `rf` takes its
+    /// distance separately).
+    pub fn parse(name: &str, distance_inch: u64) -> Result<Self, String> {
+        Ok(match name {
+            "continuous" => SupplySpec::Continuous,
+            "timer" => SupplySpec::Timer,
+            "rf" => SupplySpec::Rf(distance_inch),
+            other => return Err(format!("unknown supply {other}")),
+        })
+    }
+
+    /// Instantiates the supply for one run.
+    pub fn make(self, seed: u64) -> Supply {
+        match self {
+            SupplySpec::Continuous => Supply::continuous(),
+            SupplySpec::Timer => Supply::timer(TimerResetConfig::default(), seed),
+            SupplySpec::TimerOnMs(on_ms) => timer_supply_with_mean_on(on_ms, seed),
+            SupplySpec::Rf(distance) => rf_supply(distance),
+        }
+    }
+
+    /// Compact label for reports ("timer", "rf:58", "timer:15ms", …).
+    pub fn label(self) -> String {
+        match self {
+            SupplySpec::Continuous => "continuous".into(),
+            SupplySpec::Timer => "timer".into(),
+            SupplySpec::TimerOnMs(on_ms) => format!("timer:{on_ms}ms"),
+            SupplySpec::Rf(d) => format!("rf:{d}"),
+        }
+    }
+}
+
+/// One simulation, fully specified: parsed once at the CLI (or constructed
+/// directly in tests/benches) and consumed everywhere.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// What application runs.
+    pub app: AppSpec,
+    /// Which kernel runs it.
+    pub kernel: KernelKind,
+    /// What power drives it.
+    pub supply: SupplySpec,
+    /// Base seed: environment, supply schedule, and boundary sampling all
+    /// derive from it.
+    pub seed: u64,
+    /// Repetitions for aggregate modes (seed advances per run).
+    pub runs: u64,
+    /// Worker threads for the parallel engine (1 = serial).
+    pub jobs: usize,
+    /// Where to write the event trace, if anywhere.
+    pub trace_out: Option<String>,
+    /// Where to write the machine-readable report, if anywhere.
+    pub report_out: Option<String>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            app: AppSpec::Named("dma".into()),
+            kernel: KernelKind::EaseIo,
+            supply: SupplySpec::Timer,
+            seed: 42,
+            runs: 1,
+            jobs: 1,
+            trace_out: None,
+            report_out: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The kernel builder for this config, standard factory installed.
+    pub fn kernel_builder(&self) -> KernelBuilder {
+        kernel_builder(self.kernel)
+    }
+
+    /// Builds the configured app on `mcu`, applying the kernel's
+    /// `Exclude`-variant pairing automatically.
+    pub fn build_app(&self, mcu: &mut Mcu) -> Result<App, String> {
+        self.app.build(self.kernel.excludes_const_dma(), mcu)
+    }
+
+    /// The supply for run `i` of an aggregate (seed advances per run).
+    pub fn supply_for_run(&self, i: u64) -> Supply {
+        self.supply.make(self.seed + i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_app_builds() {
+        for name in APP_NAMES {
+            let spec = AppSpec::Named(name.into());
+            let mut mcu = Mcu::new(Supply::continuous());
+            let app = spec.build(false, &mut mcu).expect(name);
+            assert!(!app.tasks.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn deterministic_set_matches_the_strict_memory_contract() {
+        let det: Vec<&str> = APP_NAMES
+            .iter()
+            .copied()
+            .filter(|n| AppSpec::Named((*n).into()).is_deterministic())
+            .collect();
+        assert_eq!(det, ["dma", "lea", "fir"]);
+    }
+
+    #[test]
+    fn config_builds_kernel_and_app_consistently() {
+        let cfg = SimConfig {
+            kernel: KernelKind::EaseIoOp,
+            app: AppSpec::Named("fir".into()),
+            ..SimConfig::default()
+        };
+        let rt = cfg.kernel_builder().build();
+        assert_eq!(rt.name(), "EaseIO");
+        let mut mcu = Mcu::new(Supply::continuous());
+        cfg.build_app(&mut mcu).unwrap();
+    }
+
+    #[test]
+    fn supply_labels_are_stable() {
+        assert_eq!(SupplySpec::Rf(58).label(), "rf:58");
+        assert_eq!(SupplySpec::TimerOnMs(15).label(), "timer:15ms");
+        assert_eq!(SupplySpec::parse("timer", 61), Ok(SupplySpec::Timer));
+        assert!(SupplySpec::parse("solar", 61).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! The parallel crash-consistency sweep.
+//!
+//! [`parallel_sweep`] produces a [`SweepOutcome`] byte-identical to
+//! `crashcheck::sweep` at any `--jobs` width. The argument:
+//!
+//! * **Same boundary set.** The coordinator runs `prepare_oracle` once and
+//!   selects boundaries with the same `select_boundaries(total, mode,
+//!   seed)` call the serial sweep makes — worker count never enters the
+//!   selection.
+//! * **Same per-boundary run.** Every injected run starts from the shared
+//!   post-construction snapshot via `crashcheck::run_from`: restored
+//!   machine, fresh peripherals seeded from `env_seed`, fresh kernel. A
+//!   run's record is a function of (snapshot, boundary, plan) alone.
+//!   Workers build their own `App` on their own machine — task bodies are
+//!   `Rc` closures and cannot cross threads — but the allocator cursors in
+//!   the snapshot are deterministic, so every worker's app binds identical
+//!   addresses.
+//! * **Same judgement.** Violations come from the shared
+//!   `crashcheck::check_record`, boundary by boundary.
+//! * **Canonical merge.** Batches are contiguous chunks of the (sorted)
+//!   boundary list and the pool returns batch results in batch order, so
+//!   concatenating them reproduces the serial loop's violation order
+//!   exactly.
+//!
+//! Fan-out is cheap because the snapshot is an `Arc` around a
+//! copy-on-write image: a worker's first restore adopts it with one full
+//! copy, and every restore after that copies only the pages the previous
+//! run dirtied (see `mcu_emu::memory`).
+
+use apps::harness::RuntimeKind;
+use crashcheck::{
+    check_record, prepare_oracle, run_from, select_boundaries, SweepOutcome, SweepPlan, Violation,
+};
+use kernel::App;
+use mcu_emu::{Mcu, Supply};
+
+use crate::pool::{run_indexed, PoolStats};
+
+/// How the sweep spent its host time — reported next to the outcome but
+/// never part of outcome identity (timing varies run to run; results may
+/// not).
+#[derive(Debug, Clone)]
+pub struct SweepTiming {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Host wall-clock µs for the injection phase (oracle excluded).
+    pub wall_us: u64,
+    /// Injected runs per second of host time, ×1000 (integer so reports
+    /// stay float-free).
+    pub injections_per_sec_milli: u64,
+    /// Injected runs completed by each worker.
+    pub injections_per_worker: Vec<u64>,
+    /// Busy µs of each worker.
+    pub busy_us_per_worker: Vec<u64>,
+}
+
+impl SweepTiming {
+    fn from_pool(stats: &PoolStats, batches: &[Vec<u64>], injections: u64) -> Self {
+        // The pool works in batches; expand each worker's batch indices
+        // back to exact boundary counts.
+        let injections_per_worker = stats
+            .indices_per_worker
+            .iter()
+            .map(|idxs| idxs.iter().map(|&i| batches[i].len() as u64).sum())
+            .collect();
+        Self {
+            jobs: stats.jobs,
+            wall_us: stats.wall_us,
+            injections_per_sec_milli: (injections * 1_000_000_000)
+                .checked_div(stats.wall_us)
+                .unwrap_or(0),
+            injections_per_worker,
+            busy_us_per_worker: stats.busy_us_per_worker.clone(),
+        }
+    }
+}
+
+/// Contiguous batches of roughly `per_batch` boundaries, preserving order.
+/// Batching amortizes the pool's atomic cursor and keeps each worker on a
+/// warm machine image for a stretch of nearby boundaries.
+fn batch(boundaries: Vec<u64>, per_batch: usize) -> Vec<Vec<u64>> {
+    let per_batch = per_batch.max(1);
+    boundaries.chunks(per_batch).map(|c| c.to_vec()).collect()
+}
+
+/// Runs the crash sweep across `jobs` workers. Returns the outcome —
+/// byte-identical to `crashcheck::sweep(builder, kind, plan)` — plus the
+/// host-side timing.
+pub fn parallel_sweep(
+    builder: &(dyn Fn(&mut Mcu) -> App + Sync),
+    kind: RuntimeKind,
+    plan: &SweepPlan,
+    jobs: usize,
+) -> (SweepOutcome, SweepTiming) {
+    let oracle = prepare_oracle(builder, kind, plan.env_seed);
+    let chosen = select_boundaries(oracle.boundaries, plan.mode, plan.seed);
+    let injections = chosen.len() as u64;
+
+    // ~8 batches per worker balances cursor traffic against tail latency.
+    let per_batch = (chosen.len() / (jobs.max(1) * 8)).max(1);
+    let batches = batch(chosen, per_batch);
+
+    let (results, stats) = run_indexed(
+        jobs,
+        &batches,
+        || {
+            // Worker-local machine + app: built once, reused for every
+            // batch this worker takes. The first restore inside `run_from`
+            // adopts the shared snapshot; later restores are page-wise.
+            let mut mcu = Mcu::new(Supply::continuous());
+            let app = builder(&mut mcu);
+            (mcu, app)
+        },
+        |(mcu, app), _, boundaries: &Vec<u64>| {
+            let mut violations: Vec<Violation> = Vec::new();
+            for &b in boundaries {
+                let r = run_from(
+                    app,
+                    kind,
+                    mcu,
+                    &oracle.snapshot,
+                    Supply::injected(b, plan.off_us),
+                    plan.env_seed,
+                );
+                violations.extend(check_record(&r, &oracle.fram, b, plan.strict_memory));
+            }
+            violations
+        },
+    );
+
+    let timing = SweepTiming::from_pool(&stats, &batches, injections);
+    let outcome = SweepOutcome {
+        runtime: kind.name(),
+        app: oracle.app,
+        env_seed: plan.env_seed,
+        config: plan.clone(),
+        oracle_boundaries: oracle.boundaries,
+        injections,
+        violations: results.into_iter().flatten().collect(),
+    };
+    (outcome, timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::dma_app;
+    use crashcheck::{sweep, SweepMode};
+
+    fn small_dma(m: &mut Mcu) -> App {
+        dma_app::build(
+            m,
+            &dma_app::DmaAppCfg {
+                bytes: 256,
+                chunks: 3,
+                iterations: 1,
+                pre_compute: 200,
+                post_compute: 200,
+            },
+        )
+    }
+
+    fn outcomes_equal(a: &SweepOutcome, b: &SweepOutcome) {
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.app, b.app);
+        assert_eq!(a.oracle_boundaries, b.oracle_boundaries);
+        assert_eq!(a.injections, b.injections);
+        assert_eq!(a.violations.len(), b.violations.len());
+        for (x, y) in a.violations.iter().zip(&b.violations) {
+            assert_eq!(x.boundary, y.boundary);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.detail, y.detail);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_violations_present() {
+        // Naive on the DMA app violates at many boundaries — the violation
+        // *order* is the sensitive part of the merge.
+        let plan = SweepPlan {
+            strict_memory: true,
+            ..SweepPlan::with_env_seed(5)
+        };
+        let serial = sweep(&small_dma, RuntimeKind::Naive, &plan);
+        for jobs in [1, 3, 4] {
+            let (parallel, timing) = parallel_sweep(&small_dma, RuntimeKind::Naive, &plan, jobs);
+            outcomes_equal(&serial, &parallel);
+            assert_eq!(timing.jobs, jobs.min(timing.jobs.max(1)));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_a_clean_sweep() {
+        let plan = SweepPlan {
+            mode: SweepMode::Sample(60),
+            strict_memory: true,
+            ..SweepPlan::with_env_seed(5)
+        };
+        let serial = sweep(&small_dma, RuntimeKind::EaseIo, &plan);
+        let (parallel, _) = parallel_sweep(&small_dma, RuntimeKind::EaseIo, &plan, 4);
+        outcomes_equal(&serial, &parallel);
+        assert!(parallel.is_clean());
+    }
+}

@@ -21,6 +21,7 @@
 //! itself lives in the `easeio-core` crate.
 
 pub mod alpaca;
+pub mod builder;
 pub mod ctx;
 pub mod error;
 pub mod executor;
@@ -32,6 +33,7 @@ pub mod runtime;
 pub mod semantics;
 pub mod task;
 
+pub use builder::{KernelBuilder, KernelFactory, KernelKind};
 pub use ctx::TaskCtx;
 pub use error::{DmaError, Fault};
 pub use executor::{run_app, ExecConfig, Outcome, RunResult};

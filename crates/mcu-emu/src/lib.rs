@@ -26,7 +26,7 @@ pub use clock::Clock;
 pub use easeio_trace::TraceSink;
 pub use energy::{Capacitor, Cost, CostTable};
 pub use mcu::{Mcu, McuSnapshot, PowerFailure};
-pub use memory::{Addr, AllocRecord, AllocTag, Memory, Region};
+pub use memory::{Addr, AllocRecord, AllocTag, MemSnapshot, Memory, Region, PAGE_BYTES};
 pub use nvstore::{NvBuf, NvVar, RawVar, Scalar};
 pub use power::{RfHarvestConfig, Supply, TimerResetConfig};
 pub use stats::{RunStats, WorkKind};

@@ -10,7 +10,7 @@
 
 use crate::clock::Clock;
 use crate::energy::{Cost, CostTable};
-use crate::memory::Memory;
+use crate::memory::{MemSnapshot, Memory};
 use crate::nvstore::RawVar;
 use crate::power::Supply;
 use crate::stats::{RunStats, WorkKind};
@@ -185,32 +185,51 @@ impl Mcu {
     /// cursors, ledger, cost table) so a crash sweep can re-run the same
     /// program from an identical starting point. The supply is *not* part of
     /// the snapshot: each injection run installs its own.
-    pub fn snapshot(&self) -> McuSnapshot {
+    ///
+    /// The image is captured once and shared behind an `Arc`: cloning the
+    /// snapshot is a reference-count bump, and it is `Send + Sync`, so a
+    /// parallel sweep hands one image to every worker. Taking a snapshot
+    /// also re-bases this machine's dirty tracking, making subsequent
+    /// [`Mcu::restore`]s of the same snapshot copy-on-write: only pages
+    /// written since are copied back.
+    pub fn snapshot(&mut self) -> McuSnapshot {
         McuSnapshot {
-            clock: self.clock.clone(),
-            mem: self.mem.clone(),
-            stats: self.stats.clone(),
-            cost: self.cost.clone(),
+            inner: std::sync::Arc::new(SnapshotData {
+                clock: self.clock.clone(),
+                mem: self.mem.snapshot(),
+                stats: self.stats.clone(),
+                cost: self.cost.clone(),
+            }),
         }
     }
 
     /// Restores a snapshot taken with [`Mcu::snapshot`]. Restoring the
     /// allocator cursors guarantees that runtime allocations made after this
     /// point land at the same addresses as in every other run from the same
-    /// snapshot.
+    /// snapshot. Restoring the snapshot this machine is based on costs time
+    /// proportional to the bytes written since, not to the memory-map size;
+    /// restoring any other snapshot (e.g. one taken by a different machine,
+    /// as each sweep worker does with the shared image) falls back to one
+    /// full copy and is copy-on-write from then on.
     pub fn restore(&mut self, snap: &McuSnapshot) {
-        self.clock = snap.clock.clone();
-        self.mem = snap.mem.clone();
-        self.stats = snap.stats.clone();
-        self.cost = snap.cost.clone();
+        self.clock = snap.inner.clock.clone();
+        self.mem.restore(&snap.inner.mem);
+        self.stats = snap.inner.stats.clone();
+        self.cost = snap.inner.cost.clone();
     }
 }
 
-/// Full machine state captured by [`Mcu::snapshot`].
+/// Full machine state captured by [`Mcu::snapshot`]: a cheaply clonable,
+/// thread-shareable handle to one immutable image.
 #[derive(Debug, Clone)]
 pub struct McuSnapshot {
+    inner: std::sync::Arc<SnapshotData>,
+}
+
+#[derive(Debug)]
+struct SnapshotData {
     clock: Clock,
-    mem: Memory,
+    mem: MemSnapshot,
     stats: RunStats,
     cost: CostTable,
 }

@@ -89,7 +89,34 @@ pub struct AllocRecord {
     pub tag: AllocTag,
 }
 
+/// Granularity of copy-on-write dirty tracking: one bit per 4 KB page.
+/// FRAM (256 KB) is 64 pages — exactly one `u64` of dirty bits per region.
+pub const PAGE_BYTES: u32 = 4 * 1024;
+
+/// Globally unique snapshot identities, so [`Memory::restore`] can tell
+/// whether its dirty map is relative to the snapshot being restored (cheap
+/// page-wise copy) or to some other baseline (full copy required).
+static SNAPSHOT_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// An immutable byte-level image of the memory map, shared by every run
+/// restored from the same snapshot. Plain owned data: `Send + Sync`, so a
+/// parallel sweep can hand one image to every worker behind an `Arc`
+/// instead of deep-copying 264 KB per boundary.
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    id: u64,
+    fram: Vec<u8>,
+    sram: Vec<u8>,
+    lea_ram: Vec<u8>,
+    next: [u32; 3],
+    allocs: Vec<AllocRecord>,
+}
+
 /// The simulated memory: three byte arrays plus bump allocators.
+///
+/// Writes additionally mark 4 KB pages dirty relative to the last snapshot
+/// taken from this instance, which is what makes snapshot restore
+/// copy-on-write: restoring copies back only the pages written since.
 #[derive(Debug, Clone)]
 pub struct Memory {
     fram: Vec<u8>,
@@ -97,6 +124,10 @@ pub struct Memory {
     lea_ram: Vec<u8>,
     next: [u32; 3],
     allocs: Vec<AllocRecord>,
+    /// Identity of the snapshot the dirty map is relative to, if any.
+    base: Option<u64>,
+    /// One dirty bit per [`PAGE_BYTES`] page, per region.
+    dirty: [u64; 3],
 }
 
 impl Default for Memory {
@@ -114,6 +145,8 @@ impl Memory {
             lea_ram: vec![0; Region::LeaRam.size()],
             next: [0; 3],
             allocs: Vec::new(),
+            base: None,
+            dirty: [0; 3],
         }
     }
 
@@ -139,6 +172,24 @@ impl Memory {
             Region::Sram => &mut self.sram,
             Region::LeaRam => &mut self.lea_ram,
         }
+    }
+
+    /// Marks the pages covering `[offset, offset + len)` dirty.
+    fn mark_dirty(&mut self, region: Region, offset: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / PAGE_BYTES;
+        let last = (offset + len - 1) / PAGE_BYTES;
+        for page in first..=last {
+            self.dirty[Self::idx(region)] |= 1u64 << page;
+        }
+    }
+
+    /// Pages of `region` written since the last snapshot (one bit per
+    /// [`PAGE_BYTES`] page). Exposed for the copy-on-write property tests.
+    pub fn dirty_pages(&self, region: Region) -> u64 {
+        self.dirty[Self::idx(region)]
     }
 
     /// Bump-allocates `bytes` bytes in `region`, 2-byte aligned (the MSP430
@@ -204,6 +255,7 @@ impl Memory {
 
     /// Writes `data` starting at `addr`.
     pub fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+        self.mark_dirty(addr.region, addr.offset, data.len() as u32);
         let off = addr.offset as usize;
         let s = self.slab_mut(addr.region);
         s[off..off + data.len()].copy_from_slice(data);
@@ -227,8 +279,61 @@ impl Memory {
 
     /// Clears all volatile regions; called on reboot. FRAM persists.
     pub fn power_failure(&mut self) {
+        self.mark_dirty(Region::Sram, 0, Region::Sram.size() as u32);
+        self.mark_dirty(Region::LeaRam, 0, Region::LeaRam.size() as u32);
         self.sram.fill(0);
         self.lea_ram.fill(0);
+    }
+
+    /// Captures a full image of the memory map and re-bases the dirty map on
+    /// it, so a later [`Memory::restore`] of this snapshot copies back only
+    /// the pages written in between.
+    pub fn snapshot(&mut self) -> MemSnapshot {
+        let id = SNAPSHOT_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.base = Some(id);
+        self.dirty = [0; 3];
+        MemSnapshot {
+            id,
+            fram: self.fram.clone(),
+            sram: self.sram.clone(),
+            lea_ram: self.lea_ram.clone(),
+            next: self.next,
+            allocs: self.allocs.clone(),
+        }
+    }
+
+    /// Restores a snapshot. When the dirty map is relative to `snap` (the
+    /// common sweep pattern: snapshot once, restore per boundary) only the
+    /// dirty pages are copied — the cost of a restore is proportional to the
+    /// bytes the run actually wrote, not to the 264 KB memory map. Restoring
+    /// a snapshot this instance is not based on falls back to a full copy
+    /// and re-bases on it.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        if self.base == Some(snap.id) {
+            for (region, src) in [
+                (Region::Fram, &snap.fram),
+                (Region::Sram, &snap.sram),
+                (Region::LeaRam, &snap.lea_ram),
+            ] {
+                let i = Self::idx(region);
+                let mut bits = self.dirty[i];
+                while bits != 0 {
+                    let page = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    let lo = (page * PAGE_BYTES) as usize;
+                    let hi = (lo + PAGE_BYTES as usize).min(region.size());
+                    self.slab_mut(region)[lo..hi].copy_from_slice(&src[lo..hi]);
+                }
+            }
+        } else {
+            self.fram.copy_from_slice(&snap.fram);
+            self.sram.copy_from_slice(&snap.sram);
+            self.lea_ram.copy_from_slice(&snap.lea_ram);
+            self.base = Some(snap.id);
+        }
+        self.dirty = [0; 3];
+        self.next = snap.next;
+        self.allocs.clone_from(&snap.allocs);
     }
 }
 
@@ -293,6 +398,71 @@ mod tests {
         assert_eq!(m.read_bytes(f, 2), &[0xAA, 0xBB]);
         assert_eq!(m.read_bytes(s, 2), &[0, 0]);
         assert_eq!(m.read_bytes(l, 2), &[0, 0]);
+    }
+
+    #[test]
+    fn restore_after_snapshot_copies_only_dirty_pages_back() {
+        let mut m = Memory::new();
+        let a = m.alloc(Region::Fram, 8, AllocTag::App);
+        m.write_bytes(a, &[1; 8]);
+        let snap = m.snapshot();
+        assert_eq!(m.dirty_pages(Region::Fram), 0, "snapshot re-bases tracking");
+        // Write into two far-apart FRAM pages plus SRAM.
+        let far = Addr::new(Region::Fram, 40 * PAGE_BYTES + 12);
+        m.write_bytes(a, &[9; 8]);
+        m.write_bytes(far, &[7; 3]);
+        let s = m.alloc(Region::Sram, 2, AllocTag::App);
+        m.write_bytes(s, &[5, 5]);
+        assert_eq!(m.dirty_pages(Region::Fram), 1 | (1 << 40));
+        assert_eq!(m.dirty_pages(Region::Sram), 1);
+        m.restore(&snap);
+        assert_eq!(m.read_bytes(a, 8), &[1; 8]);
+        assert_eq!(m.read_bytes(far, 3), &[0; 3]);
+        assert_eq!(m.dirty_pages(Region::Fram), 0);
+        assert_eq!(m.allocated(Region::Sram), 0, "allocator cursor restored");
+    }
+
+    #[test]
+    fn restoring_a_foreign_snapshot_falls_back_to_full_copy() {
+        // Snapshot taken on one Memory, restored into another instance that
+        // never saw it — the pattern of a parallel sweep worker adopting the
+        // main thread's shared image.
+        let mut a = Memory::new();
+        let va = a.alloc(Region::Fram, 4, AllocTag::App);
+        a.write_bytes(va, &[3, 1, 4, 1]);
+        let snap = a.snapshot();
+
+        let mut b = Memory::new();
+        let vb = b.alloc(Region::Fram, 4, AllocTag::App);
+        b.write_bytes(vb, &[9, 9, 9, 9]);
+        b.restore(&snap);
+        assert_eq!(b.read_bytes(va, 4), &[3, 1, 4, 1]);
+        // And from then on the worker's restores are page-wise.
+        b.write_bytes(va, &[8; 4]);
+        b.restore(&snap);
+        assert_eq!(b.read_bytes(va, 4), &[3, 1, 4, 1]);
+    }
+
+    #[test]
+    fn write_spanning_a_page_boundary_dirties_both_pages() {
+        let mut m = Memory::new();
+        m.snapshot();
+        let edge = Addr::new(Region::Fram, PAGE_BYTES - 2);
+        m.write_bytes(edge, &[1, 2, 3, 4]);
+        assert_eq!(m.dirty_pages(Region::Fram), 0b11);
+    }
+
+    #[test]
+    fn power_failure_dirties_volatile_regions() {
+        let mut m = Memory::new();
+        let snap = m.snapshot();
+        let s = m.alloc(Region::Sram, 2, AllocTag::App);
+        m.write_bytes(s, &[1, 2]);
+        m.power_failure();
+        assert_eq!(m.dirty_pages(Region::Sram), 1);
+        assert_eq!(m.dirty_pages(Region::LeaRam), 1);
+        m.restore(&snap);
+        assert_eq!(m.read_bytes(Addr::new(Region::Sram, 0), 2), &[0, 0]);
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub enum SpanKind {
     DmaCopy,
     /// A dead period: from power failure to the next boot.
     PowerOff,
+    /// One parallel-engine worker's busy interval (host wall-clock, not
+    /// simulated time): `task` carries the worker index. Emitted by the
+    /// execution engine, never by the simulated MCU.
+    Worker,
 }
 
 impl SpanKind {
@@ -43,6 +47,7 @@ impl SpanKind {
             SpanKind::IoBlock => "io_block",
             SpanKind::DmaCopy => "dma_copy",
             SpanKind::PowerOff => "power_off",
+            SpanKind::Worker => "worker",
         }
     }
 }

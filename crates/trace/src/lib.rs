@@ -24,6 +24,7 @@
 //! graph.
 
 pub mod chrome;
+pub mod envelope;
 pub mod event;
 pub mod json;
 pub mod jsonl;
@@ -34,13 +35,19 @@ pub mod sweep;
 pub mod tracker;
 
 pub use chrome::chrome_trace;
+pub use envelope::{
+    identity_document, validate_any_report, Report, ReportBody, ReportKind, LEGACY_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+};
 pub use event::{Event, EventKind, InstantKind, SpanKind, Status, NO_SITE, NO_TASK};
 pub use json::{parse as parse_json, Value};
 pub use jsonl::jsonl;
 pub use profile::{build_profile, LatencySummary, Profile, SiteProfile, TaskProfile};
-pub use report::{build_report, validate_report, ReportInputs, SCHEMA_VERSION};
+pub use report::{build_report, validate_report, ReportInputs};
 pub use ring::{RingRecorder, DEFAULT_CAPACITY};
-pub use sweep::{build_sweep_report, validate_sweep_report, SweepInputs, SweepViolation};
+pub use sweep::{
+    build_sweep_report, validate_sweep_report, SweepInputs, SweepTimingDoc, SweepViolation,
+};
 pub use tracker::ActivationTracker;
 
 /// The recording endpoint embedded in the simulated MCU.

@@ -234,7 +234,7 @@ pub fn build_profile(events: &[Event]) -> Profile {
                         }
                     }
                     SpanKind::PowerOff => p.power_off_us += ev.ts_us.saturating_sub(o.ts_us),
-                    SpanKind::Commit | SpanKind::IoBlock => {}
+                    SpanKind::Commit | SpanKind::IoBlock | SpanKind::Worker => {}
                 }
             }
         }

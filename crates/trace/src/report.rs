@@ -3,15 +3,17 @@
 //! `easeio-sim --report out.json` emits this document: run identity
 //! (runtime, app, supply, seed), the paper's five metrics (§5.2 — wasted
 //! work, energy, correctness, runtime overhead, memory overhead), the
-//! per-call-site profile and per-task latency table. Downstream tooling pins
-//! `schema_version`; [`validate_report`] is the schema check CI runs against
-//! a fresh report.
+//! per-call-site profile and per-task latency table, inside the shared
+//! [`Report`] envelope of [`crate::envelope`]. Downstream tooling pins
+//! `schema_version`; [`validate_report`] is the schema check CI runs
+//! against a fresh report, and [`validate_report_v1`] still reads the
+//! pre-envelope flat layout.
 
+use crate::envelope::{Report, ReportBody, LEGACY_SCHEMA_VERSION};
 use crate::json::Value;
 use crate::profile::Profile;
 
-/// Version of the report document layout.
-pub const SCHEMA_VERSION: u64 = 1;
+pub use crate::envelope::SCHEMA_VERSION;
 
 /// Ledger-level inputs the simulator supplies alongside the event profile.
 #[derive(Debug, Clone)]
@@ -78,8 +80,41 @@ fn pct(part: u64, whole: u64) -> Value {
     }
 }
 
-/// Builds the report document.
+/// A complete run-report payload: ledger inputs plus the event profile.
+/// [`ReportBody`] implementation — wrap in [`Report`] (or call
+/// [`build_report`]) to render the versioned document.
+#[derive(Debug, Clone)]
+pub struct RunReportDoc {
+    /// Ledger-level inputs.
+    pub inputs: ReportInputs,
+    /// The per-site / per-task profile derived from the event stream.
+    pub profile: Profile,
+}
+
+impl ReportBody for RunReportDoc {
+    const KIND: &'static str = "run";
+    const TOOL: &'static str = "easeio-sim";
+
+    fn body(&self) -> Value {
+        run_body(&self.inputs, &self.profile)
+    }
+
+    fn validate_body(body: &Value) -> Vec<String> {
+        validate_run_body(body)
+    }
+}
+
+/// Builds the versioned report document (v2 envelope).
 pub fn build_report(inp: &ReportInputs, profile: &Profile) -> Value {
+    Report::new(RunReportDoc {
+        inputs: inp.clone(),
+        profile: profile.clone(),
+    })
+    .to_value()
+}
+
+/// The report body: everything under the envelope's `report` key.
+fn run_body(inp: &ReportInputs, profile: &Profile) -> Value {
     let wasted_us = inp.app_time_us.saturating_sub(inp.golden_app_time_us);
     let wasted_nj = inp.app_energy_nj.saturating_sub(inp.golden_app_energy_nj);
     let total_us = inp.app_time_us + inp.overhead_time_us;
@@ -190,8 +225,6 @@ pub fn build_report(inp: &ReportInputs, profile: &Profile) -> Value {
         .collect();
 
     Value::Obj(vec![
-        ("schema_version".into(), Value::u64(SCHEMA_VERSION)),
-        ("tool".into(), Value::str("easeio-sim")),
         ("runtime".into(), Value::str(inp.runtime.clone())),
         ("app".into(), Value::str(inp.app.clone())),
         ("supply".into(), inp.supply.clone()),
@@ -271,21 +304,46 @@ const TASK_KEYS: &[&str] = &[
     "latency_us",
 ];
 
-/// Checks a parsed report against schema version [`SCHEMA_VERSION`].
-/// Returns every violation found, not just the first.
+/// Checks a parsed v2 report document (envelope + body). Returns every
+/// violation found, not just the first.
 pub fn validate_report(v: &Value) -> Result<(), Vec<String>> {
+    Report::<RunReportDoc>::validate(v)
+}
+
+/// Checks a parsed **v1** (pre-envelope, flat) report document — the
+/// reader kept for archived reports.
+pub fn validate_report_v1(v: &Value) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    {
+        let mut need = |key: &str, pred: &dyn Fn(&Value) -> bool, what: &str| match v.get(key) {
+            None => errs.push(format!("missing key '{key}'")),
+            Some(val) if !pred(val) => errs.push(format!("'{key}' must be {what}")),
+            _ => {}
+        };
+        need(
+            "schema_version",
+            &|x| x.as_u64() == Some(LEGACY_SCHEMA_VERSION),
+            &format!("the integer {LEGACY_SCHEMA_VERSION}"),
+        );
+        need("tool", &|x| x.as_str().is_some(), "a string");
+    }
+    errs.extend(validate_run_body(v));
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Body-level checks shared by the v2 validator (against the `report`
+/// object) and the v1 validator (against the flat document).
+fn validate_run_body(v: &Value) -> Vec<String> {
     let mut errs = Vec::new();
     let mut need = |key: &str, pred: &dyn Fn(&Value) -> bool, what: &str| match v.get(key) {
         None => errs.push(format!("missing key '{key}'")),
         Some(val) if !pred(val) => errs.push(format!("'{key}' must be {what}")),
         _ => {}
     };
-    need(
-        "schema_version",
-        &|x| x.as_u64() == Some(SCHEMA_VERSION),
-        &format!("the integer {SCHEMA_VERSION}"),
-    );
-    need("tool", &|x| x.as_str().is_some(), "a string");
     need("runtime", &|x| x.as_str().is_some(), "a string");
     need("app", &|x| x.as_str().is_some(), "a string");
     need("supply", &|x| x.as_obj().is_some(), "an object");
@@ -335,11 +393,7 @@ pub fn validate_report(v: &Value) -> Result<(), Vec<String>> {
             }
         }
     }
-    if errs.is_empty() {
-        Ok(())
-    } else {
-        Err(errs)
-    }
+    errs
 }
 
 #[cfg(test)]
@@ -385,8 +439,13 @@ mod tests {
         let reparsed = json::parse(&report.to_pretty()).unwrap();
         validate_report(&reparsed).unwrap();
         assert_eq!(
-            reparsed
-                .get("metrics")
+            reparsed.get("schema_version").and_then(Value::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(reparsed.get("kind").and_then(Value::as_str), Some("run"));
+        let body = reparsed.get("report").unwrap();
+        assert_eq!(
+            body.get("metrics")
                 .unwrap()
                 .get("wasted_time_us")
                 .unwrap()
@@ -394,8 +453,7 @@ mod tests {
             Some(150)
         );
         assert_eq!(
-            reparsed
-                .get("metrics")
+            body.get("metrics")
                 .unwrap()
                 .get("wasted_work_pct")
                 .unwrap()
@@ -406,11 +464,32 @@ mod tests {
 
     #[test]
     fn validator_reports_every_violation() {
-        let doc = json::parse(r#"{"schema_version": 2, "runtime": 5}"#).unwrap();
+        let doc = json::parse(r#"{"schema_version": 2, "kind": "run", "report": {"runtime": 5}}"#)
+            .unwrap();
         let errs = validate_report(&doc).unwrap_err();
-        assert!(errs.iter().any(|e| e.contains("schema_version")));
+        assert!(errs.iter().any(|e| e.contains("'tool' must be")));
         assert!(errs.iter().any(|e| e.contains("'runtime' must be")));
         assert!(errs.iter().any(|e| e.contains("missing key 'metrics'")));
         assert!(errs.len() > 5, "all violations collected: {errs:?}");
+    }
+
+    #[test]
+    fn v1_reader_still_accepts_the_flat_layout() {
+        // A minimal synthetic v1 document: flat fields, schema_version 1.
+        let flat = {
+            let body = super::run_body(&sample_inputs(), &Profile::default());
+            let Value::Obj(mut fields) = body else {
+                panic!("body must be an object")
+            };
+            fields.insert(0, ("tool".into(), Value::str("easeio-sim")));
+            fields.insert(
+                0,
+                ("schema_version".into(), Value::u64(LEGACY_SCHEMA_VERSION)),
+            );
+            Value::Obj(fields)
+        };
+        validate_report_v1(&flat).expect("v1 layout must keep validating");
+        // And the v2 validator must NOT accept it.
+        assert!(validate_report(&flat).is_err());
     }
 }

@@ -2,15 +2,19 @@
 //!
 //! `easeio-sim sweep --report out.json` emits this document: sweep identity
 //! (runtime, app, seed, outage length, sampling mode), the reference run's
-//! boundary count, and one entry per injection that violated an invariant.
-//! Any violation is reproducible from the document alone: re-run the same
-//! app/runtime/seed with a failure injected at the recorded boundary.
+//! boundary count, one entry per injection that violated an invariant, and —
+//! when the parallel engine ran the sweep — an optional `timing` block with
+//! wall-clock and per-worker utilization. Any violation is reproducible from
+//! the document alone: re-run the same app/runtime/seed with a failure
+//! injected at the recorded boundary.
 //!
-//! The document shares [`SCHEMA_VERSION`] with the run report — both layouts
-//! version together.
+//! The body rides inside the shared [`Report`](crate::envelope::Report)
+//! envelope (`{schema_version, kind: "sweep", tool, report: {…}}`); the old
+//! v1 flat layout is still accepted by [`validate_sweep_report_v1`] and by
+//! [`validate_any_report`](crate::envelope::validate_any_report).
 
+use crate::envelope::{Report, ReportBody, LEGACY_SCHEMA_VERSION};
 use crate::json::Value;
-use crate::report::SCHEMA_VERSION;
 
 /// One injection run that broke a crash-consistency invariant.
 #[derive(Debug, Clone)]
@@ -21,6 +25,23 @@ pub struct SweepViolation {
     pub kind: String,
     /// Human-readable divergence description.
     pub detail: String,
+}
+
+/// Host-side timing of a sweep run. Measurement, not result: stripped by
+/// [`identity_document`](crate::envelope::identity_document) before
+/// serial-vs-parallel comparison.
+#[derive(Debug, Clone)]
+pub struct SweepTimingDoc {
+    /// Worker count the sweep ran with.
+    pub jobs: u64,
+    /// Host wall-clock for the injection phase (µs).
+    pub wall_us: u64,
+    /// Throughput in milli-injections per second (fixed point ×1000).
+    pub injections_per_sec_milli: u64,
+    /// Injections executed by each worker.
+    pub injections_per_worker: Vec<u64>,
+    /// Busy time of each worker (µs).
+    pub busy_us_per_worker: Vec<u64>,
 }
 
 /// Inputs to the sweep report document.
@@ -44,10 +65,26 @@ pub struct SweepInputs {
     pub injections: u64,
     /// Invariant violations, in boundary order.
     pub violations: Vec<SweepViolation>,
+    /// Host timing (present when run through the parallel engine).
+    pub timing: Option<SweepTimingDoc>,
 }
 
-/// Builds the sweep report document.
-pub fn build_sweep_report(inp: &SweepInputs) -> Value {
+impl ReportBody for SweepInputs {
+    const KIND: &'static str = "sweep";
+    const TOOL: &'static str = "easeio-sim sweep";
+
+    fn body(&self) -> Value {
+        sweep_body(self)
+    }
+
+    fn validate_body(body: &Value) -> Vec<String> {
+        validate_sweep_body(body)
+    }
+}
+
+/// Renders the body object (shared by the v2 envelope; v1 used the same
+/// fields flat at top level).
+fn sweep_body(inp: &SweepInputs) -> Value {
     let violations = inp
         .violations
         .iter()
@@ -59,9 +96,7 @@ pub fn build_sweep_report(inp: &SweepInputs) -> Value {
             ])
         })
         .collect();
-    Value::Obj(vec![
-        ("schema_version".into(), Value::u64(SCHEMA_VERSION)),
-        ("tool".into(), Value::str("easeio-sim sweep")),
+    let mut fields = vec![
         ("runtime".into(), Value::str(inp.runtime.clone())),
         ("app".into(), Value::str(inp.app.clone())),
         ("seed".into(), Value::u64(inp.seed)),
@@ -78,24 +113,80 @@ pub fn build_sweep_report(inp: &SweepInputs) -> Value {
             Value::u64(inp.violations.len() as u64),
         ),
         ("violations".into(), Value::Arr(violations)),
-    ])
+    ];
+    if let Some(t) = &inp.timing {
+        fields.push((
+            "timing".into(),
+            Value::Obj(vec![
+                ("jobs".into(), Value::u64(t.jobs)),
+                ("wall_us".into(), Value::u64(t.wall_us)),
+                (
+                    "injections_per_sec_milli".into(),
+                    Value::u64(t.injections_per_sec_milli),
+                ),
+                (
+                    "injections_per_worker".into(),
+                    Value::Arr(
+                        t.injections_per_worker
+                            .iter()
+                            .map(|&n| Value::u64(n))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "busy_us_per_worker".into(),
+                    Value::Arr(
+                        t.busy_us_per_worker
+                            .iter()
+                            .map(|&n| Value::u64(n))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    Value::Obj(fields)
 }
 
-/// Checks a parsed sweep report against the schema. Returns every violation
-/// found, not just the first.
+/// Builds the sweep report document (v2 envelope).
+pub fn build_sweep_report(inp: &SweepInputs) -> Value {
+    Report::new(inp.clone()).to_value()
+}
+
+/// Checks a parsed v2 sweep report. Returns every violation found, not just
+/// the first.
 pub fn validate_sweep_report(v: &Value) -> Result<(), Vec<String>> {
+    Report::<SweepInputs>::validate(v)
+}
+
+/// Checks a v1 flat sweep document (schema_version 1, fields at top level).
+pub fn validate_sweep_report_v1(v: &Value) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    match v.get("schema_version").and_then(Value::as_u64) {
+        Some(LEGACY_SCHEMA_VERSION) => {}
+        _ => errs.push(format!(
+            "'schema_version' must be the integer {LEGACY_SCHEMA_VERSION}"
+        )),
+    }
+    if v.get("tool").and_then(Value::as_str).is_none() {
+        errs.push("'tool' must be a string".into());
+    }
+    errs.extend(validate_sweep_body(v));
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Body-level checks shared by both schema versions.
+fn validate_sweep_body(v: &Value) -> Vec<String> {
     let mut errs = Vec::new();
     let mut need = |key: &str, pred: &dyn Fn(&Value) -> bool, what: &str| match v.get(key) {
         None => errs.push(format!("missing key '{key}'")),
         Some(val) if !pred(val) => errs.push(format!("'{key}' must be {what}")),
         _ => {}
     };
-    need(
-        "schema_version",
-        &|x| x.as_u64() == Some(SCHEMA_VERSION),
-        &format!("the integer {SCHEMA_VERSION}"),
-    );
-    need("tool", &|x| x.as_str().is_some(), "a string");
     need("runtime", &|x| x.as_str().is_some(), "a string");
     need("app", &|x| x.as_str().is_some(), "a string");
     need("seed", &|x| x.as_u64().is_some(), "an unsigned integer");
@@ -136,16 +227,25 @@ pub fn validate_sweep_report(v: &Value) -> Result<(), Vec<String>> {
             }
         }
     }
-    if errs.is_empty() {
-        Ok(())
-    } else {
-        Err(errs)
+    if let Some(t) = v.get("timing") {
+        for k in ["jobs", "wall_us", "injections_per_sec_milli"] {
+            if t.get(k).and_then(Value::as_u64).is_none() {
+                errs.push(format!("'timing.{k}' must be an unsigned integer"));
+            }
+        }
+        for k in ["injections_per_worker", "busy_us_per_worker"] {
+            if t.get(k).and_then(Value::as_arr).is_none() {
+                errs.push(format!("'timing.{k}' must be an array"));
+            }
+        }
     }
+    errs
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::envelope::identity_document;
     use crate::json::parse;
 
     fn inputs() -> SweepInputs {
@@ -163,6 +263,7 @@ mod tests {
                 kind: "single_redundant".into(),
                 detail: "probe_single_redundant = 1".into(),
             }],
+            timing: None,
         }
     }
 
@@ -171,11 +272,10 @@ mod tests {
         let doc = build_sweep_report(&inputs());
         let parsed = parse(&doc.to_pretty()).unwrap();
         validate_sweep_report(&parsed).unwrap();
-        assert_eq!(
-            parsed.get("violation_count").and_then(Value::as_u64),
-            Some(1)
-        );
-        let rows = parsed.get("violations").and_then(Value::as_arr).unwrap();
+        assert_eq!(parsed.get("kind").and_then(Value::as_str), Some("sweep"));
+        let body = parsed.get("report").unwrap();
+        assert_eq!(body.get("violation_count").and_then(Value::as_u64), Some(1));
+        let rows = body.get("violations").and_then(Value::as_arr).unwrap();
         assert_eq!(rows[0].get("boundary").and_then(Value::as_u64), Some(17));
         assert_eq!(
             rows[0].get("kind").and_then(Value::as_str),
@@ -187,10 +287,17 @@ mod tests {
     fn validation_catches_missing_and_inconsistent_fields() {
         let mut doc = build_sweep_report(&inputs());
         // Corrupt the count so it disagrees with the array.
-        if let Value::Obj(fields) = &mut doc {
-            for (k, v) in fields.iter_mut() {
-                if k == "violation_count" {
-                    *v = Value::u64(9);
+        if let Value::Obj(top) = &mut doc {
+            for (k, body) in top.iter_mut() {
+                if k != "report" {
+                    continue;
+                }
+                if let Value::Obj(fields) = body {
+                    for (k, v) in fields.iter_mut() {
+                        if k == "violation_count" {
+                            *v = Value::u64(9);
+                        }
+                    }
                 }
             }
         }
@@ -202,6 +309,34 @@ mod tests {
 
         let errs = validate_sweep_report(&Value::Obj(vec![])).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("schema_version")));
-        assert!(errs.iter().any(|e| e.contains("violations")));
+        assert!(errs.iter().any(|e| e.contains("'report'")));
+    }
+
+    #[test]
+    fn timing_is_emitted_validated_and_stripped_by_identity() {
+        let mut inp = inputs();
+        inp.timing = Some(SweepTimingDoc {
+            jobs: 4,
+            wall_us: 123_456,
+            injections_per_sec_milli: 340_211,
+            injections_per_worker: vec![11, 11, 10, 10],
+            busy_us_per_worker: vec![30_000, 31_000, 29_000, 30_500],
+        });
+        let doc = build_sweep_report(&inp);
+        validate_sweep_report(&doc).unwrap();
+        let body = doc.get("report").unwrap();
+        assert_eq!(
+            body.get("timing")
+                .and_then(|t| t.get("jobs"))
+                .and_then(Value::as_u64),
+            Some(4)
+        );
+        // Identity form equals the untimed document.
+        let untimed = build_sweep_report(&inputs());
+        assert_eq!(
+            identity_document(&doc).to_pretty(),
+            identity_document(&untimed).to_pretty()
+        );
+        assert_eq!(identity_document(&untimed).to_pretty(), untimed.to_pretty());
     }
 }

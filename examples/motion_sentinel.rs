@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example motion_sentinel`
 
-use easeio_repro::apps::harness::RuntimeKind;
+use easeio_repro::apps::harness::{MakeRuntime, RuntimeKind};
 use easeio_repro::apps::motion::{self, MotionCfg};
 use easeio_repro::kernel::{run_app, ExecConfig, Outcome};
 use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};

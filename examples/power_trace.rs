@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release --example power_trace`
 
 use easeio_repro::apps::dma_app::{self, DmaAppCfg};
-use easeio_repro::apps::harness::RuntimeKind;
+use easeio_repro::apps::harness::{MakeRuntime, RuntimeKind};
 use easeio_repro::easeio_trace::{chrome_trace, Event, TraceSink};
 use easeio_repro::kernel::{run_app, ExecConfig};
 use easeio_repro::mcu_emu::{Capacitor, Mcu, RfHarvestConfig, Supply};

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use easeio_repro::apps::dma_app::{self, DmaAppCfg};
-use easeio_repro::apps::harness::RuntimeKind;
+use easeio_repro::apps::harness::{MakeRuntime, RuntimeKind};
 use easeio_repro::kernel::{run_app, ExecConfig, Outcome};
 use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};
 use easeio_repro::periph::Peripherals;

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example weather_station`
 
-use easeio_repro::apps::harness::RuntimeKind;
+use easeio_repro::apps::harness::{MakeRuntime, RuntimeKind};
 use easeio_repro::apps::weather::{self, WeatherCfg};
 use easeio_repro::kernel::{run_app, ExecConfig, Outcome, Verdict};
 use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};

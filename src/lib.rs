@@ -13,7 +13,7 @@
 //! # Quick start
 //!
 //! ```
-//! use easeio_repro::apps::{dma_app, harness::RuntimeKind};
+//! use easeio_repro::apps::{dma_app, harness::{MakeRuntime, RuntimeKind}};
 //! use easeio_repro::kernel::{run_app, ExecConfig, Outcome};
 //! use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};
 //! use easeio_repro::periph::Peripherals;

@@ -1,7 +1,7 @@
 //! End-to-end tests of the easec front-end: programs written in the paper's
 //! own surface syntax get the paper's guarantees when run under EaseIO.
 
-use easeio_repro::apps::harness::RuntimeKind;
+use easeio_repro::apps::harness::{MakeRuntime, RuntimeKind};
 use easeio_repro::easec;
 use easeio_repro::kernel::{run_app, ExecConfig, Outcome};
 use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};

@@ -5,7 +5,7 @@
 //! workload; the baselines must be correct exactly where the paper says
 //! they are (no DMA WAR, or double-buffered layouts).
 
-use easeio_repro::apps::harness::{run_once, RuntimeKind};
+use easeio_repro::apps::harness::{run_once, MakeRuntime, RuntimeKind};
 use easeio_repro::apps::{dma_app, fir, lea_app, temp_app, unsafe_branch, weather};
 use easeio_repro::kernel::{App, Outcome, Verdict};
 use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};

@@ -1,5 +1,6 @@
 //! Fuzz-style robustness tests for the easec front-end.
 
+use easeio_repro::apps::harness::MakeRuntime;
 use easeio_repro::easec::{self, ast::*, printer};
 use easeio_repro::mcu_emu::{Mcu, Supply};
 use proptest::prelude::*;

@@ -16,8 +16,9 @@
 use easeio_repro::apps::harness::{golden, run_traced, RuntimeKind};
 use easeio_repro::apps::temp_app;
 use easeio_repro::easeio_trace::{
-    build_profile, build_report, chrome_trace, jsonl, parse_json, validate_report, Event,
-    EventKind, InstantKind, ReportInputs, SpanKind, Status, Value, NO_SITE, NO_TASK,
+    build_profile, build_report, chrome_trace, jsonl, parse_json, validate_any_report,
+    validate_report, Event, EventKind, InstantKind, ReportInputs, ReportKind, SpanKind, Status,
+    Value, NO_SITE, NO_TASK,
 };
 use easeio_repro::kernel::Outcome;
 use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};
@@ -196,7 +197,23 @@ fn report_matches_golden_and_validates() {
     let mut doc = report.to_pretty();
     doc.push('\n');
     assert_matches_golden("report.json", &doc);
-    validate_report(&parse_json(&doc).unwrap()).expect("golden report satisfies the schema");
+    let parsed = parse_json(&doc).unwrap();
+    validate_report(&parsed).expect("golden report satisfies the schema");
+    assert_eq!(validate_any_report(&parsed), Ok(ReportKind::Run));
+}
+
+#[test]
+fn archived_v1_report_still_validates() {
+    // `report_v1.json` is a frozen schema-v1 document (the pre-envelope flat
+    // layout). It must keep reading through the single validator entry point
+    // for as long as v1 is a supported legacy format — never regenerate it.
+    let text = std::fs::read_to_string(golden_path("report_v1.json")).unwrap();
+    let doc = parse_json(&text).unwrap();
+    assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(1));
+    assert_eq!(validate_any_report(&doc), Ok(ReportKind::Run));
+    // The v2-only validator must reject it: readers that need the new
+    // envelope cannot silently accept the old shape.
+    assert!(validate_report(&doc).is_err());
 }
 
 #[test]

@@ -13,7 +13,7 @@
 //!   timestamped across power failures and every span begin has a matching
 //!   end, for every runtime and schedule.
 
-use easeio_repro::apps::harness::{run_once, run_traced, RuntimeKind};
+use easeio_repro::apps::harness::{run_once, run_traced, MakeRuntime, RuntimeKind};
 use easeio_repro::apps::{dma_app, fir, temp_app};
 use easeio_repro::easeio_trace::build_profile;
 use easeio_repro::kernel::{Outcome, Verdict};
