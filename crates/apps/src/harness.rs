@@ -9,7 +9,7 @@
 
 use easeio_core::EaseIoRuntime;
 use kernel::footprint::{footprint, Footprint};
-use kernel::{run_app, App, ExecConfig, Outcome, RunResult, Runtime, Verdict};
+use kernel::{run_app, App, ExecConfig, FaultSpec, Outcome, RunResult, Runtime, Verdict};
 use mcu_emu::{Mcu, Supply, TimerResetConfig};
 use periph::Peripherals;
 use std::sync::Arc;
@@ -172,7 +172,19 @@ pub fn run_once(
     supply: Supply,
     env_seed: u64,
 ) -> RunResult {
-    run_configured(builder, kind, supply, env_seed, false)
+    run_configured(builder, kind, supply, env_seed, false, &FaultSpec::none())
+}
+
+/// Like [`run_once`], with a peripheral fault plan installed and its retry
+/// policy applied.
+pub fn run_once_faulted(
+    builder: &dyn Fn(&mut Mcu) -> App,
+    kind: RuntimeKind,
+    supply: Supply,
+    env_seed: u64,
+    fault: &FaultSpec,
+) -> RunResult {
+    run_configured(builder, kind, supply, env_seed, false, fault)
 }
 
 /// Like [`run_once`], but with the structured event recorder enabled: the
@@ -183,7 +195,18 @@ pub fn run_traced(
     supply: Supply,
     env_seed: u64,
 ) -> RunResult {
-    run_configured(builder, kind, supply, env_seed, true)
+    run_configured(builder, kind, supply, env_seed, true, &FaultSpec::none())
+}
+
+/// Traced run with a peripheral fault plan installed.
+pub fn run_traced_faulted(
+    builder: &dyn Fn(&mut Mcu) -> App,
+    kind: RuntimeKind,
+    supply: Supply,
+    env_seed: u64,
+    fault: &FaultSpec,
+) -> RunResult {
+    run_configured(builder, kind, supply, env_seed, true, fault)
 }
 
 fn run_configured(
@@ -192,21 +215,21 @@ fn run_configured(
     supply: Supply,
     env_seed: u64,
     traced: bool,
+    fault: &FaultSpec,
 ) -> RunResult {
     let mut mcu = Mcu::new(supply);
     if traced {
         mcu.trace = mcu_emu::TraceSink::enabled();
     }
     let mut periph = Peripherals::new(env_seed);
+    fault.apply(&mut periph);
     let app = builder(&mut mcu);
     let mut rt = kind.make();
-    run_app(
-        &app,
-        rt.as_mut(),
-        &mut mcu,
-        &mut periph,
-        &ExecConfig::default(),
-    )
+    let cfg = ExecConfig {
+        retry: fault.retry,
+        ..ExecConfig::default()
+    };
+    run_app(&app, rt.as_mut(), &mut mcu, &mut periph, &cfg)
 }
 
 /// Golden run on continuous power: returns (app time, app energy) per run.

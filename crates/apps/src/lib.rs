@@ -16,11 +16,13 @@
 //! | [`weather`] | 11-task DNN weather classifier | Fig 9, 10, 11, Table 5 |
 //! | [`dnn`] | the classifier's 5-layer DNN (single/double buffer) | Table 5 |
 //! | [`unsafe_branch`] | Fig 2c stdy/alarm branch divergence | §2.1.3 tests |
+//! | [`flaky_radio`] | sense→transmit relay under radio faults (extension) | fault sweeps |
 //! | [`harness`] | seeded experiment driver shared by benches and tests | all |
 
 pub mod dma_app;
 pub mod dnn;
 pub mod fir;
+pub mod flaky_radio;
 pub mod harness;
 pub mod lea_app;
 pub mod motion;

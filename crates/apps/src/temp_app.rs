@@ -187,6 +187,7 @@ mod tests {
             &mut p,
             &ExecConfig {
                 max_attempts_per_task: 300,
+                ..ExecConfig::default()
             },
         );
         assert_eq!(r.outcome, Outcome::NonTermination);

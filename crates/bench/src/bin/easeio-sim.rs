@@ -3,7 +3,8 @@
 //! Common options (accepted by every mode, parsed once into a `SimConfig`):
 //!
 //! ```text
-//!   --app <dma|temp|lea|fir|weather|weather-single|branch|motion>   (default dma)
+//!   --app <dma|temp|lea|fir|weather|weather-single|branch|motion|flaky-radio>
+//!                                                  (default dma)
 //!   --kernel <naive|alpaca|ink|easeio|easeio-op>   (default easeio; --runtime
 //!                                                   is an accepted alias)
 //!   --supply <continuous|timer|rf>                 (default timer)
@@ -14,6 +15,10 @@
 //!   --trace-out <path>       write the trace (.json Chrome, .jsonl lines)
 //!   --report <path>          write the machine-readable report
 //!   --source <prog.eio>      compile an easec program instead of --app
+//!   --fault-rate <permille>  peripheral fault probability per attempt
+//!                            (default 0 = no injection)
+//!   --fault-seed <u64>       fault-plan seed           (default: the run seed)
+//!   --max-retries <N>        bounded retries before degradation (default 4)
 //! ```
 //!
 //! Run mode (no subcommand) adds `--trace` (print the timeline),
@@ -51,15 +56,15 @@
 //!   --on-times <m1,m2,..>    timer mean on-periods in ms (default none)
 //! ```
 
-use apps::harness::{golden, measure_footprint, run_traced, RuntimeKind};
+use apps::harness::{golden, measure_footprint, run_traced_faulted, RuntimeKind};
 use crashcheck::{SweepMode, SweepOutcome, SweepPlan};
 use easeio_exec::{parallel_sweep, run_grid, AppSpec, GridSpec, SimConfig, SupplySpec, APP_NAMES};
 use easeio_trace::{
     build_profile, build_report, build_sweep_report, chrome_trace, jsonl, parse_json,
-    validate_any_report, Event, EventKind, InstantKind, ReportInputs, SpanKind, SweepInputs,
-    SweepTimingDoc, SweepViolation, Value,
+    validate_any_report, Event, EventKind, FaultSpecDoc, InstantKind, ReportInputs, SpanKind,
+    SweepInputs, SweepTimingDoc, SweepViolation, Value,
 };
-use kernel::{Outcome, Verdict};
+use kernel::{Fault, FaultSpec, Outcome, Verdict};
 use mcu_emu::{Mcu, Supply};
 
 /// The one flag set shared by every mode. Parsed once; each subcommand adds
@@ -76,6 +81,9 @@ struct CommonOpts {
     trace: bool,
     trace_out: Option<String>,
     report: Option<String>,
+    fault_seed: Option<u64>,
+    fault_rate: u32,
+    max_retries: Option<u32>,
 }
 
 impl CommonOpts {
@@ -92,6 +100,9 @@ impl CommonOpts {
             trace: false,
             trace_out: None,
             report: None,
+            fault_seed: None,
+            fault_rate: 0,
+            max_retries: None,
         }
     }
 
@@ -115,6 +126,9 @@ impl CommonOpts {
             "--trace" => self.trace = true,
             "--trace-out" => self.trace_out = Some(val("--trace-out")?),
             "--report" => self.report = Some(val("--report")?),
+            "--fault-seed" => self.fault_seed = Some(parse_num(&val("--fault-seed")?)?),
+            "--fault-rate" => self.fault_rate = parse_num(&val("--fault-rate")?)?,
+            "--max-retries" => self.max_retries = Some(parse_num(&val("--max-retries")?)?),
             _ => return Ok(false),
         }
         Ok(true)
@@ -129,15 +143,24 @@ impl CommonOpts {
             Some(path) => AppSpec::Source(path.clone()),
             None => AppSpec::Named(self.app.clone()),
         };
+        let seed = self.seed.unwrap_or(default_seed);
+        // `--fault-rate 0` (the default) disables injection entirely; the
+        // plan seed defaults to the run seed so `--fault-rate N` alone is a
+        // fully specified, reproducible experiment.
+        let mut fault = FaultSpec::with_rate(self.fault_seed.unwrap_or(seed), self.fault_rate);
+        if let Some(r) = self.max_retries {
+            fault.retry.max_retries = r;
+        }
         Ok(SimConfig {
             app,
             kernel,
             supply,
-            seed: self.seed.unwrap_or(default_seed),
+            seed,
             runs: self.runs,
             jobs: self.jobs,
             trace_out: self.trace_out,
             report_out: self.report,
+            fault,
         })
     }
 }
@@ -339,6 +362,12 @@ fn sweep_report_inputs(
                 detail: v.detail.clone(),
             })
             .collect(),
+        fault_spec: plan.fault.plan.map(|p| FaultSpecDoc {
+            seed: p.seed,
+            rate_permille: p.rate_permille as u64,
+            max_retries: plan.fault.retry.max_retries as u64,
+            backoff_base_us: plan.fault.retry.backoff_base_us,
+        }),
         timing: Some(SweepTimingDoc {
             jobs: timing.jobs as u64,
             wall_us: timing.wall_us,
@@ -360,6 +389,7 @@ fn sweep_main() -> ! {
                 "usage: easeio-sim sweep [--app NAME | --all-apps] [--kernel NAME] [--jobs N]\n\
                  \x20                       [--exhaustive | --sample N] [--seed N] [--off-us US]\n\
                  \x20                       [--strict-memory] [--report FILE.json]\n\
+                 \x20                       [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
                  \x20                       [--bench-out BENCH_sweep.json]\n\
                  \x20                       [--allow-violations] [--expect-violations]"
             );
@@ -399,6 +429,7 @@ fn sweep_main() -> ! {
             off_us: args.off_us,
             strict_memory: args.strict_memory || app.is_deterministic(),
             env_seed: sim.seed,
+            fault: sim.fault,
         };
         let (out, timing) = sweep_one(sim, app, &plan, sim.jobs);
         let serial_wall_us = if record_serial {
@@ -417,7 +448,7 @@ fn sweep_main() -> ! {
             None
         };
         println!(
-            "sweep: {} under {} — {} boundaries, {} injections ({}), seed {}, outage {} µs{}, \
+            "sweep: {} under {} — {} boundaries, {} injections ({}), seed {}, outage {} µs{}{}, \
              {} job(s), {:.2} ms wall ({} inj/s)",
             out.app,
             out.runtime,
@@ -430,6 +461,11 @@ fn sweep_main() -> ! {
                 ", strict memory"
             } else {
                 ""
+            },
+            if plan.fault.plan.is_some() {
+                format!(", faults {}", plan.fault.label())
+            } else {
+                String::new()
             },
             timing.jobs,
             timing.wall_us as f64 / 1000.0,
@@ -575,6 +611,7 @@ fn parse_grid_args() -> Result<GridArgs, String> {
     let mut spec = GridSpec {
         runs,
         seed: sim.seed,
+        fault: sim.fault,
         ..GridSpec::default()
     };
     if let Some(k) = kernels {
@@ -599,6 +636,7 @@ fn grid_main() -> ! {
             eprintln!(
                 "usage: easeio-sim grid [--app NAME] [--kernels a,b,c] [--distances d1,d2,..]\n\
                  \x20                      [--on-times m1,m2,..] [--runs N] [--seed N] [--jobs N]\n\
+                 \x20                      [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
                  \x20                      [--report FILE.json]"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
@@ -724,10 +762,12 @@ fn main() {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: easeio-sim [--app dma|temp|lea|fir|weather|weather-single|branch|motion]\n\
+                "usage: easeio-sim [--app dma|temp|lea|fir|weather|weather-single|branch|motion\n\
+                 \x20                       |flaky-radio]\n\
                  \x20                 [--kernel naive|alpaca|ink|easeio|easeio-op]\n\
                  \x20                 [--supply continuous|timer|rf] [--seed N] [--runs N]\n\
                  \x20                 [--distance INCHES] [--trace] [--trace-out FILE.json|.jsonl]\n\
+                 \x20                 [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
                  \x20                 [--report FILE.json] [--validate-report FILE.json]\n\
                  \x20                 [--source prog.eio [--emit-transform]]\n\
                  \x20      easeio-sim sweep --help\n\
@@ -802,13 +842,18 @@ fn main() {
             }
         };
         let build = |m: &mut Mcu| sim.build_app(m).unwrap();
-        let r = run_traced(&build, kind, supply, sim.seed);
+        let r = run_traced_faulted(&build, kind, supply, sim.seed, &sim.fault);
         println!(
-            "{} under {} on {} supply (seed {})",
+            "{} under {} on {} supply (seed {}{})",
             app_name,
             kind.name(),
             sim.supply.label(),
-            sim.seed
+            sim.seed,
+            if sim.fault.plan.is_some() {
+                format!(", faults {}", sim.fault.label())
+            } else {
+                String::new()
+            }
         );
         println!("  outcome:        {:?}", r.outcome);
         if let Some(v) = &r.verdict {
@@ -914,8 +959,15 @@ fn main() {
             write_or_die(path, &doc, "report");
             println!("report written to {path}");
         }
-        if let Outcome::Fault(e) = r.outcome {
-            eprintln!("error: aborted on DMA fault: {e}");
+        if let Outcome::Fault(e) = &r.outcome {
+            // Typed abort message: an unrecoverable I/O fault (retries
+            // exhausted, no degradation possible) reads differently from a
+            // DMA resource fault.
+            let what = match e {
+                Fault::Io(_) => "unrecoverable I/O fault",
+                _ => "DMA fault",
+            };
+            eprintln!("error: aborted on {what}: {e}");
         }
         if r.outcome != Outcome::Completed {
             std::process::exit(1);
@@ -936,7 +988,7 @@ fn main() {
         let seed = sim.seed + i;
         let supply = sim.supply_for_run(i);
         let b = |m: &mut Mcu| sim.build_app(m).unwrap();
-        let r = apps::harness::run_once(&b, kind, supply, seed);
+        let r = apps::harness::run_once_faulted(&b, kind, supply, seed, &sim.fault);
         if r.outcome == Outcome::Completed {
             completed += 1;
             total_on += r.stats.total_time_us();

@@ -28,7 +28,7 @@
 //! replacement from a seeded [`StdRng`].
 
 use apps::harness::{MakeRuntime, RuntimeKind};
-use kernel::{run_app, App, ExecConfig, Outcome, Verdict};
+use kernel::{run_app, App, ExecConfig, FaultSpec, Outcome, Verdict};
 use mcu_emu::{AllocTag, Mcu, McuSnapshot, Region, Supply};
 use periph::Peripherals;
 use rand::rngs::StdRng;
@@ -75,6 +75,11 @@ pub struct SweepPlan {
     pub strict_memory: bool,
     /// Environment seed every run (oracle and injected) shares.
     pub env_seed: u64,
+    /// Transient peripheral-fault configuration applied to every *injected*
+    /// run (the oracle stays fault-free: it defines intended behaviour).
+    /// The schedule is deterministic, so the sweep explores the product
+    /// space power-failure boundary x fault schedule reproducibly.
+    pub fault: FaultSpec,
 }
 
 impl Default for SweepPlan {
@@ -85,6 +90,7 @@ impl Default for SweepPlan {
             off_us: 100_000,
             strict_memory: false,
             env_seed: 7,
+            fault: FaultSpec::none(),
         }
     }
 }
@@ -120,6 +126,11 @@ pub enum ViolationKind {
     CommitOverpriced,
     /// Final app FRAM differs from the continuous-power oracle.
     MemoryDivergence,
+    /// A fault whose external effect had completed was retried under
+    /// `Single` semantics: the effect was duplicated.
+    RetryDuplicatedEffect,
+    /// A degraded `Timely` fallback served a value older than its window.
+    DegradedStalenessExceeded,
 }
 
 impl ViolationKind {
@@ -133,6 +144,8 @@ impl ViolationKind {
             ViolationKind::TimelyStale => "timely_stale",
             ViolationKind::CommitOverpriced => "commit_overpriced",
             ViolationKind::MemoryDivergence => "memory_divergence",
+            ViolationKind::RetryDuplicatedEffect => "retry_duplicated_effect",
+            ViolationKind::DegradedStalenessExceeded => "degraded_staleness_exceeded",
         }
     }
 }
@@ -216,6 +229,10 @@ pub struct RunRecord {
     pub timely_stale: u64,
     /// `probe_commit_overpriced` counter.
     pub commit_overpriced: u64,
+    /// `probe_retry_duplicated_effect` counter.
+    pub retry_duplicated_effect: u64,
+    /// `probe_degraded_staleness_exceeded` counter.
+    pub degraded_staleness_exceeded: u64,
     /// Final app-tagged FRAM bytes.
     pub fram: Vec<u8>,
 }
@@ -230,12 +247,18 @@ pub fn run_from(
     snap: &McuSnapshot,
     supply: Supply,
     env_seed: u64,
+    fault: &FaultSpec,
 ) -> RunRecord {
     mcu.restore(snap);
     mcu.supply = supply;
     let mut periph = Peripherals::new(env_seed);
+    fault.apply(&mut periph);
     let mut rt = kind.make();
-    let r = run_app(app, rt.as_mut(), mcu, &mut periph, &ExecConfig::default());
+    let cfg = ExecConfig {
+        retry: fault.retry,
+        ..ExecConfig::default()
+    };
+    let r = run_app(app, rt.as_mut(), mcu, &mut periph, &cfg);
     RunRecord {
         outcome: r.outcome,
         verdict: r.verdict,
@@ -243,6 +266,8 @@ pub fn run_from(
         single_redundant: r.stats.counter("probe_single_redundant"),
         timely_stale: r.stats.counter("probe_timely_stale"),
         commit_overpriced: r.stats.counter("probe_commit_overpriced"),
+        retry_duplicated_effect: r.stats.counter("probe_retry_duplicated_effect"),
+        degraded_staleness_exceeded: r.stats.counter("probe_degraded_staleness_exceeded"),
         fram: app_fram(mcu),
     }
 }
@@ -276,7 +301,15 @@ pub fn prepare_oracle(
     let mut mcu = Mcu::new(Supply::continuous());
     let app = builder(&mut mcu);
     let snap = mcu.snapshot();
-    let oracle = run_from(&app, kind, &mut mcu, &snap, Supply::continuous(), env_seed);
+    let oracle = run_from(
+        &app,
+        kind,
+        &mut mcu,
+        &snap,
+        Supply::continuous(),
+        env_seed,
+        &FaultSpec::none(),
+    );
     assert_eq!(
         oracle.outcome,
         Outcome::Completed,
@@ -343,6 +376,24 @@ pub fn check_record(
             format!("probe_commit_overpriced = {}", r.commit_overpriced),
         );
     }
+    if r.retry_duplicated_effect > 0 {
+        report(
+            ViolationKind::RetryDuplicatedEffect,
+            format!(
+                "probe_retry_duplicated_effect = {}",
+                r.retry_duplicated_effect
+            ),
+        );
+    }
+    if r.degraded_staleness_exceeded > 0 {
+        report(
+            ViolationKind::DegradedStalenessExceeded,
+            format!(
+                "probe_degraded_staleness_exceeded = {}",
+                r.degraded_staleness_exceeded
+            ),
+        );
+    }
     if strict_memory && r.fram != oracle_fram {
         let first = r
             .fram
@@ -385,6 +436,7 @@ pub fn sweep(
             &oracle.snapshot,
             Supply::injected(b, plan.off_us),
             plan.env_seed,
+            &plan.fault,
         );
         violations.extend(check_record(&r, &oracle.fram, b, plan.strict_memory));
     }
@@ -403,7 +455,7 @@ pub fn sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apps::{dma_app, motion, unsafe_branch};
+    use apps::{dma_app, flaky_radio, motion, temp_app, unsafe_branch};
 
     fn small_dma(m: &mut Mcu) -> App {
         dma_app::build(
@@ -510,6 +562,66 @@ mod tests {
             },
         );
         assert!(clean.is_clean(), "{:?}", clean.violations);
+    }
+
+    /// The boundary × fault-schedule product space, probe one: retrying a
+    /// radio NACK — whose packet is already in the air — under `Single`
+    /// semantics duplicates the external effect. Baselines retry blindly
+    /// and trip `retry_duplicated_effect`; EaseIO's pre-charged completion
+    /// record absorbs the NACK, so the identical plan stays clean.
+    #[test]
+    fn fault_sweep_flags_naive_retry_duplication_and_easeio_stays_clean() {
+        let build = |m: &mut Mcu| flaky_radio::build(m, &flaky_radio::FlakyRadioCfg::default()).0;
+        let plan = SweepPlan {
+            mode: SweepMode::Sample(40),
+            fault: FaultSpec::with_rate(3, 80),
+            ..SweepPlan::with_env_seed(5)
+        };
+        let naive = sweep(&build, RuntimeKind::Naive, &plan);
+        assert!(
+            naive
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::RetryDuplicatedEffect),
+            "Naive must duplicate a NACKed send somewhere: {:?}",
+            naive.violations
+        );
+        let clean = sweep(&build, RuntimeKind::EaseIo, &plan);
+        assert!(
+            clean.is_clean(),
+            "EaseIO violated under the identical fault schedule: {:?}",
+            clean.violations
+        );
+    }
+
+    /// Probe two: with the retry budget squeezed to one, a `Timely` sense
+    /// degrades to the runtime's fallback. The baseline default serves the
+    /// cached value blindly; when the degraded activation lands right after
+    /// a 100 ms outage that value predates the outage and is far older than
+    /// the 10 ms window — `degraded_staleness_exceeded` fires. The temp app
+    /// is the vehicle because its only I/O *is* the Timely sense: no
+    /// `Single` site can exhaust its budget first and abort the run.
+    #[test]
+    fn fault_sweep_flags_blind_stale_fallback_in_baselines() {
+        let build = |m: &mut Mcu| temp_app::build(m, &temp_app::TempAppCfg::default());
+        let mut fault = FaultSpec::with_rate(9, 500);
+        fault.retry.max_retries = 1;
+        let out = sweep(
+            &build,
+            RuntimeKind::Naive,
+            &SweepPlan {
+                mode: SweepMode::Sample(60),
+                fault,
+                ..SweepPlan::with_env_seed(5)
+            },
+        );
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::DegradedStalenessExceeded),
+            "the blind fallback must serve a stale value somewhere: {:?}",
+            out.violations
+        );
     }
 
     #[test]

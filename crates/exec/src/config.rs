@@ -10,8 +10,8 @@
 //! the same way.
 
 use apps::harness::{kernel_builder, KernelBuilder, KernelKind};
-use apps::{dma_app, fir, lea_app, motion, temp_app, unsafe_branch, weather};
-use kernel::App;
+use apps::{dma_app, fir, flaky_radio, lea_app, motion, temp_app, unsafe_branch, weather};
+use kernel::{App, FaultSpec};
 use mcu_emu::{Mcu, Supply, TimerResetConfig};
 
 use crate::supply::{rf_supply, timer_supply_with_mean_on};
@@ -27,8 +27,8 @@ pub enum AppSpec {
 }
 
 /// CLI names of the built-in benchmark apps, in canonical report order —
-/// the full EaseIO evaluation matrix.
-pub const APP_NAMES: [&str; 8] = [
+/// the full EaseIO evaluation matrix plus the packet-loss stressor.
+pub const APP_NAMES: [&str; 9] = [
     "dma",
     "temp",
     "lea",
@@ -37,6 +37,7 @@ pub const APP_NAMES: [&str; 8] = [
     "weather-single",
     "branch",
     "motion",
+    "flaky-radio",
 ];
 
 impl AppSpec {
@@ -79,6 +80,7 @@ impl AppSpec {
             ),
             "branch" => unsafe_branch::build(mcu, &unsafe_branch::BranchCfg::default()).0,
             "motion" => motion::build(mcu, &motion::MotionCfg::default()).0,
+            "flaky-radio" => flaky_radio::build(mcu, &flaky_radio::FlakyRadioCfg::default()).0,
             other => return Err(format!("unknown app {other}")),
         })
     }
@@ -167,6 +169,8 @@ pub struct SimConfig {
     pub trace_out: Option<String>,
     /// Where to write the machine-readable report, if anywhere.
     pub report_out: Option<String>,
+    /// Transient peripheral-fault configuration (plan + retry policy).
+    pub fault: FaultSpec,
 }
 
 impl Default for SimConfig {
@@ -180,14 +184,16 @@ impl Default for SimConfig {
             jobs: 1,
             trace_out: None,
             report_out: None,
+            fault: FaultSpec::none(),
         }
     }
 }
 
 impl SimConfig {
-    /// The kernel builder for this config, standard factory installed.
+    /// The kernel builder for this config, standard factory installed and
+    /// the fault configuration attached.
     pub fn kernel_builder(&self) -> KernelBuilder {
-        kernel_builder(self.kernel)
+        kernel_builder(self.kernel).with_faults(self.fault)
     }
 
     /// Builds the configured app on `mcu`, applying the kernel's

@@ -7,8 +7,8 @@
 //! seeded independently of every other, the merged table is identical at
 //! any `--jobs` width.
 
-use apps::harness::{run_once, RuntimeKind};
-use kernel::{App, Outcome, Verdict};
+use apps::harness::{run_once_faulted, RuntimeKind};
+use kernel::{App, FaultSpec, Outcome, Verdict};
 use mcu_emu::Mcu;
 
 use crate::config::SupplySpec;
@@ -34,6 +34,8 @@ pub struct GridSpec {
     pub runs: u64,
     /// Base seed.
     pub seed: u64,
+    /// Peripheral fault configuration applied to every cell's runs.
+    pub fault: FaultSpec,
 }
 
 impl Default for GridSpec {
@@ -44,6 +46,7 @@ impl Default for GridSpec {
             on_times_ms: vec![],
             runs: 4,
             seed: 77,
+            fault: FaultSpec::none(),
         }
     }
 }
@@ -108,7 +111,7 @@ pub fn run_grid(
                     SupplySpec::Rf(d) => (rf_supply_phased(d, k * RF_PHASE_STEP_US), spec.seed),
                     other => (other.make(spec.seed + k), spec.seed + k),
                 };
-                let r = run_once(&build, kind, run_supply, seed);
+                let r = run_once_faulted(&build, kind, run_supply, seed, &spec.fault);
                 if r.outcome == Outcome::Completed {
                     completed += 1;
                     wall += r.wall_us;
@@ -159,6 +162,7 @@ mod tests {
             on_times_ms: vec![12],
             runs: 2,
             seed: 77,
+            fault: FaultSpec::none(),
         }
     }
 

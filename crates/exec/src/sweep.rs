@@ -121,6 +121,7 @@ pub fn parallel_sweep(
                     &oracle.snapshot,
                     Supply::injected(b, plan.off_us),
                     plan.env_seed,
+                    &plan.fault,
                 );
                 violations.extend(check_record(&r, &oracle.fram, b, plan.strict_memory));
             }

@@ -16,7 +16,7 @@
 //!   DMA-induced WAR still corrupts memory, which is the paper's Figure 2b
 //!   bug and the subject of its Figure 12 experiment.
 
-use crate::error::Fault;
+use crate::error::{Fault, IoFailure};
 use crate::io::{perform_dma, perform_io, IoOp};
 use crate::runtime::{DmaOutcome, IoOutcome, Runtime};
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
@@ -149,14 +149,14 @@ impl Runtime for AlpacaRuntime {
         &mut self,
         mcu: &mut Mcu,
         periph: &mut Peripherals,
-        _task: TaskId,
-        _site: u16,
+        task: TaskId,
+        site: u16,
         op: &IoOp,
         _sem: ReexecSemantics,
         _deps: &[u16],
-    ) -> Result<IoOutcome, PowerFailure> {
+    ) -> Result<IoOutcome, IoFailure> {
         // No I/O semantics: every call executes, every reboot repeats it.
-        let value = perform_io(mcu, periph, op)?;
+        let value = perform_io(mcu, periph, op, task, site)?;
         Ok(IoOutcome {
             value,
             executed: true,

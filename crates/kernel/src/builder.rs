@@ -18,6 +18,7 @@
 use crate::alpaca::AlpacaRuntime;
 use crate::ink::InkRuntime;
 use crate::naive::NaiveRuntime;
+use crate::retry::FaultSpec;
 use crate::runtime::Runtime;
 use std::sync::Arc;
 
@@ -102,6 +103,7 @@ pub type KernelFactory = Arc<dyn Fn(KernelKind) -> Option<Box<dyn Runtime>> + Se
 pub struct KernelBuilder {
     kind: KernelKind,
     factory: Option<KernelFactory>,
+    fault: FaultSpec,
 }
 
 impl std::fmt::Debug for KernelBuilder {
@@ -109,6 +111,7 @@ impl std::fmt::Debug for KernelBuilder {
         f.debug_struct("KernelBuilder")
             .field("kind", &self.kind)
             .field("has_factory", &self.factory.is_some())
+            .field("fault", &self.fault)
             .finish()
     }
 }
@@ -120,12 +123,24 @@ impl KernelBuilder {
         Self {
             kind,
             factory: None,
+            fault: FaultSpec::none(),
         }
     }
 
     /// The kind this builder constructs.
     pub fn kind(&self) -> KernelKind {
         self.kind
+    }
+
+    /// Sets the transient-fault configuration runs under this builder use.
+    pub fn with_faults(mut self, fault: FaultSpec) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The transient-fault configuration (plan + retry policy).
+    pub fn fault(&self) -> FaultSpec {
+        self.fault
     }
 
     /// Installs an extension factory consulted before the in-crate kernels

@@ -16,13 +16,14 @@
 //! A loop over `call_io` therefore gets one lock slot per iteration — the
 //! loop-array extension of the paper's §6 falls out for free.
 
-use crate::error::Fault;
+use crate::error::{Fault, IoError, IoFailure};
 use crate::io::IoOp;
+use crate::retry::RetryPolicy;
 use crate::runtime::Runtime;
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
-use easeio_trace::{ActivationTracker, Event, EventKind, SpanKind, Status};
+use easeio_trace::{ActivationTracker, Event, EventKind, InstantKind, SpanKind, Status};
 use mcu_emu::{Addr, Mcu, NvBuf, NvVar, Scalar, WorkKind};
-use periph::Peripherals;
+use periph::{PeriphClass, Peripherals};
 
 /// The execution context passed to task bodies.
 pub struct TaskCtx<'a> {
@@ -33,6 +34,7 @@ pub struct TaskCtx<'a> {
     rt: &'a mut dyn Runtime,
     tracker: &'a mut ActivationTracker,
     task: TaskId,
+    retry: RetryPolicy,
     io_seq: u16,
     dma_seq: u16,
     block_seq: u16,
@@ -50,6 +52,7 @@ impl<'a> TaskCtx<'a> {
         rt: &'a mut dyn Runtime,
         tracker: &'a mut ActivationTracker,
         task: TaskId,
+        retry: RetryPolicy,
     ) -> Self {
         Self {
             mcu,
@@ -57,6 +60,7 @@ impl<'a> TaskCtx<'a> {
             rt,
             tracker,
             task,
+            retry,
             io_seq: 0,
             dma_seq: 0,
             block_seq: 0,
@@ -156,21 +160,64 @@ impl<'a> TaskCtx<'a> {
         self.io_seq += 1;
         let name = op.kind_name();
         self.span(site, name, EventKind::SpanBegin(SpanKind::IoCall));
-        let out = match self
-            .rt
-            .io_call(self.mcu, self.periph, self.task, site, &op, sem, deps)
-        {
-            Ok(out) => out,
-            Err(e) => {
-                self.span(
-                    site,
-                    name,
-                    EventKind::SpanEnd(SpanKind::IoCall, Status::Failed),
-                );
-                return Err(e.into());
+        // Transient-fault recovery loop: a faulted attempt is retried with
+        // energy-aware backoff up to the policy's budget, then degraded
+        // according to the operation's re-execution semantics. Power
+        // failures abort the attempt as before — the activation re-executes
+        // after reboot with the fault schedule advanced past the consumed
+        // attempts (the outside world does not reboot with the MCU).
+        let mut faulted: u32 = 0;
+        let out = loop {
+            match self
+                .rt
+                .io_call(self.mcu, self.periph, self.task, site, &op, sem, deps)
+            {
+                Ok(out) => break out,
+                Err(IoFailure::Power(p)) => {
+                    self.span(
+                        site,
+                        name,
+                        EventKind::SpanEnd(SpanKind::IoCall, Status::Failed),
+                    );
+                    return Err(p.into());
+                }
+                Err(IoFailure::Fault(f)) => {
+                    faulted += 1;
+                    self.span(
+                        site,
+                        f.kind.name(),
+                        EventKind::Instant(InstantKind::PeriphFault),
+                    );
+                    if faulted > self.retry.max_retries {
+                        return self.degrade_io(site, name, sem, f.kind, faulted);
+                    }
+                    // Invariant probe: retrying a fault whose external
+                    // effect already happened (radio NACK) under `Single`
+                    // semantics is exactly the duplicate the annotation
+                    // forbids. EaseIO absorbs such faults inside its
+                    // `io_call` (the completion record was pre-charged) and
+                    // never reaches this point; baselines do.
+                    if f.effect_done && matches!(sem, ReexecSemantics::Single) {
+                        self.mcu.stats.bump("probe_retry_duplicated_effect");
+                    }
+                    let backoff = self.retry.backoff_cost(faulted);
+                    if let Err(p) = self.mcu.spend(WorkKind::Overhead, backoff) {
+                        self.span(
+                            site,
+                            name,
+                            EventKind::SpanEnd(SpanKind::IoCall, Status::Failed),
+                        );
+                        return Err(p.into());
+                    }
+                    self.mcu.stats.bump("io_retries");
+                    self.span(site, name, EventKind::Instant(InstantKind::IoRetry));
+                }
             }
         };
         let status = if out.executed {
+            let ts = self.mcu.now_us();
+            self.tracker
+                .record_io_value(self.task.0, site, out.value, ts);
             if self.tracker.first_io(self.task.0, site) {
                 Status::Executed
             } else {
@@ -201,6 +248,99 @@ impl<'a> TaskCtx<'a> {
         };
         self.span(site, name, EventKind::SpanEnd(SpanKind::IoCall, status));
         Ok(out.value)
+    }
+
+    /// Degrades an I/O operation whose transient-fault retry budget is
+    /// exhausted, per its re-execution semantics:
+    ///
+    /// * `Always` — the reading is best-effort anyway: skip with a flag.
+    /// * `Timely` — serve the runtime's degraded fallback (typically the
+    ///   last committed value) if it offers one; fault the task otherwise.
+    /// * `Single` — the effect must happen exactly once and has not
+    ///   happened: nothing can be served, the task faults.
+    fn degrade_io(
+        &mut self,
+        site: u16,
+        name: &'static str,
+        sem: ReexecSemantics,
+        kind: periph::FaultKind,
+        attempts: u32,
+    ) -> Result<i32, Fault> {
+        let exhausted = IoError {
+            kind,
+            op: name,
+            task: self.task.0,
+            site,
+            attempts,
+        };
+        match sem {
+            ReexecSemantics::Always => {
+                self.mcu.stats.bump("io_degraded_skips");
+                self.span(site, "skip", EventKind::Instant(InstantKind::Degraded));
+                self.span(
+                    site,
+                    name,
+                    EventKind::SpanEnd(SpanKind::IoCall, Status::Skipped),
+                );
+                Ok(0)
+            }
+            ReexecSemantics::Timely { window_us } => {
+                let now = self.mcu.now_us();
+                let last = self
+                    .tracker
+                    .last_io_value(self.task.0, site)
+                    .map(|(v, ts)| (v, now.saturating_sub(ts)));
+                match self
+                    .rt
+                    .degraded_fallback(self.mcu, self.task, site, window_us, last)
+                {
+                    Err(p) => {
+                        self.span(
+                            site,
+                            name,
+                            EventKind::SpanEnd(SpanKind::IoCall, Status::Failed),
+                        );
+                        Err(p.into())
+                    }
+                    Ok(Some(v)) => {
+                        self.mcu.stats.bump("io_degraded_fallbacks");
+                        // Invariant probe: serving a fallback older than the
+                        // `Timely` window (plus slack for the time the check
+                        // itself consumes) violates the freshness contract.
+                        // EaseIO's override refuses such values; the blind
+                        // default does not.
+                        if let Some((_, age_us)) = last {
+                            if age_us > window_us + 100 {
+                                self.mcu.stats.bump("probe_degraded_staleness_exceeded");
+                            }
+                        }
+                        self.span(site, "fallback", EventKind::Instant(InstantKind::Degraded));
+                        self.span(
+                            site,
+                            name,
+                            EventKind::SpanEnd(SpanKind::IoCall, Status::Skipped),
+                        );
+                        Ok(v)
+                    }
+                    Ok(None) => {
+                        self.span(
+                            site,
+                            name,
+                            EventKind::SpanEnd(SpanKind::IoCall, Status::Failed),
+                        );
+                        Err(Fault::Io(exhausted))
+                    }
+                }
+            }
+            ReexecSemantics::Single => {
+                self.span(
+                    site,
+                    name,
+                    EventKind::SpanEnd(SpanKind::IoCall, Status::Failed),
+                );
+                Err(Fault::Io(exhausted))
+            }
+        }
     }
 
     /// `_IO_block_begin(sem) ... _IO_block_end` — runs `f` as an atomic I/O
@@ -255,6 +395,60 @@ impl<'a> TaskCtx<'a> {
         let site = self.dma_seq;
         self.dma_seq += 1;
         self.span(site, "dma", EventKind::SpanBegin(SpanKind::DmaCopy));
+        // DMA transfer faults fire on the *request*: the controller aborts
+        // the programmed burst before the runtime's skip/privatization
+        // logic ever sees it. A faulted burst still paid for the transfer.
+        let mut faulted: u32 = 0;
+        while let Some(kind) = self
+            .periph
+            .faults
+            .next_fault(PeriphClass::Dma, self.task.0, site)
+        {
+            faulted += 1;
+            let wasted = periph::dma::transfer_cost(&self.mcu.cost, bytes);
+            let spent = self.mcu.spend(WorkKind::App, wasted);
+            self.mcu.stats.bump("dma_faults");
+            self.span(
+                site,
+                kind.name(),
+                EventKind::Instant(InstantKind::PeriphFault),
+            );
+            if let Err(p) = spent {
+                self.span(
+                    site,
+                    "dma",
+                    EventKind::SpanEnd(SpanKind::DmaCopy, Status::Failed),
+                );
+                return Err(p.into());
+            }
+            if faulted > self.retry.max_retries {
+                self.span(
+                    site,
+                    "dma",
+                    EventKind::SpanEnd(SpanKind::DmaCopy, Status::Failed),
+                );
+                // No degradation for DMA: the copied bytes feed computation
+                // that cannot proceed without them.
+                return Err(Fault::Io(IoError {
+                    kind,
+                    op: "dma",
+                    task: self.task.0,
+                    site,
+                    attempts: faulted,
+                }));
+            }
+            let backoff = self.retry.backoff_cost(faulted);
+            if let Err(p) = self.mcu.spend(WorkKind::Overhead, backoff) {
+                self.span(
+                    site,
+                    "dma",
+                    EventKind::SpanEnd(SpanKind::DmaCopy, Status::Failed),
+                );
+                return Err(p.into());
+            }
+            self.mcu.stats.bump("io_retries");
+            self.span(site, "dma", EventKind::Instant(InstantKind::IoRetry));
+        }
         let out = match self.rt.dma_copy(
             self.mcu, self.task, site, src, dst, bytes, annotation, related,
         ) {
@@ -304,7 +498,14 @@ mod tests {
     #[test]
     fn io_sites_are_numbered_in_execution_order() {
         let (mut mcu, mut p, mut rt, mut tel) = setup();
-        let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+        let mut ctx = TaskCtx::new(
+            &mut mcu,
+            &mut p,
+            &mut rt,
+            &mut tel,
+            TaskId(0),
+            RetryPolicy::default(),
+        );
         assert_eq!(ctx.next_io_site(), 0);
         ctx.call_io(IoOp::Sense(Sensor::Temp), ReexecSemantics::Always)
             .unwrap();
@@ -319,14 +520,28 @@ mod tests {
         let (mut mcu, mut p, mut rt, mut tel) = setup();
         // Attempt 1 executes site 0.
         {
-            let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+            let mut ctx = TaskCtx::new(
+                &mut mcu,
+                &mut p,
+                &mut rt,
+                &mut tel,
+                TaskId(0),
+                RetryPolicy::default(),
+            );
             ctx.call_io(IoOp::Sense(Sensor::Temp), ReexecSemantics::Always)
                 .unwrap();
         }
         assert_eq!(mcu.stats.io_reexecutions, 0);
         // Attempt 2 (same activation: telemetry not committed) repeats it.
         {
-            let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+            let mut ctx = TaskCtx::new(
+                &mut mcu,
+                &mut p,
+                &mut rt,
+                &mut tel,
+                TaskId(0),
+                RetryPolicy::default(),
+            );
             ctx.call_io(IoOp::Sense(Sensor::Temp), ReexecSemantics::Always)
                 .unwrap();
         }
@@ -334,7 +549,14 @@ mod tests {
         // After commit, a fresh activation's execution is not redundant.
         tel.commit(0);
         {
-            let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+            let mut ctx = TaskCtx::new(
+                &mut mcu,
+                &mut p,
+                &mut rt,
+                &mut tel,
+                TaskId(0),
+                RetryPolicy::default(),
+            );
             ctx.call_io(IoOp::Sense(Sensor::Temp), ReexecSemantics::Always)
                 .unwrap();
         }
@@ -346,7 +568,14 @@ mod tests {
         let (mut mcu, mut p, mut rt, mut tel) = setup();
         let v: NvVar<i32> = NvVar::alloc(&mut mcu.mem, Region::Fram);
         let b: NvBuf<i16> = NvBuf::alloc(&mut mcu.mem, Region::Fram, 4);
-        let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+        let mut ctx = TaskCtx::new(
+            &mut mcu,
+            &mut p,
+            &mut rt,
+            &mut tel,
+            TaskId(0),
+            RetryPolicy::default(),
+        );
         ctx.write(v, -9).unwrap();
         assert_eq!(ctx.read(v).unwrap(), -9);
         ctx.buf_write(b, 2, 7i16).unwrap();
@@ -356,7 +585,14 @@ mod tests {
     #[test]
     fn now_reads_the_persistent_timer_with_cost() {
         let (mut mcu, mut p, mut rt, mut tel) = setup();
-        let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+        let mut ctx = TaskCtx::new(
+            &mut mcu,
+            &mut p,
+            &mut rt,
+            &mut tel,
+            TaskId(0),
+            RetryPolicy::default(),
+        );
         let t1 = ctx.now().unwrap();
         let t2 = ctx.now().unwrap();
         assert!(t2 > t1, "each timer read advances virtual time");
@@ -365,7 +601,14 @@ mod tests {
     #[test]
     fn compute_charges_app_time() {
         let (mut mcu, mut p, mut rt, mut tel) = setup();
-        let mut ctx = TaskCtx::new(&mut mcu, &mut p, &mut rt, &mut tel, TaskId(0));
+        let mut ctx = TaskCtx::new(
+            &mut mcu,
+            &mut p,
+            &mut rt,
+            &mut tel,
+            TaskId(0),
+            RetryPolicy::default(),
+        );
         ctx.compute(123).unwrap();
         assert_eq!(mcu.stats.app_time_us, 123);
         assert_eq!(mcu.stats.overhead_time_us, 0);

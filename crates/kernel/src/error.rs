@@ -1,13 +1,21 @@
 //! Typed fault model for task execution.
 //!
-//! A task attempt can be interrupted by two kinds of events: a power
+//! A task attempt can be interrupted by three kinds of events: a power
 //! failure (the normal course of intermittent execution — the executor
-//! reboots and re-enters the task) and a runtime resource fault such as an
+//! reboots and re-enters the task), a runtime resource fault such as an
 //! exhausted DMA privatization pool (a configuration error — retrying
-//! cannot help, so the executor aborts the run and reports it). Both
-//! propagate with `?` out of task bodies as a [`Fault`].
+//! cannot help, so the executor aborts the run and reports it), and an
+//! unrecoverable peripheral I/O fault (the retry budget of a transient
+//! [`IoFault`] was exhausted and no semantics-preserving degradation was
+//! available). All propagate with `?` out of task bodies as a [`Fault`].
+//!
+//! Transient faults use a separate, narrower channel: a single faulted
+//! *attempt* surfaces as [`IoFailure::Fault`] out of the I/O execution
+//! layer and is consumed by the task context's retry loop; only exhaustion
+//! becomes a terminal [`IoError`] inside [`Fault::Io`].
 
 use mcu_emu::PowerFailure;
+use periph::FaultKind;
 
 /// A non-recoverable DMA configuration error.
 ///
@@ -53,6 +61,70 @@ impl std::fmt::Display for DmaError {
     }
 }
 
+/// One faulted physical attempt of a peripheral operation: transient, and
+/// consumed by the task context's retry loop rather than propagated to the
+/// executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoFault {
+    /// What went wrong on the peripheral.
+    pub kind: FaultKind,
+    /// The operation's kind name (`"send"`, `"temp"`, …).
+    pub op: &'static str,
+    /// Whether the external effect still happened (a radio NACK: the packet
+    /// is in the air, only the acknowledgement is lost). A runtime that
+    /// pre-charged its completion record can absorb such a fault without
+    /// ever re-running the effect.
+    pub effect_done: bool,
+    /// The operation's value, valid only when `effect_done` is true.
+    pub value: i32,
+}
+
+/// Why one attempt of an I/O operation did not complete: the power died
+/// mid-operation, or the peripheral faulted transiently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFailure {
+    /// Power failure during the attempt.
+    Power(PowerFailure),
+    /// A transient peripheral fault; retrying may succeed.
+    Fault(IoFault),
+}
+
+impl From<PowerFailure> for IoFailure {
+    fn from(p: PowerFailure) -> Self {
+        IoFailure::Power(p)
+    }
+}
+
+/// A terminal I/O error: the transient-fault retry budget was exhausted
+/// and the operation's semantics admitted no degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoError {
+    /// The last attempt's fault kind.
+    pub kind: FaultKind,
+    /// The operation's kind name.
+    pub op: &'static str,
+    /// Task containing the call site.
+    pub task: u16,
+    /// Call-site index within the task.
+    pub site: u16,
+    /// Faulted attempts consumed before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "I/O operation '{}' at task {} site {} failed ({}) after {} attempts",
+            self.op,
+            self.task,
+            self.site,
+            self.kind.name(),
+            self.attempts
+        )
+    }
+}
+
 /// Why a task attempt stopped early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -60,6 +132,8 @@ pub enum Fault {
     Power(PowerFailure),
     /// A DMA resource fault; the executor aborts the run.
     Dma(DmaError),
+    /// An unrecoverable peripheral I/O fault; the executor aborts the run.
+    Io(IoError),
 }
 
 impl From<PowerFailure> for Fault {
@@ -74,11 +148,18 @@ impl From<DmaError> for Fault {
     }
 }
 
+impl From<IoError> for Fault {
+    fn from(e: IoError) -> Self {
+        Fault::Io(e)
+    }
+}
+
 impl std::fmt::Display for Fault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Fault::Power(_) => write!(f, "power failure"),
             Fault::Dma(e) => write!(f, "{e}"),
+            Fault::Io(e) => write!(f, "{e}"),
         }
     }
 }
@@ -111,5 +192,25 @@ mod tests {
         };
         assert!(format!("{o}").contains("512"));
         assert!(format!("{}", Fault::Dma(o)).contains("256"));
+    }
+
+    #[test]
+    fn io_error_display_names_the_site_and_kind() {
+        let e = IoError {
+            kind: FaultKind::PacketDrop,
+            op: "send",
+            task: 8,
+            site: 2,
+            attempts: 4,
+        };
+        let s = format!("{}", Fault::Io(e));
+        assert!(s.contains("send") && s.contains("packet_drop"), "{s}");
+        assert!(s.contains("task 8") && s.contains("site 2") && s.contains("4 attempts"));
+    }
+
+    #[test]
+    fn io_failure_wraps_power_via_from() {
+        let f: IoFailure = PowerFailure.into();
+        assert_eq!(f, IoFailure::Power(PowerFailure));
     }
 }

@@ -10,7 +10,8 @@
 //! it.
 
 use crate::ctx::TaskCtx;
-use crate::error::{DmaError, Fault};
+use crate::error::Fault;
+use crate::retry::RetryPolicy;
 use crate::runtime::Runtime;
 use crate::semantics::TaskId;
 use crate::task::{App, Transition, Verdict};
@@ -23,12 +24,15 @@ use periph::Peripherals;
 pub struct ExecConfig {
     /// Give up on a task after this many failed attempts (non-termination).
     pub max_attempts_per_task: u64,
+    /// Retry/backoff policy for transient peripheral faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
         Self {
             max_attempts_per_task: 5_000,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -41,9 +45,10 @@ pub enum Outcome {
     /// A task could not complete within the attempt budget: the
     /// non-termination bug of paper §3.5.
     NonTermination,
-    /// A non-recoverable runtime fault (e.g. DMA pool exhaustion) aborted
-    /// the run; re-execution cannot clear it.
-    Fault(DmaError),
+    /// A non-recoverable fault — a DMA resource error or an exhausted I/O
+    /// retry budget with no degradation — aborted the run; re-execution
+    /// cannot clear it.
+    Fault(Fault),
 }
 
 /// Everything a run produces.
@@ -134,7 +139,7 @@ pub fn run_app(
             let attempt = (|| {
                 rt.on_task_entry(mcu, task_id, reexecution)?;
                 let body = app.task(task_id).body.clone();
-                let mut ctx = TaskCtx::new(mcu, periph, rt, &mut tracker, task_id);
+                let mut ctx = TaskCtx::new(mcu, periph, rt, &mut tracker, task_id, cfg.retry);
                 let transition = body(&mut ctx)?;
                 // Commit: the runtime's flag/privatization publication and
                 // the execution-pointer update are ONE atomic step. If the
@@ -205,8 +210,9 @@ pub fn run_app(
                     );
                     continue 'run;
                 }
-                Err(Fault::Dma(e)) => {
-                    // Re-executing cannot clear a resource fault: abort.
+                Err(f @ (Fault::Dma(_) | Fault::Io(_))) => {
+                    // Re-executing cannot clear a resource fault or refill
+                    // an exhausted retry budget mid-schedule: abort.
                     emit_span(
                         mcu,
                         task_id.0,
@@ -215,7 +221,7 @@ pub fn run_app(
                         EventKind::SpanEnd(SpanKind::TaskAttempt, Status::Failed),
                     );
                     emit_instant(mcu, InstantKind::GiveUp, task_name);
-                    outcome = Outcome::Fault(e);
+                    outcome = Outcome::Fault(f);
                     break 'run;
                 }
             }
@@ -394,6 +400,7 @@ mod tests {
             &mut p,
             &ExecConfig {
                 max_attempts_per_task: 100,
+                ..Default::default()
             },
         );
         assert_eq!(r.outcome, Outcome::NonTermination);

@@ -11,7 +11,7 @@
 //! Like Alpaca, InK has no I/O semantics and no DMA interception: both
 //! re-execute wholesale after every power failure.
 
-use crate::error::Fault;
+use crate::error::{Fault, IoFailure};
 use crate::io::{perform_dma, perform_io, IoOp};
 use crate::runtime::{DmaOutcome, IoOutcome, Runtime};
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
@@ -137,13 +137,13 @@ impl Runtime for InkRuntime {
         &mut self,
         mcu: &mut Mcu,
         periph: &mut Peripherals,
-        _task: TaskId,
-        _site: u16,
+        task: TaskId,
+        site: u16,
         op: &IoOp,
         _sem: ReexecSemantics,
         _deps: &[u16],
-    ) -> Result<IoOutcome, PowerFailure> {
-        let value = perform_io(mcu, periph, op)?;
+    ) -> Result<IoOutcome, IoFailure> {
+        let value = perform_io(mcu, periph, op, task, site)?;
         Ok(IoOutcome {
             value,
             executed: true,

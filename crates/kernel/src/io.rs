@@ -8,8 +8,10 @@
 //! This models the paper's assumption that I/O functions are synchronous so
 //! completion flags are set strictly after the operation finished (§6).
 
+use crate::error::{IoFailure, IoFault};
+use crate::semantics::TaskId;
 use mcu_emu::{Addr, Cost, Mcu, PowerFailure, WorkKind};
-use periph::{camera, lea, radio, sensors::Sensor, Peripherals};
+use periph::{camera, lea, radio, sensors::Sensor, PeriphClass, Peripherals};
 
 /// A peripheral operation invocable through `_call_IO`.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,18 +132,75 @@ impl IoOp {
             IoOp::Delay { .. } => "delay",
         }
     }
+
+    /// The peripheral class a fault plan schedules this operation under.
+    /// `Delay` models a pure busy-wait and cannot fault.
+    pub fn periph_class(&self) -> Option<PeriphClass> {
+        Some(match self {
+            IoOp::Sense(_) => PeriphClass::Sensor,
+            IoOp::Send { .. } => PeriphClass::Radio,
+            IoOp::Capture { .. } => PeriphClass::Camera,
+            IoOp::LeaFir { .. }
+            | IoOp::LeaConv2d { .. }
+            | IoOp::LeaRelu { .. }
+            | IoOp::LeaFc { .. }
+            | IoOp::LeaArgmax { .. } => PeriphClass::Lea,
+            IoOp::Delay { .. } => return None,
+        })
+    }
 }
 
 /// Executes `op` on the peripherals: charges the full cost as application
 /// work, then applies the effect and returns the operation's value.
 ///
 /// Shared by every runtime — the runtimes differ only in *whether* they call
-/// this, never in how the operation itself runs.
-pub fn perform_io(mcu: &mut Mcu, periph: &mut Peripherals, op: &IoOp) -> Result<i32, PowerFailure> {
+/// this, never in how the operation itself runs. `task`/`site` name the call
+/// site for the peripheral fault schedule: if a transient fault is scheduled
+/// for this physical attempt, the full cost is still charged (the bus was
+/// driven, the accelerator spun) but the attempt ends in
+/// [`IoFailure::Fault`]. A radio NACK is the one *post-effect* fault: the
+/// packet is transmitted and logged before the error is returned.
+pub fn perform_io(
+    mcu: &mut Mcu,
+    periph: &mut Peripherals,
+    op: &IoOp,
+    task: TaskId,
+    site: u16,
+) -> Result<i32, IoFailure> {
     let cost = op.cost(mcu);
     mcu.spend(WorkKind::App, cost)?;
-    mcu.stats.io_executed += 1;
     let now = mcu.now_us();
+    if let Some(class) = op.periph_class() {
+        if let Some(kind) = periph.faults.next_fault(class, task.0, site) {
+            mcu.stats.bump("io_faults");
+            mcu.stats.bump(kind.name());
+            let fault = if kind.effect_done() {
+                // Post-effect fault (NACK): the external effect happens.
+                let value = match op {
+                    IoOp::Send { payload } => {
+                        periph.radio.transmit(now, payload);
+                        (payload.len() * 4) as i32
+                    }
+                    _ => unreachable!("only radio faults are post-effect"),
+                };
+                IoFault {
+                    kind,
+                    op: op.kind_name(),
+                    effect_done: true,
+                    value,
+                }
+            } else {
+                IoFault {
+                    kind,
+                    op: op.kind_name(),
+                    effect_done: false,
+                    value: 0,
+                }
+            };
+            return Err(IoFailure::Fault(fault));
+        }
+    }
+    mcu.stats.io_executed += 1;
     let value = match op {
         IoOp::Sense(s) => s.sample(&periph.env, now),
         IoOp::Send { payload } => {
@@ -214,6 +273,7 @@ pub fn perform_dma(
 mod tests {
     use super::*;
     use mcu_emu::{AllocTag, Region, Supply};
+    use periph::FaultPlan;
 
     fn setup() -> (Mcu, Peripherals) {
         (Mcu::new(Supply::continuous()), Peripherals::new(7))
@@ -222,7 +282,7 @@ mod tests {
     #[test]
     fn sense_returns_environment_reading() {
         let (mut mcu, mut p) = setup();
-        let v = perform_io(&mut mcu, &mut p, &IoOp::Sense(Sensor::Temp)).unwrap();
+        let v = perform_io(&mut mcu, &mut p, &IoOp::Sense(Sensor::Temp), TaskId(0), 0).unwrap();
         // The sample is taken at completion time, after the sensing delay.
         assert_eq!(v, p.env.temp_centi_c(mcu.now_us()));
         assert_eq!(mcu.stats.io_executed, 1);
@@ -238,6 +298,8 @@ mod tests {
             &IoOp::Send {
                 payload: vec![1, 2, 3],
             },
+            TaskId(0),
+            0,
         )
         .unwrap();
         assert_eq!(v, 12);
@@ -258,6 +320,8 @@ mod tests {
                 height: 4,
                 seed: 3,
             },
+            TaskId(0),
+            0,
         )
         .unwrap();
         let mut sum = 0i32;
@@ -286,6 +350,8 @@ mod tests {
                 n_out: 4,
                 taps: 1,
             },
+            TaskId(0),
+            0,
         )
         .unwrap();
         assert_eq!(macs, 4);
@@ -304,7 +370,13 @@ mod tests {
         };
         let mut mcu = Mcu::new(Supply::timer(cfg, 1));
         let mut p = Peripherals::new(1);
-        let r = perform_io(&mut mcu, &mut p, &IoOp::Send { payload: vec![9] });
+        let r = perform_io(
+            &mut mcu,
+            &mut p,
+            &IoOp::Send { payload: vec![9] },
+            TaskId(0),
+            0,
+        );
         assert!(r.is_err());
         assert_eq!(p.radio.count(), 0);
         assert_eq!(mcu.stats.io_executed, 0);
@@ -339,5 +411,88 @@ mod tests {
         for op in ops {
             assert!(op.cost(&mcu).time_us > 0, "{} has no cost", op.kind_name());
         }
+    }
+
+    #[test]
+    fn scheduled_fault_charges_cost_without_effect() {
+        let (mut mcu, mut p) = setup();
+        p.faults.install(FaultPlan::new(1, 1000));
+        let r = perform_io(&mut mcu, &mut p, &IoOp::Sense(Sensor::Temp), TaskId(0), 0);
+        match r {
+            Err(IoFailure::Fault(f)) => {
+                assert_eq!(f.kind, periph::FaultKind::SensorTimeout);
+                assert!(!f.effect_done);
+            }
+            other => panic!("expected a fault, got {other:?}"),
+        }
+        assert_eq!(
+            mcu.stats.io_executed, 0,
+            "a faulted attempt is not an execution"
+        );
+        assert!(
+            mcu.stats.app_time_us >= mcu.cost.sense_temp.time_us,
+            "the faulted attempt still drove the bus"
+        );
+        assert_eq!(mcu.stats.counter("io_faults"), 1);
+        assert_eq!(mcu.stats.counter("sensor_timeout"), 1);
+    }
+
+    #[test]
+    fn radio_nack_is_post_effect() {
+        let (mut mcu, mut p) = setup();
+        p.faults.install(FaultPlan::new(1, 1000));
+        // Every radio attempt faults; walk the schedule to its first NACK.
+        loop {
+            let r = perform_io(
+                &mut mcu,
+                &mut p,
+                &IoOp::Send { payload: vec![5] },
+                TaskId(0),
+                0,
+            );
+            match r {
+                Err(IoFailure::Fault(f)) if f.effect_done => {
+                    assert_eq!(f.kind, periph::FaultKind::RadioNack);
+                    assert_eq!(f.value, 4);
+                    break;
+                }
+                Err(IoFailure::Fault(_)) => continue, // a drop: nothing left the radio
+                other => panic!("rate 1000 must fault every attempt, got {other:?}"),
+            }
+        }
+        assert_eq!(p.radio.count(), 1, "the NACKed packet is in the air");
+    }
+
+    #[test]
+    fn delay_ops_never_fault() {
+        let (mut mcu, mut p) = setup();
+        p.faults.install(FaultPlan::new(1, 1000));
+        let op = IoOp::Delay {
+            cost: Cost::new(10, 10),
+        };
+        assert_eq!(op.periph_class(), None);
+        assert_eq!(perform_io(&mut mcu, &mut p, &op, TaskId(0), 0), Ok(0));
+    }
+
+    #[test]
+    fn fault_schedule_is_per_site_and_reproducible() {
+        let run = |site: u16| {
+            let (mut mcu, mut p) = setup();
+            p.faults.install(FaultPlan::new(9, 300));
+            (0..12u32)
+                .map(|_| {
+                    perform_io(
+                        &mut mcu,
+                        &mut p,
+                        &IoOp::Sense(Sensor::Temp),
+                        TaskId(2),
+                        site,
+                    )
+                    .is_err()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(0), "same coordinates, same schedule");
+        assert_ne!(run(0), run(1), "sites have independent schedules");
     }
 }

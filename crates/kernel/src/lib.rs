@@ -29,15 +29,17 @@ pub mod footprint;
 pub mod ink;
 pub mod io;
 pub mod naive;
+pub mod retry;
 pub mod runtime;
 pub mod semantics;
 pub mod task;
 
 pub use builder::{KernelBuilder, KernelFactory, KernelKind};
 pub use ctx::TaskCtx;
-pub use error::{DmaError, Fault};
+pub use error::{DmaError, Fault, IoError, IoFailure, IoFault};
 pub use executor::{run_app, ExecConfig, Outcome, RunResult};
 pub use io::IoOp;
+pub use retry::{FaultSpec, RetryPolicy};
 pub use runtime::{DmaOutcome, IoOutcome, Runtime};
 pub use semantics::{DmaAnnotation, ReexecSemantics, TaskId};
 pub use task::{App, Inventory, TaskDef, TaskResult, Transition, Verdict};

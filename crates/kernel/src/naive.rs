@@ -5,7 +5,7 @@
 //! paper's Figure 2 (wasteful I/O, idempotence bugs, unsafe execution) and
 //! serves as the didactic lower bound in tests and examples.
 
-use crate::error::Fault;
+use crate::error::{Fault, IoFailure};
 use crate::io::{perform_dma, perform_io, IoOp};
 use crate::runtime::{DmaOutcome, IoOutcome, Runtime};
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
@@ -61,13 +61,13 @@ impl Runtime for NaiveRuntime {
         &mut self,
         mcu: &mut Mcu,
         periph: &mut Peripherals,
-        _task: TaskId,
-        _site: u16,
+        task: TaskId,
+        site: u16,
         op: &IoOp,
         _sem: ReexecSemantics,
         _deps: &[u16],
-    ) -> Result<IoOutcome, PowerFailure> {
-        let value = perform_io(mcu, periph, op)?;
+    ) -> Result<IoOutcome, IoFailure> {
+        let value = perform_io(mcu, periph, op, task, site)?;
         Ok(IoOutcome {
             value,
             executed: true,

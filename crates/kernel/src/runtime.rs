@@ -16,7 +16,7 @@
 //! semantically equivalent to the static instrumentation the original
 //! systems generate (see DESIGN.md §2 for the argument).
 
-use crate::error::Fault;
+use crate::error::{Fault, IoFailure};
 use crate::io::IoOp;
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
 use mcu_emu::{Addr, Mcu, PowerFailure, RawVar};
@@ -90,6 +90,13 @@ pub trait Runtime {
     /// `_call_IO(op, sem)` at call site `site` (sequence index within the
     /// task body). `deps` lists earlier call sites whose outputs feed this
     /// operation (paper §3.3.2).
+    ///
+    /// A transient peripheral fault surfaces as [`IoFailure::Fault`] — the
+    /// task context's retry loop consumes it; it never reaches the task
+    /// body. A runtime whose completion record was already paid for may
+    /// instead *absorb* a post-effect fault (radio NACK) and return `Ok`,
+    /// which is what keeps `Single` operations effect-idempotent under
+    /// retry.
     #[allow(clippy::too_many_arguments)]
     fn io_call(
         &mut self,
@@ -100,7 +107,28 @@ pub trait Runtime {
         op: &IoOp,
         sem: ReexecSemantics,
         deps: &[u16],
-    ) -> Result<IoOutcome, PowerFailure>;
+    ) -> Result<IoOutcome, IoFailure>;
+
+    /// Last-resort value for a `Timely` operation whose transient-fault
+    /// retry budget is exhausted: `Ok(Some(v))` serves `v` in place of a
+    /// fresh reading, `Ok(None)` refuses and the task faults.
+    ///
+    /// `last` is the harness-cached `(value, age_us)` of the site's most
+    /// recent successful execution. The default — a baseline runtime with
+    /// no persistent freshness metadata — serves it *blindly*, stale or
+    /// not; the crash sweep's `degraded_staleness_exceeded` probe exists to
+    /// catch exactly that. EaseIO overrides this with a check of its
+    /// FRAM-resident timestamp and refuses values older than Δ.
+    fn degraded_fallback(
+        &mut self,
+        _mcu: &mut Mcu,
+        _task: TaskId,
+        _site: u16,
+        _window_us: u64,
+        last: Option<(i32, u64)>,
+    ) -> Result<Option<i32>, PowerFailure> {
+        Ok(last.map(|(v, _)| v))
+    }
 
     /// `_IO_block_begin(sem)`; `block` is the block's sequence index.
     fn io_block_begin(

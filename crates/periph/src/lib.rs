@@ -18,11 +18,13 @@
 pub mod camera;
 pub mod dma;
 pub mod env;
+pub mod fault;
 pub mod lea;
 pub mod radio;
 pub mod sensors;
 
 pub use env::Environment;
+pub use fault::{FaultKind, FaultPlan, FaultState, PeriphClass};
 pub use radio::{Packet, RadioLog};
 pub use sensors::Sensor;
 
@@ -33,6 +35,9 @@ pub struct Peripherals {
     pub env: Environment,
     /// Radio transmission log.
     pub radio: RadioLog,
+    /// Transient-fault schedule and attempt counters (no faults unless a
+    /// plan is installed).
+    pub faults: FaultState,
 }
 
 impl Peripherals {
@@ -41,6 +46,14 @@ impl Peripherals {
         Self {
             env: Environment::new(env_seed),
             radio: RadioLog::new(),
+            faults: FaultState::default(),
         }
+    }
+
+    /// Creates peripherals with a transient-fault plan installed.
+    pub fn with_fault_plan(env_seed: u64, plan: FaultPlan) -> Self {
+        let mut p = Self::new(env_seed);
+        p.faults.install(plan);
+        p
     }
 }

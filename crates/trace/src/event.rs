@@ -73,6 +73,13 @@ pub enum InstantKind {
     RegionReconcile,
     /// The executor abandoned a task (non-termination guard).
     GiveUp,
+    /// A peripheral faulted transiently; `name` is the fault kind.
+    PeriphFault,
+    /// The task context retried a faulted I/O or DMA attempt.
+    IoRetry,
+    /// Retry budget exhausted; the operation degraded (skip or fallback);
+    /// `name` is `"skip"` or `"fallback"`.
+    Degraded,
 }
 
 impl InstantKind {
@@ -88,6 +95,9 @@ impl InstantKind {
             InstantKind::RegionEnter => "region_enter",
             InstantKind::RegionReconcile => "region_reconcile",
             InstantKind::GiveUp => "give_up",
+            InstantKind::PeriphFault => "periph_fault",
+            InstantKind::IoRetry => "io_retry",
+            InstantKind::Degraded => "degraded",
         }
     }
 }
@@ -201,6 +211,9 @@ mod tests {
         assert_eq!(SpanKind::IoCall.label(), "io_call");
         assert_eq!(InstantKind::PowerFailure.label(), "power_failure");
         assert_eq!(Status::Redundant.label(), "redundant");
+        assert_eq!(InstantKind::PeriphFault.label(), "periph_fault");
+        assert_eq!(InstantKind::IoRetry.label(), "io_retry");
+        assert_eq!(InstantKind::Degraded.label(), "degraded");
         for l in [
             SpanKind::TaskAttempt.label(),
             InstantKind::RegionReconcile.label(),

@@ -93,6 +93,14 @@ pub struct Profile {
     /// `timestamp_check` total splits into `timestamp_check_expired` via the
     /// event name.
     pub instants: BTreeMap<&'static str, u64>,
+    /// Injected peripheral faults by fault-kind name (`PeriphFault` events
+    /// carry the kind as their name).
+    pub faults_by_kind: BTreeMap<&'static str, u64>,
+    /// Degradation outcomes by mode (`"skip"` or `"fallback"`).
+    pub degraded_by_mode: BTreeMap<&'static str, u64>,
+    /// Retry counts per `(task, site)` — the per-site retry histogram, from
+    /// `IoRetry` instants.
+    pub retries_by_site: BTreeMap<(u16, u16), u64>,
     /// Total time the supply was off (µs), from `PowerOff` spans.
     pub power_off_us: u64,
     /// Span ends without a matching begin plus spans left open — zero on a
@@ -132,6 +140,15 @@ pub fn build_profile(events: &[Event]) -> Profile {
                     InstantKind::PowerFailure => last_failure = Some((ev.ts_us, ev.energy_nj)),
                     InstantKind::TimestampCheck if ev.name == "expired" => {
                         *p.instants.entry("timestamp_check_expired").or_insert(0) += 1;
+                    }
+                    InstantKind::PeriphFault => {
+                        *p.faults_by_kind.entry(ev.name).or_insert(0) += 1;
+                    }
+                    InstantKind::Degraded => {
+                        *p.degraded_by_mode.entry(ev.name).or_insert(0) += 1;
+                    }
+                    InstantKind::IoRetry => {
+                        *p.retries_by_site.entry((ev.task, ev.site)).or_insert(0) += 1;
                     }
                     _ => {}
                 }
@@ -389,6 +406,39 @@ mod tests {
         assert_eq!(tp.commits, 5);
         assert_eq!(tp.latency.p50_us, 30);
         assert_eq!(tp.latency.max_us, 1000);
+    }
+
+    #[test]
+    fn fault_retry_and_degradation_instants_are_sub_counted() {
+        use EventKind::Instant;
+        let at = |task, site, name, kind| Event {
+            ts_us: 0,
+            energy_nj: 0,
+            task,
+            site,
+            name,
+            kind: Instant(kind),
+        };
+        let events = [
+            at(1, 4, "sensor_timeout", InstantKind::PeriphFault),
+            at(1, 4, "io_retry", InstantKind::IoRetry),
+            at(1, 4, "sensor_timeout", InstantKind::PeriphFault),
+            at(1, 4, "io_retry", InstantKind::IoRetry),
+            at(2, 0, "radio_nack", InstantKind::PeriphFault),
+            at(2, 0, "io_retry", InstantKind::IoRetry),
+            at(1, 4, "fallback", InstantKind::Degraded),
+            at(3, 1, "skip", InstantKind::Degraded),
+        ];
+        let p = build_profile(&events);
+        assert_eq!(p.instants["periph_fault"], 3);
+        assert_eq!(p.instants["io_retry"], 3);
+        assert_eq!(p.instants["degraded"], 2);
+        assert_eq!(p.faults_by_kind["sensor_timeout"], 2);
+        assert_eq!(p.faults_by_kind["radio_nack"], 1);
+        assert_eq!(p.degraded_by_mode["fallback"], 1);
+        assert_eq!(p.degraded_by_mode["skip"], 1);
+        assert_eq!(p.retries_by_site[&(1, 4)], 2);
+        assert_eq!(p.retries_by_site[&(2, 0)], 1);
     }
 
     #[test]

@@ -224,7 +224,7 @@ fn run_body(inp: &ReportInputs, profile: &Profile) -> Value {
         .map(|(k, v)| (k.to_string(), Value::u64(*v)))
         .collect();
 
-    Value::Obj(vec![
+    let mut fields = vec![
         ("runtime".into(), Value::str(inp.runtime.clone())),
         ("app".into(), Value::str(inp.app.clone())),
         ("supply".into(), inp.supply.clone()),
@@ -250,7 +250,45 @@ fn run_body(inp: &ReportInputs, profile: &Profile) -> Value {
                 ("unbalanced_spans".into(), Value::u64(profile.unbalanced)),
             ]),
         ),
-    ])
+    ];
+    // Peripheral-fault telemetry: optional block, present only when the run
+    // actually saw injected faults, retries, or degradations — older v2
+    // readers and fault-free runs are unaffected.
+    if !profile.faults_by_kind.is_empty()
+        || !profile.degraded_by_mode.is_empty()
+        || !profile.retries_by_site.is_empty()
+    {
+        let by_kind = profile
+            .faults_by_kind
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::u64(*v)))
+            .collect();
+        let degraded = profile
+            .degraded_by_mode
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::u64(*v)))
+            .collect();
+        let retries = profile
+            .retries_by_site
+            .iter()
+            .map(|(&(task, site), &n)| {
+                Value::Obj(vec![
+                    ("task".into(), Value::u64(task as u64)),
+                    ("site".into(), Value::u64(site as u64)),
+                    ("retries".into(), Value::u64(n)),
+                ])
+            })
+            .collect();
+        fields.push((
+            "faults".into(),
+            Value::Obj(vec![
+                ("by_kind".into(), Value::Obj(by_kind)),
+                ("degraded".into(), Value::Obj(degraded)),
+                ("retries_by_site".into(), Value::Arr(retries)),
+            ]),
+        ));
+    }
+    Value::Obj(fields)
 }
 
 /// Required numeric keys inside `metrics`.
@@ -393,6 +431,27 @@ fn validate_run_body(v: &Value) -> Vec<String> {
             }
         }
     }
+    // 'faults' is optional (absent for fault-free runs and older v2 docs);
+    // when present its three sub-fields must be well-formed.
+    if let Some(f) = v.get("faults") {
+        for k in ["by_kind", "degraded"] {
+            if f.get(k).and_then(Value::as_obj).is_none() {
+                errs.push(format!("'faults.{k}' must be an object"));
+            }
+        }
+        match f.get("retries_by_site").and_then(Value::as_arr) {
+            None => errs.push("'faults.retries_by_site' must be an array".into()),
+            Some(rows) => {
+                for (i, row) in rows.iter().enumerate() {
+                    for k in ["task", "site", "retries"] {
+                        if row.get(k).and_then(Value::as_u64).is_none() {
+                            errs.push(format!("faults.retries_by_site[{i}] missing '{k}'"));
+                        }
+                    }
+                }
+            }
+        }
+    }
     errs
 }
 
@@ -459,6 +518,49 @@ mod tests {
                 .unwrap()
                 .as_f64(),
             Some(25.0)
+        );
+    }
+
+    #[test]
+    fn fault_block_is_emitted_only_when_faults_occurred() {
+        let clean = build_report(&sample_inputs(), &Profile::default());
+        assert!(clean.get("report").unwrap().get("faults").is_none());
+        validate_report(&clean).unwrap();
+
+        let mut p = Profile::default();
+        p.faults_by_kind.insert("radio_nack", 3);
+        p.degraded_by_mode.insert("fallback", 1);
+        p.retries_by_site.insert((4, 2), 3);
+        let doc = build_report(&sample_inputs(), &p);
+        validate_report(&doc).expect("fault block must satisfy the schema");
+        let f = doc.get("report").unwrap().get("faults").unwrap();
+        assert_eq!(
+            f.get("by_kind")
+                .and_then(|b| b.get("radio_nack"))
+                .and_then(Value::as_u64),
+            Some(3)
+        );
+        let rows = f.get("retries_by_site").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows[0].get("retries").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn malformed_fault_block_is_rejected() {
+        let mut doc = build_report(&sample_inputs(), &Profile::default());
+        if let Value::Obj(top) = &mut doc {
+            for (k, body) in top.iter_mut() {
+                if k != "report" {
+                    continue;
+                }
+                if let Value::Obj(fields) = body {
+                    fields.push(("faults".into(), Value::str("bogus")));
+                }
+            }
+        }
+        let errs = validate_report(&doc).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("faults.by_kind")),
+            "{errs:?}"
         );
     }
 

@@ -15,6 +15,7 @@
 
 use crate::envelope::{Report, ReportBody, LEGACY_SCHEMA_VERSION};
 use crate::json::Value;
+use std::collections::BTreeMap;
 
 /// One injection run that broke a crash-consistency invariant.
 #[derive(Debug, Clone)]
@@ -44,6 +45,22 @@ pub struct SweepTimingDoc {
     pub busy_us_per_worker: Vec<u64>,
 }
 
+/// Fault-injection configuration of a sweep. Result identity, not
+/// measurement: two sweeps with different fault specs are different
+/// experiments, so — unlike [`SweepTimingDoc`] — this block is *kept* by
+/// [`identity_document`](crate::envelope::identity_document).
+#[derive(Debug, Clone)]
+pub struct FaultSpecDoc {
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Per-attempt fault probability in permille.
+    pub rate_permille: u64,
+    /// Bounded re-attempts after the first faulted attempt.
+    pub max_retries: u64,
+    /// Base backoff before the first retry (µs, doubles per retry).
+    pub backoff_base_us: u64,
+}
+
 /// Inputs to the sweep report document.
 #[derive(Debug, Clone)]
 pub struct SweepInputs {
@@ -65,6 +82,9 @@ pub struct SweepInputs {
     pub injections: u64,
     /// Invariant violations, in boundary order.
     pub violations: Vec<SweepViolation>,
+    /// Fault-injection configuration (present when a fault plan was
+    /// installed for the sweep's injected runs).
+    pub fault_spec: Option<FaultSpecDoc>,
     /// Host timing (present when run through the parallel engine).
     pub timing: Option<SweepTimingDoc>,
 }
@@ -114,6 +134,32 @@ fn sweep_body(inp: &SweepInputs) -> Value {
         ),
         ("violations".into(), Value::Arr(violations)),
     ];
+    // Per-probe counts, derived from the violation list so they can never
+    // disagree with it.
+    let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+    for v in &inp.violations {
+        *by_kind.entry(v.kind.as_str()).or_insert(0) += 1;
+    }
+    fields.push((
+        "violations_by_kind".into(),
+        Value::Obj(
+            by_kind
+                .into_iter()
+                .map(|(k, n)| (k.to_string(), Value::u64(n)))
+                .collect(),
+        ),
+    ));
+    if let Some(f) = &inp.fault_spec {
+        fields.push((
+            "fault_spec".into(),
+            Value::Obj(vec![
+                ("seed".into(), Value::u64(f.seed)),
+                ("rate_permille".into(), Value::u64(f.rate_permille)),
+                ("max_retries".into(), Value::u64(f.max_retries)),
+                ("backoff_base_us".into(), Value::u64(f.backoff_base_us)),
+            ]),
+        ));
+    }
     if let Some(t) = &inp.timing {
         fields.push((
             "timing".into(),
@@ -227,6 +273,28 @@ fn validate_sweep_body(v: &Value) -> Vec<String> {
             }
         }
     }
+    // Both fault blocks are optional: pre-fault v2 documents carry neither.
+    if let Some(b) = v.get("violations_by_kind") {
+        match b.as_obj() {
+            None => errs.push("'violations_by_kind' must be an object".into()),
+            Some(entries) => {
+                for (k, n) in entries {
+                    if n.as_u64().is_none() {
+                        errs.push(format!(
+                            "'violations_by_kind.{k}' must be an unsigned integer"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(f) = v.get("fault_spec") {
+        for k in ["seed", "rate_permille", "max_retries", "backoff_base_us"] {
+            if f.get(k).and_then(Value::as_u64).is_none() {
+                errs.push(format!("'fault_spec.{k}' must be an unsigned integer"));
+            }
+        }
+    }
     if let Some(t) = v.get("timing") {
         for k in ["jobs", "wall_us", "injections_per_sec_milli"] {
             if t.get(k).and_then(Value::as_u64).is_none() {
@@ -263,6 +331,7 @@ mod tests {
                 kind: "single_redundant".into(),
                 detail: "probe_single_redundant = 1".into(),
             }],
+            fault_spec: None,
             timing: None,
         }
     }
@@ -310,6 +379,77 @@ mod tests {
         let errs = validate_sweep_report(&Value::Obj(vec![])).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("schema_version")));
         assert!(errs.iter().any(|e| e.contains("'report'")));
+    }
+
+    #[test]
+    fn fault_spec_is_emitted_validated_and_kept_by_identity() {
+        let mut inp = inputs();
+        inp.violations.push(SweepViolation {
+            boundary: 23,
+            kind: "retry_duplicated_effect".into(),
+            detail: "probe = 1".into(),
+        });
+        inp.fault_spec = Some(FaultSpecDoc {
+            seed: 9,
+            rate_permille: 50,
+            max_retries: 4,
+            backoff_base_us: 40,
+        });
+        let doc = build_sweep_report(&inp);
+        validate_sweep_report(&doc).unwrap();
+        let body = doc.get("report").unwrap();
+        assert_eq!(
+            body.get("fault_spec")
+                .and_then(|f| f.get("rate_permille"))
+                .and_then(Value::as_u64),
+            Some(50)
+        );
+        let by_kind = body.get("violations_by_kind").unwrap();
+        assert_eq!(
+            by_kind
+                .get("retry_duplicated_effect")
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            by_kind.get("single_redundant").and_then(Value::as_u64),
+            Some(1)
+        );
+        // The fault spec is experiment identity: identity_document keeps it
+        // (unlike timing), so differently-faulted sweeps never compare equal.
+        assert!(identity_document(&doc)
+            .get("report")
+            .unwrap()
+            .get("fault_spec")
+            .is_some());
+    }
+
+    #[test]
+    fn v2_report_without_the_fault_block_keeps_validating() {
+        // Frozen pre-fault v2 document (the exact shape earlier releases
+        // wrote): no 'violations_by_kind', no 'fault_spec'. This must stay
+        // accepted forever.
+        let frozen = r#"{
+            "schema_version": 2,
+            "kind": "sweep",
+            "tool": "easeio-sim sweep",
+            "report": {
+                "runtime": "Alpaca",
+                "app": "branch",
+                "seed": 7,
+                "off_us": 100000,
+                "mode": "exhaustive",
+                "oracle_boundaries": 42,
+                "strict_memory": false,
+                "injections": 42,
+                "violation_count": 0,
+                "violations": []
+            }
+        }"#;
+        let doc = parse(frozen).unwrap();
+        validate_sweep_report(&doc).expect("pre-fault v2 sweep reports must keep validating");
+        crate::envelope::validate_any_report(&doc)
+            .expect("validate_any_report must accept the frozen document");
     }
 
     #[test]

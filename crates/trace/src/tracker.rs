@@ -6,13 +6,17 @@
 //! analyzer's view), not anything the MCU stores, so it lives here with the
 //! rest of the observability machinery rather than in the kernel.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Tracks first completions of I/O and DMA sites per task activation.
 #[derive(Debug, Default)]
 pub struct ActivationTracker {
     io_done: HashSet<(u16, u16)>,
     dma_done: HashSet<(u16, u16)>,
+    /// Last successfully executed value per I/O site: `(value, ts_us)`.
+    /// Persistent across commits — it feeds the degraded fallback path,
+    /// which by definition reaches back past the current activation.
+    last_io: HashMap<(u16, u16), (i32, u64)>,
 }
 
 impl ActivationTracker {
@@ -31,6 +35,18 @@ impl ActivationTracker {
     /// first completion of this activation, `false` if it is redundant.
     pub fn first_dma(&mut self, task: u16, site: u16) -> bool {
         self.dma_done.insert((task, site))
+    }
+
+    /// Records the value and time of a successful execution of I/O site
+    /// `(task, site)` — the candidate a later degraded fallback may serve.
+    pub fn record_io_value(&mut self, task: u16, site: u16, value: i32, ts_us: u64) {
+        self.last_io.insert((task, site), (value, ts_us));
+    }
+
+    /// The last successfully executed `(value, ts_us)` of I/O site
+    /// `(task, site)`, if any. Survives commits.
+    pub fn last_io_value(&self, task: u16, site: u16) -> Option<(i32, u64)> {
+        self.last_io.get(&(task, site)).copied()
     }
 
     /// Clears `task`'s per-activation state after it commits.
@@ -61,5 +77,16 @@ mod tests {
         t.commit(0);
         assert!(t.first_io(0, 0), "fresh activation after commit");
         assert!(!t.first_io(1, 0), "other task untouched");
+    }
+
+    #[test]
+    fn last_values_survive_commit() {
+        let mut t = ActivationTracker::new();
+        assert_eq!(t.last_io_value(0, 0), None);
+        t.record_io_value(0, 0, 21, 400);
+        t.record_io_value(0, 0, 22, 900);
+        t.commit(0);
+        assert_eq!(t.last_io_value(0, 0), Some((22, 900)));
+        assert_eq!(t.last_io_value(0, 1), None);
     }
 }

@@ -12,10 +12,10 @@ use easeio_exec::{parallel_sweep, run_grid, GridSpec, SweepTiming};
 use easeio_repro::apps::dma_app;
 use easeio_repro::apps::harness::RuntimeKind;
 use easeio_repro::easeio_trace::{
-    build_sweep_report, identity_document, validate_any_report, ReportKind, SweepInputs,
-    SweepTimingDoc, SweepViolation,
+    build_sweep_report, identity_document, validate_any_report, FaultSpecDoc, ReportKind,
+    SweepInputs, SweepTimingDoc, SweepViolation,
 };
-use easeio_repro::kernel::App;
+use easeio_repro::kernel::{App, FaultSpec};
 use easeio_repro::mcu_emu::Mcu;
 
 fn small_dma(m: &mut Mcu) -> App {
@@ -50,6 +50,12 @@ fn report_for(out: &SweepOutcome, plan: &SweepPlan, timing: &SweepTiming) -> Str
                 detail: v.detail.clone(),
             })
             .collect(),
+        fault_spec: plan.fault.plan.map(|p| FaultSpecDoc {
+            seed: p.seed,
+            rate_permille: p.rate_permille as u64,
+            max_retries: plan.fault.retry.max_retries as u64,
+            backoff_base_us: plan.fault.retry.backoff_base_us,
+        }),
         timing: Some(SweepTimingDoc {
             jobs: timing.jobs as u64,
             wall_us: timing.wall_us,
@@ -104,6 +110,27 @@ fn clean_sweep_reports_are_byte_identical_across_jobs() {
     assert_eq!(report_for(&out, &plan, &timing), serial_doc);
 }
 
+/// Same guarantee with a fault plan installed: boundary × fault-schedule
+/// injection stays deterministic at any width, and the report's fault_spec
+/// block is part of the compared identity.
+#[test]
+fn faulted_sweep_reports_are_byte_identical_across_jobs() {
+    let plan = SweepPlan {
+        mode: SweepMode::Sample(40),
+        strict_memory: true,
+        fault: FaultSpec::with_rate(11, 80),
+        ..SweepPlan::with_env_seed(5)
+    };
+    let (serial_out, serial_timing) = parallel_sweep(&small_dma, RuntimeKind::Naive, &plan, 1);
+    let serial_doc = report_for(&serial_out, &plan, &serial_timing);
+    assert!(
+        serial_doc.contains("fault_spec"),
+        "faulted sweep report must carry its fault spec"
+    );
+    let (out, timing) = parallel_sweep(&small_dma, RuntimeKind::Naive, &plan, 8);
+    assert_eq!(report_for(&out, &plan, &timing), serial_doc);
+}
+
 /// The experiment grid merges to the same table at any width.
 #[test]
 fn grid_cells_are_identical_across_jobs() {
@@ -113,6 +140,7 @@ fn grid_cells_are_identical_across_jobs() {
         on_times_ms: vec![12],
         runs: 2,
         seed: 77,
+        fault: FaultSpec::none(),
     };
     let builder = |_: RuntimeKind, m: &mut Mcu| small_dma(m);
     let (serial, _) = run_grid(&builder, &spec, 1);
