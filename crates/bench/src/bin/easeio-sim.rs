@@ -56,16 +56,18 @@
 //!   --on-times <m1,m2,..>    timer mean on-periods in ms (default none)
 //! ```
 
-use apps::harness::{golden, measure_footprint, run_traced_faulted, RuntimeKind};
+use apps::harness::{golden, measure_footprint, run_once_faulted, run_traced_faulted, RuntimeKind};
 use crashcheck::{SweepMode, SweepOutcome, SweepPlan};
 use easeio_exec::{parallel_sweep, run_grid, AppSpec, GridSpec, SimConfig, SupplySpec, APP_NAMES};
 use easeio_trace::{
-    build_profile, build_report, build_sweep_report, chrome_trace, jsonl, parse_json,
-    validate_any_report, Event, EventKind, FaultSpecDoc, InstantKind, ReportInputs, SpanKind,
-    SweepInputs, SweepTimingDoc, SweepViolation, Value,
+    build_metrics_report, build_profile, build_report, build_sweep_report,
+    chrome_trace_with_counters, compare_metrics, flamegraph, jsonl, parse_json,
+    validate_any_report, validate_metrics_report, CounterTrack, Event, EventKind, FaultSpecDoc,
+    InstantKind, MetricsEntry, MetricsInputs, ReportInputs, SiteWasteRow, SpanKind, SweepInputs,
+    SweepTimingDoc, SweepViolation, SweepWasteDoc, TaskWasteRow, Value, CATEGORY_NAMES,
 };
 use kernel::{Fault, FaultSpec, Outcome, Verdict};
-use mcu_emu::{Mcu, Supply};
+use mcu_emu::{CauseSample, Mcu, RunStats, Supply, DMA_SITE_BASE};
 
 /// The one flag set shared by every mode. Parsed once; each subcommand adds
 /// its own extras on top. `--runtime` is kept as an alias for `--kernel`.
@@ -241,6 +243,273 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+fn outcome_label(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Completed => "completed".into(),
+        Outcome::NonTermination => "non_termination".into(),
+        Outcome::Fault(_) => "fault".into(),
+    }
+}
+
+/// Folds one run's attribution ledger into a metrics-report entry.
+fn metrics_entry(
+    runtime: &str,
+    app: &str,
+    outcome: &Outcome,
+    verdict: &Option<Verdict>,
+    stats: &RunStats,
+) -> MetricsEntry {
+    MetricsEntry {
+        runtime: runtime.into(),
+        app: app.into(),
+        outcome: outcome_label(outcome),
+        correct: *outcome == Outcome::Completed && !matches!(verdict, Some(Verdict::Incorrect(_))),
+        reboots: stats.power_failures,
+        total_time_us: stats.total_time_us(),
+        total_energy_nj: stats.total_energy_nj(),
+        cause_time_us: stats.cause_time_us,
+        cause_energy_nj: stats.cause_energy_nj,
+        tasks: stats
+            .cause_energy_by_task
+            .iter()
+            .map(|(task, energy)| TaskWasteRow {
+                task: *task,
+                energy_nj: *energy,
+            })
+            .collect(),
+        redundant_sites: stats
+            .redundant_energy_by_site
+            .iter()
+            .map(|(key, nj)| SiteWasteRow {
+                site: key & !DMA_SITE_BASE,
+                dma: key & DMA_SITE_BASE != 0,
+                energy_nj: *nj,
+            })
+            .collect(),
+    }
+}
+
+/// The cumulative per-cause energy samples as a Chrome counter track.
+fn cause_counter_track(samples: &[CauseSample]) -> CounterTrack {
+    CounterTrack {
+        name: "energy by cause (nJ)".into(),
+        series: CATEGORY_NAMES.iter().map(|n| (*n).to_string()).collect(),
+        samples: samples
+            .iter()
+            .map(|s| (s.ts_us, s.energy_nj.to_vec()))
+            .collect(),
+    }
+}
+
+fn read_json_or_die(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2)
+    });
+    parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: invalid JSON: {e}");
+        std::process::exit(2)
+    })
+}
+
+// -------------------------------------------------------------- metrics --
+
+struct MetricsArgs {
+    seed: u64,
+    out: Option<String>,
+    flame_out: Option<String>,
+    kernels: Vec<RuntimeKind>,
+    apps: Vec<String>,
+}
+
+fn parse_metrics_args() -> Result<MetricsArgs, String> {
+    let mut seed = 42;
+    let mut out = None;
+    let mut flame_out = None;
+    let mut kernels = vec![
+        RuntimeKind::Naive,
+        RuntimeKind::Alpaca,
+        RuntimeKind::Ink,
+        RuntimeKind::EaseIo,
+    ];
+    let mut apps: Vec<String> = APP_NAMES.iter().map(|n| (*n).to_string()).collect();
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--seed" => seed = parse_num(&val("--seed")?)?,
+            "--out" => out = Some(val("--out")?),
+            "--flame-out" => flame_out = Some(val("--flame-out")?),
+            "--kernels" => {
+                kernels = val("--kernels")?
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(RuntimeKind::parse)
+                    .collect::<Result<_, _>>()?
+            }
+            "--apps" => {
+                apps = val("--apps")?
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(String::from)
+                    .collect()
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown metrics flag {other}")),
+        }
+    }
+    Ok(MetricsArgs {
+        seed,
+        out,
+        flame_out,
+        kernels,
+        apps,
+    })
+}
+
+/// `metrics`: one timer-supply run per kernel × app at a fixed seed, every
+/// run's attribution ledger folded into one `kind: "metrics"` document.
+/// Purely virtual-time — the document is byte-identical across hosts and
+/// runs, which is what makes it committable as a CI baseline.
+fn metrics_main() -> ! {
+    let args = match parse_metrics_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: easeio-sim metrics [--seed N] [--out FILE.json] [--flame-out FILE.json]\n\
+                 \x20                         [--kernels a,b,c] [--apps x,y,z]"
+            );
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    };
+    let mut entries = Vec::new();
+    println!(
+        "{:<8} {:<15} {:>12} {:>11} {:>7} {:>13}",
+        "kernel", "app", "energy_uj", "waste_uj", "waste%", "redundant_nj"
+    );
+    for kind in &args.kernels {
+        for app_name in &args.apps {
+            let spec = AppSpec::Named(app_name.clone());
+            // Probe build: surface bad app names before the run.
+            {
+                let mut probe = Mcu::new(Supply::continuous());
+                if let Err(e) = spec.build(kind.excludes_const_dma(), &mut probe) {
+                    die(&e);
+                }
+            }
+            let build = |m: &mut Mcu| spec.build(kind.excludes_const_dma(), m).unwrap();
+            let supply = SupplySpec::Timer.make(args.seed);
+            let r = run_once_faulted(&build, *kind, supply, args.seed, &FaultSpec::none());
+            let entry = metrics_entry(kind.name(), app_name, &r.outcome, &r.verdict, &r.stats);
+            let redundant: u64 = entry.redundant_sites.iter().map(|s| s.energy_nj).sum();
+            println!(
+                "{:<8} {:<15} {:>12.2} {:>11.2} {:>6.1}% {:>13}",
+                kind.name(),
+                app_name,
+                entry.total_energy_nj as f64 / 1000.0,
+                entry.waste_nj() as f64 / 1000.0,
+                if entry.total_energy_nj > 0 {
+                    entry.waste_nj() as f64 * 100.0 / entry.total_energy_nj as f64
+                } else {
+                    0.0
+                },
+                redundant,
+            );
+            entries.push(entry);
+        }
+    }
+    let inputs = MetricsInputs {
+        seed: args.seed,
+        entries,
+    };
+    let doc = build_metrics_report(&inputs);
+    // Self-check before anything is written: a document violating the
+    // attribution invariant must never become a baseline.
+    if let Err(errs) = validate_metrics_report(&doc) {
+        eprintln!("error: built metrics report fails its own schema:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    if let Some(path) = &args.out {
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        write_or_die(path, &text, "metrics report");
+        println!("metrics report written to {path}");
+    }
+    if let Some(path) = &args.flame_out {
+        let mut text = flamegraph(&inputs).to_pretty();
+        text.push('\n');
+        write_or_die(path, &text, "flamegraph");
+        println!("flamegraph written to {path}");
+    }
+    std::process::exit(0);
+}
+
+// -------------------------------------------------------------- compare --
+
+/// `compare OLD NEW --gate-pct N`: regression gate over two metrics
+/// reports. Exit 0 = within gate, 1 = regression found, 2 = unreadable or
+/// malformed input.
+fn compare_main() -> ! {
+    let mut paths: Vec<String> = Vec::new();
+    let mut gate_pct = 5.0;
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate-pct" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("missing value for --gate-pct"));
+                gate_pct = v
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--gate-pct: {e}")));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: easeio-sim compare OLD.json NEW.json [--gate-pct N]");
+                std::process::exit(0);
+            }
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            other => die(&format!("unknown compare flag {other}")),
+        }
+    }
+    if paths.len() != 2 {
+        die("compare needs exactly two report paths (OLD NEW)");
+    }
+    let old = read_json_or_die(&paths[0]);
+    let new = read_json_or_die(&paths[1]);
+    match compare_metrics(&old, &new, gate_pct) {
+        Err(errs) => {
+            eprintln!("error: reports are not comparable:");
+            for e in &errs {
+                eprintln!("  - {e}");
+            }
+            std::process::exit(2);
+        }
+        Ok(regressions) if regressions.is_empty() => {
+            println!(
+                "compare: {} vs {} — within the {gate_pct}% gate",
+                paths[0], paths[1]
+            );
+            std::process::exit(0);
+        }
+        Ok(regressions) => {
+            eprintln!(
+                "compare: {} regression(s) beyond the {gate_pct}% gate:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  - {}", r.describe());
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 // ---------------------------------------------------------------- sweep --
 
 struct SweepArgs {
@@ -368,6 +637,14 @@ fn sweep_report_inputs(
             max_retries: plan.fault.retry.max_retries as u64,
             backoff_base_us: plan.fault.retry.backoff_base_us,
         }),
+        waste: Some(SweepWasteDoc::from_series(
+            &out.boundary_waste_nj,
+            CATEGORY_NAMES
+                .iter()
+                .zip(out.cause_energy_nj)
+                .map(|(name, nj)| ((*name).to_string(), nj))
+                .collect(),
+        )),
         timing: Some(SweepTimingDoc {
             jobs: timing.jobs as u64,
             wall_us: timing.wall_us,
@@ -483,6 +760,11 @@ fn sweep_main() -> ! {
             "sweep result: {} violation(s) in {} injection(s)",
             out.violations.len(),
             out.injections
+        );
+        let waste = SweepWasteDoc::from_series(&out.boundary_waste_nj, vec![]);
+        println!(
+            "sweep waste: mean {} nJ, p95 {} nJ, max {} nJ per boundary",
+            waste.mean_waste_nj, waste.p95_waste_nj, waste.max_waste_nj
         );
         if let Some(path) = &sim.report_out {
             let inputs = sweep_report_inputs(&out, &plan, &timing);
@@ -721,12 +1003,14 @@ struct RunArgs {
     trace: bool,
     validate: Option<String>,
     emit_transform: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_run_args() -> Result<RunArgs, String> {
     let mut common = CommonOpts::new();
     let mut validate = None;
     let mut emit_transform = false;
+    let mut metrics_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         if common.accept(&flag, &mut it)? {
@@ -736,6 +1020,7 @@ fn parse_run_args() -> Result<RunArgs, String> {
         match flag.as_str() {
             "--validate-report" => validate = Some(val("--validate-report")?),
             "--emit-transform" => emit_transform = true,
+            "--metrics-out" => metrics_out = Some(val("--metrics-out")?),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -746,6 +1031,7 @@ fn parse_run_args() -> Result<RunArgs, String> {
         trace,
         validate,
         emit_transform,
+        metrics_out,
     })
 }
 
@@ -753,6 +1039,8 @@ fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("sweep") => sweep_main(),
         Some("grid") => grid_main(),
+        Some("metrics") => metrics_main(),
+        Some("compare") => compare_main(),
         _ => {}
     }
     let args = match parse_run_args() {
@@ -829,7 +1117,11 @@ fn main() {
     }
 
     let kind = sim.kernel;
-    let single = args.trace || sim.trace_out.is_some() || sim.report_out.is_some() || sim.runs == 1;
+    let single = args.trace
+        || sim.trace_out.is_some()
+        || sim.report_out.is_some()
+        || args.metrics_out.is_some()
+        || sim.runs == 1;
     if single {
         // Single traced run.
         let supply = sim.supply.make(sim.seed);
@@ -885,6 +1177,14 @@ fn main() {
             "  DMA:            {} executed, {} skipped, {} redundant",
             r.stats.dma_executed, r.stats.dma_skipped, r.stats.dma_reexecutions
         );
+        let by_cause = CATEGORY_NAMES
+            .iter()
+            .zip(r.stats.cause_energy_nj)
+            .filter(|(_, nj)| *nj > 0)
+            .map(|(name, nj)| format!("{name} {:.2}", nj as f64 / 1000.0))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("  energy by cause (µJ): {by_cause}");
 
         // Wasted work against a continuous-power golden run of the same
         // app/runtime, for the one-line summary and the report.
@@ -911,8 +1211,13 @@ fn main() {
             let contents = if path.ends_with(".jsonl") {
                 jsonl(&r.events)
             } else {
-                let mut s = chrome_trace(&r.events, &format!("{} on {}", app_name, kind.name()))
-                    .to_pretty();
+                let counters = [cause_counter_track(&r.cause_samples)];
+                let mut s = chrome_trace_with_counters(
+                    &r.events,
+                    &format!("{} on {}", app_name, kind.name()),
+                    &counters,
+                )
+                .to_pretty();
                 s.push('\n');
                 s
             };
@@ -958,6 +1263,22 @@ fn main() {
             doc.push('\n');
             write_or_die(path, &doc, "report");
             println!("report written to {path}");
+        }
+        if let Some(path) = &args.metrics_out {
+            let inputs = MetricsInputs {
+                seed: sim.seed,
+                entries: vec![metrics_entry(
+                    kind.name(),
+                    app_name,
+                    &r.outcome,
+                    &r.verdict,
+                    &r.stats,
+                )],
+            };
+            let mut doc = build_metrics_report(&inputs).to_pretty();
+            doc.push('\n');
+            write_or_die(path, &doc, "metrics report");
+            println!("metrics report written to {path}");
         }
         if let Outcome::Fault(e) = &r.outcome {
             // Typed abort message: an unrecoverable I/O fault (retries

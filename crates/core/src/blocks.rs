@@ -14,7 +14,7 @@
 //!   done-flag is cleared so the whole block repeats.
 
 use kernel::{ReexecSemantics, TaskId};
-use mcu_emu::{AllocTag, Mcu, PowerFailure, RawVar, Region, WorkKind};
+use mcu_emu::{AllocTag, EnergyCause, Mcu, PowerFailure, RawVar, Region, WorkKind};
 use std::collections::HashMap;
 
 /// State a block contributes to the precedence decision.
@@ -128,7 +128,7 @@ impl BlockTable {
             ReexecSemantics::Always => BlockState::Violated,
             ReexecSemantics::Single => {
                 let c = mcu.cost.flag_check;
-                mcu.spend(WorkKind::Overhead, c)?;
+                mcu.with_cause(EnergyCause::Commit, |m| m.spend(WorkKind::Overhead, c))?;
                 if slot.done.load(&mcu.mem) != 0 {
                     BlockState::Satisfied
                 } else {
@@ -137,10 +137,14 @@ impl BlockTable {
             }
             ReexecSemantics::Timely { window_us } => {
                 let c = mcu.cost.flag_check;
-                mcu.spend(WorkKind::Overhead, c)?;
+                mcu.with_cause(EnergyCause::Commit, |m| m.spend(WorkKind::Overhead, c))?;
                 if slot.done.load(&mcu.mem) != 0 {
-                    let ts = mcu.load_var(WorkKind::Overhead, slot.ts)?;
-                    let now = mcu.read_timestamp(WorkKind::Overhead)?;
+                    let ts = mcu.with_cause(EnergyCause::Commit, |m| {
+                        m.load_var(WorkKind::Overhead, slot.ts)
+                    })?;
+                    let now = mcu.with_cause(EnergyCause::Commit, |m| {
+                        m.read_timestamp(WorkKind::Overhead)
+                    })?;
                     // Without reliable elapsed time across reboots, the
                     // block is conservatively treated as expired.
                     if !self.no_persistent_timer && now.saturating_sub(ts) <= window_us {
@@ -150,7 +154,7 @@ impl BlockTable {
                         // done flag so a failure mid-repeat re-enters the
                         // repeat, not a stale skip.
                         let c = mcu.cost.flag_write;
-                        mcu.spend(WorkKind::Overhead, c)?;
+                        mcu.with_cause(EnergyCause::Commit, |m| m.spend(WorkKind::Overhead, c))?;
                         slot.done.store(&mut mcu.mem, 0);
                         mcu.stats.bump("easeio_block_violations");
                         BlockState::Violated
@@ -179,11 +183,15 @@ impl BlockTable {
         }
         let slot = self.ensure(mcu, task, open.block);
         if let ReexecSemantics::Timely { .. } = open.sem {
-            let now = mcu.read_timestamp(WorkKind::Overhead)?;
-            mcu.store_var(WorkKind::Overhead, slot.ts, now)?;
+            let now = mcu.with_cause(EnergyCause::Commit, |m| {
+                m.read_timestamp(WorkKind::Overhead)
+            })?;
+            mcu.with_cause(EnergyCause::Commit, |m| {
+                m.store_var(WorkKind::Overhead, slot.ts, now)
+            })?;
         }
         let c = mcu.cost.flag_write;
-        mcu.spend(WorkKind::Overhead, c)?;
+        mcu.with_cause(EnergyCause::Commit, |m| m.spend(WorkKind::Overhead, c))?;
         slot.done.store(&mut mcu.mem, 1);
         self.dirty.push((task, open.block));
         Ok(())

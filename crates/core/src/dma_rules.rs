@@ -17,7 +17,7 @@
 //! error, mirroring the buffer-limit discussion in the paper's §6.
 
 use kernel::{DmaAnnotation, DmaError, Fault, TaskId};
-use mcu_emu::{Addr, AllocTag, Mcu, RawVar, Region, WorkKind};
+use mcu_emu::{Addr, AllocTag, EnergyCause, Mcu, RawVar, Region, WorkKind};
 use periph::dma::{classify, DmaClass};
 use std::collections::{HashMap, HashSet};
 
@@ -194,14 +194,14 @@ impl DmaTable {
             ResolvedDma::Single => {
                 let slot = self.ensure(mcu, task, site);
                 let c = mcu.cost.flag_check;
-                mcu.spend(WorkKind::Overhead, c)?;
+                mcu.with_cause(EnergyCause::DmaPriv, |m| m.spend(WorkKind::Overhead, c))?;
                 if slot.done.load(&mcu.mem) != 0 && !dep_forced {
                     mcu.stats.bump("easeio_dma_single_skipped");
                     return Ok(false);
                 }
                 kernel::io::perform_dma(mcu, src, dst, bytes, WorkKind::App)?;
                 let c = mcu.cost.flag_write;
-                mcu.spend(WorkKind::Overhead, c)?;
+                mcu.with_cause(EnergyCause::DmaPriv, |m| m.spend(WorkKind::Overhead, c))?;
                 slot.done.store(&mut mcu.mem, 1);
                 // A dep-forced repeat re-dirties an already-listed site; a
                 // duplicate entry would double-price the commit.
@@ -219,14 +219,14 @@ impl DmaTable {
                 // activation (or again if a related I/O refreshed the
                 // source). This is privatization work: overhead.
                 let c = mcu.cost.flag_check;
-                mcu.spend(WorkKind::Overhead, c)?;
+                mcu.with_cause(EnergyCause::DmaPriv, |m| m.spend(WorkKind::Overhead, c))?;
                 let phase1_done = slot.phase1.load(&mcu.mem) != 0;
                 if !phase1_done || dep_forced {
                     let cost = periph::dma::transfer_cost(&mcu.cost, bytes);
-                    mcu.spend(WorkKind::Overhead, cost)?;
+                    mcu.with_cause(EnergyCause::DmaPriv, |m| m.spend(WorkKind::Overhead, cost))?;
                     periph::dma::transfer(&mut mcu.mem, src, priv_buf, bytes);
                     let c = mcu.cost.flag_write;
-                    mcu.spend(WorkKind::Overhead, c)?;
+                    mcu.with_cause(EnergyCause::DmaPriv, |m| m.spend(WorkKind::Overhead, c))?;
                     slot.phase1.store(&mut mcu.mem, 1);
                     // Re-privatization after a failure (or dep-force) must
                     // not enter the site twice: commit clears it once.

@@ -11,7 +11,7 @@
 //! the same flag traffic the real system pays.
 
 use kernel::TaskId;
-use mcu_emu::{AllocTag, Cost, Mcu, PowerFailure, RawVar, Region, WorkKind};
+use mcu_emu::{AllocTag, Cost, EnergyCause, Mcu, PowerFailure, RawVar, Region, WorkKind};
 use std::collections::{HashMap, HashSet};
 
 /// The FRAM control block of one `_call_IO` site.
@@ -77,7 +77,7 @@ impl IoSlotTable {
     /// Reads the lock flag, charging one flag check.
     pub fn lock_is_set(&self, mcu: &mut Mcu, slot: IoSlot) -> Result<bool, PowerFailure> {
         let c = mcu.cost.flag_check;
-        mcu.spend(WorkKind::Overhead, c)?;
+        mcu.with_cause(EnergyCause::Commit, |m| m.spend(WorkKind::Overhead, c))?;
         let set = slot.lock.load(&mcu.mem) != 0;
         let (ts, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
         mcu.trace.emit_with(|| {
@@ -93,7 +93,9 @@ impl IoSlotTable {
 
     /// Restores the private output copy, charging the FRAM read.
     pub fn restore_out(&self, mcu: &mut Mcu, slot: IoSlot) -> Result<i32, PowerFailure> {
-        let raw = mcu.load_var(WorkKind::Overhead, slot.out)?;
+        let raw = mcu.with_cause(EnergyCause::Commit, |m| {
+            m.load_var(WorkKind::Overhead, slot.out)
+        })?;
         mcu.stats.bump("easeio_outputs_restored");
         Ok(raw as u32 as i32)
     }
@@ -170,14 +172,18 @@ impl IoSlotTable {
         timestamp: Option<u64>,
     ) -> Result<(), PowerFailure> {
         if store_out {
-            mcu.store_var(WorkKind::Overhead, slot.out, value as u32 as u64)?;
+            mcu.with_cause(EnergyCause::Commit, |m| {
+                m.store_var(WorkKind::Overhead, slot.out, value as u32 as u64)
+            })?;
         }
         if let Some(ts) = timestamp {
             let ts_var = self.ensure_ts(mcu, task, site);
-            mcu.store_var(WorkKind::Overhead, ts_var, ts)?;
+            mcu.with_cause(EnergyCause::Commit, |m| {
+                m.store_var(WorkKind::Overhead, ts_var, ts)
+            })?;
         }
         let c = mcu.cost.flag_write;
-        mcu.spend(WorkKind::Overhead, c)?;
+        mcu.with_cause(EnergyCause::Commit, |m| m.spend(WorkKind::Overhead, c))?;
         self.record_completion_prepaid(mcu, task, site, slot, value, store_out, timestamp);
         Ok(())
     }
@@ -187,7 +193,7 @@ impl IoSlotTable {
     /// `Timely` check conservatively re-executes.
     pub fn last_timestamp(&self, mcu: &mut Mcu, slot: IoSlot) -> Result<u64, PowerFailure> {
         match slot.ts {
-            Some(ts) => mcu.load_var(WorkKind::Overhead, ts),
+            Some(ts) => mcu.with_cause(EnergyCause::Commit, |m| m.load_var(WorkKind::Overhead, ts)),
             None => Ok(0),
         }
     }
@@ -200,7 +206,9 @@ impl IoSlotTable {
     /// Loads the previously stored output for divergence comparison
     /// (charging the FRAM read).
     pub fn load_out(&self, mcu: &mut Mcu, slot: IoSlot) -> Result<i32, PowerFailure> {
-        let raw = mcu.load_var(WorkKind::Overhead, slot.out)?;
+        let raw = mcu.with_cause(EnergyCause::Commit, |m| {
+            m.load_var(WorkKind::Overhead, slot.out)
+        })?;
         Ok(raw as u32 as i32)
     }
 
@@ -215,7 +223,9 @@ impl IoSlotTable {
         slot: IoSlot,
         value: i32,
     ) -> Result<(), PowerFailure> {
-        mcu.store_var(WorkKind::Overhead, slot.out, value as u32 as u64)?;
+        mcu.with_cause(EnergyCause::Commit, |m| {
+            m.store_var(WorkKind::Overhead, slot.out, value as u32 as u64)
+        })?;
         self.recorded.insert((task, site));
         Ok(())
     }

@@ -18,7 +18,7 @@
 //! each variable's snapshot flag is persisted before the access proceeds.
 
 use kernel::TaskId;
-use mcu_emu::{AllocTag, Mcu, PowerFailure, RawVar, Region, WorkKind};
+use mcu_emu::{AllocTag, EnergyCause, Mcu, PowerFailure, RawVar, Region, WorkKind};
 use std::collections::{HashMap, HashSet};
 
 /// Regional privatization state.
@@ -62,9 +62,11 @@ impl Regional {
         // overhead. The copy must complete before the flag is set so a
         // failure between them re-snapshots (the master is still clean:
         // the triggering access has not happened yet).
-        mcu.copy_var(WorkKind::Overhead, var, slot)?;
+        mcu.with_cause(EnergyCause::DmaPriv, |m| {
+            m.copy_var(WorkKind::Overhead, var, slot)
+        })?;
         let c = mcu.cost.flag_write;
-        mcu.spend(WorkKind::Overhead, c)?;
+        mcu.with_cause(EnergyCause::DmaPriv, |m| m.spend(WorkKind::Overhead, c))?;
         self.snapped.insert(key);
         self.snaps
             .entry((task, region))
@@ -95,7 +97,7 @@ impl Regional {
     ) -> Result<(), PowerFailure> {
         // The generated code tests the region's privatization flag once.
         let c = mcu.cost.flag_check;
-        mcu.spend(WorkKind::Overhead, c)?;
+        mcu.with_cause(EnergyCause::DmaPriv, |m| m.spend(WorkKind::Overhead, c))?;
         let (ts, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
         mcu.trace.emit_with(|| {
             easeio_trace::Event::task_instant(
@@ -113,7 +115,9 @@ impl Regional {
         // slot→master copy is idempotent, so a failure mid-restore simply
         // redoes the restore on the next attempt.
         for (master, slot) in entries.clone() {
-            mcu.copy_var(WorkKind::Overhead, slot, master)?;
+            mcu.with_cause(EnergyCause::DmaPriv, |m| {
+                m.copy_var(WorkKind::Overhead, slot, master)
+            })?;
             mcu.stats.bump("easeio_regional_restores");
         }
         Ok(())
@@ -139,7 +143,7 @@ impl Regional {
         fresh: &dyn Fn(RawVar) -> bool,
     ) -> Result<(), PowerFailure> {
         let c = mcu.cost.flag_check;
-        mcu.spend(WorkKind::Overhead, c)?;
+        mcu.with_cause(EnergyCause::DmaPriv, |m| m.spend(WorkKind::Overhead, c))?;
         let (ts, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
         mcu.trace.emit_with(|| {
             easeio_trace::Event::task_instant(
@@ -155,10 +159,14 @@ impl Regional {
         };
         for (master, slot) in entries.clone() {
             if fresh(master) {
-                mcu.copy_var(WorkKind::Overhead, master, slot)?;
+                mcu.with_cause(EnergyCause::DmaPriv, |m| {
+                    m.copy_var(WorkKind::Overhead, master, slot)
+                })?;
                 mcu.stats.bump("easeio_regional_refreshes");
             } else {
-                mcu.copy_var(WorkKind::Overhead, slot, master)?;
+                mcu.with_cause(EnergyCause::DmaPriv, |m| {
+                    m.copy_var(WorkKind::Overhead, slot, master)
+                })?;
                 mcu.stats.bump("easeio_regional_restores");
             }
         }

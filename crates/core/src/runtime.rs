@@ -26,7 +26,7 @@ use kernel::io::perform_io;
 use kernel::{
     DmaAnnotation, DmaOutcome, Fault, IoFailure, IoOp, IoOutcome, ReexecSemantics, Runtime, TaskId,
 };
-use mcu_emu::{Addr, Cost, Mcu, PowerFailure, RawVar, WorkKind};
+use mcu_emu::{Addr, Cost, EnergyCause, Mcu, PowerFailure, RawVar, WorkKind};
 use periph::Peripherals;
 use std::collections::HashSet;
 
@@ -118,7 +118,7 @@ impl EaseIoRuntime {
             return Ok(false);
         }
         let c = mcu.cost.flag_check.times(deps.len() as u64);
-        mcu.spend(WorkKind::Overhead, c)?;
+        mcu.with_cause(EnergyCause::Commit, |m| m.spend(WorkKind::Overhead, c))?;
         Ok(self.deps.any_executed(deps))
     }
 
@@ -157,12 +157,14 @@ impl EaseIoRuntime {
             // re-perform the `Single` op on reboot (the power-failure sweep
             // catches exactly that as a duplicated radio packet).
             let ts = if matches!(sem, ReexecSemantics::Timely { .. }) {
-                Some(mcu.read_timestamp(WorkKind::Overhead)?)
+                Some(mcu.with_cause(EnergyCause::Commit, |m| {
+                    m.read_timestamp(WorkKind::Overhead)
+                })?)
             } else {
                 None
             };
             let c = self.io.completion_cost(mcu, slot, true, ts.is_some());
-            mcu.spend(WorkKind::Overhead, c)?;
+            mcu.with_cause(EnergyCause::Commit, |m| m.spend(WorkKind::Overhead, c))?;
             let value = match perform_io(mcu, periph, op, task, site) {
                 Ok(v) => v,
                 // A post-effect fault (radio NACK): the packet is in the
@@ -359,7 +361,9 @@ impl Runtime for EaseIoRuntime {
                     let forced = self.deps_force(mcu, deps)?;
                     if locked && !forced && self.persistent_timekeeper {
                         let ts = self.io.last_timestamp(mcu, slot)?;
-                        let now = mcu.read_timestamp(WorkKind::Overhead)?;
+                        let now = mcu.with_cause(EnergyCause::Commit, |m| {
+                            m.read_timestamp(WorkKind::Overhead)
+                        })?;
                         let fresh = now.saturating_sub(ts) <= window_us;
                         let (ets, e) = (mcu.now_us(), mcu.stats.total_energy_nj());
                         mcu.trace.emit_with(|| {
@@ -457,7 +461,7 @@ impl Runtime for EaseIoRuntime {
             false
         } else {
             let c = mcu.cost.flag_check.times(related.len() as u64);
-            mcu.spend(WorkKind::Overhead, c)?;
+            mcu.with_cause(EnergyCause::DmaPriv, |m| m.spend(WorkKind::Overhead, c))?;
             related.iter().any(|s| self.deps.executed(*s))
         };
         // After a diverged re-execution, a completed transfer must repeat

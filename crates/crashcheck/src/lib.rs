@@ -29,7 +29,7 @@
 
 use apps::harness::{MakeRuntime, RuntimeKind};
 use kernel::{run_app, App, ExecConfig, FaultSpec, Outcome, Verdict};
-use mcu_emu::{AllocTag, Mcu, McuSnapshot, Region, Supply};
+use mcu_emu::{AllocTag, Mcu, McuSnapshot, Region, Supply, CAUSE_COUNT};
 use periph::Peripherals;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -131,6 +131,9 @@ pub enum ViolationKind {
     RetryDuplicatedEffect,
     /// A degraded `Timely` fallback served a value older than its window.
     DegradedStalenessExceeded,
+    /// The per-cause energy ledgers did not sum to the run's energy totals
+    /// — the attribution accounting itself is broken.
+    AttributionUnbalanced,
 }
 
 impl ViolationKind {
@@ -146,6 +149,7 @@ impl ViolationKind {
             ViolationKind::MemoryDivergence => "memory_divergence",
             ViolationKind::RetryDuplicatedEffect => "retry_duplicated_effect",
             ViolationKind::DegradedStalenessExceeded => "degraded_staleness_exceeded",
+            ViolationKind::AttributionUnbalanced => "attribution_unbalanced",
         }
     }
 }
@@ -179,6 +183,13 @@ pub struct SweepOutcome {
     pub injections: u64,
     /// Invariant violations, in boundary order.
     pub violations: Vec<Violation>,
+    /// Wasted energy of each injected run, in boundary order — the
+    /// per-boundary waste distribution the sweep report folds into
+    /// mean/p95. Same length as `injections`.
+    pub boundary_waste_nj: Vec<u64>,
+    /// Per-cause energy totals summed across every injected run, indexed
+    /// by `EnergyCause::index`.
+    pub cause_energy_nj: [u64; CAUSE_COUNT],
 }
 
 impl SweepOutcome {
@@ -233,6 +244,15 @@ pub struct RunRecord {
     pub retry_duplicated_effect: u64,
     /// `probe_degraded_staleness_exceeded` counter.
     pub degraded_staleness_exceeded: u64,
+    /// Per-cause energy ledger of the run, indexed by
+    /// `EnergyCause::index`.
+    pub cause_energy_nj: [u64; CAUSE_COUNT],
+    /// Total energy spent (app + overhead, nJ).
+    pub total_energy_nj: u64,
+    /// Energy spent on waste categories (nJ).
+    pub waste_nj: u64,
+    /// Whether the cause ledgers summed to the energy totals.
+    pub attribution_balanced: bool,
     /// Final app-tagged FRAM bytes.
     pub fram: Vec<u8>,
 }
@@ -268,6 +288,10 @@ pub fn run_from(
         commit_overpriced: r.stats.counter("probe_commit_overpriced"),
         retry_duplicated_effect: r.stats.counter("probe_retry_duplicated_effect"),
         degraded_staleness_exceeded: r.stats.counter("probe_degraded_staleness_exceeded"),
+        cause_energy_nj: r.stats.cause_energy_nj,
+        total_energy_nj: r.stats.app_energy_nj + r.stats.overhead_energy_nj,
+        waste_nj: r.stats.waste_energy_nj(),
+        attribution_balanced: r.stats.attribution_balanced(),
         fram: app_fram(mcu),
     }
 }
@@ -341,6 +365,16 @@ pub fn check_record(
             detail,
         });
     };
+    if !r.attribution_balanced {
+        let cause_sum: u64 = r.cause_energy_nj.iter().sum();
+        report(
+            ViolationKind::AttributionUnbalanced,
+            format!(
+                "cause ledgers sum to {cause_sum} nJ but the run spent {} nJ",
+                r.total_energy_nj
+            ),
+        );
+    }
     match &r.outcome {
         Outcome::Completed => {}
         Outcome::NonTermination => {
@@ -428,6 +462,8 @@ pub fn sweep(
     let chosen = select_boundaries(oracle.boundaries, plan.mode, plan.seed);
     let injections = chosen.len() as u64;
     let mut violations = Vec::new();
+    let mut boundary_waste_nj = Vec::with_capacity(chosen.len());
+    let mut cause_energy_nj = [0u64; CAUSE_COUNT];
     for b in chosen {
         let r = run_from(
             &app,
@@ -439,6 +475,10 @@ pub fn sweep(
             &plan.fault,
         );
         violations.extend(check_record(&r, &oracle.fram, b, plan.strict_memory));
+        boundary_waste_nj.push(r.waste_nj);
+        for (total, c) in cause_energy_nj.iter_mut().zip(r.cause_energy_nj) {
+            *total += c;
+        }
     }
 
     SweepOutcome {
@@ -449,6 +489,8 @@ pub fn sweep(
         oracle_boundaries: oracle.boundaries,
         injections,
         violations,
+        boundary_waste_nj,
+        cause_energy_nj,
     }
 }
 
@@ -622,6 +664,27 @@ mod tests {
             "the blind fallback must serve a stale value somewhere: {:?}",
             out.violations
         );
+    }
+
+    #[test]
+    fn sweep_collects_a_full_waste_ledger_per_boundary() {
+        let out = sweep(&small_dma, RuntimeKind::Naive, &SweepPlan::with_env_seed(5));
+        assert_eq!(out.boundary_waste_nj.len() as u64, out.injections);
+        // Cross-check: the per-boundary waste series and the summed cause
+        // ledgers are two views of the same attribution — they must agree.
+        let series_sum: u64 = out.boundary_waste_nj.iter().sum();
+        let cause_waste: u64 = mcu_emu::EnergyCause::ALL
+            .iter()
+            .filter(|c| c.is_waste())
+            .map(|c| out.cause_energy_nj[c.index()])
+            .sum();
+        assert_eq!(series_sum, cause_waste);
+        assert!(series_sum > 0, "naive re-execution wastes energy somewhere");
+        // No run may ever report an unbalanced ledger.
+        assert!(out
+            .violations
+            .iter()
+            .all(|v| v.kind != ViolationKind::AttributionUnbalanced));
     }
 
     #[test]

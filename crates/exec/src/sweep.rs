@@ -32,7 +32,7 @@ use crashcheck::{
     check_record, prepare_oracle, run_from, select_boundaries, SweepOutcome, SweepPlan, Violation,
 };
 use kernel::App;
-use mcu_emu::{Mcu, Supply};
+use mcu_emu::{Mcu, Supply, CAUSE_COUNT};
 
 use crate::pool::{run_indexed, PoolStats};
 
@@ -113,6 +113,8 @@ pub fn parallel_sweep(
         },
         |(mcu, app), _, boundaries: &Vec<u64>| {
             let mut violations: Vec<Violation> = Vec::new();
+            let mut waste: Vec<u64> = Vec::with_capacity(boundaries.len());
+            let mut causes = [0u64; CAUSE_COUNT];
             for &b in boundaries {
                 let r = run_from(
                     app,
@@ -124,12 +126,30 @@ pub fn parallel_sweep(
                     &plan.fault,
                 );
                 violations.extend(check_record(&r, &oracle.fram, b, plan.strict_memory));
+                waste.push(r.waste_nj);
+                for (total, c) in causes.iter_mut().zip(r.cause_energy_nj) {
+                    *total += c;
+                }
             }
-            violations
+            (violations, waste, causes)
         },
     );
 
     let timing = SweepTiming::from_pool(&stats, &batches, injections);
+    // Batch results arrive in batch order, so concatenating the waste
+    // series and summing the cause ledgers reproduces the serial loop
+    // exactly at any worker count (addition over batch sums is the same
+    // integer total in any grouping).
+    let mut violations = Vec::new();
+    let mut boundary_waste_nj = Vec::new();
+    let mut cause_energy_nj = [0u64; CAUSE_COUNT];
+    for (v, waste, causes) in results {
+        violations.extend(v);
+        boundary_waste_nj.extend(waste);
+        for (total, c) in cause_energy_nj.iter_mut().zip(causes) {
+            *total += c;
+        }
+    }
     let outcome = SweepOutcome {
         runtime: kind.name(),
         app: oracle.app,
@@ -137,7 +157,9 @@ pub fn parallel_sweep(
         config: plan.clone(),
         oracle_boundaries: oracle.boundaries,
         injections,
-        violations: results.into_iter().flatten().collect(),
+        violations,
+        boundary_waste_nj,
+        cause_energy_nj,
     };
     (outcome, timing)
 }
@@ -172,6 +194,8 @@ mod tests {
             assert_eq!(x.kind, y.kind);
             assert_eq!(x.detail, y.detail);
         }
+        assert_eq!(a.boundary_waste_nj, b.boundary_waste_nj);
+        assert_eq!(a.cause_energy_nj, b.cause_energy_nj);
     }
 
     #[test]

@@ -126,7 +126,9 @@ impl Runtime for AlpacaRuntime {
             // WAR detected: privatize. Initialize the private from the
             // master (overhead), then apply the application's write to it.
             let slot = self.slot_for(mcu, var);
-            mcu.copy_var(WorkKind::Overhead, var, slot)?;
+            mcu.with_cause(mcu_emu::EnergyCause::Commit, |m| {
+                m.copy_var(WorkKind::Overhead, var, slot)
+            })?;
             self.redirect.insert(var, slot);
             self.active.push(var);
             mcu.stats.bump("alpaca_privatizations");

@@ -22,7 +22,7 @@ use crate::retry::RetryPolicy;
 use crate::runtime::Runtime;
 use crate::semantics::{DmaAnnotation, ReexecSemantics, TaskId};
 use easeio_trace::{ActivationTracker, Event, EventKind, InstantKind, SpanKind, Status};
-use mcu_emu::{Addr, Mcu, NvBuf, NvVar, Scalar, WorkKind};
+use mcu_emu::{Addr, EnergyCause, Mcu, NvBuf, NvVar, Scalar, WorkKind, DMA_SITE_BASE};
 use periph::{PeriphClass, Peripherals};
 
 /// The execution context passed to task bodies.
@@ -167,6 +167,10 @@ impl<'a> TaskCtx<'a> {
         // after reboot with the fault schedule advanced past the consumed
         // attempts (the outside world does not reboot with the MCU).
         let mut faulted: u32 = 0;
+        // Attribution marks taken before each attempt of the operation: a
+        // faulted attempt's energy is re-labeled retry waste, and an attempt
+        // that turns out redundant is re-labeled redundant I/O below.
+        let mut marks = self.mcu.stats.cause_marks();
         let out = loop {
             match self
                 .rt
@@ -183,6 +187,11 @@ impl<'a> TaskCtx<'a> {
                 }
                 Err(IoFailure::Fault(f)) => {
                     faulted += 1;
+                    // The faulted attempt paid the full operation cost for
+                    // nothing: move its energy into the retry bucket.
+                    self.mcu
+                        .stats
+                        .reattribute_since(&marks, EnergyCause::Retry, self.task.0);
                     self.span(
                         site,
                         f.kind.name(),
@@ -201,7 +210,10 @@ impl<'a> TaskCtx<'a> {
                         self.mcu.stats.bump("probe_retry_duplicated_effect");
                     }
                     let backoff = self.retry.backoff_cost(faulted);
-                    if let Err(p) = self.mcu.spend(WorkKind::Overhead, backoff) {
+                    if let Err(p) = self
+                        .mcu
+                        .with_cause(EnergyCause::Retry, |m| m.spend(WorkKind::Overhead, backoff))
+                    {
                         self.span(
                             site,
                             name,
@@ -211,6 +223,7 @@ impl<'a> TaskCtx<'a> {
                     }
                     self.mcu.stats.bump("io_retries");
                     self.span(site, name, EventKind::Instant(InstantKind::IoRetry));
+                    marks = self.mcu.stats.cause_marks();
                 }
             }
         };
@@ -222,8 +235,16 @@ impl<'a> TaskCtx<'a> {
                 Status::Executed
             } else {
                 // The site had already completed in an earlier attempt of
-                // this activation: this execution is redundant.
+                // this activation: this execution is redundant. Everything
+                // the operation spent since the last marks — op cost plus
+                // the runtime's bookkeeping around it — is redundant-I/O
+                // waste, charged against this call site.
                 self.mcu.stats.io_reexecutions += 1;
+                let (_, moved_nj) =
+                    self.mcu
+                        .stats
+                        .reattribute_since(&marks, EnergyCause::RedundantIo, self.task.0);
+                self.mcu.stats.note_redundant_site(site, moved_nj);
                 // Invariant probe: a bare `Single` op with no dependence
                 // forcing and no enclosing block must never run twice within
                 // one activation. A safe runtime's `io_call` only reports a
@@ -406,7 +427,13 @@ impl<'a> TaskCtx<'a> {
         {
             faulted += 1;
             let wasted = periph::dma::transfer_cost(&self.mcu.cost, bytes);
+            // The aborted burst paid for the transfer without delivering it:
+            // retry waste, even if a power failure lands mid-burst.
+            let marks = self.mcu.stats.cause_marks();
             let spent = self.mcu.spend(WorkKind::App, wasted);
+            self.mcu
+                .stats
+                .reattribute_since(&marks, EnergyCause::Retry, self.task.0);
             self.mcu.stats.bump("dma_faults");
             self.span(
                 site,
@@ -438,7 +465,10 @@ impl<'a> TaskCtx<'a> {
                 }));
             }
             let backoff = self.retry.backoff_cost(faulted);
-            if let Err(p) = self.mcu.spend(WorkKind::Overhead, backoff) {
+            if let Err(p) = self
+                .mcu
+                .with_cause(EnergyCause::Retry, |m| m.spend(WorkKind::Overhead, backoff))
+            {
                 self.span(
                     site,
                     "dma",
@@ -449,6 +479,7 @@ impl<'a> TaskCtx<'a> {
             self.mcu.stats.bump("io_retries");
             self.span(site, "dma", EventKind::Instant(InstantKind::IoRetry));
         }
+        let marks = self.mcu.stats.cause_marks();
         let out = match self.rt.dma_copy(
             self.mcu, self.task, site, src, dst, bytes, annotation, related,
         ) {
@@ -467,6 +498,16 @@ impl<'a> TaskCtx<'a> {
                 Status::Executed
             } else {
                 self.mcu.stats.dma_reexecutions += 1;
+                // A repeated burst at a completed site is redundant I/O.
+                // DMA sites share the numbering space with I/O call sites
+                // only after the `DMA_SITE_BASE` offset.
+                let (_, moved_nj) =
+                    self.mcu
+                        .stats
+                        .reattribute_since(&marks, EnergyCause::RedundantIo, self.task.0);
+                self.mcu
+                    .stats
+                    .note_redundant_site(DMA_SITE_BASE | site, moved_nj);
                 Status::Redundant
             }
         } else {

@@ -16,7 +16,7 @@ use crate::runtime::Runtime;
 use crate::semantics::TaskId;
 use crate::task::{App, Transition, Verdict};
 use easeio_trace::{ActivationTracker, Event, EventKind, InstantKind, SpanKind, Status, NO_SITE};
-use mcu_emu::{AllocTag, Mcu, NvVar, Region, RunStats, WorkKind};
+use mcu_emu::{AllocTag, EnergyCause, Mcu, NvVar, Region, RunStats, WorkKind};
 use periph::Peripherals;
 
 /// Executor configuration.
@@ -69,6 +69,10 @@ pub struct RunResult {
     pub events: Vec<Event>,
     /// Events lost to trace-ring overflow.
     pub events_dropped: u64,
+    /// Per-spend samples of the cumulative per-cause energy ledger (empty
+    /// unless `mcu.trace` was enabled) — the raw series behind the Chrome
+    /// counter tracks.
+    pub cause_samples: Vec<mcu_emu::CauseSample>,
 }
 
 /// Runs `app` under `rt` on `mcu`/`periph` until completion or give-up.
@@ -125,6 +129,14 @@ pub fn run_app(
                 break 'run;
             }
             mcu.stats.task_attempts += 1;
+            // Energy attribution: every spend in this attempt is charged to
+            // this task; application work counts as forward progress on the
+            // first attempt of an activation and as re-executed compute on
+            // every replay after a failure. `reset_attribution` also clears
+            // any cause scope a crashed attempt left open.
+            mcu.reset_attribution();
+            mcu.set_attr_task(task_id.0);
+            mcu.set_replay_base(reexecution);
             let task_name = app.task(task_id).name;
             // The attempt span's begin carries the attempt index within the
             // activation in `site` (> 0 means re-execution).
@@ -158,7 +170,9 @@ pub fn run_app(
                     task_name,
                     EventKind::SpanBegin(SpanKind::Commit),
                 );
-                if let Err(e) = mcu.spend(WorkKind::Overhead, cost) {
+                if let Err(e) =
+                    mcu.with_cause(EnergyCause::Commit, |m| m.spend(WorkKind::Overhead, cost))
+                {
                     emit_span(
                         mcu,
                         task_id.0,
@@ -242,6 +256,7 @@ pub fn run_app(
         verdict,
         events: mcu.trace.take(),
         events_dropped,
+        cause_samples: mcu.cause_samples().to_vec(),
     }
 }
 
@@ -274,6 +289,9 @@ fn boot(
     mcu: &mut Mcu,
     cur: NvVar<u16>,
 ) -> Result<u16, mcu_emu::PowerFailure> {
+    // Boot overhead is kernel work outside any task; clear whatever
+    // attribution state the interrupted attempt left behind.
+    mcu.reset_attribution();
     mcu.spend(WorkKind::Overhead, rt.boot_cost())?;
     let raw = mcu.load_var(WorkKind::Overhead, cur.raw())?;
     Ok(raw as u16)

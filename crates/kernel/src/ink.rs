@@ -46,8 +46,10 @@ impl InkRuntime {
             width: var.width,
         });
         // First touch this activation: initialize the working copy from the
-        // committed buffer (kernel overhead).
-        mcu.copy_var(WorkKind::Overhead, var, slot)?;
+        // committed buffer (kernel overhead, priced as privatization).
+        mcu.with_cause(mcu_emu::EnergyCause::Commit, |m| {
+            m.copy_var(WorkKind::Overhead, var, slot)
+        })?;
         self.redirect.insert(var, slot);
         self.active.push(var);
         mcu.stats.bump("ink_buffered_vars");

@@ -29,4 +29,7 @@ pub use mcu::{Mcu, McuSnapshot, PowerFailure};
 pub use memory::{Addr, AllocRecord, AllocTag, MemSnapshot, Memory, Region, PAGE_BYTES};
 pub use nvstore::{NvBuf, NvVar, RawVar, Scalar};
 pub use power::{RfHarvestConfig, Supply, TimerResetConfig};
-pub use stats::{RunStats, WorkKind};
+pub use stats::{
+    CauseMarks, CauseSample, EnergyCause, RunStats, WorkKind, CAUSE_COUNT, DMA_SITE_BASE,
+    KERNEL_TASK,
+};

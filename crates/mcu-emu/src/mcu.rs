@@ -13,8 +13,37 @@ use crate::energy::{Cost, CostTable};
 use crate::memory::{MemSnapshot, Memory};
 use crate::nvstore::RawVar;
 use crate::power::Supply;
-use crate::stats::{RunStats, WorkKind};
+use crate::stats::{CauseSample, EnergyCause, RunStats, WorkKind, KERNEL_TASK};
 use easeio_trace::{Event, EventKind, InstantKind, SpanKind, Status, TraceSink, NO_SITE, NO_TASK};
+
+/// Volatile energy-attribution context: which cause the machine is
+/// currently spending under. This is *not* part of the persistent machine
+/// state — it is derived control flow, reset by the executor at every boot
+/// and attempt start, and by [`Mcu::restore`] (a crash sweep must never let
+/// one injection run's attribution context bleed into the next).
+#[derive(Debug, Clone)]
+struct AttributionCtx {
+    /// Cause for application-kind spends: `Progress` on a first attempt,
+    /// `ReexecCompute` while replaying after a reboot.
+    base: EnergyCause,
+    /// Scope stack for overhead-kind spends; the top wins, empty means
+    /// `RuntimeMisc`. Application-kind spends are never scoped — waste that
+    /// is only recognizable after the fact (redundant I/O, faulted
+    /// attempts) is moved by delta reattribution instead.
+    scope: Vec<EnergyCause>,
+    /// Task the current spends belong to ([`KERNEL_TASK`] outside tasks).
+    task: u16,
+}
+
+impl Default for AttributionCtx {
+    fn default() -> Self {
+        Self {
+            base: EnergyCause::Progress,
+            scope: Vec::new(),
+            task: KERNEL_TASK,
+        }
+    }
+}
 
 /// A power failure interrupted execution.
 ///
@@ -39,6 +68,12 @@ pub struct Mcu {
     /// Structured trace recorder (disabled by default; every layer above
     /// emits through this sink).
     pub trace: TraceSink,
+    /// Energy-attribution context (cause scope, replay base, current task).
+    attr: AttributionCtx,
+    /// Per-spend samples of the cumulative per-cause energy ledger,
+    /// collected only while the trace sink is enabled — the raw data for
+    /// Chrome-trace counter tracks.
+    samples: Vec<CauseSample>,
 }
 
 impl Mcu {
@@ -51,7 +86,61 @@ impl Mcu {
             cost: CostTable::default(),
             stats: RunStats::new(),
             trace: TraceSink::disabled(),
+            attr: AttributionCtx::default(),
+            samples: Vec::new(),
         }
+    }
+
+    /// Sets the cause application-kind spends fall under: `Progress` on a
+    /// first attempt, `ReexecCompute` during post-reboot replay. Called by
+    /// the executor at every attempt start.
+    pub fn set_replay_base(&mut self, reexecution: bool) {
+        self.attr.base = if reexecution {
+            EnergyCause::ReexecCompute
+        } else {
+            EnergyCause::Progress
+        };
+    }
+
+    /// Sets the task subsequent spends are attributed to.
+    pub fn set_attr_task(&mut self, task: u16) {
+        self.attr.task = task;
+    }
+
+    /// Pushes a cause scope: overhead-kind spends are attributed to the top
+    /// of the stack until the matching [`Mcu::pop_cause`]. A scope leaked by
+    /// an early `?` return is cleaned up by the executor's per-attempt
+    /// [`Mcu::reset_attribution`].
+    pub fn push_cause(&mut self, cause: EnergyCause) {
+        self.attr.scope.push(cause);
+    }
+
+    /// Pops the innermost cause scope (no-op on an empty stack, so cleanup
+    /// paths may pop unconditionally).
+    pub fn pop_cause(&mut self) {
+        self.attr.scope.pop();
+    }
+
+    /// Runs `f` with `cause` scoped over overhead-kind spends, popping the
+    /// scope on both success and error paths.
+    pub fn with_cause<R>(&mut self, cause: EnergyCause, f: impl FnOnce(&mut Mcu) -> R) -> R {
+        self.push_cause(cause);
+        let r = f(self);
+        self.pop_cause();
+        r
+    }
+
+    /// Resets the attribution context to its boot state: empty scope stack,
+    /// `Progress` base, no task. The executor calls this at every boot so a
+    /// scope leaked across a power failure cannot misattribute the next
+    /// attempt's spends.
+    pub fn reset_attribution(&mut self) {
+        self.attr = AttributionCtx::default();
+    }
+
+    /// The per-cause energy samples collected so far (one per traced spend).
+    pub fn cause_samples(&self) -> &[CauseSample] {
+        &self.samples
     }
 
     /// Spends `cost` classified as `kind`.
@@ -69,6 +158,18 @@ impl Mcu {
     /// `Err(PowerFailure)` is returned.
     pub fn spend(&mut self, kind: WorkKind, cost: Cost) -> Result<(), PowerFailure> {
         const SLICE_US: u64 = 1_000;
+        // Attribution is resolved once per spend: the base cause for app
+        // work, the innermost scope (or the residual category) for overhead.
+        let cause = match kind {
+            WorkKind::App => self.attr.base,
+            WorkKind::Overhead => self
+                .attr
+                .scope
+                .last()
+                .copied()
+                .unwrap_or(EnergyCause::RuntimeMisc),
+        };
+        let task = self.attr.task;
         let mut remaining = cost;
         loop {
             let slice = if remaining.time_us > SLICE_US {
@@ -86,7 +187,8 @@ impl Mcu {
             let off_before = self.clock.off_us();
             self.stats.boundaries += 1;
             let spend = self.supply.spend(&mut self.clock, slice);
-            self.stats.record(kind, spend.on_us, spend.energy_nj);
+            self.stats
+                .record_attributed(kind, cause, task, spend.on_us, spend.energy_nj);
             if spend.interrupted {
                 self.mem.power_failure();
                 self.stats.power_failures += 1;
@@ -118,11 +220,24 @@ impl Mcu {
                 });
                 self.trace
                     .emit_with(|| Event::instant(now, energy, InstantKind::ChargeCycle, supply));
+                self.sample_causes();
                 return Err(PowerFailure);
             }
             if remaining.time_us == 0 && remaining.energy_nj == 0 {
+                self.sample_causes();
                 return Ok(());
             }
+        }
+    }
+
+    /// Appends one per-cause energy sample (traced runs only; sweeps and
+    /// untraced runs pay nothing).
+    fn sample_causes(&mut self) {
+        if self.trace.is_enabled() {
+            self.samples.push(CauseSample {
+                ts_us: self.clock.now_us(),
+                energy_nj: self.stats.cause_energy_nj,
+            });
         }
     }
 
@@ -216,6 +331,13 @@ impl Mcu {
         self.mem.restore(&snap.inner.mem);
         self.stats = snap.inner.stats.clone();
         self.cost = snap.inner.cost.clone();
+        // The attribution context and counter samples are volatile control
+        // state, not machine state: reset them so per-boundary energy
+        // accounting is a pure function of the snapshot — a leftover cause
+        // scope or sample tail from a previous injection run must never
+        // bleed into this one.
+        self.attr = AttributionCtx::default();
+        self.samples.clear();
     }
 }
 
@@ -368,6 +490,64 @@ mod tests {
         // 2.5 ms → three ≤1 ms slices.
         m.spend(WorkKind::App, Cost::new(2_500, 100)).unwrap();
         assert_eq!(m.stats.boundaries, 4);
+    }
+
+    #[test]
+    fn spend_attribution_follows_scope_and_base() {
+        let mut m = continuous();
+        m.set_attr_task(3);
+        m.spend(WorkKind::App, Cost::new(10, 100)).unwrap();
+        m.set_replay_base(true);
+        m.spend(WorkKind::App, Cost::new(5, 50)).unwrap();
+        m.with_cause(EnergyCause::Commit, |m| {
+            m.spend(WorkKind::Overhead, Cost::new(2, 20))
+        })
+        .unwrap();
+        // Unscoped overhead falls into the residual category.
+        m.spend(WorkKind::Overhead, Cost::new(1, 10)).unwrap();
+        assert_eq!(m.stats.cause_energy(EnergyCause::Progress), 100);
+        assert_eq!(m.stats.cause_energy(EnergyCause::ReexecCompute), 50);
+        assert_eq!(m.stats.cause_energy(EnergyCause::Commit), 20);
+        assert_eq!(m.stats.cause_energy(EnergyCause::RuntimeMisc), 10);
+        // App spends ignore the overhead scope stack.
+        m.with_cause(EnergyCause::DmaPriv, |m| {
+            m.spend(WorkKind::App, Cost::new(1, 5))
+        })
+        .unwrap();
+        assert_eq!(m.stats.cause_energy(EnergyCause::DmaPriv), 0);
+        let row = m.stats.cause_energy_by_task[&3];
+        assert_eq!(row.iter().sum::<u64>(), m.stats.total_energy_nj());
+        assert!(m.stats.attribution_balanced());
+    }
+
+    /// Regression (crash-sweep bleed): restoring a snapshot must reset the
+    /// attribution context and counter samples, so an injection run's
+    /// per-cause ledger is a pure function of the snapshot — identical no
+    /// matter what ran on the machine before the restore.
+    #[test]
+    fn restore_resets_attribution_context_and_samples() {
+        let mut m = continuous();
+        m.trace = TraceSink::enabled();
+        let snap = m.snapshot();
+        let run = |m: &mut Mcu, snap: &McuSnapshot| {
+            m.restore(snap);
+            m.spend(WorkKind::App, Cost::new(10, 100)).unwrap();
+            m.spend(WorkKind::Overhead, Cost::new(2, 20)).unwrap();
+            (m.stats.cause_energy_nj, m.cause_samples().len())
+        };
+        let clean = run(&mut m, &snap);
+        // Pollute every piece of volatile attribution state, as an
+        // interrupted run with leaked scopes would.
+        m.push_cause(EnergyCause::DmaPriv);
+        m.push_cause(EnergyCause::Commit);
+        m.set_replay_base(true);
+        m.set_attr_task(9);
+        m.spend(WorkKind::App, Cost::new(1, 1)).unwrap();
+        let after_pollution = run(&mut m, &snap);
+        assert_eq!(
+            clean, after_pollution,
+            "attribution bled across a snapshot restore"
+        );
     }
 
     #[test]

@@ -6,6 +6,17 @@
 //! records). Work is tagged at spend time as application work or runtime
 //! overhead; "wasted" application work is computed by comparing against a
 //! continuous-power golden run, which by construction contains zero waste.
+//!
+//! On top of the two-way app/overhead split, every spend is attributed to
+//! one of the [`EnergyCause`] categories, which answer *why* the energy was
+//! spent rather than merely *what layer* spent it. The categories partition
+//! the ledger exactly: for any run, the per-cause totals sum to
+//! `app + overhead` for both time and energy (the attribution invariant,
+//! DESIGN.md §13). Causes that are only knowable after the fact — a
+//! redundant I/O is only recognized once the operation's completion state
+//! is inspected — are handled by [`RunStats::reattribute_since`], which
+//! moves already-recorded deltas between categories without changing the
+//! totals.
 
 use std::collections::BTreeMap;
 
@@ -16,6 +27,126 @@ pub enum WorkKind {
     App,
     /// Runtime bookkeeping: privatization, flags, timestamps, commits.
     Overhead,
+}
+
+/// Number of [`EnergyCause`] categories.
+pub const CAUSE_COUNT: usize = 7;
+
+/// Task index used for spends not attributable to any application task
+/// (boot, inter-task scheduling, machine construction).
+pub const KERNEL_TASK: u16 = u16::MAX;
+
+/// Offset distinguishing DMA call sites from I/O call sites in the
+/// per-site redundant-energy ledger: DMA site `n` is recorded under key
+/// `DMA_SITE_BASE | n`. Dynamic site sequences are small, so the two
+/// spaces cannot collide.
+pub const DMA_SITE_BASE: u16 = 0x8000;
+
+/// Why a unit of energy was spent. The categories partition every spend:
+/// each microjoule belongs to exactly one cause, so the per-cause ledgers
+/// always sum to the app + overhead totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EnergyCause {
+    /// First-attempt application work: forward progress.
+    Progress,
+    /// Application work replayed after a reboot, up to the crash point —
+    /// the re-execution tax of task-based intermittent systems.
+    ReexecCompute,
+    /// I/O and DMA operations that physically re-executed even though a
+    /// completed execution already existed this activation — the waste
+    /// `Single`/`Timely` semantics exist to eliminate.
+    RedundantIo,
+    /// Commit and variable-privatization overhead: two-phase commits,
+    /// WAR/working-copy buffering, completion flags and their clears.
+    Commit,
+    /// Peripheral-fault recovery: retry backoff delays plus the cost of
+    /// attempts that ended in a transient fault.
+    Retry,
+    /// DMA region privatization: phase-1 staging copies, DMA control
+    /// flags, and regional snapshot/restore machinery.
+    DmaPriv,
+    /// Residual runtime bookkeeping: boot sequences, timestamp reads, and
+    /// overhead not covered by a more specific category.
+    RuntimeMisc,
+}
+
+impl EnergyCause {
+    /// Every cause, in ledger (and report) order.
+    pub const ALL: [EnergyCause; CAUSE_COUNT] = [
+        EnergyCause::Progress,
+        EnergyCause::ReexecCompute,
+        EnergyCause::RedundantIo,
+        EnergyCause::Commit,
+        EnergyCause::Retry,
+        EnergyCause::DmaPriv,
+        EnergyCause::RuntimeMisc,
+    ];
+
+    /// Index into the per-cause ledgers.
+    pub fn index(self) -> usize {
+        match self {
+            EnergyCause::Progress => 0,
+            EnergyCause::ReexecCompute => 1,
+            EnergyCause::RedundantIo => 2,
+            EnergyCause::Commit => 3,
+            EnergyCause::Retry => 4,
+            EnergyCause::DmaPriv => 5,
+            EnergyCause::RuntimeMisc => 6,
+        }
+    }
+
+    /// Stable snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnergyCause::Progress => "progress",
+            EnergyCause::ReexecCompute => "reexec_compute",
+            EnergyCause::RedundantIo => "redundant_io",
+            EnergyCause::Commit => "commit",
+            EnergyCause::Retry => "retry",
+            EnergyCause::DmaPriv => "dma_priv",
+            EnergyCause::RuntimeMisc => "runtime_misc",
+        }
+    }
+
+    /// Whether the category is waste — energy a perfect runtime on the
+    /// same schedule would not have spent (as opposed to forward progress
+    /// or the runtime's structural overhead).
+    pub fn is_waste(self) -> bool {
+        matches!(
+            self,
+            EnergyCause::ReexecCompute | EnergyCause::RedundantIo | EnergyCause::Retry
+        )
+    }
+
+    /// The cause an unscoped spend of `kind` defaults to on a first
+    /// (non-replay) attempt.
+    pub fn default_for(kind: WorkKind) -> Self {
+        match kind {
+            WorkKind::App => EnergyCause::Progress,
+            WorkKind::Overhead => EnergyCause::RuntimeMisc,
+        }
+    }
+}
+
+/// A point-in-time copy of the per-cause ledgers, used to compute the
+/// delta an operation produced and [`RunStats::reattribute_since`] it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CauseMarks {
+    /// Per-cause on-time at the mark (µs).
+    pub time_us: [u64; CAUSE_COUNT],
+    /// Per-cause energy at the mark (nJ).
+    pub energy_nj: [u64; CAUSE_COUNT],
+}
+
+/// One sample of the cumulative per-cause energy ledger, taken after a
+/// spend completed — the data behind Chrome-trace counter tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CauseSample {
+    /// Virtual timestamp of the sample (µs).
+    pub ts_us: u64,
+    /// Cumulative per-cause energy at the sample (nJ), in
+    /// [`EnergyCause::ALL`] order.
+    pub energy_nj: [u64; CAUSE_COUNT],
 }
 
 /// Counters and ledgers collected over one simulated run.
@@ -51,6 +182,18 @@ pub struct RunStats {
     /// Energy-spend boundaries crossed: one per supply `spend` call (the
     /// unit at which a power failure can be injected by a crash sweep).
     pub boundaries: u64,
+    /// Per-cause on-time ledger (µs), indexed by [`EnergyCause::index`].
+    /// Sums to `app_time_us + overhead_time_us` at all times.
+    pub cause_time_us: [u64; CAUSE_COUNT],
+    /// Per-cause energy ledger (nJ). Sums to
+    /// `app_energy_nj + overhead_energy_nj` at all times.
+    pub cause_energy_nj: [u64; CAUSE_COUNT],
+    /// Per-task slice of the energy ledger; [`KERNEL_TASK`] collects spends
+    /// outside any task. Each row sums across tasks to `cause_energy_nj`.
+    pub cause_energy_by_task: BTreeMap<u16, [u64; CAUSE_COUNT]>,
+    /// Energy reattributed to [`EnergyCause::RedundantIo`] per I/O site
+    /// (nJ) — the per-site waste breakdown.
+    pub redundant_energy_by_site: BTreeMap<u16, u64>,
     /// Free-form named counters for runtime-specific events.
     pub counters: BTreeMap<&'static str, u64>,
 }
@@ -61,8 +204,29 @@ impl RunStats {
         Self::default()
     }
 
-    /// Records spent work.
+    /// Records spent work with the default cause for `kind`, outside any
+    /// task. Attribution-aware callers use [`RunStats::record_attributed`].
     pub fn record(&mut self, kind: WorkKind, time_us: u64, energy_nj: u64) {
+        self.record_attributed(
+            kind,
+            EnergyCause::default_for(kind),
+            KERNEL_TASK,
+            time_us,
+            energy_nj,
+        );
+    }
+
+    /// Records spent work under an explicit cause and task. This is the
+    /// only write path into the cause ledgers, which keeps the attribution
+    /// invariant (cause totals == app + overhead totals) structural.
+    pub fn record_attributed(
+        &mut self,
+        kind: WorkKind,
+        cause: EnergyCause,
+        task: u16,
+        time_us: u64,
+        energy_nj: u64,
+    ) {
         match kind {
             WorkKind::App => {
                 self.app_time_us += time_us;
@@ -73,6 +237,81 @@ impl RunStats {
                 self.overhead_energy_nj += energy_nj;
             }
         }
+        let i = cause.index();
+        self.cause_time_us[i] += time_us;
+        self.cause_energy_nj[i] += energy_nj;
+        self.cause_energy_by_task.entry(task).or_default()[i] += energy_nj;
+    }
+
+    /// A point-in-time copy of the cause ledgers, for delta accounting
+    /// around an operation whose true cause is only known afterwards.
+    pub fn cause_marks(&self) -> CauseMarks {
+        CauseMarks {
+            time_us: self.cause_time_us,
+            energy_nj: self.cause_energy_nj,
+        }
+    }
+
+    /// Moves everything recorded since `marks` into the `to` category (the
+    /// `to` slice itself stays put), preserving the totals exactly. The
+    /// per-task ledger moves the same amounts within `task`'s row. Returns
+    /// the (time, energy) actually moved.
+    pub fn reattribute_since(
+        &mut self,
+        marks: &CauseMarks,
+        to: EnergyCause,
+        task: u16,
+    ) -> (u64, u64) {
+        let ti = to.index();
+        let mut moved_t = 0u64;
+        let mut moved_e = 0u64;
+        let row = self.cause_energy_by_task.entry(task).or_default();
+        for cause in EnergyCause::ALL {
+            let i = cause.index();
+            if i == ti {
+                continue;
+            }
+            let dt = self.cause_time_us[i].saturating_sub(marks.time_us[i]);
+            let de = self.cause_energy_nj[i].saturating_sub(marks.energy_nj[i]);
+            if dt == 0 && de == 0 {
+                continue;
+            }
+            self.cause_time_us[i] -= dt;
+            self.cause_energy_nj[i] -= de;
+            // The whole delta was spent inside one task-scoped operation,
+            // so the task row holds it; clamp anyway so a caller misuse
+            // can never underflow.
+            let row_de = de.min(row[i]);
+            row[i] -= row_de;
+            row[ti] += row_de;
+            moved_t += dt;
+            moved_e += de;
+        }
+        self.cause_time_us[ti] += moved_t;
+        self.cause_energy_nj[ti] += moved_e;
+        (moved_t, moved_e)
+    }
+
+    /// Adds reattributed redundant-I/O energy to `site`'s waste ledger.
+    pub fn note_redundant_site(&mut self, site: u16, energy_nj: u64) {
+        if energy_nj > 0 {
+            *self.redundant_energy_by_site.entry(site).or_insert(0) += energy_nj;
+        }
+    }
+
+    /// Energy in a single cause category (nJ).
+    pub fn cause_energy(&self, cause: EnergyCause) -> u64 {
+        self.cause_energy_nj[cause.index()]
+    }
+
+    /// Total wasted energy (nJ): the sum of the waste categories
+    /// (re-executed compute, redundant I/O, fault retries).
+    pub fn waste_energy_nj(&self) -> u64 {
+        EnergyCause::ALL
+            .iter()
+            .filter(|c| c.is_waste())
+            .map(|c| self.cause_energy_nj[c.index()])
+            .sum()
     }
 
     /// Increments a named counter.
@@ -128,9 +367,36 @@ impl RunStats {
         self.dma_skipped += other.dma_skipped;
         self.dma_reexecutions += other.dma_reexecutions;
         self.boundaries += other.boundaries;
+        for i in 0..CAUSE_COUNT {
+            self.cause_time_us[i] += other.cause_time_us[i];
+            self.cause_energy_nj[i] += other.cause_energy_nj[i];
+        }
+        for (task, row) in &other.cause_energy_by_task {
+            let mine = self.cause_energy_by_task.entry(*task).or_default();
+            for i in 0..CAUSE_COUNT {
+                mine[i] += row[i];
+            }
+        }
+        for (site, e) in &other.redundant_energy_by_site {
+            *self.redundant_energy_by_site.entry(*site).or_insert(0) += e;
+        }
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
         }
+    }
+
+    /// Asserts the attribution invariant: the per-cause ledgers sum to the
+    /// app + overhead totals, for both time and energy. Returns the pair of
+    /// (cause sum, kind sum) for energy on failure diagnostics.
+    pub fn attribution_balanced(&self) -> bool {
+        let cause_t: u64 = self.cause_time_us.iter().sum();
+        let cause_e: u64 = self.cause_energy_nj.iter().sum();
+        let task_e: u64 = self
+            .cause_energy_by_task
+            .values()
+            .flat_map(|row| row.iter())
+            .sum();
+        cause_t == self.total_time_us() && cause_e == self.total_energy_nj() && task_e == cause_e
     }
 }
 
@@ -149,6 +415,7 @@ mod tests {
         assert_eq!(s.overhead_time_us, 3);
         assert_eq!(s.total_time_us(), 14);
         assert_eq!(s.total_energy_nj(), 26);
+        assert!(s.attribution_balanced());
     }
 
     #[test]
@@ -172,11 +439,55 @@ mod tests {
         b.power_failures = 1;
         b.bump("x");
         b.bump("y");
+        b.note_redundant_site(3, 11);
         a.merge(&b);
         assert_eq!(a.total_time_us(), 12);
         assert_eq!(a.power_failures, 3);
         assert_eq!(a.counter("x"), 2);
         assert_eq!(a.counter("y"), 1);
         assert_eq!(a.counter("z"), 0);
+        assert_eq!(a.redundant_energy_by_site.get(&3), Some(&11));
+        assert!(a.attribution_balanced());
+    }
+
+    #[test]
+    fn attributed_record_fills_every_ledger() {
+        let mut s = RunStats::new();
+        s.record_attributed(WorkKind::App, EnergyCause::ReexecCompute, 2, 10, 30);
+        s.record_attributed(WorkKind::Overhead, EnergyCause::Commit, 2, 5, 7);
+        assert_eq!(s.cause_energy(EnergyCause::ReexecCompute), 30);
+        assert_eq!(s.cause_energy(EnergyCause::Commit), 7);
+        assert_eq!(s.cause_energy_by_task[&2][EnergyCause::Commit.index()], 7);
+        assert_eq!(s.waste_energy_nj(), 30);
+        assert!(s.attribution_balanced());
+    }
+
+    #[test]
+    fn reattribution_moves_deltas_and_preserves_totals() {
+        let mut s = RunStats::new();
+        s.record_attributed(WorkKind::App, EnergyCause::Progress, 1, 100, 1000);
+        let marks = s.cause_marks();
+        s.record_attributed(WorkKind::App, EnergyCause::Progress, 1, 40, 400);
+        s.record_attributed(WorkKind::Overhead, EnergyCause::Commit, 1, 6, 60);
+        let before_total = s.total_energy_nj();
+        let (mt, me) = s.reattribute_since(&marks, EnergyCause::RedundantIo, 1);
+        assert_eq!((mt, me), (46, 460));
+        // Pre-mark attribution is untouched; the delta moved wholesale.
+        assert_eq!(s.cause_energy(EnergyCause::Progress), 1000);
+        assert_eq!(s.cause_energy(EnergyCause::Commit), 0);
+        assert_eq!(s.cause_energy(EnergyCause::RedundantIo), 460);
+        assert_eq!(s.total_energy_nj(), before_total);
+        assert_eq!(s.waste_energy_nj(), 460);
+        assert!(s.attribution_balanced());
+    }
+
+    #[test]
+    fn reattribution_leaves_the_target_category_in_place() {
+        let mut s = RunStats::new();
+        let marks = s.cause_marks();
+        s.record_attributed(WorkKind::App, EnergyCause::Retry, 0, 10, 10);
+        s.reattribute_since(&marks, EnergyCause::Retry, 0);
+        assert_eq!(s.cause_energy(EnergyCause::Retry), 10);
+        assert!(s.attribution_balanced());
     }
 }

@@ -1,0 +1,57 @@
+//! Small aggregation helpers shared by the profile, sweep, and metrics
+//! builders.
+//!
+//! Both `profile.rs` and `sweep.rs` grew private copies of the same two
+//! patterns — "take a sorted series, read a percentile" and "count items
+//! into an ordered map" — and `metrics.rs` needs them again for the
+//! per-boundary waste distribution. One definition here keeps the three
+//! report builders numerically identical.
+
+use std::collections::BTreeMap;
+
+/// Percentile of an ascending-sorted series by floor-index rank
+/// (`(len-1)·q/100`); 0 on empty input.
+///
+/// `q` is in percent (50 = median, 95 = p95). The rank is computed with
+/// integer arithmetic only, so every report builder rounds identically —
+/// this is the exact formula the profile reports have always used, kept
+/// bit-for-bit so archived goldens stay valid.
+pub fn percentile(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as u64 * q / 100) as usize]
+}
+
+/// Counts occurrences of each key into an ordered map (deterministic
+/// iteration order for report rendering).
+pub fn tally<K: Ord>(keys: impl IntoIterator<Item = K>) -> BTreeMap<K, u64> {
+    let mut out = BTreeMap::new();
+    for k in keys {
+        *out.entry(k).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_matches_floor_index_rank() {
+        let s = [10, 20, 30, 40, 1000];
+        assert_eq!(percentile(&s, 0), 10);
+        assert_eq!(percentile(&s, 50), 30);
+        assert_eq!(percentile(&s, 95), 40);
+        assert_eq!(percentile(&s, 100), 1000);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 95), 7);
+    }
+
+    #[test]
+    fn tally_counts_in_order() {
+        let t = tally(["b", "a", "b", "b"]);
+        let pairs: Vec<_> = t.into_iter().collect();
+        assert_eq!(pairs, vec![("a", 1), ("b", 3)]);
+    }
+}

@@ -4,7 +4,9 @@
 //! Perfetto: one track (tid) per task plus a dedicated power track (tid 0)
 //! carrying the off-period spans and supply instants, so power failures line
 //! up visually under the task attempts they interrupted. Timestamps are
-//! already in microseconds, the unit the format expects.
+//! already in microseconds, the unit the format expects. Cumulative series
+//! (the per-cause energy ledger) render as stacked counter tracks
+//! ([`CounterTrack`] / [`counter_events`], `"ph": "C"`).
 
 use crate::event::{Event, EventKind, InstantKind, SpanKind, NO_SITE, NO_TASK};
 use crate::json::Value;
@@ -39,11 +41,71 @@ fn meta(name: &str, tid: Option<u64>, value: &str) -> Value {
     Value::Obj(pairs)
 }
 
+/// A cumulative multi-series counter rendered as one stacked Chrome track.
+///
+/// Each sample is `(ts_us, values)` with `values` aligned to `series`;
+/// Perfetto draws the series as a stacked area chart, so cumulative
+/// per-cause energy samples read directly as "where the joules went so
+/// far".
+#[derive(Debug, Clone)]
+pub struct CounterTrack {
+    /// Track display name (e.g. `"energy by cause (nJ)"`).
+    pub name: String,
+    /// Series names, in stacking order.
+    pub series: Vec<String>,
+    /// `(ts_us, per-series value)` samples; each inner vec must be
+    /// `series.len()` long.
+    pub samples: Vec<(u64, Vec<u64>)>,
+}
+
+/// Renders a counter track into `"ph": "C"` records ready to splice into a
+/// trace document's `traceEvents` array.
+pub fn counter_events(track: &CounterTrack) -> Vec<Value> {
+    track
+        .samples
+        .iter()
+        .map(|(ts, values)| {
+            let args: Vec<(String, Value)> = track
+                .series
+                .iter()
+                .zip(values)
+                .map(|(name, v)| (name.clone(), Value::u64(*v)))
+                .collect();
+            Value::Obj(vec![
+                ("name".to_string(), Value::str(&track.name)),
+                ("ph".to_string(), Value::str("C")),
+                ("ts".to_string(), Value::u64(*ts)),
+                ("pid".to_string(), Value::u64(1)),
+                ("args".to_string(), Value::Obj(args)),
+            ])
+        })
+        .collect()
+}
+
 /// Converts an event stream into a Chrome trace document.
 ///
 /// `process_name` labels the single process row (conventionally
 /// `"<runtime>/<app>"`); task display names are taken from the first
-/// `TaskAttempt` begin seen per task.
+/// `TaskAttempt` begin seen per task. Counter tracks, if any, are appended
+/// after the event records.
+pub fn chrome_trace_with_counters(
+    events: &[Event],
+    process_name: &str,
+    counters: &[CounterTrack],
+) -> Value {
+    let mut doc = chrome_trace(events, process_name);
+    if let Value::Obj(fields) = &mut doc {
+        if let Some((_, Value::Arr(records))) = fields.iter_mut().find(|(k, _)| k == "traceEvents")
+        {
+            for track in counters {
+                records.extend(counter_events(track));
+            }
+        }
+    }
+    doc
+}
+
+/// Converts an event stream into a Chrome trace document (no counters).
 pub fn chrome_trace(events: &[Event], process_name: &str) -> Value {
     let mut records = Vec::with_capacity(events.len() + 8);
     records.push(meta("process_name", None, process_name));
@@ -163,6 +225,32 @@ mod tests {
         assert_eq!(
             named.get("args").unwrap().get("name").unwrap().as_str(),
             Some("capture")
+        );
+    }
+
+    #[test]
+    fn counter_tracks_append_stacked_samples() {
+        let track = CounterTrack {
+            name: "energy by cause (nJ)".into(),
+            series: vec!["progress".into(), "retry".into()],
+            samples: vec![(10, vec![5, 0]), (20, vec![9, 3])],
+        };
+        let doc = chrome_trace_with_counters(&[], "p", &[track]);
+        let recs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<&Value> = recs
+            .iter()
+            .filter(|r| r.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(counters[0].get("ts").unwrap().as_u64(), Some(10));
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .unwrap()
+                .get("retry")
+                .unwrap()
+                .as_u64(),
+            Some(3)
         );
     }
 

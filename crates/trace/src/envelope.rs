@@ -107,6 +107,8 @@ pub enum ReportKind {
     Run,
     /// A crash-sweep report (v1 flat or v2 envelope).
     Sweep,
+    /// An energy-attribution metrics report (v2 only).
+    Metrics,
 }
 
 impl ReportKind {
@@ -115,6 +117,7 @@ impl ReportKind {
         match self {
             ReportKind::Run => "run",
             ReportKind::Sweep => "sweep",
+            ReportKind::Metrics => "metrics",
         }
     }
 }
@@ -129,6 +132,10 @@ pub fn validate_any_report(v: &Value) -> Result<ReportKind, Vec<String>> {
                 Some("sweep") => (
                     ReportKind::Sweep,
                     Report::<crate::sweep::SweepInputs>::validate(v),
+                ),
+                Some("metrics") => (
+                    ReportKind::Metrics,
+                    Report::<crate::metrics::MetricsInputs>::validate(v),
                 ),
                 Some("run") | None => (
                     ReportKind::Run,

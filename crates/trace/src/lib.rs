@@ -10,7 +10,7 @@
 //! * a Chrome `trace_event` document ([`chrome_trace`]) viewable in
 //!   `chrome://tracing` / Perfetto, with power-off intervals on their own
 //!   track;
-//! * compact JSONL ([`jsonl`]) for `jq`-style post-processing;
+//! * compact JSONL ([`jsonl`](fn@jsonl)) for `jq`-style post-processing;
 //! * a per-call-site / per-task profile ([`build_profile`]): executions,
 //!   skips, redundant re-executions, µs/nJ, wasted-work share, and
 //!   attempt-latency percentiles;
@@ -23,18 +23,20 @@
 //! This crate has no dependencies; it sits below `mcu-emu` in the workspace
 //! graph.
 
+pub mod agg;
 pub mod chrome;
 pub mod envelope;
 pub mod event;
 pub mod json;
 pub mod jsonl;
+pub mod metrics;
 pub mod profile;
 pub mod report;
 pub mod ring;
 pub mod sweep;
 pub mod tracker;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_with_counters, counter_events, CounterTrack};
 pub use envelope::{
     identity_document, validate_any_report, Report, ReportBody, ReportKind, LEGACY_SCHEMA_VERSION,
     SCHEMA_VERSION,
@@ -42,12 +44,17 @@ pub use envelope::{
 pub use event::{Event, EventKind, InstantKind, SpanKind, Status, NO_SITE, NO_TASK};
 pub use json::{parse as parse_json, Value};
 pub use jsonl::jsonl;
+pub use metrics::{
+    build_metrics_report, compare_metrics, flamegraph, validate_metrics_report, MetricsEntry,
+    MetricsInputs, Regression, SiteWasteRow, TaskWasteRow, CATEGORY_COUNT, CATEGORY_NAMES,
+    WASTE_CATEGORY_NAMES,
+};
 pub use profile::{build_profile, LatencySummary, Profile, SiteProfile, TaskProfile};
 pub use report::{build_report, validate_report, ReportInputs};
 pub use ring::{RingRecorder, DEFAULT_CAPACITY};
 pub use sweep::{
     build_sweep_report, validate_sweep_report, FaultSpecDoc, SweepInputs, SweepTimingDoc,
-    SweepViolation,
+    SweepViolation, SweepWasteDoc,
 };
 pub use tracker::ActivationTracker;
 

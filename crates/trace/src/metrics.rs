@@ -1,0 +1,709 @@
+//! Energy-attribution metrics report: where every microjoule went.
+//!
+//! The MCU substrate attributes each unit of spent energy to one cause
+//! category (forward progress, re-executed compute, redundant I/O, commit
+//! overhead, retry backoff, DMA privatization, runtime misc). This module
+//! is the report layer over that ledger: a versioned `kind: "metrics"`
+//! document under the shared [`Report`] envelope,
+//! one entry per runtime × app, each carrying the full per-category
+//! time/energy breakdown, per-task rows, and per-site redundant-energy
+//! rows.
+//!
+//! This crate sits below `mcu-emu` and cannot name its `EnergyCause` enum,
+//! so the category vocabulary is pinned here as [`CATEGORY_NAMES`] — the
+//! order must match `EnergyCause::ALL` exactly (the cross-crate agreement
+//! is asserted by a test in the workspace's `tests/observability.rs`). The
+//! validator enforces the attribution invariant *structurally*: a document
+//! whose categories do not sum to its totals is rejected as malformed, not
+//! merely suspicious.
+//!
+//! [`compare_metrics`] diffs two such documents and reports regressions
+//! beyond a percentage gate; it backs `easeio-sim compare`, the CI gate
+//! against the committed `BENCH_baseline.json`.
+
+use crate::envelope::{Report, ReportBody};
+use crate::json::Value;
+
+/// Number of attribution categories.
+pub const CATEGORY_COUNT: usize = 7;
+
+/// Category names, in ledger order. Must match `EnergyCause::ALL` in
+/// `mcu-emu` (index-for-index); documents carry the list so readers never
+/// have to guess the order.
+pub const CATEGORY_NAMES: [&str; CATEGORY_COUNT] = [
+    "progress",
+    "reexec_compute",
+    "redundant_io",
+    "commit",
+    "retry",
+    "dma_priv",
+    "runtime_misc",
+];
+
+/// The subset of [`CATEGORY_NAMES`] counted as waste: energy a
+/// continuously-powered run would not have spent.
+pub const WASTE_CATEGORY_NAMES: [&str; 3] = ["reexec_compute", "redundant_io", "retry"];
+
+/// Whether category index `i` is a waste category.
+fn is_waste_index(i: usize) -> bool {
+    WASTE_CATEGORY_NAMES.contains(&CATEGORY_NAMES[i])
+}
+
+/// Per-task slice of the attribution ledger.
+#[derive(Debug, Clone)]
+pub struct TaskWasteRow {
+    /// Task id (`u16::MAX` = kernel-context spends outside any task).
+    pub task: u16,
+    /// Energy by category, aligned to [`CATEGORY_NAMES`].
+    pub energy_nj: [u64; CATEGORY_COUNT],
+}
+
+/// Energy wasted on redundant re-execution at one call site.
+#[derive(Debug, Clone)]
+pub struct SiteWasteRow {
+    /// Call-site id (I/O site or DMA site — see `dma`).
+    pub site: u16,
+    /// Whether the site is a DMA burst site rather than an I/O site.
+    pub dma: bool,
+    /// Energy the redundant re-executions cost (nJ).
+    pub energy_nj: u64,
+}
+
+/// One runtime × app measurement: the full attribution ledger of a run.
+#[derive(Debug, Clone)]
+pub struct MetricsEntry {
+    /// Kernel runtime name (`"easeio"`, `"alpaca"`, `"ink"`, `"naive"`).
+    pub runtime: String,
+    /// Application name.
+    pub app: String,
+    /// Run outcome label (`"completed"`, `"out-of-budget"`, …).
+    pub outcome: String,
+    /// Whether the run's observable output matched the golden run.
+    pub correct: bool,
+    /// Power-failure reboots survived.
+    pub reboots: u64,
+    /// Total powered time (µs).
+    pub total_time_us: u64,
+    /// Total energy spent (nJ).
+    pub total_energy_nj: u64,
+    /// Time by category, aligned to [`CATEGORY_NAMES`].
+    pub cause_time_us: [u64; CATEGORY_COUNT],
+    /// Energy by category, aligned to [`CATEGORY_NAMES`].
+    pub cause_energy_nj: [u64; CATEGORY_COUNT],
+    /// Per-task rows (ledger order; together they cover every nanojoule).
+    pub tasks: Vec<TaskWasteRow>,
+    /// Per-site redundant-energy rows.
+    pub redundant_sites: Vec<SiteWasteRow>,
+}
+
+impl MetricsEntry {
+    /// Total wasted energy: the sum of the waste categories.
+    pub fn waste_nj(&self) -> u64 {
+        (0..CATEGORY_COUNT)
+            .filter(|&i| is_waste_index(i))
+            .map(|i| self.cause_energy_nj[i])
+            .sum()
+    }
+}
+
+/// Inputs to the metrics report document.
+#[derive(Debug, Clone)]
+pub struct MetricsInputs {
+    /// Environment seed the runs were measured under.
+    pub seed: u64,
+    /// One entry per runtime × app, in measurement order.
+    pub entries: Vec<MetricsEntry>,
+}
+
+fn pct(part: u64, whole: u64) -> Value {
+    if whole == 0 {
+        Value::Num(0.0)
+    } else {
+        Value::Num((part as f64 / whole as f64 * 1000.0).round() / 10.0)
+    }
+}
+
+impl ReportBody for MetricsInputs {
+    const KIND: &'static str = "metrics";
+    const TOOL: &'static str = "easeio-sim metrics";
+
+    fn body(&self) -> Value {
+        let entries: Vec<Value> = self.entries.iter().map(render_entry).collect();
+        Value::Obj(vec![
+            ("seed".into(), Value::u64(self.seed)),
+            (
+                "categories".into(),
+                Value::Arr(CATEGORY_NAMES.iter().map(|n| Value::str(*n)).collect()),
+            ),
+            (
+                "waste_categories".into(),
+                Value::Arr(
+                    WASTE_CATEGORY_NAMES
+                        .iter()
+                        .map(|n| Value::str(*n))
+                        .collect(),
+                ),
+            ),
+            ("entries".into(), Value::Arr(entries)),
+        ])
+    }
+
+    fn validate_body(body: &Value) -> Vec<String> {
+        validate_metrics_body(body)
+    }
+}
+
+fn render_entry(e: &MetricsEntry) -> Value {
+    let breakdown: Vec<(String, Value)> = (0..CATEGORY_COUNT)
+        .map(|i| {
+            (
+                CATEGORY_NAMES[i].to_string(),
+                Value::Obj(vec![
+                    ("time_us".into(), Value::u64(e.cause_time_us[i])),
+                    ("energy_nj".into(), Value::u64(e.cause_energy_nj[i])),
+                    (
+                        "energy_pct".into(),
+                        pct(e.cause_energy_nj[i], e.total_energy_nj),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    let waste = e.waste_nj();
+    let tasks: Vec<Value> = e
+        .tasks
+        .iter()
+        .map(|t| {
+            let by_cause: Vec<(String, Value)> = (0..CATEGORY_COUNT)
+                .map(|i| (CATEGORY_NAMES[i].to_string(), Value::u64(t.energy_nj[i])))
+                .collect();
+            let task_waste: u64 = (0..CATEGORY_COUNT)
+                .filter(|&i| is_waste_index(i))
+                .map(|i| t.energy_nj[i])
+                .sum();
+            Value::Obj(vec![
+                ("task".into(), Value::u64(t.task as u64)),
+                ("energy_nj".into(), Value::Obj(by_cause)),
+                ("waste_nj".into(), Value::u64(task_waste)),
+            ])
+        })
+        .collect();
+    let sites: Vec<Value> = e
+        .redundant_sites
+        .iter()
+        .map(|s| {
+            Value::Obj(vec![
+                ("site".into(), Value::u64(s.site as u64)),
+                ("dma".into(), Value::Bool(s.dma)),
+                ("energy_nj".into(), Value::u64(s.energy_nj)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("runtime".into(), Value::str(&e.runtime)),
+        ("app".into(), Value::str(&e.app)),
+        ("outcome".into(), Value::str(&e.outcome)),
+        ("correct".into(), Value::Bool(e.correct)),
+        ("reboots".into(), Value::u64(e.reboots)),
+        ("total_time_us".into(), Value::u64(e.total_time_us)),
+        ("total_energy_nj".into(), Value::u64(e.total_energy_nj)),
+        ("breakdown".into(), Value::Obj(breakdown)),
+        ("waste_nj".into(), Value::u64(waste)),
+        ("waste_pct".into(), pct(waste, e.total_energy_nj)),
+        ("tasks".into(), Value::Arr(tasks)),
+        ("redundant_sites".into(), Value::Arr(sites)),
+    ])
+}
+
+/// Builds the full versioned metrics report document.
+pub fn build_metrics_report(inp: &MetricsInputs) -> Value {
+    Report::new(inp.clone()).to_value()
+}
+
+/// Validates a parsed metrics report document (envelope and body).
+pub fn validate_metrics_report(v: &Value) -> Result<(), Vec<String>> {
+    Report::<MetricsInputs>::validate(v)
+}
+
+/// Body-level validation, including the attribution invariant: every
+/// entry's category breakdown must sum exactly to its totals (energy and
+/// time), its waste total must equal the sum of the waste categories, and
+/// its per-task rows together must cover the full energy total.
+fn validate_metrics_body(v: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    if v.get("seed").and_then(Value::as_u64).is_none() {
+        errs.push("'seed' must be an unsigned integer".into());
+    }
+    match v.get("categories").and_then(Value::as_arr) {
+        Some(cats) => {
+            let names: Vec<&str> = cats.iter().filter_map(Value::as_str).collect();
+            if names != CATEGORY_NAMES {
+                errs.push(format!(
+                    "'categories' must be exactly {CATEGORY_NAMES:?}, got {names:?}"
+                ));
+            }
+        }
+        None => errs.push("'categories' must be an array".into()),
+    }
+    let entries = match v.get("entries").and_then(Value::as_arr) {
+        Some(e) => e,
+        None => {
+            errs.push("'entries' must be an array".into());
+            return errs;
+        }
+    };
+    for (idx, entry) in entries.iter().enumerate() {
+        validate_entry(entry, idx, &mut errs);
+    }
+    errs
+}
+
+fn validate_entry(entry: &Value, idx: usize, errs: &mut Vec<String>) {
+    let at = |field: &str| format!("entries[{idx}].{field}");
+    for key in ["runtime", "app", "outcome"] {
+        if entry.get(key).and_then(Value::as_str).is_none() {
+            errs.push(format!("'{}' must be a string", at(key)));
+        }
+    }
+    if !matches!(entry.get("correct"), Some(Value::Bool(_))) {
+        errs.push(format!("'{}' must be a boolean", at("correct")));
+    }
+    for key in ["reboots", "total_time_us", "total_energy_nj", "waste_nj"] {
+        if entry.get(key).and_then(Value::as_u64).is_none() {
+            errs.push(format!("'{}' must be an unsigned integer", at(key)));
+        }
+    }
+    let total_energy = entry
+        .get("total_energy_nj")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let total_time = entry
+        .get("total_time_us")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+
+    let mut energy_sum = 0u64;
+    let mut time_sum = 0u64;
+    let mut waste_sum = 0u64;
+    match entry.get("breakdown").and_then(Value::as_obj) {
+        None => errs.push(format!("'{}' must be an object", at("breakdown"))),
+        Some(breakdown) => {
+            let keys: Vec<&str> = breakdown.iter().map(|(k, _)| k.as_str()).collect();
+            if keys != CATEGORY_NAMES {
+                errs.push(format!(
+                    "'{}' keys must be exactly {CATEGORY_NAMES:?}",
+                    at("breakdown")
+                ));
+            }
+            for (name, cell) in breakdown {
+                let e = cell.get("energy_nj").and_then(Value::as_u64);
+                let t = cell.get("time_us").and_then(Value::as_u64);
+                match (e, t) {
+                    (Some(e), Some(t)) => {
+                        energy_sum += e;
+                        time_sum += t;
+                        if WASTE_CATEGORY_NAMES.contains(&name.as_str()) {
+                            waste_sum += e;
+                        }
+                    }
+                    _ => errs.push(format!(
+                        "'{}.{name}' must carry integer time_us and energy_nj",
+                        at("breakdown")
+                    )),
+                }
+            }
+            if energy_sum != total_energy {
+                errs.push(format!(
+                    "'{}': categories sum to {energy_sum} nJ but total_energy_nj \
+                     is {total_energy} (attribution invariant violated)",
+                    at("breakdown")
+                ));
+            }
+            if time_sum != total_time {
+                errs.push(format!(
+                    "'{}': categories sum to {time_sum} µs but total_time_us \
+                     is {total_time} (attribution invariant violated)",
+                    at("breakdown")
+                ));
+            }
+            if entry
+                .get("waste_nj")
+                .and_then(Value::as_u64)
+                .is_some_and(|w| w != waste_sum)
+            {
+                errs.push(format!(
+                    "'{}' must equal the waste-category sum {waste_sum}",
+                    at("waste_nj")
+                ));
+            }
+        }
+    }
+
+    match entry.get("tasks").and_then(Value::as_arr) {
+        None => errs.push(format!("'{}' must be an array", at("tasks"))),
+        Some(tasks) => {
+            let mut task_total = 0u64;
+            for (ti, row) in tasks.iter().enumerate() {
+                if row.get("task").and_then(Value::as_u64).is_none() {
+                    errs.push(format!("'{}[{ti}].task' must be an integer", at("tasks")));
+                }
+                match row.get("energy_nj").and_then(Value::as_obj) {
+                    None => errs.push(format!(
+                        "'{}[{ti}].energy_nj' must be an object",
+                        at("tasks")
+                    )),
+                    Some(cells) => {
+                        for (name, n) in cells {
+                            match n.as_u64() {
+                                Some(n) => task_total += n,
+                                None => errs.push(format!(
+                                    "'{}[{ti}].energy_nj.{name}' must be an integer",
+                                    at("tasks")
+                                )),
+                            }
+                        }
+                    }
+                }
+            }
+            if task_total != total_energy {
+                errs.push(format!(
+                    "'{}': per-task rows sum to {task_total} nJ but total_energy_nj \
+                     is {total_energy} (task ledger must cover every nanojoule)",
+                    at("tasks")
+                ));
+            }
+        }
+    }
+
+    match entry.get("redundant_sites").and_then(Value::as_arr) {
+        None => errs.push(format!("'{}' must be an array", at("redundant_sites"))),
+        Some(sites) => {
+            for (si, row) in sites.iter().enumerate() {
+                if row.get("site").and_then(Value::as_u64).is_none()
+                    || row.get("energy_nj").and_then(Value::as_u64).is_none()
+                    || !matches!(row.get("dma"), Some(Value::Bool(_)))
+                {
+                    errs.push(format!(
+                        "'{}[{si}]' must carry integer site, boolean dma, \
+                         integer energy_nj",
+                        at("redundant_sites")
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Renders the breakdown as nested flamegraph JSON — `{name, value,
+/// children}` with runtime → app → category levels, `value` in nJ — the
+/// format d3-flamegraph and speedscope both import.
+pub fn flamegraph(inp: &MetricsInputs) -> Value {
+    let mut runtime_names: Vec<&str> = Vec::new();
+    for e in &inp.entries {
+        if !runtime_names.contains(&e.runtime.as_str()) {
+            runtime_names.push(&e.runtime);
+        }
+    }
+    let mut total = 0u64;
+    let runtimes: Vec<Value> = runtime_names
+        .iter()
+        .map(|rt| {
+            let mut rt_total = 0u64;
+            let apps: Vec<Value> = inp
+                .entries
+                .iter()
+                .filter(|e| e.runtime == *rt)
+                .map(|e| {
+                    rt_total += e.total_energy_nj;
+                    let cats: Vec<Value> = (0..CATEGORY_COUNT)
+                        .filter(|&i| e.cause_energy_nj[i] > 0)
+                        .map(|i| {
+                            Value::Obj(vec![
+                                ("name".into(), Value::str(CATEGORY_NAMES[i])),
+                                ("value".into(), Value::u64(e.cause_energy_nj[i])),
+                            ])
+                        })
+                        .collect();
+                    Value::Obj(vec![
+                        ("name".into(), Value::str(&e.app)),
+                        ("value".into(), Value::u64(e.total_energy_nj)),
+                        ("children".into(), Value::Arr(cats)),
+                    ])
+                })
+                .collect();
+            total += rt_total;
+            Value::Obj(vec![
+                ("name".into(), Value::str(*rt)),
+                ("value".into(), Value::u64(rt_total)),
+                ("children".into(), Value::Arr(apps)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("name".into(), Value::str("all")),
+        ("value".into(), Value::u64(total)),
+        ("children".into(), Value::Arr(runtimes)),
+    ])
+}
+
+/// One gated metric that got worse between two metrics reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Runtime of the regressed entry.
+    pub runtime: String,
+    /// App of the regressed entry.
+    pub app: String,
+    /// Which gated metric regressed (`"waste_nj"`, `"total_energy_nj"`,
+    /// `"total_time_us"`, or `"correct"`).
+    pub metric: String,
+    /// Baseline value.
+    pub old: u64,
+    /// New value.
+    pub new: u64,
+    /// Relative growth in percent (`+inf` when the baseline was 0).
+    pub delta_pct: f64,
+}
+
+impl Regression {
+    /// Human-readable one-liner for gate output.
+    pub fn describe(&self) -> String {
+        if self.metric == "correct" {
+            format!(
+                "{}/{}: output correctness regressed",
+                self.runtime, self.app
+            )
+        } else {
+            format!(
+                "{}/{}: {} {} -> {} (+{:.1}%)",
+                self.runtime, self.app, self.metric, self.old, self.new, self.delta_pct
+            )
+        }
+    }
+}
+
+/// The per-entry metrics [`compare_metrics`] gates on.
+const GATED_METRICS: [&str; 3] = ["waste_nj", "total_energy_nj", "total_time_us"];
+
+/// Diffs two metrics report documents, returning every entry whose gated
+/// metrics grew by more than `gate_pct` percent over the baseline (or
+/// whose output correctness flipped to wrong, gated unconditionally).
+///
+/// Entries are matched by (runtime, app); an entry present in `old` but
+/// missing from `new` is an error (the comparison is undefined), while new
+/// entries absent from the baseline are ignored. `Err` carries
+/// schema/shape problems; `Ok(vec![])` means the gate passes.
+pub fn compare_metrics(
+    old: &Value,
+    new: &Value,
+    gate_pct: f64,
+) -> Result<Vec<Regression>, Vec<String>> {
+    validate_metrics_report(old).map_err(|e| prefix_errs("OLD", e))?;
+    validate_metrics_report(new).map_err(|e| prefix_errs("NEW", e))?;
+    let old_entries = entry_index(old);
+    let new_entries = entry_index(new);
+
+    let mut errs = Vec::new();
+    let mut regressions = Vec::new();
+    for (key, old_e) in &old_entries {
+        let Some(new_e) = new_entries.iter().find(|(k, _)| k == key).map(|(_, e)| e) else {
+            errs.push(format!("entry {}/{} missing from NEW", key.0, key.1));
+            continue;
+        };
+        let old_correct = old_e.get("correct").and_then(as_bool).unwrap_or(false);
+        let new_correct = new_e.get("correct").and_then(as_bool).unwrap_or(false);
+        if old_correct && !new_correct {
+            regressions.push(Regression {
+                runtime: key.0.clone(),
+                app: key.1.clone(),
+                metric: "correct".into(),
+                old: 1,
+                new: 0,
+                delta_pct: f64::INFINITY,
+            });
+        }
+        for metric in GATED_METRICS {
+            let o = old_e.get(metric).and_then(Value::as_u64).unwrap_or(0);
+            let n = new_e.get(metric).and_then(Value::as_u64).unwrap_or(0);
+            if n <= o {
+                continue;
+            }
+            let delta_pct = if o == 0 {
+                f64::INFINITY
+            } else {
+                (n - o) as f64 / o as f64 * 100.0
+            };
+            if delta_pct > gate_pct {
+                regressions.push(Regression {
+                    runtime: key.0.clone(),
+                    app: key.1.clone(),
+                    metric: metric.into(),
+                    old: o,
+                    new: n,
+                    delta_pct,
+                });
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(regressions)
+    } else {
+        Err(errs)
+    }
+}
+
+fn prefix_errs(which: &str, errs: Vec<String>) -> Vec<String> {
+    errs.into_iter().map(|e| format!("{which}: {e}")).collect()
+}
+
+fn as_bool(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+/// `(runtime, app) -> entry` pairs of a validated metrics document.
+fn entry_index(doc: &Value) -> Vec<((String, String), &Value)> {
+    doc.get("report")
+        .and_then(|r| r.get("entries"))
+        .and_then(Value::as_arr)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| {
+                    let rt = e.get("runtime").and_then(Value::as_str)?;
+                    let app = e.get("app").and_then(Value::as_str)?;
+                    Some(((rt.to_string(), app.to_string()), e))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{validate_any_report, ReportKind};
+
+    fn entry(runtime: &str, app: &str, energy: [u64; CATEGORY_COUNT]) -> MetricsEntry {
+        let total: u64 = energy.iter().sum();
+        MetricsEntry {
+            runtime: runtime.into(),
+            app: app.into(),
+            outcome: "completed".into(),
+            correct: true,
+            reboots: 3,
+            total_time_us: total / 2,
+            total_energy_nj: total,
+            cause_time_us: energy.map(|e| e / 2),
+            cause_energy_nj: energy,
+            tasks: vec![TaskWasteRow {
+                task: 0,
+                energy_nj: energy,
+            }],
+            redundant_sites: vec![SiteWasteRow {
+                site: 2,
+                dma: false,
+                energy_nj: energy[2],
+            }],
+        }
+    }
+
+    fn sample() -> MetricsInputs {
+        MetricsInputs {
+            seed: 7,
+            entries: vec![
+                entry("easeio", "dma", [100, 10, 4, 20, 2, 8, 6]),
+                entry("naive", "dma", [100, 40, 30, 0, 2, 0, 6]),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_and_dispatches_as_metrics() {
+        let doc = build_metrics_report(&sample());
+        let text = doc.to_pretty();
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(validate_any_report(&parsed), Ok(ReportKind::Metrics));
+        let e0 = &parsed
+            .get("report")
+            .unwrap()
+            .get("entries")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0];
+        assert_eq!(e0.get("waste_nj").unwrap().as_u64(), Some(16));
+    }
+
+    #[test]
+    fn validator_rejects_breakdown_that_does_not_sum() {
+        let mut inp = sample();
+        inp.entries[0].total_energy_nj += 1;
+        let doc = build_metrics_report(&inp);
+        let errs = validate_metrics_report(&doc).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("attribution invariant")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_task_ledger_gaps() {
+        let mut inp = sample();
+        inp.entries[0].tasks[0].energy_nj[0] -= 1;
+        let doc = build_metrics_report(&inp);
+        let errs = validate_metrics_report(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("task ledger")), "{errs:?}");
+    }
+
+    #[test]
+    fn flamegraph_nests_runtime_app_category() {
+        let fg = flamegraph(&sample());
+        assert_eq!(fg.get("name").unwrap().as_str(), Some("all"));
+        let runtimes = fg.get("children").unwrap().as_arr().unwrap();
+        assert_eq!(runtimes.len(), 2);
+        let apps = runtimes[0].get("children").unwrap().as_arr().unwrap();
+        assert_eq!(apps[0].get("name").unwrap().as_str(), Some("dma"));
+        let cats = apps[0].get("children").unwrap().as_arr().unwrap();
+        assert_eq!(cats[0].get("name").unwrap().as_str(), Some("progress"));
+        assert_eq!(cats[0].get("value").unwrap().as_u64(), Some(100));
+    }
+
+    #[test]
+    fn compare_passes_within_gate_and_fails_beyond_it() {
+        let old = build_metrics_report(&sample());
+        let mut worse = sample();
+        // +50% redundant-io waste on the naive entry.
+        worse.entries[1].cause_energy_nj[2] += 15;
+        worse.entries[1].total_energy_nj += 15;
+        worse.entries[1].tasks[0].energy_nj[2] += 15;
+        let new = build_metrics_report(&worse);
+        assert!(compare_metrics(&old, &new, 50.0).unwrap().is_empty());
+        let regs = compare_metrics(&old, &new, 5.0).unwrap();
+        assert!(
+            regs.iter()
+                .any(|r| r.runtime == "naive" && r.metric == "waste_nj"),
+            "{regs:?}"
+        );
+        // Identical reports always pass, even at gate 0.
+        assert!(compare_metrics(&old, &old, 0.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compare_flags_correctness_flips_and_missing_entries() {
+        let old = build_metrics_report(&sample());
+        let mut flipped = sample();
+        flipped.entries[0].correct = false;
+        let new = build_metrics_report(&flipped);
+        let regs = compare_metrics(&old, &new, 1000.0).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "correct");
+        assert!(regs[0].describe().contains("correctness"));
+
+        let mut shrunk = sample();
+        shrunk.entries.pop();
+        let new = build_metrics_report(&shrunk);
+        let errs = compare_metrics(&old, &new, 5.0).unwrap_err();
+        assert!(errs[0].contains("missing from NEW"), "{errs:?}");
+    }
+}

@@ -6,6 +6,7 @@
 //! derivable from the flat event stream alone. Nothing here is counted
 //! during execution; the recorder stays a dumb ring.
 
+use crate::agg::percentile;
 use crate::event::{Event, EventKind, InstantKind, SpanKind, Status, NO_TASK};
 use std::collections::BTreeMap;
 
@@ -269,13 +270,6 @@ pub fn build_profile(events: &[Event]) -> Profile {
     p.sites = sites.into_values().collect();
     p.tasks = tasks.into_values().collect();
     p
-}
-
-fn percentile(sorted: &[u64], q: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    sorted[((sorted.len() - 1) as u64 * q / 100) as usize]
 }
 
 #[cfg(test)]

@@ -8,14 +8,14 @@
 //! the document alone: re-run the same app/runtime/seed with a failure
 //! injected at the recorded boundary.
 //!
-//! The body rides inside the shared [`Report`](crate::envelope::Report)
+//! The body rides inside the shared [`Report`]
 //! envelope (`{schema_version, kind: "sweep", tool, report: {…}}`); the old
 //! v1 flat layout is still accepted by [`validate_sweep_report_v1`] and by
 //! [`validate_any_report`](crate::envelope::validate_any_report).
 
+use crate::agg::{percentile, tally};
 use crate::envelope::{Report, ReportBody, LEGACY_SCHEMA_VERSION};
 use crate::json::Value;
-use std::collections::BTreeMap;
 
 /// One injection run that broke a crash-consistency invariant.
 #[derive(Debug, Clone)]
@@ -61,6 +61,47 @@ pub struct FaultSpecDoc {
     pub backoff_base_us: u64,
 }
 
+/// Per-boundary energy-waste distribution of a sweep: every injection run
+/// attributes its energy by cause, and this block folds those ledgers
+/// across the sweep's boundaries. Result identity (kept by
+/// [`identity_document`](crate::envelope::identity_document)): the waste a
+/// runtime pays at each failure point is exactly what the sweep measures.
+#[derive(Debug, Clone)]
+pub struct SweepWasteDoc {
+    /// Injection runs the distribution covers.
+    pub boundaries: u64,
+    /// Mean wasted energy per boundary (nJ, integer division).
+    pub mean_waste_nj: u64,
+    /// Median wasted energy per boundary (nJ).
+    pub p50_waste_nj: u64,
+    /// 95th-percentile wasted energy per boundary (nJ).
+    pub p95_waste_nj: u64,
+    /// Worst boundary's wasted energy (nJ).
+    pub max_waste_nj: u64,
+    /// Per-cause energy totals summed across every boundary run, in
+    /// category order (`(category_name, nJ)`).
+    pub cause_energy_nj: Vec<(String, u64)>,
+}
+
+impl SweepWasteDoc {
+    /// Folds a per-boundary waste series (one entry per injection, in
+    /// boundary order) and summed per-cause totals into the document block.
+    pub fn from_series(waste_nj: &[u64], cause_energy_nj: Vec<(String, u64)>) -> Self {
+        let mut sorted = waste_nj.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let sum: u64 = sorted.iter().sum();
+        Self {
+            boundaries: n,
+            mean_waste_nj: sum.checked_div(n).unwrap_or(0),
+            p50_waste_nj: percentile(&sorted, 50),
+            p95_waste_nj: percentile(&sorted, 95),
+            max_waste_nj: sorted.last().copied().unwrap_or(0),
+            cause_energy_nj,
+        }
+    }
+}
+
 /// Inputs to the sweep report document.
 #[derive(Debug, Clone)]
 pub struct SweepInputs {
@@ -85,6 +126,9 @@ pub struct SweepInputs {
     /// Fault-injection configuration (present when a fault plan was
     /// installed for the sweep's injected runs).
     pub fault_spec: Option<FaultSpecDoc>,
+    /// Per-boundary energy-waste distribution (present when the sweep
+    /// collected attribution ledgers).
+    pub waste: Option<SweepWasteDoc>,
     /// Host timing (present when run through the parallel engine).
     pub timing: Option<SweepTimingDoc>,
 }
@@ -136,10 +180,7 @@ fn sweep_body(inp: &SweepInputs) -> Value {
     ];
     // Per-probe counts, derived from the violation list so they can never
     // disagree with it.
-    let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
-    for v in &inp.violations {
-        *by_kind.entry(v.kind.as_str()).or_insert(0) += 1;
-    }
+    let by_kind = tally(inp.violations.iter().map(|v| v.kind.as_str()));
     fields.push((
         "violations_by_kind".into(),
         Value::Obj(
@@ -157,6 +198,27 @@ fn sweep_body(inp: &SweepInputs) -> Value {
                 ("rate_permille".into(), Value::u64(f.rate_permille)),
                 ("max_retries".into(), Value::u64(f.max_retries)),
                 ("backoff_base_us".into(), Value::u64(f.backoff_base_us)),
+            ]),
+        ));
+    }
+    if let Some(w) = &inp.waste {
+        fields.push((
+            "waste".into(),
+            Value::Obj(vec![
+                ("boundaries".into(), Value::u64(w.boundaries)),
+                ("mean_waste_nj".into(), Value::u64(w.mean_waste_nj)),
+                ("p50_waste_nj".into(), Value::u64(w.p50_waste_nj)),
+                ("p95_waste_nj".into(), Value::u64(w.p95_waste_nj)),
+                ("max_waste_nj".into(), Value::u64(w.max_waste_nj)),
+                (
+                    "cause_energy_nj".into(),
+                    Value::Obj(
+                        w.cause_energy_nj
+                            .iter()
+                            .map(|(k, n)| (k.clone(), Value::u64(*n)))
+                            .collect(),
+                    ),
+                ),
             ]),
         ));
     }
@@ -295,6 +357,29 @@ fn validate_sweep_body(v: &Value) -> Vec<String> {
             }
         }
     }
+    if let Some(w) = v.get("waste") {
+        for k in [
+            "boundaries",
+            "mean_waste_nj",
+            "p50_waste_nj",
+            "p95_waste_nj",
+            "max_waste_nj",
+        ] {
+            if w.get(k).and_then(Value::as_u64).is_none() {
+                errs.push(format!("'waste.{k}' must be an unsigned integer"));
+            }
+        }
+        match w.get("cause_energy_nj").and_then(Value::as_obj) {
+            None => errs.push("'waste.cause_energy_nj' must be an object".into()),
+            Some(entries) => {
+                for (k, n) in entries {
+                    if n.as_u64().is_none() {
+                        errs.push(format!("'waste.cause_energy_nj.{k}' must be an integer"));
+                    }
+                }
+            }
+        }
+    }
     if let Some(t) = v.get("timing") {
         for k in ["jobs", "wall_us", "injections_per_sec_milli"] {
             if t.get(k).and_then(Value::as_u64).is_none() {
@@ -332,8 +417,33 @@ mod tests {
                 detail: "probe_single_redundant = 1".into(),
             }],
             fault_spec: None,
+            waste: None,
             timing: None,
         }
+    }
+
+    #[test]
+    fn waste_block_renders_and_validates() {
+        let mut inp = inputs();
+        inp.waste = Some(SweepWasteDoc::from_series(
+            &[40, 10, 20, 1000],
+            vec![("progress".into(), 900), ("retry".into(), 170)],
+        ));
+        let doc = build_sweep_report(&inp);
+        let parsed = parse(&doc.to_pretty()).unwrap();
+        validate_sweep_report(&parsed).unwrap();
+        let w = parsed.get("report").unwrap().get("waste").unwrap();
+        assert_eq!(w.get("boundaries").and_then(Value::as_u64), Some(4));
+        assert_eq!(w.get("mean_waste_nj").and_then(Value::as_u64), Some(267));
+        assert_eq!(w.get("p50_waste_nj").and_then(Value::as_u64), Some(20));
+        assert_eq!(w.get("p95_waste_nj").and_then(Value::as_u64), Some(40));
+        assert_eq!(w.get("max_waste_nj").and_then(Value::as_u64), Some(1000));
+        assert_eq!(
+            w.get("cause_energy_nj")
+                .and_then(|c| c.get("retry"))
+                .and_then(Value::as_u64),
+            Some(170)
+        );
     }
 
     #[test]

@@ -16,12 +16,15 @@
 use easeio_repro::apps::harness::{golden, run_traced, RuntimeKind};
 use easeio_repro::apps::temp_app;
 use easeio_repro::easeio_trace::{
-    build_profile, build_report, chrome_trace, jsonl, parse_json, validate_any_report,
-    validate_report, Event, EventKind, InstantKind, ReportInputs, ReportKind, SpanKind, Status,
-    Value, NO_SITE, NO_TASK,
+    build_metrics_report, build_profile, build_report, build_sweep_report, chrome_trace,
+    compare_metrics, jsonl, parse_json, validate_any_report, validate_metrics_report,
+    validate_report, Event, EventKind, FaultSpecDoc, InstantKind, MetricsEntry, MetricsInputs,
+    ReportInputs, ReportKind, SiteWasteRow, SpanKind, Status, SweepInputs, SweepViolation,
+    SweepWasteDoc, TaskWasteRow, Value, CATEGORY_COUNT, CATEGORY_NAMES, NO_SITE, NO_TASK,
+    WASTE_CATEGORY_NAMES,
 };
 use easeio_repro::kernel::Outcome;
-use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};
+use easeio_repro::mcu_emu::{EnergyCause, Mcu, Supply, TimerResetConfig, KERNEL_TASK};
 use std::path::PathBuf;
 
 fn ev(ts: u64, nj: u64, task: u16, site: u16, name: &'static str, kind: EventKind) -> Event {
@@ -214,6 +217,197 @@ fn archived_v1_report_still_validates() {
     // The v2-only validator must reject it: readers that need the new
     // envelope cannot silently accept the old shape.
     assert!(validate_report(&doc).is_err());
+}
+
+/// A fixed two-entry metrics document covering every record shape: a wasteful
+/// baseline with per-task rows for an app task and the kernel pseudo-task,
+/// redundant I/O and DMA site rows, and a clean EaseIO entry with DMA
+/// privatization cost but no redundant sites. Every ledger invariant
+/// (category sums, task coverage) holds by construction.
+fn sample_metrics_inputs() -> MetricsInputs {
+    MetricsInputs {
+        seed: 42,
+        entries: vec![
+            MetricsEntry {
+                runtime: "Naive".into(),
+                app: "dma".into(),
+                outcome: "completed".into(),
+                correct: true,
+                reboots: 3,
+                total_time_us: 90,
+                total_energy_nj: 900,
+                cause_time_us: [50, 20, 12, 6, 0, 0, 2],
+                cause_energy_nj: [500, 200, 120, 60, 0, 0, 20],
+                tasks: vec![
+                    TaskWasteRow {
+                        task: 0,
+                        energy_nj: [300, 200, 120, 30, 0, 0, 0],
+                    },
+                    TaskWasteRow {
+                        task: KERNEL_TASK,
+                        energy_nj: [200, 0, 0, 30, 0, 0, 20],
+                    },
+                ],
+                redundant_sites: vec![
+                    SiteWasteRow {
+                        site: 0,
+                        dma: false,
+                        energy_nj: 60,
+                    },
+                    SiteWasteRow {
+                        site: 1,
+                        dma: true,
+                        energy_nj: 60,
+                    },
+                ],
+            },
+            MetricsEntry {
+                runtime: "EaseIO".into(),
+                app: "dma".into(),
+                outcome: "completed".into(),
+                correct: true,
+                reboots: 3,
+                total_time_us: 86,
+                total_energy_nj: 860,
+                cause_time_us: [70, 4, 0, 8, 0, 3, 1],
+                cause_energy_nj: [700, 40, 0, 80, 0, 30, 10],
+                tasks: vec![
+                    TaskWasteRow {
+                        task: 0,
+                        energy_nj: [700, 40, 0, 0, 0, 0, 0],
+                    },
+                    TaskWasteRow {
+                        task: KERNEL_TASK,
+                        energy_nj: [0, 0, 0, 80, 0, 30, 10],
+                    },
+                ],
+                redundant_sites: vec![],
+            },
+        ],
+    }
+}
+
+#[test]
+fn metrics_report_matches_golden_and_validates() {
+    let mut doc = build_metrics_report(&sample_metrics_inputs()).to_pretty();
+    doc.push('\n');
+    assert_matches_golden("metrics_report.json", &doc);
+    // Round-trip through text, then through the single dispatch entry point:
+    // the document must both satisfy its own schema and be recognized as a
+    // metrics report by kind.
+    let parsed = parse_json(&doc).unwrap();
+    validate_metrics_report(&parsed).expect("golden metrics report satisfies the schema");
+    assert_eq!(validate_any_report(&parsed), Ok(ReportKind::Metrics));
+}
+
+/// The trace crate sits below mcu-emu and pins its own copy of the category
+/// names. This is the one place the two ledgers meet: the pinned names must
+/// match `EnergyCause::ALL` index-for-index, and the waste subset must match
+/// `EnergyCause::is_waste`, or every document downstream silently mislabels
+/// its joules.
+#[test]
+fn category_names_match_the_emulator_ledger() {
+    assert_eq!(CATEGORY_COUNT, EnergyCause::ALL.len());
+    for (i, cause) in EnergyCause::ALL.iter().enumerate() {
+        assert_eq!(
+            CATEGORY_NAMES[i],
+            cause.name(),
+            "category {i} diverged between trace and mcu-emu"
+        );
+        assert_eq!(
+            WASTE_CATEGORY_NAMES.contains(&cause.name()),
+            cause.is_waste(),
+            "waste classification of '{}' diverged",
+            cause.name()
+        );
+    }
+}
+
+#[test]
+fn compare_gate_fails_on_injected_regression() {
+    let old = build_metrics_report(&sample_metrics_inputs());
+    // Inject a waste regression into the baseline entry: 200 nJ of extra
+    // re-executed compute, threaded through every ledger so the tampered
+    // document still validates (the gate must catch it, not the schema).
+    let mut worse = sample_metrics_inputs();
+    worse.entries[0].cause_energy_nj[1] += 200;
+    worse.entries[0].total_energy_nj += 200;
+    worse.entries[0].tasks[0].energy_nj[1] += 200;
+    let new = build_metrics_report(&worse);
+    validate_metrics_report(&new).expect("the tampered document is schema-valid");
+
+    let regressions = compare_metrics(&old, &new, 5.0).unwrap();
+    assert!(
+        regressions
+            .iter()
+            .any(|r| r.runtime == "Naive" && r.app == "dma" && r.metric == "waste_nj"),
+        "waste growth must trip the gate: {regressions:?}"
+    );
+    assert!(
+        regressions.iter().any(|r| r.metric == "total_energy_nj"),
+        "total-energy growth must trip the gate"
+    );
+    // A permissive-enough gate lets the same pair through, and the identity
+    // comparison is clean at gate 0.
+    assert_eq!(compare_metrics(&old, &new, 1000.0).unwrap(), vec![]);
+    assert_eq!(compare_metrics(&old, &old, 0.0).unwrap(), vec![]);
+}
+
+/// Schema-v2 sweep documents round-trip with the optional `fault_spec` block
+/// both absent (plain power-failure sweep) and present (fault-injection
+/// sweep) — readers must accept both shapes from the same validator.
+#[test]
+fn sweep_report_round_trips_with_and_without_faults() {
+    let base = SweepInputs {
+        runtime: "EaseIO".into(),
+        app: "dma".into(),
+        seed: 7,
+        off_us: 50_000,
+        mode: "sample".into(),
+        oracle_boundaries: 120,
+        strict_memory: true,
+        injections: 40,
+        violations: vec![SweepViolation {
+            boundary: 17,
+            kind: "io_reexecuted".into(),
+            detail: "site 2 re-executed".into(),
+        }],
+        fault_spec: None,
+        waste: Some(SweepWasteDoc::from_series(
+            &[40, 10, 20, 1000],
+            CATEGORY_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, name)| ((*name).to_string(), (i as u64 + 1) * 10))
+                .collect(),
+        )),
+        timing: None,
+    };
+    let with_faults = SweepInputs {
+        fault_spec: Some(FaultSpecDoc {
+            seed: 11,
+            rate_permille: 80,
+            max_retries: 3,
+            backoff_base_us: 200,
+        }),
+        ..base.clone()
+    };
+    for (inp, has_faults) in [(&base, false), (&with_faults, true)] {
+        let text = build_sweep_report(inp).to_pretty();
+        let parsed = parse_json(&text).unwrap();
+        assert_eq!(validate_any_report(&parsed), Ok(ReportKind::Sweep));
+        assert_eq!(parsed.get("report").unwrap().get("fault_spec").is_some(), {
+            has_faults
+        });
+        // The waste fold survives the round trip with its values intact.
+        let waste = parsed.get("report").unwrap().get("waste").unwrap();
+        assert_eq!(waste.get("boundaries").and_then(Value::as_u64), Some(4));
+        assert_eq!(waste.get("p95_waste_nj").and_then(Value::as_u64), Some(40));
+        assert_eq!(
+            waste.get("max_waste_nj").and_then(Value::as_u64),
+            Some(1000)
+        );
+    }
 }
 
 #[test]

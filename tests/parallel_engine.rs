@@ -13,7 +13,7 @@ use easeio_repro::apps::dma_app;
 use easeio_repro::apps::harness::RuntimeKind;
 use easeio_repro::easeio_trace::{
     build_sweep_report, identity_document, validate_any_report, FaultSpecDoc, ReportKind,
-    SweepInputs, SweepTimingDoc, SweepViolation,
+    SweepInputs, SweepTimingDoc, SweepViolation, SweepWasteDoc, CATEGORY_NAMES,
 };
 use easeio_repro::kernel::{App, FaultSpec};
 use easeio_repro::mcu_emu::Mcu;
@@ -56,6 +56,16 @@ fn report_for(out: &SweepOutcome, plan: &SweepPlan, timing: &SweepTiming) -> Str
             max_retries: plan.fault.retry.max_retries as u64,
             backoff_base_us: plan.fault.retry.backoff_base_us,
         }),
+        // The per-boundary energy-attribution fold is part of report
+        // identity: waste means and cause totals must merge canonically.
+        waste: Some(SweepWasteDoc::from_series(
+            &out.boundary_waste_nj,
+            CATEGORY_NAMES
+                .iter()
+                .zip(out.cause_energy_nj)
+                .map(|(name, nj)| ((*name).to_string(), nj))
+                .collect(),
+        )),
         timing: Some(SweepTimingDoc {
             jobs: timing.jobs as u64,
             wall_us: timing.wall_us,
@@ -66,7 +76,12 @@ fn report_for(out: &SweepOutcome, plan: &SweepPlan, timing: &SweepTiming) -> Str
     };
     let doc = build_sweep_report(&inputs);
     assert_eq!(validate_any_report(&doc), Ok(ReportKind::Sweep));
-    identity_document(&doc).to_pretty()
+    let text = identity_document(&doc).to_pretty();
+    assert!(
+        text.contains("\"waste\""),
+        "sweep report must carry the waste fold"
+    );
+    text
 }
 
 /// The tentpole guarantee: `--jobs 1`, `--jobs 4`, and `--jobs 8` emit

@@ -17,7 +17,7 @@ use easeio_repro::apps::harness::{run_once, run_traced, MakeRuntime, RuntimeKind
 use easeio_repro::apps::{dma_app, fir, temp_app};
 use easeio_repro::easeio_trace::build_profile;
 use easeio_repro::kernel::{Outcome, Verdict};
-use easeio_repro::mcu_emu::{Mcu, Supply, TimerResetConfig};
+use easeio_repro::mcu_emu::{EnergyCause, Mcu, Supply, TimerResetConfig};
 use proptest::prelude::*;
 
 /// Arbitrary-but-runnable failure schedules: on-periods long enough that the
@@ -81,6 +81,57 @@ proptest! {
         }
         // Counters are coherent: skipped + executed ≥ distinct completions.
         prop_assert!(r.stats.io_reexecutions <= r.stats.io_executed);
+    }
+
+    #[test]
+    fn energy_attribution_sums_exactly_to_total_energy(
+        cfg in schedule_strategy(),
+        seed in any::<u64>(),
+        which in 0usize..4,
+        app in 0usize..2,
+    ) {
+        // The tentpole invariant: every nanojoule the MCU spends carries
+        // exactly one cause tag, so the per-category breakdown, the
+        // per-task ledger, and the headline totals are three views of the
+        // same number — for every runtime, app, and failure schedule.
+        let kind = [
+            RuntimeKind::Naive,
+            RuntimeKind::Alpaca,
+            RuntimeKind::Ink,
+            RuntimeKind::EaseIo,
+        ][which];
+        let r = if app == 0 {
+            let b = |m: &mut Mcu| temp_app::build(m, &temp_app::TempAppCfg::default());
+            run_once(&b, kind, Supply::timer(cfg, seed), seed)
+        } else {
+            let b = |m: &mut Mcu| dma_app::build(m, &dma_app::DmaAppCfg::default());
+            run_once(&b, kind, Supply::timer(cfg, seed), seed)
+        };
+        // No outcome assertion: Naive legitimately fails to terminate on
+        // harsh schedules, and the attribution ledger must balance even then.
+        prop_assert!(r.stats.attribution_balanced());
+        let cause_nj: u64 = r.stats.cause_energy_nj.iter().sum();
+        let cause_us: u64 = r.stats.cause_time_us.iter().sum();
+        prop_assert_eq!(cause_nj, r.stats.total_energy_nj());
+        prop_assert_eq!(cause_us, r.stats.total_time_us());
+        // The per-task ledger covers every nanojoule, no more, no less.
+        let task_nj: u64 = r
+            .stats
+            .cause_energy_by_task
+            .values()
+            .map(|per| per.iter().sum::<u64>())
+            .sum();
+        prop_assert_eq!(task_nj, r.stats.total_energy_nj());
+        // Waste is exactly the sum of the waste-flagged categories, and the
+        // per-site redundant ledger never exceeds the redundant_io bucket.
+        let waste_nj: u64 = EnergyCause::ALL
+            .iter()
+            .filter(|c| c.is_waste())
+            .map(|c| r.stats.cause_energy_nj[c.index()])
+            .sum();
+        prop_assert_eq!(waste_nj, r.stats.waste_energy_nj());
+        let site_nj: u64 = r.stats.redundant_energy_by_site.values().sum();
+        prop_assert!(site_nj <= r.stats.cause_energy_nj[EnergyCause::RedundantIo.index()]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::{Strategy, TestRng};
 
-/// Length bounds for [`vec`].
+/// Length bounds for [`vec`](fn@vec).
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     min: usize,
@@ -43,7 +43,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
