@@ -22,6 +22,7 @@
 pub mod dma_app;
 pub mod dnn;
 pub mod fir;
+pub mod fir_long;
 pub mod flaky_radio;
 pub mod harness;
 pub mod lea_app;

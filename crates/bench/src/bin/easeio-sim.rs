@@ -3,7 +3,7 @@
 //! Common options (accepted by every mode, parsed once into a `SimConfig`):
 //!
 //! ```text
-//!   --app <dma|temp|lea|fir|weather|weather-single|branch|motion|flaky-radio>
+//!   --app <dma|temp|lea|fir|fir-long|weather|weather-single|branch|motion|flaky-radio>
 //!                                                  (default dma)
 //!   --kernel <naive|alpaca|ink|easeio|easeio-op>   (default easeio; --runtime
 //!                                                   is an accepted alias)
@@ -39,9 +39,13 @@
 //!   --off-us <us>            outage length per injection       (default 100000)
 //!   --strict-memory          force byte-exact FRAM compare (auto for
 //!                            deterministic apps: dma, fir, lea)
-//!   --all-apps               sweep every built-in app in sequence
+//!   --all-apps               sweep every built-in app over one shared pool
+//!   --no-prune               execute every boundary instead of pruning
+//!                            equivalent injection points (pruning is on by
+//!                            default and outcome-preserving)
 //!   --bench-out <path>       write BENCH_sweep.json (wall-clock, throughput,
-//!                            per-app breakdown)
+//!                            prune counts, per-app breakdown)
+//!   --utilization-out <path> write per-worker busy-time/injection counts
 //!   --allow-violations       exit 0 even if violations are found
 //!   --expect-violations      exit 1 only if NO violation is found
 //! ```
@@ -58,15 +62,19 @@
 
 use apps::harness::{golden, measure_footprint, run_once_faulted, run_traced_faulted, RuntimeKind};
 use crashcheck::{SweepMode, SweepOutcome, SweepPlan};
-use easeio_exec::{parallel_sweep, run_grid, AppSpec, GridSpec, SimConfig, SupplySpec, APP_NAMES};
+use easeio_exec::{
+    run_grid, sweep_matrix, AppSpec, GridSpec, SimConfig, SupplySpec, SweepEntry, SweepOptions,
+    APP_NAMES,
+};
 use easeio_trace::{
     build_metrics_report, build_profile, build_report, build_sweep_report,
     chrome_trace_with_counters, compare_metrics, flamegraph, jsonl, parse_json,
     validate_any_report, validate_metrics_report, CounterTrack, Event, EventKind, FaultSpecDoc,
     InstantKind, MetricsEntry, MetricsInputs, ReportInputs, SiteWasteRow, SpanKind, SweepInputs,
-    SweepTimingDoc, SweepViolation, SweepWasteDoc, TaskWasteRow, Value, CATEGORY_NAMES,
+    SweepPruneDoc, SweepTimingDoc, SweepViolation, SweepWasteDoc, TaskWasteRow, Value,
+    CATEGORY_NAMES,
 };
-use kernel::{Fault, FaultSpec, Outcome, Verdict};
+use kernel::{App, Fault, FaultSpec, Outcome, Verdict};
 use mcu_emu::{CauseSample, Mcu, RunStats, Supply, DMA_SITE_BASE};
 
 /// The one flag set shared by every mode. Parsed once; each subcommand adds
@@ -332,7 +340,17 @@ fn parse_metrics_args() -> Result<MetricsArgs, String> {
         RuntimeKind::Ink,
         RuntimeKind::EaseIo,
     ];
-    let mut apps: Vec<String> = APP_NAMES.iter().map(|n| (*n).to_string()).collect();
+    // Default to every benchmark app except `fir-long`: its chunk task is a
+    // ~25 ms atomic burst, deliberately longer than the timer supply's 20 ms
+    // maximum on-period, so under the metrics supply every task-atomic
+    // runtime non-terminates by construction. It exists to stress the crash
+    // sweep (where runs start from a restored boundary under an injected
+    // outage), not the timer-supply metrics. `--apps` can still opt it in.
+    let mut apps: Vec<String> = APP_NAMES
+        .iter()
+        .filter(|n| **n != "fir-long")
+        .map(|n| (*n).to_string())
+        .collect();
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -519,6 +537,8 @@ struct SweepArgs {
     strict_memory: bool,
     all_apps: bool,
     bench_out: Option<String>,
+    utilization_out: Option<String>,
+    prune: bool,
     allow_violations: bool,
     expect_violations: bool,
 }
@@ -530,6 +550,8 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
     let mut strict_memory = false;
     let mut all_apps = false;
     let mut bench_out = None;
+    let mut utilization_out = None;
+    let mut prune = true;
     let mut allow_violations = false;
     let mut expect_violations = false;
     let mut it = std::env::args().skip(2);
@@ -545,6 +567,8 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
             "--strict-memory" => strict_memory = true,
             "--all-apps" => all_apps = true,
             "--bench-out" => bench_out = Some(val("--bench-out")?),
+            "--utilization-out" => utilization_out = Some(val("--utilization-out")?),
+            "--no-prune" => prune = false,
             "--allow-violations" => allow_violations = true,
             "--expect-violations" => expect_violations = true,
             "--help" | "-h" => return Err("help".into()),
@@ -558,31 +582,17 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
         strict_memory,
         all_apps,
         bench_out,
+        utilization_out,
+        prune,
         allow_violations,
         expect_violations,
     })
 }
 
-/// One app's sweep, run through the parallel engine at `jobs` workers.
-fn sweep_one(
-    sim: &SimConfig,
-    app: &AppSpec,
-    plan: &SweepPlan,
-    jobs: usize,
-) -> (SweepOutcome, easeio_exec::SweepTiming) {
-    // Probe build: surface app/source errors before committing to a sweep.
-    {
-        let mut probe = Mcu::new(Supply::continuous());
-        if let Err(e) = app.build(sim.kernel.excludes_const_dma(), &mut probe) {
-            die(&e);
-        }
-    }
-    let build = |m: &mut Mcu| app.build(sim.kernel.excludes_const_dma(), m).unwrap();
-    parallel_sweep(&build, sim.kernel, plan, jobs)
-}
-
-/// The engine's determinism contract, checked at run time: identical
-/// boundary bookkeeping and identical violations in identical order.
+/// The engine's determinism contract, checked at run time against the
+/// unpruned serial sweep: identical boundary bookkeeping, identical
+/// violations in identical order, and identical energy accounting — pruning
+/// must not perturb a single nanojoule.
 fn outcomes_diverge(a: &SweepOutcome, b: &SweepOutcome) -> Option<String> {
     if a.oracle_boundaries != b.oracle_boundaries || a.injections != b.injections {
         return Some(format!(
@@ -604,6 +614,22 @@ fn outcomes_diverge(a: &SweepOutcome, b: &SweepOutcome) -> Option<String> {
                 x.boundary, y.boundary, x.kind, y.kind
             ));
         }
+    }
+    if a.boundary_waste_nj != b.boundary_waste_nj {
+        let at = a
+            .boundary_waste_nj
+            .iter()
+            .zip(&b.boundary_waste_nj)
+            .position(|(x, y)| x != y);
+        return Some(format!(
+            "per-boundary waste diverged (first mismatch at injection index {at:?})"
+        ));
+    }
+    if a.cause_energy_nj != b.cause_energy_nj {
+        return Some(format!(
+            "per-cause energy diverged: {:?} vs {:?}",
+            a.cause_energy_nj, b.cause_energy_nj
+        ));
     }
     None
 }
@@ -649,8 +675,19 @@ fn sweep_report_inputs(
             jobs: timing.jobs as u64,
             wall_us: timing.wall_us,
             injections_per_sec_milli: timing.injections_per_sec_milli,
+            oracle_us: timing.oracle_us,
+            classify_us: timing.classify_us,
+            inject_us: timing.inject_us,
+            merge_us: timing.merge_us,
             injections_per_worker: timing.injections_per_worker.clone(),
             busy_us_per_worker: timing.busy_us_per_worker.clone(),
+            prune: Some(SweepPruneDoc {
+                enabled: timing.prune.enabled,
+                injections_executed: timing.prune.injections_executed,
+                injections_pruned: timing.prune.injections_pruned,
+                classes: timing.prune.classes,
+                time_observed: timing.prune.time_observed,
+            }),
         }),
     }
 }
@@ -667,7 +704,8 @@ fn sweep_main() -> ! {
                  \x20                       [--exhaustive | --sample N] [--seed N] [--off-us US]\n\
                  \x20                       [--strict-memory] [--report FILE.json]\n\
                  \x20                       [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
-                 \x20                       [--bench-out BENCH_sweep.json]\n\
+                 \x20                       [--no-prune] [--bench-out BENCH_sweep.json]\n\
+                 \x20                       [--utilization-out FILE.json]\n\
                  \x20                       [--allow-violations] [--expect-violations]"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
@@ -690,43 +728,106 @@ fn sweep_main() -> ! {
         Some(n) => SweepMode::Sample(n),
         None => SweepMode::Exhaustive,
     };
-    // With --bench-out and --jobs > 1, every sweep also runs serially: the
-    // serial pass is the divergence gate (parallel must merge to the exact
-    // same outcome) and the honest speedup baseline in the bench document.
-    let record_serial = args.bench_out.is_some() && sim.jobs > 1;
-    let mut total_violations = 0u64;
-    let mut total_injections = 0u64;
-    let mut total_wall_us = 0u64;
-    let mut total_serial_wall_us = 0u64;
-    let mut per_app = Vec::new();
+    // Probe-build every app up front: surface app/source errors before
+    // committing to a long sweep.
     for app in &apps {
-        let plan = SweepPlan {
+        let mut probe = Mcu::new(Supply::continuous());
+        if let Err(e) = app.build(sim.kernel.excludes_const_dma(), &mut probe) {
+            die(&e);
+        }
+    }
+    let plans: Vec<SweepPlan> = apps
+        .iter()
+        .map(|app| SweepPlan {
             mode,
             seed: sim.seed,
             off_us: args.off_us,
             strict_memory: args.strict_memory || app.is_deterministic(),
             env_seed: sim.seed,
             fault: sim.fault,
-        };
-        let (out, timing) = sweep_one(sim, app, &plan, sim.jobs);
-        let serial_wall_us = if record_serial {
-            let (serial_out, serial_timing) = sweep_one(sim, app, &plan, 1);
-            if let Some(why) = outcomes_diverge(&serial_out, &out) {
-                eprintln!(
-                    "error: serial and --jobs {} sweeps of {} diverged: {why}",
-                    sim.jobs,
-                    app.label()
-                );
-                std::process::exit(1);
+        })
+        .collect();
+    type AppBuilder = Box<dyn Fn(&mut Mcu) -> App + Sync>;
+    let builders: Vec<AppBuilder> = apps
+        .iter()
+        .map(|app| {
+            let kernel = sim.kernel;
+            let app = app.clone();
+            Box::new(move |m: &mut Mcu| app.build(kernel.excludes_const_dma(), m).unwrap())
+                as AppBuilder
+        })
+        .collect();
+    let entries: Vec<SweepEntry> = builders
+        .iter()
+        .zip(&plans)
+        .map(|(b, plan)| SweepEntry {
+            builder: b.as_ref(),
+            kind: sim.kernel,
+            plan: plan.clone(),
+        })
+        .collect();
+
+    // One worker pool serves the whole app matrix: workers are spawned once
+    // and keep a warm machine per app, instead of paying a pool spawn/join
+    // and a cold snapshot adoption per app.
+    let started = std::time::Instant::now();
+    let results = sweep_matrix(
+        &entries,
+        &SweepOptions {
+            jobs: sim.jobs,
+            prune: args.prune,
+        },
+    );
+    let matrix_wall_us = (started.elapsed().as_micros() as u64).max(1);
+
+    // With --bench-out, any sweep that could differ from the unpruned serial
+    // loop (wider than one worker, or pruned) also runs that loop: it is the
+    // identity gate — the engine must merge to the exact same outcome,
+    // nanojoule for nanojoule — and the honest speedup baseline.
+    let record_serial = args.bench_out.is_some() && (sim.jobs > 1 || args.prune);
+    let serial_results = if record_serial {
+        let started = std::time::Instant::now();
+        let serial = sweep_matrix(
+            &entries,
+            &SweepOptions {
+                jobs: 1,
+                prune: false,
+            },
+        );
+        Some((serial, (started.elapsed().as_micros() as u64).max(1)))
+    } else {
+        None
+    };
+
+    let mut total_violations = 0u64;
+    let mut total_injections = 0u64;
+    let mut total_executed = 0u64;
+    let mut total_pruned = 0u64;
+    let mut per_app = Vec::new();
+    let mut per_app_util = Vec::new();
+    let jobs_ran = results.first().map(|(_, t)| t.jobs).unwrap_or(1);
+    let mut busy_us_per_worker = vec![0u64; jobs_ran];
+    let mut injections_per_worker = vec![0u64; jobs_ran];
+    for (i, (out, timing)) in results.iter().enumerate() {
+        let plan = &plans[i];
+        let serial_wall_us = match &serial_results {
+            Some((serial, _)) => {
+                if let Some(why) = outcomes_diverge(&serial[i].0, out) {
+                    eprintln!(
+                        "error: unpruned serial and --jobs {}{} sweeps of {} diverged: {why}",
+                        sim.jobs,
+                        if args.prune { " pruned" } else { "" },
+                        apps[i].label()
+                    );
+                    std::process::exit(1);
+                }
+                Some(serial[i].1.wall_us)
             }
-            total_serial_wall_us += serial_timing.wall_us;
-            Some(serial_timing.wall_us)
-        } else {
-            None
+            None => None,
         };
         println!(
             "sweep: {} under {} — {} boundaries, {} injections ({}), seed {}, outage {} µs{}{}, \
-             {} job(s), {:.2} ms wall ({} inj/s)",
+             {} job(s), {:.2} ms wall ({} inj/s), {} run / {} pruned",
             out.app,
             out.runtime,
             out.oracle_boundaries,
@@ -746,7 +847,12 @@ fn sweep_main() -> ! {
             },
             timing.jobs,
             timing.wall_us as f64 / 1000.0,
-            timing.injections_per_sec_milli / 1000,
+            timing
+                .injections_per_sec_milli
+                .map(|r| (r / 1000).to_string())
+                .unwrap_or_else(|| "unmeasured".into()),
+            timing.prune.injections_executed,
+            timing.prune.injections_pruned,
         );
         for v in &out.violations {
             println!(
@@ -767,7 +873,7 @@ fn sweep_main() -> ! {
             waste.mean_waste_nj, waste.p95_waste_nj, waste.max_waste_nj
         );
         if let Some(path) = &sim.report_out {
-            let inputs = sweep_report_inputs(&out, &plan, &timing);
+            let inputs = sweep_report_inputs(out, plan, timing);
             let mut doc = build_sweep_report(&inputs).to_pretty();
             doc.push('\n');
             write_or_die(path, &doc, "sweep report");
@@ -775,26 +881,61 @@ fn sweep_main() -> ! {
         }
         total_violations += out.violations.len() as u64;
         total_injections += out.injections;
-        total_wall_us += timing.wall_us;
+        total_executed += timing.prune.injections_executed;
+        total_pruned += timing.prune.injections_pruned;
+        for w in 0..timing.jobs.min(jobs_ran) {
+            busy_us_per_worker[w] += timing.busy_us_per_worker[w];
+            injections_per_worker[w] += timing.injections_per_worker[w];
+        }
         let mut entry = vec![
             ("app".into(), Value::str(out.app)),
             ("runtime".into(), Value::str(out.runtime)),
             ("injections".into(), Value::u64(out.injections)),
+            (
+                "injections_executed".into(),
+                Value::u64(timing.prune.injections_executed),
+            ),
+            (
+                "injections_pruned".into(),
+                Value::u64(timing.prune.injections_pruned),
+            ),
             ("violations".into(), Value::u64(out.violations.len() as u64)),
             ("wall_us".into(), Value::u64(timing.wall_us)),
-            (
-                "injections_per_sec_milli".into(),
-                Value::u64(timing.injections_per_sec_milli),
-            ),
         ];
+        if let Some(rate) = timing.injections_per_sec_milli {
+            entry.push(("injections_per_sec_milli".into(), Value::u64(rate)));
+        }
+        // Per-app wall sums worker busy spans, which preemption inflates
+        // when workers outnumber cores — so the honest speedup (elapsed vs
+        // elapsed) is reported only at the matrix level, never per app.
         if let Some(serial) = serial_wall_us {
             entry.push(("serial_wall_us".into(), Value::u64(serial)));
-            entry.push((
-                "speedup_milli".into(),
-                Value::u64((serial * 1000).checked_div(timing.wall_us).unwrap_or(0)),
-            ));
         }
         per_app.push(Value::Obj(entry));
+        per_app_util.push(Value::Obj(vec![
+            ("app".into(), Value::str(out.app)),
+            ("runtime".into(), Value::str(out.runtime)),
+            (
+                "injections_per_worker".into(),
+                Value::Arr(
+                    timing
+                        .injections_per_worker
+                        .iter()
+                        .map(|&n| Value::u64(n))
+                        .collect(),
+                ),
+            ),
+            (
+                "busy_us_per_worker".into(),
+                Value::Arr(
+                    timing
+                        .busy_us_per_worker
+                        .iter()
+                        .map(|&n| Value::u64(n))
+                        .collect(),
+                ),
+            ),
+        ]));
     }
 
     if let Some(path) = &args.bench_out {
@@ -803,34 +944,38 @@ fn sweep_main() -> ! {
             ("jobs".into(), Value::u64(sim.jobs as u64)),
             ("mode".into(), Value::str(mode.name())),
             ("seed".into(), Value::u64(sim.seed)),
+            ("prune".into(), Value::Bool(args.prune)),
             ("injections".into(), Value::u64(total_injections)),
+            ("injections_executed".into(), Value::u64(total_executed)),
+            ("injections_pruned".into(), Value::u64(total_pruned)),
             ("violations".into(), Value::u64(total_violations)),
-            ("wall_us".into(), Value::u64(total_wall_us)),
+            ("wall_us".into(), Value::u64(matrix_wall_us)),
             (
                 "injections_per_sec_milli".into(),
                 Value::u64(
                     (total_injections * 1_000_000_000)
-                        .checked_div(total_wall_us)
+                        .checked_div(matrix_wall_us)
                         .unwrap_or(0),
                 ),
             ),
         ];
-        if record_serial {
-            fields.push(("serial_wall_us".into(), Value::u64(total_serial_wall_us)));
+        if let Some((_, serial_wall_us)) = &serial_results {
+            fields.push(("serial_wall_us".into(), Value::u64(*serial_wall_us)));
             fields.push((
                 "speedup_milli".into(),
                 Value::u64(
-                    (total_serial_wall_us * 1000)
-                        .checked_div(total_wall_us)
+                    (serial_wall_us * 1000)
+                        .checked_div(matrix_wall_us)
                         .unwrap_or(0),
                 ),
             ));
             println!(
-                "sweep bench: --jobs {} is {:.2}x serial ({:.1} ms vs {:.1} ms)",
+                "sweep bench: --jobs {}{} is {:.2}x serial-unpruned ({:.1} ms vs {:.1} ms)",
                 sim.jobs,
-                total_serial_wall_us as f64 / total_wall_us.max(1) as f64,
-                total_wall_us as f64 / 1000.0,
-                total_serial_wall_us as f64 / 1000.0
+                if args.prune { " with pruning" } else { "" },
+                *serial_wall_us as f64 / matrix_wall_us as f64,
+                matrix_wall_us as f64 / 1000.0,
+                *serial_wall_us as f64 / 1000.0
             );
         }
         fields.push(("apps".into(), Value::Arr(per_app)));
@@ -839,6 +984,34 @@ fn sweep_main() -> ! {
         text.push('\n');
         write_or_die(path, &text, "sweep bench");
         println!("sweep bench written to {path}");
+    }
+
+    if let Some(path) = &args.utilization_out {
+        // Per-worker utilization of the shared pool, totalled and per app —
+        // the CI artifact that shows where --jobs N actually went.
+        let doc = Value::Obj(vec![
+            ("tool".into(), Value::str("easeio-sim sweep")),
+            ("jobs".into(), Value::u64(jobs_ran as u64)),
+            ("wall_us".into(), Value::u64(matrix_wall_us)),
+            (
+                "injections_per_worker".into(),
+                Value::Arr(
+                    injections_per_worker
+                        .iter()
+                        .map(|&n| Value::u64(n))
+                        .collect(),
+                ),
+            ),
+            (
+                "busy_us_per_worker".into(),
+                Value::Arr(busy_us_per_worker.iter().map(|&n| Value::u64(n)).collect()),
+            ),
+            ("apps".into(), Value::Arr(per_app_util)),
+        ]);
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        write_or_die(path, &text, "sweep utilization");
+        println!("sweep utilization written to {path}");
     }
 
     if args.expect_violations {
@@ -1050,8 +1223,8 @@ fn main() {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: easeio-sim [--app dma|temp|lea|fir|weather|weather-single|branch|motion\n\
-                 \x20                       |flaky-radio]\n\
+                "usage: easeio-sim [--app dma|temp|lea|fir|fir-long|weather|weather-single\n\
+                 \x20                       |branch|motion|flaky-radio]\n\
                  \x20                 [--kernel naive|alpaca|ink|easeio|easeio-op]\n\
                  \x20                 [--supply continuous|timer|rf] [--seed N] [--runs N]\n\
                  \x20                 [--distance INCHES] [--trace] [--trace-out FILE.json|.jsonl]\n\

@@ -29,11 +29,11 @@
 
 use apps::harness::{MakeRuntime, RuntimeKind};
 use kernel::{run_app, App, ExecConfig, FaultSpec, Outcome, Verdict};
-use mcu_emu::{AllocTag, Mcu, McuSnapshot, Region, Supply, CAUSE_COUNT};
+use mcu_emu::{AllocTag, Mcu, McuSnapshot, Region, SpendBoundary, Supply, CAUSE_COUNT};
 use periph::Peripherals;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// How boundaries are chosen from `0..oracle_boundaries`.
@@ -293,6 +293,179 @@ pub fn run_from(
         waste_nj: r.stats.waste_energy_nj(),
         attribution_balanced: r.stats.attribution_balanced(),
         fram: app_fram(mcu),
+    }
+}
+
+/// The [`mcu_emu::RunStats`] counters a [`RunRecord`] exposes, in field
+/// order — the counters a boundary trace must capture per slice so skipped
+/// boundaries' records can be materialized from their representative.
+pub const PROBE_COUNTERS: [&str; 5] = [
+    "probe_single_redundant",
+    "probe_timely_stale",
+    "probe_commit_overpriced",
+    "probe_retry_duplicated_effect",
+    "probe_degraded_staleness_exceeded",
+];
+
+/// Per-boundary record of one reference run under the sweep's fault plan on
+/// continuous power: which spend call each boundary's slice belongs to,
+/// plus the cumulative ledger prefix right before it.
+#[derive(Debug, Clone)]
+pub struct BoundaryTrace {
+    /// One record per energy-spend boundary, index = boundary.
+    pub slices: Vec<SpendBoundary>,
+    /// Whether the run observed wall-clock time in a way that can reach
+    /// persistent state or a verdict (timestamp read, sensor sample, radio
+    /// transmit, degraded-`Timely` age check). If so, no two boundaries may
+    /// be merged: slices of one spend call resume at different clocks.
+    pub time_observed: bool,
+}
+
+/// Records the sweep's reference run: the same restore-then-run recipe as
+/// every injected run — same fault plan, same env seed — but on continuous
+/// power and with the boundary recorder active. An injected run at boundary
+/// `b` is *identical* to this run up to the injection (the not-yet-fired
+/// injected supply charges exactly like the continuous one), so
+/// `trace.slices[b]` is the injected run's exact pre-failure ledger prefix.
+///
+/// The run may legitimately end in `Fault`/`NonTermination` under an
+/// aggressive fault plan; its prefix trace is valid regardless.
+pub fn reference_trace(
+    app: &App,
+    kind: RuntimeKind,
+    mcu: &mut Mcu,
+    snap: &McuSnapshot,
+    env_seed: u64,
+    fault: &FaultSpec,
+) -> BoundaryTrace {
+    mcu.record_boundaries(PROBE_COUNTERS.to_vec());
+    let _ = run_from(app, kind, mcu, snap, Supply::continuous(), env_seed, fault);
+    let (slices, time_observed) = mcu
+        .take_boundary_recording()
+        .expect("recorder was installed above");
+    BoundaryTrace {
+        slices,
+        time_observed,
+    }
+}
+
+/// Equivalence classes over the chosen boundaries of one sweep.
+#[derive(Debug, Clone)]
+pub struct PruneClasses {
+    /// For each chosen boundary (parallel to the `chosen` slice passed to
+    /// [`classify_boundaries`]), the index into `reps` of its class.
+    pub class_of: Vec<usize>,
+    /// One representative boundary per class: the first chosen member.
+    /// Only representatives need real injected runs.
+    pub reps: Vec<u64>,
+    /// Copied from the trace: true means classification refused to merge
+    /// anything and every class is a singleton.
+    pub time_observed: bool,
+}
+
+/// Groups chosen boundaries into equivalence classes by the spend *call*
+/// their slice interrupts.
+///
+/// Soundness: every layer of the simulator obeys spend-then-mutate, so no
+/// simulator or host state changes between two slices of one spend call —
+/// an injection at either boundary clears the same volatile state over the
+/// same persistent state and replays the identical continuation. The only
+/// distinguishing observable is the wall clock (later slices fail later),
+/// which is why a time-observing run ([`BoundaryTrace::time_observed`])
+/// gets singleton classes. Fault-plan position needs no key component:
+/// peripheral attempt counters tick between spend calls, so two attempts
+/// of one site are distinct spend calls and never share a class.
+///
+/// Boundaries at or past the reference run's last slice form one extra
+/// class: the injection never fires there, so every such run *is* the
+/// reference run.
+pub fn classify_boundaries(chosen: &[u64], trace: &BoundaryTrace) -> PruneClasses {
+    let mut class_of = Vec::with_capacity(chosen.len());
+    let mut reps = Vec::new();
+    if trace.time_observed {
+        for (i, &b) in chosen.iter().enumerate() {
+            class_of.push(i);
+            reps.push(b);
+        }
+        return PruneClasses {
+            class_of,
+            reps,
+            time_observed: true,
+        };
+    }
+    let mut by_key: HashMap<Option<u64>, usize> = HashMap::new();
+    for &b in chosen {
+        let key = trace.slices.get(b as usize).map(|s| s.spend_seq);
+        let id = *by_key.entry(key).or_insert_with(|| {
+            reps.push(b);
+            reps.len() - 1
+        });
+        class_of.push(id);
+    }
+    PruneClasses {
+        class_of,
+        reps,
+        time_observed: false,
+    }
+}
+
+/// Materializes the record of a pruned boundary from its class
+/// representative's real record.
+///
+/// Same class means identical continuation, so every field is either copied
+/// (outcome, verdict, final FRAM, balance flag) or corrected additively:
+/// cumulative totals differ between class members exactly by the difference
+/// of their pre-failure ledger prefixes, which the reference trace recorded.
+/// The probe counters cannot change within one spend call, so their
+/// correction is the identity — kept in the same additive form for
+/// uniformity. `waste_nj` is re-derived from the corrected cause ledger,
+/// matching how [`run_from`] derives it.
+pub fn materialize_record(
+    trace: &BoundaryTrace,
+    rep: &RunRecord,
+    rep_boundary: u64,
+    boundary: u64,
+) -> RunRecord {
+    let (Some(rp), Some(tp)) = (
+        trace.slices.get(rep_boundary as usize),
+        trace.slices.get(boundary as usize),
+    ) else {
+        // Past the reference run's last boundary the injection never
+        // fires: the run is the reference run, byte for byte.
+        return rep.clone();
+    };
+    let shift = |total: u64, from: u64, to: u64| total - from + to;
+    let mut cause_energy_nj = rep.cause_energy_nj;
+    for (i, c) in cause_energy_nj.iter_mut().enumerate() {
+        *c = shift(*c, rp.cause_energy_nj[i], tp.cause_energy_nj[i]);
+    }
+    let waste_nj = mcu_emu::EnergyCause::ALL
+        .iter()
+        .filter(|c| c.is_waste())
+        .map(|c| cause_energy_nj[c.index()])
+        .sum();
+    RunRecord {
+        outcome: rep.outcome,
+        verdict: rep.verdict.clone(),
+        boundaries: shift(rep.boundaries, rp.boundaries, tp.boundaries),
+        single_redundant: shift(rep.single_redundant, rp.counters[0], tp.counters[0]),
+        timely_stale: shift(rep.timely_stale, rp.counters[1], tp.counters[1]),
+        commit_overpriced: shift(rep.commit_overpriced, rp.counters[2], tp.counters[2]),
+        retry_duplicated_effect: shift(rep.retry_duplicated_effect, rp.counters[3], tp.counters[3]),
+        degraded_staleness_exceeded: shift(
+            rep.degraded_staleness_exceeded,
+            rp.counters[4],
+            tp.counters[4],
+        ),
+        cause_energy_nj,
+        total_energy_nj: shift(
+            rep.total_energy_nj,
+            rp.app_energy_nj + rp.overhead_energy_nj,
+            tp.app_energy_nj + tp.overhead_energy_nj,
+        ),
+        waste_nj,
+        attribution_balanced: rep.attribution_balanced,
+        fram: rep.fram.clone(),
     }
 }
 
@@ -699,6 +872,170 @@ mod tests {
         // Sample size covering the range degrades to exhaustive.
         let all = select_boundaries(10, SweepMode::Sample(50), 1);
         assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    fn records_equal(a: &RunRecord, b: &RunRecord) -> bool {
+        a.outcome == b.outcome
+            && a.verdict == b.verdict
+            && a.boundaries == b.boundaries
+            && a.single_redundant == b.single_redundant
+            && a.timely_stale == b.timely_stale
+            && a.commit_overpriced == b.commit_overpriced
+            && a.retry_duplicated_effect == b.retry_duplicated_effect
+            && a.degraded_staleness_exceeded == b.degraded_staleness_exceeded
+            && a.cause_energy_nj == b.cause_energy_nj
+            && a.total_energy_nj == b.total_energy_nj
+            && a.waste_nj == b.waste_nj
+            && a.attribution_balanced == b.attribution_balanced
+            && a.fram == b.fram
+    }
+
+    /// Multi-millisecond DMA bursts and compute blocks: spend calls that
+    /// span several ≤1 ms slices, giving classification real runs of
+    /// equivalent boundaries to merge.
+    fn chunky_dma(m: &mut Mcu) -> App {
+        dma_app::build(
+            m,
+            &dma_app::DmaAppCfg {
+                bytes: 4096,
+                chunks: 2,
+                iterations: 1,
+                pre_compute: 2500,
+                post_compute: 500,
+            },
+        )
+    }
+
+    /// The pruning soundness core, checked at the record level: for every
+    /// boundary of an exhaustive sweep, the record materialized from its
+    /// class representative must equal the record of a *real* injected run
+    /// at that boundary, field for field. Run for a clean runtime and a
+    /// violating one, with and without a peripheral-fault plan.
+    #[test]
+    fn materialized_records_match_real_injected_runs() {
+        for (kind, fault) in [
+            (RuntimeKind::EaseIo, FaultSpec::none()),
+            (RuntimeKind::Naive, FaultSpec::none()),
+            (RuntimeKind::EaseIo, FaultSpec::with_rate(3, 120)),
+        ] {
+            let plan = SweepPlan {
+                fault,
+                ..SweepPlan::with_env_seed(5)
+            };
+            let mut mcu = Mcu::new(Supply::continuous());
+            let app = chunky_dma(&mut mcu);
+            let oracle = prepare_oracle(&chunky_dma, kind, plan.env_seed);
+            mcu.restore(&oracle.snapshot);
+            let trace = reference_trace(
+                &app,
+                kind,
+                &mut mcu,
+                &oracle.snapshot,
+                plan.env_seed,
+                &plan.fault,
+            );
+            assert!(!trace.time_observed, "the DMA app never observes time");
+            let chosen = select_boundaries(oracle.boundaries, plan.mode, plan.seed);
+            let classes = classify_boundaries(&chosen, &trace);
+            assert!(
+                classes.reps.len() < chosen.len(),
+                "multi-slice DMA bursts must yield mergeable boundaries"
+            );
+            let rep_records: Vec<RunRecord> = classes
+                .reps
+                .iter()
+                .map(|&b| {
+                    run_from(
+                        &app,
+                        kind,
+                        &mut mcu,
+                        &oracle.snapshot,
+                        Supply::injected(b, plan.off_us),
+                        plan.env_seed,
+                        &plan.fault,
+                    )
+                })
+                .collect();
+            for (i, &b) in chosen.iter().enumerate() {
+                let class = classes.class_of[i];
+                let materialized =
+                    materialize_record(&trace, &rep_records[class], classes.reps[class], b);
+                let real = run_from(
+                    &app,
+                    kind,
+                    &mut mcu,
+                    &oracle.snapshot,
+                    Supply::injected(b, plan.off_us),
+                    plan.env_seed,
+                    &plan.fault,
+                );
+                assert!(
+                    records_equal(&materialized, &real),
+                    "{kind:?} boundary {b} (rep {}): materialized {materialized:?} != real {real:?}",
+                    classes.reps[class],
+                );
+            }
+        }
+    }
+
+    /// Pinned case: two boundaries whose restored machine state is
+    /// byte-identical but whose *fault-plan position* (the peripheral's
+    /// physical attempt counter) differs must never merge. A faulted LEA
+    /// call charges its full cost without any memory effect, so the retry
+    /// attempt starts from the exact memory state of the first — a key
+    /// hashing machine state alone would merge their slices. Attempt
+    /// counters tick between spend calls, so the spend-call key keeps them
+    /// apart, and the remaining fault schedule stays part of the identity.
+    #[test]
+    fn boundaries_differing_only_in_fault_plan_position_never_merge() {
+        use kernel::{io::perform_io, IoOp, TaskId};
+        use periph::{FaultPlan, PeriphClass};
+
+        // A seed where attempt 0 faults and attempt 1 succeeds.
+        let seed = (0..u64::MAX)
+            .find(|&s| {
+                let p = FaultPlan::new(s, 500);
+                p.decide(PeriphClass::Lea, 0, 0, 0).is_some()
+                    && p.decide(PeriphClass::Lea, 0, 0, 1).is_none()
+            })
+            .unwrap();
+        let mut mcu = Mcu::new(Supply::continuous());
+        let x = mcu.mem.alloc(Region::LeaRam, 256, AllocTag::App);
+        let h = mcu.mem.alloc(Region::LeaRam, 128, AllocTag::App);
+        let y = mcu.mem.alloc(Region::LeaRam, 128, AllocTag::App);
+        let op = IoOp::LeaFir {
+            x,
+            h,
+            y,
+            n_out: 64,
+            taps: 64,
+        };
+        let mut periph = Peripherals::with_fault_plan(1, FaultPlan::new(seed, 500));
+        mcu.record_boundaries(PROBE_COUNTERS.to_vec());
+        // Attempt 0: full cost charged (64·64 µs ≈ 5 slices), LeaStall, no
+        // memory effect. Attempt 1: identical burst, succeeds.
+        assert!(perform_io(&mut mcu, &mut periph, &op, TaskId(0), 0).is_err());
+        assert!(perform_io(&mut mcu, &mut periph, &op, TaskId(0), 0).is_ok());
+        let (slices, time_observed) = mcu.take_boundary_recording().unwrap();
+        assert!(!time_observed, "LEA work never observes time");
+        let trace = BoundaryTrace {
+            slices,
+            time_observed,
+        };
+        let chosen: Vec<u64> = (0..trace.slices.len() as u64).collect();
+        let classes = classify_boundaries(&chosen, &trace);
+        // Both attempts produced multi-slice bursts…
+        let first = classes.class_of[1];
+        let last = *classes.class_of.last().unwrap();
+        assert_eq!(
+            classes.class_of[0], first,
+            "slices within one attempt share a class"
+        );
+        // …but the two attempts must be distinct classes.
+        assert_ne!(
+            first, last,
+            "attempt 0 and attempt 1 differ only in fault-plan position and must not merge"
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! the same way.
 
 use apps::harness::{kernel_builder, KernelBuilder, KernelKind};
-use apps::{dma_app, fir, flaky_radio, lea_app, motion, temp_app, unsafe_branch, weather};
+use apps::{
+    dma_app, fir, fir_long, flaky_radio, lea_app, motion, temp_app, unsafe_branch, weather,
+};
 use kernel::{App, FaultSpec};
 use mcu_emu::{Mcu, Supply, TimerResetConfig};
 
@@ -28,11 +30,12 @@ pub enum AppSpec {
 
 /// CLI names of the built-in benchmark apps, in canonical report order —
 /// the full EaseIO evaluation matrix plus the packet-loss stressor.
-pub const APP_NAMES: [&str; 9] = [
+pub const APP_NAMES: [&str; 10] = [
     "dma",
     "temp",
     "lea",
     "fir",
+    "fir-long",
     "weather",
     "weather-single",
     "branch",
@@ -63,6 +66,13 @@ impl AppSpec {
                     ..fir::FirCfg::default()
                 },
             ),
+            "fir-long" => fir_long::build(
+                mcu,
+                &fir_long::FirLongCfg {
+                    exclude_const_dma: exclude,
+                    ..fir_long::FirLongCfg::default()
+                },
+            ),
             "weather" => weather::build(
                 mcu,
                 &weather::WeatherCfg {
@@ -89,7 +99,7 @@ impl AppSpec {
     /// sensed environment values reach application state, so byte-exact
     /// comparison against the continuous-power oracle is sound.
     pub fn is_deterministic(&self) -> bool {
-        matches!(self, AppSpec::Named(n) if matches!(n.as_str(), "dma" | "fir" | "lea"))
+        matches!(self, AppSpec::Named(n) if matches!(n.as_str(), "dma" | "fir" | "fir-long" | "lea"))
     }
 
     /// Display label: the app name, or the source path.
@@ -229,7 +239,7 @@ mod tests {
             .copied()
             .filter(|n| AppSpec::Named((*n).into()).is_deterministic())
             .collect();
-        assert_eq!(det, ["dma", "lea", "fir"]);
+        assert_eq!(det, ["dma", "lea", "fir", "fir-long"]);
     }
 
     #[test]

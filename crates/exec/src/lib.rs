@@ -10,9 +10,12 @@
 //! * [`pool`] — a scoped-thread worker pool whose results merge in item
 //!   order ([`run_indexed`]), with per-worker utilization for the bench
 //!   report and a [`easeio_trace::SpanKind::Worker`] span per worker;
-//! * [`sweep::parallel_sweep`] — the crash-consistency sweep on the pool,
-//!   batching boundaries per worker and restoring each run from a shared
-//!   copy-on-write [`mcu_emu::McuSnapshot`];
+//! * [`sweep::run_sweep`] / [`sweep::sweep_matrix`] — the crash-consistency
+//!   sweep on the pool: boundaries batched per worker, each run restored
+//!   from a shared copy-on-write [`mcu_emu::McuSnapshot`], a whole
+//!   app×runtime matrix served by one pool spawn, and equivalent injection
+//!   points pruned and materialized from a class representative
+//!   ([`sweep::SweepOptions`]);
 //! * [`grid`] — kernel × supply-point matrices (RF distance and timer
 //!   on-time axes, Fig. 12/13) on the same pool.
 //!
@@ -30,4 +33,6 @@ pub use config::{AppSpec, SimConfig, SupplySpec, APP_NAMES};
 pub use grid::{grid_points, run_grid, GridCell, GridSpec};
 pub use pool::{run_indexed, PoolStats};
 pub use supply::{rf_supply, rf_supply_phased, timer_supply_with_mean_on};
-pub use sweep::{parallel_sweep, SweepTiming};
+pub use sweep::{
+    parallel_sweep, run_sweep, sweep_matrix, PruneStats, SweepEntry, SweepOptions, SweepTiming,
+};

@@ -187,10 +187,25 @@ mod tests {
                 *count
             },
         );
-        // Each worker counts its own items from 1; totals match the stats.
-        let max_per_worker: Vec<u64> = (0..stats.jobs).map(|w| stats.items_per_worker[w]).collect();
         assert_eq!(results.len(), 64);
-        assert_eq!(max_per_worker.iter().sum::<u64>(), 64);
+        // Each worker's private counter starts at zero, so walking the item
+        // indices a worker processed in order must read exactly 1..=n for
+        // that worker's n items. Shared or recycled state would break the
+        // sequence; a worker that inherited another's counter would start
+        // above 1.
+        let mut attributed = 0u64;
+        for w in 0..stats.jobs {
+            let indices = &stats.indices_per_worker[w];
+            assert_eq!(indices.len() as u64, stats.items_per_worker[w]);
+            for (k, &i) in indices.iter().enumerate() {
+                assert_eq!(results[i], k as u64 + 1, "worker {w}, item {i}");
+            }
+            attributed += stats.items_per_worker[w];
+        }
+        assert_eq!(
+            attributed, 64,
+            "every item attributed to exactly one worker"
+        );
     }
 
     #[test]

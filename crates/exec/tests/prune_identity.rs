@@ -1,0 +1,88 @@
+//! Property test of the sweep engine's identity contract: for *any* app
+//! shape, fault schedule, runtime, and worker width, the pruned parallel
+//! sweep's full `SweepOutcome` — violations in order, per-boundary waste
+//! series, per-cause energy totals — is byte-identical to the unpruned
+//! serial sweep from `crashcheck`.
+//!
+//! This is the sweep-level closure over the record-level proofs in
+//! `crashcheck` (materialized records equal real injected runs; boundaries
+//! differing only in fault-plan position never merge): if any part of
+//! classification, representative execution, materialization, batching, or
+//! merge order were wrong for some input, the outcomes would diverge here.
+
+use apps::dma_app;
+use apps::harness::RuntimeKind;
+use crashcheck::{sweep, SweepOutcome, SweepPlan};
+use easeio_exec::{run_sweep, SweepOptions};
+use kernel::FaultSpec;
+use mcu_emu::Mcu;
+use proptest::prelude::*;
+
+fn assert_identical(serial: &SweepOutcome, engine: &SweepOutcome) {
+    assert_eq!(serial.runtime, engine.runtime);
+    assert_eq!(serial.app, engine.app);
+    assert_eq!(serial.env_seed, engine.env_seed);
+    assert_eq!(serial.oracle_boundaries, engine.oracle_boundaries);
+    assert_eq!(serial.injections, engine.injections);
+    assert_eq!(
+        serial.violations.len(),
+        engine.violations.len(),
+        "violation count"
+    );
+    for (a, b) in serial.violations.iter().zip(&engine.violations) {
+        assert_eq!(a.boundary, b.boundary);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.detail, b.detail);
+    }
+    assert_eq!(serial.boundary_waste_nj, engine.boundary_waste_nj);
+    assert_eq!(serial.cause_energy_nj, engine.cause_energy_nj);
+}
+
+proptest! {
+    // Each case runs one serial sweep plus one engine sweep end to end, so
+    // a small case count still covers hundreds of injected runs.
+    #![proptest_config(ProptestConfig { cases: 12 })]
+    #[test]
+    fn pruned_parallel_sweep_is_byte_identical_to_unpruned_serial(
+        bytes in prop_oneof![Just(256u32), Just(1024u32), Just(2048u32), Just(4096u32)],
+        chunks in 1u32..4,
+        pre_compute in 0u64..3000,
+        post_compute in 0u64..1200,
+        env_seed in 0u64..1000,
+        fault_rate in prop_oneof![Just(0u32), Just(60u32), Just(150u32)],
+        fault_seed in 0u64..1000,
+        naive in any::<bool>(),
+        jobs in prop_oneof![Just(1usize), Just(4usize), Just(8usize)],
+    ) {
+        let cfg = dma_app::DmaAppCfg {
+            bytes,
+            chunks,
+            iterations: 1,
+            pre_compute,
+            post_compute,
+        };
+        let build = move |m: &mut Mcu| dma_app::build(m, &cfg);
+        let kind = if naive { RuntimeKind::Naive } else { RuntimeKind::EaseIo };
+        let fault = if fault_rate == 0 {
+            FaultSpec::none()
+        } else {
+            FaultSpec::with_rate(fault_seed, fault_rate)
+        };
+        let plan = SweepPlan {
+            strict_memory: true,
+            fault,
+            ..SweepPlan::with_env_seed(env_seed)
+        };
+        let serial = sweep(&build, kind, &plan);
+        let (pruned, timing) = run_sweep(&build, kind, &plan, &SweepOptions { jobs, prune: true });
+        assert_identical(&serial, &pruned);
+        prop_assert_eq!(
+            timing.prune.injections_executed + timing.prune.injections_pruned,
+            serial.injections
+        );
+        // The engine must also reproduce the serial outcome with pruning
+        // off — the pure thread-parallel path.
+        let (unpruned, _) = run_sweep(&build, kind, &plan, &SweepOptions { jobs, prune: false });
+        assert_identical(&serial, &unpruned);
+    }
+}

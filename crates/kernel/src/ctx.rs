@@ -306,6 +306,10 @@ impl<'a> TaskCtx<'a> {
                 Ok(0)
             }
             ReexecSemantics::Timely { window_us } => {
+                // The degraded `Timely` path branches on the cached value's
+                // age — an uncharged wall-clock observation that boundary
+                // equivalence classification must know about.
+                self.mcu.note_time_observed();
                 let now = self.mcu.now_us();
                 let last = self
                     .tracker

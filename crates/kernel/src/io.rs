@@ -170,6 +170,12 @@ pub fn perform_io(
     let cost = op.cost(mcu);
     mcu.spend(WorkKind::App, cost)?;
     let now = mcu.now_us();
+    // Sensor samples are functions of the current time, and transmitted
+    // packets are logged with their send time — both let wall-clock time
+    // reach state a sweep compares, which forbids boundary merging.
+    if matches!(op, IoOp::Sense(_) | IoOp::Send { .. }) {
+        mcu.note_time_observed();
+    }
     if let Some(class) = op.periph_class() {
         if let Some(kind) = periph.faults.next_fault(class, task.0, site) {
             mcu.stats.bump("io_faults");

@@ -25,7 +25,7 @@ pub mod stats;
 pub use clock::Clock;
 pub use easeio_trace::TraceSink;
 pub use energy::{Capacitor, Cost, CostTable};
-pub use mcu::{Mcu, McuSnapshot, PowerFailure};
+pub use mcu::{Mcu, McuSnapshot, PowerFailure, SpendBoundary};
 pub use memory::{Addr, AllocRecord, AllocTag, MemSnapshot, Memory, Region, PAGE_BYTES};
 pub use nvstore::{NvBuf, NvVar, RawVar, Scalar};
 pub use power::{RfHarvestConfig, Supply, TimerResetConfig};

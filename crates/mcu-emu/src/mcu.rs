@@ -52,6 +52,44 @@ impl Default for AttributionCtx {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PowerFailure;
 
+/// One energy-spend boundary of a recorded reference run.
+///
+/// `spend_seq` identifies the [`Mcu::spend`] *call* the boundary's slice
+/// belongs to; everything else is the cumulative ledger prefix captured
+/// just before the boundary was counted. Two boundaries with equal
+/// `spend_seq` interrupt the same primitive operation: because every layer
+/// obeys spend-then-mutate, no simulator or host state changes between two
+/// slices of one call, so an injection at either boundary resumes from the
+/// *identical* machine state and runs the identical continuation — they
+/// differ only in these additive ledger prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpendBoundary {
+    /// 1-based sequence number of the enclosing `spend` call.
+    pub spend_seq: u64,
+    /// `stats.boundaries` before this boundary was counted.
+    pub boundaries: u64,
+    /// Cumulative application energy before this boundary.
+    pub app_energy_nj: u64,
+    /// Cumulative overhead energy before this boundary.
+    pub overhead_energy_nj: u64,
+    /// Cumulative per-cause energy ledger before this boundary.
+    pub cause_energy_nj: [u64; crate::stats::CAUSE_COUNT],
+    /// Values of the recorder's tracked counters before this boundary, in
+    /// the order the names were passed to [`Mcu::record_boundaries`].
+    pub counters: Vec<u64>,
+}
+
+/// Host-side instrumentation that captures a [`SpendBoundary`] per slice.
+/// Not machine state: it survives [`Mcu::restore`] so a reference run can
+/// be recorded through the usual restore-then-run harness.
+#[derive(Debug, Default)]
+struct BoundaryRecorder {
+    tracked: Vec<&'static str>,
+    spend_seq: u64,
+    time_observed: bool,
+    records: Vec<SpendBoundary>,
+}
+
 /// The simulated microcontroller.
 #[derive(Debug)]
 pub struct Mcu {
@@ -74,6 +112,9 @@ pub struct Mcu {
     /// collected only while the trace sink is enabled — the raw data for
     /// Chrome-trace counter tracks.
     samples: Vec<CauseSample>,
+    /// Per-boundary recorder for crash-sweep equivalence classification
+    /// (disabled by default; untracked runs pay one branch per slice).
+    recorder: Option<BoundaryRecorder>,
 }
 
 impl Mcu {
@@ -88,6 +129,40 @@ impl Mcu {
             trace: TraceSink::disabled(),
             attr: AttributionCtx::default(),
             samples: Vec::new(),
+            recorder: None,
+        }
+    }
+
+    /// Starts recording one [`SpendBoundary`] per energy-spend boundary,
+    /// additionally tracking the named [`RunStats`] counters in each
+    /// prefix. Replaces any active recording. The recorder is host-side
+    /// instrumentation, not machine state: it survives [`Mcu::restore`]
+    /// (so the restore-then-run harness can record a reference run) and
+    /// never influences execution.
+    pub fn record_boundaries(&mut self, tracked: Vec<&'static str>) {
+        self.recorder = Some(BoundaryRecorder {
+            tracked,
+            ..BoundaryRecorder::default()
+        });
+    }
+
+    /// Stops recording and returns the boundary records plus whether the
+    /// recorded run observed wall-clock time (timestamp read, sensor
+    /// sample, or radio transmit). `None` if no recording was active.
+    pub fn take_boundary_recording(&mut self) -> Option<(Vec<SpendBoundary>, bool)> {
+        self.recorder.take().map(|r| (r.records, r.time_observed))
+    }
+
+    /// Notes that the running program observed wall-clock time in a way
+    /// that can reach persistent state or a verdict: a timestamp read, a
+    /// sensor sample (environment values are functions of time), or a
+    /// radio transmit (packets are logged with their send time). Boundary
+    /// equivalence classification refuses to merge boundaries of such a
+    /// run, because two slices of one spend call resume at different
+    /// clock values. No-op unless a recording is active.
+    pub fn note_time_observed(&mut self) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.time_observed = true;
         }
     }
 
@@ -170,6 +245,9 @@ impl Mcu {
                 .unwrap_or(EnergyCause::RuntimeMisc),
         };
         let task = self.attr.task;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.spend_seq += 1;
+        }
         let mut remaining = cost;
         loop {
             let slice = if remaining.time_us > SLICE_US {
@@ -185,6 +263,16 @@ impl Mcu {
                 remaining.energy_nj - slice.energy_nj,
             );
             let off_before = self.clock.off_us();
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.records.push(SpendBoundary {
+                    spend_seq: rec.spend_seq,
+                    boundaries: self.stats.boundaries,
+                    app_energy_nj: self.stats.app_energy_nj,
+                    overhead_energy_nj: self.stats.overhead_energy_nj,
+                    cause_energy_nj: self.stats.cause_energy_nj,
+                    counters: rec.tracked.iter().map(|n| self.stats.counter(n)).collect(),
+                });
+            }
             self.stats.boundaries += 1;
             let spend = self.supply.spend(&mut self.clock, slice);
             self.stats
@@ -249,6 +337,7 @@ impl Mcu {
     /// Reads the persistent timekeeper from task/runtime code, charging the
     /// timestamp-read cost.
     pub fn read_timestamp(&mut self, kind: WorkKind) -> Result<u64, PowerFailure> {
+        self.note_time_observed();
         let c = self.cost.timestamp_read;
         self.spend(kind, c)?;
         Ok(self.clock.now_us())
@@ -548,6 +637,48 @@ mod tests {
             clean, after_pollution,
             "attribution bled across a snapshot restore"
         );
+    }
+
+    /// The pruning key: every slice of one spend call shares a `spend_seq`,
+    /// and each record's prefix is the ledger *before* its boundary — so
+    /// record `i` always carries `boundaries == i`.
+    #[test]
+    fn boundary_recording_groups_slices_by_spend_call() {
+        let mut m = continuous();
+        m.record_boundaries(vec![]);
+        m.spend(WorkKind::App, Cost::new(10, 10)).unwrap(); // one slice
+        m.spend(WorkKind::App, Cost::new(2_500, 100)).unwrap(); // three slices
+        let (recs, time) = m.take_boundary_recording().unwrap();
+        assert!(!time, "no timestamp was read");
+        let seqs: Vec<u64> = recs.iter().map(|r| r.spend_seq).collect();
+        assert_eq!(seqs, [1, 2, 2, 2]);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.boundaries, i as u64);
+        }
+        assert!(recs[3].app_energy_nj > recs[1].app_energy_nj);
+    }
+
+    #[test]
+    fn timestamp_read_marks_the_recording_time_observed() {
+        let mut m = continuous();
+        m.record_boundaries(vec![]);
+        m.spend(WorkKind::App, Cost::new(1, 1)).unwrap();
+        m.read_timestamp(WorkKind::Overhead).unwrap();
+        let (_, time) = m.take_boundary_recording().unwrap();
+        assert!(time);
+    }
+
+    /// The recorder is host instrumentation: a snapshot restore in the
+    /// middle of a recording must not clear it.
+    #[test]
+    fn boundary_recording_survives_restore() {
+        let mut m = continuous();
+        let snap = m.snapshot();
+        m.record_boundaries(vec![]);
+        m.restore(&snap);
+        m.spend(WorkKind::App, Cost::new(5, 5)).unwrap();
+        let (recs, _) = m.take_boundary_recording().unwrap();
+        assert_eq!(recs.len(), 1);
     }
 
     #[test]

@@ -175,14 +175,33 @@ impl Memory {
     }
 
     /// Marks the pages covering `[offset, offset + len)` dirty.
+    ///
+    /// The dirty map is one `u64` per region — 64 pages covers exactly the
+    /// largest region (256 KB FRAM). A span past the region end would shift
+    /// past bit 63: in release builds `1u64 << page` wraps silently and
+    /// dirties the *wrong* page, so a later copy-on-write [`Memory::restore`]
+    /// could hand back stale bytes for the page that was actually written.
+    /// Debug builds assert on the bad span; release builds conservatively
+    /// mark every page dirty, which degrades that restore to a full copy but
+    /// can never restore stale data.
     fn mark_dirty(&mut self, region: Region, offset: u32, len: u32) {
         if len == 0 {
             return;
         }
-        let first = offset / PAGE_BYTES;
-        let last = (offset + len - 1) / PAGE_BYTES;
+        debug_assert!(
+            offset as u64 + len as u64 <= region.size() as u64,
+            "mark_dirty out of range in {region:?}: offset {offset} + len {len} > {}",
+            region.size()
+        );
+        let first = (offset / PAGE_BYTES) as u64;
+        let last = (offset as u64 + len as u64 - 1) / PAGE_BYTES as u64;
+        let i = Self::idx(region);
+        if last >= u64::BITS as u64 {
+            self.dirty[i] = !0;
+            return;
+        }
         for page in first..=last {
-            self.dirty[Self::idx(region)] |= 1u64 << page;
+            self.dirty[i] |= 1u64 << page;
         }
     }
 
@@ -450,6 +469,28 @@ mod tests {
         let edge = Addr::new(Region::Fram, PAGE_BYTES - 2);
         m.write_bytes(edge, &[1, 2, 3, 4]);
         assert_eq!(m.dirty_pages(Region::Fram), 0b11);
+    }
+
+    /// Regression: the last FRAM page is bit 63 — the edge where an
+    /// off-by-one in the span arithmetic would wrap the shift in release
+    /// builds and dirty page 0 instead, breaking copy-on-write restore.
+    #[test]
+    fn dirtying_the_final_page_sets_the_top_bit_without_wrapping() {
+        let mut m = Memory::new();
+        let snap = m.snapshot();
+        let edge = Addr::new(Region::Fram, Region::Fram.size() as u32 - 2);
+        m.write_bytes(edge, &[0xA5, 0x5A]);
+        assert_eq!(m.dirty_pages(Region::Fram), 1 << 63);
+        m.restore(&snap);
+        assert_eq!(m.read_bytes(edge, 2), &[0, 0], "edge write must roll back");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "mark_dirty out of range")]
+    fn out_of_range_dirty_span_is_caught_in_debug() {
+        let mut m = Memory::new();
+        m.mark_dirty(Region::Fram, Region::Fram.size() as u32 - 2, 4);
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub use profile::{build_profile, LatencySummary, Profile, SiteProfile, TaskProfi
 pub use report::{build_report, validate_report, ReportInputs};
 pub use ring::{RingRecorder, DEFAULT_CAPACITY};
 pub use sweep::{
-    build_sweep_report, validate_sweep_report, FaultSpecDoc, SweepInputs, SweepTimingDoc,
-    SweepViolation, SweepWasteDoc,
+    build_sweep_report, validate_sweep_report, FaultSpecDoc, SweepInputs, SweepPruneDoc,
+    SweepTimingDoc, SweepViolation, SweepWasteDoc,
 };
 pub use tracker::ActivationTracker;
 

@@ -35,14 +35,45 @@ pub struct SweepViolation {
 pub struct SweepTimingDoc {
     /// Worker count the sweep ran with.
     pub jobs: u64,
-    /// Host wall-clock for the injection phase (µs).
+    /// Host wall-clock for everything after the oracle (µs).
     pub wall_us: u64,
     /// Throughput in milli-injections per second (fixed point ×1000).
-    pub injections_per_sec_milli: u64,
+    /// `None` — and omitted from the document — when the sweep finished too
+    /// fast for `wall_us` to measure: a literal 0 would misread as "no
+    /// throughput".
+    pub injections_per_sec_milli: Option<u64>,
+    /// Oracle preparation µs (outside `wall_us`).
+    pub oracle_us: u64,
+    /// Reference-trace + boundary-classification µs (0 with pruning off).
+    pub classify_us: u64,
+    /// Injection-phase worker busy µs.
+    pub inject_us: u64,
+    /// Materialize + check + merge µs.
+    pub merge_us: u64,
     /// Injections executed by each worker.
     pub injections_per_worker: Vec<u64>,
     /// Busy time of each worker (µs).
     pub busy_us_per_worker: Vec<u64>,
+    /// Injection-point pruning statistics (present when run through an
+    /// engine that classifies boundaries). Lives inside `timing` on
+    /// purpose: pruning changes how the sweep was *computed*, never what it
+    /// found, so identity stripping must drop it along with the clocks.
+    pub prune: Option<SweepPruneDoc>,
+}
+
+/// What injection-point equivalence pruning did to one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPruneDoc {
+    /// Whether pruning was enabled.
+    pub enabled: bool,
+    /// Injected runs actually executed (class representatives).
+    pub injections_executed: u64,
+    /// Injected runs materialized from a representative instead of run.
+    pub injections_pruned: u64,
+    /// Equivalence classes over the chosen boundaries.
+    pub classes: u64,
+    /// The reference run observed wall-clock time, so nothing merged.
+    pub time_observed: bool,
 }
 
 /// Fault-injection configuration of a sweep. Result identity, not
@@ -223,35 +254,53 @@ fn sweep_body(inp: &SweepInputs) -> Value {
         ));
     }
     if let Some(t) = &inp.timing {
-        fields.push((
-            "timing".into(),
-            Value::Obj(vec![
-                ("jobs".into(), Value::u64(t.jobs)),
-                ("wall_us".into(), Value::u64(t.wall_us)),
-                (
-                    "injections_per_sec_milli".into(),
-                    Value::u64(t.injections_per_sec_milli),
+        let mut timing = vec![
+            ("jobs".into(), Value::u64(t.jobs)),
+            ("wall_us".into(), Value::u64(t.wall_us)),
+        ];
+        if let Some(rate) = t.injections_per_sec_milli {
+            timing.push(("injections_per_sec_milli".into(), Value::u64(rate)));
+        }
+        timing.extend([
+            ("oracle_us".into(), Value::u64(t.oracle_us)),
+            ("classify_us".into(), Value::u64(t.classify_us)),
+            ("inject_us".into(), Value::u64(t.inject_us)),
+            ("merge_us".into(), Value::u64(t.merge_us)),
+            (
+                "injections_per_worker".into(),
+                Value::Arr(
+                    t.injections_per_worker
+                        .iter()
+                        .map(|&n| Value::u64(n))
+                        .collect(),
                 ),
-                (
-                    "injections_per_worker".into(),
-                    Value::Arr(
-                        t.injections_per_worker
-                            .iter()
-                            .map(|&n| Value::u64(n))
-                            .collect(),
+            ),
+            (
+                "busy_us_per_worker".into(),
+                Value::Arr(
+                    t.busy_us_per_worker
+                        .iter()
+                        .map(|&n| Value::u64(n))
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let Some(p) = &t.prune {
+            timing.push((
+                "prune".into(),
+                Value::Obj(vec![
+                    ("enabled".into(), Value::Bool(p.enabled)),
+                    (
+                        "injections_executed".into(),
+                        Value::u64(p.injections_executed),
                     ),
-                ),
-                (
-                    "busy_us_per_worker".into(),
-                    Value::Arr(
-                        t.busy_us_per_worker
-                            .iter()
-                            .map(|&n| Value::u64(n))
-                            .collect(),
-                    ),
-                ),
-            ]),
-        ));
+                    ("injections_pruned".into(), Value::u64(p.injections_pruned)),
+                    ("classes".into(), Value::u64(p.classes)),
+                    ("time_observed".into(), Value::Bool(p.time_observed)),
+                ]),
+            ));
+        }
+        fields.push(("timing".into(), Value::Obj(timing)));
     }
     Value::Obj(fields)
 }
@@ -381,14 +430,41 @@ fn validate_sweep_body(v: &Value) -> Vec<String> {
         }
     }
     if let Some(t) = v.get("timing") {
-        for k in ["jobs", "wall_us", "injections_per_sec_milli"] {
+        for k in ["jobs", "wall_us"] {
             if t.get(k).and_then(Value::as_u64).is_none() {
                 errs.push(format!("'timing.{k}' must be an unsigned integer"));
+            }
+        }
+        // Optional: absent on sweeps too fast to time (and the stage
+        // clocks are absent from pre-pruning documents).
+        for k in [
+            "injections_per_sec_milli",
+            "oracle_us",
+            "classify_us",
+            "inject_us",
+            "merge_us",
+        ] {
+            if let Some(val) = t.get(k) {
+                if val.as_u64().is_none() {
+                    errs.push(format!("'timing.{k}' must be an unsigned integer"));
+                }
             }
         }
         for k in ["injections_per_worker", "busy_us_per_worker"] {
             if t.get(k).and_then(Value::as_arr).is_none() {
                 errs.push(format!("'timing.{k}' must be an array"));
+            }
+        }
+        if let Some(p) = t.get("prune") {
+            for k in ["injections_executed", "injections_pruned", "classes"] {
+                if p.get(k).and_then(Value::as_u64).is_none() {
+                    errs.push(format!("'timing.prune.{k}' must be an unsigned integer"));
+                }
+            }
+            for k in ["enabled", "time_observed"] {
+                if !matches!(p.get(k), Some(Value::Bool(_))) {
+                    errs.push(format!("'timing.prune.{k}' must be a bool"));
+                }
             }
         }
     }
@@ -568,9 +644,20 @@ mod tests {
         inp.timing = Some(SweepTimingDoc {
             jobs: 4,
             wall_us: 123_456,
-            injections_per_sec_milli: 340_211,
+            injections_per_sec_milli: Some(340_211),
+            oracle_us: 2_000,
+            classify_us: 1_500,
+            inject_us: 118_000,
+            merge_us: 3_956,
             injections_per_worker: vec![11, 11, 10, 10],
             busy_us_per_worker: vec![30_000, 31_000, 29_000, 30_500],
+            prune: Some(SweepPruneDoc {
+                enabled: true,
+                injections_executed: 12,
+                injections_pruned: 30,
+                classes: 12,
+                time_observed: false,
+            }),
         });
         let doc = build_sweep_report(&inp);
         validate_sweep_report(&doc).unwrap();
@@ -581,6 +668,13 @@ mod tests {
                 .and_then(Value::as_u64),
             Some(4)
         );
+        assert_eq!(
+            body.get("timing")
+                .and_then(|t| t.get("prune"))
+                .and_then(|p| p.get("injections_pruned"))
+                .and_then(Value::as_u64),
+            Some(30)
+        );
         // Identity form equals the untimed document.
         let untimed = build_sweep_report(&inputs());
         assert_eq!(
@@ -588,5 +682,30 @@ mod tests {
             identity_document(&untimed).to_pretty()
         );
         assert_eq!(identity_document(&untimed).to_pretty(), untimed.to_pretty());
+    }
+
+    /// A sweep too fast for `wall_us` to measure carries no throughput
+    /// field at all — never a misleading 0 — and the document still
+    /// validates.
+    #[test]
+    fn unmeasurable_throughput_is_omitted_not_zero() {
+        let mut inp = inputs();
+        inp.timing = Some(SweepTimingDoc {
+            jobs: 1,
+            wall_us: 0,
+            injections_per_sec_milli: None,
+            oracle_us: 0,
+            classify_us: 0,
+            inject_us: 0,
+            merge_us: 0,
+            injections_per_worker: vec![42],
+            busy_us_per_worker: vec![0],
+            prune: None,
+        });
+        let doc = build_sweep_report(&inp);
+        validate_sweep_report(&doc).unwrap();
+        let timing = doc.get("report").unwrap().get("timing").unwrap();
+        assert!(timing.get("injections_per_sec_milli").is_none());
+        assert!(timing.get("prune").is_none());
     }
 }
