@@ -1,30 +1,43 @@
 //! easeio-sim — run any benchmark app under any kernel and supply.
 //!
-//! Common options (accepted by every mode, parsed once into a `SimConfig`):
+//! Common options (accepted by every mode, parsed once into a
+//! `ScenarioSpec` — the single construction surface shared with the
+//! library APIs):
 //!
 //! ```text
 //!   --app <dma|temp|lea|fir|fir-long|weather|weather-single|branch|motion|flaky-radio>
 //!                                                  (default dma)
-//!   --kernel <naive|alpaca|ink|easeio|easeio-op>   (default easeio; --runtime
-//!                                                   is an accepted alias)
+//!   --kernel <naive|alpaca|ink|easeio|easeio-op>   (default easeio;
+//!                            --runtime is a deprecated alias and warns)
 //!   --supply <continuous|timer|rf>                 (default timer)
 //!   --distance <inches>      RF supply distance    (default 61)
-//!   --seed <u64>             (default 42; sweep defaults to 7)
+//!   --seed <u64>             (default 42; sweep defaults to 7, grid to 77)
 //!   --runs <u64>             repetitions            (default 1)
 //!   --jobs <N>               worker threads for parallel modes (default 1)
 //!   --trace-out <path>       write the trace (.json Chrome, .jsonl lines)
-//!   --report <path>          write the machine-readable report
+//!   --report-out <path>      write the machine-readable report
+//!                            (--report is a deprecated alias and warns)
 //!   --source <prog.eio>      compile an easec program instead of --app
+//! ```
+//!
+//! The peripheral-fault flag group rides with the common set and is shared
+//! verbatim by every subcommand:
+//!
+//! ```text
 //!   --fault-rate <permille>  peripheral fault probability per attempt
 //!                            (default 0 = no injection)
 //!   --fault-seed <u64>       fault-plan seed           (default: the run seed)
 //!   --max-retries <N>        bounded retries before degradation (default 4)
 //! ```
 //!
+//! Every file-writing flag ends in `-out` (`--trace-out`, `--report-out`,
+//! `--metrics-out`, `--flame-out`, `--bench-out`, `--utilization-out`);
+//! see the README table.
+//!
 //! Run mode (no subcommand) adds `--trace` (print the timeline),
-//! `--validate-report <path>` (schema-check any report — run or sweep, v1 or
-//! v2 — and exit) and `--emit-transform` (print the easec transform of
-//! `--source`).
+//! `--validate-report <path>` (schema-check any report — run, sweep,
+//! metrics or fleet, v1 or v2 — and exit) and `--emit-transform` (print
+//! the easec transform of `--source`).
 //!
 //! Subcommand `sweep` runs the deterministic power-failure sweep from the
 //! `crashcheck` crate on the parallel engine: a continuous-power oracle run
@@ -59,26 +72,101 @@
 //!   --distances <d1,d2,..>   RF distances in inches (default 52,55,58,61,64)
 //!   --on-times <m1,m2,..>    timer mean on-periods in ms (default none)
 //! ```
+//!
+//! Subcommand `fleet` replicates the device template `--devices` times over
+//! a shared lossy radio medium, shards the devices across the worker pool,
+//! and reconciles every transmission at a simulated gateway — exactly-once
+//! accounting under device power failures and peripheral faults. The
+//! report (`kind: "fleet"`) is byte-identical at any `--jobs` width.
+//!
+//! ```text
+//! Usage: easeio-sim fleet [COMMON OPTIONS] [OPTIONS]
+//!   --devices <N>            fleet size                        (default 256)
+//!   --loss <permille>        per-link channel loss             (default 0)
+//!   --medium-seed <u64>      loss-draw seed          (default: the run seed)
+//!   --airtime-base-us <us>   per-packet airtime floor          (default 32)
+//!   --airtime-word-us <us>   airtime per payload word          (default 4)
+//!   --allow-duplicates       exit 0 even if duplicates hit the air
+//!   --expect-duplicates      exit 1 unless duplicates hit the air (the
+//!                            Naive-baseline pin)
+//! ```
 
 use apps::harness::{golden, measure_footprint, run_once_faulted, run_traced_faulted, RuntimeKind};
 use crashcheck::{SweepMode, SweepOutcome, SweepPlan};
 use easeio_exec::{
-    run_grid, sweep_matrix, AppSpec, GridSpec, SimConfig, SupplySpec, SweepEntry, SweepOptions,
-    APP_NAMES,
+    run_grid, sweep_matrix, AppSpec, DeviceSpec, GridSpec, ScenarioSpec, SupplySpec, SweepEntry,
+    SweepOptions, APP_NAMES,
 };
+use easeio_fleet::run_fleet;
 use easeio_trace::{
-    build_metrics_report, build_profile, build_report, build_sweep_report,
+    build_fleet_report, build_metrics_report, build_profile, build_report, build_sweep_report,
     chrome_trace_with_counters, compare_metrics, flamegraph, jsonl, parse_json,
-    validate_any_report, validate_metrics_report, CounterTrack, Event, EventKind, FaultSpecDoc,
-    InstantKind, MetricsEntry, MetricsInputs, ReportInputs, SiteWasteRow, SpanKind, SweepInputs,
-    SweepPruneDoc, SweepTimingDoc, SweepViolation, SweepWasteDoc, TaskWasteRow, Value,
-    CATEGORY_NAMES,
+    validate_any_report, validate_fleet_report, validate_metrics_report, CounterTrack, Event,
+    EventKind, FaultSpecDoc, InstantKind, MetricsEntry, MetricsInputs, ReportInputs, SiteWasteRow,
+    SkippedApp, SpanKind, SweepInputs, SweepPruneDoc, SweepTimingDoc, SweepViolation,
+    SweepWasteDoc, TaskWasteRow, Value, CATEGORY_NAMES,
 };
 use kernel::{App, Fault, FaultSpec, Outcome, Verdict};
 use mcu_emu::{CauseSample, Mcu, RunStats, Supply, DMA_SITE_BASE};
+use periph::MediumSpec;
+
+/// Warns (once per occurrence, on stderr) that a still-accepted flag
+/// spelling is deprecated, and what replaces it.
+fn deprecated_flag(old: &str, new: &str) {
+    eprintln!("warning: {old} is deprecated; use {new}");
+}
+
+/// The peripheral-fault flag group: `--fault-rate`, `--fault-seed`,
+/// `--max-retries`. One struct shared verbatim by every subcommand (run,
+/// sweep, grid, fleet), so the flags parse and resolve identically
+/// everywhere.
+struct FaultOpts {
+    rate: u32,
+    seed: Option<u64>,
+    max_retries: Option<u32>,
+}
+
+impl FaultOpts {
+    fn new() -> Self {
+        Self {
+            rate: 0,
+            seed: None,
+            max_retries: None,
+        }
+    }
+
+    /// Consumes `flag` if it belongs to the fault group.
+    fn accept(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag {
+            "--fault-rate" => self.rate = parse_num(&val("--fault-rate")?)?,
+            "--fault-seed" => self.seed = Some(parse_num(&val("--fault-seed")?)?),
+            "--max-retries" => self.max_retries = Some(parse_num(&val("--max-retries")?)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Resolves the group into a `FaultSpec`. `--fault-rate 0` (the
+    /// default) disables injection entirely; the plan seed defaults to the
+    /// run seed so `--fault-rate N` alone is a fully specified,
+    /// reproducible experiment.
+    fn into_spec(self, default_seed: u64) -> FaultSpec {
+        let mut fault = FaultSpec::with_rate(self.seed.unwrap_or(default_seed), self.rate);
+        if let Some(r) = self.max_retries {
+            fault.retry.max_retries = r;
+        }
+        fault
+    }
+}
 
 /// The one flag set shared by every mode. Parsed once; each subcommand adds
-/// its own extras on top. `--runtime` is kept as an alias for `--kernel`.
+/// its own extras on top. `--runtime` (for `--kernel`) and `--report` (for
+/// `--report-out`) are deprecated aliases that still parse but warn.
 struct CommonOpts {
     app: String,
     source: Option<String>,
@@ -90,10 +178,8 @@ struct CommonOpts {
     jobs: usize,
     trace: bool,
     trace_out: Option<String>,
-    report: Option<String>,
-    fault_seed: Option<u64>,
-    fault_rate: u32,
-    max_retries: Option<u32>,
+    report_out: Option<String>,
+    fault: FaultOpts,
 }
 
 impl CommonOpts {
@@ -109,25 +195,30 @@ impl CommonOpts {
             jobs: 1,
             trace: false,
             trace_out: None,
-            report: None,
-            fault_seed: None,
-            fault_rate: 0,
-            max_retries: None,
+            report_out: None,
+            fault: FaultOpts::new(),
         }
     }
 
-    /// Consumes `flag` if it is a common option. Returns whether it was.
+    /// Consumes `flag` if it is a common option (including the embedded
+    /// fault group). Returns whether it was.
     fn accept(
         &mut self,
         flag: &str,
         it: &mut impl Iterator<Item = String>,
     ) -> Result<bool, String> {
+        if self.fault.accept(flag, it)? {
+            return Ok(true);
+        }
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag {
             "--app" => self.app = val("--app")?,
             "--source" => self.source = Some(val("--source")?),
             "--kernel" => self.kernel = val("--kernel")?,
-            "--runtime" => self.kernel = val("--runtime")?,
+            "--runtime" => {
+                deprecated_flag("--runtime", "--kernel");
+                self.kernel = val("--runtime")?;
+            }
             "--supply" => self.supply = val("--supply")?,
             "--distance" => self.distance = parse_num(&val("--distance")?)?,
             "--seed" => self.seed = Some(parse_num(&val("--seed")?)?),
@@ -135,18 +226,20 @@ impl CommonOpts {
             "--jobs" => self.jobs = parse_num::<usize>(&val("--jobs")?)?.max(1),
             "--trace" => self.trace = true,
             "--trace-out" => self.trace_out = Some(val("--trace-out")?),
-            "--report" => self.report = Some(val("--report")?),
-            "--fault-seed" => self.fault_seed = Some(parse_num(&val("--fault-seed")?)?),
-            "--fault-rate" => self.fault_rate = parse_num(&val("--fault-rate")?)?,
-            "--max-retries" => self.max_retries = Some(parse_num(&val("--max-retries")?)?),
+            "--report-out" => self.report_out = Some(val("--report-out")?),
+            "--report" => {
+                deprecated_flag("--report", "--report-out");
+                self.report_out = Some(val("--report")?);
+            }
             _ => return Ok(false),
         }
         Ok(true)
     }
 
-    /// Resolves the parsed strings into a `SimConfig`. `default_seed` lets
-    /// modes keep their historical defaults (run: 42, sweep: 7).
-    fn into_sim(self, default_seed: u64) -> Result<SimConfig, String> {
+    /// Resolves the parsed strings into a 1-device [`ScenarioSpec`] (the
+    /// fleet subcommand raises `count` afterwards). `default_seed` lets
+    /// modes keep their historical defaults (run: 42, sweep: 7, grid: 77).
+    fn into_scenario(self, default_seed: u64) -> Result<ScenarioSpec, String> {
         let kernel = RuntimeKind::parse(&self.kernel)?;
         let supply = SupplySpec::parse(&self.supply, self.distance)?;
         let app = match &self.source {
@@ -154,23 +247,17 @@ impl CommonOpts {
             None => AppSpec::Named(self.app.clone()),
         };
         let seed = self.seed.unwrap_or(default_seed);
-        // `--fault-rate 0` (the default) disables injection entirely; the
-        // plan seed defaults to the run seed so `--fault-rate N` alone is a
-        // fully specified, reproducible experiment.
-        let mut fault = FaultSpec::with_rate(self.fault_seed.unwrap_or(seed), self.fault_rate);
-        if let Some(r) = self.max_retries {
-            fault.retry.max_retries = r;
-        }
-        Ok(SimConfig {
-            app,
-            kernel,
+        let fault = self.fault.into_spec(seed);
+        Ok(ScenarioSpec {
+            device: DeviceSpec { app, kernel, fault },
+            count: 1,
             supply,
+            medium: MediumSpec::ideal(),
             seed,
             runs: self.runs,
             jobs: self.jobs,
             trace_out: self.trace_out,
-            report_out: self.report,
-            fault,
+            report_out: self.report_out,
         })
     }
 }
@@ -328,6 +415,7 @@ struct MetricsArgs {
     flame_out: Option<String>,
     kernels: Vec<RuntimeKind>,
     apps: Vec<String>,
+    include_skipped: bool,
 }
 
 fn parse_metrics_args() -> Result<MetricsArgs, String> {
@@ -340,24 +428,26 @@ fn parse_metrics_args() -> Result<MetricsArgs, String> {
         RuntimeKind::Ink,
         RuntimeKind::EaseIo,
     ];
-    // Default to every benchmark app except `fir-long`: its chunk task is a
-    // ~25 ms atomic burst, deliberately longer than the timer supply's 20 ms
-    // maximum on-period, so under the metrics supply every task-atomic
-    // runtime non-terminates by construction. It exists to stress the crash
-    // sweep (where runs start from a restored boundary under an injected
-    // outage), not the timer-supply metrics. `--apps` can still opt it in.
-    let mut apps: Vec<String> = APP_NAMES
-        .iter()
-        .filter(|n| **n != "fir-long")
-        .map(|n| (*n).to_string())
-        .collect();
+    // Every benchmark app. Apps the metrics supply cannot run (`fir-long`:
+    // its chunk task is a ~25 ms atomic burst, longer than the timer
+    // supply's 20 ms maximum on-period, so every task-atomic runtime
+    // non-terminates by construction) are reported as explicit "skipped"
+    // rows instead of silently omitted; `--include-skipped` forces them to
+    // run anyway.
+    let mut apps: Vec<String> = APP_NAMES.iter().map(|n| (*n).to_string()).collect();
+    let mut include_skipped = false;
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--seed" => seed = parse_num(&val("--seed")?)?,
-            "--out" => out = Some(val("--out")?),
+            "--metrics-out" => out = Some(val("--metrics-out")?),
+            "--out" => {
+                deprecated_flag("--out", "--metrics-out");
+                out = Some(val("--out")?);
+            }
             "--flame-out" => flame_out = Some(val("--flame-out")?),
+            "--include-skipped" => include_skipped = true,
             "--kernels" => {
                 kernels = val("--kernels")?
                     .split(',')
@@ -382,6 +472,7 @@ fn parse_metrics_args() -> Result<MetricsArgs, String> {
         flame_out,
         kernels,
         apps,
+        include_skipped,
     })
 }
 
@@ -397,19 +488,37 @@ fn metrics_main() -> ! {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: easeio-sim metrics [--seed N] [--out FILE.json] [--flame-out FILE.json]\n\
-                 \x20                         [--kernels a,b,c] [--apps x,y,z]"
+                "usage: easeio-sim metrics [--seed N] [--metrics-out FILE.json]\n\
+                 \x20                         [--flame-out FILE.json] [--kernels a,b,c]\n\
+                 \x20                         [--apps x,y,z] [--include-skipped]"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
     };
+    // Partition the app list once, up front: apps the metrics supply cannot
+    // run become explicit "skipped" rows (console + document) rather than
+    // silently vanishing from the table.
+    let mut skipped: Vec<SkippedApp> = Vec::new();
+    let mut runnable: Vec<String> = Vec::new();
+    for app_name in &args.apps {
+        match AppSpec::Named(app_name.clone()).metrics_skip_reason() {
+            Some(reason) if !args.include_skipped => skipped.push(SkippedApp {
+                app: app_name.clone(),
+                reason: reason.into(),
+            }),
+            _ => runnable.push(app_name.clone()),
+        }
+    }
     let mut entries = Vec::new();
     println!(
         "{:<8} {:<15} {:>12} {:>11} {:>7} {:>13}",
         "kernel", "app", "energy_uj", "waste_uj", "waste%", "redundant_nj"
     );
+    for s in &skipped {
+        println!("{:<8} {:<15} skipped: {}", "-", s.app, s.reason);
+    }
     for kind in &args.kernels {
-        for app_name in &args.apps {
+        for app_name in &runnable {
             let spec = AppSpec::Named(app_name.clone());
             // Probe build: surface bad app names before the run.
             {
@@ -442,6 +551,7 @@ fn metrics_main() -> ! {
     let inputs = MetricsInputs {
         seed: args.seed,
         entries,
+        skipped,
     };
     let doc = build_metrics_report(&inputs);
     // Self-check before anything is written: a document violating the
@@ -531,7 +641,7 @@ fn compare_main() -> ! {
 // ---------------------------------------------------------------- sweep --
 
 struct SweepArgs {
-    sim: SimConfig,
+    sc: ScenarioSpec,
     off_us: u64,
     sample: Option<u64>,
     strict_memory: bool,
@@ -576,7 +686,7 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
         }
     }
     Ok(SweepArgs {
-        sim: common.into_sim(7)?,
+        sc: common.into_scenario(7)?,
         off_us,
         sample,
         strict_memory,
@@ -702,7 +812,7 @@ fn sweep_main() -> ! {
             eprintln!(
                 "usage: easeio-sim sweep [--app NAME | --all-apps] [--kernel NAME] [--jobs N]\n\
                  \x20                       [--exhaustive | --sample N] [--seed N] [--off-us US]\n\
-                 \x20                       [--strict-memory] [--report FILE.json]\n\
+                 \x20                       [--strict-memory] [--report-out FILE.json]\n\
                  \x20                       [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
                  \x20                       [--no-prune] [--bench-out BENCH_sweep.json]\n\
                  \x20                       [--utilization-out FILE.json]\n\
@@ -711,17 +821,17 @@ fn sweep_main() -> ! {
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
     };
-    let sim = &args.sim;
+    let sc = &args.sc;
     let apps: Vec<AppSpec> = if args.all_apps {
-        if sim.report_out.is_some() {
-            die("--report is per-app; use --bench-out with --all-apps");
+        if sc.report_out.is_some() {
+            die("--report-out is per-app; use --bench-out with --all-apps");
         }
         APP_NAMES
             .iter()
             .map(|n| AppSpec::Named((*n).into()))
             .collect()
     } else {
-        vec![sim.app.clone()]
+        vec![sc.device.app.clone()]
     };
 
     let mode = match args.sample {
@@ -732,7 +842,7 @@ fn sweep_main() -> ! {
     // committing to a long sweep.
     for app in &apps {
         let mut probe = Mcu::new(Supply::continuous());
-        if let Err(e) = app.build(sim.kernel.excludes_const_dma(), &mut probe) {
+        if let Err(e) = app.build(sc.device.kernel.excludes_const_dma(), &mut probe) {
             die(&e);
         }
     }
@@ -740,18 +850,18 @@ fn sweep_main() -> ! {
         .iter()
         .map(|app| SweepPlan {
             mode,
-            seed: sim.seed,
+            seed: sc.seed,
             off_us: args.off_us,
             strict_memory: args.strict_memory || app.is_deterministic(),
-            env_seed: sim.seed,
-            fault: sim.fault,
+            env_seed: sc.seed,
+            fault: sc.device.fault,
         })
         .collect();
     type AppBuilder = Box<dyn Fn(&mut Mcu) -> App + Sync>;
     let builders: Vec<AppBuilder> = apps
         .iter()
         .map(|app| {
-            let kernel = sim.kernel;
+            let kernel = sc.device.kernel;
             let app = app.clone();
             Box::new(move |m: &mut Mcu| app.build(kernel.excludes_const_dma(), m).unwrap())
                 as AppBuilder
@@ -762,7 +872,7 @@ fn sweep_main() -> ! {
         .zip(&plans)
         .map(|(b, plan)| SweepEntry {
             builder: b.as_ref(),
-            kind: sim.kernel,
+            kind: sc.device.kernel,
             plan: plan.clone(),
         })
         .collect();
@@ -774,7 +884,7 @@ fn sweep_main() -> ! {
     let results = sweep_matrix(
         &entries,
         &SweepOptions {
-            jobs: sim.jobs,
+            jobs: sc.jobs,
             prune: args.prune,
         },
     );
@@ -784,7 +894,7 @@ fn sweep_main() -> ! {
     // loop (wider than one worker, or pruned) also runs that loop: it is the
     // identity gate — the engine must merge to the exact same outcome,
     // nanojoule for nanojoule — and the honest speedup baseline.
-    let record_serial = args.bench_out.is_some() && (sim.jobs > 1 || args.prune);
+    let record_serial = args.bench_out.is_some() && (sc.jobs > 1 || args.prune);
     let serial_results = if record_serial {
         let started = std::time::Instant::now();
         let serial = sweep_matrix(
@@ -815,7 +925,7 @@ fn sweep_main() -> ! {
                 if let Some(why) = outcomes_diverge(&serial[i].0, out) {
                     eprintln!(
                         "error: unpruned serial and --jobs {}{} sweeps of {} diverged: {why}",
-                        sim.jobs,
+                        sc.jobs,
                         if args.prune { " pruned" } else { "" },
                         apps[i].label()
                     );
@@ -872,7 +982,7 @@ fn sweep_main() -> ! {
             "sweep waste: mean {} nJ, p95 {} nJ, max {} nJ per boundary",
             waste.mean_waste_nj, waste.p95_waste_nj, waste.max_waste_nj
         );
-        if let Some(path) = &sim.report_out {
+        if let Some(path) = &sc.report_out {
             let inputs = sweep_report_inputs(out, plan, timing);
             let mut doc = build_sweep_report(&inputs).to_pretty();
             doc.push('\n');
@@ -941,9 +1051,9 @@ fn sweep_main() -> ! {
     if let Some(path) = &args.bench_out {
         let mut fields = vec![
             ("tool".into(), Value::str("easeio-sim sweep")),
-            ("jobs".into(), Value::u64(sim.jobs as u64)),
+            ("jobs".into(), Value::u64(sc.jobs as u64)),
             ("mode".into(), Value::str(mode.name())),
-            ("seed".into(), Value::u64(sim.seed)),
+            ("seed".into(), Value::u64(sc.seed)),
             ("prune".into(), Value::Bool(args.prune)),
             ("injections".into(), Value::u64(total_injections)),
             ("injections_executed".into(), Value::u64(total_executed)),
@@ -971,7 +1081,7 @@ fn sweep_main() -> ! {
             ));
             println!(
                 "sweep bench: --jobs {}{} is {:.2}x serial-unpruned ({:.1} ms vs {:.1} ms)",
-                sim.jobs,
+                sc.jobs,
                 if args.prune { " with pruning" } else { "" },
                 *serial_wall_us as f64 / matrix_wall_us as f64,
                 matrix_wall_us as f64 / 1000.0,
@@ -1030,7 +1140,7 @@ fn sweep_main() -> ! {
 // ----------------------------------------------------------------- grid --
 
 struct GridArgs {
-    sim: SimConfig,
+    sc: ScenarioSpec,
     spec: GridSpec,
 }
 
@@ -1062,11 +1172,11 @@ fn parse_grid_args() -> Result<GridArgs, String> {
         }
     }
     let runs = common.runs.max(1);
-    let sim = common.into_sim(77)?;
+    let sc = common.into_scenario(77)?;
     let mut spec = GridSpec {
         runs,
-        seed: sim.seed,
-        fault: sim.fault,
+        seed: sc.seed,
+        fault: sc.device.fault,
         ..GridSpec::default()
     };
     if let Some(k) = kernels {
@@ -1078,7 +1188,7 @@ fn parse_grid_args() -> Result<GridArgs, String> {
     if !on_times.is_empty() {
         spec.on_times_ms = on_times;
     }
-    Ok(GridArgs { sim, spec })
+    Ok(GridArgs { sc, spec })
 }
 
 fn grid_main() -> ! {
@@ -1092,22 +1202,22 @@ fn grid_main() -> ! {
                 "usage: easeio-sim grid [--app NAME] [--kernels a,b,c] [--distances d1,d2,..]\n\
                  \x20                      [--on-times m1,m2,..] [--runs N] [--seed N] [--jobs N]\n\
                  \x20                      [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
-                 \x20                      [--report FILE.json]"
+                 \x20                      [--report-out FILE.json]"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
     };
-    let sim = &args.sim;
+    let sc = &args.sc;
     // Probe build once (grid apps must build under every kernel the same).
     {
         let mut probe = Mcu::new(Supply::continuous());
-        if let Err(e) = sim.app.build(false, &mut probe) {
+        if let Err(e) = sc.device.app.build(false, &mut probe) {
             die(&e);
         }
     }
-    let app = &sim.app;
+    let app = &sc.device.app;
     let builder = |kind: RuntimeKind, m: &mut Mcu| app.build(kind.excludes_const_dma(), m).unwrap();
-    let (cells, stats) = run_grid(&builder, &args.spec, sim.jobs);
+    let (cells, stats) = run_grid(&builder, &args.spec, sc.jobs);
     println!(
         "grid: {} — {} cells × {} run(s), {} job(s), {:.2} ms wall",
         app.label(),
@@ -1132,7 +1242,7 @@ fn grid_main() -> ! {
             c.mean_failures
         );
     }
-    if let Some(path) = &sim.report_out {
+    if let Some(path) = &sc.report_out {
         let rows = cells
             .iter()
             .map(|c| {
@@ -1169,10 +1279,177 @@ fn grid_main() -> ! {
     std::process::exit(0);
 }
 
+// ---------------------------------------------------------------- fleet --
+
+struct FleetArgs {
+    sc: ScenarioSpec,
+    allow_duplicates: bool,
+    expect_duplicates: bool,
+}
+
+fn parse_fleet_args() -> Result<FleetArgs, String> {
+    let mut common = CommonOpts::new();
+    // The fleet's natural template is the radio relay under EaseIO; any
+    // --app/--kernel combination can still be requested explicitly.
+    common.app = "flaky-radio".into();
+    let mut devices: u32 = 256;
+    let mut loss: u32 = 0;
+    let mut medium_seed: Option<u64> = None;
+    let mut airtime_base: Option<u64> = None;
+    let mut airtime_word: Option<u64> = None;
+    let mut allow_duplicates = false;
+    let mut expect_duplicates = false;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        if common.accept(&flag, &mut it)? {
+            continue;
+        }
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--devices" => devices = parse_num(&val("--devices")?)?,
+            "--loss" => loss = parse_num(&val("--loss")?)?,
+            "--medium-seed" => medium_seed = Some(parse_num(&val("--medium-seed")?)?),
+            "--airtime-base-us" => airtime_base = Some(parse_num(&val("--airtime-base-us")?)?),
+            "--airtime-word-us" => airtime_word = Some(parse_num(&val("--airtime-word-us")?)?),
+            "--allow-duplicates" => allow_duplicates = true,
+            "--expect-duplicates" => expect_duplicates = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown fleet flag {other}")),
+        }
+    }
+    if devices == 0 {
+        return Err("--devices must be at least 1".into());
+    }
+    let mut sc = common.into_scenario(42)?;
+    sc.count = devices;
+    let mut medium = MediumSpec::lossy(medium_seed.unwrap_or(sc.seed), loss);
+    if let Some(b) = airtime_base {
+        medium.airtime_base_us = b;
+    }
+    if let Some(w) = airtime_word {
+        medium.airtime_us_per_word = w;
+    }
+    sc.medium = medium;
+    Ok(FleetArgs {
+        sc,
+        allow_duplicates,
+        expect_duplicates,
+    })
+}
+
+fn fleet_main() -> ! {
+    let args = match parse_fleet_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: easeio-sim fleet [--devices N] [--app NAME] [--kernel NAME] [--jobs N]\n\
+                 \x20                       [--supply continuous|timer|rf] [--seed N]\n\
+                 \x20                       [--loss PM] [--medium-seed N] [--airtime-base-us US]\n\
+                 \x20                       [--airtime-word-us US] [--report-out FILE.json]\n\
+                 \x20                       [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
+                 \x20                       [--allow-duplicates | --expect-duplicates]"
+            );
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    };
+    let sc = &args.sc;
+    let fleet = run_fleet(sc).unwrap_or_else(|e| die(&e));
+    let g = &fleet.gateway;
+    let o = fleet.outcomes();
+    let straggle = fleet.stragglers();
+    let energy = fleet.energy();
+    println!(
+        "fleet: {} × {} under {} on {} supply (seed {}, medium {}{})",
+        sc.count,
+        sc.device.app.label(),
+        sc.device.kernel.name(),
+        sc.supply.label(),
+        sc.seed,
+        sc.medium.label(),
+        if sc.device.fault.plan.is_some() {
+            format!(", faults {}", sc.device.fault.label())
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "  outcomes:   {} completed / {} non-terminated / {} faulted; {} correct / {} incorrect",
+        o.completed, o.non_terminated, o.faulted, o.correct, o.incorrect
+    );
+    println!(
+        "  reboots:    {} power failures across the fleet",
+        fleet.power_failures()
+    );
+    println!(
+        "  air:        {} transmissions, {} unique, {} duplicates",
+        g.transmissions, g.unique_sent, g.air_duplicates
+    );
+    println!(
+        "  delivery:   {} delivered ({} unique, {}.{}% of sent identities), \
+         {} lost to collisions, {} to the channel",
+        g.delivered,
+        g.delivered_unique,
+        g.delivery_rate_milli() / 10,
+        g.delivery_rate_milli() % 10,
+        g.lost_collision,
+        g.lost_channel
+    );
+    println!(
+        "  stragglers: wall p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+        straggle.p50_wall_us as f64 / 1000.0,
+        straggle.p90_wall_us as f64 / 1000.0,
+        straggle.p99_wall_us as f64 / 1000.0,
+        straggle.max_wall_us as f64 / 1000.0
+    );
+    println!(
+        "  energy:     {:.2} µJ fleet total",
+        energy.total_energy_nj as f64 / 1000.0
+    );
+    println!(
+        "  pool:       {} job(s), {:.2} ms wall",
+        fleet.pool.jobs,
+        fleet.pool.wall_us as f64 / 1000.0
+    );
+    if let Some(path) = &sc.report_out {
+        let doc = build_fleet_report(&fleet.report_inputs(sc));
+        // Self-check before writing: a fleet document violating its own
+        // accounting invariants must never leave the process.
+        if let Err(errs) = validate_fleet_report(&doc) {
+            eprintln!("error: built fleet report fails its own schema:");
+            for e in &errs {
+                eprintln!("  - {e}");
+            }
+            std::process::exit(1);
+        }
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        write_or_die(path, &text, "fleet report");
+        println!("fleet report written to {path}");
+    }
+    if args.expect_duplicates {
+        if g.air_duplicates == 0 {
+            eprintln!("error: expected duplicate transmissions, found none");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
+    if g.air_duplicates > 0 && !args.allow_duplicates {
+        eprintln!(
+            "error: {} duplicate transmission(s) hit the air — Single semantics violated",
+            g.air_duplicates
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 // ------------------------------------------------------------------ run --
 
 struct RunArgs {
-    sim: SimConfig,
+    sc: ScenarioSpec,
     trace: bool,
     validate: Option<String>,
     emit_transform: bool,
@@ -1200,7 +1477,7 @@ fn parse_run_args() -> Result<RunArgs, String> {
     }
     let trace = common.trace;
     Ok(RunArgs {
-        sim: common.into_sim(42)?,
+        sc: common.into_scenario(42)?,
         trace,
         validate,
         emit_transform,
@@ -1212,6 +1489,7 @@ fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("sweep") => sweep_main(),
         Some("grid") => grid_main(),
+        Some("fleet") => fleet_main(),
         Some("metrics") => metrics_main(),
         Some("compare") => compare_main(),
         _ => {}
@@ -1229,15 +1507,16 @@ fn main() {
                  \x20                 [--supply continuous|timer|rf] [--seed N] [--runs N]\n\
                  \x20                 [--distance INCHES] [--trace] [--trace-out FILE.json|.jsonl]\n\
                  \x20                 [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
-                 \x20                 [--report FILE.json] [--validate-report FILE.json]\n\
+                 \x20                 [--report-out FILE.json] [--validate-report FILE.json]\n\
                  \x20                 [--source prog.eio [--emit-transform]]\n\
                  \x20      easeio-sim sweep --help\n\
-                 \x20      easeio-sim grid --help"
+                 \x20      easeio-sim grid --help\n\
+                 \x20      easeio-sim fleet --help"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
     };
-    let sim = &args.sim;
+    let sc = &args.sc;
 
     // Standalone schema check: no simulation at all. Accepts v1 and v2
     // documents of either kind through the single validator entry point.
@@ -1270,7 +1549,7 @@ fn main() {
     }
 
     if args.emit_transform {
-        let AppSpec::Source(path) = &sim.app else {
+        let AppSpec::Source(path) = &sc.device.app else {
             die("--emit-transform needs --source");
         };
         let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -1289,33 +1568,33 @@ fn main() {
         }
     }
 
-    let kind = sim.kernel;
+    let kind = sc.device.kernel;
     let single = args.trace
-        || sim.trace_out.is_some()
-        || sim.report_out.is_some()
+        || sc.trace_out.is_some()
+        || sc.report_out.is_some()
         || args.metrics_out.is_some()
-        || sim.runs == 1;
+        || sc.runs == 1;
     if single {
         // Single traced run.
-        let supply = sim.supply.make(sim.seed);
+        let supply = sc.supply.make(sc.seed);
         // Probe build: surfaces app/source errors before committing to a run.
         let app_name = {
             let mut probe = Mcu::new(Supply::continuous());
-            match sim.build_app(&mut probe) {
+            match sc.build_app(&mut probe) {
                 Ok(app) => app.name,
                 Err(e) => die(&e),
             }
         };
-        let build = |m: &mut Mcu| sim.build_app(m).unwrap();
-        let r = run_traced_faulted(&build, kind, supply, sim.seed, &sim.fault);
+        let build = |m: &mut Mcu| sc.build_app(m).unwrap();
+        let r = run_traced_faulted(&build, kind, supply, sc.seed, &sc.device.fault);
         println!(
             "{} under {} on {} supply (seed {}{})",
             app_name,
             kind.name(),
-            sim.supply.label(),
-            sim.seed,
-            if sim.fault.plan.is_some() {
-                format!(", faults {}", sim.fault.label())
+            sc.supply.label(),
+            sc.seed,
+            if sc.device.fault.plan.is_some() {
+                format!(", faults {}", sc.device.fault.label())
             } else {
                 String::new()
             }
@@ -1361,7 +1640,7 @@ fn main() {
 
         // Wasted work against a continuous-power golden run of the same
         // app/runtime, for the one-line summary and the report.
-        let (golden_us, golden_nj) = golden(&build, kind, sim.seed);
+        let (golden_us, golden_nj) = golden(&build, kind, sc.seed);
         let wasted_us = r.stats.app_time_us.saturating_sub(golden_us);
         let wasted_pct = if r.stats.app_time_us > 0 {
             wasted_us as f64 * 100.0 / r.stats.app_time_us as f64
@@ -1380,7 +1659,7 @@ fn main() {
         if args.trace {
             print_trace(&r.events, r.events_dropped);
         }
-        if let Some(path) = &sim.trace_out {
+        if let Some(path) = &sc.trace_out {
             let contents = if path.ends_with(".jsonl") {
                 jsonl(&r.events)
             } else {
@@ -1397,14 +1676,14 @@ fn main() {
             write_or_die(path, &contents, "trace");
             println!("trace written to {path} ({} events)", r.events.len());
         }
-        if let Some(path) = &sim.report_out {
+        if let Some(path) = &sc.report_out {
             let profile = build_profile(&r.events);
-            let fp = measure_footprint(&build, kind, sim.seed);
+            let fp = measure_footprint(&build, kind, sc.seed);
             let inputs = ReportInputs {
                 runtime: kind.name().into(),
                 app: app_name.into(),
-                supply: supply_value(sim.supply),
-                seed: sim.seed,
+                supply: supply_value(sc.supply),
+                seed: sc.seed,
                 outcome: match r.outcome {
                     Outcome::Completed => "completed".into(),
                     Outcome::NonTermination => "non_termination".into(),
@@ -1439,7 +1718,7 @@ fn main() {
         }
         if let Some(path) = &args.metrics_out {
             let inputs = MetricsInputs {
-                seed: sim.seed,
+                seed: sc.seed,
                 entries: vec![metrics_entry(
                     kind.name(),
                     app_name,
@@ -1447,6 +1726,7 @@ fn main() {
                     &r.verdict,
                     &r.stats,
                 )],
+                skipped: Vec::new(),
             };
             let mut doc = build_metrics_report(&inputs).to_pretty();
             doc.push('\n');
@@ -1478,11 +1758,11 @@ fn main() {
     let mut io_executed = 0u64;
     let mut io_skipped = 0u64;
     let mut app_us = 0u64;
-    for i in 0..sim.runs {
-        let seed = sim.seed + i;
-        let supply = sim.supply_for_run(i);
-        let b = |m: &mut Mcu| sim.build_app(m).unwrap();
-        let r = apps::harness::run_once_faulted(&b, kind, supply, seed, &sim.fault);
+    for i in 0..sc.runs {
+        let seed = sc.seed + i;
+        let supply = sc.supply_for_run(i);
+        let b = |m: &mut Mcu| sc.build_app(m).unwrap();
+        let r = apps::harness::run_once_faulted(&b, kind, supply, seed, &sc.device.fault);
         if r.outcome == Outcome::Completed {
             completed += 1;
             total_on += r.stats.total_time_us();
@@ -1498,18 +1778,18 @@ fn main() {
     }
     println!(
         "{} × {} under {}: {}/{} completed, {}/{} correct, mean {:.2} ms, {:.2} failures/run",
-        sim.runs,
-        sim.app.label(),
+        sc.runs,
+        sc.device.app.label(),
         kind.name(),
         completed,
-        sim.runs,
+        sc.runs,
         correct,
         completed,
         total_on as f64 / completed.max(1) as f64 / 1000.0,
         failures as f64 / completed.max(1) as f64,
     );
-    let b = |m: &mut Mcu| sim.build_app(m).unwrap();
-    let (golden_us, _) = golden(&b, kind, sim.seed);
+    let b = |m: &mut Mcu| sc.build_app(m).unwrap();
+    let (golden_us, _) = golden(&b, kind, sc.seed);
     let wasted = app_us.saturating_sub(golden_us * completed);
     let wasted_pct = if app_us > 0 {
         wasted as f64 * 100.0 / app_us as f64

@@ -1,13 +1,21 @@
-//! The single construction surface for a simulation: what app, which
-//! kernel, what power, which seeds, where outputs go.
+//! The single construction surface for a simulation: what device template
+//! (app, kernel, faults), how many replicas, what power and radio medium,
+//! which seeds, where outputs go.
 //!
-//! Before `SimConfig`, every entry point re-derived these from its own flag
+//! Before this layer, every entry point re-derived these from its own flag
 //! set: the run path, the sweep path, and the aggregate path of
 //! `easeio-sim` each parsed app/runtime/supply/seed separately and plumbed
-//! them as loose scalars. A `SimConfig` is parsed once, travels as one
+//! them as loose scalars. A [`ScenarioSpec`] is parsed once, travels as one
 //! value, and every consumer — serial runs, the crash sweep, the parallel
-//! engine's workers, the experiment grid — builds apps and kernels from it
-//! the same way.
+//! engine's workers, the experiment grid, the fleet engine — builds apps
+//! and kernels from it the same way.
+//!
+//! A scenario is a *device template × replication count*: [`DeviceSpec`]
+//! says what one device runs, `count` says how many identical devices run
+//! it, and the per-device seeds (`device_seed`) decorrelate their supply
+//! schedules, environments, and fault draws deterministically. The
+//! historical [`SimConfig`] survives as a deprecated shim for exactly the
+//! `count == 1` special case.
 
 use apps::harness::{kernel_builder, KernelBuilder, KernelKind};
 use apps::{
@@ -15,6 +23,7 @@ use apps::{
 };
 use kernel::{App, FaultSpec};
 use mcu_emu::{Mcu, Supply, TimerResetConfig};
+use periph::{FaultPlan, MediumSpec};
 
 use crate::supply::{rf_supply, timer_supply_with_mean_on};
 
@@ -109,6 +118,21 @@ impl AppSpec {
             AppSpec::Source(p) => p,
         }
     }
+
+    /// Why the metrics harness cannot run this app under its default timer
+    /// supply, or `None` if it can. `fir-long`'s chunk task needs more
+    /// on-time than the timer supply's 20 ms maximum on-period, so every
+    /// task-atomic runtime non-terminates; the metrics table reports the
+    /// app as an explicit "skipped" row instead of silently omitting it.
+    pub fn metrics_skip_reason(&self) -> Option<&'static str> {
+        match self {
+            AppSpec::Named(n) if n == "fir-long" => Some(
+                "chunk task exceeds the timer supply's 20 ms max on-period; \
+                 every task-atomic runtime would non-terminate",
+            ),
+            _ => None,
+        }
+    }
 }
 
 /// Which power supply drives the run.
@@ -158,8 +182,149 @@ impl SupplySpec {
     }
 }
 
-/// One simulation, fully specified: parsed once at the CLI (or constructed
-/// directly in tests/benches) and consumed everywhere.
+/// What one device runs: the template replicated `count` times by a
+/// [`ScenarioSpec`]. Every replica builds the same app under the same
+/// kernel and fault *rate*; the per-device seeds decorrelate the draws.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// What application runs.
+    pub app: AppSpec,
+    /// Which kernel runs it.
+    pub kernel: KernelKind,
+    /// Transient peripheral-fault configuration (plan + retry policy).
+    pub fault: FaultSpec,
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self {
+            app: AppSpec::Named("dma".into()),
+            kernel: KernelKind::EaseIo,
+            fault: FaultSpec::none(),
+        }
+    }
+}
+
+impl DeviceSpec {
+    /// The kernel builder for this device, standard factory installed and
+    /// the fault configuration attached.
+    pub fn kernel_builder(&self) -> KernelBuilder {
+        kernel_builder(self.kernel).with_faults(self.fault)
+    }
+
+    /// Builds the device's app on `mcu`, applying the kernel's
+    /// `Exclude`-variant pairing automatically.
+    pub fn build_app(&self, mcu: &mut Mcu) -> Result<App, String> {
+        self.app.build(self.kernel.excludes_const_dma(), mcu)
+    }
+}
+
+/// One scenario, fully specified: a device template, how many replicas run
+/// it, the power and radio environment they share, the seeds, and where
+/// outputs go. Parsed once at the CLI (or constructed directly in
+/// tests/benches) and consumed everywhere — run, sweep, grid, metrics, and
+/// fleet all build apps and kernels through this one surface.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// The device template every replica instantiates.
+    pub device: DeviceSpec,
+    /// Number of identical devices (1 = the classic single-device run).
+    pub count: u32,
+    /// What power drives each device (instantiated per device seed).
+    pub supply: SupplySpec,
+    /// The shared radio medium fleet replicas transmit over.
+    pub medium: MediumSpec,
+    /// Base seed: environment, supply schedule, fault draws, and boundary
+    /// sampling all derive from it.
+    pub seed: u64,
+    /// Repetitions for aggregate modes (seed advances per run).
+    pub runs: u64,
+    /// Worker threads for the parallel engine (1 = serial).
+    pub jobs: usize,
+    /// Where to write the event trace, if anywhere.
+    pub trace_out: Option<String>,
+    /// Where to write the machine-readable report, if anywhere.
+    pub report_out: Option<String>,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        Self {
+            device: DeviceSpec::default(),
+            count: 1,
+            supply: SupplySpec::Timer,
+            medium: MediumSpec::ideal(),
+            seed: 42,
+            runs: 1,
+            jobs: 1,
+            trace_out: None,
+            report_out: None,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// A 1-device scenario over the given template — the direct
+    /// replacement for constructing a `SimConfig`.
+    pub fn single(device: DeviceSpec) -> Self {
+        Self {
+            device,
+            ..Self::default()
+        }
+    }
+
+    /// The kernel builder for this scenario's device template.
+    pub fn kernel_builder(&self) -> KernelBuilder {
+        self.device.kernel_builder()
+    }
+
+    /// Builds the template app on `mcu`.
+    pub fn build_app(&self, mcu: &mut Mcu) -> Result<App, String> {
+        self.device.build_app(mcu)
+    }
+
+    /// The supply for run `i` of an aggregate (seed advances per run).
+    pub fn supply_for_run(&self, i: u64) -> Supply {
+        self.supply.make(self.seed + i)
+    }
+
+    /// The seed replica `device` derives its environment, supply schedule,
+    /// and fault draws from. Device 0 uses the scenario seed itself, so a
+    /// 1-device fleet reproduces a plain `run` at the same seed exactly
+    /// (the N=1 equivalence anchor; see `crates/fleet`).
+    pub fn device_seed(&self, device: u32) -> u64 {
+        self.seed + device as u64
+    }
+
+    /// The supply instance for one replica.
+    pub fn supply_for_device(&self, device: u32) -> Supply {
+        self.supply.make(self.device_seed(device))
+    }
+
+    /// The fault spec for one replica: the template's rate and retry
+    /// policy, with the plan seed advanced per device so replicas fault
+    /// independently. Device 0 keeps the template's plan unchanged.
+    pub fn fault_for_device(&self, device: u32) -> FaultSpec {
+        let mut fault = self.device.fault;
+        if let Some(plan) = fault.plan {
+            fault.plan = Some(FaultPlan::new(
+                plan.seed.wrapping_add(device as u64),
+                plan.rate_permille,
+            ));
+        }
+        fault
+    }
+}
+
+/// One single-device simulation — the historical construction surface.
+///
+/// Superseded by [`ScenarioSpec`], of which this is exactly the `count ==
+/// 1` special case; convert with [`SimConfig::into_scenario`] or `From`.
+/// Kept for one release so downstream tests and benches keep compiling
+/// (with a warning), and covered by the N=1 equivalence proptest in
+/// `crates/fleet`.
+#[deprecated(note = "use ScenarioSpec (SimConfig is its count == 1 special case); \
+            convert with into_scenario()")]
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// What application runs.
@@ -183,6 +348,7 @@ pub struct SimConfig {
     pub fault: FaultSpec,
 }
 
+#[allow(deprecated)]
 impl Default for SimConfig {
     fn default() -> Self {
         Self {
@@ -199,6 +365,7 @@ impl Default for SimConfig {
     }
 }
 
+#[allow(deprecated)]
 impl SimConfig {
     /// The kernel builder for this config, standard factory installed and
     /// the fault configuration attached.
@@ -215,6 +382,32 @@ impl SimConfig {
     /// The supply for run `i` of an aggregate (seed advances per run).
     pub fn supply_for_run(&self, i: u64) -> Supply {
         self.supply.make(self.seed + i)
+    }
+
+    /// The equivalent 1-device [`ScenarioSpec`] — the migration path.
+    pub fn into_scenario(self) -> ScenarioSpec {
+        ScenarioSpec::from(self)
+    }
+}
+
+#[allow(deprecated)]
+impl From<SimConfig> for ScenarioSpec {
+    fn from(sim: SimConfig) -> Self {
+        ScenarioSpec {
+            device: DeviceSpec {
+                app: sim.app,
+                kernel: sim.kernel,
+                fault: sim.fault,
+            },
+            count: 1,
+            supply: sim.supply,
+            medium: MediumSpec::ideal(),
+            seed: sim.seed,
+            runs: sim.runs,
+            jobs: sim.jobs,
+            trace_out: sim.trace_out,
+            report_out: sim.report_out,
+        }
     }
 }
 
@@ -243,16 +436,76 @@ mod tests {
     }
 
     #[test]
-    fn config_builds_kernel_and_app_consistently() {
-        let cfg = SimConfig {
+    fn scenario_builds_kernel_and_app_consistently() {
+        let spec = ScenarioSpec::single(DeviceSpec {
             kernel: KernelKind::EaseIoOp,
             app: AppSpec::Named("fir".into()),
-            ..SimConfig::default()
-        };
-        let rt = cfg.kernel_builder().build();
+            ..DeviceSpec::default()
+        });
+        let rt = spec.kernel_builder().build();
         assert_eq!(rt.name(), "EaseIO");
         let mut mcu = Mcu::new(Supply::continuous());
-        cfg.build_app(&mut mcu).unwrap();
+        spec.build_app(&mut mcu).unwrap();
+    }
+
+    #[test]
+    fn device_zero_reproduces_the_scenario_seed_exactly() {
+        let spec = ScenarioSpec {
+            device: DeviceSpec {
+                fault: FaultSpec::with_rate(9, 50),
+                ..DeviceSpec::default()
+            },
+            seed: 42,
+            ..ScenarioSpec::default()
+        };
+        assert_eq!(spec.device_seed(0), 42);
+        assert_eq!(spec.device_seed(3), 45);
+        // Device 0 keeps the template's fault plan untouched.
+        assert_eq!(spec.fault_for_device(0), spec.device.fault);
+        // Later devices fault independently but at the same rate.
+        let f3 = spec.fault_for_device(3).plan.unwrap();
+        assert_eq!(f3.seed, 12);
+        assert_eq!(f3.rate_permille, 50);
+        // A no-fault template stays fault-free on every device.
+        let quiet = ScenarioSpec::default();
+        assert_eq!(quiet.fault_for_device(7), FaultSpec::none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn sim_config_shim_converts_to_the_single_device_scenario() {
+        let sim = SimConfig {
+            kernel: KernelKind::Naive,
+            app: AppSpec::Named("temp".into()),
+            supply: SupplySpec::Rf(58),
+            seed: 7,
+            runs: 3,
+            jobs: 2,
+            fault: FaultSpec::with_rate(1, 25),
+            ..SimConfig::default()
+        };
+        let spec = sim.clone().into_scenario();
+        assert_eq!(spec.count, 1);
+        assert_eq!(spec.device.kernel, KernelKind::Naive);
+        assert_eq!(spec.device.app, sim.app);
+        assert_eq!(spec.device.fault, sim.fault);
+        assert_eq!(spec.supply, sim.supply);
+        assert_eq!(spec.medium, periph::MediumSpec::ideal());
+        assert_eq!((spec.seed, spec.runs, spec.jobs), (7, 3, 2));
+    }
+
+    #[test]
+    fn metrics_skip_reasons_cover_exactly_fir_long() {
+        let skipped: Vec<&str> = APP_NAMES
+            .iter()
+            .copied()
+            .filter(|n| AppSpec::Named((*n).into()).metrics_skip_reason().is_some())
+            .collect();
+        assert_eq!(skipped, ["fir-long"]);
+        let reason = AppSpec::Named("fir-long".into())
+            .metrics_skip_reason()
+            .unwrap();
+        assert!(reason.contains("20 ms"));
     }
 
     #[test]

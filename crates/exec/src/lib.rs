@@ -19,9 +19,11 @@
 //! * [`grid`] — kernel × supply-point matrices (RF distance and timer
 //!   on-time axes, Fig. 12/13) on the same pool.
 //!
-//! [`SimConfig`] is the construction surface tying it together: one parsed
-//! value holding app, kernel, supply, seeds, and sinks, consumed by every
-//! entry point instead of ad-hoc flag plumbing.
+//! [`ScenarioSpec`] is the construction surface tying it together: one
+//! parsed value holding a device template (app, kernel, faults), a
+//! replication count, the shared supply/medium, seeds, and sinks, consumed
+//! by every entry point instead of ad-hoc flag plumbing. The historical
+//! [`SimConfig`] remains as a deprecated shim for the 1-device case.
 
 pub mod config;
 pub mod grid;
@@ -29,7 +31,9 @@ pub mod pool;
 pub mod supply;
 pub mod sweep;
 
-pub use config::{AppSpec, SimConfig, SupplySpec, APP_NAMES};
+#[allow(deprecated)]
+pub use config::SimConfig;
+pub use config::{AppSpec, DeviceSpec, ScenarioSpec, SupplySpec, APP_NAMES};
 pub use grid::{grid_points, run_grid, GridCell, GridSpec};
 pub use pool::{run_indexed, PoolStats};
 pub use supply::{rf_supply, rf_supply_phased, timer_supply_with_mean_on};

@@ -1,0 +1,291 @@
+//! The simulated gateway: deterministic merge of every device's radio log
+//! over the shared medium, with exactly-once delivery accounting.
+//!
+//! The gateway is a *pure post-pass*: device runs never observe it, so it
+//! can be computed after the fleet finishes, from the per-device radio
+//! logs alone. That is what keeps the fleet deterministic at any `--jobs`
+//! width — the merge sorts transmissions by `(air-window start, device,
+//! per-device index)`, a total order independent of which worker ran which
+//! device, and the channel-loss draw hashes `(medium seed, device, index)`
+//! rather than anything positional.
+//!
+//! Collisions are unslotted-ALOHA: transmissions whose air windows overlap
+//! in virtual time destroy each other, transitively along an overlap chain.
+//! Surviving packets then face the seeded per-link loss. Every packet ends
+//! in exactly one bucket — delivered, lost to collision, or lost to the
+//! channel — and the report validator rejects any ledger where that does
+//! not hold.
+
+use periph::MediumSpec;
+use std::collections::BTreeMap;
+
+use crate::DeviceResult;
+
+/// The gateway's accounting over one fleet run.
+///
+/// A packet's *identity* is its (device, sequence) pair, where the
+/// sequence is the packet's first payload word (the round counter in the
+/// `flaky-radio` relay; the per-device send index for apps that do not
+/// number their packets). `air_duplicates` — transmissions beyond the
+/// first of an identity — are `Single`-semantics violations on the air:
+/// zero under EaseIO, pinned positive by the Naive baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Packets put on the air by all devices.
+    pub transmissions: u64,
+    /// Distinct (device, sequence) identities among them.
+    pub unique_sent: u64,
+    /// Transmissions beyond the first of their identity.
+    pub air_duplicates: u64,
+    /// Packets received (survived collisions and channel loss).
+    pub delivered: u64,
+    /// Distinct identities among the received packets.
+    pub delivered_unique: u64,
+    /// Received packets whose identity had already been received.
+    pub gateway_duplicates: u64,
+    /// Packets destroyed by overlapping air windows.
+    pub lost_collision: u64,
+    /// Collision-free packets dropped by the seeded channel loss.
+    pub lost_channel: u64,
+}
+
+impl GatewayStats {
+    /// `delivered_unique * 1000 / unique_sent` (0 when nothing was sent).
+    pub fn delivery_rate_milli(&self) -> u64 {
+        (self.delivered_unique * 1000)
+            .checked_div(self.unique_sent)
+            .unwrap_or(0)
+    }
+}
+
+/// One transmission after the merge, in canonical order.
+struct AirEvent {
+    /// Air-window start (µs).
+    start: u64,
+    /// Air-window end, exclusive (µs).
+    end: u64,
+    /// Transmitting device.
+    device: u32,
+    /// Per-device packet index (the loss-draw key).
+    index: u32,
+    /// Packet identity: (device, first payload word).
+    identity: (u32, i64),
+}
+
+/// Merges every device's radio log over the medium and accounts for each
+/// packet. Pure in `(results, medium)`: device order inside `results` is
+/// canonical (index order from the pool merge), and nothing here depends
+/// on host timing.
+pub fn reconcile(results: &[DeviceResult], medium: &MediumSpec) -> GatewayStats {
+    let mut events: Vec<AirEvent> = Vec::new();
+    for r in results {
+        for (k, pkt) in r.packets.iter().enumerate() {
+            let (start, end) = medium.window(pkt);
+            let seq = pkt.payload.first().copied().unwrap_or(k as i32) as i64;
+            events.push(AirEvent {
+                start,
+                end,
+                device: r.device,
+                index: k as u32,
+                identity: (r.device, seq),
+            });
+        }
+    }
+    // The canonical merge order: window start, then device, then index.
+    // Total and input-order-independent, so any shard layout sorts the
+    // same way.
+    events.sort_by_key(|e| (e.start, e.device, e.index));
+
+    // Overlap chains destroy every member (unslotted ALOHA). Windows are
+    // half-open, so a transmission starting exactly when another ends is
+    // clean.
+    let mut collided = vec![false; events.len()];
+    let mut i = 0;
+    while i < events.len() {
+        let mut j = i + 1;
+        let mut chain_end = events[i].end;
+        while j < events.len() && events[j].start < chain_end {
+            chain_end = chain_end.max(events[j].end);
+            j += 1;
+        }
+        if j - i > 1 {
+            for c in collided.iter_mut().take(j).skip(i) {
+                *c = true;
+            }
+        }
+        i = j;
+    }
+
+    let mut sent_by_identity: BTreeMap<(u32, i64), u64> = BTreeMap::new();
+    let mut received_by_identity: BTreeMap<(u32, i64), u64> = BTreeMap::new();
+    let mut stats = GatewayStats::default();
+    for (e, &lost) in events.iter().zip(&collided) {
+        stats.transmissions += 1;
+        *sent_by_identity.entry(e.identity).or_insert(0) += 1;
+        if lost {
+            stats.lost_collision += 1;
+        } else if medium.drops(e.device, e.index) {
+            stats.lost_channel += 1;
+        } else {
+            stats.delivered += 1;
+            *received_by_identity.entry(e.identity).or_insert(0) += 1;
+        }
+    }
+    stats.unique_sent = sent_by_identity.len() as u64;
+    stats.air_duplicates = stats.transmissions - stats.unique_sent;
+    stats.delivered_unique = received_by_identity.len() as u64;
+    stats.gateway_duplicates = stats.delivered - stats.delivered_unique;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel::Outcome;
+    use mcu_emu::RunStats;
+    use periph::Packet;
+
+    fn device(id: u32, packets: Vec<Packet>) -> DeviceResult {
+        DeviceResult {
+            device: id,
+            seed: id as u64,
+            outcome: Outcome::Completed,
+            verdict: None,
+            wall_us: 0,
+            on_us: 0,
+            stats: RunStats::new(),
+            packets,
+        }
+    }
+
+    fn pkt(time_us: u64, seq: i32) -> Packet {
+        Packet {
+            time_us,
+            payload: vec![seq, 99],
+        }
+    }
+
+    /// Medium with 40 µs windows for the 2-word test packets and no loss.
+    fn medium() -> MediumSpec {
+        MediumSpec::ideal()
+    }
+
+    #[test]
+    fn disjoint_windows_all_deliver() {
+        let devices = [
+            device(0, vec![pkt(100, 0), pkt(300, 1)]),
+            device(1, vec![pkt(200, 0)]),
+        ];
+        let g = reconcile(&devices, &medium());
+        assert_eq!(g.transmissions, 3);
+        assert_eq!(g.delivered, 3);
+        assert_eq!(g.delivered_unique, 3);
+        assert_eq!(g.air_duplicates, 0);
+        assert_eq!(g.lost_collision, 0);
+        assert_eq!(g.delivery_rate_milli(), 1000);
+    }
+
+    #[test]
+    fn overlapping_windows_destroy_both() {
+        // Completion times 20 µs apart; the 40 µs windows overlap.
+        let devices = [device(0, vec![pkt(100, 0)]), device(1, vec![pkt(120, 0)])];
+        let g = reconcile(&devices, &medium());
+        assert_eq!(g.lost_collision, 2);
+        assert_eq!(g.delivered, 0);
+        // Both identities were sent exactly once; nothing arrived.
+        assert_eq!(g.unique_sent, 2);
+        assert_eq!(g.delivery_rate_milli(), 0);
+    }
+
+    #[test]
+    fn collision_chains_are_transitive_and_half_open() {
+        // a: [60, 100), b: [90, 130), c: [125, 165) — a-b overlap, b-c
+        // overlap, a-c don't: one chain, all three destroyed. d starts
+        // exactly at the chain's end (165) and is clean.
+        let devices = [
+            device(0, vec![pkt(100, 0)]),
+            device(1, vec![pkt(130, 0)]),
+            device(2, vec![pkt(165, 0)]),
+            device(3, vec![pkt(205, 0)]),
+        ];
+        let g = reconcile(&devices, &medium());
+        assert_eq!(g.lost_collision, 3);
+        assert_eq!(g.delivered, 1);
+    }
+
+    #[test]
+    fn retransmissions_of_one_identity_are_air_duplicates() {
+        // Device re-sends round 0 (a Single violation), well separated.
+        let devices = [device(0, vec![pkt(100, 0), pkt(300, 0), pkt(500, 1)])];
+        let g = reconcile(&devices, &medium());
+        assert_eq!(g.transmissions, 3);
+        assert_eq!(g.unique_sent, 2);
+        assert_eq!(g.air_duplicates, 1);
+        assert_eq!(g.delivered, 3);
+        assert_eq!(g.delivered_unique, 2);
+        assert_eq!(g.gateway_duplicates, 1);
+    }
+
+    #[test]
+    fn same_sequence_on_different_devices_is_not_a_duplicate() {
+        let devices = [device(0, vec![pkt(100, 0)]), device(1, vec![pkt(300, 0)])];
+        let g = reconcile(&devices, &medium());
+        assert_eq!(g.unique_sent, 2);
+        assert_eq!(g.air_duplicates, 0);
+    }
+
+    #[test]
+    fn channel_loss_applies_only_to_collision_free_packets() {
+        let lossy = MediumSpec::lossy(3, 1000); // every survivor is dropped
+        let devices = [device(0, vec![pkt(100, 0)]), device(1, vec![pkt(120, 0)])];
+        let g = reconcile(&devices, &lossy);
+        // The two collide first; channel loss never sees them.
+        assert_eq!(g.lost_collision, 2);
+        assert_eq!(g.lost_channel, 0);
+        let clean = [device(0, vec![pkt(100, 0)])];
+        let g = reconcile(&clean, &lossy);
+        assert_eq!(g.lost_channel, 1);
+        assert_eq!(g.delivered, 0);
+    }
+
+    #[test]
+    fn accounting_always_balances() {
+        let lossy = MediumSpec::lossy(9, 300);
+        let devices: Vec<DeviceResult> = (0..16)
+            .map(|d| {
+                device(
+                    d,
+                    (0..8)
+                        .map(|k| pkt(80 * d as u64 + 61 * k, k as i32))
+                        .collect(),
+                )
+            })
+            .collect();
+        let g = reconcile(&devices, &lossy);
+        assert_eq!(g.transmissions, 128);
+        assert_eq!(
+            g.delivered + g.lost_collision + g.lost_channel,
+            g.transmissions
+        );
+        assert_eq!(g.unique_sent + g.air_duplicates, g.transmissions);
+        assert_eq!(g.delivered_unique + g.gateway_duplicates, g.delivered);
+    }
+
+    #[test]
+    fn reconcile_is_independent_of_result_order() {
+        let lossy = MediumSpec::lossy(5, 200);
+        let mut devices: Vec<DeviceResult> = (0..8)
+            .map(|d| {
+                device(
+                    d,
+                    (0..4)
+                        .map(|k| pkt(97 * d as u64 + 53 * k, k as i32))
+                        .collect(),
+                )
+            })
+            .collect();
+        let forward = reconcile(&devices, &lossy);
+        devices.reverse();
+        assert_eq!(reconcile(&devices, &lossy), forward);
+    }
+}

@@ -1,0 +1,309 @@
+//! easeio-fleet — fleet-scale simulation on the deterministic engine.
+//!
+//! The paper validates EaseIO on one MCU; its headline workloads (sense-
+//! and-transmit relays with `Single` packet semantics) only become
+//! interesting at fleet scale, where N batteryless devices contend for a
+//! lossy radio and a gateway must see each packet exactly once. This crate
+//! instantiates a [`ScenarioSpec`] — device template × replication count ×
+//! shared medium — as N independent device runs sharded across the
+//! `easeio-exec` pool, then reconciles their radio logs at a simulated
+//! [`gateway`].
+//!
+//! Determinism is the load-bearing property (DESIGN.md §15):
+//!
+//! * every device's result depends only on its device index — worker-local
+//!   machines are restored from one shared copy-on-write
+//!   [`McuSnapshot`](mcu_emu::McuSnapshot) of the template, supplies and
+//!   fault plans derive from `seed + device`, and the pool merges results
+//!   in device order — so the fleet report is **byte-identical at any
+//!   `--jobs` width**;
+//! * the gateway is a pure post-pass over the merged logs with a total
+//!   event order and hash-keyed loss draws, adding no ordering freedom;
+//! * a fleet of N = 1 devices reproduces a plain single-device run at the
+//!   same seed exactly (the `ScenarioSpec` refactor's no-regression
+//!   anchor, proptested in `tests/equivalence.rs`).
+//!
+//! Per-device state lives in the CoW page snapshot: restoring a device
+//! only copies the pages the previous run dirtied, so a mostly-idle fleet
+//! costs ~nothing per extra device and 10k+ devices are practical.
+
+pub mod gateway;
+
+pub use gateway::{reconcile, GatewayStats};
+
+use easeio_exec::{run_indexed, PoolStats, ScenarioSpec};
+use easeio_trace::agg::percentile;
+use easeio_trace::fleet::{
+    FleetDeliveryDoc, FleetEnergyDoc, FleetInputs, FleetMediumDoc, FleetOutcomesDoc,
+    FleetStragglerDoc, FleetTimingDoc,
+};
+use easeio_trace::sweep::FaultSpecDoc;
+use kernel::{run_app, App, ExecConfig, Outcome, Verdict};
+use mcu_emu::{Mcu, RunStats, Supply, CAUSE_COUNT};
+use periph::{Packet, Peripherals};
+
+/// Everything one device's run produced, in device-index order inside
+/// [`FleetOutcome::results`].
+#[derive(Debug, Clone)]
+pub struct DeviceResult {
+    /// Device index (0-based).
+    pub device: u32,
+    /// The seed this device derived its environment/supply/faults from.
+    pub seed: u64,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Application correctness, if the app defines a check.
+    pub verdict: Option<Verdict>,
+    /// Total wall-clock including dead time (virtual µs).
+    pub wall_us: u64,
+    /// On-time (virtual µs).
+    pub on_us: u64,
+    /// The device's full time/energy ledger.
+    pub stats: RunStats,
+    /// Every packet the device put on the air, in transmission order.
+    pub packets: Vec<Packet>,
+}
+
+/// One complete fleet run: per-device results in device order, the
+/// gateway's reconciliation, and the pool's utilization record.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Per-device results, indexed by device.
+    pub results: Vec<DeviceResult>,
+    /// Gateway delivery accounting over the shared medium.
+    pub gateway: GatewayStats,
+    /// Worker utilization (host timing; stripped from report identity).
+    pub pool: PoolStats,
+}
+
+/// Runs the scenario's fleet: `spec.count` devices, sharded across
+/// `spec.jobs` workers, reconciled at the gateway.
+///
+/// Every worker builds its own template machine + app once (allocator
+/// addresses are deterministic, so all workers' templates are identical),
+/// then serves devices by restoring the shared CoW snapshot and installing
+/// the device's supply and fault plan — the same restore discipline the
+/// crash sweep uses, which is what makes results a function of the device
+/// index alone.
+pub fn run_fleet(spec: &ScenarioSpec) -> Result<FleetOutcome, String> {
+    if spec.count == 0 {
+        return Err("a fleet needs at least 1 device".into());
+    }
+    // Validate the template once on the coordinator so workers can't hit a
+    // build error mid-pool.
+    let mut template = Mcu::new(Supply::continuous());
+    spec.build_app(&mut template)?;
+    let snap = template.snapshot();
+    drop(template);
+
+    let devices: Vec<u32> = (0..spec.count).collect();
+    let (results, pool) = run_indexed(
+        spec.jobs,
+        &devices,
+        || None::<(Mcu, App)>,
+        |state, _, &device| {
+            let (mcu, app) = state.get_or_insert_with(|| {
+                let mut mcu = Mcu::new(Supply::continuous());
+                let app = spec
+                    .build_app(&mut mcu)
+                    .expect("template validated on the coordinator");
+                (mcu, app)
+            });
+            mcu.restore(&snap);
+            mcu.supply = spec.supply_for_device(device);
+            let mut periph = Peripherals::new(spec.device_seed(device));
+            let fault = spec.fault_for_device(device);
+            fault.apply(&mut periph);
+            let mut rt = spec.kernel_builder().with_faults(fault).build();
+            let cfg = ExecConfig {
+                retry: fault.retry,
+                ..ExecConfig::default()
+            };
+            let r = run_app(app, rt.as_mut(), mcu, &mut periph, &cfg);
+            DeviceResult {
+                device,
+                seed: spec.device_seed(device),
+                outcome: r.outcome,
+                verdict: r.verdict,
+                wall_us: r.wall_us,
+                on_us: r.on_us,
+                stats: r.stats,
+                packets: periph.radio.packets().to_vec(),
+            }
+        },
+    );
+    let gateway = reconcile(&results, &spec.medium);
+    Ok(FleetOutcome {
+        results,
+        gateway,
+        pool,
+    })
+}
+
+impl FleetOutcome {
+    /// Power-failure reboots summed across the fleet.
+    pub fn power_failures(&self) -> u64 {
+        self.results.iter().map(|r| r.stats.power_failures).sum()
+    }
+
+    /// Fleet-wide energy ledger: every device's attribution summed.
+    pub fn energy(&self) -> FleetEnergyDoc {
+        let mut doc = FleetEnergyDoc::default();
+        for r in &self.results {
+            doc.total_time_us += r.stats.total_time_us();
+            doc.total_energy_nj += r.stats.total_energy_nj();
+            for i in 0..CAUSE_COUNT {
+                doc.cause_energy_nj[i] += r.stats.cause_energy_nj[i];
+            }
+        }
+        doc
+    }
+
+    /// Straggler percentiles over per-device wall-clock.
+    pub fn stragglers(&self) -> FleetStragglerDoc {
+        let mut walls: Vec<u64> = self.results.iter().map(|r| r.wall_us).collect();
+        walls.sort_unstable();
+        FleetStragglerDoc {
+            p50_wall_us: percentile(&walls, 50),
+            p90_wall_us: percentile(&walls, 90),
+            p99_wall_us: percentile(&walls, 99),
+            max_wall_us: walls.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Per-device outcome tally.
+    pub fn outcomes(&self) -> FleetOutcomesDoc {
+        let mut doc = FleetOutcomesDoc::default();
+        for r in &self.results {
+            match r.outcome {
+                Outcome::Completed => doc.completed += 1,
+                Outcome::NonTermination => doc.non_terminated += 1,
+                Outcome::Fault(_) => doc.faulted += 1,
+            }
+            match &r.verdict {
+                Some(Verdict::Correct) => doc.correct += 1,
+                Some(Verdict::Incorrect(_)) => doc.incorrect += 1,
+                None => doc.unverified += 1,
+            }
+        }
+        doc
+    }
+
+    /// The `kind: "fleet"` report inputs for this outcome. Host timing
+    /// from the pool is included; `identity_document` strips it before
+    /// any `--jobs` comparison.
+    pub fn report_inputs(&self, spec: &ScenarioSpec) -> FleetInputs {
+        let g = &self.gateway;
+        FleetInputs {
+            runtime: spec.device.kernel.name().to_string(),
+            app: spec.device.app.label().to_string(),
+            devices: spec.count as u64,
+            seed: spec.seed,
+            supply: spec.supply.label(),
+            medium: FleetMediumDoc {
+                seed: spec.medium.seed,
+                loss_permille: spec.medium.loss_permille as u64,
+                airtime_base_us: spec.medium.airtime_base_us,
+                airtime_us_per_word: spec.medium.airtime_us_per_word,
+            },
+            fault_spec: spec.device.fault.plan.map(|p| FaultSpecDoc {
+                seed: p.seed,
+                rate_permille: p.rate_permille as u64,
+                max_retries: spec.device.fault.retry.max_retries as u64,
+                backoff_base_us: spec.device.fault.retry.backoff_base_us,
+            }),
+            outcomes: self.outcomes(),
+            power_failures: self.power_failures(),
+            delivery: FleetDeliveryDoc {
+                transmissions: g.transmissions,
+                unique_sent: g.unique_sent,
+                air_duplicates: g.air_duplicates,
+                delivered: g.delivered,
+                delivered_unique: g.delivered_unique,
+                gateway_duplicates: g.gateway_duplicates,
+                lost_collision: g.lost_collision,
+                lost_channel: g.lost_channel,
+                delivery_rate_milli: g.delivery_rate_milli(),
+            },
+            energy: self.energy(),
+            stragglers: self.stragglers(),
+            timing: Some(FleetTimingDoc {
+                jobs: self.pool.jobs as u64,
+                wall_us: self.pool.wall_us,
+                devices_per_worker: self.pool.items_per_worker.clone(),
+                busy_us_per_worker: self.pool.busy_us_per_worker.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeio_exec::{AppSpec, DeviceSpec};
+    use easeio_trace::fleet::build_fleet_report;
+    use easeio_trace::validate_any_report;
+    use kernel::KernelKind;
+
+    fn radio_fleet(count: u32, kernel: KernelKind) -> ScenarioSpec {
+        ScenarioSpec {
+            device: DeviceSpec {
+                app: AppSpec::Named("flaky-radio".into()),
+                kernel,
+                ..DeviceSpec::default()
+            },
+            count,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn small_easeio_fleet_delivers_exactly_once() {
+        let spec = radio_fleet(8, KernelKind::EaseIo);
+        let fleet = run_fleet(&spec).unwrap();
+        assert_eq!(fleet.results.len(), 8);
+        let o = fleet.outcomes();
+        assert_eq!(o.completed, 8);
+        assert_eq!(o.correct, 8);
+        // Single semantics: no identity transmits twice, even across the
+        // fleet's power failures.
+        assert_eq!(fleet.gateway.air_duplicates, 0);
+        assert!(fleet.power_failures() > 0, "timer supply must cycle");
+        // Device seeds decorrelate the supplies: not all wall-clocks equal.
+        let walls: Vec<u64> = fleet.results.iter().map(|r| r.wall_us).collect();
+        assert!(walls.iter().any(|&w| w != walls[0]), "{walls:?}");
+    }
+
+    #[test]
+    fn fleet_report_validates_as_kind_fleet() {
+        let spec = radio_fleet(4, KernelKind::EaseIo);
+        let fleet = run_fleet(&spec).unwrap();
+        let doc = build_fleet_report(&fleet.report_inputs(&spec));
+        let parsed = easeio_trace::parse_json(&doc.to_pretty()).unwrap();
+        assert_eq!(
+            validate_any_report(&parsed),
+            Ok(easeio_trace::ReportKind::Fleet)
+        );
+    }
+
+    #[test]
+    fn empty_fleet_is_an_error_and_bad_apps_fail_early() {
+        let mut spec = radio_fleet(0, KernelKind::EaseIo);
+        assert!(run_fleet(&spec).is_err());
+        spec.count = 1;
+        spec.device.app = AppSpec::Named("no-such-app".into());
+        assert!(run_fleet(&spec).unwrap_err().contains("no-such-app"));
+    }
+
+    #[test]
+    fn attribution_stays_balanced_across_the_fleet() {
+        let spec = radio_fleet(6, KernelKind::Alpaca);
+        let fleet = run_fleet(&spec).unwrap();
+        for r in &fleet.results {
+            assert!(r.stats.attribution_balanced(), "device {}", r.device);
+        }
+        let energy = fleet.energy();
+        let cause_sum: u64 = energy.cause_energy_nj.iter().sum();
+        assert_eq!(cause_sum, energy.total_energy_nj);
+    }
+}

@@ -4,7 +4,7 @@
 //! Before this module each caller picked a concrete constructor by hand
 //! (`AlpacaRuntime::new()`, `InkRuntime::new()`, …) and the simulator CLI
 //! plumbed the choice through ad-hoc flags. The builder makes the kernel a
-//! *value*: a `KernelKind` travels inside a `SimConfig`, is `Copy + Send`,
+//! *value*: a `KernelKind` travels inside a `ScenarioSpec`, is `Copy + Send`,
 //! and every layer — serial runs, the crash sweep, the parallel execution
 //! engine's worker threads — constructs runtimes the same way.
 //!

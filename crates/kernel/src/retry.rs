@@ -9,7 +9,7 @@
 //! that product space.
 //!
 //! [`FaultSpec`] bundles the schedule ([`FaultPlan`]) with the policy so one
-//! value travels from the CLI through `SimConfig`, `KernelBuilder`, and the
+//! value travels from the CLI through `ScenarioSpec`, `KernelBuilder`, and the
 //! crash sweep down to the executor and peripherals.
 
 use mcu_emu::Cost;

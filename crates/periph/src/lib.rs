@@ -20,11 +20,13 @@ pub mod dma;
 pub mod env;
 pub mod fault;
 pub mod lea;
+pub mod medium;
 pub mod radio;
 pub mod sensors;
 
 pub use env::Environment;
 pub use fault::{FaultKind, FaultPlan, FaultState, PeriphClass};
+pub use medium::MediumSpec;
 pub use radio::{Packet, RadioLog};
 pub use sensors::Sensor;
 

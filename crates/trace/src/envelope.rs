@@ -109,6 +109,8 @@ pub enum ReportKind {
     Sweep,
     /// An energy-attribution metrics report (v2 only).
     Metrics,
+    /// A fleet-scale simulation report (v2 only).
+    Fleet,
 }
 
 impl ReportKind {
@@ -118,6 +120,7 @@ impl ReportKind {
             ReportKind::Run => "run",
             ReportKind::Sweep => "sweep",
             ReportKind::Metrics => "metrics",
+            ReportKind::Fleet => "fleet",
         }
     }
 }
@@ -136,6 +139,10 @@ pub fn validate_any_report(v: &Value) -> Result<ReportKind, Vec<String>> {
                 Some("metrics") => (
                     ReportKind::Metrics,
                     Report::<crate::metrics::MetricsInputs>::validate(v),
+                ),
+                Some("fleet") => (
+                    ReportKind::Fleet,
+                    Report::<crate::fleet::FleetInputs>::validate(v),
                 ),
                 Some("run") | None => (
                     ReportKind::Run,

@@ -1,0 +1,673 @@
+//! Versioned machine-readable fleet report.
+//!
+//! `easeio-sim fleet --report-out out.json` emits this document: fleet
+//! identity (runtime, app, device count, seeds, supply, medium), the
+//! per-device outcome tally, the gateway's end-to-end delivery accounting,
+//! the fleet-wide energy ledger by cause, straggler percentiles over
+//! per-device wall-clock, and — when sharded across the parallel engine —
+//! an optional `timing` block. The body rides inside the shared
+//! [`Report`] envelope as `kind: "fleet"`.
+//!
+//! The delivery block is where the paper's `Single` semantics becomes a
+//! fleet-level claim: `air_duplicates` counts transmissions of a
+//! (device, sequence) pair beyond the first — exactly-once violations on
+//! the air. Under EaseIO it must be zero; the Naive baseline pins it
+//! positive. The validator enforces the accounting *structurally*: every
+//! transmission must be delivered, lost to collision, or lost to the
+//! channel, and the duplicate/unique splits must sum — a document whose
+//! ledger does not balance is rejected as malformed.
+
+use crate::envelope::{Report, ReportBody};
+use crate::json::Value;
+use crate::metrics::{CATEGORY_COUNT, CATEGORY_NAMES};
+use crate::sweep::FaultSpecDoc;
+
+/// The shared radio-medium configuration a fleet ran over. Experiment
+/// identity, kept by
+/// [`identity_document`](crate::envelope::identity_document).
+#[derive(Debug, Clone, Default)]
+pub struct FleetMediumDoc {
+    /// Seed of the per-packet loss draws.
+    pub seed: u64,
+    /// Channel loss probability in permille.
+    pub loss_permille: u64,
+    /// Fixed per-transmission airtime (µs).
+    pub airtime_base_us: u64,
+    /// Additional airtime per payload word (µs).
+    pub airtime_us_per_word: u64,
+}
+
+/// Per-device outcome tally. The three outcome counts partition the fleet;
+/// so do the three verdict counts (devices whose app defines no
+/// correctness check land in `unverified`).
+#[derive(Debug, Clone, Default)]
+pub struct FleetOutcomesDoc {
+    /// Devices whose final task completed.
+    pub completed: u64,
+    /// Devices that exhausted the attempt budget.
+    pub non_terminated: u64,
+    /// Devices aborted by a non-recoverable fault.
+    pub faulted: u64,
+    /// Devices whose output check passed.
+    pub correct: u64,
+    /// Devices whose output check failed.
+    pub incorrect: u64,
+    /// Devices with no output check (or that never reached it).
+    pub unverified: u64,
+}
+
+/// The gateway's exactly-once accounting over the whole fleet.
+#[derive(Debug, Clone, Default)]
+pub struct FleetDeliveryDoc {
+    /// Packets put on the air by all devices.
+    pub transmissions: u64,
+    /// Distinct (device, sequence) pairs among them.
+    pub unique_sent: u64,
+    /// Transmissions beyond the first of their (device, sequence) pair —
+    /// `Single`-semantics violations on the air. Zero under EaseIO.
+    pub air_duplicates: u64,
+    /// Packets the gateway received (survived collision and loss).
+    pub delivered: u64,
+    /// Distinct (device, sequence) pairs among the received packets.
+    pub delivered_unique: u64,
+    /// Received packets whose (device, sequence) pair had already been
+    /// received — duplicates the gateway must deduplicate.
+    pub gateway_duplicates: u64,
+    /// Packets destroyed by overlapping transmit windows.
+    pub lost_collision: u64,
+    /// Collision-free packets dropped by the seeded channel loss.
+    pub lost_channel: u64,
+    /// `delivered_unique * 1000 / unique_sent` (0 when nothing was sent).
+    pub delivery_rate_milli: u64,
+}
+
+/// Fleet-wide energy ledger: every device's attribution summed.
+#[derive(Debug, Clone, Default)]
+pub struct FleetEnergyDoc {
+    /// Total on-time across all devices (µs).
+    pub total_time_us: u64,
+    /// Total energy across all devices (nJ).
+    pub total_energy_nj: u64,
+    /// Energy by cause, aligned to [`CATEGORY_NAMES`].
+    pub cause_energy_nj: [u64; CATEGORY_COUNT],
+}
+
+/// Straggler percentiles over per-device wall-clock (virtual µs, dead time
+/// included) — how unevenly the fleet finishes.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStragglerDoc {
+    /// Median device wall-clock (µs).
+    pub p50_wall_us: u64,
+    /// 90th-percentile device wall-clock (µs).
+    pub p90_wall_us: u64,
+    /// 99th-percentile device wall-clock (µs).
+    pub p99_wall_us: u64,
+    /// Slowest device wall-clock (µs).
+    pub max_wall_us: u64,
+}
+
+/// Host-side timing of a fleet run. Measurement, not result: stripped by
+/// [`identity_document`](crate::envelope::identity_document) before the
+/// `--jobs` byte-identity comparison.
+#[derive(Debug, Clone)]
+pub struct FleetTimingDoc {
+    /// Worker count the fleet was sharded across.
+    pub jobs: u64,
+    /// Host wall-clock of the device phase (µs).
+    pub wall_us: u64,
+    /// Devices executed by each worker.
+    pub devices_per_worker: Vec<u64>,
+    /// Busy time of each worker (µs).
+    pub busy_us_per_worker: Vec<u64>,
+}
+
+/// Inputs to the fleet report document.
+#[derive(Debug, Clone)]
+pub struct FleetInputs {
+    /// Runtime display name.
+    pub runtime: String,
+    /// Application name.
+    pub app: String,
+    /// Number of devices.
+    pub devices: u64,
+    /// Scenario base seed (device `i` derives seed + i).
+    pub seed: u64,
+    /// Supply label (`"timer"`, `"rf:58"`, …).
+    pub supply: String,
+    /// The shared radio medium.
+    pub medium: FleetMediumDoc,
+    /// Fault-injection configuration (present when a plan was installed).
+    pub fault_spec: Option<FaultSpecDoc>,
+    /// Per-device outcome tally.
+    pub outcomes: FleetOutcomesDoc,
+    /// Power-failure reboots summed across the fleet.
+    pub power_failures: u64,
+    /// Gateway delivery accounting.
+    pub delivery: FleetDeliveryDoc,
+    /// Fleet-wide energy ledger.
+    pub energy: FleetEnergyDoc,
+    /// Straggler percentiles.
+    pub stragglers: FleetStragglerDoc,
+    /// Host timing (present when run through the parallel engine).
+    pub timing: Option<FleetTimingDoc>,
+}
+
+impl ReportBody for FleetInputs {
+    const KIND: &'static str = "fleet";
+    const TOOL: &'static str = "easeio-sim fleet";
+
+    fn body(&self) -> Value {
+        fleet_body(self)
+    }
+
+    fn validate_body(body: &Value) -> Vec<String> {
+        validate_fleet_body(body)
+    }
+}
+
+fn fleet_body(inp: &FleetInputs) -> Value {
+    let mut fields = vec![
+        ("runtime".into(), Value::str(inp.runtime.clone())),
+        ("app".into(), Value::str(inp.app.clone())),
+        ("devices".into(), Value::u64(inp.devices)),
+        ("seed".into(), Value::u64(inp.seed)),
+        ("supply".into(), Value::str(inp.supply.clone())),
+        (
+            "medium".into(),
+            Value::Obj(vec![
+                ("seed".into(), Value::u64(inp.medium.seed)),
+                ("loss_permille".into(), Value::u64(inp.medium.loss_permille)),
+                (
+                    "airtime_base_us".into(),
+                    Value::u64(inp.medium.airtime_base_us),
+                ),
+                (
+                    "airtime_us_per_word".into(),
+                    Value::u64(inp.medium.airtime_us_per_word),
+                ),
+            ]),
+        ),
+    ];
+    if let Some(f) = &inp.fault_spec {
+        fields.push((
+            "fault_spec".into(),
+            Value::Obj(vec![
+                ("seed".into(), Value::u64(f.seed)),
+                ("rate_permille".into(), Value::u64(f.rate_permille)),
+                ("max_retries".into(), Value::u64(f.max_retries)),
+                ("backoff_base_us".into(), Value::u64(f.backoff_base_us)),
+            ]),
+        ));
+    }
+    let o = &inp.outcomes;
+    fields.push((
+        "outcomes".into(),
+        Value::Obj(vec![
+            ("completed".into(), Value::u64(o.completed)),
+            ("non_terminated".into(), Value::u64(o.non_terminated)),
+            ("faulted".into(), Value::u64(o.faulted)),
+            ("correct".into(), Value::u64(o.correct)),
+            ("incorrect".into(), Value::u64(o.incorrect)),
+            ("unverified".into(), Value::u64(o.unverified)),
+        ]),
+    ));
+    fields.push(("power_failures".into(), Value::u64(inp.power_failures)));
+    let d = &inp.delivery;
+    fields.push((
+        "delivery".into(),
+        Value::Obj(vec![
+            ("transmissions".into(), Value::u64(d.transmissions)),
+            ("unique_sent".into(), Value::u64(d.unique_sent)),
+            ("air_duplicates".into(), Value::u64(d.air_duplicates)),
+            ("delivered".into(), Value::u64(d.delivered)),
+            ("delivered_unique".into(), Value::u64(d.delivered_unique)),
+            (
+                "gateway_duplicates".into(),
+                Value::u64(d.gateway_duplicates),
+            ),
+            ("lost_collision".into(), Value::u64(d.lost_collision)),
+            ("lost_channel".into(), Value::u64(d.lost_channel)),
+            (
+                "delivery_rate_milli".into(),
+                Value::u64(d.delivery_rate_milli),
+            ),
+        ]),
+    ));
+    let e = &inp.energy;
+    fields.push((
+        "energy".into(),
+        Value::Obj(vec![
+            ("total_time_us".into(), Value::u64(e.total_time_us)),
+            ("total_energy_nj".into(), Value::u64(e.total_energy_nj)),
+            (
+                "cause_energy_nj".into(),
+                Value::Obj(
+                    (0..CATEGORY_COUNT)
+                        .map(|i| {
+                            (
+                                CATEGORY_NAMES[i].to_string(),
+                                Value::u64(e.cause_energy_nj[i]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    ));
+    let s = &inp.stragglers;
+    fields.push((
+        "stragglers".into(),
+        Value::Obj(vec![
+            ("p50_wall_us".into(), Value::u64(s.p50_wall_us)),
+            ("p90_wall_us".into(), Value::u64(s.p90_wall_us)),
+            ("p99_wall_us".into(), Value::u64(s.p99_wall_us)),
+            ("max_wall_us".into(), Value::u64(s.max_wall_us)),
+        ]),
+    ));
+    if let Some(t) = &inp.timing {
+        fields.push((
+            "timing".into(),
+            Value::Obj(vec![
+                ("jobs".into(), Value::u64(t.jobs)),
+                ("wall_us".into(), Value::u64(t.wall_us)),
+                (
+                    "devices_per_worker".into(),
+                    Value::Arr(
+                        t.devices_per_worker
+                            .iter()
+                            .map(|&n| Value::u64(n))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "busy_us_per_worker".into(),
+                    Value::Arr(
+                        t.busy_us_per_worker
+                            .iter()
+                            .map(|&n| Value::u64(n))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    Value::Obj(fields)
+}
+
+/// Builds the full versioned fleet report document.
+pub fn build_fleet_report(inp: &FleetInputs) -> Value {
+    Report::new(inp.clone()).to_value()
+}
+
+/// Validates a parsed fleet report document (envelope and body).
+pub fn validate_fleet_report(v: &Value) -> Result<(), Vec<String>> {
+    Report::<FleetInputs>::validate(v)
+}
+
+/// Body-level validation, including the delivery-accounting invariants.
+fn validate_fleet_body(v: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    for key in ["runtime", "app", "supply"] {
+        if v.get(key).and_then(Value::as_str).is_none() {
+            errs.push(format!("'{key}' must be a string"));
+        }
+    }
+    for key in ["devices", "seed", "power_failures"] {
+        if v.get(key).and_then(Value::as_u64).is_none() {
+            errs.push(format!("'{key}' must be an unsigned integer"));
+        }
+    }
+    let devices = v.get("devices").and_then(Value::as_u64).unwrap_or(0);
+    if v.get("devices").and_then(Value::as_u64) == Some(0) {
+        errs.push("'devices' must be at least 1".into());
+    }
+
+    match v.get("medium") {
+        None => errs.push("missing key 'medium'".into()),
+        Some(m) => {
+            for key in [
+                "seed",
+                "loss_permille",
+                "airtime_base_us",
+                "airtime_us_per_word",
+            ] {
+                if m.get(key).and_then(Value::as_u64).is_none() {
+                    errs.push(format!("'medium.{key}' must be an unsigned integer"));
+                }
+            }
+        }
+    }
+
+    if let Some(f) = v.get("fault_spec") {
+        for k in ["seed", "rate_permille", "max_retries", "backoff_base_us"] {
+            if f.get(k).and_then(Value::as_u64).is_none() {
+                errs.push(format!("'fault_spec.{k}' must be an unsigned integer"));
+            }
+        }
+    }
+
+    match v.get("outcomes") {
+        None => errs.push("missing key 'outcomes'".into()),
+        Some(o) => {
+            let get = |k: &str| o.get(k).and_then(Value::as_u64);
+            let keys = [
+                "completed",
+                "non_terminated",
+                "faulted",
+                "correct",
+                "incorrect",
+                "unverified",
+            ];
+            if keys.iter().any(|k| get(k).is_none()) {
+                errs.push("'outcomes' must carry six unsigned-integer counts".into());
+            } else {
+                let by_outcome = get("completed").unwrap()
+                    + get("non_terminated").unwrap()
+                    + get("faulted").unwrap();
+                let by_verdict = get("correct").unwrap()
+                    + get("incorrect").unwrap()
+                    + get("unverified").unwrap();
+                if by_outcome != devices {
+                    errs.push(format!(
+                        "'outcomes': completed + non_terminated + faulted is \
+                         {by_outcome} but 'devices' is {devices}"
+                    ));
+                }
+                if by_verdict != devices {
+                    errs.push(format!(
+                        "'outcomes': correct + incorrect + unverified is \
+                         {by_verdict} but 'devices' is {devices}"
+                    ));
+                }
+            }
+        }
+    }
+
+    match v.get("delivery") {
+        None => errs.push("missing key 'delivery'".into()),
+        Some(d) => {
+            let get = |k: &str| d.get(k).and_then(Value::as_u64);
+            let keys = [
+                "transmissions",
+                "unique_sent",
+                "air_duplicates",
+                "delivered",
+                "delivered_unique",
+                "gateway_duplicates",
+                "lost_collision",
+                "lost_channel",
+                "delivery_rate_milli",
+            ];
+            if keys.iter().any(|k| get(k).is_none()) {
+                errs.push("'delivery' must carry nine unsigned-integer counts".into());
+            } else {
+                let tx = get("transmissions").unwrap();
+                let unique = get("unique_sent").unwrap();
+                let air_dup = get("air_duplicates").unwrap();
+                let delivered = get("delivered").unwrap();
+                let del_unique = get("delivered_unique").unwrap();
+                let gw_dup = get("gateway_duplicates").unwrap();
+                let collided = get("lost_collision").unwrap();
+                let dropped = get("lost_channel").unwrap();
+                let rate = get("delivery_rate_milli").unwrap();
+                if unique + air_dup != tx {
+                    errs.push(format!(
+                        "'delivery': unique_sent + air_duplicates is {} but \
+                         transmissions is {tx}",
+                        unique + air_dup
+                    ));
+                }
+                if delivered + collided + dropped != tx {
+                    errs.push(format!(
+                        "'delivery': delivered + lost_collision + lost_channel \
+                         is {} but transmissions is {tx} (every packet must be \
+                         accounted for)",
+                        delivered + collided + dropped
+                    ));
+                }
+                if del_unique + gw_dup != delivered {
+                    errs.push(format!(
+                        "'delivery': delivered_unique + gateway_duplicates is \
+                         {} but delivered is {delivered}",
+                        del_unique + gw_dup
+                    ));
+                }
+                if del_unique > unique {
+                    errs.push("'delivery': delivered_unique exceeds unique_sent".into());
+                }
+                let expect_rate = (del_unique * 1000).checked_div(unique).unwrap_or(0);
+                if rate != expect_rate {
+                    errs.push(format!(
+                        "'delivery.delivery_rate_milli' is {rate}, expected \
+                         {expect_rate} (delivered_unique * 1000 / unique_sent)"
+                    ));
+                }
+            }
+        }
+    }
+
+    match v.get("energy") {
+        None => errs.push("missing key 'energy'".into()),
+        Some(e) => {
+            for key in ["total_time_us", "total_energy_nj"] {
+                if e.get(key).and_then(Value::as_u64).is_none() {
+                    errs.push(format!("'energy.{key}' must be an unsigned integer"));
+                }
+            }
+            match e.get("cause_energy_nj").and_then(Value::as_obj) {
+                None => errs.push("'energy.cause_energy_nj' must be an object".into()),
+                Some(cells) => {
+                    let keys: Vec<&str> = cells.iter().map(|(k, _)| k.as_str()).collect();
+                    if keys != CATEGORY_NAMES {
+                        errs.push(format!(
+                            "'energy.cause_energy_nj' keys must be exactly \
+                             {CATEGORY_NAMES:?}"
+                        ));
+                    }
+                    let mut sum = 0u64;
+                    let mut complete = true;
+                    for (k, n) in cells {
+                        match n.as_u64() {
+                            Some(n) => sum += n,
+                            None => {
+                                complete = false;
+                                errs.push(format!(
+                                    "'energy.cause_energy_nj.{k}' must be an integer"
+                                ));
+                            }
+                        }
+                    }
+                    let total = e.get("total_energy_nj").and_then(Value::as_u64);
+                    if complete && total.is_some_and(|t| t != sum) {
+                        errs.push(format!(
+                            "'energy': categories sum to {sum} nJ but \
+                             total_energy_nj is {} (attribution invariant \
+                             violated)",
+                            total.unwrap()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    match v.get("stragglers") {
+        None => errs.push("missing key 'stragglers'".into()),
+        Some(s) => {
+            let get = |k: &str| s.get(k).and_then(Value::as_u64);
+            let keys = ["p50_wall_us", "p90_wall_us", "p99_wall_us", "max_wall_us"];
+            if keys.iter().any(|k| get(k).is_none()) {
+                errs.push("'stragglers' must carry four unsigned-integer percentiles".into());
+            } else {
+                let series: Vec<u64> = keys.iter().map(|k| get(k).unwrap()).collect();
+                if series.windows(2).any(|w| w[0] > w[1]) {
+                    errs.push(
+                        "'stragglers' percentiles must be non-decreasing \
+                         (p50 <= p90 <= p99 <= max)"
+                            .into(),
+                    );
+                }
+            }
+        }
+    }
+
+    if let Some(t) = v.get("timing") {
+        for k in ["jobs", "wall_us"] {
+            if t.get(k).and_then(Value::as_u64).is_none() {
+                errs.push(format!("'timing.{k}' must be an unsigned integer"));
+            }
+        }
+        for k in ["devices_per_worker", "busy_us_per_worker"] {
+            if t.get(k).and_then(Value::as_arr).is_none() {
+                errs.push(format!("'timing.{k}' must be an array"));
+            }
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{identity_document, validate_any_report, ReportKind};
+    use crate::json::parse;
+
+    fn inputs() -> FleetInputs {
+        FleetInputs {
+            runtime: "EaseIO".into(),
+            app: "flaky-radio".into(),
+            devices: 4,
+            seed: 42,
+            supply: "timer".into(),
+            medium: FleetMediumDoc {
+                seed: 7,
+                loss_permille: 100,
+                airtime_base_us: 32,
+                airtime_us_per_word: 4,
+            },
+            fault_spec: None,
+            outcomes: FleetOutcomesDoc {
+                completed: 4,
+                non_terminated: 0,
+                faulted: 0,
+                correct: 4,
+                incorrect: 0,
+                unverified: 0,
+            },
+            power_failures: 17,
+            delivery: FleetDeliveryDoc {
+                transmissions: 32,
+                unique_sent: 32,
+                air_duplicates: 0,
+                delivered: 27,
+                delivered_unique: 27,
+                gateway_duplicates: 0,
+                lost_collision: 2,
+                lost_channel: 3,
+                delivery_rate_milli: 27 * 1000 / 32,
+            },
+            energy: FleetEnergyDoc {
+                total_time_us: 100,
+                total_energy_nj: 28,
+                cause_energy_nj: [10, 5, 0, 6, 0, 3, 4],
+            },
+            stragglers: FleetStragglerDoc {
+                p50_wall_us: 900,
+                p90_wall_us: 1_200,
+                p99_wall_us: 1_500,
+                max_wall_us: 1_501,
+            },
+            timing: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_and_dispatches_as_fleet() {
+        let doc = build_fleet_report(&inputs());
+        let parsed = parse(&doc.to_pretty()).unwrap();
+        assert_eq!(validate_any_report(&parsed), Ok(ReportKind::Fleet));
+        let body = parsed.get("report").unwrap();
+        assert_eq!(
+            body.get("delivery")
+                .and_then(|d| d.get("air_duplicates"))
+                .and_then(Value::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            body.get("energy")
+                .and_then(|e| e.get("cause_energy_nj"))
+                .and_then(|c| c.get("progress"))
+                .and_then(Value::as_u64),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn unbalanced_delivery_ledger_is_rejected() {
+        let mut inp = inputs();
+        inp.delivery.lost_channel += 1; // a packet appears from nowhere
+        let errs = validate_fleet_report(&build_fleet_report(&inp)).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("every packet must be accounted for")),
+            "{errs:?}"
+        );
+
+        let mut inp = inputs();
+        inp.delivery.air_duplicates = 5; // splits no longer sum
+        let errs = validate_fleet_report(&build_fleet_report(&inp)).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("unique_sent + air_duplicates")),
+            "{errs:?}"
+        );
+
+        let mut inp = inputs();
+        inp.delivery.delivery_rate_milli += 1;
+        let errs = validate_fleet_report(&build_fleet_report(&inp)).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("delivery_rate_milli")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn outcome_tallies_must_partition_the_fleet() {
+        let mut inp = inputs();
+        inp.outcomes.completed = 3; // 3 + 0 + 0 != 4 devices
+        let errs = validate_fleet_report(&build_fleet_report(&inp)).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("'devices' is 4")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn energy_attribution_must_sum_and_use_the_canonical_categories() {
+        let mut inp = inputs();
+        inp.energy.total_energy_nj += 1;
+        let errs = validate_fleet_report(&build_fleet_report(&inp)).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("attribution invariant")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn timing_is_stripped_by_identity() {
+        let mut inp = inputs();
+        inp.timing = Some(FleetTimingDoc {
+            jobs: 8,
+            wall_us: 123,
+            devices_per_worker: vec![1; 8],
+            busy_us_per_worker: vec![10; 8],
+        });
+        let timed = build_fleet_report(&inp);
+        validate_fleet_report(&timed).unwrap();
+        let untimed = build_fleet_report(&inputs());
+        assert_eq!(
+            identity_document(&timed).to_pretty(),
+            identity_document(&untimed).to_pretty()
+        );
+    }
+}

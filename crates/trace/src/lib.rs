@@ -27,6 +27,7 @@ pub mod agg;
 pub mod chrome;
 pub mod envelope;
 pub mod event;
+pub mod fleet;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
@@ -42,12 +43,16 @@ pub use envelope::{
     SCHEMA_VERSION,
 };
 pub use event::{Event, EventKind, InstantKind, SpanKind, Status, NO_SITE, NO_TASK};
+pub use fleet::{
+    build_fleet_report, validate_fleet_report, FleetDeliveryDoc, FleetEnergyDoc, FleetInputs,
+    FleetMediumDoc, FleetOutcomesDoc, FleetStragglerDoc, FleetTimingDoc,
+};
 pub use json::{parse as parse_json, Value};
 pub use jsonl::jsonl;
 pub use metrics::{
     build_metrics_report, compare_metrics, flamegraph, validate_metrics_report, MetricsEntry,
-    MetricsInputs, Regression, SiteWasteRow, TaskWasteRow, CATEGORY_COUNT, CATEGORY_NAMES,
-    WASTE_CATEGORY_NAMES,
+    MetricsInputs, Regression, SiteWasteRow, SkippedApp, TaskWasteRow, CATEGORY_COUNT,
+    CATEGORY_NAMES, WASTE_CATEGORY_NAMES,
 };
 pub use profile::{build_profile, LatencySummary, Profile, SiteProfile, TaskProfile};
 pub use report::{build_report, validate_report, ReportInputs};

@@ -106,6 +106,17 @@ impl MetricsEntry {
     }
 }
 
+/// An app the metrics harness could not measure, with the reason stated
+/// explicitly — skipped apps appear in the document rather than silently
+/// vanishing from `entries`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedApp {
+    /// Application name.
+    pub app: String,
+    /// Why it was not measured.
+    pub reason: String,
+}
+
 /// Inputs to the metrics report document.
 #[derive(Debug, Clone)]
 pub struct MetricsInputs {
@@ -113,6 +124,9 @@ pub struct MetricsInputs {
     pub seed: u64,
     /// One entry per runtime × app, in measurement order.
     pub entries: Vec<MetricsEntry>,
+    /// Apps excluded from measurement, with reasons (rendered only when
+    /// non-empty, so documents without skips are unchanged).
+    pub skipped: Vec<SkippedApp>,
 }
 
 fn pct(part: u64, whole: u64) -> Value {
@@ -129,7 +143,7 @@ impl ReportBody for MetricsInputs {
 
     fn body(&self) -> Value {
         let entries: Vec<Value> = self.entries.iter().map(render_entry).collect();
-        Value::Obj(vec![
+        let mut fields = vec![
             ("seed".into(), Value::u64(self.seed)),
             (
                 "categories".into(),
@@ -145,7 +159,21 @@ impl ReportBody for MetricsInputs {
                 ),
             ),
             ("entries".into(), Value::Arr(entries)),
-        ])
+        ];
+        if !self.skipped.is_empty() {
+            let rows = self
+                .skipped
+                .iter()
+                .map(|s| {
+                    Value::Obj(vec![
+                        ("app".into(), Value::str(&s.app)),
+                        ("reason".into(), Value::str(&s.reason)),
+                    ])
+                })
+                .collect();
+            fields.push(("skipped".into(), Value::Arr(rows)));
+        }
+        Value::Obj(fields)
     }
 
     fn validate_body(body: &Value) -> Vec<String> {
@@ -244,6 +272,25 @@ fn validate_metrics_body(v: &Value) -> Vec<String> {
             }
         }
         None => errs.push("'categories' must be an array".into()),
+    }
+    // `skipped` is optional, but when present every row must say which app
+    // was skipped and why — an unexplained skip is exactly the silent
+    // omission the section exists to prevent.
+    if let Some(skipped) = v.get("skipped") {
+        match skipped.as_arr() {
+            None => errs.push("'skipped' must be an array".into()),
+            Some(rows) => {
+                for (i, row) in rows.iter().enumerate() {
+                    for key in ["app", "reason"] {
+                        match row.get(key).and_then(Value::as_str) {
+                            Some(s) if !s.is_empty() => {}
+                            _ => errs
+                                .push(format!("'skipped[{i}].{key}' must be a non-empty string")),
+                        }
+                    }
+                }
+            }
+        }
     }
     let entries = match v.get("entries").and_then(Value::as_arr) {
         Some(e) => e,
@@ -616,7 +663,42 @@ mod tests {
                 entry("easeio", "dma", [100, 10, 4, 20, 2, 8, 6]),
                 entry("naive", "dma", [100, 40, 30, 0, 2, 0, 6]),
             ],
+            skipped: Vec::new(),
         }
+    }
+
+    #[test]
+    fn skipped_rows_round_trip_and_require_reasons() {
+        let mut inp = sample();
+        inp.skipped.push(SkippedApp {
+            app: "fir-long".into(),
+            reason: "chunk task exceeds the timer supply's max on-period".into(),
+        });
+        let doc = build_metrics_report(&inp);
+        let parsed = crate::json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(validate_any_report(&parsed), Ok(ReportKind::Metrics));
+        let rows = parsed
+            .get("report")
+            .unwrap()
+            .get("skipped")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(rows[0].get("app").unwrap().as_str(), Some("fir-long"));
+
+        // An empty reason is rejected — that would be a silent skip again.
+        let text = doc
+            .to_pretty()
+            .replace("chunk task exceeds the timer supply's max on-period", "");
+        let errs = validate_metrics_report(&crate::json::parse(&text).unwrap()).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("skipped[0].reason")),
+            "{errs:?}"
+        );
+
+        // No skips ⇒ the key is absent entirely (documents unchanged).
+        let clean = build_metrics_report(&sample());
+        assert!(!clean.to_pretty().contains("skipped"));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 
 use easeio_repro::apps::harness::{golden, run_traced, RuntimeKind};
 use easeio_repro::apps::temp_app;
+use easeio_repro::easeio_trace::fleet::{
+    build_fleet_report, FleetDeliveryDoc, FleetEnergyDoc, FleetInputs, FleetMediumDoc,
+    FleetOutcomesDoc, FleetStragglerDoc,
+};
 use easeio_repro::easeio_trace::{
     build_metrics_report, build_profile, build_report, build_sweep_report, chrome_trace,
     compare_metrics, jsonl, parse_json, validate_any_report, validate_metrics_report,
@@ -284,6 +288,7 @@ fn sample_metrics_inputs() -> MetricsInputs {
                 redundant_sites: vec![],
             },
         ],
+        skipped: Vec::new(),
     }
 }
 
@@ -351,6 +356,99 @@ fn compare_gate_fails_on_injected_regression() {
     // comparison is clean at gate 0.
     assert_eq!(compare_metrics(&old, &new, 1000.0).unwrap(), vec![]);
     assert_eq!(compare_metrics(&old, &old, 0.0).unwrap(), vec![]);
+}
+
+/// A small well-formed fleet document: every ledger (delivery, outcomes,
+/// cause energy) balances by construction.
+fn sample_fleet_inputs() -> FleetInputs {
+    FleetInputs {
+        runtime: "EaseIO".into(),
+        app: "flaky-radio".into(),
+        devices: 8,
+        seed: 1000,
+        supply: "timer".into(),
+        medium: FleetMediumDoc {
+            seed: 77,
+            loss_permille: 100,
+            airtime_base_us: 32,
+            airtime_us_per_word: 4,
+        },
+        fault_spec: None,
+        outcomes: FleetOutcomesDoc {
+            completed: 8,
+            non_terminated: 0,
+            faulted: 0,
+            correct: 8,
+            incorrect: 0,
+            unverified: 0,
+        },
+        power_failures: 42,
+        delivery: FleetDeliveryDoc {
+            transmissions: 64,
+            unique_sent: 64,
+            air_duplicates: 0,
+            delivered: 50,
+            delivered_unique: 50,
+            gateway_duplicates: 0,
+            lost_collision: 8,
+            lost_channel: 6,
+            delivery_rate_milli: 50 * 1000 / 64,
+        },
+        energy: FleetEnergyDoc {
+            total_time_us: 800,
+            total_energy_nj: 140,
+            cause_energy_nj: [80, 20, 0, 24, 0, 6, 10],
+        },
+        stragglers: FleetStragglerDoc {
+            p50_wall_us: 9_000,
+            p90_wall_us: 12_000,
+            p99_wall_us: 15_000,
+            max_wall_us: 15_100,
+        },
+        timing: None,
+    }
+}
+
+/// The single dispatch entry point accepts a well-formed `kind: "fleet"`
+/// document and rejects malformed ones — the property the CI fleet smoke
+/// job's schema check leans on. Tampering goes through the *text* form, the
+/// same way an external document would arrive.
+#[test]
+fn fleet_report_dispatch_accepts_valid_and_rejects_malformed() {
+    let doc = build_fleet_report(&sample_fleet_inputs()).to_pretty();
+    let parsed = parse_json(&doc).unwrap();
+    assert_eq!(validate_any_report(&parsed), Ok(ReportKind::Fleet));
+
+    // A packet vanishes from the delivery ledger: delivered + lost_collision
+    // + lost_channel no longer equals transmissions.
+    let tampered = doc.replace("\"delivered\": 50", "\"delivered\": 49");
+    assert_ne!(tampered, doc, "tamper must hit");
+    let errs = validate_any_report(&parse_json(&tampered).unwrap()).unwrap_err();
+    assert!(
+        errs.iter()
+            .any(|e| e.contains("every packet must be accounted for")),
+        "{errs:?}"
+    );
+
+    // Cause-energy attribution no longer sums to the total.
+    let tampered = doc.replace("\"total_energy_nj\": 140", "\"total_energy_nj\": 141");
+    assert_ne!(tampered, doc, "tamper must hit");
+    let errs = validate_any_report(&parse_json(&tampered).unwrap()).unwrap_err();
+    assert!(
+        errs.iter().any(|e| e.contains("attribution invariant")),
+        "{errs:?}"
+    );
+
+    // Outcome tally stops partitioning the fleet.
+    let tampered = doc.replace("\"completed\": 8", "\"completed\": 7");
+    assert_ne!(tampered, doc, "tamper must hit");
+    assert!(validate_any_report(&parse_json(&tampered).unwrap()).is_err());
+
+    // A required block goes missing entirely.
+    let tampered = doc.replace("\"stragglers\"", "\"strugglers\"");
+    assert_ne!(tampered, doc, "tamper must hit");
+    let errs = validate_any_report(&parse_json(&tampered).unwrap()).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("stragglers")), "{errs:?}");
 }
 
 /// Schema-v2 sweep documents round-trip with the optional `fault_spec` block
