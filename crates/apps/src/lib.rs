@@ -17,6 +17,7 @@
 //! | [`dnn`] | the classifier's 5-layer DNN (single/double buffer) | Table 5 |
 //! | [`unsafe_branch`] | Fig 2c stdy/alarm branch divergence | §2.1.3 tests |
 //! | [`flaky_radio`] | sense→transmit relay under radio faults (extension) | fault sweeps |
+//! | [`ota_update`] | stage→flip→activate OTA update window (extension) | version-atomicity sweeps |
 //! | [`harness`] | seeded experiment driver shared by benches and tests | all |
 
 pub mod dma_app;
@@ -27,6 +28,7 @@ pub mod flaky_radio;
 pub mod harness;
 pub mod lea_app;
 pub mod motion;
+pub mod ota_update;
 pub mod synth;
 pub mod temp_app;
 pub mod unsafe_branch;

@@ -5,8 +5,8 @@
 //! library APIs):
 //!
 //! ```text
-//!   --app <dma|temp|lea|fir|fir-long|weather|weather-single|branch|motion|flaky-radio>
-//!                                                  (default dma)
+//!   --app <dma|temp|lea|fir|fir-long|weather|weather-single|branch|motion|flaky-radio
+//!          |ota-update>                            (default dma)
 //!   --kernel <naive|alpaca|ink|easeio|easeio-op>   (default easeio;
 //!                            --runtime is a deprecated alias and warns)
 //!   --supply <continuous|timer|rf>                 (default timer)
@@ -51,7 +51,10 @@
 //!   --sample <N>             inject at N seeded-random boundaries
 //!   --off-us <us>            outage length per injection       (default 100000)
 //!   --strict-memory          force byte-exact FRAM compare (auto for
-//!                            deterministic apps: dma, fir, lea)
+//!                            deterministic apps: dma, fir, lea, ota-update)
+//!   --update-window          inject only at boundaries inside the app's
+//!                            stage→flip→activate update window (read off
+//!                            the continuous-power reference trace)
 //!   --all-apps               sweep every built-in app over one shared pool
 //!   --no-prune               execute every boundary instead of pruning
 //!                            equivalent injection points (pruning is on by
@@ -89,7 +92,19 @@
 //!   --allow-duplicates       exit 0 even if duplicates hit the air
 //!   --expect-duplicates      exit 1 unless duplicates hit the air (the
 //!                            Naive-baseline pin)
+//!   --rollout                roll an OTA update (app fixed to ota-update)
+//!                            wave by wave instead of a plain fleet run
+//!   --wave-size <N>          devices offered the update per wave (default 32)
+//!   --target-seq <N>         image sequence to roll out       (default 2)
+//!   --no-abort               keep offering after a wave regression
+//!   --expect-update-violations
+//!                            exit 1 unless torn images or duplicate
+//!                            activations occurred (the Naive pin)
 //! ```
+//!
+//! Exit status (all modes): 0 = ran and every requested check held,
+//! 1 = a verdict failed (safety violation, regression, duplicate,
+//! incomplete run), 2 = usage error or malformed input.
 
 use apps::harness::{golden, measure_footprint, run_once_faulted, run_traced_faulted, RuntimeKind};
 use crashcheck::{SweepMode, SweepOutcome, SweepPlan};
@@ -97,7 +112,7 @@ use easeio_exec::{
     run_grid, sweep_matrix, AppSpec, DeviceSpec, GridSpec, ScenarioSpec, SupplySpec, SweepEntry,
     SweepOptions, APP_NAMES,
 };
-use easeio_fleet::run_fleet;
+use easeio_fleet::{run_fleet, run_rollout, RolloutPolicy};
 use easeio_trace::{
     build_fleet_report, build_metrics_report, build_profile, build_report, build_sweep_report,
     chrome_trace_with_counters, compare_metrics, flamegraph, jsonl, parse_json,
@@ -326,16 +341,38 @@ fn print_trace(events: &[Event], dropped: u64) {
     }
 }
 
+/// The binary's whole exit-status vocabulary, in one place. Every exit
+/// path goes through [`exit`] with one of these — scripts and CI match on
+/// the number, so the mapping is a documented interface (see the README's
+/// exit-code table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExitCode {
+    /// The requested work ran and every requested check held.
+    Ok = 0,
+    /// The simulation ran but a verdict failed: safety violations found
+    /// (or expected and absent), duplicates on the air, a regression
+    /// beyond the gate, a run that did not complete, or a built report
+    /// failing its own schema.
+    VerdictFailure = 1,
+    /// The request itself was unusable: unknown flag or app, missing
+    /// value, unreadable file, or malformed input JSON.
+    Usage = 2,
+}
+
+fn exit(code: ExitCode) -> ! {
+    std::process::exit(code as i32)
+}
+
 fn write_or_die(path: &str, contents: &str, what: &str) {
     if let Err(e) = std::fs::write(path, contents) {
         eprintln!("error: cannot write {what} {path}: {e}");
-        std::process::exit(2);
+        exit(ExitCode::Usage);
     }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    std::process::exit(2)
+    exit(ExitCode::Usage)
 }
 
 fn outcome_label(outcome: &Outcome) -> String {
@@ -399,11 +436,11 @@ fn cause_counter_track(samples: &[CauseSample]) -> CounterTrack {
 fn read_json_or_die(path: &str) -> Value {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: {path}: {e}");
-        std::process::exit(2)
+        exit(ExitCode::Usage)
     });
     parse_json(&text).unwrap_or_else(|e| {
         eprintln!("error: {path}: invalid JSON: {e}");
-        std::process::exit(2)
+        exit(ExitCode::Usage)
     })
 }
 
@@ -492,7 +529,11 @@ fn metrics_main() -> ! {
                  \x20                         [--flame-out FILE.json] [--kernels a,b,c]\n\
                  \x20                         [--apps x,y,z] [--include-skipped]"
             );
-            std::process::exit(if e == "help" { 0 } else { 2 });
+            exit(if e == "help" {
+                ExitCode::Ok
+            } else {
+                ExitCode::Usage
+            });
         }
     };
     // Partition the app list once, up front: apps the metrics supply cannot
@@ -523,11 +564,11 @@ fn metrics_main() -> ! {
             // Probe build: surface bad app names before the run.
             {
                 let mut probe = Mcu::new(Supply::continuous());
-                if let Err(e) = spec.build(kind.excludes_const_dma(), &mut probe) {
+                if let Err(e) = spec.build(*kind, &mut probe) {
                     die(&e);
                 }
             }
-            let build = |m: &mut Mcu| spec.build(kind.excludes_const_dma(), m).unwrap();
+            let build = |m: &mut Mcu| spec.build(*kind, m).unwrap();
             let supply = SupplySpec::Timer.make(args.seed);
             let r = run_once_faulted(&build, *kind, supply, args.seed, &FaultSpec::none());
             let entry = metrics_entry(kind.name(), app_name, &r.outcome, &r.verdict, &r.stats);
@@ -561,7 +602,7 @@ fn metrics_main() -> ! {
         for e in &errs {
             eprintln!("  - {e}");
         }
-        std::process::exit(1);
+        exit(ExitCode::VerdictFailure);
     }
     if let Some(path) = &args.out {
         let mut text = doc.to_pretty();
@@ -575,7 +616,7 @@ fn metrics_main() -> ! {
         write_or_die(path, &text, "flamegraph");
         println!("flamegraph written to {path}");
     }
-    std::process::exit(0);
+    exit(ExitCode::Ok);
 }
 
 // -------------------------------------------------------------- compare --
@@ -599,7 +640,7 @@ fn compare_main() -> ! {
             }
             "--help" | "-h" => {
                 eprintln!("usage: easeio-sim compare OLD.json NEW.json [--gate-pct N]");
-                std::process::exit(0);
+                exit(ExitCode::Ok);
             }
             p if !p.starts_with('-') => paths.push(p.to_string()),
             other => die(&format!("unknown compare flag {other}")),
@@ -616,14 +657,14 @@ fn compare_main() -> ! {
             for e in &errs {
                 eprintln!("  - {e}");
             }
-            std::process::exit(2);
+            exit(ExitCode::Usage);
         }
         Ok(regressions) if regressions.is_empty() => {
             println!(
                 "compare: {} vs {} — within the {gate_pct}% gate",
                 paths[0], paths[1]
             );
-            std::process::exit(0);
+            exit(ExitCode::Ok);
         }
         Ok(regressions) => {
             eprintln!(
@@ -633,7 +674,7 @@ fn compare_main() -> ! {
             for r in &regressions {
                 eprintln!("  - {}", r.describe());
             }
-            std::process::exit(1);
+            exit(ExitCode::VerdictFailure);
         }
     }
 }
@@ -645,6 +686,7 @@ struct SweepArgs {
     off_us: u64,
     sample: Option<u64>,
     strict_memory: bool,
+    update_window: bool,
     all_apps: bool,
     bench_out: Option<String>,
     utilization_out: Option<String>,
@@ -658,6 +700,7 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
     let mut off_us = 100_000;
     let mut sample = None;
     let mut strict_memory = false;
+    let mut update_window = false;
     let mut all_apps = false;
     let mut bench_out = None;
     let mut utilization_out = None;
@@ -675,6 +718,7 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
             "--exhaustive" => sample = None,
             "--sample" => sample = Some(parse_num(&val("--sample")?)?),
             "--strict-memory" => strict_memory = true,
+            "--update-window" => update_window = true,
             "--all-apps" => all_apps = true,
             "--bench-out" => bench_out = Some(val("--bench-out")?),
             "--utilization-out" => utilization_out = Some(val("--utilization-out")?),
@@ -690,6 +734,7 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
         off_us,
         sample,
         strict_memory,
+        update_window,
         all_apps,
         bench_out,
         utilization_out,
@@ -812,13 +857,18 @@ fn sweep_main() -> ! {
             eprintln!(
                 "usage: easeio-sim sweep [--app NAME | --all-apps] [--kernel NAME] [--jobs N]\n\
                  \x20                       [--exhaustive | --sample N] [--seed N] [--off-us US]\n\
-                 \x20                       [--strict-memory] [--report-out FILE.json]\n\
+                 \x20                       [--strict-memory] [--update-window]\n\
+                 \x20                       [--report-out FILE.json]\n\
                  \x20                       [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
                  \x20                       [--no-prune] [--bench-out BENCH_sweep.json]\n\
                  \x20                       [--utilization-out FILE.json]\n\
                  \x20                       [--allow-violations] [--expect-violations]"
             );
-            std::process::exit(if e == "help" { 0 } else { 2 });
+            exit(if e == "help" {
+                ExitCode::Ok
+            } else {
+                ExitCode::Usage
+            });
         }
     };
     let sc = &args.sc;
@@ -842,7 +892,7 @@ fn sweep_main() -> ! {
     // committing to a long sweep.
     for app in &apps {
         let mut probe = Mcu::new(Supply::continuous());
-        if let Err(e) = app.build(sc.device.kernel.excludes_const_dma(), &mut probe) {
+        if let Err(e) = app.build(sc.device.kernel, &mut probe) {
             die(&e);
         }
     }
@@ -853,6 +903,7 @@ fn sweep_main() -> ! {
             seed: sc.seed,
             off_us: args.off_us,
             strict_memory: args.strict_memory || app.is_deterministic(),
+            update_window: args.update_window,
             env_seed: sc.seed,
             fault: sc.device.fault,
         })
@@ -863,8 +914,7 @@ fn sweep_main() -> ! {
         .map(|app| {
             let kernel = sc.device.kernel;
             let app = app.clone();
-            Box::new(move |m: &mut Mcu| app.build(kernel.excludes_const_dma(), m).unwrap())
-                as AppBuilder
+            Box::new(move |m: &mut Mcu| app.build(kernel, m).unwrap()) as AppBuilder
         })
         .collect();
     let entries: Vec<SweepEntry> = builders
@@ -929,7 +979,7 @@ fn sweep_main() -> ! {
                         if args.prune { " pruned" } else { "" },
                         apps[i].label()
                     );
-                    std::process::exit(1);
+                    exit(ExitCode::VerdictFailure);
                 }
                 Some(serial[i].1.wall_us)
             }
@@ -1127,14 +1177,14 @@ fn sweep_main() -> ! {
     if args.expect_violations {
         if total_violations == 0 {
             eprintln!("error: expected violations, found none");
-            std::process::exit(1);
+            exit(ExitCode::VerdictFailure);
         }
-        std::process::exit(0);
+        exit(ExitCode::Ok);
     }
     if total_violations > 0 && !args.allow_violations {
-        std::process::exit(1);
+        exit(ExitCode::VerdictFailure);
     }
-    std::process::exit(0);
+    exit(ExitCode::Ok);
 }
 
 // ----------------------------------------------------------------- grid --
@@ -1204,19 +1254,23 @@ fn grid_main() -> ! {
                  \x20                      [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
                  \x20                      [--report-out FILE.json]"
             );
-            std::process::exit(if e == "help" { 0 } else { 2 });
+            exit(if e == "help" {
+                ExitCode::Ok
+            } else {
+                ExitCode::Usage
+            });
         }
     };
     let sc = &args.sc;
     // Probe build once (grid apps must build under every kernel the same).
     {
         let mut probe = Mcu::new(Supply::continuous());
-        if let Err(e) = sc.device.app.build(false, &mut probe) {
+        if let Err(e) = sc.device.app.build(RuntimeKind::EaseIo, &mut probe) {
             die(&e);
         }
     }
     let app = &sc.device.app;
-    let builder = |kind: RuntimeKind, m: &mut Mcu| app.build(kind.excludes_const_dma(), m).unwrap();
+    let builder = |kind: RuntimeKind, m: &mut Mcu| app.build(kind, m).unwrap();
     let (cells, stats) = run_grid(&builder, &args.spec, sc.jobs);
     println!(
         "grid: {} — {} cells × {} run(s), {} job(s), {:.2} ms wall",
@@ -1276,7 +1330,7 @@ fn grid_main() -> ! {
         write_or_die(path, &text, "grid report");
         println!("grid report written to {path}");
     }
-    std::process::exit(0);
+    exit(ExitCode::Ok);
 }
 
 // ---------------------------------------------------------------- fleet --
@@ -1285,6 +1339,8 @@ struct FleetArgs {
     sc: ScenarioSpec,
     allow_duplicates: bool,
     expect_duplicates: bool,
+    rollout: Option<RolloutPolicy>,
+    expect_update_violations: bool,
 }
 
 fn parse_fleet_args() -> Result<FleetArgs, String> {
@@ -1299,6 +1355,11 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
     let mut airtime_word: Option<u64> = None;
     let mut allow_duplicates = false;
     let mut expect_duplicates = false;
+    let mut rollout = false;
+    let mut wave_size: Option<u32> = None;
+    let mut target_seq: Option<u32> = None;
+    let mut no_abort = false;
+    let mut expect_update_violations = false;
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
         if common.accept(&flag, &mut it)? {
@@ -1313,6 +1374,11 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
             "--airtime-word-us" => airtime_word = Some(parse_num(&val("--airtime-word-us")?)?),
             "--allow-duplicates" => allow_duplicates = true,
             "--expect-duplicates" => expect_duplicates = true,
+            "--rollout" => rollout = true,
+            "--wave-size" => wave_size = Some(parse_num(&val("--wave-size")?)?),
+            "--target-seq" => target_seq = Some(parse_num(&val("--target-seq")?)?),
+            "--no-abort" => no_abort = true,
+            "--expect-update-violations" => expect_update_violations = true,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown fleet flag {other}")),
         }
@@ -1320,8 +1386,26 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
     if devices == 0 {
         return Err("--devices must be at least 1".into());
     }
+    if !rollout
+        && (wave_size.is_some() || target_seq.is_some() || no_abort || expect_update_violations)
+    {
+        return Err(
+            "--wave-size/--target-seq/--no-abort/--expect-update-violations need --rollout".into(),
+        );
+    }
     let mut sc = common.into_scenario(42)?;
     sc.count = devices;
+    let rollout = rollout.then(|| {
+        // The rollout's device workload is the OTA-update app by
+        // construction; pin the spec so the report says so.
+        sc.device.app = AppSpec::Named("ota-update".into());
+        let defaults = RolloutPolicy::default();
+        RolloutPolicy {
+            target_seq: target_seq.unwrap_or(defaults.target_seq),
+            wave_size: wave_size.unwrap_or(defaults.wave_size),
+            abort_on_regression: !no_abort,
+        }
+    });
     let mut medium = MediumSpec::lossy(medium_seed.unwrap_or(sc.seed), loss);
     if let Some(b) = airtime_base {
         medium.airtime_base_us = b;
@@ -1334,7 +1418,92 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
         sc,
         allow_duplicates,
         expect_duplicates,
+        rollout,
+        expect_update_violations,
     })
+}
+
+/// The `fleet --rollout` driver: rolling OTA update, convergence summary,
+/// `kind: "fleet"` report with the `rollout` block, and the update-safety
+/// verdict.
+fn rollout_main(args: &FleetArgs, policy: &RolloutPolicy) -> ! {
+    let sc = &args.sc;
+    let r = run_rollout(sc, policy).unwrap_or_else(|e| die(&e));
+    let s = &r.stats;
+    println!(
+        "rollout: {} devices to image seq {} under {} on {} supply \
+         (seed {}, medium {}, waves of {})",
+        sc.count,
+        s.target_seq,
+        sc.device.kernel.name(),
+        sc.supply.label(),
+        sc.seed,
+        sc.medium.label(),
+        s.wave_size
+    );
+    println!(
+        "  waves:      {} of {} rolled out{}",
+        s.waves_rolled_out,
+        s.waves,
+        if s.aborted {
+            " — ABORTED on a wave regression"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  versions:   {} on seq {}, {} on seq 1 ({} stragglers, {} stale), {} failed",
+        s.updated,
+        s.target_seq,
+        s.stragglers + s.stale,
+        s.stragglers,
+        s.stale,
+        s.update_failed
+    );
+    println!(
+        "  downlink:   {} chunk transmissions, {} lost to the channel",
+        s.downlink_chunks_sent, s.downlink_chunks_lost
+    );
+    println!(
+        "  safety:     {} torn image(s), {} duplicate activation(s)",
+        s.version_torn, s.duplicate_activations
+    );
+    println!(
+        "  pool:       {} job(s), {:.2} ms wall",
+        r.fleet.pool.jobs,
+        r.fleet.pool.wall_us as f64 / 1000.0
+    );
+    if let Some(path) = &sc.report_out {
+        let doc = build_fleet_report(&r.report_inputs(sc));
+        if let Err(errs) = validate_fleet_report(&doc) {
+            eprintln!("error: built fleet report fails its own schema:");
+            for e in &errs {
+                eprintln!("  - {e}");
+            }
+            exit(ExitCode::VerdictFailure);
+        }
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        write_or_die(path, &text, "fleet report");
+        println!("fleet report written to {path}");
+    }
+    let violations = s.version_torn + s.duplicate_activations;
+    if args.expect_update_violations {
+        if violations == 0 {
+            eprintln!("error: expected torn images or duplicate activations, found none");
+            exit(ExitCode::VerdictFailure);
+        }
+        exit(ExitCode::Ok);
+    }
+    if violations > 0 {
+        eprintln!(
+            "error: {} torn image(s) and {} duplicate activation(s) — \
+             old-or-new update atomicity violated",
+            s.version_torn, s.duplicate_activations
+        );
+        exit(ExitCode::VerdictFailure);
+    }
+    exit(ExitCode::Ok);
 }
 
 fn fleet_main() -> ! {
@@ -1350,11 +1519,20 @@ fn fleet_main() -> ! {
                  \x20                       [--loss PM] [--medium-seed N] [--airtime-base-us US]\n\
                  \x20                       [--airtime-word-us US] [--report-out FILE.json]\n\
                  \x20                       [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
-                 \x20                       [--allow-duplicates | --expect-duplicates]"
+                 \x20                       [--allow-duplicates | --expect-duplicates]\n\
+                 \x20                       [--rollout [--wave-size N] [--target-seq N]\n\
+                 \x20                        [--no-abort] [--expect-update-violations]]"
             );
-            std::process::exit(if e == "help" { 0 } else { 2 });
+            exit(if e == "help" {
+                ExitCode::Ok
+            } else {
+                ExitCode::Usage
+            });
         }
     };
+    if let Some(policy) = &args.rollout {
+        rollout_main(&args, policy);
+    }
     let sc = &args.sc;
     let fleet = run_fleet(sc).unwrap_or_else(|e| die(&e));
     let g = &fleet.gateway;
@@ -1422,7 +1600,7 @@ fn fleet_main() -> ! {
             for e in &errs {
                 eprintln!("  - {e}");
             }
-            std::process::exit(1);
+            exit(ExitCode::VerdictFailure);
         }
         let mut text = doc.to_pretty();
         text.push('\n');
@@ -1432,18 +1610,18 @@ fn fleet_main() -> ! {
     if args.expect_duplicates {
         if g.air_duplicates == 0 {
             eprintln!("error: expected duplicate transmissions, found none");
-            std::process::exit(1);
+            exit(ExitCode::VerdictFailure);
         }
-        std::process::exit(0);
+        exit(ExitCode::Ok);
     }
     if g.air_duplicates > 0 && !args.allow_duplicates {
         eprintln!(
             "error: {} duplicate transmission(s) hit the air — Single semantics violated",
             g.air_duplicates
         );
-        std::process::exit(1);
+        exit(ExitCode::VerdictFailure);
     }
-    std::process::exit(0);
+    exit(ExitCode::Ok);
 }
 
 // ------------------------------------------------------------------ run --
@@ -1513,7 +1691,11 @@ fn main() {
                  \x20      easeio-sim grid --help\n\
                  \x20      easeio-sim fleet --help"
             );
-            std::process::exit(if e == "help" { 0 } else { 2 });
+            exit(if e == "help" {
+                ExitCode::Ok
+            } else {
+                ExitCode::Usage
+            });
         }
     };
     let sc = &args.sc;
@@ -1523,11 +1705,11 @@ fn main() {
     if let Some(path) = &args.validate {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("error: {path}: {e}");
-            std::process::exit(2)
+            exit(ExitCode::Usage)
         });
         let doc = parse_json(&text).unwrap_or_else(|e| {
             eprintln!("error: {path}: invalid JSON: {e}");
-            std::process::exit(1)
+            exit(ExitCode::Usage)
         });
         match validate_any_report(&doc) {
             Ok(kind) => {
@@ -1543,7 +1725,7 @@ fn main() {
                 for e in &errs {
                     eprintln!("  - {e}");
                 }
-                std::process::exit(1);
+                exit(ExitCode::VerdictFailure);
             }
         }
     }
@@ -1554,7 +1736,7 @@ fn main() {
         };
         let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("error: {path}: {e}");
-            std::process::exit(2)
+            exit(ExitCode::Usage)
         });
         match easec::transform_source(&src) {
             Ok(out) => {
@@ -1563,7 +1745,7 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("error: {path}: {e}");
-                std::process::exit(2);
+                exit(ExitCode::Usage);
             }
         }
     }
@@ -1744,7 +1926,7 @@ fn main() {
             eprintln!("error: aborted on {what}: {e}");
         }
         if r.outcome != Outcome::Completed {
-            std::process::exit(1);
+            exit(ExitCode::VerdictFailure);
         }
         return;
     }

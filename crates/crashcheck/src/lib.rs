@@ -16,6 +16,10 @@
 //! * `Timely` restores never hand out a stale value (`probe_timely_stale`);
 //! * commit pricing matches the distinct dirty control state
 //!   (`probe_commit_overpriced`);
+//! * a rebooted device resumes a coherent task-graph image — an in-flight
+//!   OTA update is always old-or-new, never torn (`probe_version_torn`);
+//!   the update-aware mode ([`SweepPlan::update_window`]) focuses the
+//!   injection set on the stage→flip→activate span for this probe;
 //! * optionally, final application FRAM is byte-identical to the oracle's
 //!   (sound only for apps whose outputs don't depend on sensed time).
 //!
@@ -80,6 +84,14 @@ pub struct SweepPlan {
     /// The schedule is deterministic, so the sweep explores the product
     /// space power-failure boundary x fault schedule reproducibly.
     pub fault: FaultSpec,
+    /// Restrict injection to boundaries inside the app's OTA update window
+    /// (the stage→flip→activate span bracketed by the
+    /// `update_window_enter`/`update_window_exit` marker counters on the
+    /// reference trace). Selection still composes with `mode` and the
+    /// fault schedule; boundaries outside the window are dropped after
+    /// [`select_boundaries`], identically in the serial and parallel
+    /// engines.
+    pub update_window: bool,
 }
 
 impl Default for SweepPlan {
@@ -91,6 +103,7 @@ impl Default for SweepPlan {
             strict_memory: false,
             env_seed: 7,
             fault: FaultSpec::none(),
+            update_window: false,
         }
     }
 }
@@ -134,6 +147,10 @@ pub enum ViolationKind {
     /// The per-cause energy ledgers did not sum to the run's energy totals
     /// — the attribution accounting itself is broken.
     AttributionUnbalanced,
+    /// Recovery found the active task-graph image torn: its header hash no
+    /// longer matched its payload, i.e. the device resumed on a version
+    /// that is neither old nor new.
+    VersionTorn,
 }
 
 impl ViolationKind {
@@ -150,6 +167,7 @@ impl ViolationKind {
             ViolationKind::RetryDuplicatedEffect => "retry_duplicated_effect",
             ViolationKind::DegradedStalenessExceeded => "degraded_staleness_exceeded",
             ViolationKind::AttributionUnbalanced => "attribution_unbalanced",
+            ViolationKind::VersionTorn => "version_torn",
         }
     }
 }
@@ -244,6 +262,8 @@ pub struct RunRecord {
     pub retry_duplicated_effect: u64,
     /// `probe_degraded_staleness_exceeded` counter.
     pub degraded_staleness_exceeded: u64,
+    /// `probe_version_torn` counter.
+    pub version_torn: u64,
     /// Per-cause energy ledger of the run, indexed by
     /// `EnergyCause::index`.
     pub cause_energy_nj: [u64; CAUSE_COUNT],
@@ -288,6 +308,7 @@ pub fn run_from(
         commit_overpriced: r.stats.counter("probe_commit_overpriced"),
         retry_duplicated_effect: r.stats.counter("probe_retry_duplicated_effect"),
         degraded_staleness_exceeded: r.stats.counter("probe_degraded_staleness_exceeded"),
+        version_torn: r.stats.counter("probe_version_torn"),
         cause_energy_nj: r.stats.cause_energy_nj,
         total_energy_nj: r.stats.app_energy_nj + r.stats.overhead_energy_nj,
         waste_nj: r.stats.waste_energy_nj(),
@@ -299,13 +320,21 @@ pub fn run_from(
 /// The [`mcu_emu::RunStats`] counters a [`RunRecord`] exposes, in field
 /// order — the counters a boundary trace must capture per slice so skipped
 /// boundaries' records can be materialized from their representative.
-pub const PROBE_COUNTERS: [&str; 5] = [
+pub const PROBE_COUNTERS: [&str; 6] = [
     "probe_single_redundant",
     "probe_timely_stale",
     "probe_commit_overpriced",
     "probe_retry_duplicated_effect",
     "probe_degraded_staleness_exceeded",
+    "probe_version_torn",
 ];
+
+/// The OTA window marker counters, recorded on the reference trace right
+/// after [`PROBE_COUNTERS`] (slice indices `PROBE_COUNTERS.len()` and
+/// `PROBE_COUNTERS.len() + 1`). Not probes: they never materialize into a
+/// [`RunRecord`]; [`filter_update_window`] reads them to find which
+/// boundaries fall inside the stage→flip→activate span.
+pub const UPDATE_WINDOW_COUNTERS: [&str; 2] = ["update_window_enter", "update_window_exit"];
 
 /// Per-boundary record of one reference run under the sweep's fault plan on
 /// continuous power: which spend call each boundary's slice belongs to,
@@ -338,7 +367,9 @@ pub fn reference_trace(
     env_seed: u64,
     fault: &FaultSpec,
 ) -> BoundaryTrace {
-    mcu.record_boundaries(PROBE_COUNTERS.to_vec());
+    let mut tracked = PROBE_COUNTERS.to_vec();
+    tracked.extend(UPDATE_WINDOW_COUNTERS);
+    mcu.record_boundaries(tracked);
     let _ = run_from(app, kind, mcu, snap, Supply::continuous(), env_seed, fault);
     let (slices, time_observed) = mcu
         .take_boundary_recording()
@@ -347,6 +378,28 @@ pub fn reference_trace(
         slices,
         time_observed,
     }
+}
+
+/// Restricts `chosen` to the boundaries inside the app's OTA update
+/// window, read off the reference trace's marker-counter prefixes: a
+/// boundary is in the window iff, right before its slice, the app had
+/// bumped `update_window_enter` more times than `update_window_exit`. On
+/// the continuous-power reference each marker fires once, so this is
+/// exactly the stage→flip→activate span. Boundaries past the reference
+/// run's last slice never fire their injection and are dropped.
+pub fn filter_update_window(chosen: &[u64], trace: &BoundaryTrace) -> Vec<u64> {
+    let enter = PROBE_COUNTERS.len();
+    let exit = enter + 1;
+    chosen
+        .iter()
+        .copied()
+        .filter(|&b| {
+            trace
+                .slices
+                .get(b as usize)
+                .is_some_and(|s| s.counters[enter] > s.counters[exit])
+        })
+        .collect()
 }
 
 /// Equivalence classes over the chosen boundaries of one sweep.
@@ -457,6 +510,7 @@ pub fn materialize_record(
             rp.counters[4],
             tp.counters[4],
         ),
+        version_torn: shift(rep.version_torn, rp.counters[5], tp.counters[5]),
         cause_energy_nj,
         total_energy_nj: shift(
             rep.total_energy_nj,
@@ -601,6 +655,12 @@ pub fn check_record(
             ),
         );
     }
+    if r.version_torn > 0 {
+        report(
+            ViolationKind::VersionTorn,
+            format!("probe_version_torn = {}", r.version_torn),
+        );
+    }
     if strict_memory && r.fram != oracle_fram {
         let first = r
             .fram
@@ -632,7 +692,18 @@ pub fn sweep(
     // Adopt the oracle's snapshot (full copy once, then page-wise CoW).
     mcu.restore(&oracle.snapshot);
 
-    let chosen = select_boundaries(oracle.boundaries, plan.mode, plan.seed);
+    let mut chosen = select_boundaries(oracle.boundaries, plan.mode, plan.seed);
+    if plan.update_window {
+        let trace = reference_trace(
+            &app,
+            kind,
+            &mut mcu,
+            &oracle.snapshot,
+            plan.env_seed,
+            &plan.fault,
+        );
+        chosen = filter_update_window(&chosen, &trace);
+    }
     let injections = chosen.len() as u64;
     let mut violations = Vec::new();
     let mut boundary_waste_nj = Vec::with_capacity(chosen.len());
@@ -860,6 +931,89 @@ mod tests {
             .all(|v| v.kind != ViolationKind::AttributionUnbalanced));
     }
 
+    /// The tentpole invariant at the crashcheck layer: the update-window
+    /// sweep injects a failure at every boundary of the stage→flip→activate
+    /// span. The two-phase protocol must resume old-or-new everywhere; the
+    /// in-place baseline must be pinned torn (and re-notify its activation).
+    #[test]
+    fn update_window_sweep_separates_two_phase_from_in_place() {
+        use apps::ota_update::{self, OtaUpdateCfg};
+
+        let plan = SweepPlan {
+            update_window: true,
+            strict_memory: true,
+            ..SweepPlan::with_env_seed(5)
+        };
+        for kind in [RuntimeKind::EaseIo, RuntimeKind::Alpaca, RuntimeKind::Ink] {
+            let build = move |m: &mut Mcu| {
+                ota_update::build(
+                    m,
+                    &OtaUpdateCfg {
+                        two_phase: kind.two_phase_update(),
+                        ..OtaUpdateCfg::default()
+                    },
+                )
+                .0
+            };
+            let out = sweep(&build, kind, &plan);
+            assert!(out.injections > 0, "{}: empty update window", kind.name());
+            assert!(
+                out.injections < out.oracle_boundaries,
+                "{}: the window filter must drop boundaries outside the span",
+                kind.name()
+            );
+            assert!(
+                out.is_clean(),
+                "{} resumed a torn or wrong version: {:?}",
+                kind.name(),
+                out.violations
+            );
+        }
+        let naive = sweep(
+            &|m: &mut Mcu| {
+                ota_update::build(
+                    m,
+                    &OtaUpdateCfg {
+                        two_phase: false,
+                        ..OtaUpdateCfg::default()
+                    },
+                )
+                .0
+            },
+            RuntimeKind::Naive,
+            &plan,
+        );
+        assert!(
+            naive
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::VersionTorn),
+            "the in-place rewrite must strand a torn image somewhere: {:?}",
+            naive.violations
+        );
+    }
+
+    /// The window filter composes with the fault-schedule product space:
+    /// a peripheral fault plan shifts boundary numbering, and the filter
+    /// still lands inside the (I/O-free) update window cleanly.
+    #[test]
+    fn update_window_sweep_composes_with_fault_schedules() {
+        use apps::ota_update::{self, OtaUpdateCfg};
+
+        let plan = SweepPlan {
+            update_window: true,
+            fault: FaultSpec::with_rate(3, 80),
+            ..SweepPlan::with_env_seed(5)
+        };
+        let out = sweep(
+            &|m: &mut Mcu| ota_update::build(m, &OtaUpdateCfg::default()).0,
+            RuntimeKind::EaseIo,
+            &plan,
+        );
+        assert!(out.injections > 0);
+        assert!(out.is_clean(), "{:?}", out.violations);
+    }
+
     #[test]
     fn sampling_is_seeded_and_deterministic() {
         let a = select_boundaries(1000, SweepMode::Sample(20), 42);
@@ -883,6 +1037,7 @@ mod tests {
             && a.commit_overpriced == b.commit_overpriced
             && a.retry_duplicated_effect == b.retry_duplicated_effect
             && a.degraded_staleness_exceeded == b.degraded_staleness_exceeded
+            && a.version_torn == b.version_torn
             && a.cause_energy_nj == b.cause_energy_nj
             && a.total_energy_nj == b.total_energy_nj
             && a.waste_nj == b.waste_nj

@@ -19,7 +19,8 @@
 
 use apps::harness::{kernel_builder, KernelBuilder, KernelKind};
 use apps::{
-    dma_app, fir, fir_long, flaky_radio, lea_app, motion, temp_app, unsafe_branch, weather,
+    dma_app, fir, fir_long, flaky_radio, lea_app, motion, ota_update, temp_app, unsafe_branch,
+    weather,
 };
 use kernel::{App, FaultSpec};
 use mcu_emu::{Mcu, Supply, TimerResetConfig};
@@ -38,8 +39,9 @@ pub enum AppSpec {
 }
 
 /// CLI names of the built-in benchmark apps, in canonical report order —
-/// the full EaseIO evaluation matrix plus the packet-loss stressor.
-pub const APP_NAMES: [&str; 10] = [
+/// the full EaseIO evaluation matrix plus the packet-loss and OTA-update
+/// stressors.
+pub const APP_NAMES: [&str; 11] = [
     "dma",
     "temp",
     "lea",
@@ -50,12 +52,18 @@ pub const APP_NAMES: [&str; 10] = [
     "branch",
     "motion",
     "flaky-radio",
+    "ota-update",
 ];
 
 impl AppSpec {
-    /// Builds the app on `mcu`. `exclude` selects the `Exclude`-annotated
-    /// constant-DMA variant where the app has one (the EaseIO/Op pairing).
-    pub fn build(&self, exclude: bool, mcu: &mut Mcu) -> Result<App, String> {
+    /// Builds the app on `mcu` for `kernel`. The kernel decides the
+    /// app-variant pairings: `KernelKind::excludes_const_dma` selects the
+    /// `Exclude`-annotated constant-DMA variant where the app has one (the
+    /// EaseIO/Op pairing), and `KernelKind::two_phase_update` selects the
+    /// OTA app's update protocol (shadow-slot two-phase everywhere except
+    /// the naive in-place baseline).
+    pub fn build(&self, kernel: KernelKind, mcu: &mut Mcu) -> Result<App, String> {
+        let exclude = kernel.excludes_const_dma();
         let name = match self {
             AppSpec::Source(path) => {
                 let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -100,6 +108,16 @@ impl AppSpec {
             "branch" => unsafe_branch::build(mcu, &unsafe_branch::BranchCfg::default()).0,
             "motion" => motion::build(mcu, &motion::MotionCfg::default()).0,
             "flaky-radio" => flaky_radio::build(mcu, &flaky_radio::FlakyRadioCfg::default()).0,
+            "ota-update" => {
+                ota_update::build(
+                    mcu,
+                    &ota_update::OtaUpdateCfg {
+                        two_phase: kernel.two_phase_update(),
+                        ..ota_update::OtaUpdateCfg::default()
+                    },
+                )
+                .0
+            }
             other => return Err(format!("unknown app {other}")),
         })
     }
@@ -108,7 +126,11 @@ impl AppSpec {
     /// sensed environment values reach application state, so byte-exact
     /// comparison against the continuous-power oracle is sound.
     pub fn is_deterministic(&self) -> bool {
-        matches!(self, AppSpec::Named(n) if matches!(n.as_str(), "dma" | "fir" | "fir-long" | "lea"))
+        matches!(
+            self,
+            AppSpec::Named(n)
+                if matches!(n.as_str(), "dma" | "fir" | "fir-long" | "lea" | "ota-update")
+        )
     }
 
     /// Display label: the app name, or the source path.
@@ -212,10 +234,10 @@ impl DeviceSpec {
         kernel_builder(self.kernel).with_faults(self.fault)
     }
 
-    /// Builds the device's app on `mcu`, applying the kernel's
-    /// `Exclude`-variant pairing automatically.
+    /// Builds the device's app on `mcu`, applying the kernel's app-variant
+    /// pairings (constant-DMA exclusion, update protocol) automatically.
     pub fn build_app(&self, mcu: &mut Mcu) -> Result<App, String> {
-        self.app.build(self.kernel.excludes_const_dma(), mcu)
+        self.app.build(self.kernel, mcu)
     }
 }
 
@@ -368,20 +390,22 @@ impl Default for SimConfig {
 #[allow(deprecated)]
 impl SimConfig {
     /// The kernel builder for this config, standard factory installed and
-    /// the fault configuration attached.
+    /// the fault configuration attached. Delegates through the equivalent
+    /// [`ScenarioSpec`] — the shim carries no construction logic of its
+    /// own, so the two surfaces cannot drift apart.
     pub fn kernel_builder(&self) -> KernelBuilder {
-        kernel_builder(self.kernel).with_faults(self.fault)
+        self.clone().into_scenario().kernel_builder()
     }
 
     /// Builds the configured app on `mcu`, applying the kernel's
-    /// `Exclude`-variant pairing automatically.
+    /// app-variant pairings automatically (via [`ScenarioSpec`]).
     pub fn build_app(&self, mcu: &mut Mcu) -> Result<App, String> {
-        self.app.build(self.kernel.excludes_const_dma(), mcu)
+        self.clone().into_scenario().build_app(mcu)
     }
 
-    /// The supply for run `i` of an aggregate (seed advances per run).
+    /// The supply for run `i` of an aggregate (via [`ScenarioSpec`]).
     pub fn supply_for_run(&self, i: u64) -> Supply {
-        self.supply.make(self.seed + i)
+        self.clone().into_scenario().supply_for_run(i)
     }
 
     /// The equivalent 1-device [`ScenarioSpec`] — the migration path.
@@ -420,7 +444,7 @@ mod tests {
         for name in APP_NAMES {
             let spec = AppSpec::Named(name.into());
             let mut mcu = Mcu::new(Supply::continuous());
-            let app = spec.build(false, &mut mcu).expect(name);
+            let app = spec.build(KernelKind::EaseIo, &mut mcu).expect(name);
             assert!(!app.tasks.is_empty(), "{name}");
         }
     }
@@ -432,7 +456,7 @@ mod tests {
             .copied()
             .filter(|n| AppSpec::Named((*n).into()).is_deterministic())
             .collect();
-        assert_eq!(det, ["dma", "lea", "fir", "fir-long"]);
+        assert_eq!(det, ["dma", "lea", "fir", "fir-long", "ota-update"]);
     }
 
     #[test]

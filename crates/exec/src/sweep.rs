@@ -41,9 +41,9 @@
 
 use apps::harness::RuntimeKind;
 use crashcheck::{
-    check_record, classify_boundaries, materialize_record, prepare_oracle, reference_trace,
-    run_from, select_boundaries, BoundaryTrace, PruneClasses, RunRecord, SweepOracle, SweepOutcome,
-    SweepPlan, Violation,
+    check_record, classify_boundaries, filter_update_window, materialize_record, prepare_oracle,
+    reference_trace, run_from, select_boundaries, BoundaryTrace, PruneClasses, RunRecord,
+    SweepOracle, SweepOutcome, SweepPlan, Violation,
 };
 use kernel::App;
 use mcu_emu::{Mcu, Supply, CAUSE_COUNT};
@@ -181,12 +181,12 @@ pub fn sweep_matrix(
         let oracle = prepare_oracle(entry.builder, entry.kind, entry.plan.env_seed);
         let oracle_us = t0.elapsed().as_micros() as u64;
         let t1 = Instant::now();
-        let chosen = select_boundaries(oracle.boundaries, entry.plan.mode, entry.plan.seed);
-        let (trace, classes, exec) = if opts.prune {
+        let mut chosen = select_boundaries(oracle.boundaries, entry.plan.mode, entry.plan.seed);
+        let (trace, classes, exec) = if opts.prune || entry.plan.update_window {
             // The reference run replays the injected runs' shared prefix on
             // continuous power with the recorder on: same fault plan, same
             // env seed — one extra run per entry, amortized over every
-            // boundary it prunes.
+            // boundary it prunes (and reused for the update-window filter).
             let mut mcu = Mcu::new(Supply::continuous());
             let app = (entry.builder)(&mut mcu);
             let trace = reference_trace(
@@ -197,9 +197,18 @@ pub fn sweep_matrix(
                 entry.plan.env_seed,
                 &entry.plan.fault,
             );
-            let classes = classify_boundaries(&chosen, &trace);
-            let exec = classes.reps.clone();
-            (Some(trace), Some(classes), exec)
+            // Same order as the serial sweep: window filter first, then
+            // classification over the surviving boundaries.
+            if entry.plan.update_window {
+                chosen = filter_update_window(&chosen, &trace);
+            }
+            if opts.prune {
+                let classes = classify_boundaries(&chosen, &trace);
+                let exec = classes.reps.clone();
+                (Some(trace), Some(classes), exec)
+            } else {
+                (Some(trace), None, chosen.clone())
+            }
         } else {
             (None, None, chosen.clone())
         };
@@ -515,6 +524,44 @@ mod tests {
                     timing.prune.injections_executed + timing.prune.injections_pruned,
                     serial.injections
                 );
+            }
+        }
+    }
+
+    /// Update-window sweeps must filter the same boundaries in the parallel
+    /// engine as in the serial sweep — pruned or not, at every width.
+    #[test]
+    fn update_window_sweep_matches_serial_at_every_width() {
+        use apps::ota_update;
+        for (kind, fault) in [
+            (RuntimeKind::EaseIo, FaultSpec::none()),
+            (RuntimeKind::Naive, FaultSpec::none()),
+            (RuntimeKind::EaseIo, FaultSpec::with_rate(3, 80)),
+        ] {
+            let build = move |m: &mut Mcu| {
+                ota_update::build(
+                    m,
+                    &ota_update::OtaUpdateCfg {
+                        two_phase: kind.two_phase_update(),
+                        ..Default::default()
+                    },
+                )
+                .0
+            };
+            let plan = SweepPlan {
+                strict_memory: true,
+                update_window: true,
+                fault,
+                ..SweepPlan::with_env_seed(5)
+            };
+            let serial = sweep(&build, kind, &plan);
+            assert!(
+                serial.injections > 0 && serial.injections < serial.oracle_boundaries,
+                "the window filter must keep some boundaries and drop others"
+            );
+            for (jobs, prune) in [(1, false), (4, false), (4, true), (8, true)] {
+                let (parallel, _) = run_sweep(&build, kind, &plan, &SweepOptions { jobs, prune });
+                outcomes_equal(&serial, &parallel);
             }
         }
     }

@@ -28,8 +28,10 @@
 //! costs ~nothing per extra device and 10k+ devices are practical.
 
 pub mod gateway;
+pub mod rollout;
 
 pub use gateway::{reconcile, GatewayStats};
+pub use rollout::{run_rollout, RolloutOutcome, RolloutPolicy};
 
 use easeio_exec::{run_indexed, PoolStats, ScenarioSpec};
 use easeio_trace::agg::percentile;
@@ -227,6 +229,7 @@ impl FleetOutcome {
             },
             energy: self.energy(),
             stragglers: self.stragglers(),
+            rollout: None,
             timing: Some(FleetTimingDoc {
                 jobs: self.pool.jobs as u64,
                 wall_us: self.pool.wall_us,

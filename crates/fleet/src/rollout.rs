@@ -1,0 +1,388 @@
+//! Rolling over-the-air update across the fleet — the gateway side of the
+//! crash-safe update subsystem.
+//!
+//! The gateway pushes a new task-graph image (sequence [`RolloutPolicy::
+//! target_seq`]) to the fleet wave by wave. For each device in an offered
+//! wave it downlinks the image in the same chunks the device stages at
+//! ([`OtaUpdateCfg::chunk_words`]); every chunk is retried through the
+//! scenario's existing retry budget (`1 + max_retries` attempts) against
+//! the shared medium's seeded downlink loss
+//! ([`MediumSpec::downlink_drops`]). A device whose downlink never
+//! completes is a **straggler**: it keeps running on the factory image.
+//! Devices that did receive the image run the two-phase (or, under the
+//! Naive kernel, in-place) update from `apps::ota_update`.
+//!
+//! After each wave the gateway inspects the wave's results. A
+//! **regression** — a received update that did not end completed, correct,
+//! and probe-clean — aborts the rollout when
+//! [`RolloutPolicy::abort_on_regression`] is set: later waves are never
+//! offered the image and stay **stale** on the factory version. This is
+//! what turns the crashcheck-level old-or-new guarantee into a fleet
+//! policy: under EaseIO every offered-and-received device converges on the
+//! target with zero duplicate activations, while the Naive baseline's torn
+//! images trip the abort.
+//!
+//! Determinism mirrors [`run_fleet`](crate::run_fleet): downlink draws are
+//! pure in `(medium seed, device, chunk, attempt)`, device results depend
+//! only on the device index, waves merge in device order — so the rollout
+//! report is byte-identical at any `--jobs` width, and a 1-device
+//! no-loss rollout reproduces the single-device staged update exactly.
+
+use crate::{reconcile, DeviceResult, FleetOutcome};
+use apps::ota_update::{self, OtaUpdateCfg};
+use easeio_exec::{run_indexed, PoolStats, ScenarioSpec};
+use easeio_trace::fleet::{FleetInputs, FleetRolloutDoc};
+use kernel::update::{PROBE_DUPLICATE_ACTIVATION, PROBE_VERSION_TORN};
+use kernel::{run_app, App, ExecConfig, Outcome, Verdict};
+use mcu_emu::{Mcu, McuSnapshot, Supply};
+use periph::{MediumSpec, Peripherals};
+use std::collections::HashMap;
+
+/// How the gateway rolls the update out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutPolicy {
+    /// Sequence number of the image being rolled out (the factory image is
+    /// 1, so a rollout targets at least 2).
+    pub target_seq: u32,
+    /// Devices offered the update per wave.
+    pub wave_size: u32,
+    /// Stop offering the update after a wave shows a regression.
+    pub abort_on_regression: bool,
+}
+
+impl Default for RolloutPolicy {
+    fn default() -> Self {
+        Self {
+            target_seq: 2,
+            wave_size: 32,
+            abort_on_regression: true,
+        }
+    }
+}
+
+/// One complete rollout: the merged fleet outcome (device order) plus the
+/// version-convergence accounting.
+#[derive(Debug, Clone)]
+pub struct RolloutOutcome {
+    /// Per-device results and gateway reconciliation, as in a plain fleet
+    /// run.
+    pub fleet: FleetOutcome,
+    /// The `rollout` report block.
+    pub stats: FleetRolloutDoc,
+}
+
+impl RolloutOutcome {
+    /// The `kind: "fleet"` report inputs with the `rollout` block filled
+    /// in.
+    pub fn report_inputs(&self, spec: &ScenarioSpec) -> FleetInputs {
+        let mut inp = self.fleet.report_inputs(spec);
+        inp.rollout = Some(self.stats.clone());
+        inp
+    }
+}
+
+/// Per-device downlink verdict from the deterministic pre-pass.
+struct Downlink {
+    received: bool,
+    chunks_sent: u64,
+    chunks_lost: u64,
+}
+
+/// Attempts to downlink all `chunks` image chunks to `device`, retrying
+/// each chunk up to the scenario's retry budget. Aborts at the first chunk
+/// that exhausts its attempts — the device keeps whatever partial image it
+/// has in the shadow slot, which the two-phase protocol never activates.
+fn downlink(medium: &MediumSpec, device: u32, chunks: u32, attempts: u32) -> Downlink {
+    let mut d = Downlink {
+        received: true,
+        chunks_sent: 0,
+        chunks_lost: 0,
+    };
+    for chunk in 0..chunks {
+        let mut delivered = false;
+        for attempt in 0..attempts {
+            d.chunks_sent += 1;
+            if medium.downlink_drops(device, chunk, attempt) {
+                d.chunks_lost += 1;
+            } else {
+                delivered = true;
+                break;
+            }
+        }
+        if !delivered {
+            d.received = false;
+            break;
+        }
+    }
+    d
+}
+
+/// Runs a rolling update of `spec`'s fleet to `policy.target_seq`.
+///
+/// The scenario's app is fixed to `ota-update` (two variants: received the
+/// image / did not); the scenario's kernel decides the on-device protocol
+/// via [`kernel::KernelKind::two_phase_update`]. Everything else — supply,
+/// faults, medium, seeds, `jobs` — is the scenario's own.
+pub fn run_rollout(spec: &ScenarioSpec, policy: &RolloutPolicy) -> Result<RolloutOutcome, String> {
+    if spec.count == 0 {
+        return Err("a rollout needs at least 1 device".into());
+    }
+    if policy.wave_size == 0 {
+        return Err("rollout wave_size must be at least 1".into());
+    }
+    if policy.target_seq < 2 {
+        return Err("rollout target_seq must be at least 2 (1 is the factory image)".into());
+    }
+
+    let updated_cfg = OtaUpdateCfg {
+        target_seq: policy.target_seq,
+        two_phase: spec.device.kernel.two_phase_update(),
+        ..OtaUpdateCfg::default()
+    };
+    let stale_cfg = OtaUpdateCfg {
+        target_seq: 1,
+        ..updated_cfg.clone()
+    };
+    // One shared CoW snapshot per app variant, built once on the
+    // coordinator; allocator addresses are deterministic, so every
+    // worker's lazily built template matches its snapshot.
+    let snapshot_of = |cfg: &OtaUpdateCfg| -> McuSnapshot {
+        let mut template = Mcu::new(Supply::continuous());
+        ota_update::build(&mut template, cfg);
+        template.snapshot()
+    };
+    let snaps = [snapshot_of(&stale_cfg), snapshot_of(&updated_cfg)];
+    let chunks = updated_cfg
+        .payload_words
+        .div_ceil(updated_cfg.chunk_words.max(1));
+    let cfgs = [stale_cfg, updated_cfg];
+    let attempts = 1 + spec.device.fault.retry.max_retries;
+    let waves = spec.count.div_ceil(policy.wave_size);
+
+    let mut stats = FleetRolloutDoc {
+        target_seq: policy.target_seq as u64,
+        wave_size: policy.wave_size as u64,
+        waves: waves as u64,
+        ..FleetRolloutDoc::default()
+    };
+    let mut results: Vec<DeviceResult> = Vec::with_capacity(spec.count as usize);
+    let mut pool_total: Option<PoolStats> = None;
+    let mut aborted = false;
+
+    for wave in 0..waves {
+        let first = wave * policy.wave_size;
+        let last = (first + policy.wave_size).min(spec.count);
+        let offered = !aborted;
+        if offered {
+            stats.waves_rolled_out += 1;
+        }
+
+        // Deterministic gateway-side pre-pass: who gets the full image.
+        let items: Vec<(u32, bool)> = (first..last)
+            .map(|device| {
+                if !offered {
+                    stats.stale += 1;
+                    return (device, false);
+                }
+                stats.offered += 1;
+                let d = downlink(&spec.medium, device, chunks, attempts);
+                stats.downlink_chunks_sent += d.chunks_sent;
+                stats.downlink_chunks_lost += d.chunks_lost;
+                if !d.received {
+                    stats.stragglers += 1;
+                }
+                (device, d.received)
+            })
+            .collect();
+
+        // Device phase: same restore discipline as `run_fleet`, with the
+        // worker cache keyed by app variant.
+        let (wave_results, pool) = run_indexed(
+            spec.jobs,
+            &items,
+            HashMap::<bool, (Mcu, App)>::new,
+            |cache, _, &(device, received)| {
+                let (mcu, app) = cache.entry(received).or_insert_with(|| {
+                    let mut mcu = Mcu::new(Supply::continuous());
+                    let (app, _) = ota_update::build(&mut mcu, &cfgs[received as usize]);
+                    (mcu, app)
+                });
+                mcu.restore(&snaps[received as usize]);
+                mcu.supply = spec.supply_for_device(device);
+                let mut periph = Peripherals::new(spec.device_seed(device));
+                let fault = spec.fault_for_device(device);
+                fault.apply(&mut periph);
+                let mut rt = spec.kernel_builder().with_faults(fault).build();
+                let cfg = ExecConfig {
+                    retry: fault.retry,
+                    ..ExecConfig::default()
+                };
+                let r = run_app(app, rt.as_mut(), mcu, &mut periph, &cfg);
+                DeviceResult {
+                    device,
+                    seed: spec.device_seed(device),
+                    outcome: r.outcome,
+                    verdict: r.verdict,
+                    wall_us: r.wall_us,
+                    on_us: r.on_us,
+                    stats: r.stats,
+                    packets: periph.radio.packets().to_vec(),
+                }
+            },
+        );
+        merge_pool(&mut pool_total, pool, first as usize);
+
+        // Gateway-side wave review: any received update that did not land
+        // completed, correct, and probe-clean is a regression.
+        let regressed = wave_results.iter().zip(&items).any(|(r, &(_, received))| {
+            received
+                && (r.outcome != Outcome::Completed
+                    || r.verdict != Some(Verdict::Correct)
+                    || r.stats.counter(PROBE_VERSION_TORN) > 0
+                    || r.stats.counter(PROBE_DUPLICATE_ACTIVATION) > 0)
+        });
+        for (r, &(_, received)) in wave_results.iter().zip(&items) {
+            stats.duplicate_activations += r.stats.counter(PROBE_DUPLICATE_ACTIVATION);
+            stats.version_torn += r.stats.counter(PROBE_VERSION_TORN);
+            if received {
+                let ok = r.outcome == Outcome::Completed && r.verdict == Some(Verdict::Correct);
+                if ok {
+                    stats.updated += 1;
+                } else {
+                    stats.update_failed += 1;
+                }
+            }
+        }
+        results.extend(wave_results);
+        if offered && policy.abort_on_regression && regressed {
+            aborted = true;
+        }
+    }
+    stats.aborted = aborted;
+
+    let gateway = reconcile(&results, &spec.medium);
+    Ok(RolloutOutcome {
+        fleet: FleetOutcome {
+            results,
+            gateway,
+            pool: pool_total.expect("at least one wave ran"),
+        },
+        stats,
+    })
+}
+
+/// Folds one wave's pool record into the running total: wall-clock sums,
+/// per-worker tallies sum elementwise, and item indices shift by the
+/// wave's first device so they index the whole fleet.
+fn merge_pool(total: &mut Option<PoolStats>, wave: PoolStats, base: usize) {
+    let Some(t) = total else {
+        let mut wave = wave;
+        for indices in &mut wave.indices_per_worker {
+            for i in indices {
+                *i += base;
+            }
+        }
+        *total = Some(wave);
+        return;
+    };
+    t.jobs = t.jobs.max(wave.jobs);
+    t.wall_us += wave.wall_us;
+    let widen = |v: &mut Vec<u64>, n: usize| v.resize(v.len().max(n), 0);
+    widen(&mut t.items_per_worker, wave.items_per_worker.len());
+    widen(&mut t.busy_us_per_worker, wave.busy_us_per_worker.len());
+    t.indices_per_worker.resize(
+        t.indices_per_worker
+            .len()
+            .max(wave.indices_per_worker.len()),
+        Vec::new(),
+    );
+    for (w, n) in wave.items_per_worker.iter().enumerate() {
+        t.items_per_worker[w] += n;
+    }
+    for (w, n) in wave.busy_us_per_worker.iter().enumerate() {
+        t.busy_us_per_worker[w] += n;
+    }
+    for (w, indices) in wave.indices_per_worker.iter().enumerate() {
+        t.indices_per_worker[w].extend(indices.iter().map(|i| i + base));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easeio_exec::{AppSpec, DeviceSpec};
+    use kernel::KernelKind;
+
+    fn rollout_spec(count: u32, kernel: KernelKind) -> ScenarioSpec {
+        ScenarioSpec {
+            device: DeviceSpec {
+                app: AppSpec::Named("ota-update".into()),
+                kernel,
+                ..DeviceSpec::default()
+            },
+            count,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn easeio_rollout_converges_with_zero_duplicates() {
+        let spec = rollout_spec(24, KernelKind::EaseIo);
+        let policy = RolloutPolicy {
+            wave_size: 7,
+            ..RolloutPolicy::default()
+        };
+        let r = run_rollout(&spec, &policy).unwrap();
+        let s = &r.stats;
+        assert_eq!(s.waves, 4);
+        assert_eq!(s.waves_rolled_out, 4);
+        assert!(!s.aborted);
+        assert_eq!(s.updated, 24);
+        assert_eq!(s.update_failed + s.stragglers + s.stale, 0);
+        assert_eq!(s.duplicate_activations, 0);
+        assert_eq!(s.version_torn, 0);
+        assert_eq!(r.fleet.results.len(), 24);
+        // Device order is the merge order regardless of wave boundaries.
+        for (i, d) in r.fleet.results.iter().enumerate() {
+            assert_eq!(d.device, i as u32);
+        }
+    }
+
+    #[test]
+    fn lossy_downlinks_leave_stragglers_on_the_factory_image() {
+        let mut spec = rollout_spec(32, KernelKind::EaseIo);
+        spec.medium = MediumSpec::lossy(9, 400);
+        let r = run_rollout(&spec, &RolloutPolicy::default()).unwrap();
+        let s = &r.stats;
+        assert!(s.stragglers > 0, "40% chunk loss must strand someone");
+        assert!(s.updated > 0, "retries must get someone through");
+        assert_eq!(s.updated + s.update_failed + s.stragglers + s.stale, 32);
+        assert!(s.downlink_chunks_lost > 0);
+        assert!(s.downlink_chunks_sent > s.downlink_chunks_lost);
+        // Stragglers still finish their work loop, just on version 1.
+        assert!(!s.aborted, "channel loss is not a regression");
+        assert_eq!(s.updated + s.stragglers, 32);
+    }
+
+    #[test]
+    fn degenerate_policies_are_rejected() {
+        let spec = rollout_spec(4, KernelKind::EaseIo);
+        for policy in [
+            RolloutPolicy {
+                wave_size: 0,
+                ..RolloutPolicy::default()
+            },
+            RolloutPolicy {
+                target_seq: 1,
+                ..RolloutPolicy::default()
+            },
+        ] {
+            assert!(run_rollout(&spec, &policy).is_err());
+        }
+        assert!(run_rollout(
+            &rollout_spec(0, KernelKind::EaseIo),
+            &RolloutPolicy::default()
+        )
+        .is_err());
+    }
+}

@@ -79,6 +79,15 @@ impl KernelKind {
         self == KernelKind::EaseIoOp
     }
 
+    /// Whether OTA-capable apps should apply updates through the two-phase
+    /// shadow-slot protocol ([`crate::update::UpdateStore`]). Only the
+    /// naive kernel models a protocol-free device that rewrites its live
+    /// image in place — the didactic lower bound the `version_torn` sweep
+    /// pins as unsafe.
+    pub fn two_phase_update(self) -> bool {
+        self != KernelKind::Naive
+    }
+
     /// The three runtimes the paper's figures compare.
     pub const PAPER_SET: [KernelKind; 3] =
         [KernelKind::Alpaca, KernelKind::Ink, KernelKind::EaseIo];

@@ -33,6 +33,7 @@ pub mod retry;
 pub mod runtime;
 pub mod semantics;
 pub mod task;
+pub mod update;
 
 pub use builder::{KernelBuilder, KernelFactory, KernelKind};
 pub use ctx::TaskCtx;
@@ -43,3 +44,4 @@ pub use retry::{FaultSpec, RetryPolicy};
 pub use runtime::{DmaOutcome, IoOutcome, Runtime};
 pub use semantics::{DmaAnnotation, ReexecSemantics, TaskId};
 pub use task::{App, Inventory, TaskDef, TaskResult, Transition, Verdict};
+pub use update::{graph_hash, TaskGraphVersion, UpdateStore};

@@ -30,7 +30,7 @@ pub enum WorkKind {
 }
 
 /// Number of [`EnergyCause`] categories.
-pub const CAUSE_COUNT: usize = 7;
+pub const CAUSE_COUNT: usize = 8;
 
 /// Task index used for spends not attributable to any application task
 /// (boot, inter-task scheduling, machine construction).
@@ -68,6 +68,10 @@ pub enum EnergyCause {
     /// Residual runtime bookkeeping: boot sequences, timestamp reads, and
     /// overhead not covered by a more specific category.
     RuntimeMisc,
+    /// Over-the-air update machinery: staging a new task-graph image into
+    /// the shadow FRAM slot, sealing its header, and flipping the commit
+    /// word. Structural cost of evolving the firmware, not waste.
+    UpdateStage,
 }
 
 impl EnergyCause {
@@ -80,6 +84,7 @@ impl EnergyCause {
         EnergyCause::Retry,
         EnergyCause::DmaPriv,
         EnergyCause::RuntimeMisc,
+        EnergyCause::UpdateStage,
     ];
 
     /// Index into the per-cause ledgers.
@@ -92,6 +97,7 @@ impl EnergyCause {
             EnergyCause::Retry => 4,
             EnergyCause::DmaPriv => 5,
             EnergyCause::RuntimeMisc => 6,
+            EnergyCause::UpdateStage => 7,
         }
     }
 
@@ -105,6 +111,7 @@ impl EnergyCause {
             EnergyCause::Retry => "retry",
             EnergyCause::DmaPriv => "dma_priv",
             EnergyCause::RuntimeMisc => "runtime_misc",
+            EnergyCause::UpdateStage => "update_stage",
         }
     }
 

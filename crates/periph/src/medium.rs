@@ -77,6 +77,22 @@ impl MediumSpec {
         ((draw % 1000) as u32) < self.loss_permille
     }
 
+    /// Whether the gateway's downlink of update `chunk` to `device` is
+    /// lost on delivery `attempt` (0-based; retries re-draw). Pure in
+    /// `(seed, device, chunk, attempt)` and drawn from a distinct stream
+    /// than the uplink [`drops`](Self::drops), so rollout loss never
+    /// correlates with telemetry loss at the same seed.
+    pub fn downlink_drops(&self, device: u32, chunk: u32, attempt: u32) -> bool {
+        if self.loss_permille == 0 {
+            return false;
+        }
+        // Stream tag keeps downlink draws disjoint from uplink draws.
+        const DOWNLINK_STREAM: u64 = 0xD04E_E75A_11C3_8F2D;
+        let key = ((device as u64) << 40) | ((chunk as u64) << 8) | attempt as u64;
+        let draw = splitmix64(self.seed ^ DOWNLINK_STREAM ^ splitmix64(key));
+        ((draw % 1000) as u32) < self.loss_permille
+    }
+
     /// Stable human-readable label for tables and reports.
     pub fn label(&self) -> String {
         format!(
@@ -147,6 +163,27 @@ mod tests {
     fn zero_loss_never_drops() {
         let m = MediumSpec::ideal();
         assert!((0..1000u32).all(|i| !m.drops(i, i)));
+    }
+
+    #[test]
+    fn downlink_draws_are_pure_calibrated_and_decorrelated_from_uplink() {
+        let m = MediumSpec::lossy(7, 250);
+        for d in 0..4u32 {
+            for c in 0..4u32 {
+                for a in 0..4u32 {
+                    assert_eq!(m.downlink_drops(d, c, a), m.downlink_drops(d, c, a));
+                }
+            }
+        }
+        let lost = (0..4000u32)
+            .filter(|&i| m.downlink_drops(i / 100, (i / 10) % 10, i % 10))
+            .count();
+        assert!((800..1200).contains(&lost), "lost {lost} of 4000");
+        // Distinct stream: the downlink draw at (device, index, 0) must not
+        // mirror the uplink draw at (device, index).
+        let mirrored = (0..256u32).all(|i| m.downlink_drops(0, i, 0) == m.drops(0, i));
+        assert!(!mirrored);
+        assert!((0..1000u32).all(|i| !MediumSpec::ideal().downlink_drops(i, 0, 0)));
     }
 
     #[test]

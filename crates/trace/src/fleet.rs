@@ -106,6 +106,51 @@ pub struct FleetStragglerDoc {
     pub max_wall_us: u64,
 }
 
+/// Version-convergence accounting of a rolling over-the-air update.
+/// Result data, not measurement: part of the report identity, so rollout
+/// reports must be byte-identical at any `--jobs` width.
+///
+/// The device buckets partition the fleet:
+/// `updated + update_failed + stragglers + stale == devices`, and
+/// `offered == updated + update_failed + stragglers`. The rendered
+/// `versions` object maps each image sequence number to the devices that
+/// converged on it (`update_failed` devices — torn or otherwise incorrect
+/// — are on no coherent version and appear in no bucket). Under EaseIO the
+/// crash-safe two-phase commit pins `duplicate_activations` and
+/// `version_torn` to zero; the Naive in-place baseline does not.
+#[derive(Debug, Clone, Default)]
+pub struct FleetRolloutDoc {
+    /// Sequence number of the image being rolled out.
+    pub target_seq: u64,
+    /// Devices per rollout wave.
+    pub wave_size: u64,
+    /// Total waves the fleet partitions into.
+    pub waves: u64,
+    /// Waves actually offered the update (fewer than `waves` after abort).
+    pub waves_rolled_out: u64,
+    /// Whether the rollout stopped early on a wave regression.
+    pub aborted: bool,
+    /// Devices the gateway attempted a downlink to.
+    pub offered: u64,
+    /// Offered devices that completed correctly on the target version.
+    pub updated: u64,
+    /// Offered devices that received the image but did not end correct.
+    pub update_failed: u64,
+    /// Offered devices whose downlink never completed — still on the old
+    /// version.
+    pub stragglers: u64,
+    /// Devices never offered the update (waves after an abort).
+    pub stale: u64,
+    /// Downlink chunk transmissions, retries included.
+    pub downlink_chunks_sent: u64,
+    /// Downlink chunk transmissions lost to the channel.
+    pub downlink_chunks_lost: u64,
+    /// Activation notifications recorded beyond the first, fleet-wide.
+    pub duplicate_activations: u64,
+    /// Torn-image recoveries observed by devices, fleet-wide.
+    pub version_torn: u64,
+}
+
 /// Host-side timing of a fleet run. Measurement, not result: stripped by
 /// [`identity_document`](crate::envelope::identity_document) before the
 /// `--jobs` byte-identity comparison.
@@ -148,6 +193,8 @@ pub struct FleetInputs {
     pub energy: FleetEnergyDoc,
     /// Straggler percentiles.
     pub stragglers: FleetStragglerDoc,
+    /// Rolling-update convergence (present when the fleet ran a rollout).
+    pub rollout: Option<FleetRolloutDoc>,
     /// Host timing (present when run through the parallel engine).
     pub timing: Option<FleetTimingDoc>,
 }
@@ -264,6 +311,43 @@ fn fleet_body(inp: &FleetInputs) -> Value {
             ("max_wall_us".into(), Value::u64(s.max_wall_us)),
         ]),
     ));
+    if let Some(r) = &inp.rollout {
+        fields.push((
+            "rollout".into(),
+            Value::Obj(vec![
+                ("target_seq".into(), Value::u64(r.target_seq)),
+                ("wave_size".into(), Value::u64(r.wave_size)),
+                ("waves".into(), Value::u64(r.waves)),
+                ("waves_rolled_out".into(), Value::u64(r.waves_rolled_out)),
+                ("aborted".into(), Value::Bool(r.aborted)),
+                ("offered".into(), Value::u64(r.offered)),
+                ("updated".into(), Value::u64(r.updated)),
+                ("update_failed".into(), Value::u64(r.update_failed)),
+                ("stragglers".into(), Value::u64(r.stragglers)),
+                ("stale".into(), Value::u64(r.stale)),
+                (
+                    "downlink_chunks_sent".into(),
+                    Value::u64(r.downlink_chunks_sent),
+                ),
+                (
+                    "downlink_chunks_lost".into(),
+                    Value::u64(r.downlink_chunks_lost),
+                ),
+                (
+                    "duplicate_activations".into(),
+                    Value::u64(r.duplicate_activations),
+                ),
+                ("version_torn".into(), Value::u64(r.version_torn)),
+                (
+                    "versions".into(),
+                    Value::Obj(vec![
+                        ("1".into(), Value::u64(r.stragglers + r.stale)),
+                        (r.target_seq.to_string(), Value::u64(r.updated)),
+                    ]),
+                ),
+            ]),
+        ));
+    }
     if let Some(t) = &inp.timing {
         fields.push((
             "timing".into(),
@@ -511,6 +595,89 @@ fn validate_fleet_body(v: &Value) -> Vec<String> {
         }
     }
 
+    if let Some(r) = v.get("rollout") {
+        let get = |k: &str| r.get(k).and_then(Value::as_u64);
+        let keys = [
+            "target_seq",
+            "wave_size",
+            "waves",
+            "waves_rolled_out",
+            "offered",
+            "updated",
+            "update_failed",
+            "stragglers",
+            "stale",
+            "downlink_chunks_sent",
+            "downlink_chunks_lost",
+            "duplicate_activations",
+            "version_torn",
+        ];
+        if r.get("aborted").and_then(Value::as_bool).is_none() {
+            errs.push("'rollout.aborted' must be a boolean".into());
+        }
+        if keys.iter().any(|k| get(k).is_none()) {
+            errs.push("'rollout' must carry thirteen unsigned-integer counts".into());
+        } else {
+            let target = get("target_seq").unwrap();
+            if target < 2 {
+                errs.push("'rollout.target_seq' must be at least 2".into());
+            }
+            let updated = get("updated").unwrap();
+            let failed = get("update_failed").unwrap();
+            let stragglers = get("stragglers").unwrap();
+            let stale = get("stale").unwrap();
+            let by_bucket = updated + failed + stragglers + stale;
+            if by_bucket != devices {
+                errs.push(format!(
+                    "'rollout': updated + update_failed + stragglers + stale \
+                     is {by_bucket} but 'devices' is {devices} (buckets must \
+                     partition the fleet)"
+                ));
+            }
+            if get("offered").unwrap() != updated + failed + stragglers {
+                errs.push(
+                    "'rollout': offered must equal updated + update_failed + \
+                     stragglers"
+                        .into(),
+                );
+            }
+            if get("waves_rolled_out").unwrap() > get("waves").unwrap() {
+                errs.push("'rollout.waves_rolled_out' exceeds 'rollout.waves'".into());
+            }
+            if get("downlink_chunks_lost").unwrap() > get("downlink_chunks_sent").unwrap() {
+                errs.push(
+                    "'rollout.downlink_chunks_lost' exceeds \
+                     'rollout.downlink_chunks_sent'"
+                        .into(),
+                );
+            }
+            match r.get("versions").and_then(Value::as_obj) {
+                None => errs.push("'rollout.versions' must be an object".into()),
+                Some(cells) => {
+                    let lookup = |k: &str| {
+                        cells
+                            .iter()
+                            .find(|(key, _)| key == k)
+                            .and_then(|(_, n)| n.as_u64())
+                    };
+                    if lookup("1") != Some(stragglers + stale) {
+                        errs.push(
+                            "'rollout.versions' must count stragglers + stale \
+                             devices on version 1"
+                                .into(),
+                        );
+                    }
+                    if lookup(&target.to_string()) != Some(updated) {
+                        errs.push(format!(
+                            "'rollout.versions' must count updated devices on \
+                             version {target}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
     if let Some(t) = v.get("timing") {
         for k in ["jobs", "wall_us"] {
             if t.get(k).and_then(Value::as_u64).is_none() {
@@ -569,7 +736,7 @@ mod tests {
             energy: FleetEnergyDoc {
                 total_time_us: 100,
                 total_energy_nj: 28,
-                cause_energy_nj: [10, 5, 0, 6, 0, 3, 4],
+                cause_energy_nj: [10, 5, 0, 6, 0, 3, 4, 0],
             },
             stragglers: FleetStragglerDoc {
                 p50_wall_us: 900,
@@ -577,7 +744,27 @@ mod tests {
                 p99_wall_us: 1_500,
                 max_wall_us: 1_501,
             },
+            rollout: None,
             timing: None,
+        }
+    }
+
+    fn rollout_doc() -> FleetRolloutDoc {
+        FleetRolloutDoc {
+            target_seq: 2,
+            wave_size: 2,
+            waves: 2,
+            waves_rolled_out: 2,
+            aborted: false,
+            offered: 4,
+            updated: 3,
+            update_failed: 0,
+            stragglers: 1,
+            stale: 0,
+            downlink_chunks_sent: 14,
+            downlink_chunks_lost: 4,
+            duplicate_activations: 0,
+            version_torn: 0,
         }
     }
 
@@ -651,6 +838,42 @@ mod tests {
             errs.iter().any(|e| e.contains("attribution invariant")),
             "{errs:?}"
         );
+    }
+
+    #[test]
+    fn rollout_block_round_trips_and_enforces_the_partition() {
+        let mut inp = inputs();
+        inp.rollout = Some(rollout_doc());
+        let doc = build_fleet_report(&inp);
+        validate_fleet_report(&doc).unwrap();
+        let parsed = parse(&doc.to_pretty()).unwrap();
+        let versions = parsed
+            .get("report")
+            .and_then(|b| b.get("rollout"))
+            .and_then(|r| r.get("versions"))
+            .cloned()
+            .unwrap();
+        assert_eq!(versions.get("1").and_then(Value::as_u64), Some(1));
+        assert_eq!(versions.get("2").and_then(Value::as_u64), Some(3));
+
+        // A device bucket that does not partition the fleet is rejected.
+        let mut bad = inputs();
+        bad.rollout = Some(FleetRolloutDoc {
+            updated: 4, // 4 + 0 + 1 + 0 != 4 devices
+            ..rollout_doc()
+        });
+        let errs = validate_fleet_report(&build_fleet_report(&bad)).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("partition the fleet")),
+            "{errs:?}"
+        );
+
+        // Rollout numbers are identity: a --jobs comparison must see them.
+        let stripped = identity_document(&doc);
+        assert!(stripped
+            .get("report")
+            .and_then(|b| b.get("rollout"))
+            .is_some());
     }
 
     #[test]

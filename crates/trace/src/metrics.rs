@@ -2,7 +2,8 @@
 //!
 //! The MCU substrate attributes each unit of spent energy to one cause
 //! category (forward progress, re-executed compute, redundant I/O, commit
-//! overhead, retry backoff, DMA privatization, runtime misc). This module
+//! overhead, retry backoff, DMA privatization, runtime misc, OTA update
+//! staging). This module
 //! is the report layer over that ledger: a versioned `kind: "metrics"`
 //! document under the shared [`Report`] envelope,
 //! one entry per runtime × app, each carrying the full per-category
@@ -25,7 +26,7 @@ use crate::envelope::{Report, ReportBody};
 use crate::json::Value;
 
 /// Number of attribution categories.
-pub const CATEGORY_COUNT: usize = 7;
+pub const CATEGORY_COUNT: usize = 8;
 
 /// Category names, in ledger order. Must match `EnergyCause::ALL` in
 /// `mcu-emu` (index-for-index); documents carry the list so readers never
@@ -38,6 +39,7 @@ pub const CATEGORY_NAMES: [&str; CATEGORY_COUNT] = [
     "retry",
     "dma_priv",
     "runtime_misc",
+    "update_stage",
 ];
 
 /// The subset of [`CATEGORY_NAMES`] counted as waste: energy a
@@ -660,8 +662,8 @@ mod tests {
         MetricsInputs {
             seed: 7,
             entries: vec![
-                entry("easeio", "dma", [100, 10, 4, 20, 2, 8, 6]),
-                entry("naive", "dma", [100, 40, 30, 0, 2, 0, 6]),
+                entry("easeio", "dma", [100, 10, 4, 20, 2, 8, 6, 0]),
+                entry("naive", "dma", [100, 40, 30, 0, 2, 0, 6, 0]),
             ],
             skipped: Vec::new(),
         }

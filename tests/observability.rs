@@ -240,16 +240,16 @@ fn sample_metrics_inputs() -> MetricsInputs {
                 reboots: 3,
                 total_time_us: 90,
                 total_energy_nj: 900,
-                cause_time_us: [50, 20, 12, 6, 0, 0, 2],
-                cause_energy_nj: [500, 200, 120, 60, 0, 0, 20],
+                cause_time_us: [50, 20, 12, 6, 0, 0, 2, 0],
+                cause_energy_nj: [500, 200, 120, 60, 0, 0, 20, 0],
                 tasks: vec![
                     TaskWasteRow {
                         task: 0,
-                        energy_nj: [300, 200, 120, 30, 0, 0, 0],
+                        energy_nj: [300, 200, 120, 30, 0, 0, 0, 0],
                     },
                     TaskWasteRow {
                         task: KERNEL_TASK,
-                        energy_nj: [200, 0, 0, 30, 0, 0, 20],
+                        energy_nj: [200, 0, 0, 30, 0, 0, 20, 0],
                     },
                 ],
                 redundant_sites: vec![
@@ -273,16 +273,16 @@ fn sample_metrics_inputs() -> MetricsInputs {
                 reboots: 3,
                 total_time_us: 86,
                 total_energy_nj: 860,
-                cause_time_us: [70, 4, 0, 8, 0, 3, 1],
-                cause_energy_nj: [700, 40, 0, 80, 0, 30, 10],
+                cause_time_us: [70, 4, 0, 8, 0, 3, 1, 0],
+                cause_energy_nj: [700, 40, 0, 80, 0, 30, 10, 0],
                 tasks: vec![
                     TaskWasteRow {
                         task: 0,
-                        energy_nj: [700, 40, 0, 0, 0, 0, 0],
+                        energy_nj: [700, 40, 0, 0, 0, 0, 0, 0],
                     },
                     TaskWasteRow {
                         task: KERNEL_TASK,
-                        energy_nj: [0, 0, 0, 80, 0, 30, 10],
+                        energy_nj: [0, 0, 0, 80, 0, 30, 10, 0],
                     },
                 ],
                 redundant_sites: vec![],
@@ -397,7 +397,7 @@ fn sample_fleet_inputs() -> FleetInputs {
         energy: FleetEnergyDoc {
             total_time_us: 800,
             total_energy_nj: 140,
-            cause_energy_nj: [80, 20, 0, 24, 0, 6, 10],
+            cause_energy_nj: [80, 20, 0, 24, 0, 6, 10, 0],
         },
         stragglers: FleetStragglerDoc {
             p50_wall_us: 9_000,
@@ -405,6 +405,7 @@ fn sample_fleet_inputs() -> FleetInputs {
             p99_wall_us: 15_000,
             max_wall_us: 15_100,
         },
+        rollout: None,
         timing: None,
     }
 }
