@@ -31,8 +31,12 @@
 //! ```
 //!
 //! Every file-writing flag ends in `-out` (`--trace-out`, `--report-out`,
-//! `--metrics-out`, `--flame-out`, `--bench-out`, `--utilization-out`);
-//! see the README table.
+//! `--metrics-out`, `--flame-out`, `--bench-out`, `--utilization-out`,
+//! `--stream-out`, `--progress-out`, `--forensics-out`); see the README
+//! table. The long-running modes (`sweep`, `fleet`, `fleet --rollout`)
+//! also take `--progress` (heartbeat lines on stderr about once a
+//! second) and `--progress-out <path>` (the same samples as JSONL);
+//! both are pure observation and never affect report identity.
 //!
 //! Run mode (no subcommand) adds `--trace` (print the timeline),
 //! `--validate-report <path>` (schema-check any report — run, sweep,
@@ -49,6 +53,8 @@
 //! Usage: easeio-sim sweep [COMMON OPTIONS] [OPTIONS]
 //!   --exhaustive             inject at every boundary          (default)
 //!   --sample <N>             inject at N seeded-random boundaries
+//!   --boundary <N>           inject only at boundary N — the single-shot
+//!                            replay form forensics repro commands use
 //!   --off-us <us>            outage length per injection       (default 100000)
 //!   --strict-memory          force byte-exact FRAM compare (auto for
 //!                            deterministic apps: dma, fir, lea, ota-update)
@@ -64,6 +70,9 @@
 //!   --utilization-out <path> write per-worker busy-time/injection counts
 //!   --allow-violations       exit 0 even if violations are found
 //!   --expect-violations      exit 1 only if NO violation is found
+//!   --forensics-out <path>   write a self-contained bundle for the first
+//!                            violation: boundary/fault coordinates, FRAM
+//!                            diff vs the oracle, verbatim repro command
 //! ```
 //!
 //! Subcommand `grid` fans a kernel × supply-point experiment matrix (the
@@ -89,6 +98,11 @@
 //!   --medium-seed <u64>      loss-draw seed          (default: the run seed)
 //!   --airtime-base-us <us>   per-packet airtime floor          (default 32)
 //!   --airtime-word-us <us>   airtime per payload word          (default 4)
+//!   --stream-out <path>      stream per-device JSONL records as devices
+//!                            complete (memory-flat; device-ordered and
+//!                            byte-identical at any --jobs width)
+//!   --forensics-out <path>   bundle for the first air-duplicate (plain
+//!                            fleet) or update-safety violation (--rollout)
 //!   --allow-duplicates       exit 0 even if duplicates hit the air
 //!   --expect-duplicates      exit 1 unless duplicates hit the air (the
 //!                            Naive-baseline pin)
@@ -107,19 +121,24 @@
 //! incomplete run), 2 = usage error or malformed input.
 
 use apps::harness::{golden, measure_footprint, run_once_faulted, run_traced_faulted, RuntimeKind};
-use crashcheck::{SweepMode, SweepOutcome, SweepPlan};
+use crashcheck::{boundary_forensics, SweepMode, SweepOutcome, SweepPlan};
 use easeio_exec::{
-    run_grid, sweep_matrix, AppSpec, DeviceSpec, GridSpec, ScenarioSpec, SupplySpec, SweepEntry,
-    SweepOptions, APP_NAMES,
+    run_grid, sweep_matrix, sweep_matrix_observed, AppSpec, DeviceSpec, GridSpec, ScenarioSpec,
+    SupplySpec, SweepEntry, SweepOptions, APP_NAMES,
 };
-use easeio_fleet::{run_fleet, run_rollout, RolloutPolicy};
+use easeio_fleet::{
+    find_air_duplicate, run_fleet_observed, run_fleet_streamed, run_rollout_observed,
+    run_rollout_streamed, RolloutPolicy,
+};
 use easeio_trace::{
-    build_fleet_report, build_metrics_report, build_profile, build_report, build_sweep_report,
-    chrome_trace_with_counters, compare_metrics, flamegraph, jsonl, parse_json,
-    validate_any_report, validate_fleet_report, validate_metrics_report, CounterTrack, Event,
-    EventKind, FaultSpecDoc, InstantKind, MetricsEntry, MetricsInputs, ReportInputs, SiteWasteRow,
-    SkippedApp, SpanKind, SweepInputs, SweepPruneDoc, SweepTimingDoc, SweepViolation,
-    SweepWasteDoc, TaskWasteRow, Value, CATEGORY_NAMES,
+    build_fleet_report, build_forensics_report, build_metrics_report, build_profile, build_report,
+    build_sweep_report, chrome_trace_with_counters, compare_metrics, flamegraph, flush_registered,
+    jsonl, parse_json, validate_any_report, validate_fleet_report, validate_forensics_report,
+    validate_metrics_report, CounterTrack, Event, EventKind, FaultSpecDoc, ForensicsInputs,
+    ForensicsViolationDoc, FramDiffByte, FramDiffDoc, InstantKind, JsonlWriter, MetricsEntry,
+    MetricsInputs, Progress, ReportInputs, SiteWasteRow, SkippedApp, SpanKind, SweepInputs,
+    SweepPruneDoc, SweepTimingDoc, SweepViolation, SweepWasteDoc, TaskWasteRow, Value,
+    CATEGORY_NAMES,
 };
 use kernel::{App, Fault, FaultSpec, Outcome, Verdict};
 use mcu_emu::{CauseSample, Mcu, RunStats, Supply, DMA_SITE_BASE};
@@ -360,6 +379,9 @@ enum ExitCode {
 }
 
 fn exit(code: ExitCode) -> ! {
+    // Drain every registered JSONL sink first: a nonzero exit must not
+    // truncate a buffered stream/progress tail (ISSUE 10 satellite).
+    flush_registered();
     std::process::exit(code as i32)
 }
 
@@ -373,6 +395,118 @@ fn write_or_die(path: &str, contents: &str, what: &str) {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     exit(ExitCode::Usage)
+}
+
+/// The CLI side of the live progress channel: owns the shared [`Progress`]
+/// the engines tick and a monitor thread that samples it about once a
+/// second — a heartbeat line on stderr with `--progress`, a JSONL record
+/// per sample with `--progress-out`. Dropping the guard emits one final
+/// sample and joins the monitor, so even sub-second runs leave a record.
+struct ProgressGuard {
+    progress: std::sync::Arc<Progress>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressGuard {
+    /// Starts the monitor if either progress surface was requested.
+    fn start(stderr_heartbeat: bool, out: Option<&str>) -> Option<ProgressGuard> {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        if !stderr_heartbeat && out.is_none() {
+            return None;
+        }
+        let sink = out.map(|path| {
+            JsonlWriter::create_registered(path)
+                .unwrap_or_else(|e| die(&format!("cannot create progress log {path}: {e}")))
+        });
+        let progress = Arc::new(Progress::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (p, s) = (progress.clone(), stop.clone());
+        let handle = std::thread::spawn(move || loop {
+            let done = s.load(Ordering::Relaxed);
+            let snap = p.snapshot();
+            // Skip the idle pre-phase sample; the final one always lands.
+            if !snap.phase.is_empty() {
+                if stderr_heartbeat {
+                    eprintln!("{}", snap.stderr_line());
+                }
+                if let Some(sink) = &sink {
+                    let _ = sink.lock().unwrap().write_line(&snap.to_json_line());
+                }
+            }
+            if done {
+                if let Some(sink) = &sink {
+                    let _ = sink.lock().unwrap().flush();
+                }
+                break;
+            }
+            for _ in 0..10 {
+                if s.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        });
+        Some(ProgressGuard {
+            progress,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    fn progress(&self) -> &Progress {
+        &self.progress
+    }
+}
+
+impl Drop for ProgressGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The engines' optional observer from an optional guard.
+fn observer(guard: &Option<ProgressGuard>) -> Option<&Progress> {
+    guard.as_ref().map(|g| g.progress())
+}
+
+/// Validates and writes one `kind: "forensics"` bundle.
+fn write_forensics_or_die(path: &str, inputs: &ForensicsInputs) {
+    let doc = build_forensics_report(inputs);
+    if let Err(errs) = validate_forensics_report(&doc) {
+        eprintln!("error: built forensics bundle fails its own schema:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        exit(ExitCode::VerdictFailure);
+    }
+    let mut text = doc.to_pretty();
+    text.push('\n');
+    write_or_die(path, &text, "forensics bundle");
+    println!("forensics bundle written to {path}");
+}
+
+/// The app selector of a repro command (`--app NAME` or `--source PATH`).
+fn app_repro_flag(app: &AppSpec) -> String {
+    match app {
+        AppSpec::Named(n) => format!("--app {n}"),
+        AppSpec::Source(p) => format!("--source {p}"),
+    }
+}
+
+/// The fault-plan flags of a repro command, empty when faults are off.
+fn fault_repro_flags(fault: &FaultSpec) -> String {
+    match fault.plan {
+        Some(p) => format!(
+            " --fault-rate {} --fault-seed {} --max-retries {}",
+            p.rate_permille, p.seed, fault.retry.max_retries
+        ),
+        None => String::new(),
+    }
 }
 
 fn outcome_label(outcome: &Outcome) -> String {
@@ -693,6 +827,10 @@ struct SweepArgs {
     prune: bool,
     allow_violations: bool,
     expect_violations: bool,
+    boundary: Option<u64>,
+    forensics_out: Option<String>,
+    progress: bool,
+    progress_out: Option<String>,
 }
 
 fn parse_sweep_args() -> Result<SweepArgs, String> {
@@ -707,6 +845,10 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
     let mut prune = true;
     let mut allow_violations = false;
     let mut expect_violations = false;
+    let mut boundary = None;
+    let mut forensics_out = None;
+    let mut progress = false;
+    let mut progress_out = None;
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
         if common.accept(&flag, &mut it)? {
@@ -717,17 +859,24 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
             "--off-us" => off_us = parse_num(&val("--off-us")?)?,
             "--exhaustive" => sample = None,
             "--sample" => sample = Some(parse_num(&val("--sample")?)?),
+            "--boundary" => boundary = Some(parse_num(&val("--boundary")?)?),
             "--strict-memory" => strict_memory = true,
             "--update-window" => update_window = true,
             "--all-apps" => all_apps = true,
             "--bench-out" => bench_out = Some(val("--bench-out")?),
             "--utilization-out" => utilization_out = Some(val("--utilization-out")?),
+            "--forensics-out" => forensics_out = Some(val("--forensics-out")?),
             "--no-prune" => prune = false,
             "--allow-violations" => allow_violations = true,
             "--expect-violations" => expect_violations = true,
+            "--progress" => progress = true,
+            "--progress-out" => progress_out = Some(val("--progress-out")?),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown sweep flag {other}")),
         }
+    }
+    if boundary.is_some() && sample.is_some() {
+        return Err("--boundary and --sample are mutually exclusive".into());
     }
     Ok(SweepArgs {
         sc: common.into_scenario(7)?,
@@ -741,6 +890,10 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
         prune,
         allow_violations,
         expect_violations,
+        boundary,
+        forensics_out,
+        progress,
+        progress_out,
     })
 }
 
@@ -856,12 +1009,14 @@ fn sweep_main() -> ! {
             }
             eprintln!(
                 "usage: easeio-sim sweep [--app NAME | --all-apps] [--kernel NAME] [--jobs N]\n\
-                 \x20                       [--exhaustive | --sample N] [--seed N] [--off-us US]\n\
-                 \x20                       [--strict-memory] [--update-window]\n\
+                 \x20                       [--exhaustive | --sample N | --boundary N] [--seed N]\n\
+                 \x20                       [--off-us US] [--strict-memory] [--update-window]\n\
                  \x20                       [--report-out FILE.json]\n\
                  \x20                       [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
                  \x20                       [--no-prune] [--bench-out BENCH_sweep.json]\n\
                  \x20                       [--utilization-out FILE.json]\n\
+                 \x20                       [--forensics-out FILE.json]\n\
+                 \x20                       [--progress] [--progress-out FILE.jsonl]\n\
                  \x20                       [--allow-violations] [--expect-violations]"
             );
             exit(if e == "help" {
@@ -884,9 +1039,10 @@ fn sweep_main() -> ! {
         vec![sc.device.app.clone()]
     };
 
-    let mode = match args.sample {
-        Some(n) => SweepMode::Sample(n),
-        None => SweepMode::Exhaustive,
+    let mode = match (args.boundary, args.sample) {
+        (Some(b), _) => SweepMode::Boundary(b),
+        (None, Some(n)) => SweepMode::Sample(n),
+        (None, None) => SweepMode::Exhaustive,
     };
     // Probe-build every app up front: surface app/source errors before
     // committing to a long sweep.
@@ -930,15 +1086,18 @@ fn sweep_main() -> ! {
     // One worker pool serves the whole app matrix: workers are spawned once
     // and keep a warm machine per app, instead of paying a pool spawn/join
     // and a cold snapshot adoption per app.
+    let guard = ProgressGuard::start(args.progress, args.progress_out.as_deref());
     let started = std::time::Instant::now();
-    let results = sweep_matrix(
+    let results = sweep_matrix_observed(
         &entries,
         &SweepOptions {
             jobs: sc.jobs,
             prune: args.prune,
         },
+        observer(&guard),
     );
     let matrix_wall_us = (started.elapsed().as_micros() as u64).max(1);
+    drop(guard);
 
     // With --bench-out, any sweep that could differ from the unpruned serial
     // loop (wider than one worker, or pruned) also runs that loop: it is the
@@ -1096,6 +1255,80 @@ fn sweep_main() -> ! {
                 ),
             ),
         ]));
+    }
+
+    if let Some(path) = &args.forensics_out {
+        // The bundle documents the sweep's *first* violation in entry
+        // order: boundary + spend-seq coordinates, fault plan, capped FRAM
+        // diff against the continuous-power oracle, and a `--boundary`
+        // repro command that re-executes exactly that injection.
+        match results
+            .iter()
+            .enumerate()
+            .find_map(|(i, (out, _))| out.violations.first().map(|v| (i, out, v)))
+        {
+            Some((i, out, v)) => {
+                let plan = &plans[i];
+                let f =
+                    boundary_forensics(builders[i].as_ref(), sc.device.kernel, plan, v.boundary);
+                let mut repro = format!(
+                    "easeio-sim sweep {} --kernel {} --seed {} --off-us {} --boundary {}",
+                    app_repro_flag(&apps[i]),
+                    sc.device.kernel.cli_name(),
+                    plan.seed,
+                    plan.off_us,
+                    v.boundary
+                );
+                if plan.strict_memory {
+                    repro.push_str(" --strict-memory");
+                }
+                repro.push_str(&fault_repro_flags(&plan.fault));
+                repro.push_str(" --expect-violations");
+                let inputs = ForensicsInputs {
+                    source: "sweep".into(),
+                    runtime: out.runtime.into(),
+                    app: out.app.into(),
+                    seed: plan.seed,
+                    violation: ForensicsViolationDoc {
+                        kind: v.kind.name().into(),
+                        detail: v.detail.clone(),
+                        boundary: Some(v.boundary),
+                        spend_seq: f.spend_seq,
+                        device: None,
+                        wave: None,
+                    },
+                    fault_spec: plan.fault.plan.map(|p| FaultSpecDoc {
+                        seed: p.seed,
+                        rate_permille: p.rate_permille as u64,
+                        max_retries: plan.fault.retry.max_retries as u64,
+                        backoff_base_us: plan.fault.retry.backoff_base_us,
+                    }),
+                    context: vec![
+                        ("oracle_boundaries".into(), f.oracle_boundaries),
+                        ("injections".into(), out.injections),
+                        ("violations".into(), out.violations.len() as u64),
+                        ("off_us".into(), plan.off_us),
+                        ("strict_memory".into(), plan.strict_memory as u64),
+                        ("update_window".into(), plan.update_window as u64),
+                    ],
+                    fram_diff: (f.divergent_bytes > 0).then(|| FramDiffDoc {
+                        divergent_bytes: f.divergent_bytes,
+                        first: f
+                            .fram_diff
+                            .iter()
+                            .map(|&(addr, oracle, observed)| FramDiffByte {
+                                addr,
+                                oracle,
+                                observed,
+                            })
+                            .collect(),
+                    }),
+                    repro_command: repro,
+                };
+                write_forensics_or_die(path, &inputs);
+            }
+            None => println!("forensics: no violations — nothing written to {path}"),
+        }
     }
 
     if let Some(path) = &args.bench_out {
@@ -1341,6 +1574,10 @@ struct FleetArgs {
     expect_duplicates: bool,
     rollout: Option<RolloutPolicy>,
     expect_update_violations: bool,
+    stream_out: Option<String>,
+    forensics_out: Option<String>,
+    progress: bool,
+    progress_out: Option<String>,
 }
 
 fn parse_fleet_args() -> Result<FleetArgs, String> {
@@ -1360,6 +1597,10 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
     let mut target_seq: Option<u32> = None;
     let mut no_abort = false;
     let mut expect_update_violations = false;
+    let mut stream_out = None;
+    let mut forensics_out = None;
+    let mut progress = false;
+    let mut progress_out = None;
     let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
         if common.accept(&flag, &mut it)? {
@@ -1379,6 +1620,10 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
             "--target-seq" => target_seq = Some(parse_num(&val("--target-seq")?)?),
             "--no-abort" => no_abort = true,
             "--expect-update-violations" => expect_update_violations = true,
+            "--stream-out" => stream_out = Some(val("--stream-out")?),
+            "--forensics-out" => forensics_out = Some(val("--forensics-out")?),
+            "--progress" => progress = true,
+            "--progress-out" => progress_out = Some(val("--progress-out")?),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown fleet flag {other}")),
         }
@@ -1420,6 +1665,10 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
         expect_duplicates,
         rollout,
         expect_update_violations,
+        stream_out,
+        forensics_out,
+        progress,
+        progress_out,
     })
 }
 
@@ -1428,8 +1677,29 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
 /// verdict.
 fn rollout_main(args: &FleetArgs, policy: &RolloutPolicy) -> ! {
     let sc = &args.sc;
-    let r = run_rollout(sc, policy).unwrap_or_else(|e| die(&e));
-    let s = &r.stats;
+    let guard = ProgressGuard::start(args.progress, args.progress_out.as_deref());
+    let (s, pool, inputs, first_violation, streamed) = if let Some(path) = &args.stream_out {
+        let sink = JsonlWriter::create_registered(path)
+            .unwrap_or_else(|e| die(&format!("cannot create device stream {path}: {e}")));
+        let mut w = sink.lock().unwrap();
+        let r =
+            run_rollout_streamed(sc, policy, &mut w, observer(&guard)).unwrap_or_else(|e| die(&e));
+        drop(w);
+        let inputs = r.report_inputs(sc);
+        (r.stats, r.pool, inputs, r.first_violation, Some(r.stream))
+    } else {
+        let r = run_rollout_observed(sc, policy, observer(&guard)).unwrap_or_else(|e| die(&e));
+        let inputs = r.report_inputs(sc);
+        (
+            r.stats,
+            r.fleet.pool.clone(),
+            inputs,
+            r.first_violation,
+            None,
+        )
+    };
+    drop(guard);
+    let s = &s;
     println!(
         "rollout: {} devices to image seq {} under {} on {} supply \
          (seed {}, medium {}, waves of {})",
@@ -1470,11 +1740,17 @@ fn rollout_main(args: &FleetArgs, policy: &RolloutPolicy) -> ! {
     );
     println!(
         "  pool:       {} job(s), {:.2} ms wall",
-        r.fleet.pool.jobs,
-        r.fleet.pool.wall_us as f64 / 1000.0
+        pool.jobs,
+        pool.wall_us as f64 / 1000.0
     );
+    if let (Some(path), Some(stream)) = (&args.stream_out, &streamed) {
+        println!(
+            "  stream:     {} device records -> {} ({} shard files)",
+            stream.records, path, stream.shards
+        );
+    }
     if let Some(path) = &sc.report_out {
-        let doc = build_fleet_report(&r.report_inputs(sc));
+        let doc = build_fleet_report(&inputs);
         if let Err(errs) = validate_fleet_report(&doc) {
             eprintln!("error: built fleet report fails its own schema:");
             for e in &errs {
@@ -1486,6 +1762,65 @@ fn rollout_main(args: &FleetArgs, policy: &RolloutPolicy) -> ! {
         text.push('\n');
         write_or_die(path, &text, "fleet report");
         println!("fleet report written to {path}");
+    }
+    if let Some(path) = &args.forensics_out {
+        match &first_violation {
+            Some(v) => {
+                let mut repro = format!(
+                    "easeio-sim fleet --rollout --devices {} --kernel {} --seed {} \
+                     --wave-size {} --target-seq {} --loss {} --medium-seed {}",
+                    sc.count,
+                    sc.device.kernel.cli_name(),
+                    sc.seed,
+                    s.wave_size,
+                    s.target_seq,
+                    sc.medium.loss_permille,
+                    sc.medium.seed,
+                );
+                if !policy.abort_on_regression {
+                    repro.push_str(" --no-abort");
+                }
+                repro.push_str(&fault_repro_flags(&sc.device.fault));
+                repro.push_str(" --expect-update-violations");
+                let inputs = ForensicsInputs {
+                    source: "rollout".into(),
+                    runtime: sc.device.kernel.name().into(),
+                    app: sc.device.app.label().to_string(),
+                    seed: sc.seed,
+                    violation: ForensicsViolationDoc {
+                        kind: v.kind.label().into(),
+                        detail: format!(
+                            "device {} tripped the {} probe during wave {}",
+                            v.device,
+                            v.kind.label(),
+                            v.wave + 1
+                        ),
+                        boundary: None,
+                        spend_seq: None,
+                        device: Some(v.device as u64),
+                        wave: Some(v.wave as u64 + 1),
+                    },
+                    fault_spec: sc.device.fault.plan.map(|p| FaultSpecDoc {
+                        seed: p.seed,
+                        rate_permille: p.rate_permille as u64,
+                        max_retries: sc.device.fault.retry.max_retries as u64,
+                        backoff_base_us: sc.device.fault.retry.backoff_base_us,
+                    }),
+                    context: vec![
+                        ("devices".into(), sc.count as u64),
+                        ("waves".into(), s.waves),
+                        ("wave_size".into(), s.wave_size),
+                        ("target_seq".into(), s.target_seq),
+                        ("version_torn".into(), s.version_torn),
+                        ("duplicate_activations".into(), s.duplicate_activations),
+                    ],
+                    fram_diff: None,
+                    repro_command: repro,
+                };
+                write_forensics_or_die(path, &inputs);
+            }
+            None => println!("forensics: no update-safety violations — nothing written to {path}"),
+        }
     }
     let violations = s.version_torn + s.duplicate_activations;
     if args.expect_update_violations {
@@ -1519,6 +1854,8 @@ fn fleet_main() -> ! {
                  \x20                       [--loss PM] [--medium-seed N] [--airtime-base-us US]\n\
                  \x20                       [--airtime-word-us US] [--report-out FILE.json]\n\
                  \x20                       [--fault-rate PM] [--fault-seed N] [--max-retries N]\n\
+                 \x20                       [--stream-out FILE.jsonl] [--forensics-out FILE.json]\n\
+                 \x20                       [--progress] [--progress-out FILE.jsonl]\n\
                  \x20                       [--allow-duplicates | --expect-duplicates]\n\
                  \x20                       [--rollout [--wave-size N] [--target-seq N]\n\
                  \x20                        [--no-abort] [--expect-update-violations]]"
@@ -1534,11 +1871,55 @@ fn fleet_main() -> ! {
         rollout_main(&args, policy);
     }
     let sc = &args.sc;
-    let fleet = run_fleet(sc).unwrap_or_else(|e| die(&e));
-    let g = &fleet.gateway;
-    let o = fleet.outcomes();
-    let straggle = fleet.stragglers();
-    let energy = fleet.energy();
+    let guard = ProgressGuard::start(args.progress, args.progress_out.as_deref());
+    // Both execution paths land on the same commutative aggregate, so the
+    // summary and report are identical; only where the per-device records
+    // live differs (memory vs the streamed JSONL).
+    let (o, power_failures, straggle, energy, g, pool, inputs, streamed, dup) =
+        if let Some(path) = &args.stream_out {
+            let sink = JsonlWriter::create_registered(path)
+                .unwrap_or_else(|e| die(&format!("cannot create device stream {path}: {e}")));
+            let mut w = sink.lock().unwrap();
+            let r = run_fleet_streamed(sc, &mut w, observer(&guard)).unwrap_or_else(|e| die(&e));
+            drop(w);
+            let dup = args.forensics_out.as_ref().and_then(|_| {
+                find_air_duplicate(r.packets.iter().map(|(d, p)| (*d, p.as_slice())))
+            });
+            (
+                r.agg.outcomes(),
+                r.agg.power_failures(),
+                r.agg.stragglers(),
+                r.agg.energy(),
+                r.gateway.clone(),
+                r.pool.clone(),
+                r.report_inputs(sc),
+                Some(r.stream),
+                dup,
+            )
+        } else {
+            let fleet = run_fleet_observed(sc, observer(&guard)).unwrap_or_else(|e| die(&e));
+            let dup = args.forensics_out.as_ref().and_then(|_| {
+                find_air_duplicate(
+                    fleet
+                        .results
+                        .iter()
+                        .map(|r| (r.device, r.packets.as_slice())),
+                )
+            });
+            (
+                fleet.outcomes(),
+                fleet.power_failures(),
+                fleet.stragglers(),
+                fleet.energy(),
+                fleet.gateway.clone(),
+                fleet.pool.clone(),
+                fleet.report_inputs(sc),
+                None,
+                dup,
+            )
+        };
+    drop(guard);
+    let g = &g;
     println!(
         "fleet: {} × {} under {} on {} supply (seed {}, medium {}{})",
         sc.count,
@@ -1557,10 +1938,7 @@ fn fleet_main() -> ! {
         "  outcomes:   {} completed / {} non-terminated / {} faulted; {} correct / {} incorrect",
         o.completed, o.non_terminated, o.faulted, o.correct, o.incorrect
     );
-    println!(
-        "  reboots:    {} power failures across the fleet",
-        fleet.power_failures()
-    );
+    println!("  reboots:    {power_failures} power failures across the fleet");
     println!(
         "  air:        {} transmissions, {} unique, {} duplicates",
         g.transmissions, g.unique_sent, g.air_duplicates
@@ -1588,11 +1966,17 @@ fn fleet_main() -> ! {
     );
     println!(
         "  pool:       {} job(s), {:.2} ms wall",
-        fleet.pool.jobs,
-        fleet.pool.wall_us as f64 / 1000.0
+        pool.jobs,
+        pool.wall_us as f64 / 1000.0
     );
+    if let (Some(path), Some(stream)) = (&args.stream_out, &streamed) {
+        println!(
+            "  stream:     {} device records -> {} ({} shard files)",
+            stream.records, path, stream.shards
+        );
+    }
     if let Some(path) = &sc.report_out {
-        let doc = build_fleet_report(&fleet.report_inputs(sc));
+        let doc = build_fleet_report(&inputs);
         // Self-check before writing: a fleet document violating its own
         // accounting invariants must never leave the process.
         if let Err(errs) = validate_fleet_report(&doc) {
@@ -1606,6 +1990,58 @@ fn fleet_main() -> ! {
         text.push('\n');
         write_or_die(path, &text, "fleet report");
         println!("fleet report written to {path}");
+    }
+    if let Some(path) = &args.forensics_out {
+        match &dup {
+            Some(d) => {
+                let mut repro = format!(
+                    "easeio-sim fleet --devices {} {} --kernel {} --seed {} \
+                     --loss {} --medium-seed {}",
+                    sc.count,
+                    app_repro_flag(&sc.device.app),
+                    sc.device.kernel.cli_name(),
+                    sc.seed,
+                    sc.medium.loss_permille,
+                    sc.medium.seed,
+                );
+                repro.push_str(&fault_repro_flags(&sc.device.fault));
+                repro.push_str(" --expect-duplicates");
+                let inputs = ForensicsInputs {
+                    source: "fleet".into(),
+                    runtime: sc.device.kernel.name().into(),
+                    app: sc.device.app.label().to_string(),
+                    seed: sc.seed,
+                    violation: ForensicsViolationDoc {
+                        kind: "air_duplicate".into(),
+                        detail: format!(
+                            "device {} transmitted identity {} twice \
+                             (packets {} and {}) — Single semantics violated",
+                            d.device, d.seq, d.first_index, d.dup_index
+                        ),
+                        boundary: None,
+                        spend_seq: None,
+                        device: Some(d.device as u64),
+                        wave: None,
+                    },
+                    fault_spec: sc.device.fault.plan.map(|p| FaultSpecDoc {
+                        seed: p.seed,
+                        rate_permille: p.rate_permille as u64,
+                        max_retries: sc.device.fault.retry.max_retries as u64,
+                        backoff_base_us: sc.device.fault.retry.backoff_base_us,
+                    }),
+                    context: vec![
+                        ("devices".into(), sc.count as u64),
+                        ("transmissions".into(), g.transmissions),
+                        ("air_duplicates".into(), g.air_duplicates),
+                        ("loss_permille".into(), sc.medium.loss_permille as u64),
+                    ],
+                    fram_diff: None,
+                    repro_command: repro,
+                };
+                write_forensics_or_die(path, &inputs);
+            }
+            None => println!("forensics: no air duplicates — nothing written to {path}"),
+        }
     }
     if args.expect_duplicates {
         if g.air_duplicates == 0 {

@@ -48,6 +48,9 @@ pub enum SweepMode {
     /// Inject at `n` distinct boundaries sampled without replacement
     /// (exhaustive anyway when `n` covers the whole range).
     Sample(u64),
+    /// Inject at exactly this one boundary (empty sweep if it is out of
+    /// range) — the minimal-repro mode forensics bundles point at.
+    Boundary(u64),
 }
 
 impl SweepMode {
@@ -56,6 +59,7 @@ impl SweepMode {
         match self {
             SweepMode::Exhaustive => "exhaustive",
             SweepMode::Sample(_) => "sample",
+            SweepMode::Boundary(_) => "boundary",
         }
     }
 }
@@ -229,6 +233,13 @@ pub fn select_boundaries(total: u64, mode: SweepMode, seed: u64) -> Vec<u64> {
                 set.insert(rng.random_range(0..total));
             }
             set.into_iter().collect()
+        }
+        SweepMode::Boundary(b) => {
+            if b < total {
+                vec![b]
+            } else {
+                Vec::new()
+            }
         }
         _ => (0..total).collect(),
     }
@@ -679,6 +690,90 @@ pub fn check_record(
     violations
 }
 
+/// Cap on the per-byte FRAM diff a forensics record carries — enough to
+/// see the torn region's shape without shipping the whole image.
+pub const FORENSICS_DIFF_CAP: usize = 32;
+
+/// Plain-struct forensics data for one violating boundary: everything a
+/// self-contained violation bundle needs from the engine layer. This
+/// crate has no dependency on the report schema — the CLI marries this
+/// record to the `kind: "forensics"` document and the repro command.
+#[derive(Debug, Clone)]
+pub struct BoundaryForensics {
+    /// The injected boundary.
+    pub boundary: u64,
+    /// The spend call the boundary's slice interrupts on the reference
+    /// trace (`None` past the reference run's last slice).
+    pub spend_seq: Option<u64>,
+    /// Boundary-space size of the oracle run, for context.
+    pub oracle_boundaries: u64,
+    /// The violations the injected run trips, in deterministic order.
+    pub violations: Vec<Violation>,
+    /// App-FRAM bytes that differ from the continuous-power oracle.
+    pub divergent_bytes: u64,
+    /// First [`FORENSICS_DIFF_CAP`] differing bytes as
+    /// `(offset, oracle, observed)`, offsets into the app-tagged FRAM
+    /// image in allocation order.
+    pub fram_diff: Vec<(u64, u8, u8)>,
+}
+
+/// Re-runs one boundary of a sweep and collects the forensic record:
+/// the violating run's invariant judgements, its spend-call coordinate on
+/// the reference trace, and a capped byte diff of final app FRAM against
+/// the continuous-power oracle. Deterministic in `(builder, kind, plan,
+/// boundary)` — the same identity the sweep's own violations carry, so
+/// the record always describes the run the sweep saw.
+pub fn boundary_forensics(
+    builder: &dyn Fn(&mut Mcu) -> App,
+    kind: RuntimeKind,
+    plan: &SweepPlan,
+    boundary: u64,
+) -> BoundaryForensics {
+    let mut mcu = Mcu::new(Supply::continuous());
+    let app = builder(&mut mcu);
+    let oracle = prepare_oracle(builder, kind, plan.env_seed);
+    mcu.restore(&oracle.snapshot);
+    let trace = reference_trace(
+        &app,
+        kind,
+        &mut mcu,
+        &oracle.snapshot,
+        plan.env_seed,
+        &plan.fault,
+    );
+    let spend_seq = trace.slices.get(boundary as usize).map(|s| s.spend_seq);
+    let r = run_from(
+        &app,
+        kind,
+        &mut mcu,
+        &oracle.snapshot,
+        Supply::injected(boundary, plan.off_us),
+        plan.env_seed,
+        &plan.fault,
+    );
+    let violations = check_record(&r, &oracle.fram, boundary, plan.strict_memory);
+    let mut divergent_bytes = 0u64;
+    let mut fram_diff = Vec::new();
+    for (i, (observed, expected)) in r.fram.iter().zip(oracle.fram.iter()).enumerate() {
+        if observed != expected {
+            divergent_bytes += 1;
+            if fram_diff.len() < FORENSICS_DIFF_CAP {
+                fram_diff.push((i as u64, *expected, *observed));
+            }
+        }
+    }
+    // A length mismatch (allocation divergence) counts every unpaired byte.
+    divergent_bytes += r.fram.len().abs_diff(oracle.fram.len()) as u64;
+    BoundaryForensics {
+        boundary,
+        spend_seq,
+        oracle_boundaries: oracle.boundaries,
+        violations,
+        divergent_bytes,
+        fram_diff,
+    }
+}
+
 /// Runs the sweep serially: one continuous-power oracle run, then one
 /// injected run per selected boundary, checking the invariants above.
 pub fn sweep(
@@ -1012,6 +1107,103 @@ mod tests {
         );
         assert!(out.injections > 0);
         assert!(out.is_clean(), "{:?}", out.violations);
+    }
+
+    /// The forensics contract on the pinned Naive `version_torn` case:
+    /// the record re-trips the violation the sweep saw, carries the
+    /// spend-call coordinate and a non-empty FRAM diff against the
+    /// oracle, and a `Boundary(b)` re-sweep — the bundle's embedded
+    /// minimal repro — reproduces the violation verbatim.
+    #[test]
+    fn boundary_forensics_reproduces_the_naive_torn_image() {
+        use apps::ota_update::{self, OtaUpdateCfg};
+
+        let build = |m: &mut Mcu| {
+            ota_update::build(
+                m,
+                &OtaUpdateCfg {
+                    two_phase: false,
+                    ..OtaUpdateCfg::default()
+                },
+            )
+            .0
+        };
+        let plan = SweepPlan {
+            update_window: true,
+            ..SweepPlan::with_env_seed(5)
+        };
+        let out = sweep(&build, RuntimeKind::Naive, &plan);
+        let torn = out
+            .violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::VersionTorn)
+            .expect("the in-place rewrite must strand a torn image");
+
+        let f = boundary_forensics(&build, RuntimeKind::Naive, &plan, torn.boundary);
+        assert_eq!(f.boundary, torn.boundary);
+        assert!(f.spend_seq.is_some(), "window boundaries are on the trace");
+        assert!(f
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::VersionTorn && v.detail == torn.detail));
+        // The torn image is repaired by re-execution, so the *final* FRAM
+        // may converge with the oracle — the diff is structural evidence
+        // when present, not a required symptom.
+        assert!(f.fram_diff.len() as u64 <= f.divergent_bytes);
+        for &(_, oracle, observed) in &f.fram_diff {
+            assert_ne!(oracle, observed);
+        }
+
+        // The minimal repro: a Boundary-mode sweep at the same identity
+        // yields exactly the violations of that one boundary.
+        let repro = sweep(
+            &build,
+            RuntimeKind::Naive,
+            &SweepPlan {
+                mode: SweepMode::Boundary(torn.boundary),
+                update_window: false,
+                ..plan.clone()
+            },
+        );
+        assert_eq!(repro.injections, 1);
+        assert!(repro.violations.iter().any(|v| v.boundary == torn.boundary
+            && v.kind == ViolationKind::VersionTorn
+            && v.detail == torn.detail));
+    }
+
+    /// A violation that *does* leave divergent persistent state: the
+    /// Naive runtime's re-executed DMA under `strict_memory`. The
+    /// forensics record must carry a non-empty, capped byte diff.
+    #[test]
+    fn forensics_fram_diff_is_populated_and_capped_on_memory_divergence() {
+        let plan = SweepPlan {
+            strict_memory: true,
+            ..SweepPlan::with_env_seed(5)
+        };
+        let out = sweep(&small_dma, RuntimeKind::Naive, &plan);
+        let div = out
+            .violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::MemoryDivergence)
+            .expect("naive re-execution must diverge somewhere");
+        let f = boundary_forensics(&small_dma, RuntimeKind::Naive, &plan, div.boundary);
+        assert!(f.divergent_bytes > 0);
+        assert!(!f.fram_diff.is_empty());
+        assert!(f.fram_diff.len() <= FORENSICS_DIFF_CAP);
+        assert!(f.fram_diff.len() as u64 <= f.divergent_bytes);
+        for &(_, oracle, observed) in &f.fram_diff {
+            assert_ne!(oracle, observed);
+        }
+        assert!(f
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::MemoryDivergence));
+    }
+
+    #[test]
+    fn boundary_mode_out_of_range_is_an_empty_sweep() {
+        assert_eq!(select_boundaries(10, SweepMode::Boundary(3), 1), vec![3]);
+        assert!(select_boundaries(10, SweepMode::Boundary(10), 1).is_empty());
     }
 
     #[test]

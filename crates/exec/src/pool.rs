@@ -86,6 +86,45 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
+    let (results, _, stats) = run_indexed_collect(jobs, items, init, f, |_| ());
+    (results, stats)
+}
+
+/// Like [`run_indexed`], but additionally reduces each worker's final
+/// private state through `finish` (still on the worker's own thread) and
+/// hands back the summaries in worker-id order.
+///
+/// This is what the streamed fleet path needs: each worker folds its
+/// devices into a bounded per-worker aggregate (counts, sums, sketches)
+/// instead of returning heavyweight per-device results, and the caller
+/// merges the `jobs` aggregates afterwards. When every fold operation is
+/// commutative and associative — sums, bucket counts, max — the merged
+/// aggregate is independent of how the scheduler sliced the items, which
+/// preserves the byte-identity guarantee with O(workers) memory.
+///
+/// `finish` runs before the worker thread joins, so the state itself never
+/// crosses threads — only the `U` summary must be `Send`. That lets states
+/// carry thread-bound machinery (a cached `Mcu`/`App` pair) alongside the
+/// aggregate that outlives the pool.
+/// One worker's parallel-path yield: its `(index, result)` pairs, its
+/// finished state summary, and its busy µs.
+type WorkerYield<R, U> = (Vec<(usize, R)>, U, u64);
+
+pub fn run_indexed_collect<T, R, S, U, I, F, G>(
+    jobs: usize,
+    items: &[T],
+    init: I,
+    f: F,
+    finish: G,
+) -> (Vec<R>, Vec<U>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+    G: Fn(S) -> U + Sync,
+{
     let started = Instant::now();
     let jobs = jobs.max(1).min(items.len().max(1));
 
@@ -105,11 +144,11 @@ where
             busy_us_per_worker: vec![busy],
             wall_us: started.elapsed().as_micros() as u64,
         };
-        return (results, stats);
+        return (results, vec![finish(state)], stats);
     }
 
     let cursor = AtomicUsize::new(0);
-    let mut per_worker: Vec<(Vec<(usize, R)>, u64)> = Vec::with_capacity(jobs);
+    let mut per_worker: Vec<WorkerYield<R, U>> = Vec::with_capacity(jobs);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(jobs);
         for _ in 0..jobs {
@@ -124,7 +163,11 @@ where
                     }
                     local.push((i, f(&mut state, i, &items[i])));
                 }
-                (local, worker_started.elapsed().as_micros() as u64)
+                (
+                    local,
+                    finish(state),
+                    worker_started.elapsed().as_micros() as u64,
+                )
             }));
         }
         for h in handles {
@@ -138,10 +181,12 @@ where
     let mut items_per_worker = Vec::with_capacity(jobs);
     let mut indices_per_worker = Vec::with_capacity(jobs);
     let mut busy_us_per_worker = Vec::with_capacity(jobs);
-    for (local, busy) in per_worker {
+    let mut states = Vec::with_capacity(jobs);
+    for (local, state, busy) in per_worker {
         items_per_worker.push(local.len() as u64);
         indices_per_worker.push(local.iter().map(|(i, _)| *i).collect());
         busy_us_per_worker.push(busy);
+        states.push(state);
         for (i, r) in local {
             debug_assert!(slots[i].is_none(), "item {i} produced twice");
             slots[i] = Some(r);
@@ -158,7 +203,7 @@ where
         busy_us_per_worker,
         wall_us: started.elapsed().as_micros() as u64,
     };
-    (results, stats)
+    (results, states, stats)
 }
 
 #[cfg(test)]
@@ -217,6 +262,29 @@ mod tests {
         let one = vec![9u32];
         let (r, _) = run_indexed(8, &one, || (), |_, _, x| *x * 2);
         assert_eq!(r, vec![18]);
+    }
+
+    #[test]
+    fn collected_states_cover_every_item_once() {
+        // Each worker's finished summary is its private item-count; the
+        // summaries must line up with the stats attribution and sum to the
+        // total regardless of width.
+        for jobs in [1, 2, 4, 8] {
+            let items = vec![(); 37];
+            let (results, states, stats) = run_indexed_collect(
+                jobs,
+                &items,
+                || 0u64,
+                |count, _, _| {
+                    *count += 1;
+                },
+                |count| count,
+            );
+            assert_eq!(results.len(), 37);
+            assert_eq!(states.len(), stats.jobs, "one summary per worker");
+            assert_eq!(states, stats.items_per_worker, "jobs = {jobs}");
+            assert_eq!(states.iter().sum::<u64>(), 37, "jobs = {jobs}");
+        }
     }
 
     #[test]

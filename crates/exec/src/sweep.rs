@@ -45,6 +45,7 @@ use crashcheck::{
     reference_trace, run_from, select_boundaries, BoundaryTrace, PruneClasses, RunRecord,
     SweepOracle, SweepOutcome, SweepPlan, Violation,
 };
+use easeio_trace::Progress;
 use kernel::App;
 use mcu_emu::{Mcu, Supply, CAUSE_COUNT};
 use std::collections::HashMap;
@@ -173,7 +174,23 @@ pub fn sweep_matrix(
     entries: &[SweepEntry],
     opts: &SweepOptions,
 ) -> Vec<(SweepOutcome, SweepTiming)> {
+    sweep_matrix_observed(entries, opts, None)
+}
+
+/// [`sweep_matrix`] with a live [`Progress`] channel. The observer ticks
+/// through three phases — `oracle` (one per entry), `inject` (one per
+/// executed boundary, ticked batch-wise from inside the workers), and
+/// `judge` (one per entry) — and never enters outcome identity: the
+/// returned vector is byte-identical to the unobserved call.
+pub fn sweep_matrix_observed(
+    entries: &[SweepEntry],
+    opts: &SweepOptions,
+    progress: Option<&Progress>,
+) -> Vec<(SweepOutcome, SweepTiming)> {
     // Stage A (serial): per-entry oracle, selection, classification.
+    if let Some(p) = progress {
+        p.begin_phase("oracle", entries.len() as u64);
+    }
     let mut preps: Vec<EntryPrep> = Vec::with_capacity(entries.len());
     let mut items: Vec<WorkItem> = Vec::new();
     for (e, entry) in entries.iter().enumerate() {
@@ -233,6 +250,14 @@ pub fn sweep_matrix(
             oracle_us,
             classify_us,
         });
+        if let Some(p) = progress {
+            p.add(1);
+        }
+    }
+
+    if let Some(p) = progress {
+        let total: u64 = items.iter().map(|i| i.boundaries.len() as u64).sum();
+        p.begin_phase("inject", total);
     }
 
     // Stage B: one pool over every entry's batches. Workers hold one
@@ -267,9 +292,16 @@ pub fn sweep_matrix(
                     )
                 })
                 .collect();
+            if let Some(p) = progress {
+                p.add(records.len() as u64);
+            }
             (records, t0.elapsed().as_micros() as u64)
         },
     );
+
+    if let Some(p) = progress {
+        p.begin_phase("judge", entries.len() as u64);
+    }
 
     // Stage C (serial, entry order): flatten each entry's records back into
     // exec order, materialize the pruned boundaries, judge everything in
@@ -371,6 +403,9 @@ pub fn sweep_matrix(
             cause_energy_nj,
         };
         out.push((outcome, timing));
+        if let Some(p) = progress {
+            p.add(1);
+        }
     }
     out
 }
@@ -623,5 +658,37 @@ mod tests {
         let serial_b = sweep(&chunky_dma, RuntimeKind::Naive, &plan);
         outcomes_equal(&serial_a, &results[0].0);
         outcomes_equal(&serial_b, &results[1].0);
+    }
+
+    /// Observation must never enter outcome identity, and the inject phase
+    /// must tick exactly once per executed boundary.
+    #[test]
+    fn observed_sweep_is_identical_and_ticks_every_injection() {
+        let plan = SweepPlan {
+            mode: SweepMode::Sample(30),
+            strict_memory: true,
+            ..SweepPlan::with_env_seed(5)
+        };
+        let entries = [SweepEntry {
+            builder: &small_dma,
+            kind: RuntimeKind::Naive,
+            plan: plan.clone(),
+        }];
+        let opts = SweepOptions {
+            jobs: 3,
+            prune: true,
+        };
+        let unobserved = sweep_matrix(&entries, &opts);
+        let progress = Progress::new();
+        let observed = sweep_matrix_observed(&entries, &opts, Some(&progress));
+        outcomes_equal(&unobserved[0].0, &observed[0].0);
+        let snap = progress.snapshot();
+        assert_eq!(snap.phase, "judge");
+        assert_eq!(snap.done, entries.len() as u64);
+        assert_eq!(snap.total, entries.len() as u64);
+        // The last inject tick count equals the executed (post-prune)
+        // boundary count, which the timing also reports.
+        let executed: u64 = observed[0].1.prune.injections_executed;
+        assert!(executed > 0);
     }
 }

@@ -16,7 +16,7 @@
 //! channel — and the report validator rejects any ledger where that does
 //! not hold.
 
-use periph::MediumSpec;
+use periph::{MediumSpec, Packet};
 use std::collections::BTreeMap;
 
 use crate::DeviceResult;
@@ -77,17 +77,32 @@ struct AirEvent {
 /// canonical (index order from the pool merge), and nothing here depends
 /// on host timing.
 pub fn reconcile(results: &[DeviceResult], medium: &MediumSpec) -> GatewayStats {
+    reconcile_logs(
+        results.iter().map(|r| (r.device, r.packets.as_slice())),
+        medium,
+    )
+}
+
+/// [`reconcile`] over bare `(device, radio log)` pairs — what the streamed
+/// fleet path retains once per-device results stop accumulating. The
+/// radio logs are the one per-device datum the gateway cannot reduce
+/// incrementally: collisions couple packets *across* devices through the
+/// global air-window order.
+pub fn reconcile_logs<'a>(
+    logs: impl IntoIterator<Item = (u32, &'a [Packet])>,
+    medium: &MediumSpec,
+) -> GatewayStats {
     let mut events: Vec<AirEvent> = Vec::new();
-    for r in results {
-        for (k, pkt) in r.packets.iter().enumerate() {
+    for (device, packets) in logs {
+        for (k, pkt) in packets.iter().enumerate() {
             let (start, end) = medium.window(pkt);
             let seq = pkt.payload.first().copied().unwrap_or(k as i32) as i64;
             events.push(AirEvent {
                 start,
                 end,
-                device: r.device,
+                device,
                 index: k as u32,
-                identity: (r.device, seq),
+                identity: (device, seq),
             });
         }
     }
@@ -136,6 +151,45 @@ pub fn reconcile(results: &[DeviceResult], medium: &MediumSpec) -> GatewayStats 
     stats.delivered_unique = received_by_identity.len() as u64;
     stats.gateway_duplicates = stats.delivered - stats.delivered_unique;
     stats
+}
+
+/// The first `Single`-semantics violation on the air, for the forensics
+/// bundle: which device retransmitted which sequence, and at which
+/// per-device packet indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AirDuplicate {
+    /// The retransmitting device.
+    pub device: u32,
+    /// The duplicated packet sequence (first payload word).
+    pub seq: i64,
+    /// Per-device index of the identity's first transmission.
+    pub first_index: u32,
+    /// Per-device index of the duplicate.
+    pub dup_index: u32,
+}
+
+/// Scans the radio logs in device order for the first air duplicate.
+/// A duplicate's identity is per-device, so the scan needs only one
+/// device's log at a time — usable from either execution path.
+pub fn find_air_duplicate<'a>(
+    logs: impl IntoIterator<Item = (u32, &'a [Packet])>,
+) -> Option<AirDuplicate> {
+    for (device, packets) in logs {
+        let mut first_of: BTreeMap<i64, u32> = BTreeMap::new();
+        for (k, pkt) in packets.iter().enumerate() {
+            let seq = pkt.payload.first().copied().unwrap_or(k as i32) as i64;
+            if let Some(&first) = first_of.get(&seq) {
+                return Some(AirDuplicate {
+                    device,
+                    seq,
+                    first_index: first,
+                    dup_index: k as u32,
+                });
+            }
+            first_of.insert(seq, k as u32);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -269,6 +323,29 @@ mod tests {
         );
         assert_eq!(g.unique_sent + g.air_duplicates, g.transmissions);
         assert_eq!(g.delivered_unique + g.gateway_duplicates, g.delivered);
+    }
+
+    #[test]
+    fn first_air_duplicate_is_found_with_its_indices() {
+        let devices = [
+            device(0, vec![pkt(100, 0), pkt(300, 1)]),
+            device(1, vec![pkt(100, 0), pkt(300, 1), pkt(500, 0)]),
+        ];
+        let logs = devices.iter().map(|d| (d.device, d.packets.as_slice()));
+        let dup = find_air_duplicate(logs).unwrap();
+        assert_eq!(
+            dup,
+            AirDuplicate {
+                device: 1,
+                seq: 0,
+                first_index: 0,
+                dup_index: 2
+            }
+        );
+        let clean = [device(0, vec![pkt(100, 0), pkt(300, 1)])];
+        assert!(
+            find_air_duplicate(clean.iter().map(|d| (d.device, d.packets.as_slice()))).is_none()
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!
 //! * every device's result depends only on its device index — worker-local
 //!   machines are restored from one shared copy-on-write
-//!   [`McuSnapshot`](mcu_emu::McuSnapshot) of the template, supplies and
+//!   [`mcu_emu::McuSnapshot`] of the template, supplies and
 //!   fault plans derive from `seed + device`, and the pool merges results
 //!   in device order — so the fleet report is **byte-identical at any
 //!   `--jobs` width**;
@@ -26,22 +26,37 @@
 //! Per-device state lives in the CoW page snapshot: restoring a device
 //! only copies the pages the previous run dirtied, so a mostly-idle fleet
 //! costs ~nothing per extra device and 10k+ devices are practical.
+//!
+//! ## Two execution paths, one report
+//!
+//! [`run_fleet`] holds every [`DeviceResult`] in memory — right for tests
+//! and small fleets that want per-device access afterwards.
+//! [`run_fleet_streamed`] instead writes each device's record to a
+//! per-worker JSONL shard as it completes and folds it into a bounded
+//! [`FleetAgg`]; only the radio logs (needed by the gateway's collision
+//! merge) survive per device. Both paths aggregate through the same
+//! [`FleetAgg`], whose fold is commutative, so the streamed report is
+//! byte-identical to the in-memory one at any `--jobs` width while peak
+//! memory stays O(workers + sketches) instead of O(devices).
 
 pub mod gateway;
 pub mod rollout;
+pub mod telemetry;
 
-pub use gateway::{reconcile, GatewayStats};
-pub use rollout::{run_rollout, RolloutOutcome, RolloutPolicy};
-
-use easeio_exec::{run_indexed, PoolStats, ScenarioSpec};
-use easeio_trace::agg::percentile;
-use easeio_trace::fleet::{
-    FleetDeliveryDoc, FleetEnergyDoc, FleetInputs, FleetMediumDoc, FleetOutcomesDoc,
-    FleetStragglerDoc, FleetTimingDoc,
+pub use gateway::{find_air_duplicate, reconcile, reconcile_logs, AirDuplicate, GatewayStats};
+pub use rollout::{
+    run_rollout, run_rollout_observed, run_rollout_streamed, RolloutOutcome, RolloutPolicy,
+    RolloutViolation, RolloutViolationKind, StreamedRolloutOutcome,
 };
+pub use telemetry::FleetAgg;
+
+use easeio_exec::{run_indexed, run_indexed_collect, PoolStats, ScenarioSpec};
+use easeio_trace::fleet::{FleetDeliveryDoc, FleetInputs, FleetMediumDoc, FleetTimingDoc};
+use easeio_trace::stream::{JsonlWriter, ShardedSink, StreamStats};
 use easeio_trace::sweep::FaultSpecDoc;
+use easeio_trace::{Progress, Value};
 use kernel::{run_app, App, ExecConfig, Outcome, Verdict};
-use mcu_emu::{Mcu, RunStats, Supply, CAUSE_COUNT};
+use mcu_emu::{Mcu, McuSnapshot, RunStats, Supply};
 use periph::{Packet, Peripherals};
 
 /// Everything one device's run produced, in device-index order inside
@@ -66,6 +81,39 @@ pub struct DeviceResult {
     pub packets: Vec<Packet>,
 }
 
+impl DeviceResult {
+    /// The device's `--stream-out` JSONL record (compact, canonical key
+    /// order). Pure in the result, so the merged stream is byte-identical
+    /// at any `--jobs` width.
+    pub fn record_line(&self) -> String {
+        let outcome = match self.outcome {
+            Outcome::Completed => "completed",
+            Outcome::NonTermination => "non_termination",
+            Outcome::Fault(_) => "fault",
+        };
+        let verdict = match &self.verdict {
+            Some(Verdict::Correct) => Value::str("correct"),
+            Some(Verdict::Incorrect(_)) => Value::str("incorrect"),
+            None => Value::Null,
+        };
+        Value::Obj(vec![
+            ("device".into(), Value::u64(self.device as u64)),
+            ("seed".into(), Value::u64(self.seed)),
+            ("outcome".into(), Value::str(outcome)),
+            ("verdict".into(), verdict),
+            ("wall_us".into(), Value::u64(self.wall_us)),
+            ("on_us".into(), Value::u64(self.on_us)),
+            ("energy_nj".into(), Value::u64(self.stats.total_energy_nj())),
+            (
+                "power_failures".into(),
+                Value::u64(self.stats.power_failures),
+            ),
+            ("packets".into(), Value::u64(self.packets.len() as u64)),
+        ])
+        .to_compact()
+    }
+}
+
 /// One complete fleet run: per-device results in device order, the
 /// gateway's reconciliation, and the pool's utilization record.
 #[derive(Debug, Clone)]
@@ -78,6 +126,71 @@ pub struct FleetOutcome {
     pub pool: PoolStats,
 }
 
+/// A streamed fleet run: the bounded aggregate and gateway accounting,
+/// with per-device records already on disk instead of in memory.
+#[derive(Debug)]
+pub struct StreamedFleetOutcome {
+    /// Fleet-wide aggregate (merged per-worker folds).
+    pub agg: FleetAgg,
+    /// Gateway delivery accounting over the shared medium.
+    pub gateway: GatewayStats,
+    /// Worker utilization (host timing; stripped from report identity).
+    pub pool: PoolStats,
+    /// What the sharded sink merged.
+    pub stream: StreamStats,
+    /// Per-device radio logs in device order — the one per-device datum
+    /// the gateway's collision merge cannot reduce incrementally.
+    pub packets: Vec<(u32, Vec<Packet>)>,
+}
+
+/// Runs one device of the scenario on a worker's cached machine,
+/// restoring the shared template snapshot first. The result is a function
+/// of `(spec, device)` alone — the determinism contract both execution
+/// paths and every `--jobs` width rely on.
+fn run_device(
+    spec: &ScenarioSpec,
+    snap: &McuSnapshot,
+    cache: &mut Option<(Mcu, App)>,
+    device: u32,
+) -> DeviceResult {
+    let (mcu, app) = cache.get_or_insert_with(|| {
+        let mut mcu = Mcu::new(Supply::continuous());
+        let app = spec
+            .build_app(&mut mcu)
+            .expect("template validated on the coordinator");
+        (mcu, app)
+    });
+    mcu.restore(snap);
+    mcu.supply = spec.supply_for_device(device);
+    let mut periph = Peripherals::new(spec.device_seed(device));
+    let fault = spec.fault_for_device(device);
+    fault.apply(&mut periph);
+    let mut rt = spec.kernel_builder().with_faults(fault).build();
+    let cfg = ExecConfig {
+        retry: fault.retry,
+        ..ExecConfig::default()
+    };
+    let r = run_app(app, rt.as_mut(), mcu, &mut periph, &cfg);
+    DeviceResult {
+        device,
+        seed: spec.device_seed(device),
+        outcome: r.outcome,
+        verdict: r.verdict,
+        wall_us: r.wall_us,
+        on_us: r.on_us,
+        stats: r.stats,
+        packets: periph.radio.packets().to_vec(),
+    }
+}
+
+/// Validates the template once on the coordinator so workers can't hit a
+/// build error mid-pool, and returns the shared CoW snapshot.
+fn template_snapshot(spec: &ScenarioSpec) -> Result<McuSnapshot, String> {
+    let mut template = Mcu::new(Supply::continuous());
+    spec.build_app(&mut template)?;
+    Ok(template.snapshot())
+}
+
 /// Runs the scenario's fleet: `spec.count` devices, sharded across
 /// `spec.jobs` workers, reconciled at the gateway.
 ///
@@ -88,53 +201,42 @@ pub struct FleetOutcome {
 /// crash sweep uses, which is what makes results a function of the device
 /// index alone.
 pub fn run_fleet(spec: &ScenarioSpec) -> Result<FleetOutcome, String> {
+    run_fleet_observed(spec, None)
+}
+
+/// [`run_fleet`] with a live progress channel: ticks one unit per device
+/// completed in a `"devices"` phase.
+pub fn run_fleet_observed(
+    spec: &ScenarioSpec,
+    progress: Option<&Progress>,
+) -> Result<FleetOutcome, String> {
     if spec.count == 0 {
         return Err("a fleet needs at least 1 device".into());
     }
-    // Validate the template once on the coordinator so workers can't hit a
-    // build error mid-pool.
-    let mut template = Mcu::new(Supply::continuous());
-    spec.build_app(&mut template)?;
-    let snap = template.snapshot();
-    drop(template);
-
+    let snap = template_snapshot(spec)?;
+    if let Some(p) = progress {
+        p.begin_phase("devices", spec.count as u64);
+    }
     let devices: Vec<u32> = (0..spec.count).collect();
     let (results, pool) = run_indexed(
         spec.jobs,
         &devices,
         || None::<(Mcu, App)>,
         |state, _, &device| {
-            let (mcu, app) = state.get_or_insert_with(|| {
-                let mut mcu = Mcu::new(Supply::continuous());
-                let app = spec
-                    .build_app(&mut mcu)
-                    .expect("template validated on the coordinator");
-                (mcu, app)
-            });
-            mcu.restore(&snap);
-            mcu.supply = spec.supply_for_device(device);
-            let mut periph = Peripherals::new(spec.device_seed(device));
-            let fault = spec.fault_for_device(device);
-            fault.apply(&mut periph);
-            let mut rt = spec.kernel_builder().with_faults(fault).build();
-            let cfg = ExecConfig {
-                retry: fault.retry,
-                ..ExecConfig::default()
-            };
-            let r = run_app(app, rt.as_mut(), mcu, &mut periph, &cfg);
-            DeviceResult {
-                device,
-                seed: spec.device_seed(device),
-                outcome: r.outcome,
-                verdict: r.verdict,
-                wall_us: r.wall_us,
-                on_us: r.on_us,
-                stats: r.stats,
-                packets: periph.radio.packets().to_vec(),
+            let r = run_device(spec, &snap, state, device);
+            if let Some(p) = progress {
+                p.add(1);
             }
+            r
         },
     );
+    if let Some(p) = progress {
+        p.begin_phase("reconcile", 1);
+    }
     let gateway = reconcile(&results, &spec.medium);
+    if let Some(p) = progress {
+        p.add(1);
+    }
     Ok(FleetOutcome {
         results,
         gateway,
@@ -142,101 +244,190 @@ pub fn run_fleet(spec: &ScenarioSpec) -> Result<FleetOutcome, String> {
     })
 }
 
+/// Runs the fleet in bounded memory: each worker appends finished device
+/// records to a private JSONL shard and folds them into its own
+/// [`FleetAgg`]; the shards k-way-merge into `out` in device order and
+/// the per-worker aggregates merge into one.
+///
+/// Peak memory is O(workers + sketches + radio logs) — per-device
+/// `RunStats` ledgers never accumulate. The report built from the result
+/// is byte-identical to [`run_fleet`]'s at any `--jobs` width.
+pub fn run_fleet_streamed(
+    spec: &ScenarioSpec,
+    out: &mut JsonlWriter,
+    progress: Option<&Progress>,
+) -> Result<StreamedFleetOutcome, String> {
+    if spec.count == 0 {
+        return Err("a fleet needs at least 1 device".into());
+    }
+    let snap = template_snapshot(spec)?;
+    let jobs = spec.jobs.max(1).min(spec.count as usize);
+    let sink = ShardedSink::create(out.path(), jobs)
+        .map_err(|e| format!("stream shards for {}: {e}", out.path()))?;
+    if let Some(p) = progress {
+        p.begin_phase("devices", spec.count as u64);
+    }
+    let devices: Vec<u32> = (0..spec.count).collect();
+    let (packets, aggs, pool) = run_indexed_collect(
+        spec.jobs,
+        &devices,
+        || (None::<(Mcu, App)>, FleetAgg::new(), sink.claim()),
+        |(cache, agg, shard), _, &device| {
+            let r = run_device(spec, &snap, cache, device);
+            agg.observe(&r);
+            sink.write(*shard, device as u64, &r.record_line());
+            if let Some(p) = progress {
+                p.add(1);
+            }
+            (device, r.packets)
+        },
+        |(_, agg, _)| agg,
+    );
+    let stream = sink
+        .merge_into(out)
+        .map_err(|e| format!("stream merge into {}: {e}", out.path()))?;
+    let mut agg = FleetAgg::new();
+    for worker in &aggs {
+        agg.merge(worker);
+    }
+    if let Some(p) = progress {
+        p.begin_phase("reconcile", 1);
+    }
+    let gateway = reconcile_logs(
+        packets.iter().map(|(d, p)| (*d, p.as_slice())),
+        &spec.medium,
+    );
+    if let Some(p) = progress {
+        p.add(1);
+    }
+    Ok(StreamedFleetOutcome {
+        agg,
+        gateway,
+        pool,
+        stream,
+        packets,
+    })
+}
+
+/// The shared report assembly both execution paths feed: everything comes
+/// from the commutative [`FleetAgg`] and the order-independent gateway
+/// ledger, so the two paths (and every `--jobs` width) render identically
+/// outside the stripped `timing` block.
+pub(crate) fn fleet_inputs(
+    spec: &ScenarioSpec,
+    agg: &FleetAgg,
+    g: &GatewayStats,
+    timing: FleetTimingDoc,
+) -> FleetInputs {
+    FleetInputs {
+        runtime: spec.device.kernel.name().to_string(),
+        app: spec.device.app.label().to_string(),
+        devices: spec.count as u64,
+        seed: spec.seed,
+        supply: spec.supply.label(),
+        medium: FleetMediumDoc {
+            seed: spec.medium.seed,
+            loss_permille: spec.medium.loss_permille as u64,
+            airtime_base_us: spec.medium.airtime_base_us,
+            airtime_us_per_word: spec.medium.airtime_us_per_word,
+        },
+        fault_spec: spec.device.fault.plan.map(|p| FaultSpecDoc {
+            seed: p.seed,
+            rate_permille: p.rate_permille as u64,
+            max_retries: spec.device.fault.retry.max_retries as u64,
+            backoff_base_us: spec.device.fault.retry.backoff_base_us,
+        }),
+        outcomes: agg.outcomes(),
+        power_failures: agg.power_failures(),
+        delivery: FleetDeliveryDoc {
+            transmissions: g.transmissions,
+            unique_sent: g.unique_sent,
+            air_duplicates: g.air_duplicates,
+            delivered: g.delivered,
+            delivered_unique: g.delivered_unique,
+            gateway_duplicates: g.gateway_duplicates,
+            lost_collision: g.lost_collision,
+            lost_channel: g.lost_channel,
+            delivery_rate_milli: g.delivery_rate_milli(),
+        },
+        energy: agg.energy(),
+        stragglers: agg.stragglers(),
+        rollout: None,
+        timing: Some(timing),
+    }
+}
+
+/// Host timing block from a pool record (measurement, stripped from
+/// report identity), including the process peak RSS the memory-ceiling CI
+/// gate reads.
+pub(crate) fn timing_doc(pool: &PoolStats, streamed_records: Option<u64>) -> FleetTimingDoc {
+    FleetTimingDoc {
+        jobs: pool.jobs as u64,
+        wall_us: pool.wall_us,
+        devices_per_worker: pool.items_per_worker.clone(),
+        busy_us_per_worker: pool.busy_us_per_worker.clone(),
+        peak_rss_bytes: mcu_emu::peak_rss_bytes(),
+        streamed_records,
+    }
+}
+
 impl FleetOutcome {
+    /// The fleet-wide aggregate, folded from the in-memory results in
+    /// device order. Equal to the streamed path's merged per-worker
+    /// aggregates because the fold is commutative.
+    pub fn agg(&self) -> FleetAgg {
+        let mut agg = FleetAgg::new();
+        for r in &self.results {
+            agg.observe(r);
+        }
+        agg
+    }
+
     /// Power-failure reboots summed across the fleet.
     pub fn power_failures(&self) -> u64 {
         self.results.iter().map(|r| r.stats.power_failures).sum()
     }
 
     /// Fleet-wide energy ledger: every device's attribution summed.
-    pub fn energy(&self) -> FleetEnergyDoc {
-        let mut doc = FleetEnergyDoc::default();
-        for r in &self.results {
-            doc.total_time_us += r.stats.total_time_us();
-            doc.total_energy_nj += r.stats.total_energy_nj();
-            for i in 0..CAUSE_COUNT {
-                doc.cause_energy_nj[i] += r.stats.cause_energy_nj[i];
-            }
-        }
-        doc
+    pub fn energy(&self) -> easeio_trace::fleet::FleetEnergyDoc {
+        self.agg().energy()
     }
 
-    /// Straggler percentiles over per-device wall-clock.
-    pub fn stragglers(&self) -> FleetStragglerDoc {
-        let mut walls: Vec<u64> = self.results.iter().map(|r| r.wall_us).collect();
-        walls.sort_unstable();
-        FleetStragglerDoc {
-            p50_wall_us: percentile(&walls, 50),
-            p90_wall_us: percentile(&walls, 90),
-            p99_wall_us: percentile(&walls, 99),
-            max_wall_us: walls.last().copied().unwrap_or(0),
-        }
+    /// Straggler percentiles over per-device wall-clock (sketch-based;
+    /// see [`FleetAgg::stragglers`]).
+    pub fn stragglers(&self) -> easeio_trace::fleet::FleetStragglerDoc {
+        self.agg().stragglers()
     }
 
     /// Per-device outcome tally.
-    pub fn outcomes(&self) -> FleetOutcomesDoc {
-        let mut doc = FleetOutcomesDoc::default();
-        for r in &self.results {
-            match r.outcome {
-                Outcome::Completed => doc.completed += 1,
-                Outcome::NonTermination => doc.non_terminated += 1,
-                Outcome::Fault(_) => doc.faulted += 1,
-            }
-            match &r.verdict {
-                Some(Verdict::Correct) => doc.correct += 1,
-                Some(Verdict::Incorrect(_)) => doc.incorrect += 1,
-                None => doc.unverified += 1,
-            }
-        }
-        doc
+    pub fn outcomes(&self) -> easeio_trace::fleet::FleetOutcomesDoc {
+        self.agg().outcomes()
     }
 
     /// The `kind: "fleet"` report inputs for this outcome. Host timing
     /// from the pool is included; `identity_document` strips it before
     /// any `--jobs` comparison.
     pub fn report_inputs(&self, spec: &ScenarioSpec) -> FleetInputs {
-        let g = &self.gateway;
-        FleetInputs {
-            runtime: spec.device.kernel.name().to_string(),
-            app: spec.device.app.label().to_string(),
-            devices: spec.count as u64,
-            seed: spec.seed,
-            supply: spec.supply.label(),
-            medium: FleetMediumDoc {
-                seed: spec.medium.seed,
-                loss_permille: spec.medium.loss_permille as u64,
-                airtime_base_us: spec.medium.airtime_base_us,
-                airtime_us_per_word: spec.medium.airtime_us_per_word,
-            },
-            fault_spec: spec.device.fault.plan.map(|p| FaultSpecDoc {
-                seed: p.seed,
-                rate_permille: p.rate_permille as u64,
-                max_retries: spec.device.fault.retry.max_retries as u64,
-                backoff_base_us: spec.device.fault.retry.backoff_base_us,
-            }),
-            outcomes: self.outcomes(),
-            power_failures: self.power_failures(),
-            delivery: FleetDeliveryDoc {
-                transmissions: g.transmissions,
-                unique_sent: g.unique_sent,
-                air_duplicates: g.air_duplicates,
-                delivered: g.delivered,
-                delivered_unique: g.delivered_unique,
-                gateway_duplicates: g.gateway_duplicates,
-                lost_collision: g.lost_collision,
-                lost_channel: g.lost_channel,
-                delivery_rate_milli: g.delivery_rate_milli(),
-            },
-            energy: self.energy(),
-            stragglers: self.stragglers(),
-            rollout: None,
-            timing: Some(FleetTimingDoc {
-                jobs: self.pool.jobs as u64,
-                wall_us: self.pool.wall_us,
-                devices_per_worker: self.pool.items_per_worker.clone(),
-                busy_us_per_worker: self.pool.busy_us_per_worker.clone(),
-            }),
-        }
+        fleet_inputs(
+            spec,
+            &self.agg(),
+            &self.gateway,
+            timing_doc(&self.pool, None),
+        )
+    }
+}
+
+impl StreamedFleetOutcome {
+    /// The `kind: "fleet"` report inputs — byte-identical to
+    /// [`FleetOutcome::report_inputs`] outside the stripped `timing`
+    /// block.
+    pub fn report_inputs(&self, spec: &ScenarioSpec) -> FleetInputs {
+        fleet_inputs(
+            spec,
+            &self.agg,
+            &self.gateway,
+            timing_doc(&self.pool, Some(self.stream.records)),
+        )
     }
 }
 
@@ -308,5 +499,40 @@ mod tests {
         let energy = fleet.energy();
         let cause_sum: u64 = energy.cause_energy_nj.iter().sum();
         assert_eq!(cause_sum, energy.total_energy_nj);
+    }
+
+    #[test]
+    fn streamed_fleet_matches_in_memory_and_writes_device_order() {
+        let dir = std::env::temp_dir().join("easeio-fleet-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir
+            .join(format!("stream-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let spec = radio_fleet(12, KernelKind::EaseIo);
+        let mem = run_fleet(&spec).unwrap();
+        let mut spec4 = spec.clone();
+        spec4.jobs = 4;
+        let mut out = JsonlWriter::create(&path).unwrap();
+        let streamed = run_fleet_streamed(&spec4, &mut out, None).unwrap();
+        drop(out);
+        assert_eq!(streamed.gateway, mem.gateway);
+        assert_eq!(streamed.agg.outcomes(), mem.outcomes());
+        assert_eq!(streamed.agg.stragglers(), mem.stragglers());
+        assert_eq!(streamed.stream.records, 12);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let expected: String = mem.results.iter().map(|r| r.record_line() + "\n").collect();
+        assert_eq!(text, expected, "stream is the device-ordered records");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn progress_ticks_through_the_fleet_phases() {
+        let spec = radio_fleet(5, KernelKind::EaseIo);
+        let progress = Progress::new();
+        run_fleet_observed(&spec, Some(&progress)).unwrap();
+        let s = progress.snapshot();
+        assert_eq!(s.phase, "reconcile");
+        assert_eq!((s.done, s.total), (1, 1));
     }
 }

@@ -27,15 +27,25 @@
 //! only on the device index, waves merge in device order — so the rollout
 //! report is byte-identical at any `--jobs` width, and a 1-device
 //! no-loss rollout reproduces the single-device staged update exactly.
+//!
+//! Like the plain fleet, the rollout has a streamed twin
+//! ([`run_rollout_streamed`]): each wave's device records go through a
+//! per-wave sharded sink merged into one shared JSONL stream (waves are
+//! device-ordered, so concatenating the merged waves preserves global
+//! device order), and per-device results fold into a [`FleetAgg`] instead
+//! of accumulating.
 
-use crate::{reconcile, DeviceResult, FleetOutcome};
+use crate::telemetry::FleetAgg;
+use crate::{reconcile, reconcile_logs, DeviceResult, FleetOutcome, GatewayStats};
 use apps::ota_update::{self, OtaUpdateCfg};
-use easeio_exec::{run_indexed, PoolStats, ScenarioSpec};
+use easeio_exec::{run_indexed, run_indexed_collect, PoolStats, ScenarioSpec};
 use easeio_trace::fleet::{FleetInputs, FleetRolloutDoc};
+use easeio_trace::stream::{JsonlWriter, ShardedSink, StreamStats};
+use easeio_trace::Progress;
 use kernel::update::{PROBE_DUPLICATE_ACTIVATION, PROBE_VERSION_TORN};
 use kernel::{run_app, App, ExecConfig, Outcome, Verdict};
 use mcu_emu::{Mcu, McuSnapshot, Supply};
-use periph::{MediumSpec, Peripherals};
+use periph::{MediumSpec, Packet, Peripherals};
 use std::collections::HashMap;
 
 /// How the gateway rolls the update out.
@@ -60,6 +70,38 @@ impl Default for RolloutPolicy {
     }
 }
 
+/// Which update-safety probe a device tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutViolationKind {
+    /// The device recovered a torn image (`PROBE_VERSION_TORN`).
+    VersionTorn,
+    /// The device activated the image more than once
+    /// (`PROBE_DUPLICATE_ACTIVATION`).
+    DuplicateActivation,
+}
+
+impl RolloutViolationKind {
+    /// The violation's report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RolloutViolationKind::VersionTorn => "version_torn",
+            RolloutViolationKind::DuplicateActivation => "duplicate_activation",
+        }
+    }
+}
+
+/// The first update-safety violation of a rollout, in device order — the
+/// anchor the forensics bundle is built around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutViolation {
+    /// The offending device.
+    pub device: u32,
+    /// The 0-based wave the device was updated in.
+    pub wave: u32,
+    /// Which probe fired.
+    pub kind: RolloutViolationKind,
+}
+
 /// One complete rollout: the merged fleet outcome (device order) plus the
 /// version-convergence accounting.
 #[derive(Debug, Clone)]
@@ -69,6 +111,8 @@ pub struct RolloutOutcome {
     pub fleet: FleetOutcome,
     /// The `rollout` report block.
     pub stats: FleetRolloutDoc,
+    /// First device that tripped an update-safety probe, if any.
+    pub first_violation: Option<RolloutViolation>,
 }
 
 impl RolloutOutcome {
@@ -76,6 +120,40 @@ impl RolloutOutcome {
     /// in.
     pub fn report_inputs(&self, spec: &ScenarioSpec) -> FleetInputs {
         let mut inp = self.fleet.report_inputs(spec);
+        inp.rollout = Some(self.stats.clone());
+        inp
+    }
+}
+
+/// A streamed rollout: bounded aggregate, gateway accounting, and the
+/// version-convergence stats, with per-device records on disk.
+#[derive(Debug)]
+pub struct StreamedRolloutOutcome {
+    /// Fleet-wide aggregate (merged per-worker folds across all waves).
+    pub agg: FleetAgg,
+    /// Gateway delivery accounting over the shared medium.
+    pub gateway: GatewayStats,
+    /// Worker utilization, summed over waves.
+    pub pool: PoolStats,
+    /// What the per-wave sinks merged, summed over waves.
+    pub stream: StreamStats,
+    /// The `rollout` report block.
+    pub stats: FleetRolloutDoc,
+    /// First device that tripped an update-safety probe, if any.
+    pub first_violation: Option<RolloutViolation>,
+}
+
+impl StreamedRolloutOutcome {
+    /// The `kind: "fleet"` report inputs — byte-identical to
+    /// [`RolloutOutcome::report_inputs`] outside the stripped `timing`
+    /// block.
+    pub fn report_inputs(&self, spec: &ScenarioSpec) -> FleetInputs {
+        let mut inp = crate::fleet_inputs(
+            spec,
+            &self.agg,
+            &self.gateway,
+            crate::timing_doc(&self.pool, Some(self.stream.records)),
+        );
         inp.rollout = Some(self.stats.clone());
         inp
     }
@@ -117,13 +195,16 @@ fn downlink(medium: &MediumSpec, device: u32, chunks: u32, attempts: u32) -> Dow
     d
 }
 
-/// Runs a rolling update of `spec`'s fleet to `policy.target_seq`.
-///
-/// The scenario's app is fixed to `ota-update` (two variants: received the
-/// image / did not); the scenario's kernel decides the on-device protocol
-/// via [`kernel::KernelKind::two_phase_update`]. Everything else — supply,
-/// faults, medium, seeds, `jobs` — is the scenario's own.
-pub fn run_rollout(spec: &ScenarioSpec, policy: &RolloutPolicy) -> Result<RolloutOutcome, String> {
+/// The validated, precomputed rollout plan shared by both execution paths.
+struct RolloutPlan {
+    snaps: [McuSnapshot; 2],
+    cfgs: [OtaUpdateCfg; 2],
+    chunks: u32,
+    attempts: u32,
+    waves: u32,
+}
+
+fn plan_rollout(spec: &ScenarioSpec, policy: &RolloutPolicy) -> Result<RolloutPlan, String> {
     if spec.count == 0 {
         return Err("a rollout needs at least 1 device".into());
     }
@@ -133,7 +214,6 @@ pub fn run_rollout(spec: &ScenarioSpec, policy: &RolloutPolicy) -> Result<Rollou
     if policy.target_seq < 2 {
         return Err("rollout target_seq must be at least 2 (1 is the factory image)".into());
     }
-
     let updated_cfg = OtaUpdateCfg {
         target_seq: policy.target_seq,
         two_phase: spec.device.kernel.two_phase_update(),
@@ -151,49 +231,172 @@ pub fn run_rollout(spec: &ScenarioSpec, policy: &RolloutPolicy) -> Result<Rollou
         ota_update::build(&mut template, cfg);
         template.snapshot()
     };
-    let snaps = [snapshot_of(&stale_cfg), snapshot_of(&updated_cfg)];
     let chunks = updated_cfg
         .payload_words
         .div_ceil(updated_cfg.chunk_words.max(1));
-    let cfgs = [stale_cfg, updated_cfg];
-    let attempts = 1 + spec.device.fault.retry.max_retries;
-    let waves = spec.count.div_ceil(policy.wave_size);
+    Ok(RolloutPlan {
+        snaps: [snapshot_of(&stale_cfg), snapshot_of(&updated_cfg)],
+        cfgs: [stale_cfg, updated_cfg],
+        chunks,
+        attempts: 1 + spec.device.fault.retry.max_retries,
+        waves: spec.count.div_ceil(policy.wave_size),
+    })
+}
+
+/// Runs one OTA device on a worker's cached machine (cache keyed by app
+/// variant). Pure in `(spec, plan, device, received)`.
+fn run_ota_device(
+    spec: &ScenarioSpec,
+    plan: &RolloutPlan,
+    cache: &mut HashMap<bool, (Mcu, App)>,
+    device: u32,
+    received: bool,
+) -> DeviceResult {
+    let (mcu, app) = cache.entry(received).or_insert_with(|| {
+        let mut mcu = Mcu::new(Supply::continuous());
+        let (app, _) = ota_update::build(&mut mcu, &plan.cfgs[received as usize]);
+        (mcu, app)
+    });
+    mcu.restore(&plan.snaps[received as usize]);
+    mcu.supply = spec.supply_for_device(device);
+    let mut periph = Peripherals::new(spec.device_seed(device));
+    let fault = spec.fault_for_device(device);
+    fault.apply(&mut periph);
+    let mut rt = spec.kernel_builder().with_faults(fault).build();
+    let cfg = ExecConfig {
+        retry: fault.retry,
+        ..ExecConfig::default()
+    };
+    let r = run_app(app, rt.as_mut(), mcu, &mut periph, &cfg);
+    DeviceResult {
+        device,
+        seed: spec.device_seed(device),
+        outcome: r.outcome,
+        verdict: r.verdict,
+        wall_us: r.wall_us,
+        on_us: r.on_us,
+        stats: r.stats,
+        packets: periph.radio.packets().to_vec(),
+    }
+}
+
+/// Deterministic gateway-side pre-pass for one wave: which devices get
+/// the full image, with the downlink accounting folded into `stats`.
+fn plan_wave(
+    spec: &ScenarioSpec,
+    plan: &RolloutPlan,
+    first: u32,
+    last: u32,
+    offered: bool,
+    stats: &mut FleetRolloutDoc,
+) -> Vec<(u32, bool)> {
+    (first..last)
+        .map(|device| {
+            if !offered {
+                stats.stale += 1;
+                return (device, false);
+            }
+            stats.offered += 1;
+            let d = downlink(&spec.medium, device, plan.chunks, plan.attempts);
+            stats.downlink_chunks_sent += d.chunks_sent;
+            stats.downlink_chunks_lost += d.chunks_lost;
+            if !d.received {
+                stats.stragglers += 1;
+            }
+            (device, d.received)
+        })
+        .collect()
+}
+
+/// Gateway-side wave review: folds version accounting and the first
+/// update-safety violation into the running state and returns whether any
+/// received update regressed (did not land completed, correct, and
+/// probe-clean).
+fn review_wave(
+    wave: u32,
+    items: &[(u32, bool)],
+    wave_results: &[DeviceResult],
+    stats: &mut FleetRolloutDoc,
+    first_violation: &mut Option<RolloutViolation>,
+) -> bool {
+    let mut regressed = false;
+    for (r, &(device, received)) in wave_results.iter().zip(items) {
+        let torn = r.stats.counter(PROBE_VERSION_TORN);
+        let dups = r.stats.counter(PROBE_DUPLICATE_ACTIVATION);
+        stats.duplicate_activations += dups;
+        stats.version_torn += torn;
+        if first_violation.is_none() {
+            let kind = if torn > 0 {
+                Some(RolloutViolationKind::VersionTorn)
+            } else if dups > 0 {
+                Some(RolloutViolationKind::DuplicateActivation)
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                *first_violation = Some(RolloutViolation { device, wave, kind });
+            }
+        }
+        if received {
+            let ok = r.outcome == Outcome::Completed && r.verdict == Some(Verdict::Correct);
+            if ok {
+                stats.updated += 1;
+            } else {
+                stats.update_failed += 1;
+            }
+            if !ok || torn > 0 || dups > 0 {
+                regressed = true;
+            }
+        }
+    }
+    regressed
+}
+
+/// Runs a rolling update of `spec`'s fleet to `policy.target_seq`.
+///
+/// The scenario's app is fixed to `ota-update` (two variants: received the
+/// image / did not); the scenario's kernel decides the on-device protocol
+/// via [`kernel::KernelKind::two_phase_update`]. Everything else — supply,
+/// faults, medium, seeds, `jobs` — is the scenario's own.
+pub fn run_rollout(spec: &ScenarioSpec, policy: &RolloutPolicy) -> Result<RolloutOutcome, String> {
+    run_rollout_observed(spec, policy, None)
+}
+
+/// [`run_rollout`] with a live progress channel: ticks one unit per
+/// device in a `"devices"` phase, with the wave index alongside.
+pub fn run_rollout_observed(
+    spec: &ScenarioSpec,
+    policy: &RolloutPolicy,
+    progress: Option<&Progress>,
+) -> Result<RolloutOutcome, String> {
+    let plan = plan_rollout(spec, policy)?;
+    if let Some(p) = progress {
+        p.begin_phase("devices", spec.count as u64);
+        p.set_wave(0, plan.waves as u64);
+    }
 
     let mut stats = FleetRolloutDoc {
         target_seq: policy.target_seq as u64,
         wave_size: policy.wave_size as u64,
-        waves: waves as u64,
+        waves: plan.waves as u64,
         ..FleetRolloutDoc::default()
     };
+    let mut first_violation = None;
     let mut results: Vec<DeviceResult> = Vec::with_capacity(spec.count as usize);
     let mut pool_total: Option<PoolStats> = None;
     let mut aborted = false;
 
-    for wave in 0..waves {
+    for wave in 0..plan.waves {
         let first = wave * policy.wave_size;
         let last = (first + policy.wave_size).min(spec.count);
         let offered = !aborted;
         if offered {
             stats.waves_rolled_out += 1;
         }
-
-        // Deterministic gateway-side pre-pass: who gets the full image.
-        let items: Vec<(u32, bool)> = (first..last)
-            .map(|device| {
-                if !offered {
-                    stats.stale += 1;
-                    return (device, false);
-                }
-                stats.offered += 1;
-                let d = downlink(&spec.medium, device, chunks, attempts);
-                stats.downlink_chunks_sent += d.chunks_sent;
-                stats.downlink_chunks_lost += d.chunks_lost;
-                if !d.received {
-                    stats.stragglers += 1;
-                }
-                (device, d.received)
-            })
-            .collect();
+        if let Some(p) = progress {
+            p.set_wave(wave as u64 + 1, plan.waves as u64);
+        }
+        let items = plan_wave(spec, &plan, first, last, offered, &mut stats);
 
         // Device phase: same restore discipline as `run_fleet`, with the
         // worker cache keyed by app variant.
@@ -202,57 +405,22 @@ pub fn run_rollout(spec: &ScenarioSpec, policy: &RolloutPolicy) -> Result<Rollou
             &items,
             HashMap::<bool, (Mcu, App)>::new,
             |cache, _, &(device, received)| {
-                let (mcu, app) = cache.entry(received).or_insert_with(|| {
-                    let mut mcu = Mcu::new(Supply::continuous());
-                    let (app, _) = ota_update::build(&mut mcu, &cfgs[received as usize]);
-                    (mcu, app)
-                });
-                mcu.restore(&snaps[received as usize]);
-                mcu.supply = spec.supply_for_device(device);
-                let mut periph = Peripherals::new(spec.device_seed(device));
-                let fault = spec.fault_for_device(device);
-                fault.apply(&mut periph);
-                let mut rt = spec.kernel_builder().with_faults(fault).build();
-                let cfg = ExecConfig {
-                    retry: fault.retry,
-                    ..ExecConfig::default()
-                };
-                let r = run_app(app, rt.as_mut(), mcu, &mut periph, &cfg);
-                DeviceResult {
-                    device,
-                    seed: spec.device_seed(device),
-                    outcome: r.outcome,
-                    verdict: r.verdict,
-                    wall_us: r.wall_us,
-                    on_us: r.on_us,
-                    stats: r.stats,
-                    packets: periph.radio.packets().to_vec(),
+                let r = run_ota_device(spec, &plan, cache, device, received);
+                if let Some(p) = progress {
+                    p.add(1);
                 }
+                r
             },
         );
         merge_pool(&mut pool_total, pool, first as usize);
 
-        // Gateway-side wave review: any received update that did not land
-        // completed, correct, and probe-clean is a regression.
-        let regressed = wave_results.iter().zip(&items).any(|(r, &(_, received))| {
-            received
-                && (r.outcome != Outcome::Completed
-                    || r.verdict != Some(Verdict::Correct)
-                    || r.stats.counter(PROBE_VERSION_TORN) > 0
-                    || r.stats.counter(PROBE_DUPLICATE_ACTIVATION) > 0)
-        });
-        for (r, &(_, received)) in wave_results.iter().zip(&items) {
-            stats.duplicate_activations += r.stats.counter(PROBE_DUPLICATE_ACTIVATION);
-            stats.version_torn += r.stats.counter(PROBE_VERSION_TORN);
-            if received {
-                let ok = r.outcome == Outcome::Completed && r.verdict == Some(Verdict::Correct);
-                if ok {
-                    stats.updated += 1;
-                } else {
-                    stats.update_failed += 1;
-                }
-            }
-        }
+        let regressed = review_wave(
+            wave,
+            &items,
+            &wave_results,
+            &mut stats,
+            &mut first_violation,
+        );
         results.extend(wave_results);
         if offered && policy.abort_on_regression && regressed {
             aborted = true;
@@ -260,7 +428,13 @@ pub fn run_rollout(spec: &ScenarioSpec, policy: &RolloutPolicy) -> Result<Rollou
     }
     stats.aborted = aborted;
 
+    if let Some(p) = progress {
+        p.begin_phase("reconcile", 1);
+    }
     let gateway = reconcile(&results, &spec.medium);
+    if let Some(p) = progress {
+        p.add(1);
+    }
     Ok(RolloutOutcome {
         fleet: FleetOutcome {
             results,
@@ -268,6 +442,120 @@ pub fn run_rollout(spec: &ScenarioSpec, policy: &RolloutPolicy) -> Result<Rollou
             pool: pool_total.expect("at least one wave ran"),
         },
         stats,
+        first_violation,
+    })
+}
+
+/// Runs the rollout in bounded memory: each wave streams its device
+/// records through a per-wave sharded sink merged into `out` (waves are
+/// device-ordered, so the concatenated stream is globally device-ordered
+/// and byte-identical at any `--jobs` width), and per-device results fold
+/// into one [`FleetAgg`].
+pub fn run_rollout_streamed(
+    spec: &ScenarioSpec,
+    policy: &RolloutPolicy,
+    out: &mut JsonlWriter,
+    progress: Option<&Progress>,
+) -> Result<StreamedRolloutOutcome, String> {
+    let plan = plan_rollout(spec, policy)?;
+    if let Some(p) = progress {
+        p.begin_phase("devices", spec.count as u64);
+        p.set_wave(0, plan.waves as u64);
+    }
+
+    let mut stats = FleetRolloutDoc {
+        target_seq: policy.target_seq as u64,
+        wave_size: policy.wave_size as u64,
+        waves: plan.waves as u64,
+        ..FleetRolloutDoc::default()
+    };
+    let mut first_violation = None;
+    let mut agg = FleetAgg::new();
+    let mut packets: Vec<(u32, Vec<Packet>)> = Vec::with_capacity(spec.count as usize);
+    let mut stream = StreamStats::default();
+    let mut pool_total: Option<PoolStats> = None;
+    let mut aborted = false;
+
+    for wave in 0..plan.waves {
+        let first = wave * policy.wave_size;
+        let last = (first + policy.wave_size).min(spec.count);
+        let offered = !aborted;
+        if offered {
+            stats.waves_rolled_out += 1;
+        }
+        if let Some(p) = progress {
+            p.set_wave(wave as u64 + 1, plan.waves as u64);
+        }
+        let items = plan_wave(spec, &plan, first, last, offered, &mut stats);
+
+        let jobs = spec.jobs.max(1).min(items.len().max(1));
+        let sink = ShardedSink::create(&format!("{}.wave{wave}", out.path()), jobs)
+            .map_err(|e| format!("stream shards for {}: {e}", out.path()))?;
+        // The wave is small (`wave_size` devices), so holding its
+        // `DeviceResult`s for the review pass keeps memory bounded by the
+        // wave, not the fleet.
+        let (wave_results, aggs, pool) = run_indexed_collect(
+            spec.jobs,
+            &items,
+            || {
+                (
+                    HashMap::<bool, (Mcu, App)>::new(),
+                    FleetAgg::new(),
+                    sink.claim(),
+                )
+            },
+            |(cache, agg, shard), _, &(device, received)| {
+                let r = run_ota_device(spec, &plan, cache, device, received);
+                agg.observe(&r);
+                sink.write(*shard, device as u64, &r.record_line());
+                if let Some(p) = progress {
+                    p.add(1);
+                }
+                r
+            },
+            |(_, agg, _)| agg,
+        );
+        let wave_stream = sink
+            .merge_into(out)
+            .map_err(|e| format!("stream merge into {}: {e}", out.path()))?;
+        stream.records += wave_stream.records;
+        stream.shards = stream.shards.max(wave_stream.shards);
+        for worker in &aggs {
+            agg.merge(worker);
+        }
+        merge_pool(&mut pool_total, pool, first as usize);
+
+        let regressed = review_wave(
+            wave,
+            &items,
+            &wave_results,
+            &mut stats,
+            &mut first_violation,
+        );
+        packets.extend(wave_results.into_iter().map(|r| (r.device, r.packets)));
+        if offered && policy.abort_on_regression && regressed {
+            aborted = true;
+        }
+    }
+    stats.aborted = aborted;
+
+    if let Some(p) = progress {
+        p.begin_phase("reconcile", 1);
+    }
+    let gateway = reconcile_logs(
+        packets.iter().map(|(d, p)| (*d, p.as_slice())),
+        &spec.medium,
+    );
+    if let Some(p) = progress {
+        p.add(1);
+    }
+    Ok(StreamedRolloutOutcome {
+        agg,
+        gateway,
+        pool: pool_total.expect("at least one wave ran"),
+        stream,
+        stats,
+        first_violation,
     })
 }
 
@@ -341,6 +629,7 @@ mod tests {
         assert_eq!(s.update_failed + s.stragglers + s.stale, 0);
         assert_eq!(s.duplicate_activations, 0);
         assert_eq!(s.version_torn, 0);
+        assert!(r.first_violation.is_none());
         assert_eq!(r.fleet.results.len(), 24);
         // Device order is the merge order regardless of wave boundaries.
         for (i, d) in r.fleet.results.iter().enumerate() {
@@ -384,5 +673,40 @@ mod tests {
             &RolloutPolicy::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn streamed_rollout_matches_in_memory_across_waves() {
+        let dir = std::env::temp_dir().join("easeio-fleet-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir
+            .join(format!("rollout-stream-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let spec = rollout_spec(20, KernelKind::EaseIo);
+        let policy = RolloutPolicy {
+            wave_size: 6,
+            ..RolloutPolicy::default()
+        };
+        let mem = run_rollout(&spec, &policy).unwrap();
+        let mut spec3 = spec.clone();
+        spec3.jobs = 3;
+        let mut out = JsonlWriter::create(&path).unwrap();
+        let streamed = run_rollout_streamed(&spec3, &policy, &mut out, None).unwrap();
+        drop(out);
+        assert_eq!(streamed.gateway, mem.fleet.gateway);
+        assert_eq!(streamed.stats.updated, mem.stats.updated);
+        assert_eq!(streamed.stats.waves_rolled_out, mem.stats.waves_rolled_out);
+        assert_eq!(streamed.first_violation, mem.first_violation);
+        assert_eq!(streamed.stream.records, 20);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let expected: String = mem
+            .fleet
+            .results
+            .iter()
+            .map(|r| r.record_line() + "\n")
+            .collect();
+        assert_eq!(text, expected, "waves concatenate in device order");
+        let _ = std::fs::remove_file(&path);
     }
 }

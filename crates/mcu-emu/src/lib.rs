@@ -30,6 +30,6 @@ pub use memory::{Addr, AllocRecord, AllocTag, MemSnapshot, Memory, Region, PAGE_
 pub use nvstore::{NvBuf, NvVar, RawVar, Scalar};
 pub use power::{RfHarvestConfig, Supply, TimerResetConfig};
 pub use stats::{
-    CauseMarks, CauseSample, EnergyCause, RunStats, WorkKind, CAUSE_COUNT, DMA_SITE_BASE,
-    KERNEL_TASK,
+    current_rss_bytes, peak_rss_bytes, CauseMarks, CauseSample, EnergyCause, RunStats, WorkKind,
+    CAUSE_COUNT, DMA_SITE_BASE, KERNEL_TASK,
 };

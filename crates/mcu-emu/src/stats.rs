@@ -407,9 +407,64 @@ impl RunStats {
     }
 }
 
+// ------------------------------------------------------- host memory -----
+//
+// Fleet-scale runs claim a *flat* memory ceiling (ISSUE 10): the streamed
+// telemetry path must not grow with the device count. These counters read
+// the host process's resident-set sizes so reports (and the CI gate) can
+// state peak RSS as a measured number rather than a hope. They live with
+// the stats module because they ride in the same report timing block as
+// the other measurement counters — but unlike everything else in RunStats
+// they are HOST numbers: nondeterministic, never part of report identity.
+
+/// Reads a `kB` field from `/proc/self/status`, in bytes.
+#[cfg(target_os = "linux")]
+fn proc_status_kb(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(key))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Peak resident-set size of this process (bytes). `None` where the
+/// platform does not expose it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_kb("VmHWM:")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Current resident-set size of this process (bytes). `None` where the
+/// platform does not expose it.
+pub fn current_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_kb("VmRSS:")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_rss_counters_read_on_linux() {
+        if cfg!(target_os = "linux") {
+            let peak = peak_rss_bytes().expect("VmHWM in /proc/self/status");
+            let cur = current_rss_bytes().expect("VmRSS in /proc/self/status");
+            assert!(cur > 0);
+            assert!(peak >= cur, "high-water {peak} below current {cur}");
+        }
+    }
 
     #[test]
     fn record_splits_by_kind() {

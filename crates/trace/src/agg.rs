@@ -49,6 +49,30 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases_are_total() {
+        // Empty series: every quantile is 0, including the extremes.
+        for q in [0, 1, 50, 99, 100] {
+            assert_eq!(percentile(&[], q), 0);
+        }
+        // Single sample: every quantile is that sample.
+        for q in [0, 1, 50, 99, 100] {
+            assert_eq!(percentile(&[42], q), 42);
+        }
+        // All-equal samples: every quantile is the common value, at any
+        // length (the floor-index rank can touch any slot).
+        for len in [2usize, 3, 7, 100] {
+            let s = vec![13u64; len];
+            for q in [0, 25, 50, 75, 99, 100] {
+                assert_eq!(percentile(&s, q), 13, "len {len} q {q}");
+            }
+        }
+        // Two samples: the median floor-rounds down to the first.
+        assert_eq!(percentile(&[1, 100], 50), 1);
+        assert_eq!(percentile(&[1, 100], 99), 1);
+        assert_eq!(percentile(&[1, 100], 100), 100);
+    }
+
+    #[test]
     fn tally_counts_in_order() {
         let t = tally(["b", "a", "b", "b"]);
         let pairs: Vec<_> = t.into_iter().collect();

@@ -111,6 +111,8 @@ pub enum ReportKind {
     Metrics,
     /// A fleet-scale simulation report (v2 only).
     Fleet,
+    /// A violation-forensics bundle (v2 only).
+    Forensics,
 }
 
 impl ReportKind {
@@ -121,6 +123,7 @@ impl ReportKind {
             ReportKind::Sweep => "sweep",
             ReportKind::Metrics => "metrics",
             ReportKind::Fleet => "fleet",
+            ReportKind::Forensics => "forensics",
         }
     }
 }
@@ -143,6 +146,10 @@ pub fn validate_any_report(v: &Value) -> Result<ReportKind, Vec<String>> {
                 Some("fleet") => (
                     ReportKind::Fleet,
                     Report::<crate::fleet::FleetInputs>::validate(v),
+                ),
+                Some("forensics") => (
+                    ReportKind::Forensics,
+                    Report::<crate::forensics::ForensicsInputs>::validate(v),
                 ),
                 Some("run") | None => (
                     ReportKind::Run,

@@ -40,7 +40,7 @@ pub struct FleetMediumDoc {
 /// Per-device outcome tally. The three outcome counts partition the fleet;
 /// so do the three verdict counts (devices whose app defines no
 /// correctness check land in `unverified`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FleetOutcomesDoc {
     /// Devices whose final task completed.
     pub completed: u64,
@@ -82,7 +82,7 @@ pub struct FleetDeliveryDoc {
 }
 
 /// Fleet-wide energy ledger: every device's attribution summed.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FleetEnergyDoc {
     /// Total on-time across all devices (µs).
     pub total_time_us: u64,
@@ -94,7 +94,7 @@ pub struct FleetEnergyDoc {
 
 /// Straggler percentiles over per-device wall-clock (virtual µs, dead time
 /// included) — how unevenly the fleet finishes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FleetStragglerDoc {
     /// Median device wall-clock (µs).
     pub p50_wall_us: u64,
@@ -164,6 +164,13 @@ pub struct FleetTimingDoc {
     pub devices_per_worker: Vec<u64>,
     /// Busy time of each worker (µs).
     pub busy_us_per_worker: Vec<u64>,
+    /// Peak resident-set size of the host process (bytes), when the
+    /// platform exposes it — the number the CI flat-memory gate reads.
+    pub peak_rss_bytes: Option<u64>,
+    /// Per-device records streamed to `--stream-out` (present on streamed
+    /// runs; deterministic, but reported here because it describes how the
+    /// run was executed, not what it computed).
+    pub streamed_records: Option<u64>,
 }
 
 /// Inputs to the fleet report document.
@@ -374,6 +381,14 @@ fn fleet_body(inp: &FleetInputs) -> Value {
                 ),
             ]),
         ));
+        if let Value::Obj(timing) = fields.last_mut().map(|(_, v)| v).unwrap() {
+            if let Some(rss) = t.peak_rss_bytes {
+                timing.push(("peak_rss_bytes".into(), Value::u64(rss)));
+            }
+            if let Some(n) = t.streamed_records {
+                timing.push(("streamed_records".into(), Value::u64(n)));
+            }
+        }
     }
     Value::Obj(fields)
 }
@@ -689,6 +704,13 @@ fn validate_fleet_body(v: &Value) -> Vec<String> {
                 errs.push(format!("'timing.{k}' must be an array"));
             }
         }
+        for k in ["peak_rss_bytes", "streamed_records"] {
+            if let Some(n) = t.get(k) {
+                if n.as_u64().is_none() {
+                    errs.push(format!("'timing.{k}' must be an unsigned integer"));
+                }
+            }
+        }
     }
     errs
 }
@@ -884,6 +906,8 @@ mod tests {
             wall_us: 123,
             devices_per_worker: vec![1; 8],
             busy_us_per_worker: vec![10; 8],
+            peak_rss_bytes: Some(64 << 20),
+            streamed_records: Some(4),
         });
         let timed = build_fleet_report(&inp);
         validate_fleet_report(&timed).unwrap();

@@ -1,0 +1,335 @@
+//! Violation forensics bundles — `kind: "forensics"` documents.
+//!
+//! A fired probe used to yield a counter; reproducing it meant re-deriving
+//! the sweep by hand. A forensics bundle is the self-contained artifact
+//! the formal-foundation line of work asks for: it names the exact
+//! boundary (and its energy-spend sequence number), the fault-plan
+//! coordinates, the first divergent FRAM bytes against the
+//! continuous-power oracle, and a ready-to-paste minimal-repro CLI
+//! command that re-executes exactly that injection.
+//!
+//! The document lives under the same versioned [`Report`]
+//! envelope as every other kind and is validated by
+//! [`validate_forensics_report`] / dispatched by
+//! [`validate_any_report`](crate::validate_any_report).
+
+use crate::envelope::{Report, ReportBody};
+use crate::json::Value;
+use crate::sweep::FaultSpecDoc;
+
+/// How many divergent FRAM bytes a bundle spells out; the total count is
+/// always recorded.
+pub const FRAM_DIFF_CAP: usize = 32;
+
+/// The violation being documented.
+#[derive(Debug, Clone, Default)]
+pub struct ForensicsViolationDoc {
+    /// Stable probe name (`"version_torn"`, `"air_duplicate"`, …).
+    pub kind: String,
+    /// Human-readable detail from the probe.
+    pub detail: String,
+    /// Injected boundary index, for crash-sweep violations.
+    pub boundary: Option<u64>,
+    /// The boundary's energy-spend sequence number in the continuous
+    /// reference trace — the coordinate the formal semantics names.
+    pub spend_seq: Option<u64>,
+    /// Offending device, for fleet/rollout violations.
+    pub device: Option<u64>,
+    /// 1-based rollout wave the device was updated in.
+    pub wave: Option<u64>,
+}
+
+/// One divergent FRAM byte against the continuous-power oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramDiffByte {
+    /// FRAM offset.
+    pub addr: u64,
+    /// What the oracle holds there.
+    pub oracle: u8,
+    /// What the violating run holds there.
+    pub observed: u8,
+}
+
+/// FRAM divergence summary: total count plus the first
+/// [`FRAM_DIFF_CAP`] bytes.
+#[derive(Debug, Clone, Default)]
+pub struct FramDiffDoc {
+    /// Total divergent bytes.
+    pub divergent_bytes: u64,
+    /// The first divergent bytes, ascending by address.
+    pub first: Vec<FramDiffByte>,
+}
+
+/// The `kind: "forensics"` payload.
+#[derive(Debug, Clone, Default)]
+pub struct ForensicsInputs {
+    /// Producing mode: `"sweep"`, `"fleet"`, or `"rollout"`.
+    pub source: String,
+    /// Kernel under test.
+    pub runtime: String,
+    /// App label.
+    pub app: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// The violation itself.
+    pub violation: ForensicsViolationDoc,
+    /// Fault plan in effect, if any.
+    pub fault_spec: Option<FaultSpecDoc>,
+    /// Sweep/fleet context: mode label, injections explored, update
+    /// window, device count — whatever the producer knows.
+    pub context: Vec<(String, u64)>,
+    /// FRAM diff against the oracle (crash-sweep violations only).
+    pub fram_diff: Option<FramDiffDoc>,
+    /// Ready-to-paste minimal-repro command.
+    pub repro_command: String,
+}
+
+impl ReportBody for ForensicsInputs {
+    const KIND: &'static str = "forensics";
+    const TOOL: &'static str = "easeio-sim";
+
+    fn body(&self) -> Value {
+        let v = &self.violation;
+        let mut violation = vec![
+            ("kind".into(), Value::str(v.kind.clone())),
+            ("detail".into(), Value::str(v.detail.clone())),
+        ];
+        for (key, val) in [
+            ("boundary", v.boundary),
+            ("spend_seq", v.spend_seq),
+            ("device", v.device),
+            ("wave", v.wave),
+        ] {
+            if let Some(n) = val {
+                violation.push((key.into(), Value::u64(n)));
+            }
+        }
+        let mut fields = vec![
+            ("source".into(), Value::str(self.source.clone())),
+            ("runtime".into(), Value::str(self.runtime.clone())),
+            ("app".into(), Value::str(self.app.clone())),
+            ("seed".into(), Value::u64(self.seed)),
+            ("violation".into(), Value::Obj(violation)),
+        ];
+        if let Some(f) = &self.fault_spec {
+            fields.push((
+                "fault_spec".into(),
+                Value::Obj(vec![
+                    ("seed".into(), Value::u64(f.seed)),
+                    ("rate_permille".into(), Value::u64(f.rate_permille)),
+                    ("max_retries".into(), Value::u64(f.max_retries)),
+                    ("backoff_base_us".into(), Value::u64(f.backoff_base_us)),
+                ]),
+            ));
+        }
+        if !self.context.is_empty() {
+            fields.push((
+                "context".into(),
+                Value::Obj(
+                    self.context
+                        .iter()
+                        .map(|(k, n)| (k.clone(), Value::u64(*n)))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(d) = &self.fram_diff {
+            fields.push((
+                "fram_diff".into(),
+                Value::Obj(vec![
+                    ("divergent_bytes".into(), Value::u64(d.divergent_bytes)),
+                    (
+                        "first".into(),
+                        Value::Arr(
+                            d.first
+                                .iter()
+                                .map(|b| {
+                                    Value::Obj(vec![
+                                        ("addr".into(), Value::u64(b.addr)),
+                                        ("oracle".into(), Value::u64(b.oracle as u64)),
+                                        ("observed".into(), Value::u64(b.observed as u64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        fields.push((
+            "repro".into(),
+            Value::Obj(vec![(
+                "command".into(),
+                Value::str(self.repro_command.clone()),
+            )]),
+        ));
+        Value::Obj(fields)
+    }
+
+    fn validate_body(body: &Value) -> Vec<String> {
+        let mut errs = Vec::new();
+        for key in ["source", "runtime", "app"] {
+            match body.get(key).and_then(Value::as_str) {
+                Some(s) if !s.is_empty() => {}
+                _ => errs.push(format!("'{key}' must be a nonempty string")),
+            }
+        }
+        if body.get("seed").and_then(Value::as_u64).is_none() {
+            errs.push("'seed' must be an unsigned integer".into());
+        }
+        match body.get("violation") {
+            Some(v) => {
+                match v.get("kind").and_then(Value::as_str) {
+                    Some(k) if !k.is_empty() => {}
+                    _ => errs.push("'violation.kind' must be a nonempty string".into()),
+                }
+                if v.get("detail").and_then(Value::as_str).is_none() {
+                    errs.push("'violation.detail' must be a string".into());
+                }
+                for key in ["boundary", "spend_seq", "device", "wave"] {
+                    if let Some(n) = v.get(key) {
+                        if n.as_u64().is_none() {
+                            errs.push(format!("'violation.{key}' must be an unsigned integer"));
+                        }
+                    }
+                }
+            }
+            None => errs.push("missing key 'violation'".into()),
+        }
+        if let Some(d) = body.get("fram_diff") {
+            let total = d.get("divergent_bytes").and_then(Value::as_u64);
+            if total.is_none() {
+                errs.push("'fram_diff.divergent_bytes' must be an unsigned integer".into());
+            }
+            match d.get("first").and_then(Value::as_arr) {
+                Some(first) => {
+                    if let Some(total) = total {
+                        if (first.len() as u64) > total {
+                            errs.push(
+                                "'fram_diff.first' lists more bytes than 'divergent_bytes'".into(),
+                            );
+                        }
+                    }
+                    for (i, b) in first.iter().enumerate() {
+                        let addr = b.get("addr").and_then(Value::as_u64);
+                        let oracle = b.get("oracle").and_then(Value::as_u64);
+                        let observed = b.get("observed").and_then(Value::as_u64);
+                        match (addr, oracle, observed) {
+                            (Some(_), Some(o), Some(b)) if o != b => {}
+                            (Some(_), Some(_), Some(_)) => errs.push(format!(
+                                "'fram_diff.first[{i}]' is not a divergence: oracle == observed"
+                            )),
+                            _ => errs.push(format!(
+                                "'fram_diff.first[{i}]' needs addr/oracle/observed integers"
+                            )),
+                        }
+                    }
+                }
+                None => errs.push("'fram_diff.first' must be an array".into()),
+            }
+        }
+        match body
+            .get("repro")
+            .and_then(|r| r.get("command"))
+            .and_then(Value::as_str)
+        {
+            Some(cmd) if cmd.starts_with("easeio-sim ") => {}
+            Some(_) => errs.push("'repro.command' must start with 'easeio-sim '".into()),
+            None => errs.push("'repro.command' must be a string".into()),
+        }
+        errs
+    }
+}
+
+/// Renders the full versioned forensics document.
+pub fn build_forensics_report(inputs: &ForensicsInputs) -> Value {
+    Report::new(inputs.clone()).to_value()
+}
+
+/// Validates a parsed forensics document.
+pub fn validate_forensics_report(v: &Value) -> Result<(), Vec<String>> {
+    Report::<ForensicsInputs>::validate(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::validate_any_report;
+
+    fn sample() -> ForensicsInputs {
+        ForensicsInputs {
+            source: "sweep".into(),
+            runtime: "naive".into(),
+            app: "ota-update".into(),
+            seed: 7,
+            violation: ForensicsViolationDoc {
+                kind: "version_torn".into(),
+                detail: "sealed header vouches for torn payload".into(),
+                boundary: Some(12),
+                spend_seq: Some(340),
+                device: None,
+                wave: None,
+            },
+            fault_spec: None,
+            context: vec![("injections".into(), 34), ("update_window".into(), 1)],
+            fram_diff: Some(FramDiffDoc {
+                divergent_bytes: 40,
+                first: vec![FramDiffByte {
+                    addr: 0x180,
+                    oracle: 0xAA,
+                    observed: 0x00,
+                }],
+            }),
+            repro_command: "easeio-sim sweep --app ota-update --kernel naive \
+                            --seed 7 --boundary 12 --update-window --expect-violations"
+                .into(),
+        }
+    }
+
+    #[test]
+    fn bundle_roundtrips_and_dispatches_as_forensics() {
+        let doc = build_forensics_report(&sample());
+        let parsed = parse(&doc.to_pretty()).unwrap();
+        assert_eq!(
+            validate_any_report(&parsed),
+            Ok(crate::ReportKind::Forensics)
+        );
+        let body = parsed.get("report").unwrap();
+        assert_eq!(
+            body.get("violation")
+                .and_then(|v| v.get("spend_seq"))
+                .and_then(Value::as_u64),
+            Some(340)
+        );
+        assert!(body
+            .get("repro")
+            .and_then(|r| r.get("command"))
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("--boundary 12"));
+    }
+
+    #[test]
+    fn validator_rejects_broken_bundles() {
+        let mut inputs = sample();
+        inputs.repro_command = "rm -rf /".into();
+        let doc = build_forensics_report(&inputs);
+        let errs = validate_forensics_report(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("repro.command")), "{errs:?}");
+
+        let mut inputs = sample();
+        inputs.fram_diff.as_mut().unwrap().first[0].observed = 0xAA;
+        let doc = build_forensics_report(&inputs);
+        let errs = validate_forensics_report(&doc).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("not a divergence")),
+            "{errs:?}"
+        );
+
+        let mut inputs = sample();
+        inputs.violation.kind.clear();
+        let doc = build_forensics_report(&inputs);
+        assert!(validate_forensics_report(&doc).is_err());
+    }
+}

@@ -28,12 +28,16 @@ pub mod chrome;
 pub mod envelope;
 pub mod event;
 pub mod fleet;
+pub mod forensics;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod profile;
+pub mod progress;
 pub mod report;
 pub mod ring;
+pub mod sketch;
+pub mod stream;
 pub mod sweep;
 pub mod tracker;
 
@@ -47,6 +51,10 @@ pub use fleet::{
     build_fleet_report, validate_fleet_report, FleetDeliveryDoc, FleetEnergyDoc, FleetInputs,
     FleetMediumDoc, FleetOutcomesDoc, FleetStragglerDoc, FleetTimingDoc,
 };
+pub use forensics::{
+    build_forensics_report, validate_forensics_report, ForensicsInputs, ForensicsViolationDoc,
+    FramDiffByte, FramDiffDoc, FRAM_DIFF_CAP,
+};
 pub use json::{parse as parse_json, Value};
 pub use jsonl::jsonl;
 pub use metrics::{
@@ -55,8 +63,11 @@ pub use metrics::{
     CATEGORY_NAMES, WASTE_CATEGORY_NAMES,
 };
 pub use profile::{build_profile, LatencySummary, Profile, SiteProfile, TaskProfile};
+pub use progress::{Progress, ProgressSnapshot};
 pub use report::{build_report, validate_report, ReportInputs};
 pub use ring::{RingRecorder, DEFAULT_CAPACITY};
+pub use sketch::Sketch;
+pub use stream::{flush_registered, register_for_flush, JsonlWriter, ShardedSink, StreamStats};
 pub use sweep::{
     build_sweep_report, validate_sweep_report, FaultSpecDoc, SweepInputs, SweepPruneDoc,
     SweepTimingDoc, SweepViolation, SweepWasteDoc,

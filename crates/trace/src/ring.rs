@@ -114,4 +114,56 @@ mod tests {
         let got: Vec<u64> = r.take().iter().map(|e| e.ts_us).collect();
         assert_eq!(got, vec![9]);
     }
+
+    #[test]
+    fn capacity_one_ring_always_holds_only_the_newest() {
+        // Degenerate wraparound: every push past the first overwrites the
+        // single slot, and the head must stay pinned at index 0.
+        let mut r = RingRecorder::new(1);
+        r.push(ev(0));
+        assert_eq!(r.dropped(), 0);
+        for t in 1..=5 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 5);
+        let got: Vec<u64> = r.take().iter().map(|e| e.ts_us).collect();
+        assert_eq!(got, vec![5]);
+    }
+
+    #[test]
+    fn overflow_by_exact_multiples_of_capacity_stays_ordered() {
+        // Pushing k·capacity events lands the head back at 0; the drain
+        // must still come out oldest-first with an exact drop count.
+        let mut r = RingRecorder::new(4);
+        for t in 0..12 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 8);
+        let got: Vec<u64> = r.take().iter().map(|e| e.ts_us).collect();
+        assert_eq!(got, vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn dropped_count_survives_take_and_keeps_accumulating() {
+        // `dropped` is a run-lifetime ledger, not a per-drain one: the
+        // exporters report total loss, so a drain must not reset it.
+        let mut r = RingRecorder::new(2);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 3);
+        r.take();
+        assert_eq!(r.dropped(), 3);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = RingRecorder::new(0);
+    }
 }
